@@ -1,0 +1,104 @@
+// Fig. 9 — constraint-set size distribution: reduction vs no reduction.
+//
+// Paper: with constraint-set reduction (R) the per-iteration sets stay
+// bounded (under ~500); without it (NRBound / NRUnl) loop iterations pile
+// up constraints into the thousands+.  Reproduced as a histogram of the
+// per-iteration constraint-set sizes across a campaign.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "compi/driver.h"
+#include "targets/targets.h"
+
+namespace {
+
+using namespace compi;
+
+struct Histogram {
+  // Buckets: <50, <200, <500, <2000, >=2000.
+  std::array<std::size_t, 5> counts{};
+  std::size_t max_size = 0;
+
+  void add(std::size_t n) {
+    max_size = std::max(max_size, n);
+    if (n < 50) ++counts[0];
+    else if (n < 200) ++counts[1];
+    else if (n < 500) ++counts[2];
+    else if (n < 2000) ++counts[3];
+    else ++counts[4];
+  }
+  [[nodiscard]] std::size_t total() const {
+    std::size_t t = 0;
+    for (std::size_t c : counts) t += c;
+    return t;
+  }
+};
+
+Histogram run(const TargetInfo& target, bool reduction, int bound,
+              int iterations, std::uint64_t seed) {
+  CampaignOptions opts;
+  opts.seed = seed;
+  opts.iterations = iterations;
+  opts.dfs_phase_iterations = iterations / 5;
+  opts.reduction = reduction;
+  opts.depth_bound = bound;
+  const CampaignResult result = Campaign(target, opts).run();
+  Histogram h;
+  for (const IterationRecord& rec : result.iterations) {
+    h.add(rec.constraint_set_size);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner(
+      "Fig. 9: constraint-set size distribution (R vs NRBound vs NRUnl)",
+      "with reduction sets stay small (<500); without it they reach "
+      "thousands",
+      args.full);
+
+  struct Row {
+    std::string name;
+    TargetInfo target;
+    int iterations;
+  };
+  const Row rows[] = {
+      {"mini-SUSY-HMC", targets::make_mini_susy_target(5, false),
+       args.full ? 400 : 150},
+      {"mini-HPL", targets::make_mini_hpl_target(200),
+       args.full ? 2000 : 700},
+      {"mini-IMB-MPI1", targets::make_mini_imb_target(400),
+       args.full ? 600 : 200},
+  };
+
+  for (const Row& row : rows) {
+    std::cout << row.name << " (" << row.iterations << " iterations)\n";
+    TablePrinter table({"Variant", "<50", "<200", "<500", "<2000", ">=2000",
+                        "Max set size"});
+    struct Variant {
+      std::string label;
+      bool reduction;
+      int bound;
+    };
+    for (const Variant& v : {Variant{"R (reduction)", true, 0},
+                             Variant{"NRBound", false, 300},
+                             Variant{"NRUnl", false, 1 << 20}}) {
+      const Histogram h =
+          run(row.target, v.reduction, v.bound, row.iterations, args.seed);
+      const double total = static_cast<double>(std::max<std::size_t>(
+          h.total(), 1));
+      auto pct = [&](std::size_t c) {
+        return TablePrinter::pct(static_cast<double>(c) / total, 0);
+      };
+      table.add_row({v.label, pct(h.counts[0]), pct(h.counts[1]),
+                     pct(h.counts[2]), pct(h.counts[3]), pct(h.counts[4]),
+                     std::to_string(h.max_size)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: the
+// constraint solver, the concolic branch event, and MiniMPI messaging.
+// These are not paper tables; they quantify the costs the cost-control
+// techniques (two-way instrumentation, reduction) are managing.
+#include <benchmark/benchmark.h>
+
+#include "compi/fixed_run.h"
+#include "minimpi/launcher.h"
+#include "solver/solver.h"
+#include "targets/targets.h"
+
+namespace {
+
+using namespace compi;
+
+void BM_SolverChain(benchmark::State& state) {
+  // x0 < x1 < ... < x_{k-1} <= 100, negate the last: a coupled chain the
+  // incremental solver must re-solve wholesale.
+  const int k = static_cast<int>(state.range(0));
+  std::vector<solver::Predicate> preds;
+  solver::Assignment prev;
+  for (int i = 0; i + 1 < k; ++i) {
+    preds.push_back(solver::make_lt(i, i + 1));
+    prev[i] = i;
+  }
+  prev[k - 1] = k - 1;
+  preds.push_back(solver::make_le_const(k - 1, 100).negated());
+  solver::Solver s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.solve_incremental(preds, {}, prev));
+  }
+}
+BENCHMARK(BM_SolverChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SolverIndependent(benchmark::State& state) {
+  // Many independent constraints: dependency slicing should make the
+  // incremental solve O(slice), not O(set).
+  const int k = static_cast<int>(state.range(0));
+  std::vector<solver::Predicate> preds;
+  solver::Assignment prev;
+  for (int i = 0; i < k; ++i) {
+    preds.push_back(solver::make_le_const(i, 50));
+    prev[i] = 0;
+  }
+  preds.push_back(solver::make_le_const(k - 1, 50).negated());
+  solver::Solver s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.solve_incremental(preds, {}, prev));
+  }
+}
+BENCHMARK(BM_SolverIndependent)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_BranchEventHeavy(benchmark::State& state) {
+  rt::BranchTable table;
+  table.add_site("f", "s");
+  table.finalize();
+  rt::VarRegistry registry;
+  solver::Assignment inputs;
+  rt::ContextParams params;
+  params.mode = rt::Mode::kHeavy;
+  params.table = &table;
+  params.registry = &registry;
+  params.inputs = &inputs;
+  rt::RuntimeContext ctx(params);
+  const sym::SymInt x = ctx.input_int("x");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.branch(0, sym::SymInt(i++ % 100) < x));
+  }
+}
+BENCHMARK(BM_BranchEventHeavy);
+
+void BM_BranchEventLight(benchmark::State& state) {
+  rt::BranchTable table;
+  table.add_site("f", "s");
+  table.finalize();
+  rt::VarRegistry registry;
+  solver::Assignment inputs;
+  rt::ContextParams params;
+  params.mode = rt::Mode::kLight;
+  params.table = &table;
+  params.registry = &registry;
+  params.inputs = &inputs;
+  rt::RuntimeContext ctx(params);
+  const sym::SymInt x = ctx.input_int("x");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.branch(0, sym::SymInt(i++ % 100) < x));
+  }
+}
+BENCHMARK(BM_BranchEventLight);
+
+void BM_MiniMpiPingPong(benchmark::State& state) {
+  // Whole-job cost of a ping-pong of `range(0)` iterations on 2 ranks.
+  const int iters = static_cast<int>(state.range(0));
+  const TargetInfo target = targets::make_mini_imb_target(10'000);
+  auto in = targets::mini_imb_defaults(/*benchmark=*/0, iters);
+  in["msglog_min"] = 10;
+  in["msglog_max"] = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fixed(target, in, {.nprocs = 2}));
+  }
+}
+BENCHMARK(BM_MiniMpiPingPong)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_MiniMpiAllreduce8(benchmark::State& state) {
+  const TargetInfo target = targets::make_mini_imb_target(10'000);
+  auto in = targets::mini_imb_defaults(/*benchmark=*/5, 50);
+  in["npmin"] = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fixed(target, in, {.nprocs = 8}));
+  }
+}
+BENCHMARK(BM_MiniMpiAllreduce8)->Unit(benchmark::kMillisecond);
+
+void BM_HplSolveScaling(benchmark::State& state) {
+  // The N^3 cost curve behind Fig. 6 / input capping.
+  const int n = static_cast<int>(state.range(0));
+  const TargetInfo target = targets::make_mini_hpl_target(n);
+  const auto in = targets::mini_hpl_defaults(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fixed(target, in, {.nprocs = 8}));
+  }
+}
+BENCHMARK(BM_HplSolveScaling)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

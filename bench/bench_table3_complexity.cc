@@ -1,0 +1,90 @@
+// Table III — complexity of the target programs.
+//
+// Prints, per target: the SLOC of this reproduction's module, the paper
+// program's SLOC (SLOCCount), total branches from the static table, and the
+// reachable-branch estimate obtained the way the paper does it — summing
+// the branches of every function encountered during a short testing run.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "compi/driver.h"
+#include "targets/targets.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Counts non-blank source lines under a directory (SLOCCount-lite).
+int count_sloc(const fs::path& dir) {
+  if (!fs::exists(dir)) return -1;
+  int lines = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    const auto ext = entry.path().extension();
+    if (ext != ".cc" && ext != ".h") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") != std::string::npos) ++lines;
+    }
+  }
+  return lines;
+}
+
+fs::path target_source_dir(const std::string& subdir) {
+#ifdef COMPI_SOURCE_DIR
+  return fs::path(COMPI_SOURCE_DIR) / "src" / "targets" / subdir;
+#else
+  return fs::path("src") / "targets" / subdir;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace compi;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Table III: complexity of target programs",
+                "SUSY-HMC 19201/2870/2030, HPL 15699/3754/3468, "
+                "IMB-MPI1 7092/1290/1114 (SLOC / total / reachable)",
+                args.full);
+
+  struct Row {
+    TargetInfo target;
+    std::string dir;
+    int paper_total, paper_reachable;
+  };
+  const Row rows[] = {
+      {targets::make_mini_susy_target(), "mini_susy", 2870, 2030},
+      {targets::make_mini_hpl_target(64), "mini_hpl", 3754, 3468},
+      {targets::make_mini_imb_target(), "mini_imb", 1290, 1114},
+  };
+
+  TablePrinter table({"Program", "SLOC (this repo)", "SLOC (paper)",
+                      "Total branches", "Reachable (measured)",
+                      "Paper total", "Paper reachable"});
+  for (const Row& row : rows) {
+    // Reachable estimate: functions encountered during a short campaign.
+    CampaignOptions opts;
+    opts.seed = args.seed;
+    opts.iterations = args.full ? 600 : 200;
+    opts.dfs_phase_iterations = args.full ? 150 : 60;
+    const CampaignResult result = Campaign(row.target, opts).run();
+
+    const int sloc = count_sloc(target_source_dir(row.dir));
+    table.add_row({row.target.name,
+                   sloc >= 0 ? std::to_string(sloc) : "n/a",
+                   std::to_string(row.target.paper_sloc),
+                   std::to_string(row.target.table->num_branches()),
+                   std::to_string(result.reachable_branches),
+                   std::to_string(row.paper_total),
+                   std::to_string(row.paper_reachable)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: this reproduction's targets are deliberately "
+               "small-scale analogs;\nthe branch-space *structure* (deep "
+               "sanity cascade, rank/size branches,\nloop-heavy solvers) is "
+               "what the experiments depend on, not the raw counts.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --full     paper-scale budgets (default is a quick mode that keeps the
+//              whole `for b in build/bench/*; do $b; done` sweep fast)
+//   --seed=N   base RNG seed (default 1)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "compi/report.h"
+
+namespace compi::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::uint64_t seed = 1;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--full] [--seed=N]\n";
+    }
+  }
+  return args;
+}
+
+inline void banner(const std::string& experiment, const std::string& claim,
+                   bool full) {
+  std::cout << "=== " << experiment << (full ? "  [--full]" : "  [quick]")
+            << " ===\n"
+            << "paper claim: " << claim << "\n\n";
+}
+
+}  // namespace compi::bench

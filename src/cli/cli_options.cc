@@ -1,0 +1,153 @@
+#include "cli/cli_options.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace compi::cli {
+namespace {
+
+/// Splits "--flag=value" into (flag, value); value empty for bare flags.
+std::pair<std::string, std::string> split_flag(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) return {arg, ""};
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<SearchKind> parse_strategy(const std::string& s) {
+  if (s == "bounded-dfs") return SearchKind::kBoundedDfs;
+  if (s == "dfs") return SearchKind::kDfs;
+  if (s == "random-branch") return SearchKind::kRandomBranch;
+  if (s == "uniform-random") return SearchKind::kUniformRandom;
+  if (s == "cfg") return SearchKind::kCfg;
+  if (s == "generational") return SearchKind::kGenerational;
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParseResult parse_cli(const std::vector<std::string>& args) {
+  ParseResult result;
+  CliConfig& cfg = result.config;
+  auto fail = [&](const std::string& msg) {
+    result.error = msg;
+    return result;
+  };
+
+  for (const std::string& arg : args) {
+    const auto [flag, value] = split_flag(arg);
+    auto want_int = [&](std::int64_t lo,
+                        std::int64_t hi) -> std::optional<std::int64_t> {
+      const auto v = parse_int(value);
+      if (!v || *v < lo || *v > hi) return std::nullopt;
+      return v;
+    };
+
+    if (flag == "--help" || flag == "-h") {
+      cfg.show_help = true;
+    } else if (flag == "--list-targets") {
+      cfg.list_targets = true;
+    } else if (flag == "--target") {
+      if (value != "susy" && value != "susy-fixed" && value != "hpl" &&
+          value != "imb") {
+        return fail("unknown target '" + value + "'");
+      }
+      cfg.target = value;
+    } else if (flag == "--iterations") {
+      const auto v = want_int(1, 100'000'000);
+      if (!v) return fail("--iterations needs a positive integer");
+      cfg.campaign.iterations = static_cast<int>(*v);
+    } else if (flag == "--time-budget") {
+      const auto v = want_int(0, 1'000'000);
+      if (!v) return fail("--time-budget needs seconds >= 0");
+      cfg.campaign.time_budget_seconds = static_cast<double>(*v);
+    } else if (flag == "--strategy") {
+      const auto s = parse_strategy(value);
+      if (!s) return fail("unknown strategy '" + value + "'");
+      cfg.campaign.search = *s;
+    } else if (flag == "--cap") {
+      const auto v = want_int(1, 1'000'000);
+      if (!v) return fail("--cap needs a positive integer");
+      cfg.cap = static_cast<int>(*v);
+    } else if (flag == "--nprocs") {
+      const auto v = want_int(1, 1024);
+      if (!v) return fail("--nprocs needs 1..1024");
+      cfg.campaign.initial_nprocs = static_cast<int>(*v);
+    } else if (flag == "--focus") {
+      const auto v = want_int(0, 1023);
+      if (!v) return fail("--focus needs 0..1023");
+      cfg.campaign.initial_focus = static_cast<int>(*v);
+    } else if (flag == "--max-procs") {
+      const auto v = want_int(1, 1024);
+      if (!v) return fail("--max-procs needs 1..1024");
+      cfg.campaign.max_procs = static_cast<int>(*v);
+    } else if (flag == "--dfs-phase") {
+      const auto v = want_int(1, 100'000'000);
+      if (!v) return fail("--dfs-phase needs a positive integer");
+      cfg.campaign.dfs_phase_iterations = static_cast<int>(*v);
+    } else if (flag == "--depth-bound") {
+      const auto v = want_int(0, 100'000'000);
+      if (!v) return fail("--depth-bound needs an integer >= 0");
+      cfg.campaign.depth_bound = static_cast<int>(*v);
+    } else if (flag == "--seed") {
+      const auto v = parse_int(value);
+      if (!v) return fail("--seed needs an integer");
+      cfg.campaign.seed = static_cast<std::uint64_t>(*v);
+    } else if (flag == "--log-dir") {
+      if (value.empty()) return fail("--log-dir needs a path");
+      cfg.campaign.log_dir = value;
+    } else if (flag == "--no-reduction") {
+      cfg.campaign.reduction = false;
+    } else if (flag == "--no-framework") {
+      cfg.campaign.framework = false;
+    } else if (flag == "--one-way") {
+      cfg.campaign.one_way = true;
+    } else if (flag == "--random") {
+      cfg.random_baseline = true;
+    } else if (flag == "--curve") {
+      cfg.print_curve = true;
+    } else if (flag == "--functions") {
+      cfg.print_functions = true;
+    } else {
+      return fail("unknown flag '" + flag + "'");
+    }
+  }
+
+  if (cfg.campaign.initial_focus >= cfg.campaign.initial_nprocs) {
+    return fail("--focus must be below --nprocs");
+  }
+  return result;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "compi — concolic testing for MPI programs (IPDPS'18 reproduction)\n"
+        "\n"
+        "usage: compi [--target=susy|susy-fixed|hpl|imb] [options]\n"
+        "\n"
+        "  --iterations=N       testing budget (default 500)\n"
+        "  --time-budget=SECS   wall-clock budget, 0 = iterations only\n"
+        "  --strategy=NAME      bounded-dfs (default) | dfs | random-branch\n"
+        "                       | uniform-random | cfg | generational\n"
+        "  --cap=N              input cap N_C (target default when omitted)\n"
+        "  --nprocs=N --focus=N initial launch setup (default 8, 0)\n"
+        "  --max-procs=N        cap on the process count (default 16)\n"
+        "  --dfs-phase=N        pure-DFS iterations before BoundedDFS\n"
+        "  --depth-bound=N      explicit bound (0 = derive from phase 1)\n"
+        "  --seed=N             RNG seed\n"
+        "  --log-dir=PATH       write per-iteration logs + iterations.csv\n"
+        "  --no-reduction | --no-framework | --one-way   ablations\n"
+        "  --random             random-testing baseline\n"
+        "  --curve              print the coverage curve\n"
+        "  --functions          per-function coverage breakdown\n"
+        "  --list-targets | --help\n";
+  return os.str();
+}
+
+}  // namespace compi::cli

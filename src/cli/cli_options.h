@@ -1,0 +1,55 @@
+// Command-line parsing for the `compi` tool binary.
+//
+// Kept separate from main() so the parsing logic is unit-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compi/options.h"
+
+namespace compi::cli {
+
+struct CliConfig {
+  std::string target = "susy";  // susy | susy-fixed | hpl | imb
+  int cap = 0;                  // 0 = target default N_C
+  bool random_baseline = false; // run the random tester instead of COMPI
+  CampaignOptions campaign;
+  bool list_targets = false;
+  bool show_help = false;
+  bool print_curve = false;     // per-iteration coverage curve on stdout
+  bool print_functions = false; // per-function coverage breakdown
+};
+
+struct ParseResult {
+  CliConfig config;
+  std::optional<std::string> error;  // set when arguments were invalid
+};
+
+/// Parses argv.  Recognized flags:
+///   --target=NAME        susy | susy-fixed | hpl | imb   (default susy)
+///   --iterations=N       testing budget                  (default 500)
+///   --time-budget=SECS   wall-clock budget (0 = off)
+///   --strategy=NAME      bounded-dfs | dfs | random-branch |
+///                        uniform-random | cfg
+///   --cap=N              input cap N_C (target default when omitted)
+///   --nprocs=N           initial process count           (default 8)
+///   --focus=N            initial focus rank              (default 0)
+///   --max-procs=N        cap on the process count        (default 16)
+///   --dfs-phase=N        pure-DFS iterations before BoundedDFS
+///   --depth-bound=N      explicit BoundedDFS bound (0 = derive)
+///   --seed=N             RNG seed
+///   --log-dir=PATH       write a file-based session
+///   --no-reduction       disable constraint-set reduction (§IV-C)
+///   --no-framework       No_Fwk ablation (§VI-E)
+///   --one-way            one-way instrumentation ablation (§IV-B)
+///   --random             random-testing baseline instead of COMPI
+///   --curve              print the per-iteration coverage curve
+///   --functions          print the per-function coverage breakdown
+///   --list-targets, --help
+[[nodiscard]] ParseResult parse_cli(const std::vector<std::string>& args);
+
+[[nodiscard]] std::string usage();
+
+}  // namespace compi::cli

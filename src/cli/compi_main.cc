@@ -1,0 +1,102 @@
+// The `compi` tool binary: run a testing campaign from the command line.
+#include <iostream>
+
+#include "cli/cli_options.h"
+#include "compi/driver.h"
+#include "compi/random_tester.h"
+#include "compi/report.h"
+#include "targets/targets.h"
+
+namespace {
+
+using namespace compi;
+
+TargetInfo build_target(const cli::CliConfig& cfg) {
+  const int cap = cfg.cap;
+  if (cfg.target == "susy") {
+    return targets::make_mini_susy_target(cap > 0 ? cap : 5);
+  }
+  if (cfg.target == "susy-fixed") {
+    return targets::make_mini_susy_target(cap > 0 ? cap : 5, false);
+  }
+  if (cfg.target == "hpl") {
+    return targets::make_mini_hpl_target(cap > 0 ? cap : 300);
+  }
+  return targets::make_mini_imb_target(cap > 0 ? cap : 100);
+}
+
+void print_report(const TargetInfo& target, const CampaignResult& result,
+                  bool curve, bool functions) {
+  std::cout << "target            : " << target.name << "\n"
+            << "iterations        : " << result.iterations.size() << "\n"
+            << "covered branches  : " << result.covered_branches << " / "
+            << result.reachable_branches << " reachable ("
+            << TablePrinter::pct(result.coverage_rate) << ")\n"
+            << "max constraint set: " << result.max_constraint_set << "\n"
+            << "restarts          : " << result.restarts << "\n"
+            << "total time        : "
+            << TablePrinter::num(result.total_seconds, 2) << "s ("
+            << TablePrinter::num(result.total_exec_seconds, 2) << "s exec, "
+            << TablePrinter::num(result.total_solve_seconds, 2)
+            << "s solve)\n";
+  if (result.bugs.empty()) {
+    std::cout << "bugs              : none\n";
+  } else {
+    std::cout << "bugs              : " << result.bugs.size() << "\n";
+    for (const BugRecord& bug : result.bugs) {
+      std::cout << "  [" << rt::to_string(bug.outcome) << "] " << bug.message
+                << "\n    nprocs=" << bug.nprocs << " focus=" << bug.focus
+                << " first=" << bug.first_iteration << " inputs:";
+      for (const auto& [name, value] : bug.named_inputs) {
+        std::cout << ' ' << name << '=' << value;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (functions) {
+    TablePrinter table({"Function", "Covered", "Total", "Reachable?"});
+    for (const FunctionCoverage& fc : result.function_coverage) {
+      table.add_row({fc.function, std::to_string(fc.covered_branches),
+                     std::to_string(fc.total_branches),
+                     fc.encountered ? "yes" : "no"});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+  }
+  if (curve) {
+    std::cout << "\niteration,covered\n";
+    for (const IterationRecord& rec : result.iterations) {
+      std::cout << rec.iteration << ',' << rec.covered_branches << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const cli::ParseResult parsed = cli::parse_cli(args);
+  if (parsed.error) {
+    std::cerr << "error: " << *parsed.error << "\n\n" << cli::usage();
+    return 2;
+  }
+  const cli::CliConfig& cfg = parsed.config;
+  if (cfg.show_help) {
+    std::cout << cli::usage();
+    return 0;
+  }
+  if (cfg.list_targets) {
+    std::cout << "susy        mini-SUSY-HMC (4 seeded bugs, N_C default 5)\n"
+              << "susy-fixed  mini-SUSY-HMC with the bugs fixed\n"
+              << "hpl         mini-HPL (N_C default 300)\n"
+              << "imb         mini-IMB-MPI1 (N_C default 100)\n";
+    return 0;
+  }
+
+  const TargetInfo target = build_target(cfg);
+  const CampaignResult result =
+      cfg.random_baseline ? RandomTester(target, cfg.campaign).run()
+                          : Campaign(target, cfg.campaign).run();
+  print_report(target, result, cfg.print_curve, cfg.print_functions);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "compi/coverage.h"
+
+namespace compi {
+
+CoverageTracker::CoverageTracker(const rt::BranchTable& table)
+    : table_(&table),
+      merged_(table.num_branches()),
+      function_seen_(table.functions().size(), 0),
+      sites_per_function_(table.functions().size(), 0) {
+  for (std::size_t s = 0; s < table.num_sites(); ++s) {
+    ++sites_per_function_[table.function_index(static_cast<sym::SiteId>(s))];
+  }
+}
+
+void CoverageTracker::merge(const rt::CoverageBitmap& covered) {
+  for (sym::BranchId b : covered.covered_ids()) {
+    merged_.mark(b);
+    function_seen_[table_->function_index(sym::site_of(b))] = 1;
+  }
+}
+
+std::size_t CoverageTracker::reachable_branches() const {
+  std::size_t sites = 0;
+  for (std::size_t f = 0; f < function_seen_.size(); ++f) {
+    if (function_seen_[f]) sites += sites_per_function_[f];
+  }
+  return sites * 2;
+}
+
+std::vector<FunctionCoverage> CoverageTracker::per_function() const {
+  std::vector<FunctionCoverage> out;
+  out.reserve(table_->functions().size());
+  for (std::size_t f = 0; f < table_->functions().size(); ++f) {
+    FunctionCoverage fc;
+    fc.function = table_->functions()[f];
+    fc.encountered = function_seen_[f] != 0;
+    out.push_back(std::move(fc));
+  }
+  for (std::size_t site = 0; site < table_->num_sites(); ++site) {
+    const std::size_t f =
+        table_->function_index(static_cast<sym::SiteId>(site));
+    out[f].total_branches += 2;
+    const auto id = static_cast<sym::SiteId>(site);
+    out[f].covered_branches +=
+        (merged_.covered(sym::branch_id(id, false)) ? 1 : 0) +
+        (merged_.covered(sym::branch_id(id, true)) ? 1 : 0);
+  }
+  return out;
+}
+
+double CoverageTracker::rate() const {
+  const std::size_t reachable = reachable_branches();
+  if (reachable == 0) return 0.0;
+  return static_cast<double>(covered_branches()) /
+         static_cast<double>(reachable);
+}
+
+}  // namespace compi

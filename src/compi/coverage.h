@@ -1,0 +1,58 @@
+// Cross-process branch-coverage accounting ("all recorders", paper §III).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/branch_table.h"
+#include "runtime/test_log.h"
+
+namespace compi {
+
+/// Per-function coverage summary (for reports: where do the uncovered
+/// branches live?).
+struct FunctionCoverage {
+  std::string function;
+  std::size_t covered_branches = 0;
+  std::size_t total_branches = 0;
+  bool encountered = false;  // counted as reachable (paper's estimate)
+};
+
+/// Accumulates branch coverage across every rank of every iteration and
+/// derives the paper's coverage metrics:
+///  * covered branches — branches executed at least once by ANY process;
+///  * reachable branches — 2x the number of sites in functions encountered
+///    during testing (the estimation rule of paper Table III / [8]);
+///  * coverage rate — covered / reachable.
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const rt::BranchTable& table);
+
+  /// Unions one rank's coverage bitmap into the campaign totals.
+  void merge(const rt::CoverageBitmap& covered);
+
+  [[nodiscard]] std::size_t covered_branches() const {
+    return merged_.count();
+  }
+  [[nodiscard]] std::size_t total_branches() const {
+    return table_->num_branches();
+  }
+  [[nodiscard]] std::size_t reachable_branches() const;
+  [[nodiscard]] double rate() const;
+
+  [[nodiscard]] const rt::CoverageBitmap& bitmap() const { return merged_; }
+  [[nodiscard]] bool branch_covered(sym::BranchId b) const {
+    return merged_.covered(b);
+  }
+
+  /// Coverage broken down by function, in the table's function order.
+  [[nodiscard]] std::vector<FunctionCoverage> per_function() const;
+
+ private:
+  const rt::BranchTable* table_;
+  rt::CoverageBitmap merged_;
+  std::vector<std::uint8_t> function_seen_;
+  std::vector<std::size_t> sites_per_function_;
+};
+
+}  // namespace compi

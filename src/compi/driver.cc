@@ -1,0 +1,217 @@
+#include "compi/driver.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "compi/session.h"
+#include "minimpi/launcher.h"
+#include "solver/solver.h"
+
+namespace compi {
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Two failures are the same bug when their messages differ only in
+// concrete quantities (indices, sizes vary with the triggering inputs).
+std::string bug_signature(const std::string& message) {
+  std::string out;
+  out.reserve(message.size());
+  for (char c : message) {
+    if (c < '0' || c > '9') out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Campaign::Campaign(const TargetInfo& target, CampaignOptions options)
+    : target_(target), options_(std::move(options)) {}
+
+CampaignResult Campaign::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto campaign_start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - campaign_start)
+        .count();
+  };
+
+  CampaignResult result;
+  rt::VarRegistry registry;
+  CoverageTracker coverage(*target_.table);
+  Framework framework(registry, options_.max_procs, options_.framework,
+                      options_.conflict_resolution);
+  std::optional<SessionWriter> session;
+  if (!options_.log_dir.empty()) session.emplace(options_.log_dir);
+  solver::Solver the_solver({options_.solver_node_budget});
+
+  TestPlan plan;
+  plan.nprocs = options_.initial_nprocs;
+  plan.focus = options_.initial_focus;
+
+  // Two-phase search (paper §II-B): pure DFS for the first
+  // dfs_phase_iterations, then BoundedDFS with a bound derived from the
+  // longest observed constraint set.  Other strategies run single-phase.
+  const bool two_phase = options_.search == SearchKind::kBoundedDfs;
+  StrategyConfig scfg;
+  scfg.kind = two_phase ? SearchKind::kDfs : options_.search;
+  scfg.seed = options_.seed;
+  scfg.table = target_.table;
+  scfg.coverage = &coverage;
+  std::unique_ptr<SearchStrategy> strategy = make_strategy(scfg);
+
+  std::optional<std::size_t> pending_depth;  // depth of the accepted flip
+  bool next_is_restart = true;               // the first run is a "restart"
+  int failures = 0;
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    if (options_.time_budget_seconds > 0 &&
+        elapsed() >= options_.time_budget_seconds) {
+      break;
+    }
+
+    // ---- launch the planned test (§III-D) ----
+    minimpi::LaunchSpec spec;
+    spec.program = target_.program;
+    spec.nprocs = plan.nprocs;
+    spec.focus = plan.focus;
+    spec.one_way = options_.one_way;
+    spec.registry = &registry;
+    spec.inputs = &plan.inputs;
+    spec.rng_seed = mix_seed(options_.seed, static_cast<std::uint64_t>(iter));
+    spec.step_budget = options_.step_budget;
+    spec.reduction = options_.reduction;
+    spec.mark_mpi_vars = options_.framework;
+    spec.timeout = options_.test_timeout;
+
+    const minimpi::RunResult run = minimpi::launch(spec, *target_.table);
+    if (session) session->write_iteration(iter, run);
+
+    // ---- record coverage (all recorders — or focus only for No_Fwk) ----
+    if (options_.framework) {
+      coverage.merge(run.merged_coverage());
+    } else {
+      coverage.merge(run.focus_log().covered);
+    }
+
+    const rt::TestLog& focus_log = run.focus_log();
+    result.max_constraint_set =
+        std::max(result.max_constraint_set, focus_log.path.size());
+
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.nprocs = plan.nprocs;
+    rec.focus = plan.focus;
+    rec.outcome = run.job_outcome();
+    rec.constraint_set_size = focus_log.path.size();
+    rec.covered_branches = coverage.covered_branches();
+    rec.exec_seconds = run.wall_seconds;
+    rec.restart = next_is_restart;
+
+    // ---- log error-inducing inputs (§V) ----
+    if (rt::is_fault(rec.outcome)) {
+      const std::string msg = run.job_message();
+      const std::string sig = bug_signature(msg);
+      auto known = std::find_if(
+          result.bugs.begin(), result.bugs.end(),
+          [&](const BugRecord& b) { return bug_signature(b.message) == sig; });
+      if (known == result.bugs.end()) {
+        BugRecord bug;
+        bug.first_iteration = iter;
+        bug.occurrences = 1;
+        bug.outcome = rec.outcome;
+        bug.message = msg;
+        bug.inputs = focus_log.inputs_used;
+        for (const auto& [var, value] : bug.inputs) {
+          bug.named_inputs[registry.meta(var).key] = value;
+        }
+        bug.nprocs = plan.nprocs;
+        bug.focus = plan.focus;
+        result.bugs.push_back(std::move(bug));
+      } else {
+        ++known->occurrences;
+      }
+    }
+
+    // ---- two-phase switch: estimate the BoundedDFS depth bound ----
+    if (two_phase && iter + 1 == options_.dfs_phase_iterations) {
+      const std::size_t bound =
+          options_.depth_bound > 0
+              ? static_cast<std::size_t>(options_.depth_bound)
+              : static_cast<std::size_t>(
+                    static_cast<double>(result.max_constraint_set) *
+                        options_.bound_slack +
+                    10);
+      result.depth_bound_used = bound;
+      scfg.kind = SearchKind::kBoundedDfs;
+      scfg.bound = bound;
+      strategy = make_strategy(scfg);
+      pending_depth.reset();  // root the new strategy at this path
+    }
+
+    strategy->observe(focus_log.path,
+                      next_is_restart ? std::nullopt : pending_depth);
+    next_is_restart = false;
+    pending_depth.reset();
+
+    // ---- pick and solve the next constraint set (§II-A) ----
+    const auto solve_start = Clock::now();
+    bool planned = false;
+    while (auto cand = strategy->next()) {
+      // Insert the MPI-semantics constraints before the negated constraint
+      // (which must stay last for incremental solving).
+      std::vector<solver::Predicate> preds = std::move(cand->constraints);
+      const solver::Predicate negated = std::move(preds.back());
+      preds.pop_back();
+      for (auto& p : framework.mpi_constraints(focus_log)) {
+        preds.push_back(std::move(p));
+      }
+      preds.push_back(negated);
+
+      const solver::SolveResult solved = the_solver.solve_incremental(
+          preds, framework.domains(), focus_log.inputs_used);
+      if (solved.sat) {
+        plan = framework.plan_next_test(solved, focus_log, plan);
+        strategy->accepted(*cand);
+        pending_depth = cand->depth;
+        failures = 0;
+        planned = true;
+        break;
+      }
+      if (++failures >= options_.restart_after_failures) break;
+    }
+    rec.solve_seconds =
+        std::chrono::duration<double>(Clock::now() - solve_start).count();
+    result.iterations.push_back(rec);
+
+    if (!planned) {
+      // Strategy exhausted or solver stuck: restart with random inputs.
+      ++result.restarts;
+      plan.inputs.clear();
+      plan.nprocs = options_.initial_nprocs;
+      plan.focus = options_.initial_focus;
+      failures = 0;
+      next_is_restart = true;
+    }
+  }
+
+  result.covered_branches = coverage.covered_branches();
+  result.reachable_branches = coverage.reachable_branches();
+  result.total_branches = coverage.total_branches();
+  result.coverage_rate = coverage.rate();
+  result.function_coverage = coverage.per_function();
+  result.total_seconds = elapsed();
+  for (const IterationRecord& r : result.iterations) {
+    result.total_exec_seconds += r.exec_seconds;
+    result.total_solve_seconds += r.solve_seconds;
+  }
+  if (session) session->write_summary(result);
+  return result;
+}
+
+}  // namespace compi

@@ -1,0 +1,85 @@
+// The iterative testing driver (paper §II-A, Fig. 3).
+//
+// One Campaign = one testing session: repeatedly (1) launch the target with
+// the planned (nprocs, focus, inputs), (2) union coverage across all ranks,
+// (3) pick a constraint to negate per the search strategy, (4) solve the
+// updated set incrementally, and (5) derive the next plan via the MPI
+// framework.  Faults are logged with their error-inducing inputs; when the
+// strategy runs dry or the solver keeps failing, the campaign restarts from
+// fresh random inputs (paper §VI: "we just redo the testing").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compi/coverage.h"
+#include "compi/framework.h"
+#include "compi/options.h"
+#include "compi/search_strategy.h"
+#include "compi/target.h"
+#include "runtime/var_registry.h"
+
+namespace compi {
+
+struct IterationRecord {
+  int iteration = 0;
+  int nprocs = 0;
+  int focus = 0;
+  rt::Outcome outcome = rt::Outcome::kOk;
+  /// Size of the focus's recorded constraint set this run (Fig. 9).
+  std::size_t constraint_set_size = 0;
+  /// Cumulative covered branches after this iteration (coverage curves).
+  std::size_t covered_branches = 0;
+  double exec_seconds = 0.0;
+  double solve_seconds = 0.0;
+  bool restart = false;  // this run used fresh random inputs
+};
+
+/// One discovered bug: the failure plus its error-inducing test setup.
+struct BugRecord {
+  int first_iteration = 0;
+  int occurrences = 0;
+  rt::Outcome outcome = rt::Outcome::kOk;
+  std::string message;
+  solver::Assignment inputs;
+  /// Same values keyed by variable name (replayable via run_fixed).
+  std::map<std::string, std::int64_t> named_inputs;
+  int nprocs = 0;
+  int focus = 0;
+};
+
+struct CampaignResult {
+  std::vector<IterationRecord> iterations;
+  std::vector<BugRecord> bugs;
+  /// Where the uncovered branches live (function-level breakdown).
+  std::vector<FunctionCoverage> function_coverage;
+
+  std::size_t covered_branches = 0;
+  std::size_t reachable_branches = 0;
+  std::size_t total_branches = 0;
+  double coverage_rate = 0.0;
+
+  std::size_t max_constraint_set = 0;
+  std::size_t depth_bound_used = 0;
+  std::size_t restarts = 0;
+  double total_seconds = 0.0;
+  double total_exec_seconds = 0.0;
+  double total_solve_seconds = 0.0;
+};
+
+class Campaign {
+ public:
+  Campaign(const TargetInfo& target, CampaignOptions options);
+
+  /// Runs the full campaign to its iteration/time budget.
+  [[nodiscard]] CampaignResult run();
+
+ private:
+  TargetInfo target_;  // by value: callers may pass temporaries
+  CampaignOptions options_;
+};
+
+}  // namespace compi

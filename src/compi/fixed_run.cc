@@ -1,0 +1,31 @@
+#include "compi/fixed_run.h"
+
+namespace compi {
+
+minimpi::RunResult run_fixed(const TargetInfo& target,
+                             const std::map<std::string, std::int64_t>& inputs,
+                             const FixedRunOptions& options,
+                             rt::VarRegistry* registry) {
+  rt::VarRegistry local;
+  rt::VarRegistry& reg = registry != nullptr ? *registry : local;
+
+  solver::Assignment assignment;
+  for (const auto& [key, value] : inputs) {
+    assignment[reg.intern(key, rt::VarKind::kRegular)] = value;
+  }
+
+  minimpi::LaunchSpec spec;
+  spec.program = target.program;
+  spec.nprocs = options.nprocs;
+  spec.focus = options.focus;
+  spec.one_way = options.one_way;
+  spec.registry = &reg;
+  spec.inputs = &assignment;
+  spec.rng_seed = options.seed;
+  spec.step_budget = options.step_budget;
+  spec.reduction = options.reduction;
+  spec.timeout = options.timeout;
+  return minimpi::launch(spec, *target.table);
+}
+
+}  // namespace compi

@@ -1,0 +1,38 @@
+// Fixed-input execution: run a target once with chosen input values.
+//
+// Used by the "simulated testing" experiments (paper §VI-C fixes inputs to
+// defaults and disables dynamic input derivation) and by anyone who wants
+// to replay an error-inducing input log.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compi/target.h"
+#include "minimpi/launcher.h"
+
+namespace compi {
+
+struct FixedRunOptions {
+  int nprocs = 1;
+  int focus = 0;
+  /// One-way instrumentation: every rank heavy (§IV-B ablation).
+  bool one_way = false;
+  bool reduction = true;
+  std::uint64_t seed = 1;
+  std::int64_t step_budget = 50'000'000;
+  std::chrono::milliseconds timeout{60'000};
+};
+
+/// Runs `target` once with the given named input values; inputs not named
+/// get the runtime's deterministic per-key defaults.  Pass `registry` to
+/// reuse variable ids across several runs (or to inspect markings after).
+[[nodiscard]] minimpi::RunResult run_fixed(
+    const TargetInfo& target,
+    const std::map<std::string, std::int64_t>& inputs,
+    const FixedRunOptions& options = {},
+    rt::VarRegistry* registry = nullptr);
+
+}  // namespace compi

@@ -1,0 +1,146 @@
+#include "compi/framework.h"
+
+#include <algorithm>
+
+namespace compi {
+
+using rt::VarKind;
+using solver::Predicate;
+using solver::Var;
+
+std::vector<Predicate> Framework::mpi_constraints(
+    const rt::TestLog& latest_log) const {
+  std::vector<Predicate> out;
+  if (!enabled_) return out;
+
+  const std::vector<Var> rw = registry_->of_kind(VarKind::kRankWorld);
+  const std::vector<Var> rc = registry_->of_kind(VarKind::kRankLocal);
+  const std::vector<Var> sw = registry_->of_kind(VarKind::kSizeWorld);
+
+  // (1) all rw variables denote the focus's global rank: x0 == xi.
+  for (std::size_t i = 1; i < rw.size(); ++i) {
+    out.push_back(solver::make_eq(rw[0], rw[i]));
+  }
+  // (2) all sw variables denote the world size: z0 == zi.
+  for (std::size_t i = 1; i < sw.size(); ++i) {
+    out.push_back(solver::make_eq(sw[0], sw[i]));
+  }
+  // (3) x0 < z0: the global rank is below the world size.
+  if (!rw.empty() && !sw.empty()) {
+    out.push_back(solver::make_lt(rw[0], sw[0]));
+  }
+  // (4) yi < s_i with s_i the communicator's concrete runtime size.
+  for (Var v : rc) {
+    const int comm = registry_->meta(v).comm_index;
+    if (comm >= 0 &&
+        static_cast<std::size_t>(comm) < latest_log.comm_sizes.size() &&
+        latest_log.comm_sizes[comm] > 0) {
+      out.push_back(solver::make_lt_const(v, latest_log.comm_sizes[comm]));
+    }
+  }
+  // (5) non-negativity and sw >= 1.
+  for (Var v : rw) out.push_back(solver::make_ge_const(v, 0));
+  for (Var v : rc) out.push_back(solver::make_ge_const(v, 0));
+  for (Var v : sw) out.push_back(solver::make_ge_const(v, 1));
+  // Input capping on the process count (§IV-A): sw <= max_procs.
+  for (Var v : sw) out.push_back(solver::make_le_const(v, max_procs_));
+  return out;
+}
+
+solver::DomainMap Framework::domains() const {
+  solver::DomainMap out;
+  const auto metas = registry_->all();
+  for (std::size_t i = 0; i < metas.size(); ++i) {
+    out[static_cast<Var>(i)] =
+        registry_->effective_domain(static_cast<Var>(i));
+  }
+  return out;
+}
+
+TestPlan Framework::plan_next_test(const solver::SolveResult& solved,
+                                   const rt::TestLog& latest_log,
+                                   const TestPlan& previous) const {
+  TestPlan plan;
+  plan.inputs = solved.values;
+  plan.nprocs = previous.nprocs;
+  plan.focus = previous.focus;
+  if (!enabled_) return plan;
+
+  const std::vector<Var> rw = registry_->of_kind(VarKind::kRankWorld);
+  const std::vector<Var> rc = registry_->of_kind(VarKind::kRankLocal);
+  const std::vector<Var> sw = registry_->of_kind(VarKind::kSizeWorld);
+
+  auto value_of = [&](Var v) -> std::optional<std::int64_t> {
+    auto it = solved.values.find(v);
+    if (it == solved.values.end()) return std::nullopt;
+    return it->second;
+  };
+  auto changed = [&](Var v) {
+    return std::binary_search(solved.changed.begin(), solved.changed.end(), v);
+  };
+
+  // Number of processes: the derived sw value (§III-D).
+  if (!sw.empty()) {
+    if (auto v = value_of(sw[0])) {
+      plan.nprocs = static_cast<int>(
+          std::clamp<std::int64_t>(*v, 1, max_procs_));
+    }
+  }
+
+  // Focus selection via the most-up-to-date-value rule (§III-C): a changed
+  // rw directly names the new focus's global rank; a changed rc must be
+  // translated through the runtime mapping table (Table II).
+  std::optional<int> new_focus;
+  for (Var v : rw) {
+    if (changed(v)) {
+      if (auto val = value_of(v)) new_focus = static_cast<int>(*val);
+      break;
+    }
+  }
+  if (!new_focus) {
+    for (Var v : rc) {
+      if (!changed(v)) continue;
+      const auto val = value_of(v);
+      if (!val) continue;
+      if (!use_mapping_) {
+        // Ablation: the naive reading "local rank == global rank", which
+        // targets the wrong process whenever the communicator's local
+        // order differs from the global one.
+        new_focus = static_cast<int>(*val);
+        break;
+      }
+      const int comm = registry_->meta(v).comm_index;
+      if (comm < 0 ||
+          static_cast<std::size_t>(comm) >= latest_log.rank_mapping.size()) {
+        continue;
+      }
+      const auto& row = latest_log.rank_mapping[comm];
+      if (*val >= 0 && static_cast<std::size_t>(*val) < row.size()) {
+        new_focus = row[*val];
+        break;
+      }
+    }
+  }
+  if (new_focus) plan.focus = *new_focus;
+  plan.focus = std::clamp(plan.focus, 0, plan.nprocs - 1);
+
+  // Consistency rewrite: all rank-denoting inputs must refer to the focus.
+  for (Var v : rw) plan.inputs[v] = plan.focus;
+  if (use_mapping_) {
+    for (Var v : rc) {
+      const int comm = registry_->meta(v).comm_index;
+      if (comm >= 0 &&
+          static_cast<std::size_t>(comm) < latest_log.rank_mapping.size()) {
+        const auto& row = latest_log.rank_mapping[comm];
+        const auto it = std::find(row.begin(), row.end(), plan.focus);
+        if (it != row.end()) {
+          plan.inputs[v] = it - row.begin();
+        }
+      }
+    }
+  }
+  for (Var v : sw) plan.inputs[v] = plan.nprocs;
+  return plan;
+}
+
+}  // namespace compi

@@ -1,0 +1,70 @@
+// The MPI-awareness of COMPI: semantics constraints, conflict resolution,
+// and test setup (paper §III).
+//
+// Before each solve the framework appends the inherent MPI constraints of
+// §III-B (all rw equal, all sw equal, rw < sw, rc_i < s_i, non-negativity,
+// sw >= 1) plus the process-count cap.  After a SAT result it derives the
+// next test's (nprocs, focus) and rewrites rank-denoting inputs to refer to
+// one consistent process, using the solver's "most up-to-date value"
+// property and the local->global rank mapping recorded at runtime (§III-C/D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/test_log.h"
+#include "runtime/var_registry.h"
+#include "solver/solver.h"
+
+namespace compi {
+
+/// The launch-time parameters plus input values for the next test.
+struct TestPlan {
+  solver::Assignment inputs;
+  int nprocs = 1;
+  int focus = 0;
+};
+
+class Framework {
+ public:
+  /// `max_procs` is the input cap on the world size (paper §VI uses 16).
+  /// `enabled=false` is the No_Fwk ablation: no MPI constraints are added
+  /// and (nprocs, focus) never change.  `use_mapping=false` is the
+  /// conflict-resolution ablation: a changed rc value is treated as a
+  /// global rank directly instead of being translated through the
+  /// Table II mapping — the naive interpretation §III-C corrects.
+  Framework(const rt::VarRegistry& registry, int max_procs,
+            bool enabled = true, bool use_mapping = true)
+      : registry_(&registry),
+        max_procs_(max_procs),
+        enabled_(enabled),
+        use_mapping_(use_mapping) {}
+
+  /// The inherent MPI-semantics constraints (§III-B), generated from the
+  /// focus's perspective.  `latest_log` supplies the concrete sizes s_i of
+  /// non-default communicators observed at runtime.
+  [[nodiscard]] std::vector<solver::Predicate> mpi_constraints(
+      const rt::TestLog& latest_log) const;
+
+  /// Solver domains for every registered variable (declared domain
+  /// intersected with input caps, §IV-A).
+  [[nodiscard]] solver::DomainMap domains() const;
+
+  /// Turns a SAT solve result into the next test's plan: derives nprocs
+  /// from sw, resolves the focus from the most up-to-date rank value
+  /// (translating rc values through the Table II mapping), and rewrites all
+  /// rank-denoting inputs consistently (§III-C/D).
+  [[nodiscard]] TestPlan plan_next_test(const solver::SolveResult& solved,
+                                        const rt::TestLog& latest_log,
+                                        const TestPlan& previous) const;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  const rt::VarRegistry* registry_;
+  int max_procs_;
+  bool enabled_;
+  bool use_mapping_;
+};
+
+}  // namespace compi

@@ -1,0 +1,17 @@
+#include "compi/options.h"
+
+namespace compi {
+
+const char* to_string(SearchKind k) {
+  switch (k) {
+    case SearchKind::kBoundedDfs: return "BoundedDFS";
+    case SearchKind::kDfs: return "DFS";
+    case SearchKind::kRandomBranch: return "RandomBranch";
+    case SearchKind::kUniformRandom: return "UniformRandom";
+    case SearchKind::kCfg: return "CFG";
+    case SearchKind::kGenerational: return "Generational";
+  }
+  return "?";
+}
+
+}  // namespace compi

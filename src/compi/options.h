@@ -1,0 +1,71 @@
+// Campaign configuration: everything §VI's experiment setup varies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace compi {
+
+/// Which search strategy drives constraint negation (paper §II-B).
+enum class SearchKind : std::uint8_t {
+  kBoundedDfs,     // COMPI's default (two-phase: DFS then BoundedDFS)
+  kDfs,            // unbounded depth-first
+  kRandomBranch,   // negate a random branch of the last path
+  kUniformRandom,  // uniform random path sampling
+  kCfg,            // CFG-distance scoring
+  kGenerational,   // SAGE-style generational search (extension, not in
+                   // the paper: expand every flip of each run, prioritize
+                   // runs that found new coverage)
+};
+
+[[nodiscard]] const char* to_string(SearchKind k);
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+
+  /// Iteration budget (number of target executions).
+  int iterations = 500;
+  /// Wall-clock budget in seconds; 0 = iterations only.  Used by the
+  /// fixed-time-budget comparisons of §VI-D/E.
+  double time_budget_seconds = 0.0;
+
+  // ---- test setup (paper "Experiment setup") ----
+  int initial_nprocs = 8;
+  int initial_focus = 0;
+  /// Cap on the number of processes (input capping applied to sw, §IV-A).
+  int max_procs = 16;
+
+  // ---- search (§II-B) ----
+  SearchKind search = SearchKind::kBoundedDfs;
+  /// Pure-DFS phase length before switching to BoundedDFS (the "x" of the
+  /// two-phase scheme; 50 for SUSY-HMC, 1000 for HPL/IMB in the paper).
+  int dfs_phase_iterations = 50;
+  /// Explicit depth bound; 0 derives it from the observed maximum
+  /// constraint-set size with `bound_slack` headroom.
+  int depth_bound = 0;
+  double bound_slack = 1.2;
+
+  // ---- cost-control features ----
+  bool reduction = true;       // constraint-set reduction (§IV-C)
+  bool one_way = false;        // one-way instrumentation ablation (§IV-B)
+  bool framework = true;       // false = No_Fwk ablation (§VI-E)
+  /// Translate changed rc values through the runtime local->global mapping
+  /// (§III-C).  false = ablation: local ranks read as global ranks.
+  bool conflict_resolution = true;
+
+  // ---- runtime limits ----
+  std::int64_t step_budget = 2'000'000;
+  std::chrono::milliseconds test_timeout{30'000};
+  std::int64_t solver_node_budget = 200'000;
+
+  /// Consecutive solver failures / strategy exhaustion before restarting
+  /// with fresh random inputs (paper §VI: "we just redo the testing").
+  int restart_after_failures = 25;
+
+  /// When non-empty, the campaign writes a file-based session under this
+  /// directory: per-iteration rank logs (the files the instrumented
+  /// processes write in the paper's tool), iterations.csv, and bugs.txt.
+  std::string log_dir;
+};
+
+}  // namespace compi

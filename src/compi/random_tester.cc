@@ -1,0 +1,104 @@
+#include "compi/random_tester.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+
+#include "minimpi/launcher.h"
+
+namespace compi {
+
+RandomTester::RandomTester(const TargetInfo& target, CampaignOptions options)
+    : target_(target), options_(std::move(options)) {}
+
+CampaignResult RandomTester::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  CampaignResult result;
+  rt::VarRegistry registry;
+  CoverageTracker coverage(*target_.table);
+  std::mt19937_64 rng(options_.seed);
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    if (options_.time_budget_seconds > 0 &&
+        elapsed() >= options_.time_budget_seconds) {
+      break;
+    }
+
+    // Random values for every known marked variable, drawn within the
+    // input-capping limits (paper §VI-E: "under the limits set by the
+    // input capping").  The first iteration has an empty registry; the
+    // runtime then draws per-key deterministic random values itself.
+    solver::Assignment inputs;
+    const auto metas = registry.all();
+    for (std::size_t i = 0; i < metas.size(); ++i) {
+      if (metas[i].kind != rt::VarKind::kRegular) continue;
+      const auto v = static_cast<solver::Var>(i);
+      const solver::Interval dom = registry.effective_domain(v);
+      const std::int64_t lo = std::max<std::int64_t>(dom.lo, -10'000);
+      const std::int64_t hi = std::min<std::int64_t>(dom.hi, 10'000);
+      if (lo > hi) continue;
+      std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+      inputs[v] = dist(rng);
+    }
+
+    std::uniform_int_distribution<int> nprocs_dist(1, options_.max_procs);
+    const int nprocs = nprocs_dist(rng);
+
+    minimpi::LaunchSpec spec;
+    spec.program = target_.program;
+    spec.nprocs = nprocs;
+    spec.focus = -1;  // all-light: random testing does no symbolic work
+    spec.registry = &registry;
+    spec.inputs = &inputs;
+    spec.rng_seed = rng();
+    spec.step_budget = options_.step_budget;
+    spec.timeout = options_.test_timeout;
+
+    const minimpi::RunResult run = minimpi::launch(spec, *target_.table);
+    coverage.merge(run.merged_coverage());
+
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.nprocs = nprocs;
+    rec.focus = -1;
+    rec.outcome = run.job_outcome();
+    rec.covered_branches = coverage.covered_branches();
+    rec.exec_seconds = run.wall_seconds;
+    rec.restart = true;
+    result.iterations.push_back(rec);
+
+    if (rt::is_fault(rec.outcome)) {
+      const std::string msg = run.job_message();
+      auto known = std::find_if(
+          result.bugs.begin(), result.bugs.end(),
+          [&](const BugRecord& b) { return b.message == msg; });
+      if (known == result.bugs.end()) {
+        BugRecord bug;
+        bug.first_iteration = iter;
+        bug.occurrences = 1;
+        bug.outcome = rec.outcome;
+        bug.message = msg;
+        bug.inputs = inputs;
+        bug.nprocs = nprocs;
+        result.bugs.push_back(std::move(bug));
+      } else {
+        ++known->occurrences;
+      }
+    }
+  }
+
+  result.covered_branches = coverage.covered_branches();
+  result.reachable_branches = coverage.reachable_branches();
+  result.total_branches = coverage.total_branches();
+  result.coverage_rate = coverage.rate();
+  result.function_coverage = coverage.per_function();
+  result.total_seconds = elapsed();
+  return result;
+}
+
+}  // namespace compi

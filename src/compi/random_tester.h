@@ -1,0 +1,28 @@
+// The random-testing baseline of §VI-E.
+//
+// Generates uniformly random values for every marked variable (within the
+// input-capping limits, for fairness) and randomly varies the number of
+// processes and the focus each iteration.  No symbolic execution: every
+// rank runs the light instrumentation and only coverage is recorded.
+#pragma once
+
+#include "compi/driver.h"
+#include "compi/options.h"
+#include "compi/target.h"
+
+namespace compi {
+
+class RandomTester {
+ public:
+  RandomTester(const TargetInfo& target, CampaignOptions options);
+
+  /// Runs to the iteration/time budget; returns the same result shape as a
+  /// Campaign (iterations carry coverage curves; bugs are recorded too).
+  [[nodiscard]] CampaignResult run();
+
+ private:
+  TargetInfo target_;  // by value: callers may pass temporaries
+  CampaignOptions options_;
+};
+
+}  // namespace compi

@@ -1,0 +1,59 @@
+#include "compi/report.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace compi {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << (c < row.size() ? row[c] : "") << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << '|' << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string TablePrinter::pct(double ratio, int digits) {
+  return num(ratio * 100.0, digits) + '%';
+}
+
+std::string TablePrinter::bytes(std::size_t n) {
+  const double d = static_cast<double>(n);
+  if (n >= 1024ull * 1024 * 1024) return num(d / (1024.0 * 1024 * 1024)) + "G";
+  if (n >= 1024ull * 1024) return num(d / (1024.0 * 1024)) + "M";
+  if (n >= 1024) return num(d / 1024.0) + "K";
+  return num(d, 0) + "B";
+}
+
+}  // namespace compi

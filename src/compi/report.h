@@ -1,0 +1,30 @@
+// Small fixed-width table / CSV helpers shared by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compi {
+
+/// Minimal fixed-width table printer for paper-style rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimals.
+  [[nodiscard]] static std::string num(double v, int digits = 1);
+  /// Formats a ratio as a percentage string, e.g. 0.847 -> "84.7%".
+  [[nodiscard]] static std::string pct(double ratio, int digits = 1);
+  /// Human-readable byte count, e.g. 104857600 -> "100.0M".
+  [[nodiscard]] static std::string bytes(std::size_t n);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace compi

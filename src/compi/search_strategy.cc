@@ -1,0 +1,313 @@
+#include "compi/search_strategy.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace compi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// (Bounded) depth-first search — CREST's BoundedDFS, COMPI's default.
+//
+// An explicit stack of frames replaces CREST's re-execution recursion: a
+// frame is the path of one execution plus the range [lo, idx] of depths
+// whose negation is still pending.  Children (deeper flips) are pushed on
+// top, so exploration is depth-first; a child's `lo` starts just past the
+// flip depth so the parent's prefix is not re-explored.
+// ---------------------------------------------------------------------------
+class BoundedDfsStrategy final : public SearchStrategy {
+ public:
+  explicit BoundedDfsStrategy(std::size_t bound) : bound_(bound) {}
+
+  void observe(const sym::Path& path,
+               std::optional<std::size_t> flipped_depth) override {
+    if (!flipped_depth) {
+      // Initial or restart execution: root the search tree here.
+      stack_.clear();
+      push_frame(path, 0);
+      return;
+    }
+    // The frame that issued the candidate is still on top.
+    if (!stack_.empty() &&
+        !stack_.back().path.diverges_as_predicted(path, *flipped_depth)) {
+      // Prediction failure (CREST logs and skips the subtree).
+      ++stats_.prediction_failures;
+      return;
+    }
+    push_frame(path, *flipped_depth + 1);
+  }
+
+  std::optional<Candidate> next() override {
+    while (!stack_.empty()) {
+      Frame& f = stack_.back();
+      if (f.idx < static_cast<std::ptrdiff_t>(f.lo)) {
+        stack_.pop_back();
+        continue;
+      }
+      const std::size_t depth = static_cast<std::size_t>(f.idx--);
+      ++stats_.candidates_issued;
+      return Candidate{f.path.constraints_negating(depth), depth};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return bound_ == static_cast<std::size_t>(-1) ? "DFS" : "BoundedDFS";
+  }
+
+ private:
+  struct Frame {
+    sym::Path path;
+    std::size_t lo = 0;
+    std::ptrdiff_t idx = -1;
+  };
+
+  void push_frame(const sym::Path& path, std::size_t lo) {
+    const std::size_t limit = std::min(path.size(), bound_);
+    if (limit == 0 || lo >= limit) return;
+    stack_.push_back(
+        {path, lo, static_cast<std::ptrdiff_t>(limit) - 1});
+  }
+
+  std::size_t bound_;
+  std::vector<Frame> stack_;
+};
+
+// ---------------------------------------------------------------------------
+// Random branch search: negate one uniformly random branch of the last
+// path.  Gives up (=> driver restart) after too many UNSAT picks.
+// ---------------------------------------------------------------------------
+class RandomBranchStrategy final : public SearchStrategy {
+ public:
+  explicit RandomBranchStrategy(std::uint64_t seed) : rng_(seed) {}
+
+  void observe(const sym::Path& path, std::optional<std::size_t>) override {
+    path_ = path;
+    attempts_ = 0;
+  }
+
+  std::optional<Candidate> next() override {
+    if (path_.empty() || attempts_ > path_.size() * 2) return std::nullopt;
+    ++attempts_;
+    std::uniform_int_distribution<std::size_t> dist(0, path_.size() - 1);
+    const std::size_t depth = dist(rng_);
+    ++stats_.candidates_issued;
+    return Candidate{path_.constraints_negating(depth), depth};
+  }
+
+  void accepted(const Candidate&) override { attempts_ = 0; }
+
+  [[nodiscard]] const char* name() const override { return "RandomBranch"; }
+
+ private:
+  std::mt19937_64 rng_;
+  sym::Path path_;
+  std::size_t attempts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Uniform random search: walk the path from the start, flipping a fair coin
+// at every constraint; the first head is negated (CREST's uniform random
+// path sampling).
+// ---------------------------------------------------------------------------
+class UniformRandomStrategy final : public SearchStrategy {
+ public:
+  explicit UniformRandomStrategy(std::uint64_t seed) : rng_(seed) {}
+
+  void observe(const sym::Path& path, std::optional<std::size_t>) override {
+    path_ = path;
+    attempts_ = 0;
+  }
+
+  std::optional<Candidate> next() override {
+    if (path_.empty() || attempts_ > path_.size() * 2) return std::nullopt;
+    ++attempts_;
+    std::bernoulli_distribution coin(0.5);
+    std::size_t depth = path_.size() - 1;
+    for (std::size_t i = 0; i < path_.size(); ++i) {
+      if (coin(rng_)) {
+        depth = i;
+        break;
+      }
+    }
+    ++stats_.candidates_issued;
+    return Candidate{path_.constraints_negating(depth), depth};
+  }
+
+  void accepted(const Candidate&) override { attempts_ = 0; }
+
+  [[nodiscard]] const char* name() const override { return "UniformRandom"; }
+
+ private:
+  std::mt19937_64 rng_;
+  sym::Path path_;
+  std::size_t attempts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CFG-directed search: score every candidate flip by the static CFG
+// distance from its site to the nearest site with an uncovered branch, and
+// negate the best-scoring one (ties broken randomly).
+// ---------------------------------------------------------------------------
+class CfgStrategy final : public SearchStrategy {
+ public:
+  CfgStrategy(std::uint64_t seed, const rt::BranchTable& table,
+              const CoverageTracker& coverage)
+      : rng_(seed), table_(&table), coverage_(&coverage) {}
+
+  void observe(const sym::Path& path, std::optional<std::size_t>) override {
+    path_ = path;
+    tried_.assign(path_.size(), 0);
+    attempts_ = 0;
+  }
+
+  std::optional<Candidate> next() override {
+    if (path_.empty() || attempts_ > path_.size()) return std::nullopt;
+    ++attempts_;
+
+    std::size_t best_depth = path_.size();
+    std::size_t best_score = std::numeric_limits<std::size_t>::max();
+    std::size_t ties = 0;
+    for (std::size_t i = 0; i < path_.size(); ++i) {
+      if (tried_[i]) continue;
+      const sym::PathEntry& e = path_[i];
+      // Flipping entry i lands on branch (site, !taken).
+      std::size_t score;
+      if (!coverage_->branch_covered(sym::branch_id(e.site, !e.taken))) {
+        score = 0;
+      } else {
+        score = 1 + distance_to_uncovered(e.site);
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_depth = i;
+        ties = 1;
+      } else if (score == best_score) {
+        // Reservoir-sample among ties for random tie-breaking.
+        std::uniform_int_distribution<std::size_t> dist(0, ties);
+        if (dist(rng_) == 0) best_depth = i;
+        ++ties;
+      }
+    }
+    if (best_depth >= path_.size()) return std::nullopt;
+    tried_[best_depth] = 1;
+    ++stats_.candidates_issued;
+    return Candidate{path_.constraints_negating(best_depth), best_depth};
+  }
+
+  void accepted(const Candidate&) override { attempts_ = 0; }
+
+  [[nodiscard]] const char* name() const override { return "CFG"; }
+
+ private:
+  /// BFS over the site graph from `from` to the nearest site with an
+  /// uncovered branch; a large penalty when none is reachable.
+  std::size_t distance_to_uncovered(sym::SiteId from) const {
+    std::vector<std::uint8_t> seen(table_->num_sites(), 0);
+    std::queue<std::pair<sym::SiteId, std::size_t>> work;
+    work.push({from, 0});
+    seen[from] = 1;
+    while (!work.empty()) {
+      const auto [site, dist] = work.front();
+      work.pop();
+      if (!coverage_->branch_covered(sym::branch_id(site, false)) ||
+          !coverage_->branch_covered(sym::branch_id(site, true))) {
+        return dist;
+      }
+      for (sym::SiteId succ : table_->successors(site)) {
+        if (!seen[succ]) {
+          seen[succ] = 1;
+          work.push({succ, dist + 1});
+        }
+      }
+    }
+    return table_->num_sites();  // nothing uncovered reachable
+  }
+
+  std::mt19937_64 rng_;
+  const rt::BranchTable* table_;
+  const CoverageTracker* coverage_;
+  sym::Path path_;
+  std::vector<std::uint8_t> tried_;
+  std::size_t attempts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Generational search (extension; Godefroid's SAGE): every execution is a
+// "generation" — ALL of its constraint flips beyond the inherited bound
+// are queued as candidates, and generations whose runs uncovered new
+// branches are expanded first.  Trades DFS's systematic order for breadth;
+// included as the natural next step the paper's search framework invites.
+// ---------------------------------------------------------------------------
+class GenerationalStrategy final : public SearchStrategy {
+ public:
+  explicit GenerationalStrategy(const CoverageTracker* coverage)
+      : coverage_(coverage) {}
+
+  void observe(const sym::Path& path,
+               std::optional<std::size_t> flipped_depth) override {
+    // Score by coverage novelty: how much the campaign total grew since
+    // the last observation (this run's contribution).
+    const std::size_t covered_now =
+        coverage_ != nullptr ? coverage_->covered_branches() : 0;
+    const std::size_t gain = covered_now - last_covered_;
+    last_covered_ = covered_now;
+
+    const std::size_t lo = flipped_depth ? *flipped_depth + 1 : 0;
+    for (std::size_t d = lo; d < path.size(); ++d) {
+      queue_.push(Entry{gain, next_tiebreak_++, path.constraints_negating(d), d});
+    }
+  }
+
+  std::optional<Candidate> next() override {
+    if (queue_.empty()) return std::nullopt;
+    Entry top = queue_.top();
+    queue_.pop();
+    ++stats_.candidates_issued;
+    return Candidate{std::move(top.constraints), top.depth};
+  }
+
+  [[nodiscard]] const char* name() const override { return "Generational"; }
+
+ private:
+  struct Entry {
+    std::size_t score = 0;      // coverage gain of the producing run
+    std::uint64_t tiebreak = 0; // FIFO within a score class
+    std::vector<solver::Predicate> constraints;
+    std::size_t depth = 0;
+    bool operator<(const Entry& o) const {
+      if (score != o.score) return score < o.score;  // max-heap on score
+      return tiebreak > o.tiebreak;                  // FIFO otherwise
+    }
+  };
+  const CoverageTracker* coverage_;
+  std::priority_queue<Entry> queue_;
+  std::size_t last_covered_ = 0;
+  std::uint64_t next_tiebreak_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_strategy(const StrategyConfig& config) {
+  switch (config.kind) {
+    case SearchKind::kDfs:
+      return std::make_unique<BoundedDfsStrategy>(
+          static_cast<std::size_t>(-1));
+    case SearchKind::kBoundedDfs:
+      return std::make_unique<BoundedDfsStrategy>(config.bound);
+    case SearchKind::kRandomBranch:
+      return std::make_unique<RandomBranchStrategy>(config.seed);
+    case SearchKind::kUniformRandom:
+      return std::make_unique<UniformRandomStrategy>(config.seed);
+    case SearchKind::kCfg:
+      return std::make_unique<CfgStrategy>(config.seed, *config.table,
+                                           *config.coverage);
+    case SearchKind::kGenerational:
+      return std::make_unique<GenerationalStrategy>(config.coverage);
+  }
+  return nullptr;
+}
+
+}  // namespace compi

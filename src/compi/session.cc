@@ -1,0 +1,134 @@
+#include "compi/session.h"
+
+#include <charconv>
+#include <functional>
+#include <fstream>
+#include <sstream>
+
+namespace compi {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::int64_t to_int(const std::string& s) {
+  std::int64_t v = 0;
+  (void)std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+/// Extracts `key=value` tokens from a whitespace-separated tail.
+void parse_kv(const std::string& text,
+              const std::function<void(const std::string&,
+                                       const std::string&)>& sink) {
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    sink(token.substr(0, eq), token.substr(eq + 1));
+  }
+}
+
+}  // namespace
+
+std::vector<LoggedBug> read_bugs(const fs::path& bugs_file) {
+  std::vector<LoggedBug> out;
+  std::ifstream in(bugs_file);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '[') {
+      // "[kind] message"
+      LoggedBug bug;
+      const auto close = line.find(']');
+      if (close == std::string::npos) continue;
+      bug.outcome = line.substr(1, close - 1);
+      bug.message = line.substr(std::min(close + 2, line.size()));
+      out.push_back(std::move(bug));
+    } else if (!out.empty() && line.find("first_iteration=") !=
+                                   std::string::npos) {
+      parse_kv(line, [&](const std::string& k, const std::string& v) {
+        if (k == "first_iteration") out.back().first_iteration =
+            static_cast<int>(to_int(v));
+        else if (k == "occurrences") out.back().occurrences =
+            static_cast<int>(to_int(v));
+        else if (k == "nprocs") out.back().nprocs =
+            static_cast<int>(to_int(v));
+        else if (k == "focus") out.back().focus = static_cast<int>(to_int(v));
+      });
+    } else if (!out.empty() && line.find("inputs:") != std::string::npos) {
+      parse_kv(line.substr(line.find("inputs:") + 7),
+               [&](const std::string& k, const std::string& v) {
+                 out.back().inputs[k] = to_int(v);
+               });
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> read_summary(const fs::path& summary_file) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(summary_file);
+  std::string key, value;
+  while (in >> key >> value) out[key] = value;
+  return out;
+}
+
+SessionWriter::SessionWriter(fs::path dir, int keep_rank_logs)
+    : dir_(std::move(dir)), keep_rank_logs_(keep_rank_logs) {
+  fs::create_directories(dir_);
+}
+
+void SessionWriter::write_iteration(int iteration,
+                                    const minimpi::RunResult& run) {
+  if (keep_rank_logs_ >= 0 && iteration >= keep_rank_logs_) return;
+  const fs::path iter_dir =
+      dir_ / ("iter_" + std::to_string(iteration));
+  fs::create_directories(iter_dir);
+  for (std::size_t rank = 0; rank < run.ranks.size(); ++rank) {
+    std::ofstream out(iter_dir / ("rank_" + std::to_string(rank) + ".log"));
+    out << run.ranks[rank].log.serialize();
+  }
+}
+
+void SessionWriter::write_summary(const CampaignResult& result) {
+  {
+    std::ofstream csv(dir_ / "iterations.csv");
+    csv << "iteration,nprocs,focus,outcome,constraint_set_size,"
+           "covered_branches,exec_seconds,solve_seconds,restart\n";
+    for (const IterationRecord& r : result.iterations) {
+      csv << r.iteration << ',' << r.nprocs << ',' << r.focus << ','
+          << rt::to_string(r.outcome) << ',' << r.constraint_set_size << ','
+          << r.covered_branches << ',' << r.exec_seconds << ','
+          << r.solve_seconds << ',' << (r.restart ? 1 : 0) << '\n';
+    }
+  }
+  {
+    std::ofstream bugs(dir_ / "bugs.txt");
+    for (const BugRecord& bug : result.bugs) {
+      bugs << '[' << rt::to_string(bug.outcome) << "] " << bug.message
+           << "\n  first_iteration=" << bug.first_iteration
+           << " occurrences=" << bug.occurrences << " nprocs=" << bug.nprocs
+           << " focus=" << bug.focus << "\n  inputs:";
+      for (const auto& [name, value] : bug.named_inputs) {
+        bugs << ' ' << name << '=' << value;
+      }
+      bugs << "\n";
+    }
+  }
+  {
+    std::ofstream summary(dir_ / "summary.txt");
+    summary << "iterations " << result.iterations.size() << '\n'
+            << "covered_branches " << result.covered_branches << '\n'
+            << "reachable_branches " << result.reachable_branches << '\n'
+            << "coverage_rate " << result.coverage_rate << '\n'
+            << "max_constraint_set " << result.max_constraint_set << '\n'
+            << "depth_bound_used " << result.depth_bound_used << '\n'
+            << "restarts " << result.restarts << '\n'
+            << "bugs " << result.bugs.size() << '\n'
+            << "total_seconds " << result.total_seconds << '\n';
+  }
+}
+
+}  // namespace compi

@@ -1,0 +1,62 @@
+// File-based testing sessions.
+//
+// The paper's tool communicates with the target through files: every
+// process writes its log after each execution, COMPI reads them to drive
+// the next test, and error-inducing inputs are logged for later analysis
+// (§II-A, §V).  SessionWriter reproduces that on-disk layout:
+//
+//   <dir>/iter_<n>/rank_<r>.log   per-rank execution logs
+//   <dir>/iterations.csv          one row per iteration (coverage curves,
+//                                 constraint-set sizes, timings)
+//   <dir>/bugs.txt                each bug with its error-inducing inputs
+//   <dir>/summary.txt             end-of-campaign totals
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "compi/driver.h"
+#include "minimpi/launcher.h"
+
+namespace compi {
+
+/// A bug read back from a session's bugs.txt — replayable via run_fixed.
+struct LoggedBug {
+  std::string outcome;
+  std::string message;
+  int first_iteration = 0;
+  int occurrences = 0;
+  int nprocs = 0;
+  int focus = 0;
+  std::map<std::string, std::int64_t> inputs;
+};
+
+/// Parses a session's bugs.txt (written by SessionWriter::write_summary).
+[[nodiscard]] std::vector<LoggedBug> read_bugs(
+    const std::filesystem::path& bugs_file);
+
+/// Parses a session's summary.txt into key -> value.
+[[nodiscard]] std::map<std::string, std::string> read_summary(
+    const std::filesystem::path& summary_file);
+
+class SessionWriter {
+ public:
+  /// Creates (or reuses) the session directory.  `keep_rank_logs` limits
+  /// per-iteration log retention: 0 keeps none, -1 keeps all; otherwise
+  /// only the first N iterations' logs are kept (they get large).
+  explicit SessionWriter(std::filesystem::path dir, int keep_rank_logs = -1);
+
+  /// Writes every rank's log for one iteration.
+  void write_iteration(int iteration, const minimpi::RunResult& run);
+
+  /// Writes iterations.csv, bugs.txt and summary.txt.
+  void write_summary(const CampaignResult& result);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  int keep_rank_logs_;
+};
+
+}  // namespace compi

@@ -1,0 +1,26 @@
+// A testable target program: what the instrumentation phase hands COMPI.
+#pragma once
+
+#include <string>
+
+#include "minimpi/launcher.h"
+#include "runtime/branch_table.h"
+
+namespace compi {
+
+/// One instrumented SPMD program: its static branch table (the analog of
+/// the instrumenter's `branches` file) and its entry point, plus complexity
+/// metadata for Table III.
+struct TargetInfo {
+  std::string name;
+  const rt::BranchTable* table = nullptr;
+  minimpi::Program program;
+  /// SLOC of this reproduction's target module (Table III context; the
+  /// paper column lists the original programs' SLOCCount values).
+  int sloc = 0;
+  int paper_sloc = 0;
+  /// Default input cap N_C used by the experiments (paper §VI).
+  int default_cap = 0;
+};
+
+}  // namespace compi

@@ -1,0 +1,48 @@
+#include "minimpi/collective_slot.h"
+
+namespace compi::minimpi {
+
+void CollectiveSlot::wait(World& world, std::unique_lock<std::mutex>& lock,
+                          const std::function<bool()>& pred) {
+  while (!pred()) {
+    world.check_alive();
+    // Bounded quantum: a job abort() only notifies mailbox waiters, so slot
+    // waiters poll the abort flag at a short interval instead of sleeping
+    // all the way to the job deadline.
+    const auto quantum =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+    cv_.wait_until(lock, std::min(quantum, world.deadline()));
+    world.check_alive();
+  }
+}
+
+std::any CollectiveSlot::run(World& world, int local_rank,
+                             std::any contribution, const Combine& combine) {
+  std::unique_lock lock(mu_);
+  // Wait for the previous round to fully drain before joining a new one.
+  wait(world, lock, [&] { return !draining_; });
+
+  contributions_[local_rank] = std::move(contribution);
+  if (++arrived_ == size_) {
+    result_ = combine(contributions_);
+    for (std::any& c : contributions_) c.reset();
+    arrived_ = 0;
+    departed_ = 0;
+    draining_ = true;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    const std::uint64_t my_gen = generation_;
+    wait(world, lock, [&] { return generation_ != my_gen; });
+  }
+
+  std::any out = result_;
+  if (++departed_ == size_) {
+    result_.reset();
+    draining_ = false;
+    cv_.notify_all();
+  }
+  return out;
+}
+
+}  // namespace compi::minimpi

@@ -1,0 +1,49 @@
+// A reusable rendezvous for collective operations on one communicator.
+//
+// Every collective in MiniMPI follows the same shape: all members deposit a
+// contribution, the last arriver combines them, everyone retrieves the
+// result.  Because MPI requires all members to call collectives in the same
+// order, a single count-based slot per communicator is sufficient; it is
+// reusable (phase/drain bookkeeping) and abort-aware.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/world.h"
+
+namespace compi::minimpi {
+
+class CollectiveSlot {
+ public:
+  explicit CollectiveSlot(int size) : size_(size), contributions_(size) {}
+
+  using Combine = std::function<std::any(std::vector<std::any>&)>;
+
+  /// Deposits `contribution` for `local_rank`; the last arriving member
+  /// runs `combine` over all contributions (indexed by local rank); every
+  /// member receives a copy of the combined std::any.  Raises JobAborted on
+  /// job abort / deadline.
+  std::any run(World& world, int local_rank, std::any contribution,
+               const Combine& combine);
+
+ private:
+  void wait(World& world, std::unique_lock<std::mutex>& lock,
+            const std::function<bool()>& pred);
+
+  int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::any> contributions_;
+  std::any result_;
+  int arrived_ = 0;
+  int departed_ = 0;
+  bool draining_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace compi::minimpi

@@ -1,0 +1,105 @@
+#include "minimpi/comm.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+namespace compi::minimpi {
+
+sym::SymInt Comm::comm_rank(rt::RuntimeContext& ctx) const {
+  if (shared_->is_world) return ctx.mark_world_rank(local_rank_);
+  return ctx.mark_local_rank(ctx_comm_index_, local_rank_, raw_size());
+}
+
+sym::SymInt Comm::comm_size(rt::RuntimeContext& ctx) const {
+  if (shared_->is_world) return ctx.mark_world_size(raw_size());
+  return sym::SymInt(raw_size());
+}
+
+void Comm::barrier() const {
+  run_collective({}, [](std::vector<std::any>&) { return std::any{}; });
+}
+
+std::vector<std::byte> Comm::run_collective(
+    std::vector<std::byte> contribution,
+    const CollectiveSlot::Combine& combine) const {
+  std::any result = shared_->slot->run(*shared_->world, local_rank_,
+                                       std::move(contribution), combine);
+  if (auto* bytes = std::any_cast<std::vector<std::byte>>(&result)) {
+    return std::move(*bytes);
+  }
+  return {};
+}
+
+namespace {
+struct SplitContribution {
+  int color = 0;
+  int key = 0;
+};
+/// One new communicator per color group; shared pointers indexed by the
+/// contributing local rank (null for MPI_UNDEFINED colors).
+using SplitResult = std::vector<std::shared_ptr<CommShared>>;
+}  // namespace
+
+Comm Comm::split(rt::RuntimeContext& ctx, int color, int key) const {
+  World& world = *shared_->world;
+  std::any result = shared_->slot->run(
+      world, local_rank_, SplitContribution{color, key},
+      [this, &world](std::vector<std::any>& contribs) {
+        // Group members by color, ordered within a group by (key, rank) —
+        // the MPI_Comm_split ordering rule.
+        std::map<int, std::vector<std::pair<int, int>>> groups;  // color -> (key, local)
+        for (std::size_t local = 0; local < contribs.size(); ++local) {
+          const auto& c = std::any_cast<SplitContribution&>(contribs[local]);
+          if (c.color < 0) continue;  // MPI_UNDEFINED
+          groups[c.color].emplace_back(c.key, static_cast<int>(local));
+        }
+        SplitResult out(contribs.size());
+        for (auto& [col, entries] : groups) {
+          std::sort(entries.begin(), entries.end());
+          auto sh = std::make_shared<CommShared>();
+          sh->world = &world;
+          sh->uid = world.next_comm_uid();
+          sh->is_world = false;
+          sh->members.reserve(entries.size());
+          for (const auto& [k, local] : entries) {
+            sh->members.push_back(shared_->members[local]);
+          }
+          sh->slot = std::make_unique<CollectiveSlot>(
+              static_cast<int>(entries.size()));
+          for (const auto& [k, local] : entries) out[local] = sh;
+        }
+        return std::any(std::move(out));
+      });
+
+  auto& shares = std::any_cast<SplitResult&>(result);
+  std::shared_ptr<CommShared> mine = shares[local_rank_];
+  if (!mine) return Comm{};  // this rank passed MPI_UNDEFINED
+
+  const auto it =
+      std::find(mine->members.begin(), mine->members.end(),
+                shared_->members[local_rank_]);
+  const int new_local = static_cast<int>(it - mine->members.begin());
+  // Register the local->global mapping row (paper Table II) under this
+  // run's communicator-creation order.
+  const int comm_index = ctx.register_comm(mine->members);
+  return Comm{std::move(mine), new_local, comm_index};
+}
+
+std::shared_ptr<CommShared> make_world_shared(World& world) {
+  auto sh = std::make_shared<CommShared>();
+  sh->world = &world;
+  sh->uid = 0;
+  sh->is_world = true;
+  sh->members.resize(world.size());
+  for (int i = 0; i < world.size(); ++i) sh->members[i] = i;
+  sh->slot = std::make_unique<CollectiveSlot>(world.size());
+  return sh;
+}
+
+Comm make_world_comm(std::shared_ptr<CommShared> shared, int rank) {
+  return Comm{std::move(shared), rank, -1};
+}
+
+}  // namespace compi::minimpi

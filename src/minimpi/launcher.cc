@@ -1,0 +1,93 @@
+#include "minimpi/launcher.h"
+
+#include <thread>
+
+namespace compi::minimpi {
+
+rt::Outcome RunResult::job_outcome() const {
+  for (const RankResult& r : ranks) {
+    if (rt::is_fault(r.outcome)) return r.outcome;
+  }
+  return rt::Outcome::kOk;
+}
+
+std::string RunResult::job_message() const {
+  for (const RankResult& r : ranks) {
+    if (rt::is_fault(r.outcome)) return r.message;
+  }
+  return {};
+}
+
+const rt::TestLog& RunResult::focus_log() const { return ranks[focus].log; }
+
+rt::CoverageBitmap RunResult::merged_coverage() const {
+  rt::CoverageBitmap merged;
+  for (const RankResult& r : ranks) merged.merge(r.log.covered);
+  return merged;
+}
+
+RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
+  const auto t0 = std::chrono::steady_clock::now();
+  World world(spec.nprocs, spec.timeout);
+  auto world_shared = make_world_shared(world);
+
+  RunResult result;
+  result.focus = spec.focus;
+  result.ranks.resize(spec.nprocs);
+
+  const solver::Assignment empty_inputs;
+  auto rank_body = [&](int rank) {
+    const bool heavy = spec.one_way || rank == spec.focus;
+    rt::ContextParams params;
+    params.mode = heavy ? rt::Mode::kHeavy : rt::Mode::kLight;
+    params.table = &table;
+    params.registry = spec.registry;
+    params.inputs = spec.inputs != nullptr ? spec.inputs : &empty_inputs;
+    params.rng_seed = spec.rng_seed;
+    params.step_budget = spec.step_budget;
+    params.reduction = spec.reduction;
+    params.mark_mpi_vars = spec.mark_mpi_vars;
+
+    rt::RuntimeContext ctx(params);
+    ctx.set_identity(rank, spec.nprocs);
+    Comm comm = make_world_comm(world_shared, rank);
+
+    RankResult& out = result.ranks[rank];
+    try {
+      spec.program(ctx, comm);
+      ctx.finish(rt::Outcome::kOk);
+    } catch (const rt::SimulatedFault& f) {
+      ctx.finish(f.outcome(), f.what());
+      world.abort();
+    } catch (const JobAborted&) {
+      // Distinguish "a peer faulted" from "the whole job hit the deadline".
+      if (world.aborted()) {
+        ctx.finish(rt::Outcome::kAborted, "job aborted by a faulting peer");
+      } else {
+        ctx.finish(rt::Outcome::kTimeout, "test wall-clock timeout");
+        world.abort();
+      }
+    } catch (const std::exception& e) {
+      ctx.finish(rt::Outcome::kMpiError, e.what());
+      world.abort();
+    }
+    out.log = ctx.take_log();
+    out.outcome = out.log.outcome;
+    out.message = out.log.outcome_message;
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(spec.nprocs);
+    for (int rank = 0; rank < spec.nprocs; ++rank) {
+      threads.emplace_back(rank_body, rank);
+    }
+  }  // join
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace compi::minimpi

@@ -1,0 +1,73 @@
+// MPMD job launcher: the in-process `mpiexec` (paper §III-D).
+//
+// The paper launches `mpiexec -n i ex2 : -n 1 ex1 : -n s-i-1 ex2` so that
+// exactly one process — the focus, at a chosen global rank — runs the
+// heavily instrumented binary while the rest run the lightly instrumented
+// one.  Here the two binaries are the two RuntimeContext modes, and the
+// launch spec's (nprocs, focus) plays the (s, i) role.  Each rank is a
+// thread; target faults become per-rank outcomes; a faulting rank aborts
+// the job, unwinding peers blocked in MPI calls (as mpiexec kills them).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "runtime/context.h"
+#include "runtime/test_log.h"
+
+namespace compi::minimpi {
+
+/// The SPMD target entry point: every rank runs this with its own context
+/// and world-communicator view.
+using Program = std::function<void(rt::RuntimeContext&, Comm&)>;
+
+struct LaunchSpec {
+  Program program;
+  int nprocs = 1;
+  /// Global rank of the focus process (runs heavy instrumentation).
+  /// -1 launches every rank light (pure coverage runs, e.g. random testing).
+  int focus = 0;
+  /// One-way instrumentation ablation (§IV-B): every rank runs heavy.
+  bool one_way = false;
+  rt::VarRegistry* registry = nullptr;
+  const solver::Assignment* inputs = nullptr;
+  std::uint64_t rng_seed = 1;
+  std::int64_t step_budget = 2'000'000;
+  bool reduction = true;
+  bool mark_mpi_vars = true;
+  /// Per-test wall-clock timeout (paper §V allows a user-specified timeout).
+  std::chrono::milliseconds timeout{30'000};
+};
+
+struct RankResult {
+  rt::Outcome outcome = rt::Outcome::kOk;
+  std::string message;
+  rt::TestLog log;
+};
+
+struct RunResult {
+  std::vector<RankResult> ranks;
+  int focus = 0;
+  double wall_seconds = 0.0;
+
+  /// The job-level outcome: the first real fault across ranks, else kOk.
+  [[nodiscard]] rt::Outcome job_outcome() const;
+  [[nodiscard]] std::string job_message() const;
+  /// Log of the focus rank (valid when the spec had focus >= 0).
+  [[nodiscard]] const rt::TestLog& focus_log() const;
+  /// Branch coverage across ALL ranks (the "all recorders" half of the
+  /// framework, §III).
+  [[nodiscard]] rt::CoverageBitmap merged_coverage() const;
+};
+
+/// Runs one test: nprocs rank-threads executing spec.program to completion
+/// (or fault / abort / timeout).  Never throws target faults — they are
+/// captured per rank.
+[[nodiscard]] RunResult launch(const LaunchSpec& spec,
+                               const rt::BranchTable& table);
+
+}  // namespace compi::minimpi

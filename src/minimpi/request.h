@@ -1,0 +1,52 @@
+// Non-blocking point-to-point: MPI_Isend / MPI_Irecv / MPI_Wait(all).
+//
+// MiniMPI sends are eager (buffered), so an Isend completes immediately;
+// an Irecv defers the matching to wait().  As in MPI, the caller must keep
+// the receive buffer alive until the request is waited on.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "minimpi/world.h"
+
+namespace compi::minimpi {
+
+/// Receive status (shared with the blocking API; see comm.h).
+struct Status;
+
+class Request {
+ public:
+  Request() = default;
+  /// An already-complete request (Isend).
+  static Request completed() {
+    Request r;
+    r.done_ = true;
+    return r;
+  }
+  /// A deferred completion (Irecv): `complete` performs the blocking match.
+  explicit Request(std::function<void()> complete)
+      : complete_(std::move(complete)) {}
+
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Blocks until the operation completes (MPI_Wait).
+  void wait() {
+    if (!done_) {
+      if (complete_) complete_();
+      done_ = true;
+    }
+  }
+
+ private:
+  std::function<void()> complete_;
+  bool done_ = false;
+};
+
+/// MPI_Waitall.
+inline void wait_all(std::vector<Request>& requests) {
+  for (Request& r : requests) r.wait();
+}
+
+}  // namespace compi::minimpi

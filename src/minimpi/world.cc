@@ -1,0 +1,51 @@
+#include "minimpi/world.h"
+
+namespace compi::minimpi {
+
+World::World(int size, std::chrono::steady_clock::duration deadline)
+    : size_(size), deadline_(std::chrono::steady_clock::now() + deadline) {
+  mailboxes_.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) {
+    std::scoped_lock lock(mb->mu_);
+    mb->cv_.notify_all();
+  }
+}
+
+void World::check_alive() const {
+  if (aborted() || past_deadline()) throw JobAborted{};
+}
+
+void Mailbox::push(Message msg) {
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_matching(World& world, int src, std::int64_t comm_uid,
+                              int tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    world.check_alive();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const bool src_ok = src == kAnySource || it->src == src;
+      const bool tag_ok = tag == kAnyTag || it->tag == tag;
+      if (it->comm_uid == comm_uid && src_ok && tag_ok) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait_until(lock, world.deadline());
+  }
+}
+
+}  // namespace compi::minimpi

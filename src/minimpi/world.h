@@ -1,0 +1,82 @@
+// The shared state of one MiniMPI job: mailboxes, abort flag, deadline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace compi::minimpi {
+
+/// One in-flight point-to-point message.  `src` is the sender's rank local
+/// to the communicator identified by `comm_uid` (communicators form
+/// disjoint tag spaces, as MPI contexts do).
+struct Message {
+  int src = 0;
+  std::int64_t comm_uid = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class World;
+
+/// Per-rank incoming message queue with (source, tag) matching.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a matching message arrives (src/tag may be kAnySource /
+  /// kAnyTag; comm_uid always matches exactly).  Raises JobAborted when the
+  /// job aborts or its wall-clock deadline passes.
+  Message pop_matching(World& world, int src, std::int64_t comm_uid, int tag);
+
+ private:
+  friend class World;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// Job-wide shared state.  One World per launched test.
+class World {
+ public:
+  explicit World(int size,
+                 std::chrono::steady_clock::duration deadline =
+                     std::chrono::seconds(30));
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Called when a rank faults: wakes every blocked rank so the job
+  /// unwinds, as mpiexec kills sibling processes of a crashed rank.
+  void abort();
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// True once the wall-clock deadline passed (simulated hang detection).
+  [[nodiscard]] bool past_deadline() const {
+    return std::chrono::steady_clock::now() > deadline_;
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline() const {
+    return deadline_;
+  }
+  /// Raises JobAborted when the job is aborted or past its deadline.
+  void check_alive() const;
+
+  /// Monotonic id source for communicators (tag-space qualification).
+  [[nodiscard]] std::int64_t next_comm_uid() { return ++comm_uid_; }
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::int64_t> comm_uid_{0};
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace compi::minimpi

@@ -1,0 +1,50 @@
+#include "runtime/branch_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace compi::rt {
+
+SiteId BranchTable::add_site(std::string_view function, std::string_view name) {
+  assert(!finalized_ && "add_site after finalize()");
+  const SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back({std::string(name), std::string(function)});
+  edges_.emplace_back();
+
+  auto it = std::find(functions_.begin(), functions_.end(), function);
+  if (it == functions_.end()) {
+    site_function_.push_back(functions_.size());
+    functions_.emplace_back(function);
+  } else {
+    site_function_.push_back(
+        static_cast<std::size_t>(it - functions_.begin()));
+  }
+  return id;
+}
+
+void BranchTable::add_edge(SiteId from, SiteId to) {
+  auto& succ = edges_[from];
+  if (std::find(succ.begin(), succ.end(), to) == succ.end()) {
+    succ.push_back(to);
+  }
+}
+
+void BranchTable::finalize() {
+  if (finalized_) return;
+  // Fallthrough edges: consecutive sites of the same function.
+  for (std::size_t i = 0; i + 1 < sites_.size(); ++i) {
+    if (site_function_[i] == site_function_[i + 1]) {
+      add_edge(static_cast<SiteId>(i), static_cast<SiteId>(i + 1));
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t BranchTable::sites_in_function(std::string_view function) const {
+  return static_cast<std::size_t>(
+      std::count_if(sites_.begin(), sites_.end(), [&](const BranchSite& s) {
+        return s.function == function;
+      }));
+}
+
+}  // namespace compi::rt

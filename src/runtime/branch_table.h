@@ -1,0 +1,71 @@
+// Static branch-site tables: the analog of the instrumenter's output.
+//
+// CIL-based instrumentation (paper §V) assigns every conditional statement a
+// unique static id and emits a `branches` file listing them, grouped by
+// function, plus enough control-flow information for the CFG search
+// strategy.  Here each target ships a BranchTable built once at static-init
+// time from an X-macro site list; target code refers to sites by enum id.
+//
+// Site s contributes two branches: sF (id 2s) and sT (id 2s+1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "symbolic/path.h"
+
+namespace compi::rt {
+
+using sym::BranchId;
+using sym::SiteId;
+
+/// One conditional site of the target program.
+struct BranchSite {
+  std::string name;      // stable human-readable label
+  std::string function;  // enclosing function (for reachable-branch counts)
+};
+
+/// The static description of a target program's branch space.
+class BranchTable {
+ public:
+  /// Appends a site; returns its id.  Sites of the same function should be
+  /// appended consecutively in program order (the builder adds fallthrough
+  /// CFG edges between consecutive sites of a function).
+  SiteId add_site(std::string_view function, std::string_view name);
+
+  /// Adds an extra CFG edge (e.g. call or backward jump) from one site to
+  /// another, used by the CFG-directed search strategy.
+  void add_edge(SiteId from, SiteId to);
+
+  /// Call after all sites are added: materializes fallthrough edges.
+  void finalize();
+
+  [[nodiscard]] std::size_t num_sites() const { return sites_.size(); }
+  [[nodiscard]] std::size_t num_branches() const { return sites_.size() * 2; }
+  [[nodiscard]] const BranchSite& site(SiteId id) const { return sites_[id]; }
+  [[nodiscard]] const std::vector<SiteId>& successors(SiteId id) const {
+    return edges_[id];
+  }
+
+  /// Distinct function names in first-appearance order.
+  [[nodiscard]] const std::vector<std::string>& functions() const {
+    return functions_;
+  }
+  /// Number of sites belonging to `function`.
+  [[nodiscard]] std::size_t sites_in_function(std::string_view function) const;
+  /// Index into functions() for a site.
+  [[nodiscard]] std::size_t function_index(SiteId id) const {
+    return site_function_[id];
+  }
+
+ private:
+  std::vector<BranchSite> sites_;
+  std::vector<std::vector<SiteId>> edges_;
+  std::vector<std::string> functions_;
+  std::vector<std::size_t> site_function_;
+  bool finalized_ = false;
+};
+
+}  // namespace compi::rt

@@ -1,0 +1,47 @@
+#include "runtime/checked_alloc.h"
+
+#include <sstream>
+
+namespace compi::rt {
+
+CheckedArena::Handle CheckedArena::alloc(std::size_t bytes, std::string label) {
+  blocks_.push_back({bytes, false, std::move(label)});
+  return blocks_.size() - 1;
+}
+
+void CheckedArena::check_access(Handle h, std::size_t index,
+                                std::size_t elem_size) const {
+  if (h >= blocks_.size()) {
+    throw SimulatedSegfault("access to unknown allocation");
+  }
+  const Block& b = blocks_[h];
+  if (b.freed) {
+    throw SimulatedSegfault("use-after-free of block '" + b.label + "'");
+  }
+  if ((index + 1) * elem_size > b.bytes) {
+    std::ostringstream os;
+    os << "out-of-bounds access to block '" << b.label << "': element "
+       << index << " of size " << elem_size << " exceeds allocation of "
+       << b.bytes << " bytes";
+    throw SimulatedSegfault(os.str());
+  }
+}
+
+void CheckedArena::free(Handle h) {
+  if (h >= blocks_.size() || blocks_[h].freed) {
+    throw SimulatedSegfault("invalid or double free");
+  }
+  blocks_[h].freed = true;
+}
+
+std::size_t CheckedArena::bytes_of(Handle h) const {
+  return h < blocks_.size() ? blocks_[h].bytes : 0;
+}
+
+std::size_t CheckedArena::live_blocks() const {
+  std::size_t n = 0;
+  for (const Block& b : blocks_) n += b.freed ? 0 : 1;
+  return n;
+}
+
+}  // namespace compi::rt

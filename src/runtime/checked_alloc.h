@@ -1,0 +1,51 @@
+// A bounds-checked allocation arena used to make memory bugs observable.
+//
+// The SUSY-HMC bugs COMPI found (paper §VI-A) are wrong-size malloc() calls
+// — `malloc(Nroot * sizeof(**src))` where `sizeof(Twist_Fermion*)` was
+// intended — that crash with SIGSEGV when the code indexes past the
+// allocation.  Running in-process we cannot (and must not) take a real
+// SIGSEGV, so targets allocate through this arena; any access beyond an
+// allocation's byte size raises SimulatedSegfault, which the launcher turns
+// into a crashed-rank exit status exactly like a real segfault would be
+// observed by mpiexec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/faults.h"
+
+namespace compi::rt {
+
+class CheckedArena {
+ public:
+  using Handle = std::size_t;
+
+  /// Allocates a block of `bytes` bytes ("malloc").  The arena does not
+  /// hand out real memory — targets keep their data in ordinary containers
+  /// — it tracks sizes so that access patterns can be bounds-checked.
+  Handle alloc(std::size_t bytes, std::string label = {});
+
+  /// Checks the access `block[index]` where each element is `elem_size`
+  /// bytes.  Throws SimulatedSegfault when the access falls outside the
+  /// allocation (the wrong-sizeof bug signature).
+  void check_access(Handle h, std::size_t index, std::size_t elem_size) const;
+
+  /// Frees a block; double free raises SimulatedSegfault.
+  void free(Handle h);
+
+  [[nodiscard]] std::size_t bytes_of(Handle h) const;
+  [[nodiscard]] std::size_t live_blocks() const;
+
+ private:
+  struct Block {
+    std::size_t bytes = 0;
+    bool freed = false;
+    std::string label;
+  };
+  std::vector<Block> blocks_;
+};
+
+}  // namespace compi::rt

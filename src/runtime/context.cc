@@ -1,0 +1,196 @@
+#include "runtime/context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace compi::rt {
+
+RuntimeContext::RuntimeContext(const ContextParams& params)
+    : params_(params) {
+  assert(params_.table != nullptr && "a branch table is required");
+  log_.heavy = heavy();
+  log_.covered = CoverageBitmap(params_.table->num_branches());
+  steps_left_ = params_.step_budget;
+  site_seen_.assign(params_.table->num_sites(), 0);
+  site_last_outcome_.assign(params_.table->num_sites(), 0);
+}
+
+namespace {
+// SplitMix64 — deterministic per-key value derivation so every SPMD rank
+// draws the *same* "random" initial value for the same input, exactly as
+// every MPI process would read the same value from the input file.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::int64_t RuntimeContext::initial_value_for(Var v,
+                                               std::string_view key) const {
+  // First-iteration behaviour: random value within the effective domain,
+  // kept small so the initial run is cheap (mirrors CREST's random init).
+  const solver::Interval dom = params_.registry->effective_domain(v);
+  const std::int64_t lo = std::max<std::int64_t>(dom.lo, -1000);
+  const std::int64_t hi = std::min<std::int64_t>(dom.hi, 1000);
+  if (lo > hi) return dom.lo;  // degenerate tight domain
+  const std::uint64_t h =
+      splitmix64(params_.rng_seed ^ std::hash<std::string_view>{}(key));
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(h % span);
+}
+
+sym::SymInt RuntimeContext::mark_input(std::string_view key, VarKind kind,
+                                       solver::Interval domain,
+                                       std::optional<std::int64_t> cap,
+                                       int comm_index,
+                                       std::optional<std::int64_t> runtime_value) {
+  if (params_.registry == nullptr) {
+    throw MpiUsageError("context has no variable registry");
+  }
+  const Var v = params_.registry->intern(key, kind, domain, cap, comm_index);
+  std::int64_t value;
+  if (runtime_value) {
+    // MPI-semantics variables take their value from the environment, not
+    // from the solver (the solver's value was already consumed at launch
+    // time to pick nprocs and the focus, §III-D).
+    value = *runtime_value;
+  } else if (auto it = params_.inputs->find(v); it != params_.inputs->end()) {
+    value = it->second;
+  } else {
+    value = initial_value_for(v, key);
+  }
+  if (!heavy()) {
+    // Light mode: concrete value only; non-focus processes perform no
+    // symbolic bookkeeping (two-way instrumentation, §IV-B).
+    return sym::SymInt(value);
+  }
+  log_.inputs_used[v] = value;
+  return sym::SymInt(value, v);
+}
+
+sym::SymInt RuntimeContext::input_int(std::string_view key) {
+  return mark_input(key, VarKind::kRegular, solver::int32_domain(),
+                    std::nullopt, -1, std::nullopt);
+}
+
+sym::SymInt RuntimeContext::input_int_capped(std::string_view key,
+                                             std::int64_t cap) {
+  return mark_input(key, VarKind::kRegular, solver::int32_domain(), cap, -1,
+                    std::nullopt);
+}
+
+sym::SymInt RuntimeContext::input_int_range(std::string_view key,
+                                            std::int64_t lo, std::int64_t hi) {
+  return mark_input(key, VarKind::kRegular, {lo, hi}, std::nullopt, -1,
+                    std::nullopt);
+}
+
+bool RuntimeContext::branch(SiteId site, const sym::SymBool& cond) {
+  if (params_.step_budget > 0 && --steps_left_ <= 0) {
+    throw StepBudgetExceeded("step budget exhausted at site " +
+                             std::to_string(site));
+  }
+  const bool taken = cond.value();
+  log_.covered.mark(sym::branch_id(site, taken));
+  if (heavy()) {
+    log_.branch_trace.push_back(sym::branch_id(site, taken));
+  }
+
+  if (heavy() && cond.is_symbolic()) {
+    // Constraint-set reduction (§IV-C): record only on first encounter of
+    // the site or when the outcome flips relative to the last encounter.
+    bool record = true;
+    if (params_.reduction) {
+      const bool first = site_seen_[site] == 0;
+      record = first || (site_last_outcome_[site] != (taken ? 1 : 0));
+    }
+    site_seen_[site] = 1;
+    site_last_outcome_[site] = taken ? 1 : 0;
+    if (record) {
+      log_.path.append(site, taken, cond.taken_predicate());
+    }
+  }
+  return taken;
+}
+
+void RuntimeContext::ops(std::int64_t n) {
+  if (!heavy()) return;  // the light binary has no per-operation stubs
+  std::uint64_t d = op_digest_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    d = d * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  op_digest_ = d;
+  log_.op_count += n;
+}
+
+sym::SymInt RuntimeContext::div(const sym::SymInt& a, const sym::SymInt& b) {
+  if (b.value() == 0) {
+    throw SimulatedFpe("integer division by zero");
+  }
+  return a / b;
+}
+
+sym::SymInt RuntimeContext::mod(const sym::SymInt& a, const sym::SymInt& b) {
+  if (b.value() == 0) {
+    throw SimulatedFpe("integer modulo by zero");
+  }
+  return a % b;
+}
+
+void RuntimeContext::check(bool cond, const char* what) {
+  if (!cond) throw AssertionViolation(what);
+}
+
+sym::SymInt RuntimeContext::mark_world_rank(int rank) {
+  if (!heavy() || !params_.mark_mpi_vars) return sym::SymInt(rank);
+  const std::string key = "rw#" + std::to_string(rw_marks_++);
+  return mark_input(key, VarKind::kRankWorld, {0, 1 << 20}, std::nullopt, -1,
+                    rank);
+}
+
+sym::SymInt RuntimeContext::mark_world_size(int size) {
+  if (!heavy() || !params_.mark_mpi_vars) return sym::SymInt(size);
+  const std::string key = "sw#" + std::to_string(sw_marks_++);
+  return mark_input(key, VarKind::kSizeWorld, {1, 1 << 20}, std::nullopt, -1,
+                    size);
+}
+
+sym::SymInt RuntimeContext::mark_local_rank(int comm_index, int local_rank,
+                                            int comm_size) {
+  if (!heavy() || !params_.mark_mpi_vars) return sym::SymInt(local_rank);
+  if (static_cast<std::size_t>(comm_index) >= log_.comm_sizes.size()) {
+    log_.comm_sizes.resize(comm_index + 1, 0);
+  }
+  log_.comm_sizes[comm_index] = comm_size;
+  const std::string key = "rc#" + std::to_string(comm_index);
+  return mark_input(key, VarKind::kRankLocal, {0, 1 << 20}, std::nullopt,
+                    comm_index, local_rank);
+}
+
+int RuntimeContext::register_comm(std::vector<int> global_ranks_by_local) {
+  const int index = comm_count_++;
+  if (heavy()) {
+    if (static_cast<std::size_t>(index) >= log_.rank_mapping.size()) {
+      log_.rank_mapping.resize(index + 1);
+    }
+    log_.rank_mapping[index] = std::move(global_ranks_by_local);
+  }
+  return index;
+}
+
+void RuntimeContext::set_identity(int rank, int nprocs) {
+  log_.rank = rank;
+  log_.nprocs = nprocs;
+}
+
+void RuntimeContext::finish(Outcome outcome, std::string message) {
+  log_.outcome = outcome;
+  log_.outcome_message = std::move(message);
+}
+
+TestLog RuntimeContext::take_log() { return std::move(log_); }
+
+}  // namespace compi::rt

@@ -1,0 +1,165 @@
+// RuntimeContext — the concolic execution library (instrumentation surface).
+//
+// Target programs are written against this interface, which mirrors the
+// call surface CIL-instrumented code has in the paper's artifact:
+//  * input marking (`input_int`, `input_int_capped` = COMPI_int_with_limit),
+//  * branch events carrying static site ids and concolic conditions,
+//  * checked division (SIGFPE model) and a bounds-checked arena (SIGSEGV
+//    model),
+//  * the MPI-semantics hooks MiniMPI invokes on MPI_Comm_rank/size so the
+//    rw/rc/sw variables of paper Table I are marked automatically (§III-A).
+//
+// Two-way instrumentation (§IV-B) is realized as the context *mode*:
+//  * kHeavy — full symbolic execution: builds expressions, records the
+//    path, applies constraint-set reduction; used by the focus process;
+//  * kLight — records covered branch ids only; used by everyone else.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "runtime/branch_table.h"
+#include "runtime/checked_alloc.h"
+#include "runtime/faults.h"
+#include "runtime/test_log.h"
+#include "runtime/var_registry.h"
+#include "symbolic/sym_value.h"
+
+namespace compi::rt {
+
+enum class Mode : std::uint8_t { kHeavy, kLight };
+
+/// Everything a context needs for one execution of the target.
+struct ContextParams {
+  Mode mode = Mode::kLight;
+  const BranchTable* table = nullptr;
+  /// Shared across iterations; only the heavy context marks variables.
+  VarRegistry* registry = nullptr;
+  /// Input values for this run; vars absent from the map get random values
+  /// drawn within their effective domains (the first iteration's behaviour,
+  /// paper §II-A).
+  const solver::Assignment* inputs = nullptr;
+  std::uint64_t rng_seed = 1;
+  /// Branch-event budget; 0 disables the watchdog.  Exceeding it raises
+  /// StepBudgetExceeded — the in-process analog of the per-test timeout
+  /// that exposes infinite-loop bugs (§V).
+  std::int64_t step_budget = 0;
+  /// Constraint-set reduction (§IV-C) on/off; only meaningful in heavy mode.
+  bool reduction = true;
+  /// When false, the MPI hooks do not mark rw/rc/sw symbolically — this is
+  /// the No_Fwk ablation (§VI-E) where MPI semantics are invisible.
+  bool mark_mpi_vars = true;
+};
+
+class RuntimeContext {
+ public:
+  explicit RuntimeContext(const ContextParams& params);
+
+  [[nodiscard]] Mode mode() const { return params_.mode; }
+  [[nodiscard]] bool heavy() const { return params_.mode == Mode::kHeavy; }
+
+  // ---- input marking (developer-facing, paper §II-A / §IV-A) ----
+
+  /// Marks a symbolic int input with the default int32 domain.
+  sym::SymInt input_int(std::string_view key);
+  /// COMPI_int_with_limit: marks an input whose value is capped at `cap`.
+  sym::SymInt input_int_capped(std::string_view key, std::int64_t cap);
+  /// Marks an input with an explicit domain [lo, hi].
+  sym::SymInt input_int_range(std::string_view key, std::int64_t lo,
+                              std::int64_t hi);
+  /// Typed marking shorthands (CREST marks unsigned/char/short the same
+  /// way, with the type's value range as the domain).
+  sym::SymInt input_uint(std::string_view key) {
+    return input_int_range(key, 0, 4294967295LL);
+  }
+  sym::SymInt input_short(std::string_view key) {
+    return input_int_range(key, -32768, 32767);
+  }
+  sym::SymInt input_char(std::string_view key) {
+    return input_int_range(key, -128, 127);
+  }
+  sym::SymInt input_bool(std::string_view key) {
+    return input_int_range(key, 0, 1);
+  }
+
+  // ---- instrumentation events ----
+
+  /// Branch event for static site `site`.  Records coverage in both modes;
+  /// in heavy mode also records the path constraint (subject to reduction).
+  /// Returns the concrete outcome so call sites read as `if (ctx.branch(...))`.
+  bool branch(SiteId site, const sym::SymBool& cond);
+
+  /// Per-operation instrumentation events.  CIL instruments *every* load,
+  /// store and arithmetic operation of the heavy binary with a runtime
+  /// stub — including purely concrete floating-point kernels.  Targets
+  /// call ops(n) from their numeric inner loops with the operation count;
+  /// in heavy mode each operation pays a small bookkeeping cost (folded
+  /// into a digest so it cannot be optimized away), in light mode it is
+  /// free — this is the cost asymmetry two-way instrumentation exploits
+  /// (paper §IV-B, Table IV).
+  void ops(std::int64_t n);
+
+  /// Checked integer division: raises SimulatedFpe when b == 0, exactly the
+  /// division-by-zero bug class found in SUSY-HMC.
+  sym::SymInt div(const sym::SymInt& a, const sym::SymInt& b);
+  sym::SymInt mod(const sym::SymInt& a, const sym::SymInt& b);
+
+  /// Target assertion; raises AssertionViolation on failure.
+  void check(bool cond, const char* what);
+
+  /// Bounds-checked allocation arena (SIGSEGV model).
+  CheckedArena& arena() { return arena_; }
+
+  // ---- MPI-semantics hooks (called by MiniMPI, §III-A) ----
+
+  /// MPI_Comm_rank on MPI_COMM_WORLD: marks an rw variable (heavy mode).
+  sym::SymInt mark_world_rank(int rank);
+  /// MPI_Comm_size on MPI_COMM_WORLD: marks an sw variable (heavy mode).
+  sym::SymInt mark_world_size(int size);
+  /// MPI_Comm_rank on another communicator: marks an rc variable; the
+  /// communicator's concrete size feeds the `rc < s_i` constraint (§III-B).
+  sym::SymInt mark_local_rank(int comm_index, int local_rank, int comm_size);
+  /// Registers a communicator created by MPI_Comm_split: its creation-order
+  /// index and the local-rank -> global-rank row of the mapping table
+  /// (paper Table II).
+  int register_comm(std::vector<int> global_ranks_by_local);
+
+  // ---- results ----
+
+  void set_identity(int rank, int nprocs);
+  void finish(Outcome outcome, std::string message = {});
+  [[nodiscard]] TestLog take_log();
+
+  /// Current number of constraints recorded (drives the two-phase
+  /// DFS-bound estimation and Fig. 9).
+  [[nodiscard]] std::size_t constraint_count() const { return log_.path.size(); }
+
+ private:
+  sym::SymInt mark_input(std::string_view key, VarKind kind,
+                         solver::Interval domain,
+                         std::optional<std::int64_t> cap, int comm_index,
+                         std::optional<std::int64_t> runtime_value);
+  std::int64_t initial_value_for(Var v, std::string_view key) const;
+
+  ContextParams params_;
+  TestLog log_;
+  CheckedArena arena_;
+  std::int64_t steps_left_ = 0;
+
+  // Constraint-set reduction state (per run, per site).
+  std::vector<std::uint8_t> site_seen_;
+  std::vector<std::uint8_t> site_last_outcome_;
+
+  // Per-run occurrence counters for automatic MPI marking keys.
+  int rw_marks_ = 0;
+  int sw_marks_ = 0;
+  int comm_count_ = 0;
+
+  // Per-operation instrumentation state (heavy mode).
+  std::uint64_t op_digest_ = 0x243f6a8885a308d3ULL;
+};
+
+}  // namespace compi::rt

@@ -1,0 +1,18 @@
+#include "runtime/faults.h"
+
+namespace compi::rt {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kSegfault: return "segfault";
+    case Outcome::kFpe: return "fpe";
+    case Outcome::kAssert: return "assert";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kMpiError: return "mpi-error";
+    case Outcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace compi::rt

@@ -1,0 +1,63 @@
+#include "runtime/test_log.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace compi::rt {
+
+std::size_t CoverageBitmap::count() const {
+  return static_cast<std::size_t>(
+      std::accumulate(bits_.begin(), bits_.end(), std::size_t{0}));
+}
+
+void CoverageBitmap::merge(const CoverageBitmap& other) {
+  if (other.bits_.size() > bits_.size()) bits_.resize(other.bits_.size(), 0);
+  for (std::size_t i = 0; i < other.bits_.size(); ++i) {
+    bits_[i] |= other.bits_[i];
+  }
+}
+
+std::vector<sym::BranchId> CoverageBitmap::covered_ids() const {
+  std::vector<sym::BranchId> out;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out.push_back(static_cast<sym::BranchId>(i));
+  }
+  return out;
+}
+
+std::string TestLog::serialize() const {
+  std::ostringstream os;
+  os << "rank " << rank << " nprocs " << nprocs << " mode "
+     << (heavy ? "heavy" : "light") << " outcome "
+     << rt::to_string(outcome) << '\n';
+  os << "covered";
+  for (sym::BranchId b : covered.covered_ids()) os << ' ' << b;
+  os << '\n';
+  if (!heavy) return os.str();
+
+  os << "op_count " << op_count << '\n';
+  os << "inputs";
+  for (const auto& [v, value] : inputs_used) os << ' ' << v << '=' << value;
+  os << '\n';
+  os << "comm_sizes";
+  for (std::int64_t s : comm_sizes) os << ' ' << s;
+  os << '\n';
+  for (std::size_t c = 0; c < rank_mapping.size(); ++c) {
+    os << "mapping " << c << ':';
+    for (int g : rank_mapping[c]) os << ' ' << g;
+    os << '\n';
+  }
+  os << "path " << path.size() << '\n';
+  for (const sym::PathEntry& e : path.entries()) {
+    os << e.site << (e.taken ? 'T' : 'F') << ' ' << e.constraint.to_string()
+       << '\n';
+  }
+  os << "trace " << branch_trace.size() << '\n';
+  for (std::size_t i = 0; i < branch_trace.size(); ++i) {
+    os << branch_trace[i] << ((i + 1) % 16 == 0 ? '\n' : ' ');
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace compi::rt

@@ -1,0 +1,75 @@
+// Per-rank output of one test execution.
+//
+// In the paper each process writes its symbolic-execution history to a file
+// COMPI reads between iterations; with two-way instrumentation (§IV-B) the
+// focus process writes the full history while non-focus processes write
+// only covered branch ids.  TestLog is that "file": the serialize() form is
+// what a process would write, and its size is the I/O cost Table IV reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/faults.h"
+#include "runtime/var_registry.h"
+#include "solver/solver.h"
+#include "symbolic/path.h"
+
+namespace compi::rt {
+
+/// Coverage bitmap over branch ids (2 per site).
+class CoverageBitmap {
+ public:
+  CoverageBitmap() = default;
+  explicit CoverageBitmap(std::size_t num_branches)
+      : bits_(num_branches, 0) {}
+
+  void mark(sym::BranchId b) {
+    if (static_cast<std::size_t>(b) < bits_.size()) bits_[b] = 1;
+  }
+  [[nodiscard]] bool covered(sym::BranchId b) const {
+    return static_cast<std::size_t>(b) < bits_.size() && bits_[b] != 0;
+  }
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+
+  /// Unions `other` into this bitmap (resizing as needed).
+  void merge(const CoverageBitmap& other);
+
+  [[nodiscard]] std::vector<sym::BranchId> covered_ids() const;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+/// The result one rank reports back after executing the target once.
+struct TestLog {
+  bool heavy = false;  // produced by the heavy-instrumented binary (ex1)?
+  int rank = 0;
+  int nprocs = 0;
+  Outcome outcome = Outcome::kOk;
+  std::string outcome_message;
+
+  CoverageBitmap covered;  // both modes
+
+  // ---- heavy (focus) mode only ----
+  sym::Path path;                       // symbolic branch history
+  /// Full branch-event trace (every branch executed, in order) — what the
+  /// heavily instrumented binary writes for replay (CREST's szd_execution).
+  /// This, not the reduced constraint set, is what makes one-way
+  /// instrumentation's log I/O expensive (paper Table IV).
+  std::vector<sym::BranchId> branch_trace;
+  /// Operation events executed under heavy instrumentation (§IV-B).
+  std::int64_t op_count = 0;
+  solver::Assignment inputs_used;       // value of every registered var
+  std::vector<std::int64_t> comm_sizes; // concrete size per local comm index
+  /// mapping[comm][local_rank] == global rank (paper Table II).
+  std::vector<std::vector<int>> rank_mapping;
+
+  /// The bytes this rank would write to its log file.  Non-focus logs are a
+  /// few KB (branch ids only); a heavy log grows with the constraint set.
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace compi::rt

@@ -1,0 +1,105 @@
+// Closed integer intervals with saturating arithmetic.
+//
+// The solver reasons about bounded machine integers (COMPI does not handle
+// floating point, see paper §VI "Marking input variables").  All interval
+// arithmetic saturates at int64 limits so that propagation over int32-ranged
+// variables can never overflow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace compi::solver {
+
+/// Saturating add: clamps to the int64 range instead of overflowing.
+[[nodiscard]] constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  if (b > 0 && a > kMax - b) return kMax;
+  if (b < 0 && a < kMin - b) return kMin;
+  return a + b;
+}
+
+/// Saturating multiply: clamps to the int64 range instead of overflowing.
+[[nodiscard]] constexpr std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  if (a == 0 || b == 0) return 0;
+  if (a == -1) return b == kMin ? kMax : -b;
+  if (b == -1) return a == kMin ? kMax : -a;
+  if (a > 0 ? (b > 0 ? a > kMax / b : b < kMin / a)
+            : (b > 0 ? a < kMin / b : -a > kMax / -b)) {
+    return (a > 0) == (b > 0) ? kMax : kMin;
+  }
+  return a * b;
+}
+
+/// Floor division (rounds towards negative infinity); d must be non-zero.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t n, std::int64_t d) {
+  std::int64_t q = n / d;
+  if ((n % d != 0) && ((n < 0) != (d < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds towards positive infinity); d must be non-zero.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t n, std::int64_t d) {
+  std::int64_t q = n / d;
+  if ((n % d != 0) && ((n < 0) == (d < 0))) ++q;
+  return q;
+}
+
+/// A closed interval [lo, hi] of int64 values.  Empty iff lo > hi.
+struct Interval {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] static constexpr Interval all() { return {}; }
+  [[nodiscard]] static constexpr Interval empty() { return {1, 0}; }
+  [[nodiscard]] static constexpr Interval point(std::int64_t v) { return {v, v}; }
+
+  [[nodiscard]] constexpr bool is_empty() const { return lo > hi; }
+  [[nodiscard]] constexpr bool is_point() const { return lo == hi; }
+  [[nodiscard]] constexpr bool contains(std::int64_t v) const {
+    return lo <= v && v <= hi;
+  }
+  /// Width as an unsigned count of values; saturates at uint64 max.
+  [[nodiscard]] constexpr std::uint64_t width() const {
+    if (is_empty()) return 0;
+    return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  }
+
+  [[nodiscard]] constexpr Interval intersect(Interval o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// Interval sum: {a + b | a in this, b in o}, saturating.
+  [[nodiscard]] constexpr Interval operator+(Interval o) const {
+    if (is_empty() || o.is_empty()) return empty();
+    return {sat_add(lo, o.lo), sat_add(hi, o.hi)};
+  }
+
+  /// Scale by a constant: {c * a | a in this}, saturating.
+  [[nodiscard]] constexpr Interval scaled(std::int64_t c) const {
+    if (is_empty()) return empty();
+    const std::int64_t a = sat_mul(lo, c);
+    const std::int64_t b = sat_mul(hi, c);
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  constexpr bool operator==(const Interval&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Interval iv) {
+  return os << '[' << iv.lo << ", " << iv.hi << ']';
+}
+
+/// The value range of a signed 32-bit input variable — the default domain
+/// for marked variables (matches CREST's treatment of C ints).
+[[nodiscard]] constexpr Interval int32_domain() {
+  return {std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()};
+}
+
+}  // namespace compi::solver

@@ -1,0 +1,87 @@
+#include "solver/linear_expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace compi::solver {
+
+LinearExpr::LinearExpr(Var var, std::int64_t coeff, std::int64_t constant)
+    : constant_(constant) {
+  if (coeff != 0) terms_.push_back({var, coeff});
+}
+
+std::int64_t LinearExpr::coeff_of(Var v) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const Term& t, Var target) { return t.var < target; });
+  return (it != terms_.end() && it->var == v) ? it->coeff : 0;
+}
+
+void LinearExpr::add_term(Var var, std::int64_t coeff) {
+  if (coeff == 0) return;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const Term& t, Var target) { return t.var < target; });
+  if (it != terms_.end() && it->var == var) {
+    it->coeff = sat_add(it->coeff, coeff);
+    if (it->coeff == 0) terms_.erase(it);
+  } else {
+    terms_.insert(it, {var, coeff});
+  }
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& o) {
+  for (const Term& t : o.terms_) add_term(t.var, t.coeff);
+  constant_ = sat_add(constant_, o.constant_);
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& o) {
+  for (const Term& t : o.terms_) add_term(t.var, -t.coeff);
+  constant_ = sat_add(constant_, -o.constant_);
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator*=(std::int64_t c) {
+  if (c == 0) {
+    terms_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  for (Term& t : terms_) t.coeff = sat_mul(t.coeff, c);
+  constant_ = sat_mul(constant_, c);
+  return *this;
+}
+
+LinearExpr LinearExpr::negated() const {
+  LinearExpr r = *this;
+  r *= -1;
+  return r;
+}
+
+void LinearExpr::collect_vars(std::vector<Var>& out) const {
+  for (const Term& t : terms_) {
+    auto it = std::lower_bound(out.begin(), out.end(), t.var);
+    if (it == out.end() || *it != t.var) out.insert(it, t.var);
+  }
+}
+
+std::string LinearExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Term& t : terms_) {
+    if (!first) os << (t.coeff >= 0 ? " + " : " - ");
+    const std::int64_t mag = first ? t.coeff : std::abs(t.coeff);
+    if (mag != 1) os << mag << '*';
+    os << 'x' << t.var;
+    first = false;
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ > 0 ? " + " : " - ") << std::abs(constant_);
+  }
+  return os.str();
+}
+
+}  // namespace compi::solver

@@ -1,0 +1,94 @@
+// Linear expressions over symbolic input variables.
+//
+// Concolic execution (CREST-style) keeps every symbolic expression linear:
+// non-linear operations concretize one operand.  A LinearExpr is
+//   sum_i coeff_i * var_i + constant
+// with terms kept sorted by variable id and zero coefficients dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/interval.h"
+
+namespace compi::solver {
+
+/// Symbolic variable identifier.  Regular marked inputs occupy the low ids
+/// (in marking order); MPI-semantics variables (rw/rc/sw, paper Table I) are
+/// allocated after them in first-use order on the focus process.
+using Var = std::int32_t;
+
+/// One `coeff * var` term of a linear expression.
+struct Term {
+  Var var = 0;
+  std::int64_t coeff = 0;
+  constexpr bool operator==(const Term&) const = default;
+};
+
+/// Sparse linear integer expression: sum of terms plus a constant.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /// Constant expression.
+  explicit LinearExpr(std::int64_t constant) : constant_(constant) {}
+  /// Single-variable expression `coeff * var + constant`.
+  LinearExpr(Var var, std::int64_t coeff, std::int64_t constant = 0);
+
+  [[nodiscard]] static LinearExpr constant(std::int64_t c) { return LinearExpr(c); }
+  [[nodiscard]] static LinearExpr variable(Var v) { return LinearExpr(v, 1); }
+
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+  [[nodiscard]] std::int64_t constant_part() const { return constant_; }
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+  [[nodiscard]] std::size_t num_terms() const { return terms_.size(); }
+
+  /// Coefficient of `v`, or 0 when absent.
+  [[nodiscard]] std::int64_t coeff_of(Var v) const;
+
+  /// Adds `coeff * var` to this expression (dropping the term if it cancels).
+  void add_term(Var var, std::int64_t coeff);
+  void add_constant(std::int64_t c) { constant_ = sat_add(constant_, c); }
+
+  LinearExpr& operator+=(const LinearExpr& o);
+  LinearExpr& operator-=(const LinearExpr& o);
+  /// Multiplies every coefficient and the constant by `c`.
+  LinearExpr& operator*=(std::int64_t c);
+
+  [[nodiscard]] friend LinearExpr operator+(LinearExpr a, const LinearExpr& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend LinearExpr operator-(LinearExpr a, const LinearExpr& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend LinearExpr operator*(LinearExpr a, std::int64_t c) {
+    a *= c;
+    return a;
+  }
+  [[nodiscard]] LinearExpr negated() const;
+
+  /// Evaluates under `value_of`, a callable Var -> int64.
+  template <typename F>
+  [[nodiscard]] std::int64_t evaluate(F&& value_of) const {
+    std::int64_t acc = constant_;
+    for (const Term& t : terms_) {
+      acc = sat_add(acc, sat_mul(t.coeff, value_of(t.var)));
+    }
+    return acc;
+  }
+
+  /// Appends the variables of this expression to `out` (sorted, unique).
+  void collect_vars(std::vector<Var>& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const LinearExpr&) const = default;
+
+ private:
+  std::vector<Term> terms_;       // sorted by var, coeffs non-zero
+  std::int64_t constant_ = 0;
+};
+
+}  // namespace compi::solver

@@ -1,0 +1,57 @@
+#include "solver/predicate.h"
+
+namespace compi::solver {
+
+CompareOp negate(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return CompareOp::kNeq;
+    case CompareOp::kNeq: return CompareOp::kEq;
+    case CompareOp::kLt: return CompareOp::kGe;
+    case CompareOp::kLe: return CompareOp::kGt;
+    case CompareOp::kGt: return CompareOp::kLe;
+    case CompareOp::kGe: return CompareOp::kLt;
+  }
+  return CompareOp::kEq;
+}
+
+const char* to_string(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNeq: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Predicate make_eq(Var a, Var b) {
+  LinearExpr e = LinearExpr::variable(a);
+  e.add_term(b, -1);
+  return {e, CompareOp::kEq};
+}
+
+Predicate make_lt(Var a, Var b) {
+  LinearExpr e = LinearExpr::variable(a);
+  e.add_term(b, -1);
+  return {e, CompareOp::kLt};
+}
+
+Predicate make_ge_const(Var a, std::int64_t c) {
+  return {LinearExpr(a, 1, -c), CompareOp::kGe};
+}
+
+Predicate make_le_const(Var a, std::int64_t c) {
+  return {LinearExpr(a, 1, -c), CompareOp::kLe};
+}
+
+Predicate make_lt_const(Var a, std::int64_t c) {
+  return {LinearExpr(a, 1, -c), CompareOp::kLt};
+}
+
+Predicate make_eq_const(Var a, std::int64_t c) {
+  return {LinearExpr(a, 1, -c), CompareOp::kEq};
+}
+
+}  // namespace compi::solver

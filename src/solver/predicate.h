@@ -1,0 +1,63 @@
+// Atomic constraints: a linear expression compared against zero.
+//
+// Every path constraint concolic execution records has the form
+//   expr  op  0        where op in {=, !=, <, <=, >, >=}
+// (comparisons between two symbolic expressions are normalized by moving
+// everything to the left-hand side).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/linear_expr.h"
+
+namespace compi::solver {
+
+/// Comparison operator of a predicate `expr op 0`.
+enum class CompareOp : std::uint8_t { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] CompareOp negate(CompareOp op);
+[[nodiscard]] const char* to_string(CompareOp op);
+
+/// One atomic constraint: `expr op 0`.
+struct Predicate {
+  LinearExpr expr;
+  CompareOp op = CompareOp::kEq;
+
+  /// The logical negation (e.g. `e <= 0` becomes `e > 0`).  This is the
+  /// operation concolic testing applies to force the other branch direction.
+  [[nodiscard]] Predicate negated() const { return {expr, negate(op)}; }
+
+  /// Evaluates under `value_of` (callable Var -> int64).
+  template <typename F>
+  [[nodiscard]] bool holds(F&& value_of) const {
+    const std::int64_t v = expr.evaluate(value_of);
+    switch (op) {
+      case CompareOp::kEq: return v == 0;
+      case CompareOp::kNeq: return v != 0;
+      case CompareOp::kLt: return v < 0;
+      case CompareOp::kLe: return v <= 0;
+      case CompareOp::kGt: return v > 0;
+      case CompareOp::kGe: return v >= 0;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return expr.to_string() + ' ' + solver::to_string(op) + " 0";
+  }
+
+  bool operator==(const Predicate&) const = default;
+};
+
+/// Convenience builders used by the framework when injecting
+/// MPI-semantics constraints (paper §III-B) and cap constraints (§IV-A).
+[[nodiscard]] Predicate make_eq(Var a, Var b);              // a - b == 0
+[[nodiscard]] Predicate make_lt(Var a, Var b);              // a - b < 0
+[[nodiscard]] Predicate make_ge_const(Var a, std::int64_t c);   // a >= c
+[[nodiscard]] Predicate make_le_const(Var a, std::int64_t c);   // a <= c
+[[nodiscard]] Predicate make_lt_const(Var a, std::int64_t c);   // a < c
+[[nodiscard]] Predicate make_eq_const(Var a, std::int64_t c);   // a == c
+
+}  // namespace compi::solver

@@ -1,0 +1,145 @@
+#include "solver/propagation.h"
+
+#include <limits>
+#include <numeric>
+
+namespace compi::solver {
+namespace {
+
+// GCD feasibility: sum c_i x_i + k == 0 has integer solutions only when
+// gcd(|c_i|) divides k.  A cheap refutation interval reasoning misses
+// (e.g. 2x + 4y == 3).
+bool equality_gcd_feasible(const Predicate& p) {
+  if (p.op != CompareOp::kEq || p.expr.terms().empty()) return true;
+  std::int64_t g = 0;
+  for (const Term& t : p.expr.terms()) {
+    g = std::gcd(g, t.coeff < 0 ? -t.coeff : t.coeff);
+  }
+  if (g == 0) return p.expr.constant_part() == 0;
+  return p.expr.constant_part() % g == 0;
+}
+
+// For predicate `sum_i c_i x_i + k  op  0`, derives the interval of values
+// variable `target` may take, given the current domains of the other
+// variables, and intersects it into `dom`.  Returns true if `dom` changed.
+bool tighten_one(const Predicate& p, Var target, std::int64_t c_t,
+                 DomainMap& domains, Interval& dom) {
+  // Rest = sum over other terms + constant, as an interval.
+  Interval rest = Interval::point(p.expr.constant_part());
+  for (const Term& t : p.expr.terms()) {
+    if (t.var == target) continue;
+    rest = rest + domain_of(domains, t.var).scaled(t.coeff);
+    if (rest.is_empty()) return false;
+  }
+
+  // Normalize strict ops to non-strict over integers:
+  //   E < 0  <=>  E <= -1;   E > 0  <=>  E >= 1.
+  std::int64_t upper_rhs = 0;  // for <=-style bound on c_t*x_t + rest
+  std::int64_t lower_rhs = 0;  // for >=-style bound
+  bool has_upper = false;
+  bool has_lower = false;
+  switch (p.op) {
+    case CompareOp::kLe: has_upper = true; upper_rhs = 0; break;
+    case CompareOp::kLt: has_upper = true; upper_rhs = -1; break;
+    case CompareOp::kGe: has_lower = true; lower_rhs = 0; break;
+    case CompareOp::kGt: has_lower = true; lower_rhs = 1; break;
+    case CompareOp::kEq:
+      has_upper = has_lower = true;
+      upper_rhs = lower_rhs = 0;
+      break;
+    case CompareOp::kNeq: {
+      // Only useful when the rest is a point and the excluded value sits on
+      // a domain boundary: x != v with dom [v, hi] becomes [v+1, hi].
+      if (!rest.is_point()) return false;
+      if (-rest.lo % c_t != 0) return false;
+      const std::int64_t excluded = -rest.lo / c_t;
+      Interval next = dom;
+      if (next.lo == excluded) next.lo = sat_add(next.lo, 1);
+      if (next.hi == excluded) next.hi = sat_add(next.hi, -1);
+      if (next == dom) return false;
+      dom = next;
+      return true;
+    }
+  }
+
+  Interval next = dom;
+  if (has_upper) {
+    // c_t * x_t <= upper_rhs - rest.lo  (feasibility requires the best case
+    // of the rest, i.e. its minimum).
+    const std::int64_t rhs = sat_add(upper_rhs, -rest.lo);
+    if (c_t > 0) {
+      next.hi = std::min(next.hi, floor_div(rhs, c_t));
+    } else {
+      next.lo = std::max(next.lo, ceil_div(rhs, c_t));
+    }
+  }
+  if (has_lower) {
+    // c_t * x_t >= lower_rhs - rest.hi.
+    const std::int64_t rhs = sat_add(lower_rhs, -rest.hi);
+    if (c_t > 0) {
+      next.lo = std::max(next.lo, ceil_div(rhs, c_t));
+    } else {
+      next.hi = std::min(next.hi, floor_div(rhs, c_t));
+    }
+  }
+  if (next == dom) return false;
+  dom = next;
+  return true;
+}
+
+}  // namespace
+
+PropagationResult propagate(std::span<const Predicate> preds, DomainMap& domains,
+                            int max_passes) {
+  PropagationResult result;
+  for (const Predicate& p : preds) {
+    if (!equality_gcd_feasible(p)) {
+      result.consistent = false;
+      return result;
+    }
+  }
+  for (int pass = 0; pass < max_passes; ++pass) {
+    result.passes = pass + 1;
+    bool changed = false;
+    for (const Predicate& p : preds) {
+      for (const Term& t : p.expr.terms()) {
+        Interval dom = domain_of(domains, t.var);
+        if (tighten_one(p, t.var, t.coeff, domains, dom)) {
+          domains[t.var] = dom;
+          changed = true;
+          if (dom.is_empty()) {
+            result.consistent = false;
+            return result;
+          }
+        }
+      }
+      // Ground predicate (no variables): must hold outright.
+      if (p.expr.is_constant() && !p.holds([](Var) { return 0; })) {
+        result.consistent = false;
+        return result;
+      }
+    }
+    if (!changed) break;
+  }
+  return result;
+}
+
+bool ground_predicates_hold(std::span<const Predicate> preds,
+                            const DomainMap& domains) {
+  for (const Predicate& p : preds) {
+    bool ground = true;
+    for (const Term& t : p.expr.terms()) {
+      if (!domain_of(domains, t.var).is_point()) {
+        ground = false;
+        break;
+      }
+    }
+    if (!ground) continue;
+    const bool ok =
+        p.holds([&](Var v) { return domain_of(domains, v).lo; });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace compi::solver

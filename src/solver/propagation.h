@@ -1,0 +1,44 @@
+// Interval (bounds) propagation for conjunctions of linear predicates.
+//
+// Given per-variable domains, repeatedly tightens each variable's interval
+// using every predicate it appears in, to a fixpoint (or a pass limit — the
+// propagation is monotone, so stopping early is sound, just less precise).
+// An empty domain proves the conjunction unsatisfiable over the domains.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "solver/interval.h"
+#include "solver/predicate.h"
+
+namespace compi::solver {
+
+/// Per-variable domains.  Variables absent from the map are treated as
+/// unconstrained int32-ranged (the default for marked C ints).
+using DomainMap = std::unordered_map<Var, Interval>;
+
+[[nodiscard]] inline Interval domain_of(const DomainMap& d, Var v) {
+  auto it = d.find(v);
+  return it == d.end() ? int32_domain() : it->second;
+}
+
+/// Result of a propagation run.
+struct PropagationResult {
+  bool consistent = true;  // false => domains emptied: definitely UNSAT
+  int passes = 0;          // passes executed before fixpoint / limit
+};
+
+/// Tightens `domains` in place using `preds`.  Runs at most `max_passes`
+/// sweeps over all predicates.  Returns consistent=false iff some domain
+/// became empty (a proof of unsatisfiability).
+PropagationResult propagate(std::span<const Predicate> preds, DomainMap& domains,
+                            int max_passes = 64);
+
+/// Checks all fully-ground predicates (every variable's domain a point)
+/// against those point values.  Complements propagate(), which cannot
+/// refute `!=` over multi-point domains.
+[[nodiscard]] bool ground_predicates_hold(std::span<const Predicate> preds,
+                                          const DomainMap& domains);
+
+}  // namespace compi::solver

@@ -1,0 +1,186 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace compi::solver {
+namespace {
+
+struct SearchState {
+  std::span<const Predicate> preds;
+  const SolverOptions* opts;
+  const Assignment* prefer;
+  std::int64_t nodes_left;
+};
+
+// Picks the unfixed variable with the narrowest domain (fail-first).
+std::optional<Var> pick_branch_var(const DomainMap& domains,
+                                   const std::vector<Var>& vars) {
+  std::optional<Var> best;
+  std::uint64_t best_width = std::numeric_limits<std::uint64_t>::max();
+  for (Var v : vars) {
+    const Interval dom = domain_of(domains, v);
+    if (dom.is_point()) continue;
+    if (dom.width() < best_width) {
+      best_width = dom.width();
+      best = v;
+    }
+  }
+  return best;
+}
+
+// Candidate values for `v`, most-promising first: the previous value (value
+// reuse is what makes incremental solving report precise "changed" sets),
+// then boundary values, zero, and the midpoint; small domains are
+// enumerated exhaustively.  The small-value bias matches Yices-1's
+// behaviour (its simplex core prefers zeros and tight bounds), which is
+// what keeps the same query returning the same model run after run.
+std::vector<std::int64_t> candidates_for(Var v, Interval dom,
+                                         const SearchState& st) {
+  std::vector<std::int64_t> out;
+  auto push = [&](std::int64_t x) {
+    if (dom.contains(x) &&
+        std::find(out.begin(), out.end(), x) == out.end()) {
+      out.push_back(x);
+    }
+  };
+  if (auto it = st.prefer->find(v); it != st.prefer->end()) push(it->second);
+  if (static_cast<std::int64_t>(dom.width()) <= st.opts->exhaustive_width &&
+      dom.width() > 0) {
+    for (std::int64_t x = dom.lo; x <= dom.hi; ++x) push(x);
+    return out;
+  }
+  push(dom.lo);
+  push(dom.hi);
+  push(0);
+  push(dom.lo + (dom.hi - dom.lo) / 2);
+  push(sat_add(dom.lo, 1));
+  push(sat_add(dom.hi, -1));
+  push(1);
+  if (auto it = st.prefer->find(v); it != st.prefer->end()) {
+    push(sat_add(it->second, 1));
+    push(sat_add(it->second, -1));
+  }
+  return out;
+}
+
+bool search(SearchState& st, DomainMap domains, const std::vector<Var>& vars,
+            DomainMap& solution) {
+  if (!propagate(st.preds, domains).consistent) return false;
+  const std::optional<Var> branch = pick_branch_var(domains, vars);
+  if (!branch) {
+    if (!ground_predicates_hold(st.preds, domains)) return false;
+    solution = std::move(domains);
+    return true;
+  }
+  const Interval dom = domain_of(domains, *branch);
+  for (std::int64_t value : candidates_for(*branch, dom, st)) {
+    if (st.nodes_left-- <= 0) return false;
+    DomainMap next = domains;
+    next[*branch] = Interval::point(value);
+    if (search(st, std::move(next), vars, solution)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Assignment> Solver::solve(std::span<const Predicate> preds,
+                                        const DomainMap& domains,
+                                        const Assignment& prefer) const {
+  std::vector<Var> vars;
+  for (const Predicate& p : preds) p.expr.collect_vars(vars);
+  for (const auto& [v, dom] : domains) {
+    auto it = std::lower_bound(vars.begin(), vars.end(), v);
+    if (it == vars.end() || *it != v) vars.insert(it, v);
+  }
+
+  DomainMap working = domains;
+  SearchState st{preds, &opts_, &prefer, opts_.max_search_nodes};
+  DomainMap solution;
+  if (!search(st, std::move(working), vars, solution)) return std::nullopt;
+
+  Assignment out;
+  out.reserve(vars.size());
+  for (Var v : vars) out[v] = domain_of(solution, v).lo;
+  return out;
+}
+
+std::vector<std::size_t> Solver::dependency_slice(
+    std::span<const Predicate> preds, std::size_t seed) {
+  // BFS over the "shares a variable" relation, exactly as CREST's Yices
+  // wrapper does before handing constraints to the solver.
+  std::unordered_map<Var, std::vector<std::size_t>> by_var;
+  std::vector<std::vector<Var>> vars_of(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    preds[i].expr.collect_vars(vars_of[i]);
+    for (Var v : vars_of[i]) by_var[v].push_back(i);
+  }
+  std::vector<bool> in_slice(preds.size(), false);
+  std::unordered_map<Var, bool> var_done;
+  std::queue<std::size_t> work;
+  work.push(seed);
+  in_slice[seed] = true;
+  while (!work.empty()) {
+    const std::size_t i = work.front();
+    work.pop();
+    for (Var v : vars_of[i]) {
+      auto& done = var_done[v];
+      if (done) continue;
+      done = true;
+      for (std::size_t j : by_var[v]) {
+        if (!in_slice[j]) {
+          in_slice[j] = true;
+          work.push(j);
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (in_slice[i]) out.push_back(i);
+  }
+  return out;
+}
+
+SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
+                                      const DomainMap& domains,
+                                      const Assignment& previous) const {
+  SolveResult result;
+  if (preds.empty()) {
+    result.sat = true;
+    result.values = previous;
+    return result;
+  }
+
+  const std::vector<std::size_t> slice =
+      dependency_slice(preds, preds.size() - 1);
+  std::vector<Predicate> sub;
+  sub.reserve(slice.size());
+  std::vector<Var> slice_vars;
+  for (std::size_t i : slice) {
+    sub.push_back(preds[i]);
+    preds[i].expr.collect_vars(slice_vars);
+  }
+
+  // Restrict domains to the slice's variables (plus their declared bounds).
+  DomainMap sub_domains;
+  for (Var v : slice_vars) sub_domains[v] = domain_of(domains, v);
+
+  const std::optional<Assignment> solved = solve(sub, sub_domains, previous);
+  if (!solved) return result;  // UNSAT / budget exhausted
+
+  result.sat = true;
+  result.values = previous;
+  for (const auto& [v, value] : *solved) {
+    auto it = previous.find(v);
+    if (it == previous.end() || it->second != value) {
+      result.changed.push_back(v);
+    }
+    result.values[v] = value;
+  }
+  std::sort(result.changed.begin(), result.changed.end());
+  return result;
+}
+
+}  // namespace compi::solver

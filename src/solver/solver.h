@@ -1,0 +1,72 @@
+// The constraint solver (Yices substitute).
+//
+// Solves conjunctions of linear integer predicates over bounded domains via
+// interval propagation + backtracking search, and offers the *incremental*
+// mode concolic testing uses (paper §III-C "Incremental solving property"):
+// only the constraints transitively sharing variables with the negated
+// constraint are re-solved; every other variable keeps its previous value.
+// The result therefore distinguishes *changed* variables (whose values are
+// "most up-to-date") from stale ones — the property COMPI's rank-conflict
+// resolution depends on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/predicate.h"
+#include "solver/propagation.h"
+
+namespace compi::solver {
+
+/// A full assignment of values to variables.
+using Assignment = std::unordered_map<Var, std::int64_t>;
+
+struct SolverOptions {
+  /// Backtracking-search node budget; exceeding it reports "unsolved"
+  /// (treated by the driver like an UNSAT/solver-timeout, as with Yices).
+  std::int64_t max_search_nodes = 200'000;
+  /// Values enumerated exhaustively when a domain is at most this wide.
+  std::int64_t exhaustive_width = 512;
+};
+
+/// Result of an incremental solve.
+struct SolveResult {
+  bool sat = false;
+  Assignment values;           // complete (solved vars merged over previous)
+  std::vector<Var> changed;    // vars whose value differs from the previous
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions opts = {}) : opts_(opts) {}
+
+  /// Solves the conjunction of `preds` over `domains`.  `prefer` supplies
+  /// values to try first (the previous test's inputs), which both speeds up
+  /// search and maximizes value reuse.  Returns values for every variable
+  /// appearing in `preds` or `domains`; nullopt when UNSAT or budget-bound.
+  [[nodiscard]] std::optional<Assignment> solve(
+      std::span<const Predicate> preds, const DomainMap& domains,
+      const Assignment& prefer = {}) const;
+
+  /// CREST-style incremental solve.  `preds` is the updated constraint set
+  /// whose *last* element is the freshly negated constraint; `previous` is
+  /// the input assignment that satisfied the un-negated set.  Re-solves only
+  /// the dependency slice of the last constraint and keeps previous values
+  /// elsewhere.
+  [[nodiscard]] SolveResult solve_incremental(std::span<const Predicate> preds,
+                                              const DomainMap& domains,
+                                              const Assignment& previous) const;
+
+  /// Indices of `preds` transitively sharing variables with `preds[seed]`
+  /// (the dependency slice used by incremental solving).  Exposed for tests.
+  [[nodiscard]] static std::vector<std::size_t> dependency_slice(
+      std::span<const Predicate> preds, std::size_t seed);
+
+ private:
+  SolverOptions opts_;
+};
+
+}  // namespace compi::solver

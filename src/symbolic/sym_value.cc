@@ -1,0 +1,74 @@
+#include "symbolic/sym_value.h"
+
+#include "solver/interval.h"
+
+namespace compi::sym {
+
+SymInt operator+(const SymInt& a, const SymInt& b) {
+  const std::int64_t v = solver::sat_add(a.value(), b.value());
+  if (!a.is_symbolic() && !b.is_symbolic()) return {v};
+  LinearExpr e = a.is_symbolic() ? a.expr() : LinearExpr(a.value());
+  e += b.is_symbolic() ? b.expr() : LinearExpr(b.value());
+  return {v, std::move(e)};
+}
+
+SymInt operator-(const SymInt& a, const SymInt& b) {
+  const std::int64_t v = solver::sat_add(a.value(), -b.value());
+  if (!a.is_symbolic() && !b.is_symbolic()) return {v};
+  LinearExpr e = a.is_symbolic() ? a.expr() : LinearExpr(a.value());
+  e -= b.is_symbolic() ? b.expr() : LinearExpr(b.value());
+  return {v, std::move(e)};
+}
+
+SymInt operator-(const SymInt& a) {
+  if (!a.is_symbolic()) return {-a.value()};
+  return {-a.value(), a.expr().negated()};
+}
+
+SymInt operator*(const SymInt& a, const SymInt& b) {
+  const std::int64_t v = solver::sat_mul(a.value(), b.value());
+  // Linearization: symbolic * symbolic keeps the left operand symbolic and
+  // concretizes the right (CREST's behaviour for non-linear arithmetic).
+  if (a.is_symbolic()) {
+    LinearExpr e = a.expr();
+    e *= b.value();
+    return e.is_constant() && e.constant_part() == v ? SymInt(v)
+                                                     : SymInt(v, std::move(e));
+  }
+  if (b.is_symbolic()) {
+    LinearExpr e = b.expr();
+    e *= a.value();
+    return e.is_constant() && e.constant_part() == v ? SymInt(v)
+                                                     : SymInt(v, std::move(e));
+  }
+  return {v};
+}
+
+SymInt operator/(const SymInt& a, const SymInt& b) {
+  // Division is non-linear: the result is concrete.
+  return {a.value() / b.value()};
+}
+
+SymInt operator%(const SymInt& a, const SymInt& b) {
+  return {a.value() % b.value()};
+}
+
+SymBool compare(const SymInt& a, CompareOp op, const SymInt& b) {
+  const std::int64_t d = solver::sat_add(a.value(), -b.value());
+  bool outcome = false;
+  switch (op) {
+    case CompareOp::kEq: outcome = d == 0; break;
+    case CompareOp::kNeq: outcome = d != 0; break;
+    case CompareOp::kLt: outcome = d < 0; break;
+    case CompareOp::kLe: outcome = d <= 0; break;
+    case CompareOp::kGt: outcome = d > 0; break;
+    case CompareOp::kGe: outcome = d >= 0; break;
+  }
+  if (!a.is_symbolic() && !b.is_symbolic()) return {outcome};
+  LinearExpr e = a.is_symbolic() ? a.expr() : LinearExpr(a.value());
+  e -= b.is_symbolic() ? b.expr() : LinearExpr(b.value());
+  if (e.is_constant()) return {outcome};  // symbolic parts cancelled
+  return {outcome, Predicate{std::move(e), op}};
+}
+
+}  // namespace compi::sym

@@ -1,0 +1,113 @@
+// Concolic values: a concrete value paired with an optional symbolic
+// (linear) expression over marked input variables.
+//
+// Mirrors CREST's semantics exactly:
+//  * every value always has a concrete part — execution is never blocked;
+//  * symbolic expressions stay linear: a product of two symbolic values
+//    concretizes the right operand; division/modulo concretize the result
+//    (the classic concolic simplification, paper §I-A);
+//  * comparing two values produces a SymBool whose predicate holds iff the
+//    comparison is true, ready to be recorded as a path constraint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "solver/predicate.h"
+
+namespace compi::sym {
+
+using solver::CompareOp;
+using solver::LinearExpr;
+using solver::Predicate;
+using solver::Var;
+
+/// A concolic integer.
+class SymInt {
+ public:
+  SymInt() = default;
+  /// Purely concrete value.
+  SymInt(std::int64_t concrete) : concrete_(concrete) {}  // NOLINT: implicit by design
+  /// Symbolic input variable with its current concrete value.
+  SymInt(std::int64_t concrete, Var var)
+      : concrete_(concrete), expr_(LinearExpr::variable(var)) {}
+  SymInt(std::int64_t concrete, LinearExpr expr)
+      : concrete_(concrete), expr_(std::move(expr)) {}
+
+  [[nodiscard]] std::int64_t value() const { return concrete_; }
+  [[nodiscard]] bool is_symbolic() const { return expr_.has_value(); }
+  [[nodiscard]] const LinearExpr& expr() const { return *expr_; }
+
+  /// Drops the symbolic part (used when a value flows through an operation
+  /// the symbolic engine cannot track).
+  [[nodiscard]] SymInt concretized() const { return SymInt(concrete_); }
+
+  friend SymInt operator+(const SymInt& a, const SymInt& b);
+  friend SymInt operator-(const SymInt& a, const SymInt& b);
+  friend SymInt operator*(const SymInt& a, const SymInt& b);
+  friend SymInt operator-(const SymInt& a);
+
+  /// Integer division.  Callers must ensure b.value() != 0; the runtime
+  /// layer (RuntimeContext::div) performs the checked version that raises a
+  /// simulated SIGFPE.  The result is concrete (non-linear).
+  friend SymInt operator/(const SymInt& a, const SymInt& b);
+  friend SymInt operator%(const SymInt& a, const SymInt& b);
+
+ private:
+  std::int64_t concrete_ = 0;
+  std::optional<LinearExpr> expr_;
+};
+
+/// A concolic boolean: the concrete outcome of a comparison plus, when any
+/// operand was symbolic, the predicate that holds iff the outcome is true.
+class SymBool {
+ public:
+  SymBool() = default;
+  SymBool(bool concrete) : concrete_(concrete) {}  // NOLINT: implicit by design
+  SymBool(bool concrete, Predicate pred)
+      : concrete_(concrete), pred_(std::move(pred)) {}
+
+  [[nodiscard]] bool value() const { return concrete_; }
+  [[nodiscard]] bool is_symbolic() const { return pred_.has_value(); }
+  /// Predicate that holds iff the condition is TRUE.
+  [[nodiscard]] const Predicate& predicate() const { return *pred_; }
+
+  /// Predicate satisfied by the direction actually taken: the predicate
+  /// itself when true, its negation when false.
+  [[nodiscard]] Predicate taken_predicate() const {
+    return concrete_ ? *pred_ : pred_->negated();
+  }
+
+  [[nodiscard]] SymBool operator!() const {
+    if (pred_) return {!concrete_, pred_->negated()};
+    return {!concrete_};
+  }
+
+ private:
+  bool concrete_ = false;
+  std::optional<Predicate> pred_;
+};
+
+/// Comparison `a op b`, normalized to `(a - b) op 0`.
+[[nodiscard]] SymBool compare(const SymInt& a, CompareOp op, const SymInt& b);
+
+[[nodiscard]] inline SymBool operator==(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kEq, b);
+}
+[[nodiscard]] inline SymBool operator!=(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kNeq, b);
+}
+[[nodiscard]] inline SymBool operator<(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kLt, b);
+}
+[[nodiscard]] inline SymBool operator<=(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kLe, b);
+}
+[[nodiscard]] inline SymBool operator>(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kGt, b);
+}
+[[nodiscard]] inline SymBool operator>=(const SymInt& a, const SymInt& b) {
+  return compare(a, CompareOp::kGe, b);
+}
+
+}  // namespace compi::sym

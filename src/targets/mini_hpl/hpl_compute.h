@@ -1,0 +1,58 @@
+// mini-HPL compute phase: process grid, distributed block LU, residual.
+//
+// A real (small-scale) distributed LU factorization with partial pivoting:
+// column panels are block-cyclic over the P*Q grid processes, the panel
+// owner factorizes and broadcasts (six broadcast variants, as HPL's
+// HPL_bcast), everyone applies row swaps (three swap variants) and updates
+// its own columns, then forward/backward substitution and the HPL-style
+// scaled residual check close the run.
+#pragma once
+
+#include "minimpi/comm.h"
+#include "runtime/context.h"
+#include "targets/mini_hpl/hpl_params.h"
+
+namespace compi::targets::hpl {
+
+/// One rank's view of the P x Q process grid.
+struct Grid {
+  bool active = false;  // rank < p*q
+  int p = 1, q = 1;
+  int grid_id = -1;  // linear id in the grid == world rank (ranks 0..pq-1)
+  int ngrid = 1;     // p*q
+  int myrow = 0, mycol = 0;
+  minimpi::Comm row_comm, col_comm, grid_comm;
+};
+
+/// HPL_grid_init: builds the grid (row-/column-major per pmap) and the
+/// row / column / all-grid communicators via MPI_Comm_split — each split's
+/// comm_rank marks an rc variable, reproducing the multi-communicator
+/// situation of the paper's Fig. 5.
+[[nodiscard]] Grid grid_init(rt::RuntimeContext& ctx, minimpi::Comm& world,
+                             const Params& prm);
+
+struct SolveResult {
+  bool ran = false;
+  bool passed = false;
+  double scaled_residual = 0.0;
+  /// Phase timings (HPL_timer): factorization, broadcast, swap+update,
+  /// substitution+verify — printed per solve by rank 0 in real HPL.
+  double fact_seconds = 0.0;
+  double bcast_seconds = 0.0;
+  double update_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// 2/3 n^3 + 2 n^2 flop estimate over the factorization wall time.
+  [[nodiscard]] double gflops(int n) const {
+    const double flops = (2.0 / 3.0) * n * n * n + 2.0 * n * n;
+    const double secs =
+        fact_seconds + bcast_seconds + update_seconds + solve_seconds;
+    return secs > 0 ? flops / secs * 1e-9 : 0.0;
+  }
+};
+
+/// HPL_pdgesv + HPL_pdverify for one (n, nb) configuration.  Collective
+/// over the grid ranks; inactive ranks must not call it.
+[[nodiscard]] SolveResult pdgesv(rt::RuntimeContext& ctx, const Grid& grid,
+                                 const Params& prm, int n, int nb);
+
+}  // namespace compi::targets::hpl

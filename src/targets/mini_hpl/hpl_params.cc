@@ -1,0 +1,193 @@
+#include "targets/mini_hpl/hpl_params.h"
+
+namespace compi::targets::hpl {
+
+Params read_params(rt::RuntimeContext& ctx, int n_cap) {
+  Params prm;
+  prm.ns_count = ctx.input_int("ns_count");
+  prm.n = ctx.input_int_capped("n", n_cap);
+  prm.nb_count = ctx.input_int("nb_count");
+  prm.nb = ctx.input_int_capped("nb", 128);
+  prm.pmap = ctx.input_int("pmap");
+  prm.grid_count = ctx.input_int("grid_count");
+  prm.p = ctx.input_int_capped("p", 64);
+  prm.q = ctx.input_int_capped("q", 64);
+  prm.pfact_count = ctx.input_int("pfact_count");
+  prm.pfact = ctx.input_int("pfact");
+  prm.nbmin = ctx.input_int_capped("nbmin", 64);
+  prm.ndiv = ctx.input_int("ndiv");
+  prm.rfact = ctx.input_int("rfact");
+  prm.bcast = ctx.input_int("bcast");
+  prm.depth = ctx.input_int("depth");
+  prm.swap_alg = ctx.input_int("swap_alg");
+  prm.swap_threshold = ctx.input_int_capped("swap_threshold", 512);
+  prm.l1_form = ctx.input_int("l1_form");
+  prm.u_form = ctx.input_int("u_form");
+  prm.equil = ctx.input_int("equil");
+  prm.align = ctx.input_int("align");
+  prm.threshold_scale = ctx.input_int("threshold_scale");
+  prm.pfact_list_len = ctx.input_int("pfact_list_len");
+  prm.nbmin_list_len = ctx.input_int("nbmin_list_len");
+  return prm;
+}
+
+namespace {
+
+/// One failed check: rank 0 would print the HPL_pdinfo error line.  The
+/// rank guard is itself a conditional on a marked MPI variable — the same
+/// shape as branch 2T/2F in the paper's Fig. 2 skeleton.
+bool fail(rt::RuntimeContext& ctx, const sym::SymInt& rank) {
+  if (br(ctx, Site::san_err_rank0, rank == sym::SymInt(0))) {
+    // rank 0: "HPL ERROR in HPL_pdinfo" (output elided)
+  }
+  return false;
+}
+
+}  // namespace
+
+bool sanity_check(rt::RuntimeContext& ctx, const Params& prm,
+                  const sym::SymInt& rank, const sym::SymInt& size) {
+  using S = Site;
+  const sym::SymInt zero(0);
+
+  // --- problem sizes ---
+  if (br(ctx, S::san_ns_count_lo, prm.ns_count < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_ns_count_hi, prm.ns_count > sym::SymInt(20))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_n_neg, prm.n < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_n_zero, prm.n == zero)) {
+    // Valid but trivial: HPL treats N=0 as "nothing to do".
+  }
+
+  // --- block sizes ---
+  if (br(ctx, S::san_nb_count_lo, prm.nb_count < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nb_count_hi, prm.nb_count > sym::SymInt(16))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nb_lo, prm.nb < sym::SymInt(1))) return fail(ctx, rank);
+  if (br(ctx, S::san_nb_hi, prm.nb > sym::SymInt(128))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nb_gt_n, prm.nb > prm.n + sym::SymInt(1))) {
+    // NB far beyond N wastes the panel logic; HPL warns but continues.
+  }
+
+  // --- process map & grids ---
+  if (br(ctx, S::san_pmap_lo, prm.pmap < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_pmap_hi, prm.pmap > sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_grid_count_lo, prm.grid_count < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_grid_count_hi, prm.grid_count > sym::SymInt(20))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_p_lo, prm.p < sym::SymInt(1))) return fail(ctx, rank);
+  if (br(ctx, S::san_q_lo, prm.q < sym::SymInt(1))) return fail(ctx, rank);
+  // Grid must fit in MPI_COMM_WORLD: ties marked inputs to sw (§III-B).
+  if (br(ctx, S::san_grid_fit, prm.p * prm.q > size)) {
+    return fail(ctx, rank);
+  }
+
+  // --- panel factorization ---
+  if (br(ctx, S::san_pfact_count_lo, prm.pfact_count < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_pfact_count_hi, prm.pfact_count > sym::SymInt(3))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_pfact_lo, prm.pfact < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_pfact_hi, prm.pfact > sym::SymInt(2))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nbmin_lo, prm.nbmin < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nbmin_hi, prm.nbmin > sym::SymInt(64))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_ndiv_lo, prm.ndiv < sym::SymInt(2))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_ndiv_hi, prm.ndiv > sym::SymInt(8))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_rfact_lo, prm.rfact < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_rfact_hi, prm.rfact > sym::SymInt(2))) {
+    return fail(ctx, rank);
+  }
+
+  // --- broadcast & lookahead ---
+  if (br(ctx, S::san_bcast_lo, prm.bcast < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_bcast_hi, prm.bcast > sym::SymInt(5))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_depth_lo, prm.depth < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_depth_hi, prm.depth > sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+
+  // --- row swapping ---
+  if (br(ctx, S::san_swap_lo, prm.swap_alg < zero)) return fail(ctx, rank);
+  if (br(ctx, S::san_swap_hi, prm.swap_alg > sym::SymInt(2))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_swap_thr_neg, prm.swap_threshold < zero)) {
+    return fail(ctx, rank);
+  }
+
+  // --- storage forms ---
+  if (br(ctx, S::san_l1_form, prm.l1_form * (prm.l1_form - sym::SymInt(1)) !=
+                                  zero)) {
+    return fail(ctx, rank);  // must be 0 or 1
+  }
+  if (br(ctx, S::san_u_form,
+         prm.u_form * (prm.u_form - sym::SymInt(1)) != zero)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_equil,
+         prm.equil * (prm.equil - sym::SymInt(1)) != zero)) {
+    return fail(ctx, rank);
+  }
+
+  // --- alignment: must be a power of two in [4, 64] ---
+  if (br(ctx, S::san_align_lo, prm.align < sym::SymInt(4))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_align_hi, prm.align > sym::SymInt(64))) {
+    return fail(ctx, rank);
+  }
+  bool pow2 = false;
+  for (int a = 4; a <= 64; a *= 2) {
+    if (br(ctx, S::san_align_pow2, prm.align == sym::SymInt(a))) {
+      pow2 = true;
+      break;
+    }
+  }
+  if (!pow2) return fail(ctx, rank);
+
+  // --- residual threshold scale ---
+  if (br(ctx, S::san_thr_scale_lo, prm.threshold_scale < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_thr_scale_hi,
+         prm.threshold_scale > sym::SymInt(1000))) {
+    return fail(ctx, rank);
+  }
+  // --- list lengths of the pfact / nbmin sweeps ---
+  if (br(ctx, S::san_pfl_len, prm.pfact_list_len < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::san_nbl_len, prm.nbmin_list_len < sym::SymInt(1))) {
+    return fail(ctx, rank);
+  }
+  return true;
+}
+
+}  // namespace compi::targets::hpl

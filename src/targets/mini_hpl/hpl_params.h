@@ -1,0 +1,47 @@
+// mini-HPL input parameters and the HPL_pdinfo sanity cascade.
+//
+// HPL.dat has 28 tunables; the paper marks 24 non-floating-point inputs
+// (arrays treated as one variable each, §VI "Marking input variables").
+// The same 24 are marked here; the matrix size `n` carries the input cap
+// N_C (default 300, §VI experiment setup).
+#pragma once
+
+#include "minimpi/comm.h"
+#include "runtime/context.h"
+#include "targets/mini_hpl/hpl_sites.h"
+
+namespace compi::targets::hpl {
+
+struct Params {
+  // problem
+  sym::SymInt ns_count, n;
+  sym::SymInt nb_count, nb;
+  // process grid
+  sym::SymInt pmap, grid_count, p, q;
+  // panel factorization
+  sym::SymInt pfact_count, pfact, nbmin, ndiv, rfact;
+  // broadcast / lookahead
+  sym::SymInt bcast, depth;
+  // row swapping
+  sym::SymInt swap_alg, swap_threshold;
+  // storage forms
+  sym::SymInt l1_form, u_form, equil, align;
+  // residual threshold scale (the "16.0" of HPL.dat, as an int scale)
+  sym::SymInt threshold_scale;
+  // extra marked counts (HPL checks each list length)
+  sym::SymInt pfact_list_len, nbmin_list_len;
+};
+
+/// Reads (marks) all 24 input variables.  `n_cap` is the input cap N_C on
+/// the matrix size (COMPI_int_with_limit, §IV-A).
+[[nodiscard]] Params read_params(rt::RuntimeContext& ctx, int n_cap);
+
+/// HPL_pdinfo: validates every parameter and their combinations; on any
+/// violation rank 0 reports and all return false (the program exits before
+/// the solve phase).  `rank` / `size` are the marked MPI variables so the
+/// grid-fit check `p*q <= size` ties inputs to the process count.
+[[nodiscard]] bool sanity_check(rt::RuntimeContext& ctx, const Params& prm,
+                                const sym::SymInt& rank,
+                                const sym::SymInt& size);
+
+}  // namespace compi::targets::hpl

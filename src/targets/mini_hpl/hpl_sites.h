@@ -1,0 +1,122 @@
+// Static branch sites of mini-HPL (the instrumenter's `branches` output).
+//
+// Grouped by function, in program order; this ordering drives both the
+// fallthrough CFG edges and the depth structure DFS traverses: the deep
+// HPL_pdinfo sanity cascade comes first, exactly the property (paper §II-B)
+// that makes BoundedDFS the only strategy that reaches the solve phase.
+#pragma once
+
+#include "targets/target_common.h"
+
+namespace compi::targets::hpl {
+
+// clang-format off
+#define MINI_HPL_SITES(X) \
+  /* ---- HPL_pdinfo: the 28-parameter sanity cascade ---- */ \
+  X(san_err_rank0,      "HPL_pdinfo") \
+  X(san_ns_count_lo,    "HPL_pdinfo") \
+  X(san_ns_count_hi,    "HPL_pdinfo") \
+  X(san_n_neg,          "HPL_pdinfo") \
+  X(san_n_zero,         "HPL_pdinfo") \
+  X(san_nb_count_lo,    "HPL_pdinfo") \
+  X(san_nb_count_hi,    "HPL_pdinfo") \
+  X(san_nb_lo,          "HPL_pdinfo") \
+  X(san_nb_hi,          "HPL_pdinfo") \
+  X(san_nb_gt_n,        "HPL_pdinfo") \
+  X(san_pmap_lo,        "HPL_pdinfo") \
+  X(san_pmap_hi,        "HPL_pdinfo") \
+  X(san_grid_count_lo,  "HPL_pdinfo") \
+  X(san_grid_count_hi,  "HPL_pdinfo") \
+  X(san_p_lo,           "HPL_pdinfo") \
+  X(san_q_lo,           "HPL_pdinfo") \
+  X(san_grid_fit,       "HPL_pdinfo") \
+  X(san_pfact_count_lo, "HPL_pdinfo") \
+  X(san_pfact_count_hi, "HPL_pdinfo") \
+  X(san_pfact_lo,       "HPL_pdinfo") \
+  X(san_pfact_hi,       "HPL_pdinfo") \
+  X(san_nbmin_lo,       "HPL_pdinfo") \
+  X(san_nbmin_hi,       "HPL_pdinfo") \
+  X(san_ndiv_lo,        "HPL_pdinfo") \
+  X(san_ndiv_hi,        "HPL_pdinfo") \
+  X(san_rfact_lo,       "HPL_pdinfo") \
+  X(san_rfact_hi,       "HPL_pdinfo") \
+  X(san_bcast_lo,       "HPL_pdinfo") \
+  X(san_bcast_hi,       "HPL_pdinfo") \
+  X(san_depth_lo,       "HPL_pdinfo") \
+  X(san_depth_hi,       "HPL_pdinfo") \
+  X(san_swap_lo,        "HPL_pdinfo") \
+  X(san_swap_hi,        "HPL_pdinfo") \
+  X(san_swap_thr_neg,   "HPL_pdinfo") \
+  X(san_l1_form,        "HPL_pdinfo") \
+  X(san_u_form,         "HPL_pdinfo") \
+  X(san_equil,          "HPL_pdinfo") \
+  X(san_align_lo,       "HPL_pdinfo") \
+  X(san_align_hi,       "HPL_pdinfo") \
+  X(san_align_pow2,     "HPL_pdinfo") \
+  X(san_thr_scale_lo,   "HPL_pdinfo") \
+  X(san_thr_scale_hi,   "HPL_pdinfo") \
+  X(san_pfl_len,        "HPL_pdinfo") \
+  X(san_nbl_len,        "HPL_pdinfo") \
+  /* ---- HPL_grid_init: P x Q process grid over the world ---- */ \
+  X(grd_active,         "HPL_grid_init") \
+  X(grd_rowmajor,       "HPL_grid_init") \
+  X(grd_row_zero,       "HPL_grid_init") \
+  X(grd_col_zero,       "HPL_grid_init") \
+  X(grd_single_col,     "HPL_grid_init") \
+  /* ---- HPL_pdmatgen: matrix generation ---- */ \
+  X(gen_col_loop,       "HPL_pdmatgen") \
+  X(gen_diag_boost,     "HPL_pdmatgen") \
+  /* ---- HPL_pdpanel_fact: panel factorization variants ---- */ \
+  X(pf_width_min,       "HPL_pdpanel_fact") \
+  X(pf_left,            "HPL_pdpanel_fact") \
+  X(pf_crout,           "HPL_pdpanel_fact") \
+  X(pf_right,           "HPL_pdpanel_fact") \
+  X(pf_ndiv_two,        "HPL_pdpanel_fact") \
+  X(pf_pivot_zero,      "HPL_pdpanel_fact") \
+  X(pf_pivot_move,      "HPL_pdpanel_fact") \
+  /* ---- HPL_bcast: the six panel-broadcast algorithms ---- */ \
+  X(bc_1ring,           "HPL_bcast") \
+  X(bc_1ring_m,         "HPL_bcast") \
+  X(bc_2ring,           "HPL_bcast") \
+  X(bc_2ring_m,         "HPL_bcast") \
+  X(bc_blong,           "HPL_bcast") \
+  X(bc_blong_m,         "HPL_bcast") \
+  X(bc_ring_root,       "HPL_bcast") \
+  X(bc_ring_last,       "HPL_bcast") \
+  X(bc_modified_leaf,   "HPL_bcast") \
+  /* ---- HPL_pdlaswp: row-swap variants ---- */ \
+  X(sw_bin_exch,        "HPL_pdlaswp") \
+  X(sw_long,            "HPL_pdlaswp") \
+  X(sw_mix_thr,         "HPL_pdlaswp") \
+  X(sw_row_loop,        "HPL_pdlaswp") \
+  X(sw_noop,            "HPL_pdlaswp") \
+  /* ---- HPL_pdupdate: trailing-submatrix update ---- */ \
+  X(up_lookahead,       "HPL_pdupdate") \
+  X(up_l1_transpose,    "HPL_pdupdate") \
+  X(up_u_transpose,     "HPL_pdupdate") \
+  X(up_equilibrate,     "HPL_pdupdate") \
+  X(up_col_loop,        "HPL_pdupdate") \
+  /* ---- HPL_pdgesv: the outer solve ---- */ \
+  X(sv_panel_loop,      "HPL_pdgesv") \
+  X(sv_own_panel,       "HPL_pdgesv") \
+  X(sv_tail_panel,      "HPL_pdgesv") \
+  X(sv_lookahead_hit,   "HPL_pdgesv") \
+  X(sv_backsub_loop,    "HPL_pdgesv") \
+  X(sv_backsub_own,     "HPL_pdgesv") \
+  /* ---- HPL_pdverify: residual check ---- */ \
+  X(vr_resid_ok,        "HPL_pdverify") \
+  X(vr_resid_print,     "HPL_pdverify") \
+  X(vr_trivial_n,       "HPL_pdverify") \
+  /* ---- main driver ---- */ \
+  X(dr_rank0_banner,    "main") \
+  X(dr_ns_loop,         "main") \
+  X(dr_nb_loop,         "main") \
+  X(dr_grid_loop,       "main") \
+  X(dr_combo_shrink,    "main") \
+  X(dr_gflops_report,   "main") \
+  X(dr_inactive_wait,   "main")
+// clang-format on
+
+COMPI_DEFINE_TARGET_SITES(Site, branch_table, MINI_HPL_SITES)
+
+}  // namespace compi::targets::hpl

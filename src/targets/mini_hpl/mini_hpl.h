@@ -1,0 +1,26 @@
+// mini-HPL: the High-Performance Linpack evaluation subject (paper §VI).
+//
+// A faithful small-scale analog of HPL 2.x: 24 marked input parameters, the
+// deep HPL_pdinfo sanity cascade, a P x Q process grid with row/column/grid
+// communicators, a real distributed block-LU factorization with partial
+// pivoting and six panel-broadcast variants, and the scaled residual check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compi/target.h"
+
+namespace compi::targets {
+
+/// Builds the mini-HPL target.  `n_cap` is the input cap N_C on the matrix
+/// size (paper default 300; Fig. 8 sweeps 300/600/1200).
+[[nodiscard]] TargetInfo make_mini_hpl_target(int n_cap = 300);
+
+/// HPL.dat-style default inputs that pass HPL_pdinfo: one (n, nb) problem
+/// on a p x q grid, right-looking panels, 1-ring broadcast.
+[[nodiscard]] std::map<std::string, std::int64_t> mini_hpl_defaults(
+    int n = 300, int nb = 32, int p = 2, int q = 4);
+
+}  // namespace compi::targets

@@ -1,0 +1,78 @@
+// Static branch sites of mini-IMB-MPI1.
+//
+// Mirrors IMB's phase structure: argument parsing/validation, the
+// process-subset sweep (np = npmin, 2*npmin, ..., P), the message-length
+// sweep, and one function per MPI-1 benchmark.
+#pragma once
+
+#include "targets/target_common.h"
+
+namespace compi::targets::imb {
+
+// clang-format off
+#define MINI_IMB_SITES(X) \
+  /* ---- parse_args: validation of the command line ---- */ \
+  X(pa_rank0_banner,   "parse_args") \
+  X(pa_bench_lo,       "parse_args") \
+  X(pa_bench_hi,       "parse_args") \
+  X(pa_msglog_min_lo,  "parse_args") \
+  X(pa_msglog_min_hi,  "parse_args") \
+  X(pa_msglog_max_lt,  "parse_args") \
+  X(pa_msglog_max_hi,  "parse_args") \
+  X(pa_iters_lo,       "parse_args") \
+  X(pa_warmup_neg,     "parse_args") \
+  X(pa_warmup_gt,      "parse_args") \
+  X(pa_npmin_lo,       "parse_args") \
+  X(pa_npmin_gt_size,  "parse_args") \
+  X(pa_root_neg,       "parse_args") \
+  X(pa_root_ge_size,   "parse_args") \
+  X(pa_off_cache,      "parse_args") \
+  X(pa_multi,          "parse_args") \
+  X(pa_sync,           "parse_args") \
+  X(pa_msg_pow,        "parse_args") \
+  X(pa_vol_lo,         "parse_args") \
+  X(pa_vol_hi,         "parse_args") \
+  X(pa_time_scale_lo,  "parse_args") \
+  X(pa_time_scale_hi,  "parse_args") \
+  X(pa_err_rank0,      "parse_args") \
+  /* ---- subset sweep ---- */ \
+  X(ss_np_loop,        "subset_sweep") \
+  X(ss_active,         "subset_sweep") \
+  X(ss_last_np,        "subset_sweep") \
+  X(ss_len_loop,       "subset_sweep") \
+  X(ss_iter_trim,      "subset_sweep") \
+  X(ss_off_cache,      "subset_sweep") \
+  X(ss_time_limit,     "subset_sweep") \
+  /* ---- benchmarks ---- */ \
+  X(pp_participant,    "pingpong") \
+  X(pp_initiator,      "pingpong") \
+  X(pp_iter_loop,      "pingpong") \
+  X(pi_participant,    "pingping") \
+  X(pi_iter_loop,      "pingping") \
+  X(sr_iter_loop,      "sendrecv") \
+  X(sr_ring_wrap,      "sendrecv") \
+  X(ex_iter_loop,      "exchange") \
+  X(ex_two_neighbors,  "exchange") \
+  X(bc_iter_loop,      "bcast_bench") \
+  X(bc_is_root,        "bcast_bench") \
+  X(ar_iter_loop,      "allreduce_bench") \
+  X(rd_iter_loop,      "reduce_bench") \
+  X(rd_is_root,        "reduce_bench") \
+  X(ag_iter_loop,      "allgather_bench") \
+  X(ga_iter_loop,      "gather_bench") \
+  X(ga_is_root,        "gather_bench") \
+  X(ba_iter_loop,      "barrier_bench") \
+  X(ba_sync_mode,      "barrier_bench") \
+  X(aa_iter_loop,      "alltoall_bench") \
+  X(aa_large_np,       "alltoall_bench") \
+  X(rs_iter_loop,      "reduce_scatter_bench") \
+  X(sc_iter_loop,      "scan_bench") \
+  X(sc_last_rank,      "scan_bench") \
+  /* ---- reporting ---- */ \
+  X(rp_rank0_report,   "report") \
+  X(rp_multi_mode,     "report")
+// clang-format on
+
+COMPI_DEFINE_TARGET_SITES(Site, branch_table, MINI_IMB_SITES)
+
+}  // namespace compi::targets::imb

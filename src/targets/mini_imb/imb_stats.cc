@@ -1,0 +1,27 @@
+#include "targets/mini_imb/imb_stats.h"
+
+namespace compi::targets::imb {
+
+TimingStats reduce_timings(minimpi::Comm& comm, double local_seconds) {
+  TimingStats stats;
+  const std::span<const double> in(&local_seconds, 1);
+  comm.allreduce(in, std::span<double>(&stats.t_min, 1), minimpi::Op::kMin);
+  comm.allreduce(in, std::span<double>(&stats.t_max, 1), minimpi::Op::kMax);
+  double sum = 0.0;
+  comm.allreduce(in, std::span<double>(&sum, 1), minimpi::Op::kSum);
+  stats.t_avg = sum / comm.raw_size();
+  return stats;
+}
+
+BufferRing::BufferRing(std::size_t elems, int copies)
+    : elems_(std::max<std::size_t>(elems, 1)),
+      copies_(std::max(copies, 1)),
+      storage_(elems_ * static_cast<std::size_t>(copies_), 1.0) {}
+
+std::span<double> BufferRing::at(int it) {
+  const std::size_t slot =
+      static_cast<std::size_t>(it % copies_) * elems_;
+  return {storage_.data() + slot, elems_};
+}
+
+}  // namespace compi::targets::imb

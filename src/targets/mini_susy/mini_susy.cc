@@ -1,0 +1,408 @@
+#include "targets/mini_susy/mini_susy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "targets/mini_susy/susy_lattice.h"
+#include "targets/mini_susy/susy_rhmc.h"
+#include "targets/mini_susy/susy_sites.h"
+
+namespace compi::targets {
+namespace {
+
+using susy::GaugeField;
+using susy::LatticeGeom;
+using susy::MultiShiftResult;
+using susy::RationalApprox;
+using susy::Site;
+using susy::apply_rational;
+using susy::make_rational_approx;
+using susy::multishift_cg;
+using sym::SymInt;
+
+/// The simulated Twist_Fermion struct of SUSY_LATTICE: a large per-site
+/// object whose sizeof the buggy malloc() calls confuse with a pointer's.
+constexpr std::size_t kSizeofTwistFermion = 96;
+constexpr std::size_t kSizeofPointer = 8;
+
+struct Inputs {
+  SymInt nx, ny, nz, nt;
+  SymInt warms, trajecs, nsteps;
+  SymInt nroot, norder, seed;
+  SymInt max_cg, npbp, ckpt_freq;
+};
+
+Inputs read_inputs(rt::RuntimeContext& ctx, int dim_cap) {
+  Inputs in;
+  in.nx = ctx.input_int_capped("nx", dim_cap);
+  in.ny = ctx.input_int_capped("ny", dim_cap);
+  in.nz = ctx.input_int_capped("nz", dim_cap);
+  in.nt = ctx.input_int_capped("nt", dim_cap);
+  in.warms = ctx.input_int("warms");
+  in.trajecs = ctx.input_int("trajecs");
+  in.nsteps = ctx.input_int("nsteps");
+  in.nroot = ctx.input_int_capped("nroot", 16);
+  in.norder = ctx.input_int("norder");
+  in.seed = ctx.input_int("seed");
+  in.max_cg = ctx.input_int_capped("max_cg", 500);
+  in.npbp = ctx.input_int("npbp");
+  in.ckpt_freq = ctx.input_int("ckpt_freq");
+  return in;
+}
+
+bool fail(rt::RuntimeContext& ctx, const SymInt& rank) {
+  if (br(ctx, Site::st_err_rank0, rank == SymInt(0))) {
+    // rank 0: "setup: invalid parameter" (output elided)
+  }
+  return false;
+}
+
+/// Sanity checks, including the characteristic lattice-layout requirement
+/// that the time extent divides evenly across processes.  The divisibility
+/// probe is a factor-search loop, so every probe is a *linear* constraint
+/// (i * size == nt) the solver can satisfy — this is what lets COMPI steer
+/// the process count, and what condemns the fixed-8-process No_Fwk
+/// ablation (nt <= cap < 8 means 8 | nt is unsatisfiable, §VI-E).
+bool sanity_check(rt::RuntimeContext& ctx, const Inputs& in,
+                  const SymInt& rank, const SymInt& size) {
+  using S = Site;
+  const SymInt zero(0), one(1);
+  if (br(ctx, S::st_nx_lo, in.nx < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_ny_lo, in.ny < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_nz_lo, in.nz < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_nt_lo, in.nt < one)) return fail(ctx, rank);
+
+  const SymInt vol = in.nx * in.ny * in.nz * in.nt;  // linearized product
+  if (br(ctx, S::st_vol_hi, vol > SymInt(1 << 16))) return fail(ctx, rank);
+  if (br(ctx, S::st_nt_even_dim, in.nx > in.nt * SymInt(4))) {
+    // Strongly anisotropic lattice: allowed, but noted.
+  }
+
+  // nt must be a multiple of the process count (time-sliced layout).
+  bool divides = false;
+  for (int i = 1; i <= 16; ++i) {
+    if (br(ctx, S::st_div_probe, size * i == in.nt)) {
+      divides = true;
+      break;
+    }
+  }
+  if (br(ctx, S::st_div_fail, SymInt(divides ? 1 : 0) == SymInt(0))) {
+    return fail(ctx, rank);
+  }
+
+  if (br(ctx, S::st_warms_neg, in.warms < zero)) return fail(ctx, rank);
+  if (br(ctx, S::st_trajecs_neg, in.trajecs < zero)) return fail(ctx, rank);
+  if (br(ctx, S::st_trajecs_hi, in.trajecs > SymInt(1000))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_warms_gt_traj, in.warms > in.trajecs)) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_nsteps_lo, in.nsteps < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_nsteps_hi, in.nsteps > SymInt(100))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_nroot_lo, in.nroot < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_nroot_hi, in.nroot > SymInt(16))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_norder_lo, in.norder < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_norder_hi, in.norder > SymInt(20))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_seed_zero, in.seed == zero)) return fail(ctx, rank);
+  if (br(ctx, S::st_cg_lo, in.max_cg < one)) return fail(ctx, rank);
+  if (br(ctx, S::st_cg_hi, in.max_cg > SymInt(500))) {
+    return fail(ctx, rank);
+  }
+  if (br(ctx, S::st_npbp_neg, in.npbp < zero)) return fail(ctx, rank);
+  if (br(ctx, S::st_ckpt_neg, in.ckpt_freq < zero)) return fail(ctx, rank);
+  return true;
+}
+
+/// Parallel layout.  Carries the division-by-zero bug of paper §VI-A: with
+/// 2 or 4 processes the "paired time-slice" path divides by (nt mod 2),
+/// which is zero for even time extents; 1 or 3 processes never take the
+/// paired path.  The fixed version guards the remainder.
+LatticeGeom layout(rt::RuntimeContext& ctx, const Inputs& in,
+                   const SymInt& rank, const SymInt& size, bool with_bugs) {
+  using S = Site;
+  const SymInt vol = in.nx * in.ny * in.nz * in.nt;
+
+  LatticeGeom geom;
+  geom.nx = std::max<int>(1, static_cast<int>(in.nx.value()));
+  geom.ny = std::max<int>(1, static_cast<int>(in.ny.value()));
+  geom.nz = std::max<int>(1, static_cast<int>(in.nz.value()));
+  geom.nt = std::max<int>(1, static_cast<int>(in.nt.value()));
+  const int np = std::max(1, static_cast<int>(size.value()));
+  geom.nt_local = std::max(1, geom.nt / np);
+  geom.t0 = static_cast<int>(rank.value()) * geom.nt_local;
+
+  if (br(ctx, S::lay_serial, size == SymInt(1))) {
+    geom.nt_local = geom.nt;
+    geom.t0 = 0;
+    return geom;
+  }
+  bool paired = false;
+  if (br(ctx, S::lay_two_procs, size == SymInt(2))) {
+    paired = true;
+  } else if (br(ctx, S::lay_four_procs, size == SymInt(4))) {
+    paired = true;
+  }
+  if (br(ctx, S::lay_paired_slices, SymInt(paired ? 1 : 0) == SymInt(1))) {
+    // Pair up time slices: slices_per_pair = vol / (nt mod 2) — the bug.
+    SymInt rem = in.nt - (in.nt / SymInt(2)) * SymInt(2);  // nt % 2
+    if (!with_bugs && rem.value() == 0) {
+      rem = SymInt(1);  // the developer's fix: guard the degenerate case
+    }
+    const SymInt slices = ctx.div(vol, rem);  // FPE when nt is even
+    (void)slices;
+  }
+
+  (void)br(ctx, S::lay_rank_zero, rank == SymInt(0));
+  (void)br(ctx, S::lay_low_half, rank * SymInt(2) < size);
+
+  for (int s = 0;
+       br(ctx, Site::lay_slice_loop, SymInt(s) * size < in.nt) &&
+       s < geom.nt_local;
+       ++s) {
+    // assign time slice s to this rank's slab
+  }
+  (void)br(ctx, S::lay_remainder,
+           in.nt != size * SymInt(geom.nt_local));
+  (void)br(ctx, S::lay_slab_edge,
+           SymInt(geom.t0 + geom.nt_local) == in.nt);
+  return geom;
+}
+
+/// Bug #1 (setup_rhmc):  Twist_Fermion **src = malloc(Nroot*sizeof(**src));
+/// — the allocation is sized for the wrong type, so walking the Nroot
+/// entries runs off the end (SimulatedSegfault).  Gated on norder > 4, the
+/// high-order rational approximation that needs the extra buffers.
+void setup_rhmc(rt::RuntimeContext& ctx, const Inputs& in, bool with_bugs) {
+  using S = Site;
+  const int nroot = std::max<int>(1, static_cast<int>(in.nroot.value()));
+  if (br(ctx, S::rh_high_order, in.norder > SymInt(4))) {
+    const std::size_t elem = with_bugs ? kSizeofPointer : kSizeofTwistFermion;
+    const auto src = ctx.arena().alloc(
+        static_cast<std::size_t>(nroot) * elem, "src");
+    for (int n = 0;
+         br(ctx, S::rh_root_loop, SymInt(n) < in.nroot) && n < nroot; ++n) {
+      ctx.arena().check_access(src, static_cast<std::size_t>(n),
+                               kSizeofTwistFermion);
+    }
+    ctx.arena().free(src);
+  }
+  (void)br(ctx, S::rh_shift_small, in.nroot * SymInt(4) < in.norder);
+}
+
+/// One rational-approximation solve via multi-shift CG.  Bug #2
+/// (congrad): the `psim` solution array suffers the wrong-sizeof malloc;
+/// gated on the pbp measurement path (npbp >= 1).
+int congrad(rt::RuntimeContext& ctx, const Inputs& in, const GaugeField& u,
+            bool measure_pbp, bool with_bugs) {
+  using S = Site;
+  const int max_cg = std::max<int>(1, static_cast<int>(in.max_cg.value()));
+  const int norder =
+      std::clamp<int>(static_cast<int>(in.norder.value()), 1, 20);
+
+  if (br(ctx, S::cg_measure_pbp, SymInt(measure_pbp ? 1 : 0) == SymInt(1))) {
+    const int nroot = std::max<int>(1, static_cast<int>(in.nroot.value()));
+    const std::size_t elem = with_bugs ? kSizeofPointer : kSizeofTwistFermion;
+    const auto psim = ctx.arena().alloc(
+        static_cast<std::size_t>(nroot) * elem, "psim");
+    for (int n = 0; n < nroot; ++n) {
+      ctx.arena().check_access(psim, static_cast<std::size_t>(n),
+                               kSizeofTwistFermion);
+    }
+    ctx.arena().free(psim);
+  }
+
+  // Gaussian-ish deterministic source.
+  std::vector<double> rhs(static_cast<std::size_t>(u.geom().local_volume()));
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] = ((i * 2654435761u) % 1000) / 1000.0 - 0.5;
+  }
+  const RationalApprox approx = make_rational_approx(norder);
+
+  // The CG loop: instrument the iteration bound symbolically by running
+  // the solver in bounded chunks.
+  MultiShiftResult shifts;
+  int iters_done = 0;
+  constexpr int kChunk = 8;
+  while (br(ctx, S::cg_iter_loop, SymInt(iters_done) < in.max_cg) &&
+         iters_done < max_cg) {
+    shifts = multishift_cg(u, /*mass=*/0.3, approx, rhs, /*tol=*/1e-8,
+                           std::min(iters_done + kChunk, max_cg));
+    ctx.ops(static_cast<std::int64_t>(rhs.size()) *
+            (shifts.iterations - iters_done + 1) * 10);
+    iters_done = std::max(shifts.iterations, iters_done + 1);
+    if (br(ctx, S::cg_converged,
+           SymInt(shifts.converged ? 1 : 0) == SymInt(1))) {
+      break;
+    }
+    if (iters_done == max_cg / 2 &&
+        br(ctx, S::cg_restart, in.max_cg > SymInt(100))) {
+      // Long solves restart the Krylov space.
+    }
+  }
+  int frozen = 0;
+  for (int at : shifts.shift_frozen_at) frozen += at >= 0 ? 1 : 0;
+  (void)br(ctx, S::cg_shift_frozen,
+           SymInt(frozen) == SymInt(static_cast<int>(approx.poles.size())));
+  (void)apply_rational(approx, shifts, rhs);
+  return iters_done;
+}
+
+/// MD trajectories on the gauge field.  Bug #3 (update_gauge): the force
+/// accumulation array `dest` has the wrong-sizeof malloc; gated on
+/// nsteps >= 2 && trajecs >= 1 (multi-step trajectories).
+void update_gauge(rt::RuntimeContext& ctx, const Inputs& in,
+                  minimpi::Comm& world, GaugeField& u, bool with_bugs) {
+  using S = Site;
+  const int trajecs =
+      std::clamp<int>(static_cast<int>(in.trajecs.value()), 0, 1000);
+  const int nsteps =
+      std::clamp<int>(static_cast<int>(in.nsteps.value()), 1, 100);
+  const int warms =
+      std::clamp<int>(static_cast<int>(in.warms.value()), 0, trajecs);
+  const int size = world.raw_size();
+
+  double prev_action = u.plaquette_action();
+  for (int traj = 0;
+       br(ctx, S::ug_traj_loop, SymInt(traj) < in.trajecs) && traj < trajecs;
+       ++traj) {
+    const bool warmup = br(ctx, S::ug_warmup, SymInt(traj) < in.warms);
+    for (int step = 0;
+         br(ctx, S::ug_step_loop, SymInt(step) < in.nsteps) && step < nsteps;
+         ++step) {
+      if (step == 1 && traj == 0 &&
+          br(ctx, S::ug_multi_step, in.nsteps >= SymInt(2))) {
+        // Bug #3: the force-accumulation array of multi-step trajectories —
+        // Twist_Fermion **dest = malloc(Nroot * sizeof(**dest)); — has the
+        // wrong element size, so walking the Nroot entries segfaults.
+        const int nroot =
+            std::max<int>(1, static_cast<int>(in.nroot.value()));
+        const std::size_t elem =
+            with_bugs ? kSizeofPointer : kSizeofTwistFermion;
+        const auto dest = ctx.arena().alloc(
+            static_cast<std::size_t>(nroot) * elem, "dest");
+        for (int n = 0; n < nroot; ++n) {
+          ctx.arena().check_access(dest, static_cast<std::size_t>(n),
+                                   kSizeofTwistFermion);
+        }
+        ctx.arena().free(dest);
+      }
+      // Leapfrog drift, then refresh the time-boundary halos.
+      u.md_drift(0.05);
+      ctx.ops(static_cast<std::int64_t>(u.link_count()) * 2);
+      if (br(ctx, S::ug_boundary_send, SymInt(size) > SymInt(1))) {
+        u.exchange_halo(world);
+      } else {
+        u.exchange_halo(world);  // periodic wrap within the single rank
+      }
+    }
+    // Metropolis accept/reject on the plaquette-action delta.
+    const double action = u.plaquette_action();
+    ctx.ops(static_cast<std::int64_t>(u.link_count()) * 6);
+    const bool accept =
+        warmup || action <= prev_action ||
+        static_cast<std::int64_t>(action * 1e6) % 7 != 0;  // pseudo-random
+    if (br(ctx, S::ug_accept, SymInt(accept ? 1 : 0) == SymInt(1))) {
+      prev_action = action;
+    }
+
+    if (br(ctx, S::ug_ckpt_on, in.ckpt_freq > SymInt(0))) {
+      const int freq =
+          std::max<int>(1, static_cast<int>(in.ckpt_freq.value()));
+      if (br(ctx, S::ug_ckpt_probe,
+             SymInt(traj % freq) == SymInt(0))) {
+        // Write a checkpoint (elided).
+      }
+    }
+  }
+}
+
+void mini_susy_program(rt::RuntimeContext& ctx, minimpi::Comm& world,
+                       int dim_cap, bool with_bugs) {
+  using S = Site;
+  Inputs in = read_inputs(ctx, dim_cap);
+  const SymInt rank = world.comm_rank(ctx);
+  const SymInt size = world.comm_size(ctx);
+
+  if (br(ctx, S::st_rank0_banner, rank == SymInt(0))) {
+    // rank 0 prints the run header
+  }
+  if (!sanity_check(ctx, in, rank, size)) {
+    world.barrier();
+    return;
+  }
+
+  const LatticeGeom geom = layout(ctx, in, rank, size, with_bugs);
+  GaugeField u(geom, 0x5757ULL ^ static_cast<std::uint64_t>(
+                                     in.seed.value()));
+  u.exchange_halo(world);
+
+  setup_rhmc(ctx, in, with_bugs);
+  update_gauge(ctx, in, world, u, with_bugs);
+
+  // Fermionic measurements: npbp stochastic estimates, each one
+  // rational-approximation solve.
+  const int npbp = std::clamp<int>(static_cast<int>(in.npbp.value()), 0, 50);
+  for (int m = 0;
+       br(ctx, S::ms_pbp_loop, SymInt(m) < in.npbp) && m < npbp; ++m) {
+    (void)congrad(ctx, in, u, /*measure_pbp=*/m == 0, with_bugs);
+  }
+
+  // Wilson-loop measurement: confinement diagnostic (only meaningful on
+  // lattices wide enough for a 2x2 loop).
+  if (br(ctx, S::ms_wilson_small, in.nx >= SymInt(2))) {
+    const double w11 = u.wilson_loop(1, 1);
+    const double w22 = u.wilson_loop(
+        std::min(2, static_cast<int>(in.nx.value())),
+        std::min(2, static_cast<int>(in.ny.value())));
+    ctx.ops(static_cast<std::int64_t>(u.geom().local_volume()) * 12);
+    (void)w11;
+    (void)w22;
+  }
+
+  // Global plaquette average closes the run.
+  const double local_plaq = u.plaquette_action();
+  (void)br(ctx, S::ms_plaq_positive,
+           SymInt(local_plaq >= 0.0 ? 1 : 0) == SymInt(1));
+  double global_plaq = 0.0;
+  world.allreduce(std::span<const double>(&local_plaq, 1),
+                  std::span<double>(&global_plaq, 1), minimpi::Op::kSum);
+  if (br(ctx, S::ms_rank0_report, rank == SymInt(0))) {
+    // rank 0 prints the summary line
+  }
+  world.barrier();
+}
+
+}  // namespace
+
+std::map<std::string, std::int64_t> mini_susy_defaults(int nprocs, int dim) {
+  return {
+      {"nx", dim},   {"ny", dim},    {"nz", dim},   {"nt", nprocs},
+      {"warms", 0},  {"trajecs", 1}, {"nsteps", 1}, {"nroot", 2},
+      {"norder", 2}, {"seed", 7},    {"max_cg", 5}, {"npbp", 0},
+      {"ckpt_freq", 0},
+  };
+}
+
+TargetInfo make_mini_susy_target(int dim_cap, bool with_bugs) {
+  TargetInfo info;
+  info.name = "mini-SUSY-HMC";
+  info.table = &susy::branch_table();
+  info.program = [dim_cap, with_bugs](rt::RuntimeContext& ctx,
+                                      minimpi::Comm& world) {
+    mini_susy_program(ctx, world, dim_cap, with_bugs);
+  };
+  info.sloc = 441;          // measured non-blank lines of this module
+  info.paper_sloc = 19201;  // SUSY-HMC per SLOCCount (paper Table III)
+  info.default_cap = dim_cap;
+  return info;
+}
+
+}  // namespace compi::targets

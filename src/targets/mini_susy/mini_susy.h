@@ -1,0 +1,35 @@
+// mini-SUSY-HMC: the physics-simulation evaluation subject (paper §VI-A).
+//
+// A skeleton of SUSY_LATTICE's susy_hmc — 4-D lattice setup with the
+// characteristic divisibility sanity checks, rank-dependent layout, RHMC
+// buffer setup, trajectory / MD-step / CG loops with boundary exchange —
+// carrying the four bugs COMPI found in the real program:
+//   * three wrong-sizeof malloc bugs (SimulatedSegfault on access), in
+//     setup_rhmc (gated on norder > 4), congrad (gated on npbp >= 1) and
+//     update_gauge (gated on nsteps >= 2 && trajecs >= 1);
+//   * one division-by-zero (SimulatedFpe) that only manifests with 2 or 4
+//     processes (and an even time extent), not with 1 or 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compi/target.h"
+
+namespace compi::targets {
+
+/// Builds the mini-SUSY-HMC target.  `dim_cap` is the input cap N_C on the
+/// four lattice extents (paper default 5; Fig. 8 also uses 10).
+/// `with_bugs=false` builds the fixed version (used by tests and by the
+/// post-fix retesting workflow the paper describes).
+[[nodiscard]] TargetInfo make_mini_susy_target(int dim_cap = 5,
+                                               bool with_bugs = true);
+
+/// Default lattice inputs that pass the sanity check with `nprocs`
+/// processes (nt = nprocs so the time extent divides evenly) without
+/// triggering any seeded bug on non-paired process counts.
+[[nodiscard]] std::map<std::string, std::int64_t> mini_susy_defaults(
+    int nprocs = 1, int dim = 2);
+
+}  // namespace compi::targets

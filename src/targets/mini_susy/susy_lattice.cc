@@ -1,0 +1,150 @@
+#include "targets/mini_susy/susy_lattice.h"
+
+#include <cmath>
+
+namespace compi::targets::susy {
+namespace {
+
+double hash_angle(std::uint64_t seed, int global_site, int mu) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(global_site) << 3) ^
+                    static_cast<std::uint64_t>(mu);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (static_cast<double>(x >> 11) / 9007199254740992.0 - 0.5) * 0.2;
+}
+
+}  // namespace
+
+GaugeField::GaugeField(const LatticeGeom& geom, std::uint64_t seed)
+    : geom_(geom),
+      links_(static_cast<std::size_t>(geom.local_volume()) * 4),
+      halo_up_(static_cast<std::size_t>(geom.nx * geom.ny * geom.nz) * 4),
+      halo_down_(halo_up_.size()) {
+  // Cold-ish start: small deterministic angles, identical across ranks for
+  // the same global site (SPMD determinism).
+  const int slice = geom.nx * geom.ny * geom.nz;
+  for (int t = 0; t < geom.nt_local; ++t) {
+    for (int s = 0; s < slice; ++s) {
+      const int global_site = (geom.t0 + t) * slice + s;
+      for (int mu = 0; mu < 4; ++mu) {
+        link(t * slice + s, mu) = hash_angle(seed, global_site, mu);
+      }
+    }
+  }
+}
+
+int GaugeField::neighbor(int s, int mu) const {
+  const int nx = geom_.nx, ny = geom_.ny, nz = geom_.nz;
+  int x = s % nx;
+  int rest = s / nx;
+  int y = rest % ny;
+  rest /= ny;
+  int z = rest % nz;
+  int t = rest / nz;
+  switch (mu) {
+    case 0: x = (x + 1) % nx; break;
+    case 1: y = (y + 1) % ny; break;
+    case 2: z = (z + 1) % nz; break;
+    default: ++t; break;  // may land on nt_local: the halo slice
+  }
+  return geom_.site(x, y, z, t);
+}
+
+void GaugeField::exchange_halo(minimpi::Comm& world) {
+  const int np = world.raw_size();
+  const int me = world.raw_rank();
+  const std::size_t slice_links = halo_up_.size();
+  if (np == 1) {
+    // Periodic wrap within one rank: the halo is our own boundary.
+    const std::size_t last =
+        static_cast<std::size_t>(geom_.local_volume() - geom_.nx * geom_.ny *
+                                 geom_.nz) * 4;
+    std::copy_n(links_.begin(), slice_links, halo_up_.begin());
+    std::copy_n(links_.begin() + static_cast<std::ptrdiff_t>(last),
+                slice_links, halo_down_.begin());
+    return;
+  }
+  const int up = (me + 1) % np;
+  const int down = (me - 1 + np) % np;
+  // Send the first slice down, receive the neighbour's first slice as our
+  // up-halo; send the last slice up, receive the previous rank's last
+  // slice as our down-halo.
+  std::span<const double> first(links_.data(), slice_links);
+  std::span<const double> last(
+      links_.data() + links_.size() - slice_links, slice_links);
+  world.sendrecv(first, down, 21, std::span<double>(halo_up_), up, 21);
+  world.sendrecv(last, up, 22, std::span<double>(halo_down_), down, 22);
+}
+
+double GaugeField::plaquette_action() const {
+  const int slice = geom_.nx * geom_.ny * geom_.nz;
+  double action = 0.0;
+  const auto link_or_halo = [&](int s, int mu) -> double {
+    if (s < geom_.local_volume()) return link(s, mu);
+    // Halo access: site in the up-halo slice.
+    const int hs = s - geom_.local_volume();
+    return halo_up_[static_cast<std::size_t>(hs) * 4 + mu];
+  };
+  for (int s = 0; s < geom_.local_volume(); ++s) {
+    for (int mu = 0; mu < 4; ++mu) {
+      for (int nu = mu + 1; nu < 4; ++nu) {
+        const int smu = neighbor(s, mu);
+        const int snu = neighbor(s, nu);
+        const double theta = link(s, mu) + link_or_halo(smu, nu) -
+                             link_or_halo(snu, mu) - link(s, nu);
+        action += 1.0 - std::cos(theta);
+      }
+    }
+  }
+  return action / (6.0 * geom_.local_volume());
+}
+
+double GaugeField::wilson_loop(int r, int t) const {
+  // Rectangle in the (x, y) plane: up r links in +x, t links in +y, then
+  // back.  Spatial directions are fully local (periodic wrap), so no halo
+  // is needed.
+  const int nx = geom_.nx, ny = geom_.ny;
+  double acc = 0.0;
+  int count = 0;
+  for (int s = 0; s < geom_.local_volume(); ++s) {
+    int x = s % nx;
+    int rest = s / nx;
+    int y = rest % ny;
+    rest /= ny;
+    const int z = rest % geom_.nz;
+    const int tt = rest / geom_.nz;
+
+    double theta = 0.0;
+    int cx = x, cy = y;
+    for (int i = 0; i < r; ++i) {
+      theta += link(geom_.site(cx, cy, z, tt), 0);
+      cx = (cx + 1) % nx;
+    }
+    for (int i = 0; i < t; ++i) {
+      theta += link(geom_.site(cx, cy, z, tt), 1);
+      cy = (cy + 1) % ny;
+    }
+    for (int i = 0; i < r; ++i) {
+      cx = (cx - 1 + nx) % nx;
+      theta -= link(geom_.site(cx, cy, z, tt), 0);
+    }
+    for (int i = 0; i < t; ++i) {
+      cy = (cy - 1 + ny) % ny;
+      theta -= link(geom_.site(cx, cy, z, tt), 1);
+    }
+    acc += std::cos(theta);
+    ++count;
+  }
+  return count > 0 ? acc / count : 1.0;
+}
+
+void GaugeField::md_drift(double eps) {
+  // Deterministic pseudo-force: the drift nudges every link towards zero
+  // (the action minimum) plus a small per-link dither.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i] += eps * (-0.5 * links_[i] + 1e-4);
+  }
+}
+
+}  // namespace compi::targets::susy

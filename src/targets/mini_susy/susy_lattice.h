@@ -1,0 +1,78 @@
+// 4-D lattice substrate for mini-SUSY-HMC.
+//
+// A compact-U(1) stand-in for SUSY_LATTICE's gauge sector: each site
+// carries four link angles; the gauge action is the sum of cos(plaquette)
+// over the six planes.  The lattice is decomposed across ranks along the
+// time direction (nt must divide evenly — the sanity requirement), with
+// halo exchange of the time-boundary slices through MiniMPI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "runtime/context.h"
+
+namespace compi::targets::susy {
+
+struct LatticeGeom {
+  int nx = 1, ny = 1, nz = 1, nt = 1;  // global extents
+  int nt_local = 1;                    // this rank's time slab
+  int t0 = 0;                          // slab's global time offset
+
+  [[nodiscard]] int local_volume() const { return nx * ny * nz * nt_local; }
+  [[nodiscard]] int global_volume() const { return nx * ny * nz * nt; }
+
+  /// Local site index from local coordinates.
+  [[nodiscard]] int site(int x, int y, int z, int t) const {
+    return ((t * nz + z) * ny + y) * nx + x;
+  }
+};
+
+/// Gauge field: four link angles per local site (plus the halo slabs for
+/// t-1 and t+nt_local used by plaquettes that straddle the slab edges).
+class GaugeField {
+ public:
+  GaugeField(const LatticeGeom& geom, std::uint64_t seed);
+
+  [[nodiscard]] const LatticeGeom& geom() const { return geom_; }
+
+  /// Link angle at local site s in direction mu (0=x,1=y,2=z,3=t).
+  [[nodiscard]] double link(int s, int mu) const {
+    return links_[static_cast<std::size_t>(s) * 4 + mu];
+  }
+  double& link(int s, int mu) {
+    return links_[static_cast<std::size_t>(s) * 4 + mu];
+  }
+
+  /// Neighbour site in +mu, staying inside the local slab; time wraps
+  /// into the halo representation (see plaquette_action).
+  [[nodiscard]] int neighbor(int s, int mu) const;
+
+  /// Exchanges the time-boundary link slices with the neighbouring ranks
+  /// (periodic in t across the whole machine).  Collective over `world`.
+  void exchange_halo(minimpi::Comm& world);
+
+  /// Average plaquette over the six planes of the local slab; uses the
+  /// halo for plaquettes that reach into the next rank's first slice.
+  [[nodiscard]] double plaquette_action() const;
+
+  /// Average spatial Wilson loop of extent r x t in the (x, y) plane:
+  /// cos of the summed link angles around the rectangle, averaged over
+  /// all local sites.  W(1,1) equals the average (x,y)-plaquette cosine.
+  [[nodiscard]] double wilson_loop(int r, int t) const;
+
+  /// Leapfrog update: theta += eps * momentum, with a deterministic
+  /// pseudo-momentum derived from the gauge force.
+  void md_drift(double eps);
+
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+ private:
+  LatticeGeom geom_;
+  std::vector<double> links_;       // nt_local slab, 4 per site
+  std::vector<double> halo_up_;     // t = nt_local slice (next rank)
+  std::vector<double> halo_down_;   // t = -1 slice (previous rank)
+};
+
+}  // namespace compi::targets::susy

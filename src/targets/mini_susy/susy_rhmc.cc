@@ -1,0 +1,143 @@
+#include "targets/mini_susy/susy_rhmc.h"
+
+#include <cmath>
+
+namespace compi::targets::susy {
+
+RationalApprox make_rational_approx(int norder) {
+  RationalApprox r;
+  r.a0 = 1.0;
+  r.residues.reserve(norder);
+  r.poles.reserve(norder);
+  // Geometric pole ladder with alternating-magnitude residues — the shape
+  // a Remez fit of x^{-1/4} over [mu^2, lambda_max] produces.
+  double pole = 0.05;
+  double residue = 0.4;
+  for (int i = 0; i < norder; ++i) {
+    r.poles.push_back(pole);
+    r.residues.push_back(residue);
+    pole *= 3.0;
+    residue *= 0.55;
+  }
+  return r;
+}
+
+void apply_operator(const GaugeField& u, double mass,
+                    const std::vector<double>& x, std::vector<double>& y) {
+  const int volume = u.geom().local_volume();
+  const double diag = 4.0 + mass * mass;
+  for (int s = 0; s < volume; ++s) y[s] = diag * x[s];
+  // Edge-wise accumulation keeps A exactly symmetric (one weight per link,
+  // applied in both directions); halo edges are treated as Dirichlet,
+  // keeping the per-slab operator positive definite: each site touches at
+  // most 8 edges of weight 1/2, so the diagonal 4 + m^2 dominates.
+  for (int s = 0; s < volume; ++s) {
+    for (int mu = 0; mu < 4; ++mu) {
+      const int n = u.neighbor(s, mu);
+      if (n >= volume) continue;
+      const double w = 0.5 * std::cos(u.link(s, mu));
+      y[s] -= w * x[n];
+      y[n] -= w * x[s];
+    }
+  }
+}
+
+MultiShiftResult multishift_cg(const GaugeField& u, double mass,
+                               const RationalApprox& approx,
+                               const std::vector<double>& rhs, double tol,
+                               int max_it) {
+  const std::size_t n = rhs.size();
+  const std::size_t nshift = approx.poles.size();
+  MultiShiftResult out;
+  out.solutions.assign(nshift, std::vector<double>(n, 0.0));
+  out.shift_frozen_at.assign(nshift, -1);
+
+  // Single-shift CG run per pole would re-build the same Krylov space
+  // nshift times; the multi-shift recurrence shares it.  For clarity (and
+  // because our operator is cheap) this implementation runs the shared
+  // base recurrence and applies the standard shifted-coefficient updates.
+  std::vector<double> r = rhs;
+  std::vector<double> p = rhs;
+  std::vector<double> ap(n);
+  std::vector<std::vector<double>> ps(nshift, rhs);
+  std::vector<double> zeta(nshift, 1.0), zeta_prev(nshift, 1.0);
+  std::vector<double> beta_s(nshift, 0.0);
+  std::vector<bool> frozen(nshift, false);
+
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+  };
+
+  double rr = dot(r, r);
+  const double target = tol * tol * std::max(rr, 1e-30);
+  double alpha_prev = 1.0, beta_prev = 0.0;
+
+  for (int it = 0; it < max_it; ++it) {
+    if (rr <= target) {
+      out.converged = true;
+      break;
+    }
+    apply_operator(u, mass, p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // loss of positive-definiteness: bail out
+    const double alpha = rr / pap;
+
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+
+    for (std::size_t sft = 0; sft < nshift; ++sft) {
+      if (frozen[sft]) continue;
+      // Shifted coefficient recurrences (Jegerlehner's multi-shift CG).
+      const double b = approx.poles[sft];
+      const double zeta_next =
+          (zeta[sft] * zeta_prev[sft] * alpha_prev) /
+          (alpha * beta_prev * (zeta_prev[sft] - zeta[sft]) +
+           zeta_prev[sft] * alpha_prev * (1.0 + b * alpha));
+      const double alpha_s = alpha * zeta_next / zeta[sft];
+      for (std::size_t i = 0; i < n; ++i) {
+        out.solutions[sft][i] += alpha_s * ps[sft][i];
+      }
+      const double beta_sft =
+          beta * (zeta_next / zeta[sft]) * (zeta_next / zeta[sft]);
+      for (std::size_t i = 0; i < n; ++i) {
+        ps[sft][i] = zeta_next * r[i] + beta_sft * ps[sft][i];
+      }
+      zeta_prev[sft] = zeta[sft];
+      zeta[sft] = zeta_next;
+      beta_s[sft] = beta_sft;
+      // Large shifts converge early: freeze once their effective residual
+      // is below target.
+      if (zeta_next * zeta_next * rr_new <= target) {
+        frozen[sft] = true;
+        out.shift_frozen_at[sft] = it;
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    alpha_prev = alpha;
+    beta_prev = beta;
+    rr = rr_new;
+    out.iterations = it + 1;
+  }
+  if (rr <= target) out.converged = true;
+  return out;
+}
+
+std::vector<double> apply_rational(const RationalApprox& approx,
+                                   const MultiShiftResult& shifts,
+                                   const std::vector<double>& rhs) {
+  std::vector<double> out(rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) out[i] = approx.a0 * rhs[i];
+  for (std::size_t sft = 0; sft < approx.residues.size(); ++sft) {
+    const double a = approx.residues[sft];
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      out[i] += a * shifts.solutions[sft][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace compi::targets::susy

@@ -1,0 +1,57 @@
+// RHMC machinery for mini-SUSY-HMC: the rational approximation and the
+// multi-shift conjugate-gradient solver.
+//
+// SUSY_LATTICE evaluates (D^dag D)^{-1/4} through a rational approximation
+//   R(A) = a_0 + sum_i a_i / (A + b_i)
+// whose partial fractions are solved simultaneously by a multi-shift CG.
+// The stand-in operator here is a gauge-phase-weighted lattice Laplacian
+// plus mass term — positive definite, so CG genuinely converges and the
+// shift structure (larger shifts converge first) is exercised for real.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "targets/mini_susy/susy_lattice.h"
+
+namespace compi::targets::susy {
+
+/// Partial-fraction coefficients of the order-`norder` rational
+/// approximation (a Zolotarev-flavoured synthetic table: alternating
+/// residues over geometrically spaced poles).
+struct RationalApprox {
+  double a0 = 0.0;
+  std::vector<double> residues;  // a_i
+  std::vector<double> poles;     // b_i > 0
+};
+
+[[nodiscard]] RationalApprox make_rational_approx(int norder);
+
+/// y = A x with A = (4 + m^2) I - hopping over the four directions,
+/// phase-weighted by the gauge links (cos of the link angle).
+void apply_operator(const GaugeField& u, double mass,
+                    const std::vector<double>& x, std::vector<double>& y);
+
+struct MultiShiftResult {
+  /// One solution vector per shift (pole): x_i = (A + b_i)^-1 b.
+  std::vector<std::vector<double>> solutions;
+  int iterations = 0;
+  bool converged = false;
+  /// Per-shift iteration at which that shift froze (larger shifts first).
+  std::vector<int> shift_frozen_at;
+};
+
+/// Multi-shift CG: solves (A + b_i) x_i = rhs for every pole of `approx`
+/// in a single Krylov space.  `tol` is the residual-norm target; `max_it`
+/// bounds the iteration count.
+[[nodiscard]] MultiShiftResult multishift_cg(const GaugeField& u, double mass,
+                                             const RationalApprox& approx,
+                                             const std::vector<double>& rhs,
+                                             double tol, int max_it);
+
+/// R(A) applied to rhs via the multi-shift solutions.
+[[nodiscard]] std::vector<double> apply_rational(
+    const RationalApprox& approx, const MultiShiftResult& shifts,
+    const std::vector<double>& rhs);
+
+}  // namespace compi::targets::susy

@@ -1,0 +1,80 @@
+// Static branch sites of mini-SUSY-HMC.
+//
+// Mirrors the phase structure of SUSY_LATTICE's susy_hmc (paper [39]):
+// setup/sanity over the 4-D lattice inputs, the parallel layout, RHMC
+// setup, and the trajectory/MD/CG loops.  The four seeded bugs of §VI-A
+// live behind the marked branches of setup_rhmc / congrad / update_gauge /
+// layout.
+#pragma once
+
+#include "targets/target_common.h"
+
+namespace compi::targets::susy {
+
+// clang-format off
+#define MINI_SUSY_SITES(X) \
+  /* ---- setup: read + sanity-check inputs ---- */ \
+  X(st_rank0_banner,   "setup") \
+  X(st_nx_lo,          "setup") \
+  X(st_ny_lo,          "setup") \
+  X(st_nz_lo,          "setup") \
+  X(st_nt_lo,          "setup") \
+  X(st_vol_hi,         "setup") \
+  X(st_nt_even_dim,    "setup") \
+  X(st_div_probe,      "setup") \
+  X(st_div_fail,       "setup") \
+  X(st_warms_neg,      "setup") \
+  X(st_trajecs_neg,    "setup") \
+  X(st_trajecs_hi,     "setup") \
+  X(st_warms_gt_traj,  "setup") \
+  X(st_nsteps_lo,      "setup") \
+  X(st_nsteps_hi,      "setup") \
+  X(st_nroot_lo,       "setup") \
+  X(st_nroot_hi,       "setup") \
+  X(st_norder_lo,      "setup") \
+  X(st_norder_hi,      "setup") \
+  X(st_seed_zero,      "setup") \
+  X(st_cg_lo,          "setup") \
+  X(st_cg_hi,          "setup") \
+  X(st_npbp_neg,       "setup") \
+  X(st_ckpt_neg,       "setup") \
+  X(st_err_rank0,      "setup") \
+  /* ---- layout: distribute the lattice across ranks ---- */ \
+  X(lay_serial,        "layout") \
+  X(lay_two_procs,     "layout") \
+  X(lay_four_procs,    "layout") \
+  X(lay_paired_slices, "layout") \
+  X(lay_rank_zero,     "layout") \
+  X(lay_low_half,      "layout") \
+  X(lay_slice_loop,    "layout") \
+  X(lay_remainder,     "layout") \
+  X(lay_slab_edge,     "layout") \
+  /* ---- setup_rhmc: rational approximation buffers (bug #1 here) ---- */ \
+  X(rh_high_order,     "setup_rhmc") \
+  X(rh_root_loop,      "setup_rhmc") \
+  X(rh_shift_small,    "setup_rhmc") \
+  /* ---- update_gauge: MD evolution (bug #3 here) ---- */ \
+  X(ug_traj_loop,      "update_gauge") \
+  X(ug_warmup,         "update_gauge") \
+  X(ug_step_loop,      "update_gauge") \
+  X(ug_multi_step,     "update_gauge") \
+  X(ug_accept,         "update_gauge") \
+  X(ug_boundary_send,  "update_gauge") \
+  X(ug_ckpt_on,        "update_gauge") \
+  X(ug_ckpt_probe,     "update_gauge") \
+  /* ---- congrad: CG solver (bug #2 here) ---- */ \
+  X(cg_iter_loop,      "congrad") \
+  X(cg_converged,      "congrad") \
+  X(cg_restart,        "congrad") \
+  X(cg_measure_pbp,    "congrad") \
+  X(cg_shift_frozen,   "congrad") \
+  /* ---- measurements / output ---- */ \
+  X(ms_pbp_loop,       "measure") \
+  X(ms_plaq_positive,  "measure") \
+  X(ms_wilson_small,   "measure") \
+  X(ms_rank0_report,   "measure")
+// clang-format on
+
+COMPI_DEFINE_TARGET_SITES(Site, branch_table, MINI_SUSY_SITES)
+
+}  // namespace compi::targets::susy

@@ -1,0 +1,49 @@
+// Shared helpers for defining instrumented target programs.
+//
+// Each target declares its conditional sites in a single X-macro list —
+// the single source of truth from which both the site enum and the static
+// BranchTable (the "instrumenter output") are generated:
+//
+//   #define MY_SITES(X)            \
+//     X(rp_n_range,   "read_params") \
+//     X(san_p_pos,    "sanity")
+//
+//   COMPI_DEFINE_TARGET_SITES(MySite, my_branch_table, MY_SITES)
+//
+// Target code then writes branches as
+//   if (br(ctx, MySite::san_p_pos, p > 0)) { ... }
+#pragma once
+
+#include "runtime/branch_table.h"
+#include "runtime/context.h"
+#include "symbolic/sym_value.h"
+
+namespace compi::targets {
+
+/// Typed wrapper over RuntimeContext::branch for a target's site enum.
+template <typename SiteEnum>
+inline bool br(rt::RuntimeContext& ctx, SiteEnum site,
+               const sym::SymBool& cond) {
+  return ctx.branch(static_cast<sym::SiteId>(site), cond);
+}
+
+}  // namespace compi::targets
+
+#define COMPI_SITE_ENUM_ENTRY(name, fn) name,
+#define COMPI_SITE_TABLE_ENTRY(name, fn) t.add_site(fn, #name);
+
+/// Generates `enum class EnumName` and `const rt::BranchTable& fn_name()`
+/// from an X-macro SITES list.
+#define COMPI_DEFINE_TARGET_SITES(EnumName, fn_name, SITES)            \
+  enum class EnumName : ::compi::sym::SiteId {                         \
+    SITES(COMPI_SITE_ENUM_ENTRY) kCount                                \
+  };                                                                   \
+  inline const ::compi::rt::BranchTable& fn_name() {                   \
+    static const ::compi::rt::BranchTable table = [] {                 \
+      ::compi::rt::BranchTable t;                                      \
+      SITES(COMPI_SITE_TABLE_ENTRY)                                    \
+      t.finalize();                                                    \
+      return t;                                                        \
+    }();                                                               \
+    return table;                                                      \
+  }

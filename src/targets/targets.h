@@ -1,0 +1,20 @@
+// Convenience umbrella: all three evaluation subjects of the paper.
+#pragma once
+
+#include "targets/mini_hpl/mini_hpl.h"
+#include "targets/mini_imb/mini_imb.h"
+#include "targets/mini_susy/mini_susy.h"
+
+namespace compi::targets {
+
+/// All three targets with their paper-default input caps (§VI):
+/// SUSY-HMC N_C=5, HPL N_C=300, IMB-MPI1 N_C=100.
+[[nodiscard]] inline std::vector<TargetInfo> default_targets() {
+  std::vector<TargetInfo> out;
+  out.push_back(make_mini_susy_target());
+  out.push_back(make_mini_hpl_target());
+  out.push_back(make_mini_imb_target());
+  return out;
+}
+
+}  // namespace compi::targets

@@ -1,0 +1,118 @@
+#include "cli/cli_options.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<std::string> args) {
+  return parse_cli(std::vector<std::string>(args));
+}
+
+TEST(CliOptions, DefaultsMatchPaperSetup) {
+  const ParseResult r = parse({});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.config.target, "susy");
+  EXPECT_EQ(r.config.campaign.iterations, 500);
+  EXPECT_EQ(r.config.campaign.initial_nprocs, 8);
+  EXPECT_EQ(r.config.campaign.initial_focus, 0);
+  EXPECT_EQ(r.config.campaign.max_procs, 16);
+  EXPECT_TRUE(r.config.campaign.reduction);
+  EXPECT_TRUE(r.config.campaign.framework);
+  EXPECT_FALSE(r.config.random_baseline);
+}
+
+TEST(CliOptions, ParsesEveryTarget) {
+  for (const std::string t : {"susy", "susy-fixed", "hpl", "imb"}) {
+    const ParseResult r = parse({"--target=" + t});
+    ASSERT_FALSE(r.error.has_value()) << t;
+    EXPECT_EQ(r.config.target, t);
+  }
+  EXPECT_TRUE(parse({"--target=nope"}).error.has_value());
+}
+
+TEST(CliOptions, ParsesNumericFlags) {
+  const ParseResult r = parse({"--iterations=1234", "--cap=600",
+                               "--nprocs=4", "--focus=2", "--max-procs=12",
+                               "--dfs-phase=77", "--depth-bound=300",
+                               "--seed=99", "--time-budget=30"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.config.campaign.iterations, 1234);
+  EXPECT_EQ(r.config.cap, 600);
+  EXPECT_EQ(r.config.campaign.initial_nprocs, 4);
+  EXPECT_EQ(r.config.campaign.initial_focus, 2);
+  EXPECT_EQ(r.config.campaign.max_procs, 12);
+  EXPECT_EQ(r.config.campaign.dfs_phase_iterations, 77);
+  EXPECT_EQ(r.config.campaign.depth_bound, 300);
+  EXPECT_EQ(r.config.campaign.seed, 99u);
+  EXPECT_DOUBLE_EQ(r.config.campaign.time_budget_seconds, 30.0);
+}
+
+TEST(CliOptions, ParsesStrategies) {
+  struct Case {
+    std::string name;
+    SearchKind kind;
+  };
+  for (const auto& [name, kind] :
+       {Case{"bounded-dfs", SearchKind::kBoundedDfs},
+        Case{"dfs", SearchKind::kDfs},
+        Case{"random-branch", SearchKind::kRandomBranch},
+        Case{"uniform-random", SearchKind::kUniformRandom},
+        Case{"cfg", SearchKind::kCfg}}) {
+    const ParseResult r = parse({"--strategy=" + name});
+    ASSERT_FALSE(r.error.has_value()) << name;
+    EXPECT_EQ(r.config.campaign.search, kind) << name;
+  }
+  EXPECT_TRUE(parse({"--strategy=bfs"}).error.has_value());
+}
+
+TEST(CliOptions, AblationFlags) {
+  const ParseResult r =
+      parse({"--no-reduction", "--no-framework", "--one-way", "--random"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_FALSE(r.config.campaign.reduction);
+  EXPECT_FALSE(r.config.campaign.framework);
+  EXPECT_TRUE(r.config.campaign.one_way);
+  EXPECT_TRUE(r.config.random_baseline);
+}
+
+TEST(CliOptions, RejectsMalformedNumbers) {
+  EXPECT_TRUE(parse({"--iterations=abc"}).error.has_value());
+  EXPECT_TRUE(parse({"--iterations=0"}).error.has_value());
+  EXPECT_TRUE(parse({"--nprocs=-3"}).error.has_value());
+  EXPECT_TRUE(parse({"--cap="}).error.has_value());
+}
+
+TEST(CliOptions, RejectsUnknownFlags) {
+  const ParseResult r = parse({"--does-not-exist"});
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->find("does-not-exist"), std::string::npos);
+}
+
+TEST(CliOptions, FocusMustFitNprocs) {
+  EXPECT_TRUE(parse({"--nprocs=4", "--focus=4"}).error.has_value());
+  EXPECT_FALSE(parse({"--nprocs=4", "--focus=3"}).error.has_value());
+}
+
+TEST(CliOptions, LogDirAndMetaFlags) {
+  const ParseResult r =
+      parse({"--log-dir=/tmp/x", "--curve", "--list-targets", "--help"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.config.campaign.log_dir, "/tmp/x");
+  EXPECT_TRUE(r.config.print_curve);
+  EXPECT_TRUE(r.config.list_targets);
+  EXPECT_TRUE(r.config.show_help);
+}
+
+TEST(CliOptions, UsageMentionsEveryFlag) {
+  const std::string u = usage();
+  for (const std::string flag :
+       {"--iterations", "--strategy", "--cap", "--nprocs", "--max-procs",
+        "--seed", "--log-dir", "--no-reduction", "--no-framework",
+        "--one-way", "--random", "--list-targets"}) {
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace compi::cli

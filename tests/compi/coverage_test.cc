@@ -1,0 +1,64 @@
+#include "compi/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace compi {
+namespace {
+
+const rt::BranchTable& table() {
+  static const rt::BranchTable t = [] {
+    rt::BranchTable b;
+    b.add_site("f", "f0");   // site 0
+    b.add_site("f", "f1");   // site 1
+    b.add_site("g", "g0");   // site 2
+    b.finalize();
+    return b;
+  }();
+  return t;
+}
+
+TEST(CoverageTracker, StartsEmpty) {
+  CoverageTracker c(table());
+  EXPECT_EQ(c.covered_branches(), 0u);
+  EXPECT_EQ(c.total_branches(), 6u);
+  EXPECT_EQ(c.reachable_branches(), 0u);
+  EXPECT_EQ(c.rate(), 0.0);
+}
+
+TEST(CoverageTracker, ReachableCountsWholeFunctionOfAnyCoveredSite) {
+  CoverageTracker c(table());
+  rt::CoverageBitmap bm(6);
+  bm.mark(sym::branch_id(0, true));  // one branch in f
+  c.merge(bm);
+  EXPECT_EQ(c.covered_branches(), 1u);
+  // f has 2 sites => 4 reachable branches; g untouched.
+  EXPECT_EQ(c.reachable_branches(), 4u);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.25);
+}
+
+TEST(CoverageTracker, SecondFunctionExtendsReachable) {
+  CoverageTracker c(table());
+  rt::CoverageBitmap bm(6);
+  bm.mark(sym::branch_id(0, true));
+  bm.mark(sym::branch_id(2, false));
+  c.merge(bm);
+  EXPECT_EQ(c.reachable_branches(), 6u);
+  EXPECT_EQ(c.covered_branches(), 2u);
+}
+
+TEST(CoverageTracker, MergeIsMonotoneUnion) {
+  CoverageTracker c(table());
+  rt::CoverageBitmap a(6), b(6);
+  a.mark(0);
+  b.mark(0);
+  b.mark(3);
+  c.merge(a);
+  c.merge(b);
+  EXPECT_EQ(c.covered_branches(), 2u);
+  EXPECT_TRUE(c.branch_covered(0));
+  EXPECT_TRUE(c.branch_covered(3));
+  EXPECT_FALSE(c.branch_covered(1));
+}
+
+}  // namespace
+}  // namespace compi

@@ -1,0 +1,143 @@
+// End-to-end driver tests on the paper's Fig. 2 example program.
+#include "compi/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+using compi::testing::fig2_target;
+
+CampaignOptions base_options() {
+  CampaignOptions opts;
+  opts.seed = 11;
+  opts.iterations = 120;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.dfs_phase_iterations = 30;
+  return opts;
+}
+
+TEST(Campaign, AchievesFullCoverageOnFig2) {
+  const TargetInfo target = fig2_target();
+  Campaign campaign(target, base_options());
+  const CampaignResult result = campaign.run();
+  // 8 sites = 16 branches, all reachable with the framework's help.
+  EXPECT_EQ(result.total_branches, compi::testing::kFig2Branches);
+  EXPECT_EQ(result.covered_branches, compi::testing::kFig2Branches)
+      << "framework-driven testing uncovers 3F, 4T (recorders) and 4F "
+         "(focus shift), paper §I-B";
+  EXPECT_GT(result.coverage_rate, 0.99);
+}
+
+TEST(Campaign, NoFwkMissesMpiSemanticsBranches) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.framework = false;  // fixed focus 0, focus-only coverage
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  // Rank 0 can never execute 4F/6T/6F, and its coverage alone is recorded.
+  EXPECT_LE(result.covered_branches, compi::testing::kFig2NoFwkBranches);
+}
+
+TEST(Campaign, FindsSeededAssertionWithInputs) {
+  const TargetInfo target = fig2_target(/*with_bug=*/true);
+  CampaignOptions opts = base_options();
+  opts.iterations = 300;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  ASSERT_FALSE(result.bugs.empty()) << "y == 77 must be derivable";
+  const BugRecord& bug = result.bugs.front();
+  EXPECT_EQ(bug.outcome, rt::Outcome::kAssert);
+  // The error-inducing inputs are logged; y must be 77 in them.
+  bool y_is_77 = false;
+  for (const auto& [var, value] : bug.inputs) {
+    if (value == 77) y_is_77 = true;
+  }
+  EXPECT_TRUE(y_is_77);
+}
+
+TEST(Campaign, TwoPhaseBoundIsDerived) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.iterations = 60;
+  opts.dfs_phase_iterations = 20;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  EXPECT_GT(result.depth_bound_used, 0u)
+      << "phase 2 must derive a bound from phase 1's observations";
+  EXPECT_GE(result.depth_bound_used, result.max_constraint_set / 2);
+}
+
+TEST(Campaign, ExplicitDepthBoundIsRespected) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.depth_bound = 77;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  EXPECT_EQ(result.depth_bound_used, 77u);
+}
+
+TEST(Campaign, IterationRecordsAreComplete) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.iterations = 25;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  ASSERT_EQ(result.iterations.size(), 25u);
+  std::size_t prev_cov = 0;
+  for (const IterationRecord& rec : result.iterations) {
+    EXPECT_GE(rec.covered_branches, prev_cov) << "coverage is monotone";
+    prev_cov = rec.covered_branches;
+    EXPECT_GE(rec.nprocs, 1);
+    EXPECT_LE(rec.nprocs, opts.max_procs);
+    EXPECT_GE(rec.focus, 0);
+    EXPECT_LT(rec.focus, rec.nprocs);
+  }
+  EXPECT_TRUE(result.iterations.front().restart);
+}
+
+TEST(Campaign, VariesProcessCountAndFocus) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.iterations = 200;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  bool nprocs_varied = false, focus_varied = false;
+  for (const IterationRecord& rec : result.iterations) {
+    nprocs_varied |= rec.nprocs != opts.initial_nprocs;
+    focus_varied |= rec.focus != opts.initial_focus;
+  }
+  EXPECT_TRUE(nprocs_varied) << "sw derivation must vary the world size";
+  EXPECT_TRUE(focus_varied) << "rank negation must move the focus";
+}
+
+TEST(Campaign, TimeBudgetStopsEarly) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.iterations = 1'000'000;
+  opts.time_budget_seconds = 0.3;
+  Campaign campaign(target, opts);
+  const CampaignResult result = campaign.run();
+  EXPECT_LT(result.total_seconds, 5.0);
+  EXPECT_LT(result.iterations.size(), 1'000'000u);
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  const TargetInfo target = fig2_target();
+  CampaignOptions opts = base_options();
+  opts.iterations = 40;
+  const CampaignResult a = Campaign(target, opts).run();
+  const CampaignResult b = Campaign(target, opts).run();
+  EXPECT_EQ(a.covered_branches, b.covered_branches);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].nprocs, b.iterations[i].nprocs) << i;
+    EXPECT_EQ(a.iterations[i].focus, b.iterations[i].focus) << i;
+  }
+}
+
+}  // namespace
+}  // namespace compi

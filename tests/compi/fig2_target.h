@@ -1,0 +1,99 @@
+// The paper's Fig. 2 example program as a synthetic test target.
+//
+//   read inputs x, y
+//   0: if (x < 1)         -> sanity exit
+//   1: if (y < 1)         -> sanity exit
+//   2: if (x * y > 10^4)  -> sanity exit          (combination check)
+//   3: if (size > x)      -> shrink work          (ties sw to an input)
+//   4: if (rank == 0)  { 5: if (y == 77) seeded bug }
+//      else             { 6: if (y >= 100) ... }  (only non-focus ranks
+//                                                  reach 4F/6T; 6F needs a
+//                                                  non-zero focus)
+//   7: while (i < x) solver loop
+//
+// Branches 4F and 6T are *executed* only by processes other than rank 0,
+// and 6F can be *driven* only by making a non-zero rank the focus — the
+// exact situation COMPI's framework exists for (paper §I-B).
+#pragma once
+
+#include "compi/target.h"
+#include "targets/target_common.h"
+
+namespace compi::testing {
+
+enum class Fig2Site : sym::SiteId {
+  kXLow,      // 0
+  kYLow,      // 1
+  kCombo,     // 2
+  kSizeBig,   // 3
+  kRankZero,  // 4
+  kMagic,     // 5
+  kYBig,      // 6
+  kLoop,      // 7
+  kCount,
+};
+
+inline constexpr std::size_t kFig2Branches = 16;
+/// Branches a fixed-focus-0, focus-only-coverage ablation can ever see:
+/// everything except 4F, 6T, 6F.
+inline constexpr std::size_t kFig2NoFwkBranches = 13;
+
+inline const rt::BranchTable& fig2_table() {
+  static const rt::BranchTable table = [] {
+    rt::BranchTable t;
+    t.add_site("sanity", "x_low");
+    t.add_site("sanity", "y_low");
+    t.add_site("sanity", "combo");
+    t.add_site("share_work", "size_big");
+    t.add_site("share_work", "rank_zero");
+    t.add_site("share_work", "magic");
+    t.add_site("share_work", "y_big");
+    t.add_site("solve", "loop");
+    t.finalize();
+    return t;
+  }();
+  return table;
+}
+
+inline TargetInfo fig2_target(bool with_bug = false) {
+  TargetInfo info;
+  info.name = "fig2";
+  info.table = &fig2_table();
+  info.program = [with_bug](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt x = ctx.input_int_capped("x", 500);
+    const SymInt y = ctx.input_int_capped("y", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    const SymInt size = world.comm_size(ctx);
+
+    if (br(ctx, Fig2Site::kXLow, x < SymInt(1))) return;
+    if (br(ctx, Fig2Site::kYLow, y < SymInt(1))) return;
+    if (br(ctx, Fig2Site::kCombo, x * y > SymInt(10000))) return;
+
+    if (br(ctx, Fig2Site::kSizeBig, size > x)) {
+      // more processes than work items: shrink each share
+    }
+
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, y == SymInt(77))) {
+        ctx.check(!with_bug, "seeded assertion: y == 77 on the master");
+      }
+    } else {
+      if (br(ctx, Fig2Site::kYBig, y >= SymInt(100))) {
+        // worker fast path
+      }
+    }
+
+    const int bound = static_cast<int>(x.value());
+    for (int i = 0; br(ctx, Fig2Site::kLoop, SymInt(i) < x) && i < bound;
+         ++i) {
+      // solver iteration
+    }
+    world.barrier();
+  };
+  info.sloc = 45;
+  return info;
+}
+
+}  // namespace compi::testing

@@ -1,0 +1,209 @@
+#include "compi/framework.h"
+
+#include <gtest/gtest.h>
+
+namespace compi {
+namespace {
+
+using rt::VarKind;
+using solver::Var;
+
+struct Fixture {
+  rt::VarRegistry registry;
+  Var n, rw0, rw1, sw0, rc0, rc1;
+
+  Fixture() {
+    n = registry.intern("n", VarKind::kRegular, {0, 1000}, 300);
+    rw0 = registry.intern("rw#0", VarKind::kRankWorld, {0, 1 << 20});
+    rw1 = registry.intern("rw#1", VarKind::kRankWorld, {0, 1 << 20});
+    sw0 = registry.intern("sw#0", VarKind::kSizeWorld, {1, 1 << 20});
+    rc0 = registry.intern("rc#0", VarKind::kRankLocal, {0, 1 << 20},
+                          std::nullopt, 0);
+    rc1 = registry.intern("rc#1", VarKind::kRankLocal, {0, 1 << 20},
+                          std::nullopt, 1);
+  }
+
+  rt::TestLog log_with_mappings() const {
+    rt::TestLog log;
+    log.comm_sizes = {3, 2};
+    // Paper Fig. 5 shape: focus in two local communicators.
+    log.rank_mapping = {{0, 4, 2}, {0, 3}};
+    return log;
+  }
+};
+
+bool contains(const std::vector<solver::Predicate>& preds,
+              const solver::Predicate& p) {
+  return std::find(preds.begin(), preds.end(), p) != preds.end();
+}
+
+TEST(Framework, MpiConstraintsMatchPaperSection3B) {
+  Fixture f;
+  Framework fw(f.registry, /*max_procs=*/16);
+  const auto preds = fw.mpi_constraints(f.log_with_mappings());
+
+  EXPECT_TRUE(contains(preds, solver::make_eq(f.rw0, f.rw1)))
+      << "all rw equal";
+  EXPECT_TRUE(contains(preds, solver::make_lt(f.rw0, f.sw0))) << "rw < sw";
+  EXPECT_TRUE(contains(preds, solver::make_lt_const(f.rc0, 3)))
+      << "rc0 < s_0 (concrete communicator size)";
+  EXPECT_TRUE(contains(preds, solver::make_lt_const(f.rc1, 2)));
+  EXPECT_TRUE(contains(preds, solver::make_ge_const(f.rw0, 0)));
+  EXPECT_TRUE(contains(preds, solver::make_ge_const(f.rc0, 0)));
+  EXPECT_TRUE(contains(preds, solver::make_ge_const(f.sw0, 1)));
+  EXPECT_TRUE(contains(preds, solver::make_le_const(f.sw0, 16)))
+      << "process-count cap";
+}
+
+TEST(Framework, DisabledProducesNoConstraints) {
+  Fixture f;
+  Framework fw(f.registry, 16, /*enabled=*/false);
+  EXPECT_TRUE(fw.mpi_constraints(f.log_with_mappings()).empty());
+}
+
+TEST(Framework, DomainsApplyCaps) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  const auto domains = fw.domains();
+  EXPECT_EQ(domains.at(f.n).hi, 300);
+  EXPECT_EQ(domains.at(f.sw0).lo, 1);
+}
+
+TEST(Framework, PlanDerivesNprocsFromSw) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.sw0, 12}};
+  TestPlan prev;
+  prev.nprocs = 8;
+  prev.focus = 0;
+  const TestPlan plan = fw.plan_next_test(solved, f.log_with_mappings(), prev);
+  EXPECT_EQ(plan.nprocs, 12);
+}
+
+TEST(Framework, PlanClampsNprocsToCap) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.sw0, 5000}};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.nprocs, 16)
+      << "input capping protects against demanding huge process counts";
+}
+
+TEST(Framework, ChangedRwSelectsNewFocus) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 3}, {f.sw0, 8}};
+  solved.changed = {f.rw0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.focus, 3);
+  EXPECT_EQ(plan.inputs.at(f.rw0), 3);
+  EXPECT_EQ(plan.inputs.at(f.rw1), 3) << "all rw rewritten consistently";
+}
+
+TEST(Framework, ChangedRcTranslatesThroughMapping) {
+  // Paper Fig. 5: negating y0 = 0 yields y0 = 1, which maps to global
+  // rank mapping[0][1] = 4; all rank variables are then rewritten to 4.
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 0}, {f.rc0, 1}, {f.rc1, 0}, {f.sw0, 8}};
+  solved.changed = {f.rc0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.focus, 4);
+  EXPECT_EQ(plan.inputs.at(f.rw0), 4);
+  EXPECT_EQ(plan.inputs.at(f.rw1), 4);
+}
+
+TEST(Framework, ChangedRwWinsOverChangedRc) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 2}, {f.rc0, 1}, {f.sw0, 8}};
+  solved.changed = {f.rw0, f.rc0};
+  std::sort(solved.changed.begin(), solved.changed.end());
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.focus, 2) << "rw value is directly the global rank";
+}
+
+TEST(Framework, NoChangeKeepsFocus) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.n, 50}, {f.sw0, 8}};
+  solved.changed = {f.n};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 5});
+  EXPECT_EQ(plan.focus, 5);
+}
+
+TEST(Framework, FocusClampedToNprocs) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 10}, {f.sw0, 4}};
+  solved.changed = {f.rw0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.nprocs, 4);
+  EXPECT_LT(plan.focus, 4);
+}
+
+TEST(Framework, RcRewriteUsesFocusPositionInMapping) {
+  Fixture f;
+  Framework fw(f.registry, 16);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 2}, {f.rc0, 0}, {f.rc1, 0}, {f.sw0, 8}};
+  solved.changed = {f.rw0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  // Focus = global 2; in comm 0 its local rank is 2 (mapping {0,4,2});
+  // it is absent from comm 1 ({0,3}) so rc1 keeps its solver value.
+  EXPECT_EQ(plan.inputs.at(f.rc0), 2);
+  EXPECT_EQ(plan.inputs.at(f.rc1), 0);
+}
+
+TEST(Framework, NoMappingAblationMisreadsLocalRanks) {
+  // Without conflict resolution, a changed rc is read as a global rank:
+  // y0 = 1 targets global rank 1, even though local rank 1 of comm 0 is
+  // really global rank 4 (the situation of paper Fig. 5).
+  Fixture f;
+  Framework fw(f.registry, 16, /*enabled=*/true, /*use_mapping=*/false);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 0}, {f.rc0, 1}, {f.sw0, 8}};
+  solved.changed = {f.rc0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.focus, 1) << "naive reading: local rank taken as global";
+}
+
+TEST(Framework, DisabledPlanNeverMoves) {
+  Fixture f;
+  Framework fw(f.registry, 16, /*enabled=*/false);
+  solver::SolveResult solved;
+  solved.sat = true;
+  solved.values = {{f.rw0, 3}, {f.sw0, 2}};
+  solved.changed = {f.rw0, f.sw0};
+  const TestPlan plan =
+      fw.plan_next_test(solved, f.log_with_mappings(), TestPlan{{}, 8, 0});
+  EXPECT_EQ(plan.nprocs, 8);
+  EXPECT_EQ(plan.focus, 0);
+}
+
+}  // namespace
+}  // namespace compi

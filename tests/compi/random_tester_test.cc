@@ -1,0 +1,78 @@
+#include "compi/random_tester.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+using compi::testing::fig2_target;
+
+CampaignOptions opts_with(int iterations) {
+  CampaignOptions opts;
+  opts.seed = 21;
+  opts.iterations = iterations;
+  opts.max_procs = 8;
+  return opts;
+}
+
+TEST(RandomTester, ProducesCoverage) {
+  RandomTester tester(fig2_target(), opts_with(50));
+  const CampaignResult result = tester.run();
+  EXPECT_EQ(result.iterations.size(), 50u);
+  EXPECT_GT(result.covered_branches, 0u);
+  EXPECT_GT(result.coverage_rate, 0.0);
+}
+
+TEST(RandomTester, RespectsProcessCap) {
+  CampaignOptions opts = opts_with(40);
+  opts.max_procs = 3;
+  RandomTester tester(fig2_target(), opts);
+  const CampaignResult result = tester.run();
+  for (const IterationRecord& rec : result.iterations) {
+    EXPECT_GE(rec.nprocs, 1);
+    EXPECT_LE(rec.nprocs, 3);
+  }
+}
+
+TEST(RandomTester, VariesProcessCount) {
+  RandomTester tester(fig2_target(), opts_with(60));
+  const CampaignResult result = tester.run();
+  int distinct = 0;
+  std::vector<bool> seen(9, false);
+  for (const IterationRecord& rec : result.iterations) {
+    if (!seen[rec.nprocs]) {
+      seen[rec.nprocs] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 2);
+}
+
+TEST(RandomTester, LosesToConcolicOnFig2) {
+  // The paper's core claim (§VI-E): concolic >> random on guarded code.
+  CampaignOptions opts = opts_with(80);
+  const CampaignResult random = RandomTester(fig2_target(), opts).run();
+  const CampaignResult concolic = Campaign(fig2_target(), opts).run();
+  EXPECT_GT(concolic.covered_branches, random.covered_branches);
+  // Random can essentially never satisfy y == 77 within small budgets.
+  EXPECT_LT(random.covered_branches, compi::testing::kFig2Branches);
+}
+
+TEST(RandomTester, TimeBudgetStopsEarly) {
+  CampaignOptions opts = opts_with(1'000'000);
+  opts.time_budget_seconds = 0.2;
+  RandomTester tester(fig2_target(), opts);
+  const CampaignResult result = tester.run();
+  EXPECT_LT(result.iterations.size(), 1'000'000u);
+}
+
+TEST(RandomTester, DeterministicForFixedSeed) {
+  const CampaignResult a = RandomTester(fig2_target(), opts_with(30)).run();
+  const CampaignResult b = RandomTester(fig2_target(), opts_with(30)).run();
+  EXPECT_EQ(a.covered_branches, b.covered_branches);
+}
+
+}  // namespace
+}  // namespace compi

@@ -1,0 +1,55 @@
+#include "compi/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace compi {
+namespace {
+
+TEST(TablePrinter, FormatsAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream lines(out);
+  std::string line, first;
+  std::getline(lines, first);
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), first.size());
+  }
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| x "), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+}
+
+TEST(TablePrinter, PctFormatting) {
+  EXPECT_EQ(TablePrinter::pct(0.847), "84.7%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(TablePrinter, BytesFormatting) {
+  EXPECT_EQ(TablePrinter::bytes(512), "512B");
+  EXPECT_EQ(TablePrinter::bytes(6554), "6.4K");
+  EXPECT_EQ(TablePrinter::bytes(104857600), "100.0M");
+  EXPECT_EQ(TablePrinter::bytes(2ull << 30), "2.0G");
+}
+
+}  // namespace
+}  // namespace compi

@@ -1,0 +1,152 @@
+#include "compi/session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "compi/fixed_run.h"
+#include "targets/targets.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_session_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+CampaignOptions session_opts(const fs::path& dir, int iterations = 30) {
+  CampaignOptions opts;
+  opts.seed = 9;
+  opts.iterations = iterations;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.dfs_phase_iterations = 10;
+  opts.log_dir = dir.string();
+  return opts;
+}
+
+TEST(Session, WritesIterationLogsAndSummary) {
+  TempDir tmp;
+  Campaign campaign(fig2_target(), session_opts(tmp.path));
+  const CampaignResult result = campaign.run();
+
+  EXPECT_TRUE(fs::exists(tmp.path / "iterations.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "summary.txt"));
+  EXPECT_TRUE(fs::exists(tmp.path / "bugs.txt"));
+  EXPECT_TRUE(fs::exists(tmp.path / "iter_0" / "rank_0.log"));
+  EXPECT_TRUE(fs::exists(tmp.path / "iter_0" / "rank_3.log"));
+
+  // iterations.csv: header + one row per iteration.
+  const std::string csv = slurp(tmp.path / "iterations.csv");
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(rows, static_cast<std::ptrdiff_t>(result.iterations.size()) + 1);
+
+  const std::string summary = slurp(tmp.path / "summary.txt");
+  EXPECT_NE(summary.find("covered_branches " +
+                         std::to_string(result.covered_branches)),
+            std::string::npos);
+}
+
+TEST(Session, FocusLogHeavyOthersLight) {
+  TempDir tmp;
+  Campaign campaign(fig2_target(), session_opts(tmp.path, 5));
+  (void)campaign.run();
+  const std::string focus = slurp(tmp.path / "iter_0" / "rank_0.log");
+  const std::string other = slurp(tmp.path / "iter_0" / "rank_1.log");
+  EXPECT_NE(focus.find("mode heavy"), std::string::npos);
+  EXPECT_NE(other.find("mode light"), std::string::npos);
+  EXPECT_GT(focus.size(), other.size());
+}
+
+TEST(Session, BugsFileNamesInputs) {
+  TempDir tmp;
+  CampaignOptions opts = session_opts(tmp.path, 200);
+  Campaign campaign(fig2_target(/*with_bug=*/true), opts);
+  const CampaignResult result = campaign.run();
+  ASSERT_FALSE(result.bugs.empty());
+  EXPECT_EQ(result.bugs.front().named_inputs.at("y"), 77);
+  const std::string bugs = slurp(tmp.path / "bugs.txt");
+  EXPECT_NE(bugs.find("y=77"), std::string::npos)
+      << "error-inducing inputs must be replayable by name";
+}
+
+TEST(Session, BugsFileRoundTripsAndReplays) {
+  // End-to-end replay: hunt bugs in mini-SUSY with a session, read the
+  // bugs back from disk, replay each one with run_fixed, and get the same
+  // failure kind — the "log error-inducing inputs for further analysis"
+  // workflow of paper SV.
+  TempDir tmp;
+  const TargetInfo target = targets::make_mini_susy_target();
+  CampaignOptions opts;
+  opts.seed = 42;
+  opts.iterations = 250;
+  opts.dfs_phase_iterations = 50;
+  opts.log_dir = tmp.path.string();
+  const CampaignResult live = Campaign(target, opts).run();
+  ASSERT_GE(live.bugs.size(), 3u);
+
+  const std::vector<LoggedBug> logged = read_bugs(tmp.path / "bugs.txt");
+  ASSERT_EQ(logged.size(), live.bugs.size());
+  for (const LoggedBug& bug : logged) {
+    std::map<std::string, std::int64_t> inputs;
+    for (const auto& [k, v] : bug.inputs) {
+      if (k.find('#') == std::string::npos) inputs[k] = v;  // regular only
+    }
+    const auto replay = run_fixed(target, inputs, {.nprocs = bug.nprocs,
+                                                   .focus = bug.focus});
+    EXPECT_EQ(std::string(rt::to_string(replay.job_outcome())), bug.outcome)
+        << bug.message;
+  }
+}
+
+TEST(Session, SummaryRoundTrips) {
+  TempDir tmp;
+  Campaign campaign(fig2_target(), session_opts(tmp.path, 20));
+  const CampaignResult result = campaign.run();
+  const auto summary = read_summary(tmp.path / "summary.txt");
+  EXPECT_EQ(summary.at("iterations"),
+            std::to_string(result.iterations.size()));
+  EXPECT_EQ(summary.at("covered_branches"),
+            std::to_string(result.covered_branches));
+  EXPECT_EQ(summary.at("bugs"), std::to_string(result.bugs.size()));
+}
+
+TEST(Session, KeepRankLogsLimit) {
+  TempDir tmp;
+  SessionWriter writer(tmp.path, /*keep_rank_logs=*/2);
+  minimpi::RunResult run;
+  run.ranks.resize(1);
+  run.ranks[0].log.covered = rt::CoverageBitmap(4);
+  writer.write_iteration(0, run);
+  writer.write_iteration(1, run);
+  writer.write_iteration(2, run);
+  EXPECT_TRUE(fs::exists(tmp.path / "iter_1" / "rank_0.log"));
+  EXPECT_FALSE(fs::exists(tmp.path / "iter_2"));
+}
+
+}  // namespace
+}  // namespace compi

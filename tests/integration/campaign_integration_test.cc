@@ -1,0 +1,143 @@
+// Whole-system integration: COMPI campaigns on the three paper targets.
+//
+// These are scaled-down versions of the §VI experiments, asserting the
+// paper's *qualitative* claims: sanity checks get passed, bugs get found,
+// the framework beats its ablation, and concolic beats random.
+#include <gtest/gtest.h>
+
+#include "compi/driver.h"
+#include "compi/random_tester.h"
+#include "targets/targets.h"
+
+namespace compi {
+namespace {
+
+CampaignOptions paper_options(int iterations, int dfs_phase) {
+  CampaignOptions opts;
+  opts.seed = 3;
+  opts.iterations = iterations;
+  opts.initial_nprocs = 8;
+  opts.initial_focus = 0;
+  opts.max_procs = 16;
+  opts.dfs_phase_iterations = dfs_phase;
+  return opts;
+}
+
+TEST(Integration, SusyCampaignFindsAllFourBugs) {
+  const TargetInfo target = targets::make_mini_susy_target();
+  Campaign campaign(target, paper_options(500, 50));
+  const CampaignResult result = campaign.run();
+  // Paper §VI-A: three wrong-malloc segfaults + one process-count FPE.
+  int segv = 0, fpe = 0;
+  for (const BugRecord& bug : result.bugs) {
+    segv += bug.outcome == rt::Outcome::kSegfault ? 1 : 0;
+    fpe += bug.outcome == rt::Outcome::kFpe ? 1 : 0;
+  }
+  EXPECT_EQ(segv, 3) << "src / psim / dest wrong-sizeof mallocs";
+  EXPECT_EQ(fpe, 1) << "paired-layout division by zero";
+  // The FPE must have been found with 2 or 4 processes.
+  for (const BugRecord& bug : result.bugs) {
+    if (bug.outcome == rt::Outcome::kFpe) {
+      EXPECT_TRUE(bug.nprocs == 2 || bug.nprocs == 4)
+          << "found with nprocs=" << bug.nprocs;
+    }
+  }
+}
+
+TEST(Integration, SusyCoverageInPaperBand) {
+  const TargetInfo target = targets::make_mini_susy_target();
+  Campaign campaign(target, paper_options(400, 50));
+  const CampaignResult result = campaign.run();
+  // Paper Table VI: 84.7% avg / 86.1% max.  Allow a generous band.
+  EXPECT_GT(result.coverage_rate, 0.70);
+}
+
+TEST(Integration, FixedSusyRunsCleanAfterwards) {
+  // Paper: "developers should fix such known bugs and then continue
+  // testing" — the fixed build must produce zero bug reports.
+  const TargetInfo target =
+      targets::make_mini_susy_target(5, /*with_bugs=*/false);
+  Campaign campaign(target, paper_options(300, 50));
+  const CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.bugs.empty());
+  EXPECT_GT(result.coverage_rate, 0.70);
+}
+
+TEST(Integration, HplCampaignPassesSanityAndSolves) {
+  const TargetInfo target = targets::make_mini_hpl_target(/*n_cap=*/64);
+  Campaign campaign(target, paper_options(1200, 150));
+  const CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs.front().message;
+  // Reaching the factorization needs the whole 28-parameter cascade
+  // satisfied; coverage far above the cascade-only plateau proves it.
+  EXPECT_GT(result.coverage_rate, 0.55);
+  EXPECT_GT(result.reachable_branches, 120u)
+      << "solve-phase functions must be encountered";
+}
+
+TEST(Integration, ImbCampaignCoversBenchmarks) {
+  const TargetInfo target = targets::make_mini_imb_target();
+  Campaign campaign(target, paper_options(600, 100));
+  const CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.bugs.empty());
+  EXPECT_GT(result.coverage_rate, 0.55);
+}
+
+TEST(Integration, ConcolicBeatsRandomOnEveryTarget) {
+  // Paper Table VI: COMPI's coverage is 2x-30x random's.
+  for (const TargetInfo& target : targets::default_targets()) {
+    CampaignOptions opts = paper_options(250, 50);
+    const CampaignResult concolic = Campaign(target, opts).run();
+    const CampaignResult random = RandomTester(target, opts).run();
+    EXPECT_GT(concolic.covered_branches, random.covered_branches)
+        << target.name;
+  }
+}
+
+TEST(Integration, FrameworkBeatsNoFwkOnSusy) {
+  // Paper Table VI: SUSY-HMC 84.7% vs 3.4% — with 8 fixed processes the
+  // nt-divisibility check is unsatisfiable (nt <= 5 < 8).
+  const TargetInfo target = targets::make_mini_susy_target();
+  CampaignOptions opts = paper_options(250, 50);
+  const CampaignResult fwk = Campaign(target, opts).run();
+  opts.framework = false;
+  const CampaignResult no_fwk = Campaign(target, opts).run();
+  EXPECT_GT(fwk.covered_branches, no_fwk.covered_branches * 2)
+      << "No_Fwk must stall at the sanity check";
+}
+
+TEST(Integration, OneWayInstrumentationReachesSameCoverage) {
+  // §IV-B: one-way instrumentation is *correct* (same coverage), just
+  // wasteful — every rank pays symbolic execution and trace logging.
+  const TargetInfo target = targets::make_mini_susy_target(5, false);
+  CampaignOptions opts = paper_options(150, 30);
+  const CampaignResult two_way = Campaign(target, opts).run();
+  opts.one_way = true;
+  const CampaignResult one_way = Campaign(target, opts).run();
+  EXPECT_EQ(one_way.covered_branches, two_way.covered_branches);
+}
+
+TEST(Integration, ConflictResolutionOffStillRuns) {
+  // The mapping-table ablation must stay functional end to end (it only
+  // changes which process the focus lands on after an rc negation).
+  const TargetInfo target = targets::make_mini_imb_target();
+  CampaignOptions opts = paper_options(200, 40);
+  opts.conflict_resolution = false;
+  const CampaignResult result = Campaign(target, opts).run();
+  EXPECT_TRUE(result.bugs.empty());
+  EXPECT_GT(result.coverage_rate, 0.5);
+}
+
+TEST(Integration, ReductionKeepsConstraintSetsSmall) {
+  // Paper Fig. 9: with reduction the sets stay bounded; without, loop
+  // iterations pile up constraint after constraint.
+  const TargetInfo target = targets::make_mini_susy_target();
+  CampaignOptions opts = paper_options(150, 30);
+  const CampaignResult with = Campaign(target, opts).run();
+  opts.reduction = false;
+  const CampaignResult without = Campaign(target, opts).run();
+  EXPECT_LT(with.max_constraint_set, without.max_constraint_set);
+}
+
+}  // namespace
+}  // namespace compi

@@ -1,0 +1,158 @@
+// Tests for the extended MiniMPI surface: non-blocking point-to-point and
+// the Alltoall / Reduce_scatter / Scan collectives, against oracles.
+#include <gtest/gtest.h>
+
+#include "minimpi/launcher.h"
+
+namespace compi::minimpi {
+namespace {
+
+const rt::BranchTable& dummy_table() {
+  static const rt::BranchTable table = [] {
+    rt::BranchTable t;
+    t.add_site("main", "s0");
+    t.finalize();
+    return t;
+  }();
+  return table;
+}
+
+void run(int nprocs, Program program) {
+  rt::VarRegistry registry;
+  LaunchSpec spec;
+  spec.program = std::move(program);
+  spec.nprocs = nprocs;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.timeout = std::chrono::milliseconds(5000);
+  const RunResult result = launch(spec, dummy_table());
+  ASSERT_EQ(result.job_outcome(), rt::Outcome::kOk) << result.job_message();
+}
+
+TEST(MiniMpiNonBlocking, IsendIrecvRoundTrip) {
+  run(2, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    const std::vector<int> mine{me + 500};
+    std::vector<int> theirs(1, -1);
+    Request r = world.irecv(std::span<int>(theirs), 1 - me, 3);
+    Request s = world.isend(std::span<const int>(mine), 1 - me, 3);
+    EXPECT_TRUE(s.done()) << "eager isend completes immediately";
+    EXPECT_FALSE(r.done());
+    r.wait();
+    s.wait();
+    EXPECT_EQ(theirs[0], (1 - me) + 500);
+  });
+}
+
+TEST(MiniMpiNonBlocking, WaitallDrainsAllRequests) {
+  run(4, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    const int np = world.raw_size();
+    const std::vector<int> mine{me};
+    std::vector<std::vector<int>> in(np, std::vector<int>(1, -1));
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < np; ++peer) {
+      if (peer == me) continue;
+      reqs.push_back(world.irecv(std::span<int>(in[peer]), peer, 4));
+    }
+    for (int peer = 0; peer < np; ++peer) {
+      if (peer == me) continue;
+      reqs.push_back(world.isend(std::span<const int>(mine), peer, 4));
+    }
+    wait_all(reqs);
+    for (int peer = 0; peer < np; ++peer) {
+      if (peer != me) EXPECT_EQ(in[peer][0], peer);
+    }
+  });
+}
+
+TEST(MiniMpiNonBlocking, WaitIsIdempotent) {
+  run(2, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    const std::vector<int> mine{7};
+    std::vector<int> theirs(1);
+    Request r = world.irecv(std::span<int>(theirs), 1 - me, 5);
+    (void)world.isend(std::span<const int>(mine), 1 - me, 5);
+    r.wait();
+    r.wait();  // second wait must be a no-op
+    EXPECT_EQ(theirs[0], 7);
+  });
+}
+
+TEST(MiniMpiAlltoall, TransposesChunks) {
+  constexpr int kN = 4;
+  run(kN, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    // Chunk for destination d is {100*me + d}.
+    std::vector<int> in(kN);
+    for (int d = 0; d < kN; ++d) in[d] = 100 * me + d;
+    std::vector<int> out(kN, -1);
+    world.alltoall(std::span<const int>(in), std::span<int>(out));
+    // From source s we must receive {100*s + me}.
+    for (int s = 0; s < kN; ++s) EXPECT_EQ(out[s], 100 * s + me);
+  });
+}
+
+TEST(MiniMpiAlltoall, MultiElementChunks) {
+  run(2, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    const std::vector<double> in{me * 10.0, me * 10.0 + 1,   // to rank 0
+                                 me * 10.0 + 2, me * 10.0 + 3};  // to rank 1
+    std::vector<double> out(4);
+    world.alltoall(std::span<const double>(in), std::span<double>(out));
+    EXPECT_EQ(out[0], 0 * 10.0 + 2.0 * me);
+    EXPECT_EQ(out[2], 1 * 10.0 + 2.0 * me);
+  });
+}
+
+TEST(MiniMpiReduceScatter, ReducesThenScatters) {
+  constexpr int kN = 3;
+  run(kN, [](rt::RuntimeContext&, Comm& world) {
+    // Everyone contributes [1, 2, 3] (one element per destination).
+    const std::vector<std::int64_t> in{1, 2, 3};
+    std::vector<std::int64_t> out(1, -1);
+    world.reduce_scatter(std::span<const std::int64_t>(in),
+                         std::span<std::int64_t>(out), Op::kSum);
+    EXPECT_EQ(out[0], kN * (world.raw_rank() + 1));
+  });
+}
+
+TEST(MiniMpiScan, InclusivePrefixSum) {
+  constexpr int kN = 5;
+  run(kN, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    const std::vector<std::int64_t> in{me + 1};
+    std::vector<std::int64_t> out(1);
+    world.scan(std::span<const std::int64_t>(in),
+               std::span<std::int64_t>(out), Op::kSum);
+    EXPECT_EQ(out[0], (me + 1) * (me + 2) / 2);  // 1+2+...+(me+1)
+  });
+}
+
+TEST(MiniMpiScan, MaxOperator) {
+  run(4, [](rt::RuntimeContext&, Comm& world) {
+    const int me = world.raw_rank();
+    // Values 3, 1, 4, 1 -> inclusive max prefix 3, 3, 4, 4.
+    const std::int64_t vals[] = {3, 1, 4, 1};
+    const std::vector<std::int64_t> in{vals[me]};
+    std::vector<std::int64_t> out(1);
+    world.scan(std::span<const std::int64_t>(in),
+               std::span<std::int64_t>(out), Op::kMax);
+    const std::int64_t expected[] = {3, 3, 4, 4};
+    EXPECT_EQ(out[0], expected[me]);
+  });
+}
+
+TEST(MiniMpiScan, OnSplitCommunicator) {
+  run(4, [](rt::RuntimeContext& ctx, Comm& world) {
+    Comm sub = world.split(ctx, world.raw_rank() % 2, world.raw_rank());
+    const std::vector<std::int64_t> in{10};
+    std::vector<std::int64_t> out(1);
+    sub.scan(std::span<const std::int64_t>(in),
+             std::span<std::int64_t>(out), Op::kSum);
+    EXPECT_EQ(out[0], 10 * (sub.raw_rank() + 1));
+  });
+}
+
+}  // namespace
+}  // namespace compi::minimpi

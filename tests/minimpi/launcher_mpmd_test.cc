@@ -1,0 +1,114 @@
+// MPMD launch-layout tests: the focus can sit at ANY global rank (the
+// paper's `mpiexec -n i ex2 : -n 1 ex1 : -n s-i-1 ex2` layouts), and the
+// heavy/light cost asymmetry is real.
+#include <gtest/gtest.h>
+
+#include "minimpi/launcher.h"
+
+namespace compi::minimpi {
+namespace {
+
+const rt::BranchTable& table() {
+  static const rt::BranchTable t = [] {
+    rt::BranchTable b;
+    b.add_site("m", "s");
+    b.finalize();
+    return b;
+  }();
+  return t;
+}
+
+class FocusPlacementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FocusPlacementTest, ExactlyTheFocusRunsHeavy) {
+  const int focus = GetParam();
+  rt::VarRegistry registry;
+  LaunchSpec spec;
+  spec.nprocs = 6;
+  spec.focus = focus;
+  spec.registry = &registry;
+  spec.program = [](rt::RuntimeContext& ctx, Comm& world) {
+    const sym::SymInt n = ctx.input_int("n");
+    (void)ctx.branch(0, n < sym::SymInt(1 << 30));
+    world.barrier();
+  };
+  const RunResult result = launch(spec, table());
+  ASSERT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  for (int rank = 0; rank < 6; ++rank) {
+    EXPECT_EQ(result.ranks[rank].log.heavy, rank == focus) << rank;
+    // Light ranks record coverage but never constraints.
+    if (rank != focus) {
+      EXPECT_EQ(result.ranks[rank].log.path.size(), 0u);
+      EXPECT_GT(result.ranks[rank].log.covered.count(), 0u);
+    }
+  }
+  EXPECT_EQ(result.focus_log().path.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRanks, FocusPlacementTest,
+                         ::testing::Values(0, 1, 3, 5));
+
+TEST(LauncherAsymmetry, HeavyLogsStrictlyLargerThanLight) {
+  rt::VarRegistry registry;
+  LaunchSpec spec;
+  spec.nprocs = 4;
+  spec.focus = 2;
+  spec.registry = &registry;
+  spec.program = [](rt::RuntimeContext& ctx, Comm& world) {
+    const sym::SymInt n = ctx.input_int("n");
+    for (int i = 0; i < 200; ++i) {
+      (void)ctx.branch(0, sym::SymInt(i % 7) < n);
+    }
+    ctx.ops(10'000);
+    world.barrier();
+  };
+  const RunResult result = launch(spec, table());
+  ASSERT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  const std::size_t heavy = result.ranks[2].log.serialize().size();
+  const std::size_t light = result.ranks[0].log.serialize().size();
+  EXPECT_GT(heavy, light * 5)
+      << "the execution trace makes heavy logs much larger";
+  EXPECT_GT(result.ranks[2].log.op_count, 0);
+  EXPECT_EQ(result.ranks[0].log.op_count, 0)
+      << "light ranks skip the per-operation stubs";
+}
+
+TEST(LauncherIdentity, RanksKnowThemselves) {
+  rt::VarRegistry registry;
+  LaunchSpec spec;
+  spec.nprocs = 5;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.program = [](rt::RuntimeContext&, Comm& world) {
+    EXPECT_EQ(world.raw_size(), 5);
+    EXPECT_EQ(world.global_rank_of(world.raw_rank()), world.raw_rank());
+  };
+  const RunResult result = launch(spec, table());
+  ASSERT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  for (int rank = 0; rank < 5; ++rank) {
+    EXPECT_EQ(result.ranks[rank].log.rank, rank);
+    EXPECT_EQ(result.ranks[rank].log.nprocs, 5);
+  }
+}
+
+TEST(TypedMarking, DomainsMatchTheCType) {
+  rt::VarRegistry registry;
+  solver::Assignment inputs;
+  rt::ContextParams params;
+  params.mode = rt::Mode::kHeavy;
+  params.table = &table();
+  params.registry = &registry;
+  params.inputs = &inputs;
+  rt::RuntimeContext ctx(params);
+  (void)ctx.input_uint("u");
+  (void)ctx.input_short("s");
+  (void)ctx.input_char("c");
+  (void)ctx.input_bool("b");
+  EXPECT_EQ(registry.effective_domain(0), (solver::Interval{0, 4294967295LL}));
+  EXPECT_EQ(registry.effective_domain(1), (solver::Interval{-32768, 32767}));
+  EXPECT_EQ(registry.effective_domain(2), (solver::Interval{-128, 127}));
+  EXPECT_EQ(registry.effective_domain(3), (solver::Interval{0, 1}));
+}
+
+}  // namespace
+}  // namespace compi::minimpi

@@ -1,0 +1,76 @@
+#include "runtime/branch_table.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::rt {
+namespace {
+
+BranchTable make_table() {
+  BranchTable t;
+  t.add_site("alpha", "a0");
+  t.add_site("alpha", "a1");
+  t.add_site("beta", "b0");
+  t.add_site("alpha", "a2");  // non-contiguous same-function site
+  t.finalize();
+  return t;
+}
+
+TEST(BranchTable, CountsSitesAndBranches) {
+  const BranchTable t = make_table();
+  EXPECT_EQ(t.num_sites(), 4u);
+  EXPECT_EQ(t.num_branches(), 8u);
+}
+
+TEST(BranchTable, SiteMetadata) {
+  const BranchTable t = make_table();
+  EXPECT_EQ(t.site(0).name, "a0");
+  EXPECT_EQ(t.site(2).function, "beta");
+}
+
+TEST(BranchTable, FunctionsInFirstAppearanceOrder) {
+  const BranchTable t = make_table();
+  ASSERT_EQ(t.functions().size(), 2u);
+  EXPECT_EQ(t.functions()[0], "alpha");
+  EXPECT_EQ(t.functions()[1], "beta");
+  EXPECT_EQ(t.function_index(0), 0u);
+  EXPECT_EQ(t.function_index(2), 1u);
+  EXPECT_EQ(t.function_index(3), 0u);
+}
+
+TEST(BranchTable, SitesInFunction) {
+  const BranchTable t = make_table();
+  EXPECT_EQ(t.sites_in_function("alpha"), 3u);
+  EXPECT_EQ(t.sites_in_function("beta"), 1u);
+  EXPECT_EQ(t.sites_in_function("gamma"), 0u);
+}
+
+TEST(BranchTable, FallthroughEdgesOnlyWithinFunction) {
+  const BranchTable t = make_table();
+  // 0 -> 1 (same function, consecutive); 1 -> 2 crosses functions: no edge.
+  EXPECT_EQ(t.successors(0), (std::vector<sym::SiteId>{1}));
+  EXPECT_TRUE(t.successors(1).empty());
+  // 2 -> 3 crosses back: no edge.
+  EXPECT_TRUE(t.successors(2).empty());
+}
+
+TEST(BranchTable, ExplicitEdgesDeduplicated) {
+  BranchTable t;
+  t.add_site("f", "s0");
+  t.add_site("f", "s1");
+  t.add_edge(1, 0);
+  t.add_edge(1, 0);
+  t.finalize();
+  EXPECT_EQ(t.successors(1), (std::vector<sym::SiteId>{0}));
+}
+
+TEST(BranchTable, FinalizeIsIdempotent) {
+  BranchTable t;
+  t.add_site("f", "s0");
+  t.add_site("f", "s1");
+  t.finalize();
+  t.finalize();
+  EXPECT_EQ(t.successors(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace compi::rt

@@ -1,0 +1,83 @@
+#include "runtime/checked_alloc.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::rt {
+namespace {
+
+TEST(CheckedArena, InBoundsAccessSucceeds) {
+  CheckedArena arena;
+  const auto h = arena.alloc(10 * 8, "buf");
+  EXPECT_NO_THROW(arena.check_access(h, 0, 8));
+  EXPECT_NO_THROW(arena.check_access(h, 9, 8));
+}
+
+TEST(CheckedArena, OutOfBoundsIndexThrows) {
+  CheckedArena arena;
+  const auto h = arena.alloc(10 * 8, "buf");
+  EXPECT_THROW(arena.check_access(h, 10, 8), SimulatedSegfault);
+}
+
+TEST(CheckedArena, WrongSizeofBugSignature) {
+  // The SUSY-HMC bug shape: allocated N * sizeof(pointer), accessed as
+  // N elements of sizeof(struct).
+  CheckedArena arena;
+  const auto h = arena.alloc(4 * 8, "src");
+  EXPECT_THROW(arena.check_access(h, 0, 96), SimulatedSegfault);
+}
+
+TEST(CheckedArena, UseAfterFreeThrows) {
+  CheckedArena arena;
+  const auto h = arena.alloc(64, "buf");
+  arena.free(h);
+  EXPECT_THROW(arena.check_access(h, 0, 8), SimulatedSegfault);
+}
+
+TEST(CheckedArena, DoubleFreeThrows) {
+  CheckedArena arena;
+  const auto h = arena.alloc(64);
+  arena.free(h);
+  EXPECT_THROW(arena.free(h), SimulatedSegfault);
+}
+
+TEST(CheckedArena, UnknownHandleThrows) {
+  CheckedArena arena;
+  EXPECT_THROW(arena.check_access(42, 0, 1), SimulatedSegfault);
+  EXPECT_THROW(arena.free(42), SimulatedSegfault);
+}
+
+TEST(CheckedArena, LiveBlockAccounting) {
+  CheckedArena arena;
+  const auto a = arena.alloc(8);
+  const auto b = arena.alloc(16);
+  EXPECT_EQ(arena.live_blocks(), 2u);
+  EXPECT_EQ(arena.bytes_of(a), 8u);
+  EXPECT_EQ(arena.bytes_of(b), 16u);
+  arena.free(a);
+  EXPECT_EQ(arena.live_blocks(), 1u);
+}
+
+TEST(CheckedArena, SegfaultMessageNamesTheBlock) {
+  CheckedArena arena;
+  const auto h = arena.alloc(8, "psim");
+  try {
+    arena.check_access(h, 1, 8);
+    FAIL() << "expected SimulatedSegfault";
+  } catch (const SimulatedSegfault& e) {
+    EXPECT_NE(std::string(e.what()).find("psim"), std::string::npos);
+    EXPECT_EQ(e.outcome(), Outcome::kSegfault);
+  }
+}
+
+TEST(Outcome, FaultClassification) {
+  EXPECT_FALSE(is_fault(Outcome::kOk));
+  EXPECT_FALSE(is_fault(Outcome::kAborted));
+  EXPECT_TRUE(is_fault(Outcome::kSegfault));
+  EXPECT_TRUE(is_fault(Outcome::kFpe));
+  EXPECT_TRUE(is_fault(Outcome::kAssert));
+  EXPECT_TRUE(is_fault(Outcome::kTimeout));
+  EXPECT_TRUE(is_fault(Outcome::kMpiError));
+}
+
+}  // namespace
+}  // namespace compi::rt

@@ -1,0 +1,246 @@
+#include "runtime/context.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::rt {
+namespace {
+
+const BranchTable& tiny_table() {
+  static const BranchTable table = [] {
+    BranchTable t;
+    t.add_site("f", "s0");
+    t.add_site("f", "s1");
+    t.add_site("g", "s2");
+    t.finalize();
+    return t;
+  }();
+  return table;
+}
+
+struct Fixture {
+  VarRegistry registry;
+  solver::Assignment inputs;
+
+  RuntimeContext make(Mode mode, bool reduction = true,
+                      std::int64_t step_budget = 0,
+                      bool mark_mpi = true) {
+    ContextParams p;
+    p.mode = mode;
+    p.table = &tiny_table();
+    p.registry = &registry;
+    p.inputs = &inputs;
+    p.rng_seed = 99;
+    p.step_budget = step_budget;
+    p.reduction = reduction;
+    p.mark_mpi_vars = mark_mpi;
+    return RuntimeContext(p);
+  }
+};
+
+TEST(Context, HeavyInputIsSymbolicWithPlannedValue) {
+  Fixture f;
+  f.inputs[f.registry.intern("n", VarKind::kRegular)] = 17;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  const sym::SymInt n = ctx.input_int("n");
+  EXPECT_EQ(n.value(), 17);
+  EXPECT_TRUE(n.is_symbolic());
+}
+
+TEST(Context, LightInputIsConcreteSameValue) {
+  Fixture f;
+  f.inputs[f.registry.intern("n", VarKind::kRegular)] = 17;
+  RuntimeContext ctx = f.make(Mode::kLight);
+  const sym::SymInt n = ctx.input_int("n");
+  EXPECT_EQ(n.value(), 17);
+  EXPECT_FALSE(n.is_symbolic());
+}
+
+TEST(Context, MissingInputGetsDeterministicValue) {
+  Fixture f;
+  RuntimeContext heavy = f.make(Mode::kHeavy);
+  const auto v1 = heavy.input_int("fresh").value();
+  RuntimeContext light = f.make(Mode::kLight);
+  const auto v2 = light.input_int("fresh").value();
+  EXPECT_EQ(v1, v2) << "all SPMD ranks must see the same initial value";
+}
+
+TEST(Context, CappedInputRegistersCap) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  (void)ctx.input_int_capped("n", 300);
+  const VarMeta m = f.registry.meta(0);
+  ASSERT_TRUE(m.cap.has_value());
+  EXPECT_EQ(*m.cap, 300);
+}
+
+TEST(Context, RangedInputHonorsDomain) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  const sym::SymInt v = ctx.input_int_range("flag", 0, 1);
+  EXPECT_GE(v.value(), 0);
+  EXPECT_LE(v.value(), 1);
+}
+
+TEST(Context, BranchRecordsCoverageBothModes) {
+  for (Mode mode : {Mode::kHeavy, Mode::kLight}) {
+    Fixture f;
+    RuntimeContext ctx = f.make(mode);
+    (void)ctx.branch(0, sym::SymBool(true));
+    (void)ctx.branch(1, sym::SymBool(false));
+    const TestLog log = ctx.take_log();
+    EXPECT_TRUE(log.covered.covered(sym::branch_id(0, true)));
+    EXPECT_FALSE(log.covered.covered(sym::branch_id(0, false)));
+    EXPECT_TRUE(log.covered.covered(sym::branch_id(1, false)));
+  }
+}
+
+TEST(Context, HeavyRecordsSymbolicConstraints) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  const sym::SymInt n = ctx.input_int("n");
+  (void)ctx.branch(0, n < sym::SymInt(1000000));
+  const TestLog log = ctx.take_log();
+  ASSERT_EQ(log.path.size(), 1u);
+  EXPECT_EQ(log.path[0].site, 0);
+}
+
+TEST(Context, LightRecordsNoConstraints) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kLight);
+  const sym::SymInt n = ctx.input_int("n");
+  (void)ctx.branch(0, n < sym::SymInt(1000000));
+  const TestLog log = ctx.take_log();
+  EXPECT_EQ(log.path.size(), 0u);
+}
+
+TEST(Context, ConcreteConditionsNeverRecorded) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  (void)ctx.branch(0, sym::SymInt(1) < sym::SymInt(2));
+  EXPECT_EQ(ctx.constraint_count(), 0u);
+}
+
+TEST(Context, ReductionDropsRepeatedSameOutcome) {
+  Fixture f;
+  f.inputs[f.registry.intern("n", VarKind::kRegular)] = 100;
+  RuntimeContext ctx = f.make(Mode::kHeavy, /*reduction=*/true);
+  const sym::SymInt n = ctx.input_int("n");
+  // Loop shape: same site, same outcome 100x, then a flip.
+  for (int i = 0; i < 100; ++i) {
+    (void)ctx.branch(0, sym::SymInt(i) < n);
+  }
+  (void)ctx.branch(0, sym::SymInt(100) < n);  // false: flip
+  // First encounter + final flip only.
+  EXPECT_EQ(ctx.constraint_count(), 2u);
+}
+
+TEST(Context, NoReductionKeepsEverything) {
+  Fixture f;
+  f.inputs[f.registry.intern("n", VarKind::kRegular)] = 100;
+  RuntimeContext ctx = f.make(Mode::kHeavy, /*reduction=*/false);
+  const sym::SymInt n = ctx.input_int("n");
+  for (int i = 0; i < 100; ++i) {
+    (void)ctx.branch(0, sym::SymInt(i) < n);
+  }
+  EXPECT_EQ(ctx.constraint_count(), 100u);
+}
+
+TEST(Context, ReductionReRecordsAfterEachFlip) {
+  Fixture f;
+  f.inputs[f.registry.intern("n", VarKind::kRegular)] = 1;
+  RuntimeContext ctx = f.make(Mode::kHeavy, /*reduction=*/true);
+  const sym::SymInt n = ctx.input_int("n");
+  (void)ctx.branch(0, sym::SymInt(0) < n);  // T (recorded: first)
+  (void)ctx.branch(0, sym::SymInt(1) < n);  // F (recorded: flip)
+  (void)ctx.branch(0, sym::SymInt(2) < n);  // F (dropped)
+  (void)ctx.branch(0, sym::SymInt(0) < n);  // T (recorded: flip)
+  EXPECT_EQ(ctx.constraint_count(), 3u);
+}
+
+TEST(Context, StepBudgetRaisesTimeout) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy, true, /*step_budget=*/10);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) {
+          (void)ctx.branch(0, sym::SymBool(true));
+        }
+      },
+      StepBudgetExceeded);
+}
+
+TEST(Context, CheckedDivByZeroRaisesFpe) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  EXPECT_THROW((void)ctx.div(sym::SymInt(1), sym::SymInt(0)), SimulatedFpe);
+  EXPECT_THROW((void)ctx.mod(sym::SymInt(1), sym::SymInt(0)), SimulatedFpe);
+  EXPECT_EQ(ctx.div(sym::SymInt(7), sym::SymInt(2)).value(), 3);
+}
+
+TEST(Context, CheckRaisesAssertionViolation) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  EXPECT_NO_THROW(ctx.check(true, "fine"));
+  EXPECT_THROW(ctx.check(false, "boom"), AssertionViolation);
+}
+
+TEST(Context, MpiMarksCreateTypedVars) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  const sym::SymInt r = ctx.mark_world_rank(3);
+  const sym::SymInt s = ctx.mark_world_size(8);
+  const sym::SymInt lr = ctx.mark_local_rank(0, 1, 4);
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_EQ(s.value(), 8);
+  EXPECT_EQ(lr.value(), 1);
+  EXPECT_TRUE(r.is_symbolic());
+  EXPECT_EQ(f.registry.of_kind(VarKind::kRankWorld).size(), 1u);
+  EXPECT_EQ(f.registry.of_kind(VarKind::kSizeWorld).size(), 1u);
+  EXPECT_EQ(f.registry.of_kind(VarKind::kRankLocal).size(), 1u);
+  const TestLog log = ctx.take_log();
+  ASSERT_EQ(log.comm_sizes.size(), 1u);
+  EXPECT_EQ(log.comm_sizes[0], 4);
+}
+
+TEST(Context, MpiMarksDisabledForNoFwk) {
+  Fixture f;
+  RuntimeContext ctx =
+      f.make(Mode::kHeavy, true, 0, /*mark_mpi=*/false);
+  const sym::SymInt r = ctx.mark_world_rank(3);
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_FALSE(r.is_symbolic());
+  EXPECT_EQ(f.registry.size(), 0u);
+}
+
+TEST(Context, MpiMarksConcreteInLightMode) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kLight);
+  EXPECT_FALSE(ctx.mark_world_rank(2).is_symbolic());
+  EXPECT_FALSE(ctx.mark_world_size(4).is_symbolic());
+}
+
+TEST(Context, RegisterCommRecordsMappingRow) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  const int c0 = ctx.register_comm({0, 4, 2});
+  const int c1 = ctx.register_comm({0, 3});
+  EXPECT_EQ(c0, 0);
+  EXPECT_EQ(c1, 1);
+  const TestLog log = ctx.take_log();
+  ASSERT_EQ(log.rank_mapping.size(), 2u);
+  EXPECT_EQ(log.rank_mapping[0], (std::vector<int>{0, 4, 2}));
+  EXPECT_EQ(log.rank_mapping[1], (std::vector<int>{0, 3}));
+}
+
+TEST(Context, InputsUsedRecordedForSolver) {
+  Fixture f;
+  RuntimeContext ctx = f.make(Mode::kHeavy);
+  (void)ctx.input_int("a");
+  (void)ctx.mark_world_rank(5);
+  const TestLog log = ctx.take_log();
+  EXPECT_EQ(log.inputs_used.size(), 2u);
+  EXPECT_EQ(log.inputs_used.at(1), 5) << "MPI var uses runtime value";
+}
+
+}  // namespace
+}  // namespace compi::rt

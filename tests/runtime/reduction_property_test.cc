@@ -1,0 +1,103 @@
+// Property test for constraint-set reduction (paper §IV-C).
+//
+// Oracle: for an arbitrary sequence of (site, outcome) branch events, the
+// reduced recording keeps an event iff it is the site's first encounter or
+// its outcome differs from the site's previous encounter.  The reduction
+// must also be loss-free for negation purposes: the reduced set retains,
+// for every site, its FINAL flip (the property §IV-C's heuristic rests on:
+// all but the last same-direction repeats are subsumed).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "runtime/context.h"
+
+namespace compi::rt {
+namespace {
+
+constexpr int kSites = 6;
+
+const BranchTable& table() {
+  static const BranchTable t = [] {
+    BranchTable b;
+    for (int i = 0; i < kSites; ++i) b.add_site("f", "s");
+    b.finalize();
+    return b;
+  }();
+  return t;
+}
+
+class ReductionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionPropertyTest, MatchesFirstOrFlipOracle) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> site_dist(0, kSites - 1);
+  std::uniform_int_distribution<int> len_dist(1, 120);
+  std::bernoulli_distribution coin(0.5);
+
+  VarRegistry registry;
+  solver::Assignment inputs;
+  ContextParams params;
+  params.mode = Mode::kHeavy;
+  params.table = &table();
+  params.registry = &registry;
+  params.inputs = &inputs;
+  params.reduction = true;
+  RuntimeContext ctx(params);
+  const sym::SymInt x = ctx.input_int("x");  // value in [-1000, 1000]
+
+  // Drive a random event sequence; cond(site, outcome) is built so the
+  // concrete outcome equals `outcome` and the predicate is symbolic.
+  const auto cond = [&](bool outcome) {
+    return outcome ? x <= sym::SymInt(1'000'000)
+                   : x > sym::SymInt(1'000'000);
+  };
+
+  struct Event {
+    int site;
+    bool outcome;
+  };
+  std::vector<Event> events;
+  const int len = len_dist(rng);
+  for (int i = 0; i < len; ++i) {
+    events.push_back({site_dist(rng), coin(rng)});
+  }
+  for (const Event& e : events) {
+    (void)ctx.branch(static_cast<sym::SiteId>(e.site), cond(e.outcome));
+  }
+
+  // Oracle replay.
+  std::vector<Event> expected;
+  std::array<int, kSites> last;
+  last.fill(-1);
+  for (const Event& e : events) {
+    if (last[e.site] == -1 || last[e.site] != (e.outcome ? 1 : 0)) {
+      expected.push_back(e);
+    }
+    last[e.site] = e.outcome ? 1 : 0;
+  }
+
+  const TestLog log = ctx.take_log();
+  ASSERT_EQ(log.path.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(log.path[i].site, expected[i].site) << i;
+    EXPECT_EQ(log.path[i].taken, expected[i].outcome) << i;
+  }
+
+  // Loss-free-ness: the final recorded entry for each site carries that
+  // site's final outcome of the run.
+  std::array<int, kSites> final_recorded;
+  final_recorded.fill(-1);
+  for (const sym::PathEntry& e : log.path.entries()) {
+    final_recorded[e.site] = e.taken ? 1 : 0;
+  }
+  for (int s = 0; s < kSites; ++s) {
+    EXPECT_EQ(final_recorded[s], last[s]) << "site " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Range(2000, 2040));
+
+}  // namespace
+}  // namespace compi::rt

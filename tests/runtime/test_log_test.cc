@@ -1,0 +1,99 @@
+#include "runtime/test_log.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/predicate.h"
+
+namespace compi::rt {
+namespace {
+
+TEST(CoverageBitmap, MarkAndCount) {
+  CoverageBitmap bm(10);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.mark(3);
+  bm.mark(3);
+  bm.mark(7);
+  EXPECT_EQ(bm.count(), 2u);
+  EXPECT_TRUE(bm.covered(3));
+  EXPECT_FALSE(bm.covered(4));
+}
+
+TEST(CoverageBitmap, OutOfRangeMarkIgnored) {
+  CoverageBitmap bm(4);
+  bm.mark(100);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_FALSE(bm.covered(100));
+}
+
+TEST(CoverageBitmap, MergeUnionsAndResizes) {
+  CoverageBitmap a(4);
+  a.mark(1);
+  CoverageBitmap b(8);
+  b.mark(6);
+  a.merge(b);
+  EXPECT_TRUE(a.covered(1));
+  EXPECT_TRUE(a.covered(6));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(CoverageBitmap, CoveredIdsSorted) {
+  CoverageBitmap bm(10);
+  bm.mark(9);
+  bm.mark(0);
+  bm.mark(5);
+  EXPECT_EQ(bm.covered_ids(), (std::vector<sym::BranchId>{0, 5, 9}));
+}
+
+TEST(TestLog, LightSerializationIsSmall) {
+  TestLog log;
+  log.heavy = false;
+  log.rank = 3;
+  log.nprocs = 8;
+  log.covered = CoverageBitmap(1000);
+  for (int i = 0; i < 50; ++i) log.covered.mark(i * 7 % 1000);
+  const std::string bytes = log.serialize();
+  EXPECT_LT(bytes.size(), 4096u) << "non-focus logs must stay a few KB";
+  EXPECT_NE(bytes.find("mode light"), std::string::npos);
+  EXPECT_EQ(bytes.find("path"), std::string::npos)
+      << "light logs carry no symbolic state";
+}
+
+TestLog heavy_log(std::size_t path_len) {
+  TestLog log;
+  log.heavy = true;
+  log.covered = CoverageBitmap(100);
+  log.inputs_used = {{0, 42}};
+  for (std::size_t i = 0; i < path_len; ++i) {
+    log.path.append(static_cast<sym::SiteId>(i % 10), true,
+                    solver::make_le_const(0, static_cast<std::int64_t>(i)));
+  }
+  return log;
+}
+
+TEST(TestLog, HeavySerializationContainsEverything) {
+  TestLog log = heavy_log(3);
+  log.comm_sizes = {4, 2};
+  log.rank_mapping = {{0, 4, 2}, {0, 3}};
+  const std::string bytes = log.serialize();
+  EXPECT_NE(bytes.find("mode heavy"), std::string::npos);
+  EXPECT_NE(bytes.find("path 3"), std::string::npos);
+  EXPECT_NE(bytes.find("inputs 0=42"), std::string::npos);
+  EXPECT_NE(bytes.find("mapping 0: 0 4 2"), std::string::npos);
+}
+
+TEST(TestLog, HeavyLogGrowsWithConstraintSet) {
+  // The I/O asymmetry behind two-way instrumentation (Table IV).
+  const std::size_t small = heavy_log(10).serialize().size();
+  const std::size_t big = heavy_log(10000).serialize().size();
+  EXPECT_GT(big, small * 100);
+}
+
+TEST(TestLog, OutcomeSerialized) {
+  TestLog log;
+  log.covered = CoverageBitmap(4);
+  log.outcome = Outcome::kSegfault;
+  EXPECT_NE(log.serialize().find("segfault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace compi::rt

@@ -1,0 +1,90 @@
+#include "runtime/var_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace compi::rt {
+namespace {
+
+TEST(VarRegistry, InternAssignsDenseIds) {
+  VarRegistry reg;
+  EXPECT_EQ(reg.intern("a", VarKind::kRegular), 0);
+  EXPECT_EQ(reg.intern("b", VarKind::kRegular), 1);
+  EXPECT_EQ(reg.intern("a", VarKind::kRegular), 0) << "idempotent";
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(VarRegistry, FirstMarkingWins) {
+  VarRegistry reg;
+  reg.intern("x", VarKind::kRegular, {0, 10}, 5);
+  reg.intern("x", VarKind::kRankWorld, {0, 99}, std::nullopt);
+  const VarMeta m = reg.meta(0);
+  EXPECT_EQ(m.kind, VarKind::kRegular);
+  EXPECT_EQ(m.domain, (solver::Interval{0, 10}));
+  ASSERT_TRUE(m.cap.has_value());
+  EXPECT_EQ(*m.cap, 5);
+}
+
+TEST(VarRegistry, EffectiveDomainAppliesCap) {
+  VarRegistry reg;
+  reg.intern("x", VarKind::kRegular, {0, 1000}, 300);
+  reg.intern("y", VarKind::kRegular, {0, 1000});
+  EXPECT_EQ(reg.effective_domain(0), (solver::Interval{0, 300}));
+  EXPECT_EQ(reg.effective_domain(1), (solver::Interval{0, 1000}));
+}
+
+TEST(VarRegistry, CapAboveDomainIsNoop) {
+  VarRegistry reg;
+  reg.intern("x", VarKind::kRegular, {0, 100}, 500);
+  EXPECT_EQ(reg.effective_domain(0).hi, 100);
+}
+
+TEST(VarRegistry, OfKindFilters) {
+  VarRegistry reg;
+  reg.intern("n", VarKind::kRegular);
+  reg.intern("rw#0", VarKind::kRankWorld);
+  reg.intern("sw#0", VarKind::kSizeWorld);
+  reg.intern("rc#0", VarKind::kRankLocal, solver::int32_domain(),
+             std::nullopt, 0);
+  reg.intern("rw#1", VarKind::kRankWorld);
+  EXPECT_EQ(reg.of_kind(VarKind::kRankWorld), (std::vector<Var>{1, 4}));
+  EXPECT_EQ(reg.of_kind(VarKind::kSizeWorld), (std::vector<Var>{2}));
+  EXPECT_EQ(reg.of_kind(VarKind::kRankLocal), (std::vector<Var>{3}));
+  EXPECT_EQ(reg.meta(3).comm_index, 0);
+}
+
+TEST(VarRegistry, ConcurrentInternIsConsistent) {
+  // SPMD ranks intern the same key sequence concurrently; all must agree.
+  VarRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 50;
+  std::vector<std::vector<Var>> seen(kThreads, std::vector<Var>(kKeys));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int k = 0; k < kKeys; ++k) {
+          seen[t][k] = reg.intern("key" + std::to_string(k),
+                                  VarKind::kRegular);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kKeys));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t << " saw different ids";
+  }
+}
+
+TEST(VarKindNames, Stringification) {
+  EXPECT_STREQ(to_string(VarKind::kRegular), "regular");
+  EXPECT_STREQ(to_string(VarKind::kRankWorld), "rw");
+  EXPECT_STREQ(to_string(VarKind::kRankLocal), "rc");
+  EXPECT_STREQ(to_string(VarKind::kSizeWorld), "sw");
+}
+
+}  // namespace
+}  // namespace compi::rt

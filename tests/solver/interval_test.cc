@@ -1,0 +1,113 @@
+#include "solver/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace compi::solver {
+namespace {
+
+constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(SatArithmetic, AddWithinRange) {
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_add(-2, 3), 1);
+  EXPECT_EQ(sat_add(0, 0), 0);
+}
+
+TEST(SatArithmetic, AddSaturatesHigh) {
+  EXPECT_EQ(sat_add(kMax, 1), kMax);
+  EXPECT_EQ(sat_add(kMax - 1, 5), kMax);
+}
+
+TEST(SatArithmetic, AddSaturatesLow) {
+  EXPECT_EQ(sat_add(kMin, -1), kMin);
+  EXPECT_EQ(sat_add(kMin + 2, -10), kMin);
+}
+
+TEST(SatArithmetic, MulWithinRange) {
+  EXPECT_EQ(sat_mul(7, 6), 42);
+  EXPECT_EQ(sat_mul(-7, 6), -42);
+  EXPECT_EQ(sat_mul(0, kMax), 0);
+}
+
+TEST(SatArithmetic, MulSaturates) {
+  EXPECT_EQ(sat_mul(kMax, 2), kMax);
+  EXPECT_EQ(sat_mul(kMax, -2), kMin);
+  EXPECT_EQ(sat_mul(kMin, 2), kMin);
+  EXPECT_EQ(sat_mul(kMin, -1), kMax);
+  EXPECT_EQ(sat_mul(-1, kMin), kMax);
+}
+
+TEST(FloorCeilDiv, RoundsTowardCorrectInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+}
+
+TEST(FloorCeilDiv, ExactDivision) {
+  EXPECT_EQ(floor_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(ceil_div(-8, 2), -4);
+}
+
+TEST(Interval, EmptinessAndWidth) {
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_FALSE(Interval::all().is_empty());
+  EXPECT_EQ(Interval::point(5).width(), 1u);
+  EXPECT_EQ((Interval{1, 10}).width(), 10u);
+  EXPECT_EQ(Interval::empty().width(), 0u);
+}
+
+TEST(Interval, Contains) {
+  const Interval iv{-3, 7};
+  EXPECT_TRUE(iv.contains(-3));
+  EXPECT_TRUE(iv.contains(0));
+  EXPECT_TRUE(iv.contains(7));
+  EXPECT_FALSE(iv.contains(-4));
+  EXPECT_FALSE(iv.contains(8));
+}
+
+TEST(Interval, Intersect) {
+  const Interval a{0, 10};
+  const Interval b{5, 20};
+  EXPECT_EQ(a.intersect(b), (Interval{5, 10}));
+  EXPECT_TRUE(a.intersect(Interval{11, 20}).is_empty());
+}
+
+TEST(Interval, Sum) {
+  const Interval a{1, 2};
+  const Interval b{10, 20};
+  EXPECT_EQ(a + b, (Interval{11, 22}));
+  EXPECT_TRUE((Interval::empty() + a).is_empty());
+}
+
+TEST(Interval, ScaledPositiveNegativeZero) {
+  const Interval iv{-2, 3};
+  EXPECT_EQ(iv.scaled(2), (Interval{-4, 6}));
+  EXPECT_EQ(iv.scaled(-2), (Interval{-6, 4}));
+  EXPECT_EQ(iv.scaled(0), (Interval{0, 0}));
+}
+
+TEST(Interval, ScaledSaturates) {
+  const Interval iv{kMin / 2, kMax / 2};
+  const Interval s = iv.scaled(4);
+  EXPECT_EQ(s.lo, kMin);
+  EXPECT_EQ(s.hi, kMax);
+}
+
+TEST(Interval, Int32Domain) {
+  const Interval d = int32_domain();
+  EXPECT_EQ(d.lo, std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(d.hi, std::numeric_limits<std::int32_t>::max());
+}
+
+}  // namespace
+}  // namespace compi::solver

@@ -1,0 +1,98 @@
+#include "solver/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::solver {
+namespace {
+
+std::int64_t val(Var v) { return v * 10; }  // x0=0, x1=10, x2=20, ...
+
+TEST(LinearExpr, ConstantOnly) {
+  const LinearExpr e(42);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_part(), 42);
+  EXPECT_EQ(e.evaluate(val), 42);
+}
+
+TEST(LinearExpr, SingleVariable) {
+  const LinearExpr e = LinearExpr::variable(2);
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_EQ(e.coeff_of(2), 1);
+  EXPECT_EQ(e.coeff_of(1), 0);
+  EXPECT_EQ(e.evaluate(val), 20);
+}
+
+TEST(LinearExpr, AddTermMergesAndCancels) {
+  LinearExpr e;
+  e.add_term(3, 5);
+  e.add_term(3, -2);
+  EXPECT_EQ(e.coeff_of(3), 3);
+  e.add_term(3, -3);
+  EXPECT_TRUE(e.is_constant());  // cancelled term dropped
+}
+
+TEST(LinearExpr, TermsStaySorted) {
+  LinearExpr e;
+  e.add_term(5, 1);
+  e.add_term(1, 1);
+  e.add_term(3, 1);
+  ASSERT_EQ(e.num_terms(), 3u);
+  EXPECT_EQ(e.terms()[0].var, 1);
+  EXPECT_EQ(e.terms()[1].var, 3);
+  EXPECT_EQ(e.terms()[2].var, 5);
+}
+
+TEST(LinearExpr, Addition) {
+  LinearExpr a(1, 2, 5);   // 2*x1 + 5
+  LinearExpr b(2, 3, -1);  // 3*x2 - 1
+  const LinearExpr s = a + b;
+  EXPECT_EQ(s.coeff_of(1), 2);
+  EXPECT_EQ(s.coeff_of(2), 3);
+  EXPECT_EQ(s.constant_part(), 4);
+  EXPECT_EQ(s.evaluate(val), 2 * 10 + 3 * 20 + 4);
+}
+
+TEST(LinearExpr, Subtraction) {
+  LinearExpr a(1, 2, 5);
+  LinearExpr b(1, 2, 1);
+  const LinearExpr d = a - b;
+  EXPECT_TRUE(d.is_constant());
+  EXPECT_EQ(d.constant_part(), 4);
+}
+
+TEST(LinearExpr, ScalarMultiply) {
+  LinearExpr e(1, 2, 5);
+  e *= 3;
+  EXPECT_EQ(e.coeff_of(1), 6);
+  EXPECT_EQ(e.constant_part(), 15);
+  e *= 0;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_part(), 0);
+}
+
+TEST(LinearExpr, Negated) {
+  const LinearExpr e(1, 2, 5);
+  const LinearExpr n = e.negated();
+  EXPECT_EQ(n.coeff_of(1), -2);
+  EXPECT_EQ(n.constant_part(), -5);
+}
+
+TEST(LinearExpr, CollectVarsSortedUnique) {
+  LinearExpr a(4, 1);
+  a.add_term(1, 2);
+  LinearExpr b(1, 7);
+  std::vector<Var> vars;
+  a.collect_vars(vars);
+  b.collect_vars(vars);
+  EXPECT_EQ(vars, (std::vector<Var>{1, 4}));
+}
+
+TEST(LinearExpr, ToStringReadable) {
+  LinearExpr e(0, 2, -3);
+  e.add_term(1, -1);
+  EXPECT_EQ(e.to_string(), "2*x0 - x1 - 3");
+  EXPECT_EQ(LinearExpr(7).to_string(), "7");
+}
+
+}  // namespace
+}  // namespace compi::solver

@@ -1,0 +1,80 @@
+#include "solver/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::solver {
+namespace {
+
+TEST(CompareOp, NegationIsInvolution) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNeq, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(negate(negate(op)), op);
+  }
+}
+
+TEST(CompareOp, NegationPairs) {
+  EXPECT_EQ(negate(CompareOp::kEq), CompareOp::kNeq);
+  EXPECT_EQ(negate(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(negate(CompareOp::kLe), CompareOp::kGt);
+}
+
+TEST(Predicate, HoldsEvaluation) {
+  // x0 - 5 <= 0
+  const Predicate p{LinearExpr(0, 1, -5), CompareOp::kLe};
+  EXPECT_TRUE(p.holds([](Var) { return 5; }));
+  EXPECT_TRUE(p.holds([](Var) { return -100; }));
+  EXPECT_FALSE(p.holds([](Var) { return 6; }));
+}
+
+TEST(Predicate, NegatedFlipsSatisfaction) {
+  const Predicate p{LinearExpr(0, 1, -5), CompareOp::kLt};
+  const Predicate n = p.negated();
+  for (std::int64_t v : {-10, 0, 4, 5, 6, 100}) {
+    EXPECT_NE(p.holds([v](Var) { return v; }), n.holds([v](Var) { return v; }))
+        << "value " << v;
+  }
+}
+
+TEST(Predicate, BuildersEncodeCorrectRelations) {
+  auto value = [](Var v) { return v == 0 ? 3 : 7; };  // x0=3, x1=7
+  EXPECT_FALSE(make_eq(0, 1).holds(value));
+  EXPECT_TRUE(make_lt(0, 1).holds(value));
+  EXPECT_TRUE(make_ge_const(0, 3).holds(value));
+  EXPECT_FALSE(make_ge_const(0, 4).holds(value));
+  EXPECT_TRUE(make_le_const(0, 3).holds(value));
+  EXPECT_FALSE(make_le_const(0, 2).holds(value));
+  EXPECT_TRUE(make_lt_const(1, 8).holds(value));
+  EXPECT_FALSE(make_lt_const(1, 7).holds(value));
+  EXPECT_TRUE(make_eq_const(0, 3).holds(value));
+}
+
+TEST(Predicate, EveryOpHoldsMatrix) {
+  // expr = x0 (so "x0 op 0")
+  const LinearExpr x = LinearExpr::variable(0);
+  struct Case {
+    CompareOp op;
+    bool at_neg, at_zero, at_pos;
+  };
+  const Case cases[] = {
+      {CompareOp::kEq, false, true, false},
+      {CompareOp::kNeq, true, false, true},
+      {CompareOp::kLt, true, false, false},
+      {CompareOp::kLe, true, true, false},
+      {CompareOp::kGt, false, false, true},
+      {CompareOp::kGe, false, true, true},
+  };
+  for (const Case& c : cases) {
+    const Predicate p{x, c.op};
+    EXPECT_EQ(p.holds([](Var) { return -1; }), c.at_neg) << to_string(c.op);
+    EXPECT_EQ(p.holds([](Var) { return 0; }), c.at_zero) << to_string(c.op);
+    EXPECT_EQ(p.holds([](Var) { return 1; }), c.at_pos) << to_string(c.op);
+  }
+}
+
+TEST(Predicate, ToString) {
+  const Predicate p{LinearExpr(0, 1, -5), CompareOp::kLt};
+  EXPECT_EQ(p.to_string(), "x0 - 5 < 0");
+}
+
+}  // namespace
+}  // namespace compi::solver

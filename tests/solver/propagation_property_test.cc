@@ -1,0 +1,74 @@
+// Property: interval propagation is SOUND — it may fail to tighten, but it
+// must never remove an actual solution from the domains.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "solver/propagation.h"
+#include "solver/solver.h"
+
+namespace compi::solver {
+namespace {
+
+class PropagationSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropagationSoundnessTest, WitnessSurvivesPropagation) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> nvars_dist(1, 5);
+  std::uniform_int_distribution<int> npreds_dist(1, 10);
+  std::uniform_int_distribution<std::int64_t> value_dist(-40, 40);
+  std::uniform_int_distribution<int> coeff_dist(-3, 3);
+  std::uniform_int_distribution<int> op_dist(0, 5);
+
+  const int nvars = nvars_dist(rng);
+  Assignment witness;
+  for (Var v = 0; v < nvars; ++v) witness[v] = value_dist(rng);
+
+  std::vector<Predicate> preds;
+  const int npreds = npreds_dist(rng);
+  for (int i = 0; i < npreds; ++i) {
+    LinearExpr e;
+    for (Var v = 0; v < nvars; ++v) e.add_term(v, coeff_dist(rng));
+    const std::int64_t at =
+        e.evaluate([&](Var v) { return witness.at(v); });
+    CompareOp op;
+    switch (op_dist(rng)) {
+      case 0: op = CompareOp::kLe; e.add_constant(-at); break;
+      case 1: op = CompareOp::kGe; e.add_constant(-at); break;
+      case 2: op = CompareOp::kEq; e.add_constant(-at); break;
+      case 3: op = CompareOp::kLt; e.add_constant(-at - 1); break;
+      case 4: op = CompareOp::kGt; e.add_constant(-at + 1); break;
+      default: op = CompareOp::kNeq; e.add_constant(-at - 1); break;
+    }
+    preds.push_back({std::move(e), op});
+  }
+
+  DomainMap domains;
+  for (Var v = 0; v < nvars; ++v) domains[v] = {-100, 100};
+  const PropagationResult r = propagate(preds, domains);
+  ASSERT_TRUE(r.consistent)
+      << "a system with a witness must not be refuted";
+  for (Var v = 0; v < nvars; ++v) {
+    EXPECT_TRUE(domains[v].contains(witness.at(v)))
+        << "x" << v << " = " << witness.at(v) << " pruned from "
+        << domains[v].lo << ".." << domains[v].hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSoundnessTest,
+                         ::testing::Range(1000, 1080));
+
+TEST(PropagationMonotone, SecondPassIsNoWorse) {
+  // Propagation to fixpoint: running it twice must change nothing.
+  std::vector<Predicate> preds{make_lt(0, 1), make_le_const(1, 10),
+                               make_ge_const(0, 0)};
+  DomainMap first;
+  ASSERT_TRUE(propagate(preds, first).consistent);
+  DomainMap second = first;
+  ASSERT_TRUE(propagate(preds, second).consistent);
+  EXPECT_EQ(first.at(0), second.at(0));
+  EXPECT_EQ(first.at(1), second.at(1));
+}
+
+}  // namespace
+}  // namespace compi::solver

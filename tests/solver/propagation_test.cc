@@ -1,0 +1,127 @@
+#include "solver/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::solver {
+namespace {
+
+TEST(Propagation, SingleVarUpperBound) {
+  // x0 - 5 <= 0  =>  x0 <= 5
+  std::vector<Predicate> preds{{LinearExpr(0, 1, -5), CompareOp::kLe}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0].hi, 5);
+}
+
+TEST(Propagation, SingleVarStrictLower) {
+  // x0 - 2 > 0  =>  x0 >= 3 over integers
+  std::vector<Predicate> preds{{LinearExpr(0, 1, -2), CompareOp::kGt}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0].lo, 3);
+}
+
+TEST(Propagation, NegativeCoefficientFlipsBound) {
+  // -2*x0 + 6 >= 0  =>  x0 <= 3
+  std::vector<Predicate> preds{{LinearExpr(0, -2, 6), CompareOp::kGe}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0].hi, 3);
+}
+
+TEST(Propagation, EqualityPinsValue) {
+  std::vector<Predicate> preds{{LinearExpr(0, 1, -7), CompareOp::kEq}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0], Interval::point(7));
+}
+
+TEST(Propagation, TwoVarChainTightensBoth) {
+  // x0 - x1 < 0 and x1 - 10 <= 0 and x0 >= 0
+  std::vector<Predicate> preds{
+      make_lt(0, 1), make_le_const(1, 10), make_ge_const(0, 0)};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0].lo, 0);
+  EXPECT_EQ(domains[0].hi, 9);   // x0 < x1 <= 10
+  EXPECT_EQ(domains[1].lo, 1);   // x1 > x0 >= 0
+  EXPECT_EQ(domains[1].hi, 10);
+}
+
+TEST(Propagation, DetectsEmptyDomain) {
+  std::vector<Predicate> preds{make_ge_const(0, 10), make_le_const(0, 5)};
+  DomainMap domains;
+  EXPECT_FALSE(propagate(preds, domains).consistent);
+}
+
+TEST(Propagation, GroundFalsePredicateIsInconsistent) {
+  std::vector<Predicate> preds{{LinearExpr(5), CompareOp::kLt}};  // 5 < 0
+  DomainMap domains;
+  EXPECT_FALSE(propagate(preds, domains).consistent);
+}
+
+TEST(Propagation, NeqShavesBoundaryValue) {
+  std::vector<Predicate> preds{
+      make_ge_const(0, 0), make_le_const(0, 5),
+      {LinearExpr(0, 1, 0), CompareOp::kNeq}};  // x0 != 0
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0].lo, 1);
+}
+
+TEST(Propagation, NeqInteriorValueNoPruning) {
+  std::vector<Predicate> preds{
+      make_ge_const(0, 0), make_le_const(0, 5),
+      {LinearExpr(0, 1, -3), CompareOp::kNeq}};  // x0 != 3
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0], (Interval{0, 5}));  // interval can't express holes
+}
+
+TEST(Propagation, RespectsInitialDomains) {
+  std::vector<Predicate> preds{make_ge_const(0, -100)};
+  DomainMap domains{{0, {5, 8}}};
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+  EXPECT_EQ(domains[0], (Interval{5, 8}));
+}
+
+TEST(Propagation, GcdTestRefutesInfeasibleEqualities) {
+  // 2*x0 + 4*x1 - 3 == 0 has no integer solutions (gcd 2 does not
+  // divide 3); interval reasoning alone cannot see this.
+  LinearExpr e(0, 2, -3);
+  e.add_term(1, 4);
+  std::vector<Predicate> preds{{e, CompareOp::kEq}};
+  DomainMap domains;
+  EXPECT_FALSE(propagate(preds, domains).consistent);
+}
+
+TEST(Propagation, GcdTestAcceptsFeasibleEqualities) {
+  // 2*x0 + 4*x1 - 6 == 0 is fine (x0 = 1, x1 = 1).
+  LinearExpr e(0, 2, -6);
+  e.add_term(1, 4);
+  std::vector<Predicate> preds{{e, CompareOp::kEq}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+}
+
+TEST(Propagation, GcdTestIgnoresInequalities) {
+  LinearExpr e(0, 2, -3);
+  e.add_term(1, 4);
+  std::vector<Predicate> preds{{e, CompareOp::kLe}};
+  DomainMap domains;
+  EXPECT_TRUE(propagate(preds, domains).consistent);
+}
+
+TEST(GroundPredicates, ChecksOnlyFullyPinnedOnes) {
+  std::vector<Predicate> preds{
+      {LinearExpr(0, 1, -3), CompareOp::kNeq},  // x0 != 3
+      make_lt(1, 2),                            // x1 < x2 (x2 unpinned)
+  };
+  DomainMap domains{{0, Interval::point(3)}, {1, Interval::point(0)}};
+  EXPECT_FALSE(ground_predicates_hold(preds, domains));
+  domains[0] = Interval::point(4);
+  EXPECT_TRUE(ground_predicates_hold(preds, domains));
+}
+
+}  // namespace
+}  // namespace compi::solver

@@ -1,0 +1,95 @@
+#include "symbolic/path.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/predicate.h"
+
+namespace compi::sym {
+namespace {
+
+using solver::make_ge_const;
+using solver::make_le_const;
+
+TEST(BranchId, RoundTrip) {
+  for (SiteId s : {0, 1, 7, 100}) {
+    for (bool taken : {false, true}) {
+      const BranchId b = branch_id(s, taken);
+      EXPECT_EQ(site_of(b), s);
+      EXPECT_EQ(direction_of(b), taken);
+    }
+  }
+}
+
+Path make_path() {
+  Path p;
+  p.append(0, true, make_ge_const(0, 1));   // x0 >= 1
+  p.append(1, false, make_le_const(0, 9));  // x0 <= 9
+  p.append(2, true, make_ge_const(1, 5));   // x1 >= 5
+  return p;
+}
+
+TEST(Path, AppendAndAccess) {
+  const Path p = make_path();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1].site, 1);
+  EXPECT_FALSE(p[1].taken);
+}
+
+TEST(Path, ConstraintsNegatingKeepsPrefixNegatesLast) {
+  const Path p = make_path();
+  const auto preds = p.constraints_negating(1);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], make_ge_const(0, 1));
+  EXPECT_EQ(preds[1], make_le_const(0, 9).negated());
+}
+
+TEST(Path, ConstraintsNegatingDepthZero) {
+  const Path p = make_path();
+  const auto preds = p.constraints_negating(0);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], make_ge_const(0, 1).negated());
+}
+
+TEST(Path, AllConstraints) {
+  const Path p = make_path();
+  EXPECT_EQ(p.all_constraints().size(), 3u);
+}
+
+TEST(Path, DivergesAsPredictedTrueCase) {
+  const Path parent = make_path();
+  Path child;
+  child.append(0, true, make_ge_const(0, 1));
+  child.append(1, true, make_le_const(0, 9).negated());  // flipped at 1
+  EXPECT_TRUE(parent.diverges_as_predicted(child, 1));
+}
+
+TEST(Path, DivergesAsPredictedFailsOnPrefixMismatch) {
+  const Path parent = make_path();
+  Path child;
+  child.append(0, false, make_ge_const(0, 1).negated());  // prefix differs
+  child.append(1, true, make_le_const(0, 9).negated());
+  EXPECT_FALSE(parent.diverges_as_predicted(child, 1));
+}
+
+TEST(Path, DivergesAsPredictedFailsWithoutFlip) {
+  const Path parent = make_path();
+  const Path same = make_path();  // same direction at depth 1
+  EXPECT_FALSE(parent.diverges_as_predicted(same, 1));
+}
+
+TEST(Path, DivergesAsPredictedFailsOnShortPath) {
+  const Path parent = make_path();
+  Path child;
+  child.append(0, true, make_ge_const(0, 1));
+  EXPECT_FALSE(parent.diverges_as_predicted(child, 2));
+}
+
+TEST(Path, ClearEmptiesEverything) {
+  Path p = make_path();
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+}
+
+}  // namespace
+}  // namespace compi::sym

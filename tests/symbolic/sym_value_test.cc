@@ -1,0 +1,132 @@
+#include "symbolic/sym_value.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::sym {
+namespace {
+
+TEST(SymInt, ConcreteOnlyStaysConcrete) {
+  const SymInt a(4), b(6);
+  EXPECT_FALSE((a + b).is_symbolic());
+  EXPECT_EQ((a + b).value(), 10);
+  EXPECT_EQ((a - b).value(), -2);
+  EXPECT_EQ((a * b).value(), 24);
+}
+
+TEST(SymInt, SymbolicAdditionBuildsExpr) {
+  const SymInt x(10, Var{0});
+  const SymInt y(20, Var{1});
+  const SymInt s = x + y;
+  EXPECT_TRUE(s.is_symbolic());
+  EXPECT_EQ(s.value(), 30);
+  EXPECT_EQ(s.expr().coeff_of(0), 1);
+  EXPECT_EQ(s.expr().coeff_of(1), 1);
+}
+
+TEST(SymInt, MixedAdditionKeepsSymbolicSide) {
+  const SymInt x(10, Var{0});
+  const SymInt s = x + SymInt(5);
+  EXPECT_TRUE(s.is_symbolic());
+  EXPECT_EQ(s.value(), 15);
+  EXPECT_EQ(s.expr().constant_part(), 5);
+}
+
+TEST(SymInt, SubtractionCancellation) {
+  const SymInt x(10, Var{0});
+  const SymInt d = x - x;
+  EXPECT_EQ(d.value(), 0);
+  // x - x leaves a constant-zero expression; comparisons on it collapse.
+  const SymBool c = d == SymInt(0);
+  EXPECT_TRUE(c.value());
+  EXPECT_FALSE(c.is_symbolic()) << "cancelled expression must be concrete";
+}
+
+TEST(SymInt, MultiplyByConstantScales) {
+  const SymInt x(10, Var{0});
+  const SymInt m = x * SymInt(3);
+  EXPECT_TRUE(m.is_symbolic());
+  EXPECT_EQ(m.value(), 30);
+  EXPECT_EQ(m.expr().coeff_of(0), 3);
+}
+
+TEST(SymInt, SymbolicTimesSymbolicLinearizes) {
+  // CREST semantics: the right operand is concretized.
+  const SymInt x(10, Var{0});
+  const SymInt y(4, Var{1});
+  const SymInt m = x * y;
+  EXPECT_TRUE(m.is_symbolic());
+  EXPECT_EQ(m.value(), 40);
+  EXPECT_EQ(m.expr().coeff_of(0), 4);   // x scaled by concrete y
+  EXPECT_EQ(m.expr().coeff_of(1), 0);   // y dropped
+}
+
+TEST(SymInt, MultiplyByZeroConcretizes) {
+  const SymInt x(10, Var{0});
+  const SymInt m = x * SymInt(0);
+  EXPECT_EQ(m.value(), 0);
+  EXPECT_FALSE(m.is_symbolic());
+}
+
+TEST(SymInt, DivisionIsConcrete) {
+  const SymInt x(10, Var{0});
+  const SymInt d = x / SymInt(3);
+  EXPECT_EQ(d.value(), 3);
+  EXPECT_FALSE(d.is_symbolic());
+  const SymInt r = x % SymInt(3);
+  EXPECT_EQ(r.value(), 1);
+  EXPECT_FALSE(r.is_symbolic());
+}
+
+TEST(SymInt, UnaryNegation) {
+  const SymInt x(10, Var{0});
+  const SymInt n = -x;
+  EXPECT_EQ(n.value(), -10);
+  EXPECT_EQ(n.expr().coeff_of(0), -1);
+}
+
+TEST(SymBool, ConcreteComparison) {
+  const SymBool c = SymInt(3) < SymInt(5);
+  EXPECT_TRUE(c.value());
+  EXPECT_FALSE(c.is_symbolic());
+}
+
+TEST(SymBool, SymbolicComparisonCarriesPredicate) {
+  const SymInt x(10, Var{0});
+  const SymBool c = x < SymInt(20);  // true, predicate x0 - 20 < 0
+  EXPECT_TRUE(c.value());
+  ASSERT_TRUE(c.is_symbolic());
+  EXPECT_TRUE(c.predicate().holds([](Var) { return 10; }));
+  EXPECT_FALSE(c.predicate().holds([](Var) { return 25; }));
+}
+
+TEST(SymBool, TakenPredicateMatchesOutcome) {
+  const SymInt x(30, Var{0});
+  const SymBool c = x < SymInt(20);  // false
+  EXPECT_FALSE(c.value());
+  // The taken (false) direction satisfies the negated predicate.
+  EXPECT_TRUE(c.taken_predicate().holds([](Var) { return 30; }));
+  EXPECT_FALSE(c.taken_predicate().holds([](Var) { return 10; }));
+}
+
+TEST(SymBool, NotFlipsBothParts) {
+  const SymInt x(10, Var{0});
+  const SymBool c = !(x < SymInt(20));
+  EXPECT_FALSE(c.value());
+  ASSERT_TRUE(c.is_symbolic());
+  EXPECT_FALSE(c.predicate().holds([](Var) { return 10; }));
+}
+
+TEST(SymBool, AllComparisonOperators) {
+  const SymInt x(5, Var{0});
+  EXPECT_TRUE((x == SymInt(5)).value());
+  EXPECT_TRUE((x != SymInt(6)).value());
+  EXPECT_TRUE((x < SymInt(6)).value());
+  EXPECT_TRUE((x <= SymInt(5)).value());
+  EXPECT_TRUE((x > SymInt(4)).value());
+  EXPECT_TRUE((x >= SymInt(5)).value());
+  EXPECT_FALSE((x == SymInt(6)).value());
+  EXPECT_FALSE((x > SymInt(5)).value());
+}
+
+}  // namespace
+}  // namespace compi::sym

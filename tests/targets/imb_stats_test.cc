@@ -1,0 +1,50 @@
+#include "targets/mini_imb/imb_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "minimpi/launcher.h"
+
+namespace compi::targets::imb {
+namespace {
+
+TEST(ImbStats, ReducesMinMaxAvgAcrossRanks) {
+  rt::BranchTable table;
+  table.add_site("m", "s");
+  table.finalize();
+  rt::VarRegistry registry;
+  minimpi::LaunchSpec spec;
+  spec.nprocs = 4;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.program = [](rt::RuntimeContext&, minimpi::Comm& world) {
+    // Rank r reports (r+1) * 0.1 seconds.
+    const double mine = (world.raw_rank() + 1) * 0.1;
+    const TimingStats stats = reduce_timings(world, mine);
+    EXPECT_NEAR(stats.t_min, 0.1, 1e-12);
+    EXPECT_NEAR(stats.t_max, 0.4, 1e-12);
+    EXPECT_NEAR(stats.t_avg, 0.25, 1e-12);
+  };
+  const auto result = minimpi::launch(spec, table);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk) << result.job_message();
+}
+
+TEST(BufferRing, SingleCopyAlwaysSameBuffer) {
+  BufferRing ring(16, 1);
+  EXPECT_EQ(ring.at(0).data(), ring.at(1).data());
+  EXPECT_EQ(ring.at(0).size(), 16u);
+}
+
+TEST(BufferRing, MultiCopyRotates) {
+  BufferRing ring(8, 3);
+  EXPECT_NE(ring.at(0).data(), ring.at(1).data());
+  EXPECT_NE(ring.at(1).data(), ring.at(2).data());
+  EXPECT_EQ(ring.at(0).data(), ring.at(3).data()) << "period = copies";
+}
+
+TEST(BufferRing, ZeroElemsClamped) {
+  BufferRing ring(0, 2);
+  EXPECT_EQ(ring.at(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace compi::targets::imb

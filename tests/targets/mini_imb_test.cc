@@ -1,0 +1,130 @@
+// mini-IMB-MPI1 behaviour tests: every benchmark kind completes cleanly on
+// realistic process counts and the argument validation rejects bad input.
+#include <gtest/gtest.h>
+
+#include "targets/mini_imb/mini_imb.h"
+#include "tests/targets/target_test_util.h"
+
+namespace compi::targets {
+namespace {
+
+using compi::testing::run_fixed;
+
+std::map<std::string, std::int64_t> valid_args(int benchmark) {
+  return {
+      {"benchmark", benchmark},
+      {"msglog_min", 2},
+      {"msglog_max", 6},
+      {"iters", 4},
+      {"warmups", 1},
+      {"npmin", 2},
+      {"root", 0},
+      {"off_cache", 0},
+      {"multi", 0},
+      {"sync", 1},
+      {"msg_pow", 2},
+      {"vol_log", 14},
+      {"time_scale", 10},
+  };
+}
+
+class MiniImbBenchmarkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniImbBenchmarkTest, RunsCleanlyOnSeveralWorldSizes) {
+  const TargetInfo t = make_mini_imb_target();
+  for (int np : {2, 3, 5, 8}) {
+    const auto result = run_fixed(t, valid_args(GetParam()), np);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk)
+        << "benchmark=" << GetParam() << " np=" << np << ": "
+        << result.job_message();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MiniImbBenchmarkTest,
+                         ::testing::Range(0, 13));
+
+TEST(MiniImb, NpminSweepCreatesSubsets) {
+  const TargetInfo t = make_mini_imb_target();
+  auto in = valid_args(5);  // Allreduce
+  in["npmin"] = 2;
+  rt::VarRegistry registry;
+  const auto result = run_fixed(t, in, 8, 0, 1, &registry);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk) << result.job_message();
+  // np = 2, 4, 8: three subset communicators; the focus is rank 0, a
+  // member of each, so each split registers a mapping row.
+  EXPECT_EQ(result.focus_log().rank_mapping.size(), 3u);
+  EXPECT_FALSE(registry.of_kind(rt::VarKind::kRankLocal).empty());
+}
+
+TEST(MiniImb, MultiModeRunsConcurrentGroups) {
+  // -multi: with npmin=2 on 7 ranks, three groups of 2 run the benchmark
+  // simultaneously and rank 6 sits out the np=2 round.
+  const TargetInfo t = make_mini_imb_target();
+  for (int bench : {0, 5, 9}) {
+    auto in = valid_args(bench);
+    in["multi"] = 1;
+    const auto result = run_fixed(t, in, 7);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk)
+        << "bench=" << bench << ": " << result.job_message();
+  }
+}
+
+TEST(MiniImb, RootOutOfRangeRejected) {
+  const TargetInfo t = make_mini_imb_target();
+  auto in = valid_args(4);
+  in["root"] = 10;  // >= size (8)
+  const auto result = run_fixed(t, in, 8);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(result.merged_coverage().count(), 40u);
+}
+
+TEST(MiniImb, NpminAboveWorldRejected) {
+  const TargetInfo t = make_mini_imb_target();
+  auto in = valid_args(0);
+  in["npmin"] = 9;
+  const auto result = run_fixed(t, in, 4);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(result.merged_coverage().count(), 40u);
+}
+
+TEST(MiniImb, BadMessageRangeRejected) {
+  const TargetInfo t = make_mini_imb_target();
+  auto in = valid_args(0);
+  in["msglog_max"] = 1;  // < msglog_min (2)
+  const auto result = run_fixed(t, in, 2);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(result.merged_coverage().count(), 40u);
+}
+
+TEST(MiniImb, OverallVolumeTrimsIterations) {
+  const TargetInfo t = make_mini_imb_target(/*iter_cap=*/1000);
+  auto in = valid_args(5);
+  in["iters"] = 1000;
+  in["msglog_min"] = 10;
+  in["msglog_max"] = 12;
+  in["vol_log"] = 12;  // 4 KiB total: forces the iteration trim path
+  const auto result = run_fixed(t, in, 2);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk) << result.job_message();
+}
+
+TEST(MiniImb, RootedCollectivesHonorNonzeroRoot) {
+  const TargetInfo t = make_mini_imb_target();
+  for (int bench : {4, 6, 8}) {  // Bcast, Reduce, Gather
+    auto in = valid_args(bench);
+    in["root"] = 1;
+    const auto result = run_fixed(t, in, 4);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk)
+        << "bench=" << bench << ": " << result.job_message();
+  }
+}
+
+TEST(MiniImb, TableMetadataIsConsistent) {
+  const TargetInfo t = make_mini_imb_target();
+  EXPECT_EQ(t.name, "mini-IMB-MPI1");
+  EXPECT_GT(t.table->num_sites(), 40u);
+  EXPECT_EQ(t.paper_sloc, 7092);
+  EXPECT_EQ(t.default_cap, 100);
+}
+
+}  // namespace
+}  // namespace compi::targets

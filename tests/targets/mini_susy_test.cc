@@ -1,0 +1,142 @@
+// mini-SUSY-HMC behaviour tests: the four seeded bugs trigger exactly under
+// the paper's conditions and the "fixed" build is clean.
+#include <gtest/gtest.h>
+
+#include "targets/mini_susy/mini_susy.h"
+#include "tests/targets/target_test_util.h"
+
+namespace compi::targets {
+namespace {
+
+using compi::testing::run_fixed;
+
+/// A parameter set that passes the sanity check with `nprocs` processes
+/// (nt must be a multiple of the process count) and triggers no bug.
+std::map<std::string, std::int64_t> valid_inputs(int nprocs) {
+  return {
+      {"nx", 2},     {"ny", 2},      {"nz", 2},     {"nt", nprocs},
+      {"warms", 0},  {"trajecs", 1}, {"nsteps", 1}, {"nroot", 2},
+      {"norder", 2}, {"seed", 7},    {"max_cg", 5}, {"npbp", 0},
+      {"ckpt_freq", 0},
+  };
+}
+
+TEST(MiniSusy, ValidInputsRunCleanly) {
+  // Process counts 2 and 4 are excluded here: sanity requires nt to be a
+  // multiple of the process count, so nt is then necessarily even and the
+  // seeded paired-layout FPE always fires (see Bug4 test below).
+  const TargetInfo t = make_mini_susy_target();
+  for (int np : {1, 3, 5}) {
+    const auto result = run_fixed(t, valid_inputs(np), np);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk)
+        << "np=" << np << ": " << result.job_message();
+  }
+}
+
+TEST(MiniSusy, InvalidDimensionRejectedBySanity) {
+  const TargetInfo t = make_mini_susy_target();
+  auto in = valid_inputs(1);
+  in["nx"] = 0;
+  const auto result = run_fixed(t, in, 1);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk) << "sanity exit is clean";
+  // The run never reaches the layout function.
+  EXPECT_LT(result.merged_coverage().count(), 20u);
+}
+
+TEST(MiniSusy, IndivisibleTimeExtentRejected) {
+  const TargetInfo t = make_mini_susy_target();
+  auto in = valid_inputs(3);
+  in["nt"] = 4;  // 3 processes cannot slice nt=4 evenly
+  const auto result = run_fixed(t, in, 3);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(result.merged_coverage().count(), 30u);
+}
+
+TEST(MiniSusy, Bug1SrcMallocTriggersOnHighOrder) {
+  const TargetInfo t = make_mini_susy_target();
+  auto in = valid_inputs(1);
+  in["norder"] = 5;  // > 4 enters the high-order RHMC buffer path
+  const auto result = run_fixed(t, in, 1);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kSegfault);
+  EXPECT_NE(result.job_message().find("src"), std::string::npos);
+}
+
+TEST(MiniSusy, Bug2PsimMallocTriggersOnPbpMeasurement) {
+  const TargetInfo t = make_mini_susy_target();
+  auto in = valid_inputs(1);
+  in["npbp"] = 1;
+  const auto result = run_fixed(t, in, 1);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kSegfault);
+  EXPECT_NE(result.job_message().find("psim"), std::string::npos);
+}
+
+TEST(MiniSusy, Bug3DestMallocTriggersOnMultiStep) {
+  const TargetInfo t = make_mini_susy_target();
+  auto in = valid_inputs(1);
+  in["nsteps"] = 2;
+  in["trajecs"] = 1;
+  const auto result = run_fixed(t, in, 1);
+  EXPECT_EQ(result.job_outcome(), rt::Outcome::kSegfault);
+  EXPECT_NE(result.job_message().find("dest"), std::string::npos);
+}
+
+TEST(MiniSusy, Bug4FpeNeedsTwoOrFourProcessesAndEvenNt) {
+  const TargetInfo t = make_mini_susy_target();
+  // Paper §VI-A: "it manifests with 2 or 4 processes but it does not occur
+  // with 1 or 3 processes" — plus the even time extent.
+  for (int np : {2, 4}) {
+    auto in = valid_inputs(np);
+    in["nt"] = np * 2;  // even, divisible
+    const auto result = run_fixed(t, in, np);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kFpe) << "np=" << np;
+  }
+  for (int np : {1, 3}) {
+    auto in = valid_inputs(np);
+    in["nt"] = np * 2;  // same even extent, non-paired process counts
+    const auto result = run_fixed(t, in, np);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk) << "np=" << np;
+  }
+}
+
+TEST(MiniSusy, FpeDoesNotTriggerWithOddNt) {
+  const TargetInfo t = make_mini_susy_target(/*dim_cap=*/9);
+  auto in = valid_inputs(2);
+  in["nt"] = 6;  // even: faults
+  EXPECT_EQ(run_fixed(t, in, 2).job_outcome(), rt::Outcome::kFpe);
+  // nt must stay divisible by 2 to pass sanity, so an odd nt cannot be
+  // tested at np=2; np=1 never takes the paired path at all.
+  in["nt"] = 3;
+  EXPECT_EQ(run_fixed(t, in, 1).job_outcome(), rt::Outcome::kOk);
+}
+
+TEST(MiniSusy, FixedBuildIsCleanOnAllBugTriggers) {
+  const TargetInfo t = make_mini_susy_target(5, /*with_bugs=*/false);
+  struct Case {
+    std::string key;
+    std::int64_t value;
+    int np;
+  };
+  for (const auto& c : std::initializer_list<Case>{
+           {"norder", 5, 1}, {"npbp", 1, 1}, {"nsteps", 2, 1}}) {
+    auto in = valid_inputs(c.np);
+    in[c.key] = c.value;
+    const auto result = run_fixed(t, in, c.np);
+    EXPECT_EQ(result.job_outcome(), rt::Outcome::kOk)
+        << c.key << "=" << c.value << ": " << result.job_message();
+  }
+  auto in = valid_inputs(2);
+  in["nt"] = 4;
+  EXPECT_EQ(run_fixed(t, in, 2).job_outcome(), rt::Outcome::kOk)
+      << "the developer's fix guards the paired-layout division";
+}
+
+TEST(MiniSusy, TableMetadataIsConsistent) {
+  const TargetInfo t = make_mini_susy_target();
+  EXPECT_EQ(t.name, "mini-SUSY-HMC");
+  EXPECT_GT(t.table->num_sites(), 40u);
+  EXPECT_EQ(t.paper_sloc, 19201);
+  EXPECT_EQ(t.default_cap, 5);
+}
+
+}  // namespace
+}  // namespace compi::targets

@@ -1,0 +1,168 @@
+// Boundary-value matrices for every sanity check of the three targets.
+//
+// For each validated parameter: the value just inside the legal range must
+// let the run proceed past the check (high coverage), and the value just
+// outside must stop it at the sanity exit (low coverage, clean outcome).
+// This pins down the exact guard semantics DFS negates its way through.
+#include <gtest/gtest.h>
+
+#include "targets/targets.h"
+#include "tests/targets/target_test_util.h"
+
+namespace compi::targets {
+namespace {
+
+using compi::testing::run_fixed;
+
+struct BoundaryCase {
+  const char* param;
+  std::int64_t good;  // passes this check
+  std::int64_t bad;   // fails this check
+};
+
+void PrintTo(const BoundaryCase& c, std::ostream* os) {
+  *os << c.param << " good=" << c.good << " bad=" << c.bad;
+}
+
+// ---------------------------------------------------------------------------
+// mini-HPL: HPL_pdinfo validates all 24 marked parameters.
+// ---------------------------------------------------------------------------
+class HplBoundaryTest : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(HplBoundaryTest, GoodPassesBadStopsAtSanity) {
+  const BoundaryCase c = GetParam();
+  const TargetInfo t = make_mini_hpl_target(64);
+
+  auto good = mini_hpl_defaults(16, 4, 2, 2);
+  good[c.param] = c.good;
+  const auto ok = run_fixed(t, good, 4);
+  EXPECT_EQ(ok.job_outcome(), rt::Outcome::kOk) << ok.job_message();
+  const std::size_t good_cov = ok.merged_coverage().count();
+
+  auto bad = mini_hpl_defaults(16, 4, 2, 2);
+  bad[c.param] = c.bad;
+  const auto rejected = run_fixed(t, bad, 4);
+  EXPECT_EQ(rejected.job_outcome(), rt::Outcome::kOk)
+      << "sanity rejection is a clean exit";
+  EXPECT_LT(rejected.merged_coverage().count(), good_cov)
+      << "the bad value must stop before the solve phase";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, HplBoundaryTest,
+    ::testing::Values(
+        BoundaryCase{"ns_count", 1, 0}, BoundaryCase{"ns_count", 20, 21},
+        BoundaryCase{"n", 0, -1}, BoundaryCase{"nb_count", 1, 0},
+        BoundaryCase{"nb_count", 16, 17}, BoundaryCase{"nb", 1, 0},
+        BoundaryCase{"nb", 128, 129}, BoundaryCase{"pmap", 1, 2},
+        BoundaryCase{"pmap", 0, -1}, BoundaryCase{"grid_count", 20, 21},
+        BoundaryCase{"p", 1, 0}, BoundaryCase{"q", 1, 0},
+        BoundaryCase{"pfact_count", 3, 4}, BoundaryCase{"pfact", 2, 3},
+        BoundaryCase{"pfact", 0, -1}, BoundaryCase{"nbmin", 1, 0},
+        BoundaryCase{"nbmin", 64, 65}, BoundaryCase{"ndiv", 2, 1},
+        BoundaryCase{"ndiv", 8, 9}, BoundaryCase{"rfact", 2, 3},
+        BoundaryCase{"bcast", 5, 6}, BoundaryCase{"bcast", 0, -1},
+        BoundaryCase{"depth", 1, 2}, BoundaryCase{"swap_alg", 2, 3},
+        BoundaryCase{"swap_threshold", 0, -1},
+        BoundaryCase{"l1_form", 1, 2}, BoundaryCase{"u_form", 0, -1},
+        BoundaryCase{"equil", 1, 2}, BoundaryCase{"align", 4, 3},
+        BoundaryCase{"align", 64, 65}, BoundaryCase{"align", 8, 12},
+        BoundaryCase{"threshold_scale", 1, 0},
+        BoundaryCase{"threshold_scale", 1000, 1001},
+        BoundaryCase{"pfact_list_len", 1, 0},
+        BoundaryCase{"nbmin_list_len", 1, 0}));
+
+TEST(HplBoundary, GridFitDependsOnProcessCount) {
+  // p*q = 8 fits 8 processes but not 4 — the sw-coupled check.
+  const TargetInfo t = make_mini_hpl_target(64);
+  auto in = mini_hpl_defaults(16, 4, 2, 4);
+  const auto fits = run_fixed(t, in, 8);
+  const auto too_big = run_fixed(t, in, 4);
+  EXPECT_GT(fits.merged_coverage().count(),
+            too_big.merged_coverage().count());
+}
+
+// ---------------------------------------------------------------------------
+// mini-SUSY-HMC: the setup checks of the 13 marked inputs.
+// ---------------------------------------------------------------------------
+class SusyBoundaryTest : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(SusyBoundaryTest, GoodPassesBadStopsAtSanity) {
+  const BoundaryCase c = GetParam();
+  const TargetInfo t = make_mini_susy_target(/*dim_cap=*/5,
+                                             /*with_bugs=*/false);
+  auto good = mini_susy_defaults(/*nprocs=*/1);
+  good[c.param] = c.good;
+  const auto ok = run_fixed(t, good, 1);
+  EXPECT_EQ(ok.job_outcome(), rt::Outcome::kOk) << ok.job_message();
+  const std::size_t good_cov = ok.merged_coverage().count();
+
+  auto bad = mini_susy_defaults(1);
+  bad[c.param] = c.bad;
+  const auto rejected = run_fixed(t, bad, 1);
+  EXPECT_EQ(rejected.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(rejected.merged_coverage().count(), good_cov) << c.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SusyBoundaryTest,
+    ::testing::Values(
+        BoundaryCase{"nx", 1, 0}, BoundaryCase{"ny", 1, -1},
+        BoundaryCase{"nz", 1, 0}, BoundaryCase{"warms", 0, -1},
+        BoundaryCase{"trajecs", 1000, 1001},
+        BoundaryCase{"nsteps", 1, 0}, BoundaryCase{"nsteps", 100, 101},
+        BoundaryCase{"nroot", 1, 0}, BoundaryCase{"nroot", 16, 17},
+        BoundaryCase{"norder", 1, 0}, BoundaryCase{"norder", 20, 21},
+        BoundaryCase{"seed", 7, 0}, BoundaryCase{"max_cg", 1, 0},
+        BoundaryCase{"max_cg", 500, 501}, BoundaryCase{"npbp", 0, -1},
+        BoundaryCase{"ckpt_freq", 0, -1}));
+
+TEST(SusyBoundary, WarmsMayNotExceedTrajectories) {
+  const TargetInfo t = make_mini_susy_target(5, false);
+  auto in = mini_susy_defaults(1);
+  in["trajecs"] = 3;
+  in["warms"] = 3;  // equal: fine
+  const auto ok = run_fixed(t, in, 1);
+  in["warms"] = 4;  // more warmups than trajectories: rejected
+  const auto rejected = run_fixed(t, in, 1);
+  EXPECT_LT(rejected.merged_coverage().count(),
+            ok.merged_coverage().count());
+}
+
+// ---------------------------------------------------------------------------
+// mini-IMB-MPI1: parse_args validates the 13 command-line inputs.
+// ---------------------------------------------------------------------------
+class ImbBoundaryTest : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(ImbBoundaryTest, GoodPassesBadStopsAtSanity) {
+  const BoundaryCase c = GetParam();
+  const TargetInfo t = make_mini_imb_target();
+  auto good = mini_imb_defaults(/*benchmark=*/9, /*iters=*/2);
+  good[c.param] = c.good;
+  const auto ok = run_fixed(t, good, 4);
+  EXPECT_EQ(ok.job_outcome(), rt::Outcome::kOk) << ok.job_message();
+  const std::size_t good_cov = ok.merged_coverage().count();
+
+  auto bad = mini_imb_defaults(9, 2);
+  bad[c.param] = c.bad;
+  const auto rejected = run_fixed(t, bad, 4);
+  EXPECT_EQ(rejected.job_outcome(), rt::Outcome::kOk);
+  EXPECT_LT(rejected.merged_coverage().count(), good_cov) << c.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ImbBoundaryTest,
+    ::testing::Values(
+        BoundaryCase{"benchmark", 12, 13}, BoundaryCase{"benchmark", 0, -1},
+        BoundaryCase{"msglog_min", 0, -1},
+        BoundaryCase{"msglog_min", 4, 17}, BoundaryCase{"iters", 1, 0},
+        BoundaryCase{"warmups", 0, -1}, BoundaryCase{"npmin", 2, 1},
+        BoundaryCase{"root", 0, -1}, BoundaryCase{"root", 3, 4},
+        BoundaryCase{"off_cache", 1, 2}, BoundaryCase{"multi", 0, -1},
+        BoundaryCase{"sync", 1, 5}, BoundaryCase{"msg_pow", 4, 3},
+        BoundaryCase{"vol_log", 10, 9}, BoundaryCase{"vol_log", 22, 23},
+        BoundaryCase{"time_scale", 100, 101},
+        BoundaryCase{"time_scale", 1, 0}));
+
+}  // namespace
+}  // namespace compi::targets

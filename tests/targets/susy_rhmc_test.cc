@@ -1,0 +1,143 @@
+// Unit tests for the RHMC machinery: rational approximation tables, the
+// stand-in Dirac-squared operator, and the multi-shift CG solver.
+#include "targets/mini_susy/susy_rhmc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace compi::targets::susy {
+namespace {
+
+GaugeField small_field() {
+  LatticeGeom g;
+  g.nx = 2;
+  g.ny = 2;
+  g.nz = 2;
+  g.nt = 2;
+  g.nt_local = 2;
+  g.t0 = 0;
+  return GaugeField(g, 5);
+}
+
+std::vector<double> test_rhs(std::size_t n) {
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = ((i * 2654435761u) % 1000) / 1000.0 - 0.5;
+  }
+  return rhs;
+}
+
+TEST(RationalApprox, TableHasRequestedOrder) {
+  for (int order : {1, 4, 9}) {
+    const RationalApprox r = make_rational_approx(order);
+    EXPECT_EQ(r.residues.size(), static_cast<std::size_t>(order));
+    EXPECT_EQ(r.poles.size(), static_cast<std::size_t>(order));
+  }
+}
+
+TEST(RationalApprox, PolesPositiveAndIncreasing) {
+  const RationalApprox r = make_rational_approx(6);
+  double prev = 0.0;
+  for (double b : r.poles) {
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ApplyOperator, IsPositiveDefiniteOnTestVectors) {
+  const GaugeField u = small_field();
+  const std::size_t n = static_cast<std::size_t>(u.geom().local_volume());
+  std::vector<double> y(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = std::sin(0.7 * static_cast<double>(i + trial));
+    }
+    apply_operator(u, 0.3, x, y);
+    double xax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) xax += x[i] * y[i];
+    EXPECT_GT(xax, 0.0) << "trial " << trial;
+  }
+}
+
+TEST(ApplyOperator, DiagonalDominance) {
+  // A zero-link field gives exactly (4 + m^2) I - (1/2) * hopping with
+  // |row sum of off-diagonals| <= 4 * 1/2 = 2 < 4 + m^2.
+  const GaugeField u = small_field();
+  const std::size_t n = static_cast<std::size_t>(u.geom().local_volume());
+  std::vector<double> e(n, 0.0), y(n);
+  e[3] = 1.0;
+  apply_operator(u, 0.3, e, y);
+  EXPECT_NEAR(y[3], 4.0 + 0.09, 1e-12);
+}
+
+TEST(MultiShiftCg, SolvesEveryShiftedSystem) {
+  const GaugeField u = small_field();
+  const std::size_t n = static_cast<std::size_t>(u.geom().local_volume());
+  const std::vector<double> rhs = test_rhs(n);
+  const RationalApprox approx = make_rational_approx(4);
+
+  const MultiShiftResult r =
+      multishift_cg(u, 0.3, approx, rhs, 1e-10, 500);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.solutions.size(), approx.poles.size());
+
+  std::vector<double> ax(n);
+  for (std::size_t sft = 0; sft < approx.poles.size(); ++sft) {
+    apply_operator(u, 0.3, r.solutions[sft], ax);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double resid =
+          ax[i] + approx.poles[sft] * r.solutions[sft][i] - rhs[i];
+      err += resid * resid;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-6) << "shift " << sft;
+  }
+}
+
+TEST(MultiShiftCg, LargerShiftsFreezeNoLater) {
+  const GaugeField u = small_field();
+  const std::vector<double> rhs =
+      test_rhs(static_cast<std::size_t>(u.geom().local_volume()));
+  const RationalApprox approx = make_rational_approx(5);
+  const MultiShiftResult r =
+      multishift_cg(u, 0.3, approx, rhs, 1e-10, 500);
+  // Poles increase with index; a larger pole makes the shifted system
+  // better conditioned, so it must not freeze later than a smaller one.
+  for (std::size_t i = 0; i + 1 < approx.poles.size(); ++i) {
+    const int a = r.shift_frozen_at[i] < 0 ? 1 << 20 : r.shift_frozen_at[i];
+    const int b = r.shift_frozen_at[i + 1] < 0 ? 1 << 20
+                                               : r.shift_frozen_at[i + 1];
+    EXPECT_GE(a, b) << "shift " << i;
+  }
+}
+
+TEST(MultiShiftCg, IterationBudgetRespected) {
+  const GaugeField u = small_field();
+  const std::vector<double> rhs =
+      test_rhs(static_cast<std::size_t>(u.geom().local_volume()));
+  const RationalApprox approx = make_rational_approx(3);
+  const MultiShiftResult r = multishift_cg(u, 0.3, approx, rhs, 1e-14, 3);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(ApplyRational, MatchesManualPartialFractionSum) {
+  const GaugeField u = small_field();
+  const std::size_t n = static_cast<std::size_t>(u.geom().local_volume());
+  const std::vector<double> rhs = test_rhs(n);
+  const RationalApprox approx = make_rational_approx(3);
+  const MultiShiftResult shifts =
+      multishift_cg(u, 0.3, approx, rhs, 1e-10, 500);
+  const std::vector<double> out = apply_rational(approx, shifts, rhs);
+  for (std::size_t i = 0; i < n; i += 7) {
+    double expect = approx.a0 * rhs[i];
+    for (std::size_t s = 0; s < approx.residues.size(); ++s) {
+      expect += approx.residues[s] * shifts.solutions[s][i];
+    }
+    EXPECT_DOUBLE_EQ(out[i], expect);
+  }
+}
+
+}  // namespace
+}  // namespace compi::targets::susy

@@ -1,0 +1,69 @@
+// Wilson-loop measurement tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "targets/mini_susy/susy_lattice.h"
+
+namespace compi::targets::susy {
+namespace {
+
+GaugeField field(int nx, int ny, std::uint64_t seed) {
+  LatticeGeom g;
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = 2;
+  g.nt = 2;
+  g.nt_local = 2;
+  g.t0 = 0;
+  return GaugeField(g, seed);
+}
+
+TEST(WilsonLoop, TrivialFieldGivesUnity) {
+  GaugeField u = field(3, 3, 1);
+  for (int s = 0; s < u.geom().local_volume(); ++s) {
+    for (int mu = 0; mu < 4; ++mu) u.link(s, mu) = 0.0;
+  }
+  EXPECT_DOUBLE_EQ(u.wilson_loop(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(u.wilson_loop(2, 2), 1.0);
+}
+
+TEST(WilsonLoop, PureGaugeBackgroundStaysNearUnity) {
+  // A constant shift of all x-links is NOT gauge trivial for loops that
+  // wrap, but a 1x1 loop cancels the constant exactly:
+  // theta = c + U_y(x+1) - c - U_y(x) with U_y = 0 everywhere -> 0.
+  GaugeField u = field(4, 4, 1);
+  for (int s = 0; s < u.geom().local_volume(); ++s) {
+    u.link(s, 0) = 0.3;
+    u.link(s, 1) = 0.0;
+    u.link(s, 2) = 0.0;
+    u.link(s, 3) = 0.0;
+  }
+  EXPECT_NEAR(u.wilson_loop(1, 1), 1.0, 1e-12);
+}
+
+TEST(WilsonLoop, SmallAnglesStayNearOne) {
+  GaugeField u = field(3, 3, 5);  // cold start: |theta| <= 0.1
+  const double w11 = u.wilson_loop(1, 1);
+  const double w22 = u.wilson_loop(2, 2);
+  EXPECT_GT(w11, 0.9);
+  EXPECT_GT(w22, 0.7);
+  EXPECT_LE(w11, 1.0);
+  // Larger loops accumulate more phase: expectation decays with area.
+  EXPECT_LE(w22, w11 + 1e-9);
+}
+
+TEST(WilsonLoop, DetectsRoughField) {
+  GaugeField u = field(4, 4, 5);
+  // x-links alternate with the y coordinate, so the two x-legs of a 1x1
+  // loop differ by 3.0 radians: cos(~3) is strongly negative.
+  for (int s = 0; s < u.geom().local_volume(); ++s) {
+    const int y = (s / 4) % 4;
+    u.link(s, 0) = (y % 2 == 0) ? 1.5 : -1.5;
+    u.link(s, 1) = 0.0;
+  }
+  EXPECT_LT(u.wilson_loop(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace compi::targets::susy

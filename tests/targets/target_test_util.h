@@ -1,0 +1,36 @@
+// Helpers for driving a target once with chosen input values.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "compi/target.h"
+#include "minimpi/launcher.h"
+
+namespace compi::testing {
+
+/// Runs `target` once with the given named input values (missing inputs
+/// get the runtime's deterministic defaults).  Returns the job result.
+inline minimpi::RunResult run_fixed(
+    const TargetInfo& target, const std::map<std::string, std::int64_t>& in,
+    int nprocs, int focus = 0, std::uint64_t seed = 1,
+    rt::VarRegistry* registry_out = nullptr) {
+  rt::VarRegistry local;
+  rt::VarRegistry& registry = registry_out != nullptr ? *registry_out : local;
+
+  solver::Assignment inputs;
+  for (const auto& [key, value] : in) {
+    inputs[registry.intern(key, rt::VarKind::kRegular)] = value;
+  }
+  minimpi::LaunchSpec spec;
+  spec.program = target.program;
+  spec.nprocs = nprocs;
+  spec.focus = focus;
+  spec.registry = &registry;
+  spec.inputs = &inputs;
+  spec.rng_seed = seed;
+  spec.timeout = std::chrono::milliseconds(20'000);
+  return minimpi::launch(spec, *target.table);
+}
+
+}  // namespace compi::testing
