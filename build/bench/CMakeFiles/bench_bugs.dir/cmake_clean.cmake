@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bugs.dir/bench_bugs.cc.o"
+  "CMakeFiles/bench_bugs.dir/bench_bugs.cc.o.d"
+  "bench_bugs"
+  "bench_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_search_strategies.dir/bench_fig4_search_strategies.cc.o"
+  "CMakeFiles/bench_fig4_search_strategies.dir/bench_fig4_search_strategies.cc.o.d"
+  "bench_fig4_search_strategies"
+  "bench_fig4_search_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_search_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

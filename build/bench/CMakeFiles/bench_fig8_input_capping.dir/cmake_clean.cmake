@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_input_capping.dir/bench_fig8_input_capping.cc.o"
+  "CMakeFiles/bench_fig8_input_capping.dir/bench_fig8_input_capping.cc.o.d"
+  "bench_fig8_input_capping"
+  "bench_fig8_input_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_input_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

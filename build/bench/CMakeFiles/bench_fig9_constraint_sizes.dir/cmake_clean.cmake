@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_constraint_sizes.dir/bench_fig9_constraint_sizes.cc.o"
+  "CMakeFiles/bench_fig9_constraint_sizes.dir/bench_fig9_constraint_sizes.cc.o.d"
+  "bench_fig9_constraint_sizes"
+  "bench_fig9_constraint_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_constraint_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/targets/CMakeFiles/compi_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/compi/CMakeFiles/compi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/compi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/compi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/compi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_complexity.dir/bench_table3_complexity.cc.o"
+  "CMakeFiles/bench_table3_complexity.dir/bench_table3_complexity.cc.o.d"
+  "bench_table3_complexity"
+  "bench_table3_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_two_way.dir/bench_table4_two_way.cc.o"
+  "CMakeFiles/bench_table4_two_way.dir/bench_table4_two_way.cc.o.d"
+  "bench_table4_two_way"
+  "bench_table4_two_way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_two_way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

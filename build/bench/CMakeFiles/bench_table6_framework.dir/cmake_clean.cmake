@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_framework.dir/bench_table6_framework.cc.o"
+  "CMakeFiles/bench_table6_framework.dir/bench_table6_framework.cc.o.d"
+  "bench_table6_framework"
+  "bench_table6_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_hunt.dir/bug_hunt.cpp.o"
+  "CMakeFiles/bug_hunt.dir/bug_hunt.cpp.o.d"
+  "bug_hunt"
+  "bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bug_hunt.
+# This may be replaced when dependencies are built.

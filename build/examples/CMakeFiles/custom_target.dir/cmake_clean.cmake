@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_target.dir/custom_target.cpp.o"
+  "CMakeFiles/custom_target.dir/custom_target.cpp.o.d"
+  "custom_target"
+  "custom_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_campaign.dir/hpl_campaign.cpp.o"
+  "CMakeFiles/hpl_campaign.dir/hpl_campaign.cpp.o.d"
+  "hpl_campaign"
+  "hpl_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imb_report.dir/imb_report.cpp.o"
+  "CMakeFiles/imb_report.dir/imb_report.cpp.o.d"
+  "imb_report"
+  "imb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

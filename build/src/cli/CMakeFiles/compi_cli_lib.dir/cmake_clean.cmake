@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_cli_lib.dir/cli_options.cc.o"
+  "CMakeFiles/compi_cli_lib.dir/cli_options.cc.o.d"
+  "libcompi_cli_lib.a"
+  "libcompi_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

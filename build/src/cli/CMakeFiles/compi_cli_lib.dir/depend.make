@@ -1,0 +1,2 @@
+# Empty dependencies file for compi_cli_lib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_tool.dir/compi_main.cc.o"
+  "CMakeFiles/compi_tool.dir/compi_main.cc.o.d"
+  "compi"
+  "compi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/cli
+# Build directory: /root/repo/build/src/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_susy "/root/repo/build/src/cli/compi" "--target=susy" "--iterations=60" "--seed=3")
+set_tests_properties(cli_smoke_susy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;11;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_smoke_hpl "/root/repo/build/src/cli/compi" "--target=hpl" "--cap=48" "--iterations=80" "--functions")
+set_tests_properties(cli_smoke_hpl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;12;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_smoke_random "/root/repo/build/src/cli/compi" "--target=imb" "--random" "--iterations=30")
+set_tests_properties(cli_smoke_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;13;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_smoke_help "/root/repo/build/src/cli/compi" "--help")
+set_tests_properties(cli_smoke_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;14;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_smoke_list "/root/repo/build/src/cli/compi" "--list-targets")
+set_tests_properties(cli_smoke_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;15;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/src/cli/compi" "--definitely-not-a-flag")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;16;add_test;/root/repo/src/cli/CMakeLists.txt;0;")

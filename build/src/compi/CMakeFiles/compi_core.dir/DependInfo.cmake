@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compi/coverage.cc" "src/compi/CMakeFiles/compi_core.dir/coverage.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/coverage.cc.o.d"
+  "/root/repo/src/compi/driver.cc" "src/compi/CMakeFiles/compi_core.dir/driver.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/driver.cc.o.d"
+  "/root/repo/src/compi/fixed_run.cc" "src/compi/CMakeFiles/compi_core.dir/fixed_run.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/fixed_run.cc.o.d"
+  "/root/repo/src/compi/framework.cc" "src/compi/CMakeFiles/compi_core.dir/framework.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/framework.cc.o.d"
+  "/root/repo/src/compi/options.cc" "src/compi/CMakeFiles/compi_core.dir/options.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/options.cc.o.d"
+  "/root/repo/src/compi/random_tester.cc" "src/compi/CMakeFiles/compi_core.dir/random_tester.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/random_tester.cc.o.d"
+  "/root/repo/src/compi/report.cc" "src/compi/CMakeFiles/compi_core.dir/report.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/report.cc.o.d"
+  "/root/repo/src/compi/search_strategy.cc" "src/compi/CMakeFiles/compi_core.dir/search_strategy.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/search_strategy.cc.o.d"
+  "/root/repo/src/compi/session.cc" "src/compi/CMakeFiles/compi_core.dir/session.cc.o" "gcc" "src/compi/CMakeFiles/compi_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/compi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/compi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/compi_symbolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_core.dir/coverage.cc.o"
+  "CMakeFiles/compi_core.dir/coverage.cc.o.d"
+  "CMakeFiles/compi_core.dir/driver.cc.o"
+  "CMakeFiles/compi_core.dir/driver.cc.o.d"
+  "CMakeFiles/compi_core.dir/fixed_run.cc.o"
+  "CMakeFiles/compi_core.dir/fixed_run.cc.o.d"
+  "CMakeFiles/compi_core.dir/framework.cc.o"
+  "CMakeFiles/compi_core.dir/framework.cc.o.d"
+  "CMakeFiles/compi_core.dir/options.cc.o"
+  "CMakeFiles/compi_core.dir/options.cc.o.d"
+  "CMakeFiles/compi_core.dir/random_tester.cc.o"
+  "CMakeFiles/compi_core.dir/random_tester.cc.o.d"
+  "CMakeFiles/compi_core.dir/report.cc.o"
+  "CMakeFiles/compi_core.dir/report.cc.o.d"
+  "CMakeFiles/compi_core.dir/search_strategy.cc.o"
+  "CMakeFiles/compi_core.dir/search_strategy.cc.o.d"
+  "CMakeFiles/compi_core.dir/session.cc.o"
+  "CMakeFiles/compi_core.dir/session.cc.o.d"
+  "libcompi_core.a"
+  "libcompi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

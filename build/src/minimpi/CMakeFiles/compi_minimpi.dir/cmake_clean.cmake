@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_minimpi.dir/collective_slot.cc.o"
+  "CMakeFiles/compi_minimpi.dir/collective_slot.cc.o.d"
+  "CMakeFiles/compi_minimpi.dir/comm.cc.o"
+  "CMakeFiles/compi_minimpi.dir/comm.cc.o.d"
+  "CMakeFiles/compi_minimpi.dir/launcher.cc.o"
+  "CMakeFiles/compi_minimpi.dir/launcher.cc.o.d"
+  "CMakeFiles/compi_minimpi.dir/world.cc.o"
+  "CMakeFiles/compi_minimpi.dir/world.cc.o.d"
+  "libcompi_minimpi.a"
+  "libcompi_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

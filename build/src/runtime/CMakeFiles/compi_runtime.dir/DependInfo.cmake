@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/branch_table.cc" "src/runtime/CMakeFiles/compi_runtime.dir/branch_table.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/branch_table.cc.o.d"
+  "/root/repo/src/runtime/checked_alloc.cc" "src/runtime/CMakeFiles/compi_runtime.dir/checked_alloc.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/checked_alloc.cc.o.d"
+  "/root/repo/src/runtime/context.cc" "src/runtime/CMakeFiles/compi_runtime.dir/context.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/context.cc.o.d"
+  "/root/repo/src/runtime/faults.cc" "src/runtime/CMakeFiles/compi_runtime.dir/faults.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/faults.cc.o.d"
+  "/root/repo/src/runtime/test_log.cc" "src/runtime/CMakeFiles/compi_runtime.dir/test_log.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/test_log.cc.o.d"
+  "/root/repo/src/runtime/var_registry.cc" "src/runtime/CMakeFiles/compi_runtime.dir/var_registry.cc.o" "gcc" "src/runtime/CMakeFiles/compi_runtime.dir/var_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symbolic/CMakeFiles/compi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

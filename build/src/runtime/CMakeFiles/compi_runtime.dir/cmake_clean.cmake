@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_runtime.dir/branch_table.cc.o"
+  "CMakeFiles/compi_runtime.dir/branch_table.cc.o.d"
+  "CMakeFiles/compi_runtime.dir/checked_alloc.cc.o"
+  "CMakeFiles/compi_runtime.dir/checked_alloc.cc.o.d"
+  "CMakeFiles/compi_runtime.dir/context.cc.o"
+  "CMakeFiles/compi_runtime.dir/context.cc.o.d"
+  "CMakeFiles/compi_runtime.dir/faults.cc.o"
+  "CMakeFiles/compi_runtime.dir/faults.cc.o.d"
+  "CMakeFiles/compi_runtime.dir/test_log.cc.o"
+  "CMakeFiles/compi_runtime.dir/test_log.cc.o.d"
+  "CMakeFiles/compi_runtime.dir/var_registry.cc.o"
+  "CMakeFiles/compi_runtime.dir/var_registry.cc.o.d"
+  "libcompi_runtime.a"
+  "libcompi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

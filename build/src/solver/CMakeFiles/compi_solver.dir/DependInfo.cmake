@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/linear_expr.cc" "src/solver/CMakeFiles/compi_solver.dir/linear_expr.cc.o" "gcc" "src/solver/CMakeFiles/compi_solver.dir/linear_expr.cc.o.d"
+  "/root/repo/src/solver/predicate.cc" "src/solver/CMakeFiles/compi_solver.dir/predicate.cc.o" "gcc" "src/solver/CMakeFiles/compi_solver.dir/predicate.cc.o.d"
+  "/root/repo/src/solver/propagation.cc" "src/solver/CMakeFiles/compi_solver.dir/propagation.cc.o" "gcc" "src/solver/CMakeFiles/compi_solver.dir/propagation.cc.o.d"
+  "/root/repo/src/solver/solver.cc" "src/solver/CMakeFiles/compi_solver.dir/solver.cc.o" "gcc" "src/solver/CMakeFiles/compi_solver.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

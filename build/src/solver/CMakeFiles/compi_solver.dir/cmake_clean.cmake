@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_solver.dir/linear_expr.cc.o"
+  "CMakeFiles/compi_solver.dir/linear_expr.cc.o.d"
+  "CMakeFiles/compi_solver.dir/predicate.cc.o"
+  "CMakeFiles/compi_solver.dir/predicate.cc.o.d"
+  "CMakeFiles/compi_solver.dir/propagation.cc.o"
+  "CMakeFiles/compi_solver.dir/propagation.cc.o.d"
+  "CMakeFiles/compi_solver.dir/solver.cc.o"
+  "CMakeFiles/compi_solver.dir/solver.cc.o.d"
+  "libcompi_solver.a"
+  "libcompi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/path.cc" "src/symbolic/CMakeFiles/compi_symbolic.dir/path.cc.o" "gcc" "src/symbolic/CMakeFiles/compi_symbolic.dir/path.cc.o.d"
+  "/root/repo/src/symbolic/sym_value.cc" "src/symbolic/CMakeFiles/compi_symbolic.dir/sym_value.cc.o" "gcc" "src/symbolic/CMakeFiles/compi_symbolic.dir/sym_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_symbolic.dir/path.cc.o"
+  "CMakeFiles/compi_symbolic.dir/path.cc.o.d"
+  "CMakeFiles/compi_symbolic.dir/sym_value.cc.o"
+  "CMakeFiles/compi_symbolic.dir/sym_value.cc.o.d"
+  "libcompi_symbolic.a"
+  "libcompi_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

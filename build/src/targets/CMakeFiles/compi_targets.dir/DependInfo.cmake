@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/mini_hpl/hpl_compute.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/hpl_compute.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/hpl_compute.cc.o.d"
+  "/root/repo/src/targets/mini_hpl/hpl_params.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/hpl_params.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/hpl_params.cc.o.d"
+  "/root/repo/src/targets/mini_hpl/mini_hpl.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/mini_hpl.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_hpl/mini_hpl.cc.o.d"
+  "/root/repo/src/targets/mini_imb/imb_stats.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_imb/imb_stats.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_imb/imb_stats.cc.o.d"
+  "/root/repo/src/targets/mini_imb/mini_imb.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_imb/mini_imb.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_imb/mini_imb.cc.o.d"
+  "/root/repo/src/targets/mini_susy/mini_susy.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/mini_susy.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/mini_susy.cc.o.d"
+  "/root/repo/src/targets/mini_susy/susy_lattice.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/susy_lattice.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/susy_lattice.cc.o.d"
+  "/root/repo/src/targets/mini_susy/susy_rhmc.cc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/susy_rhmc.cc.o" "gcc" "src/targets/CMakeFiles/compi_targets.dir/mini_susy/susy_rhmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compi/CMakeFiles/compi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/compi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/compi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/compi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compi_targets.dir/mini_hpl/hpl_compute.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_hpl/hpl_compute.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_hpl/hpl_params.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_hpl/hpl_params.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_hpl/mini_hpl.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_hpl/mini_hpl.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_imb/imb_stats.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_imb/imb_stats.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_imb/mini_imb.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_imb/mini_imb.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_susy/mini_susy.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_susy/mini_susy.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_susy/susy_lattice.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_susy/susy_lattice.cc.o.d"
+  "CMakeFiles/compi_targets.dir/mini_susy/susy_rhmc.cc.o"
+  "CMakeFiles/compi_targets.dir/mini_susy/susy_rhmc.cc.o.d"
+  "libcompi_targets.a"
+  "libcompi_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compi_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

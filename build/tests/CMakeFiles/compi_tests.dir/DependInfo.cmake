@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli/cli_options_test.cc" "tests/CMakeFiles/compi_tests.dir/cli/cli_options_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/cli/cli_options_test.cc.o.d"
+  "/root/repo/tests/compi/coverage_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/coverage_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/coverage_test.cc.o.d"
+  "/root/repo/tests/compi/driver_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/driver_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/driver_test.cc.o.d"
+  "/root/repo/tests/compi/framework_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/framework_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/framework_test.cc.o.d"
+  "/root/repo/tests/compi/random_tester_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/random_tester_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/random_tester_test.cc.o.d"
+  "/root/repo/tests/compi/report_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/report_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/report_test.cc.o.d"
+  "/root/repo/tests/compi/search_exhaustiveness_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/search_exhaustiveness_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/search_exhaustiveness_test.cc.o.d"
+  "/root/repo/tests/compi/search_strategy_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/search_strategy_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/search_strategy_test.cc.o.d"
+  "/root/repo/tests/compi/session_test.cc" "tests/CMakeFiles/compi_tests.dir/compi/session_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/compi/session_test.cc.o.d"
+  "/root/repo/tests/integration/campaign_integration_test.cc" "tests/CMakeFiles/compi_tests.dir/integration/campaign_integration_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/integration/campaign_integration_test.cc.o.d"
+  "/root/repo/tests/minimpi/collectives_extra_test.cc" "tests/CMakeFiles/compi_tests.dir/minimpi/collectives_extra_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/minimpi/collectives_extra_test.cc.o.d"
+  "/root/repo/tests/minimpi/launcher_mpmd_test.cc" "tests/CMakeFiles/compi_tests.dir/minimpi/launcher_mpmd_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/minimpi/launcher_mpmd_test.cc.o.d"
+  "/root/repo/tests/minimpi/minimpi_test.cc" "tests/CMakeFiles/compi_tests.dir/minimpi/minimpi_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/minimpi/minimpi_test.cc.o.d"
+  "/root/repo/tests/minimpi/world_test.cc" "tests/CMakeFiles/compi_tests.dir/minimpi/world_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/minimpi/world_test.cc.o.d"
+  "/root/repo/tests/runtime/branch_table_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/branch_table_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/branch_table_test.cc.o.d"
+  "/root/repo/tests/runtime/checked_alloc_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/checked_alloc_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/checked_alloc_test.cc.o.d"
+  "/root/repo/tests/runtime/context_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/context_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/context_test.cc.o.d"
+  "/root/repo/tests/runtime/reduction_property_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/reduction_property_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/reduction_property_test.cc.o.d"
+  "/root/repo/tests/runtime/test_log_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/test_log_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/test_log_test.cc.o.d"
+  "/root/repo/tests/runtime/var_registry_test.cc" "tests/CMakeFiles/compi_tests.dir/runtime/var_registry_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/runtime/var_registry_test.cc.o.d"
+  "/root/repo/tests/solver/interval_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/interval_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/interval_test.cc.o.d"
+  "/root/repo/tests/solver/linear_expr_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/linear_expr_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/linear_expr_test.cc.o.d"
+  "/root/repo/tests/solver/predicate_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/predicate_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/predicate_test.cc.o.d"
+  "/root/repo/tests/solver/propagation_property_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/propagation_property_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/propagation_property_test.cc.o.d"
+  "/root/repo/tests/solver/propagation_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/propagation_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/propagation_test.cc.o.d"
+  "/root/repo/tests/solver/solver_edge_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/solver_edge_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/solver_edge_test.cc.o.d"
+  "/root/repo/tests/solver/solver_test.cc" "tests/CMakeFiles/compi_tests.dir/solver/solver_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/solver/solver_test.cc.o.d"
+  "/root/repo/tests/symbolic/path_test.cc" "tests/CMakeFiles/compi_tests.dir/symbolic/path_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/symbolic/path_test.cc.o.d"
+  "/root/repo/tests/symbolic/sym_value_test.cc" "tests/CMakeFiles/compi_tests.dir/symbolic/sym_value_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/symbolic/sym_value_test.cc.o.d"
+  "/root/repo/tests/targets/imb_stats_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/imb_stats_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/imb_stats_test.cc.o.d"
+  "/root/repo/tests/targets/mini_hpl_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/mini_hpl_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/mini_hpl_test.cc.o.d"
+  "/root/repo/tests/targets/mini_imb_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/mini_imb_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/mini_imb_test.cc.o.d"
+  "/root/repo/tests/targets/mini_susy_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/mini_susy_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/mini_susy_test.cc.o.d"
+  "/root/repo/tests/targets/sanity_boundary_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/sanity_boundary_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/sanity_boundary_test.cc.o.d"
+  "/root/repo/tests/targets/susy_lattice_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/susy_lattice_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/susy_lattice_test.cc.o.d"
+  "/root/repo/tests/targets/susy_rhmc_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/susy_rhmc_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/susy_rhmc_test.cc.o.d"
+  "/root/repo/tests/targets/susy_wilson_test.cc" "tests/CMakeFiles/compi_tests.dir/targets/susy_wilson_test.cc.o" "gcc" "tests/CMakeFiles/compi_tests.dir/targets/susy_wilson_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/compi_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/targets/CMakeFiles/compi_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/compi/CMakeFiles/compi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/compi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/compi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/compi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compi_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
