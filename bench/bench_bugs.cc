@@ -62,5 +62,27 @@ int main(int argc, char** argv) {
   std::cout << "\nfixed build campaign: " << clean.bugs.size()
             << " bugs found (expected 0), coverage "
             << TablePrinter::pct(clean.coverage_rate) << "\n";
+
+  // Detection under environment noise: the same hunt with injected message
+  // drops.  Retry/backoff absorbs the induced timeouts and the confirmation
+  // replay separates real bugs (reproduce without chaos) from flaky ones.
+  std::cout << "\ncampaign under injected message-drop noise:\n";
+  TablePrinter noise({"drop rate", "bugs", "flaky", "retries", "coverage"});
+  for (const double rate : {0.0, 0.05, 0.2}) {
+    CampaignOptions noisy = opts;
+    noisy.iterations = args.full ? 500 : 150;
+    noisy.chaos.seed = args.seed + 1;
+    noisy.chaos.drop_rate = rate;
+    noisy.retry_max = 2;
+    noisy.test_timeout = std::chrono::milliseconds(500);
+    const CampaignResult r = Campaign(buggy, noisy).run();
+    std::size_t flaky = 0;
+    for (const BugRecord& bug : r.bugs) flaky += bug.flaky ? 1 : 0;
+    noise.add_row({TablePrinter::num(rate, 3), std::to_string(r.bugs.size()),
+                   std::to_string(flaky),
+                   std::to_string(r.transient_retries),
+                   TablePrinter::pct(r.coverage_rate)});
+  }
+  noise.print(std::cout);
   return 0;
 }

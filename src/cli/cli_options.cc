@@ -20,6 +20,14 @@ std::optional<std::int64_t> parse_int(const std::string& s) {
   return value;
 }
 
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
 std::optional<SearchKind> parse_strategy(const std::string& s) {
   if (s == "bounded-dfs") return SearchKind::kBoundedDfs;
   if (s == "dfs") return SearchKind::kDfs;
@@ -102,6 +110,42 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--log-dir") {
       if (value.empty()) return fail("--log-dir needs a path");
       cfg.campaign.log_dir = value;
+    } else if (flag == "--resume") {
+      if (value.empty()) return fail("--resume needs a session directory");
+      cfg.campaign.resume = true;
+      cfg.resume_dir = value;
+    } else if (flag == "--checkpoint-interval") {
+      const auto v = want_int(0, 100'000'000);
+      if (!v) return fail("--checkpoint-interval needs an integer >= 0");
+      cfg.campaign.checkpoint_interval = static_cast<int>(*v);
+    } else if (flag == "--retry-max") {
+      const auto v = want_int(0, 10);
+      if (!v) return fail("--retry-max needs 0..10");
+      cfg.campaign.retry_max = static_cast<int>(*v);
+    } else if (flag == "--retry-backoff-ms") {
+      const auto v = want_int(0, 60'000);
+      if (!v) return fail("--retry-backoff-ms needs 0..60000");
+      cfg.campaign.retry_backoff_ms = static_cast<int>(*v);
+    } else if (flag == "--chaos-seed") {
+      const auto v = parse_int(value);
+      if (!v) return fail("--chaos-seed needs an integer");
+      cfg.campaign.chaos.seed = static_cast<std::uint64_t>(*v);
+    } else if (flag == "--chaos-drop-rate") {
+      const auto v = parse_double(value);
+      if (!v || *v < 0.0 || *v > 1.0) {
+        return fail("--chaos-drop-rate needs a probability in [0, 1]");
+      }
+      cfg.campaign.chaos.drop_rate = *v;
+    } else if (flag == "--chaos-crash-rank") {
+      const auto v = want_int(0, 1023);
+      if (!v) return fail("--chaos-crash-rank needs 0..1023");
+      cfg.campaign.chaos.crash_rank = static_cast<int>(*v);
+    } else if (flag == "--chaos-crash-at") {
+      const auto v = want_int(1, 1'000'000'000);
+      if (!v) return fail("--chaos-crash-at needs a call number >= 1");
+      cfg.campaign.chaos.crash_at_call = *v;
+    } else if (flag == "--no-confirm-bugs") {
+      cfg.campaign.confirm_bugs = false;
     } else if (flag == "--no-reduction") {
       cfg.campaign.reduction = false;
     } else if (flag == "--no-framework") {
@@ -121,6 +165,13 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
 
   if (cfg.campaign.initial_focus >= cfg.campaign.initial_nprocs) {
     return fail("--focus must be below --nprocs");
+  }
+  if (!cfg.resume_dir.empty()) {
+    if (!cfg.campaign.log_dir.empty() &&
+        cfg.campaign.log_dir != cfg.resume_dir) {
+      return fail("--resume already names the session; drop --log-dir");
+    }
+    cfg.campaign.log_dir = cfg.resume_dir;
   }
   return result;
 }
@@ -142,6 +193,15 @@ std::string usage() {
         "  --depth-bound=N      explicit bound (0 = derive from phase 1)\n"
         "  --seed=N             RNG seed\n"
         "  --log-dir=PATH       write per-iteration logs + iterations.csv\n"
+        "  --resume=PATH        continue the checkpointed session in PATH\n"
+        "  --checkpoint-interval=N  snapshot every N iterations (0 = off)\n"
+        "  --retry-max=N        transient-failure retries (default 2)\n"
+        "  --retry-backoff-ms=N initial retry backoff (doubles per attempt)\n"
+        "  --chaos-seed=N       fault-injection seed\n"
+        "  --chaos-drop-rate=R  P(drop an outgoing message), 0..1\n"
+        "  --chaos-crash-rank=N --chaos-crash-at=M\n"
+        "                       crash rank N at its M-th MPI call\n"
+        "  --no-confirm-bugs    skip the flaky-bug confirmation replay\n"
         "  --no-reduction | --no-framework | --one-way   ablations\n"
         "  --random             random-testing baseline\n"
         "  --curve              print the coverage curve\n"

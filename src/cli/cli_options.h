@@ -15,6 +15,7 @@ struct CliConfig {
   std::string target = "susy";  // susy | susy-fixed | hpl | imb
   int cap = 0;                  // 0 = target default N_C
   bool random_baseline = false; // run the random tester instead of COMPI
+  std::string resume_dir;       // --resume: session directory to continue
   CampaignOptions campaign;
   bool list_targets = false;
   bool show_help = false;
@@ -41,6 +42,15 @@ struct ParseResult {
 ///   --depth-bound=N      explicit BoundedDFS bound (0 = derive)
 ///   --seed=N             RNG seed
 ///   --log-dir=PATH       write a file-based session
+///   --resume=PATH        continue the checkpointed session in PATH
+///   --checkpoint-interval=N  snapshot every N iterations (0 = off)
+///   --retry-max=N        transient-failure retries (default 2)
+///   --retry-backoff-ms=N initial retry backoff in milliseconds
+///   --chaos-seed=N       fault-injection seed
+///   --chaos-drop-rate=R  P(drop an outgoing message), 0..1
+///   --chaos-crash-rank=N crash this rank ...
+///   --chaos-crash-at=N   ... at its N-th MPI call (1-based)
+///   --no-confirm-bugs    skip the flaky-bug confirmation replay
 ///   --no-reduction       disable constraint-set reduction (§IV-C)
 ///   --no-framework       No_Fwk ablation (§VI-E)
 ///   --one-way            one-way instrumentation ablation (§IV-B)

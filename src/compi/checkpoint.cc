@@ -1,0 +1,385 @@
+#include "compi/checkpoint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace compi::ckpt {
+
+namespace {
+
+/// Reads the rest of the line (after one separating space) as a string.
+std::string read_tail(std::istream& is) {
+  std::string line;
+  if (is.peek() == ' ') is.get();
+  std::getline(is, line);
+  return line;
+}
+
+/// Expects the next token to equal `tag`; poisons the stream otherwise.
+bool expect(std::istream& is, std::string_view tag) {
+  std::string tok;
+  if (!(is >> tok) || tok != tag) {
+    is.setstate(std::ios::failbit);
+    return false;
+  }
+  return true;
+}
+
+std::optional<rt::Outcome> read_outcome(std::istream& is) {
+  std::string tok;
+  if (!(is >> tok)) return std::nullopt;
+  return rt::outcome_from_string(tok);
+}
+
+double read_double(std::istream& is) {
+  std::string tok;
+  is >> tok;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    is.setstate(std::ios::failbit);
+  }
+  return v;
+}
+
+void write_assignment(std::ostream& os, const solver::Assignment& a) {
+  os << a.size();
+  // Sorted by variable id for a canonical (diff-able) file.
+  std::vector<std::pair<solver::Var, std::int64_t>> entries(a.begin(), a.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [v, value] : entries) os << ' ' << v << ' ' << value;
+}
+
+bool read_assignment(std::istream& is, solver::Assignment& a) {
+  std::size_t n = 0;
+  if (!(is >> n)) return false;
+  a.clear();
+  a.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    solver::Var v = 0;
+    std::int64_t value = 0;
+    if (!(is >> v >> value)) return false;
+    a[v] = value;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    switch (s[++i]) {
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default: out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+void write_predicate(std::ostream& os, const solver::Predicate& p) {
+  os << static_cast<int>(p.op) << ' ' << p.expr.constant_part() << ' '
+     << p.expr.num_terms();
+  for (const solver::Term& t : p.expr.terms()) {
+    os << ' ' << t.var << ' ' << t.coeff;
+  }
+}
+
+bool read_predicate(std::istream& is, solver::Predicate& p) {
+  int op = 0;
+  std::int64_t constant = 0;
+  std::size_t nterms = 0;
+  if (!(is >> op >> constant >> nterms)) return false;
+  solver::LinearExpr expr(constant);
+  for (std::size_t i = 0; i < nterms; ++i) {
+    solver::Var v = 0;
+    std::int64_t coeff = 0;
+    if (!(is >> v >> coeff)) return false;
+    expr.add_term(v, coeff);
+  }
+  p.expr = std::move(expr);
+  p.op = static_cast<solver::CompareOp>(op);
+  return true;
+}
+
+void write_path(std::ostream& os, const sym::Path& path) {
+  os << path.size() << '\n';
+  for (const sym::PathEntry& e : path.entries()) {
+    os << e.site << ' ' << (e.taken ? 1 : 0) << ' ';
+    write_predicate(os, e.constraint);
+    os << '\n';
+  }
+}
+
+bool read_path(std::istream& is, sym::Path& path) {
+  std::size_t n = 0;
+  if (!(is >> n)) return false;
+  path.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    sym::SiteId site = 0;
+    int taken = 0;
+    solver::Predicate p;
+    if (!(is >> site >> taken) || !read_predicate(is, p)) return false;
+    path.append(site, taken != 0, std::move(p));
+  }
+  return true;
+}
+
+void CampaignCheckpoint::write(std::ostream& os) const {
+  os << "compi-checkpoint " << kVersion << '\n';
+  os << "seed " << seed << '\n';
+  os << "next_iteration " << next_iteration << '\n';
+
+  os << "plan " << plan_nprocs << ' ' << plan_focus << ' ';
+  write_assignment(os, plan_inputs);
+  os << '\n';
+  os << "next_is_restart " << (next_is_restart ? 1 : 0) << '\n';
+  os << "pending_depth ";
+  if (pending_depth) {
+    os << *pending_depth;
+  } else {
+    os << "none";
+  }
+  os << '\n';
+  os << "failures " << failures << '\n';
+  os << "consecutive_replans " << consecutive_replans << '\n';
+  os << "bounded_phase " << (bounded_phase ? 1 : 0) << '\n';
+  os << "counters " << restarts << ' ' << max_constraint_set << ' '
+     << depth_bound_used << ' ' << transient_retries << ' ' << focus_replans
+     << '\n';
+
+  os << "iterations " << iterations.size() << '\n';
+  for (const IterationRecord& r : iterations) {
+    os << "iter " << r.iteration << ' ' << r.nprocs << ' ' << r.focus << ' '
+       << rt::to_string(r.outcome) << ' ' << r.constraint_set_size << ' '
+       << r.covered_branches << ' ' << format_double(r.exec_seconds) << ' '
+       << format_double(r.solve_seconds) << ' ' << (r.restart ? 1 : 0)
+       << '\n';
+  }
+
+  os << "bugs " << bugs.size() << '\n';
+  for (const BugRecord& b : bugs) {
+    os << "bug " << b.first_iteration << ' ' << b.occurrences << ' '
+       << rt::to_string(b.outcome) << ' ' << b.nprocs << ' ' << b.focus << ' '
+       << (b.flaky ? 1 : 0) << '\n';
+    os << "msg " << escape(b.message) << '\n';
+    os << "inputs ";
+    write_assignment(os, b.inputs);
+    os << '\n';
+    os << "named " << b.named_inputs.size() << '\n';
+    for (const auto& [key, value] : b.named_inputs) {
+      os << value << ' ' << escape(key) << '\n';
+    }
+  }
+
+  os << "covered " << covered.size();
+  for (sym::BranchId b : covered) os << ' ' << b;
+  os << '\n';
+
+  os << "registry " << registry.size() << '\n';
+  for (const rt::VarMeta& m : registry) {
+    os << "var " << static_cast<int>(m.kind) << ' ' << m.domain.lo << ' '
+       << m.domain.hi << ' ';
+    if (m.cap) {
+      os << *m.cap;
+    } else {
+      os << "none";
+    }
+    os << ' ' << m.comm_index << ' ' << escape(m.key) << '\n';
+  }
+
+  os << "hangs " << known_hang_signatures.size() << '\n';
+  for (const std::string& sig : known_hang_signatures) {
+    os << escape(sig) << '\n';
+  }
+
+  os << "strategy " << escape(strategy_name) << '\n';
+  // The strategy blob is embedded verbatim, prefixed with its line count.
+  std::size_t lines = 0;
+  for (char c : strategy_state) lines += c == '\n' ? 1 : 0;
+  if (!strategy_state.empty() && strategy_state.back() != '\n') ++lines;
+  os << "strategy_state_lines " << lines << '\n';
+  os << strategy_state;
+  if (!strategy_state.empty() && strategy_state.back() != '\n') os << '\n';
+  os << "end\n";
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
+  CampaignCheckpoint c;
+  int version = 0;
+  if (!expect(is, "compi-checkpoint") || !(is >> version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+  if (!expect(is, "seed") || !(is >> c.seed)) return std::nullopt;
+  if (!expect(is, "next_iteration") || !(is >> c.next_iteration)) {
+    return std::nullopt;
+  }
+
+  if (!expect(is, "plan") || !(is >> c.plan_nprocs >> c.plan_focus) ||
+      !read_assignment(is, c.plan_inputs)) {
+    return std::nullopt;
+  }
+  int flag = 0;
+  if (!expect(is, "next_is_restart") || !(is >> flag)) return std::nullopt;
+  c.next_is_restart = flag != 0;
+  {
+    std::string tok;
+    if (!expect(is, "pending_depth") || !(is >> tok)) return std::nullopt;
+    if (tok != "none") {
+      std::size_t depth = 0;
+      const auto [ptr, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), depth);
+      if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+        return std::nullopt;
+      }
+      c.pending_depth = depth;
+    }
+  }
+  if (!expect(is, "failures") || !(is >> c.failures)) return std::nullopt;
+  if (!expect(is, "consecutive_replans") || !(is >> c.consecutive_replans)) {
+    return std::nullopt;
+  }
+  if (!expect(is, "bounded_phase") || !(is >> flag)) return std::nullopt;
+  c.bounded_phase = flag != 0;
+  if (!expect(is, "counters") ||
+      !(is >> c.restarts >> c.max_constraint_set >> c.depth_bound_used >>
+        c.transient_retries >> c.focus_replans)) {
+    return std::nullopt;
+  }
+
+  std::size_t n = 0;
+  if (!expect(is, "iterations") || !(is >> n)) return std::nullopt;
+  c.iterations.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    IterationRecord r;
+    if (!expect(is, "iter") ||
+        !(is >> r.iteration >> r.nprocs >> r.focus)) {
+      return std::nullopt;
+    }
+    const auto outcome = read_outcome(is);
+    if (!outcome) return std::nullopt;
+    r.outcome = *outcome;
+    if (!(is >> r.constraint_set_size >> r.covered_branches)) {
+      return std::nullopt;
+    }
+    r.exec_seconds = read_double(is);
+    r.solve_seconds = read_double(is);
+    if (!(is >> flag)) return std::nullopt;
+    r.restart = flag != 0;
+    c.iterations.push_back(std::move(r));
+  }
+
+  if (!expect(is, "bugs") || !(is >> n)) return std::nullopt;
+  c.bugs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BugRecord b;
+    if (!expect(is, "bug") || !(is >> b.first_iteration >> b.occurrences)) {
+      return std::nullopt;
+    }
+    const auto outcome = read_outcome(is);
+    if (!outcome) return std::nullopt;
+    b.outcome = *outcome;
+    if (!(is >> b.nprocs >> b.focus >> flag)) return std::nullopt;
+    b.flaky = flag != 0;
+    if (!expect(is, "msg")) return std::nullopt;
+    b.message = unescape(read_tail(is));
+    if (!expect(is, "inputs") || !read_assignment(is, b.inputs)) {
+      return std::nullopt;
+    }
+    std::size_t named = 0;
+    if (!expect(is, "named") || !(is >> named)) return std::nullopt;
+    for (std::size_t j = 0; j < named; ++j) {
+      std::int64_t value = 0;
+      if (!(is >> value)) return std::nullopt;
+      b.named_inputs[unescape(read_tail(is))] = value;
+    }
+    c.bugs.push_back(std::move(b));
+  }
+
+  if (!expect(is, "covered") || !(is >> n)) return std::nullopt;
+  c.covered.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sym::BranchId b = 0;
+    if (!(is >> b)) return std::nullopt;
+    c.covered.push_back(b);
+  }
+
+  if (!expect(is, "registry") || !(is >> n)) return std::nullopt;
+  c.registry.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rt::VarMeta m;
+    int kind = 0;
+    std::string cap;
+    if (!expect(is, "var") ||
+        !(is >> kind >> m.domain.lo >> m.domain.hi >> cap >> m.comm_index)) {
+      return std::nullopt;
+    }
+    m.kind = static_cast<rt::VarKind>(kind);
+    if (cap != "none") {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(cap.data(), cap.data() + cap.size(), value);
+      if (ec != std::errc{} || ptr != cap.data() + cap.size()) {
+        return std::nullopt;
+      }
+      m.cap = value;
+    }
+    m.key = unescape(read_tail(is));
+    c.registry.push_back(std::move(m));
+  }
+
+  if (!expect(is, "hangs") || !(is >> n)) return std::nullopt;
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) return std::nullopt;
+    c.known_hang_signatures.push_back(unescape(line));
+  }
+
+  if (!expect(is, "strategy")) return std::nullopt;
+  c.strategy_name = unescape(read_tail(is));
+  if (!expect(is, "strategy_state_lines") || !(is >> n)) return std::nullopt;
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  std::ostringstream blob;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) return std::nullopt;
+    blob << line << '\n';
+  }
+  c.strategy_state = blob.str();
+  if (!expect(is, "end")) return std::nullopt;
+  return c;
+}
+
+}  // namespace compi::ckpt

@@ -1,0 +1,93 @@
+// Campaign checkpoints: crash-resilient testing sessions.
+//
+// A long campaign must survive being killed: SessionWriter periodically
+// snapshots the full driver state — registry, RNG-bearing search-strategy
+// state, coverage bitmap, accumulated iteration/bug records, and the
+// already-planned next test — into <dir>/checkpoint.txt, and Campaign::run
+// can resume from it, continuing deterministically where the killed
+// process stopped (same coverage, bug list, and iteration tail as an
+// uninterrupted run).
+//
+// The format is line-oriented text.  Strings are escaped (\n, \r, \\) so
+// multi-line fault messages round-trip; doubles use shortest-round-trip
+// formatting so restored timings are bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compi/driver.h"
+#include "runtime/var_registry.h"
+#include "solver/predicate.h"
+#include "symbolic/path.h"
+
+namespace compi::ckpt {
+
+// ---- low-level serialization helpers (shared with session files) ----
+
+/// Escapes backslashes and line breaks so any string fits on one line.
+[[nodiscard]] std::string escape(std::string_view s);
+[[nodiscard]] std::string unescape(std::string_view s);
+
+/// Shortest string that parses back to exactly `v`.
+[[nodiscard]] std::string format_double(double v);
+
+/// One-line predicate / multi-line path round-trips (used both by the
+/// checkpoint file and by search-strategy state serialization).
+void write_predicate(std::ostream& os, const solver::Predicate& p);
+[[nodiscard]] bool read_predicate(std::istream& is, solver::Predicate& p);
+void write_path(std::ostream& os, const sym::Path& path);
+[[nodiscard]] bool read_path(std::istream& is, sym::Path& path);
+
+// ---- the campaign snapshot ----
+
+struct CampaignCheckpoint {
+  static constexpr int kVersion = 1;
+
+  /// Campaign seed the snapshot was taken under (resume sanity check).
+  std::uint64_t seed = 0;
+  /// First iteration the resumed campaign should execute.
+  int next_iteration = 0;
+
+  // Driver loop state.
+  solver::Assignment plan_inputs;
+  int plan_nprocs = 1;
+  int plan_focus = 0;
+  bool next_is_restart = false;
+  std::optional<std::size_t> pending_depth;
+  int failures = 0;
+  int consecutive_replans = 0;
+  /// Two-phase search already switched to BoundedDFS.
+  bool bounded_phase = false;
+
+  // Accumulated results.
+  std::size_t restarts = 0;
+  std::size_t max_constraint_set = 0;
+  std::size_t depth_bound_used = 0;
+  std::size_t transient_retries = 0;
+  std::size_t focus_replans = 0;
+  std::vector<IterationRecord> iterations;
+  std::vector<BugRecord> bugs;
+  std::vector<sym::BranchId> covered;
+  /// Variable metadata in id order (re-interned verbatim on resume so
+  /// solver variable ids stay stable across the kill).
+  std::vector<rt::VarMeta> registry;
+  /// Fault signatures already classified as genuine hangs (not retried).
+  std::vector<std::string> known_hang_signatures;
+
+  /// Search-strategy snapshot: strategy name + its opaque state blob
+  /// (written by SearchStrategy::save_state).
+  std::string strategy_name;
+  std::string strategy_state;
+
+  void write(std::ostream& os) const;
+  /// nullopt on version mismatch or any parse error (the caller then
+  /// starts a fresh campaign instead of resuming garbage).
+  [[nodiscard]] static std::optional<CampaignCheckpoint> read(
+      std::istream& is);
+};
+
+}  // namespace compi::ckpt

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
+#include <thread>
 
+#include "compi/checkpoint.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
 #include "solver/solver.h"
@@ -67,9 +70,115 @@ CampaignResult Campaign::run() {
 
   std::optional<std::size_t> pending_depth;  // depth of the accepted flip
   bool next_is_restart = true;               // the first run is a "restart"
+  bool bounded_phase = false;                // two-phase switch happened
   int failures = 0;
+  int consecutive_replans = 0;
+  int start_iter = 0;
+  std::vector<std::string> known_hangs;  // signatures proven to really hang
 
-  for (int iter = 0; iter < options_.iterations; ++iter) {
+  // ---- resume a checkpointed session (crash recovery) ----
+  if (options_.resume && !options_.log_dir.empty()) {
+    std::optional<ckpt::CampaignCheckpoint> c =
+        read_checkpoint(options_.log_dir);
+    if (c && c->seed == options_.seed) {
+      if (two_phase && c->bounded_phase) {
+        scfg.kind = SearchKind::kBoundedDfs;
+        scfg.bound = c->depth_bound_used;
+      }
+      strategy = make_strategy(scfg);
+      std::istringstream blob(c->strategy_state);
+      if (c->strategy_name == strategy->name() &&
+          strategy->load_state(blob)) {
+        for (const rt::VarMeta& m : c->registry) {
+          registry.intern(m.key, m.kind, m.domain, m.cap, m.comm_index);
+        }
+        rt::CoverageBitmap bitmap(target_.table->num_branches());
+        for (sym::BranchId b : c->covered) bitmap.mark(b);
+        coverage.merge(bitmap);
+        result.iterations = std::move(c->iterations);
+        result.bugs = std::move(c->bugs);
+        result.restarts = c->restarts;
+        result.max_constraint_set = c->max_constraint_set;
+        result.depth_bound_used = c->depth_bound_used;
+        result.transient_retries = c->transient_retries;
+        result.focus_replans = c->focus_replans;
+        result.resumed = true;
+        plan.inputs = std::move(c->plan_inputs);
+        plan.nprocs = c->plan_nprocs;
+        plan.focus = c->plan_focus;
+        pending_depth = c->pending_depth;
+        next_is_restart = c->next_is_restart;
+        bounded_phase = c->bounded_phase;
+        failures = c->failures;
+        consecutive_replans = c->consecutive_replans;
+        known_hangs = std::move(c->known_hang_signatures);
+        start_iter = c->next_iteration;
+      } else {
+        // Unreadable strategy state: fall back to a fresh campaign.
+        scfg.kind = two_phase ? SearchKind::kDfs : options_.search;
+        scfg.bound = static_cast<std::size_t>(-1);
+        strategy = make_strategy(scfg);
+      }
+    }
+  }
+
+  const auto backoff = [&](int attempt) {
+    if (options_.retry_backoff_ms <= 0) return;
+    const int ms = std::min(options_.retry_backoff_ms << attempt, 1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+
+  const auto save_checkpoint = [&](int next_iteration) {
+    if (!session) return;
+    ckpt::CampaignCheckpoint c;
+    c.seed = options_.seed;
+    c.next_iteration = next_iteration;
+    c.plan_inputs = plan.inputs;
+    c.plan_nprocs = plan.nprocs;
+    c.plan_focus = plan.focus;
+    c.next_is_restart = next_is_restart;
+    c.pending_depth = pending_depth;
+    c.failures = failures;
+    c.consecutive_replans = consecutive_replans;
+    c.bounded_phase = bounded_phase;
+    c.restarts = result.restarts;
+    c.max_constraint_set = result.max_constraint_set;
+    c.depth_bound_used = result.depth_bound_used;
+    c.transient_retries = result.transient_retries;
+    c.focus_replans = result.focus_replans;
+    c.iterations = result.iterations;
+    c.bugs = result.bugs;
+    c.covered = coverage.bitmap().covered_ids();
+    c.registry = registry.all();
+    c.known_hang_signatures = known_hangs;
+    c.strategy_name = strategy->name();
+    std::ostringstream blob;
+    strategy->save_state(blob);
+    c.strategy_state = blob.str();
+    session->write_checkpoint(c);
+  };
+
+  int executed = 0;   // iterations run by THIS process (halt hook)
+  bool halted = false;
+
+  // Periodic snapshot / simulated-kill bookkeeping at the bottom of every
+  // iteration; returns true when the campaign must stop abruptly.
+  const auto end_of_iteration = [&](int iter) {
+    if (options_.checkpoint_interval > 0 &&
+        (iter + 1) % options_.checkpoint_interval == 0) {
+      save_checkpoint(iter + 1);
+    }
+    ++executed;
+    if (options_.halt_after_iterations > 0 &&
+        executed >= options_.halt_after_iterations &&
+        iter + 1 < options_.iterations) {
+      save_checkpoint(iter + 1);
+      return true;
+    }
+    return false;
+  };
+
+  for (int iter = start_iter; iter < options_.iterations; ++iter) {
     if (options_.time_budget_seconds > 0 &&
         elapsed() >= options_.time_budget_seconds) {
       break;
@@ -89,7 +198,34 @@ CampaignResult Campaign::run() {
     spec.mark_mpi_vars = options_.framework;
     spec.timeout = options_.test_timeout;
 
-    const minimpi::RunResult run = minimpi::launch(spec, *target_.table);
+    // A per-test timeout is transient until proven otherwise: retry with a
+    // relaxed clock/step budget (and a re-mixed chaos seed, so injected
+    // noise is re-rolled) before letting it count as a hang.
+    minimpi::RunResult run;
+    for (int attempt = 0;; ++attempt) {
+      if (options_.chaos.enabled()) {
+        spec.chaos = options_.chaos;
+        spec.chaos.seed =
+            mix_seed(options_.chaos.seed,
+                     static_cast<std::uint64_t>(iter) * 64 +
+                         static_cast<std::uint64_t>(attempt));
+      }
+      spec.timeout = options_.test_timeout * (1 << attempt);
+      spec.step_budget = options_.step_budget << attempt;
+      run = minimpi::launch(spec, *target_.table);
+      if (run.job_outcome() != rt::Outcome::kTimeout) break;
+      const std::string sig = bug_signature(run.job_message());
+      if (std::find(known_hangs.begin(), known_hangs.end(), sig) !=
+          known_hangs.end()) {
+        break;  // already proven to hang: don't burn retries again
+      }
+      if (attempt >= options_.retry_max) {
+        known_hangs.push_back(sig);
+        break;
+      }
+      backoff(attempt);
+      ++result.transient_retries;
+    }
     if (session) session->write_iteration(iter, run);
 
     // ---- record coverage (all recorders — or focus only for No_Fwk) ----
@@ -132,11 +268,46 @@ CampaignResult Campaign::run() {
         }
         bug.nprocs = plan.nprocs;
         bug.focus = plan.focus;
+        if (options_.confirm_bugs) {
+          // Replay once with the same inputs and NO injected noise; a bug
+          // that fails to reproduce is environment-induced, hence flaky.
+          minimpi::LaunchSpec confirm = spec;
+          confirm.chaos = minimpi::FaultPlan{};
+          confirm.inputs = &bug.inputs;
+          confirm.timeout = options_.test_timeout;
+          confirm.step_budget = options_.step_budget;
+          const minimpi::RunResult rerun =
+              minimpi::launch(confirm, *target_.table);
+          bug.flaky = rerun.job_outcome() != bug.outcome;
+        }
         result.bugs.push_back(std::move(bug));
       } else {
         ++known->occurrences;
       }
     }
+
+    // ---- graceful degradation: the focus died before recording ----
+    // A fault (often injected) killed the focus before any symbolic branch
+    // was logged, so this run can't drive the search.  Re-plan the same
+    // test with the focus moved to another rank instead of wasting the
+    // iteration; bounded so a fault on EVERY rank still terminates.
+    const bool focus_dead =
+        run.focus >= 0 &&
+        static_cast<std::size_t>(run.focus) < run.ranks.size() &&
+        run.ranks[run.focus].outcome != rt::Outcome::kOk;
+    if (focus_dead && focus_log.path.empty() && plan.nprocs > 1 &&
+        consecutive_replans < plan.nprocs - 1) {
+      result.iterations.push_back(rec);
+      plan.focus = (plan.focus + 1) % plan.nprocs;
+      ++result.focus_replans;
+      ++consecutive_replans;
+      if (end_of_iteration(iter)) {
+        halted = true;
+        break;
+      }
+      continue;
+    }
+    consecutive_replans = 0;
 
     // ---- two-phase switch: estimate the BoundedDFS depth bound ----
     if (two_phase && iter + 1 == options_.dfs_phase_iterations) {
@@ -151,6 +322,7 @@ CampaignResult Campaign::run() {
       scfg.kind = SearchKind::kBoundedDfs;
       scfg.bound = bound;
       strategy = make_strategy(scfg);
+      bounded_phase = true;
       pending_depth.reset();  // root the new strategy at this path
     }
 
@@ -173,8 +345,21 @@ CampaignResult Campaign::run() {
       }
       preds.push_back(negated);
 
-      const solver::SolveResult solved = the_solver.solve_incremental(
+      solver::SolveResult solved = the_solver.solve_incremental(
           preds, framework.domains(), focus_log.inputs_used);
+      // Node-budget exhaustion is "unknown", not UNSAT: back off and retry
+      // the same query with a doubled budget before treating it as failed.
+      for (int attempt = 0;
+           !solved.sat && solved.budget_exhausted &&
+           attempt < options_.retry_max;
+           ++attempt) {
+        backoff(attempt);
+        ++result.transient_retries;
+        solver::Solver relaxed(
+            {options_.solver_node_budget << (attempt + 1)});
+        solved = relaxed.solve_incremental(preds, framework.domains(),
+                                           focus_log.inputs_used);
+      }
       if (solved.sat) {
         plan = framework.plan_next_test(solved, focus_log, plan);
         strategy->accepted(*cand);
@@ -198,6 +383,11 @@ CampaignResult Campaign::run() {
       failures = 0;
       next_is_restart = true;
     }
+
+    if (end_of_iteration(iter)) {
+      halted = true;
+      break;
+    }
   }
 
   result.covered_branches = coverage.covered_branches();
@@ -206,11 +396,21 @@ CampaignResult Campaign::run() {
   result.coverage_rate = coverage.rate();
   result.function_coverage = coverage.per_function();
   result.total_seconds = elapsed();
+  result.total_exec_seconds = 0.0;
+  result.total_solve_seconds = 0.0;
   for (const IterationRecord& r : result.iterations) {
     result.total_exec_seconds += r.exec_seconds;
     result.total_solve_seconds += r.solve_seconds;
   }
-  if (session) session->write_summary(result);
+  // A simulated kill stops before the summary files exist, exactly like a
+  // real SIGKILL would; only the checkpoint survives.
+  if (halted) return result;
+  if (session) {
+    session->write_summary(result);
+    if (options_.checkpoint_interval > 0) {
+      save_checkpoint(options_.iterations);
+    }
+  }
   return result;
 }
 

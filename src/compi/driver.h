@@ -49,6 +49,9 @@ struct BugRecord {
   std::map<std::string, std::int64_t> named_inputs;
   int nprocs = 0;
   int focus = 0;
+  /// The confirmation re-execution (same inputs, chaos off) did NOT
+  /// reproduce the failure: likely environment noise, not a target bug.
+  bool flaky = false;
 };
 
 struct CampaignResult {
@@ -65,6 +68,15 @@ struct CampaignResult {
   std::size_t max_constraint_set = 0;
   std::size_t depth_bound_used = 0;
   std::size_t restarts = 0;
+  /// Transient failures absorbed by the retry/backoff policy (solver budget
+  /// exhaustion, per-test wall-clock timeouts) instead of counting toward a
+  /// restart.
+  std::size_t transient_retries = 0;
+  /// Iterations salvaged by moving the focus to another rank after the
+  /// planned focus died without recording a usable path.
+  std::size_t focus_replans = 0;
+  /// True when the campaign continued a checkpointed session.
+  bool resumed = false;
   double total_seconds = 0.0;
   double total_exec_seconds = 0.0;
   double total_solve_seconds = 0.0;

@@ -3,6 +3,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
+
+#include "minimpi/fault_plan.h"
 
 namespace compi {
 
@@ -61,6 +64,31 @@ struct CampaignOptions {
   /// Consecutive solver failures / strategy exhaustion before restarting
   /// with fresh random inputs (paper §VI: "we just redo the testing").
   int restart_after_failures = 25;
+
+  // ---- robustness (fault injection, retries, checkpointing) ----
+  /// Deterministic fault injection applied to every launched test (chaos
+  /// testing of the campaign itself).  Disabled by default; the per-test
+  /// chaos seed is re-mixed from `chaos.seed` and the iteration number.
+  minimpi::FaultPlan chaos;
+  /// Transient-failure retries (solver node-budget exhaustion, per-test
+  /// wall-clock timeout) before the failure counts toward
+  /// `restart_after_failures`.  Each retry relaxes the relevant budget and
+  /// backs off exponentially starting at `retry_backoff_ms`.
+  int retry_max = 2;
+  int retry_backoff_ms = 0;
+  /// Re-execute each newly discovered bug once (same inputs, chaos off) and
+  /// mark it flaky when the failure does not reproduce.
+  bool confirm_bugs = true;
+  /// Write <log_dir>/checkpoint.txt every this-many iterations (and on
+  /// completion); 0 disables.  Only active when `log_dir` is set.
+  int checkpoint_interval = 25;
+  /// Continue a previous session from `log_dir`'s checkpoint instead of
+  /// starting fresh (falls back to a fresh run when none is readable).
+  bool resume = false;
+  /// Testing hook: stop abruptly after this many iterations of THIS process
+  /// (writing a final checkpoint but no summary), simulating a kill.
+  /// 0 = run to the configured budget.
+  int halt_after_iterations = 0;
 
   /// When non-empty, the campaign writes a file-based session under this
   /// directory: per-iteration rank logs (the files the instrumented

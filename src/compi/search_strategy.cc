@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <deque>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <queue>
+#include <string>
+
+#include "compi/checkpoint.h"
 
 namespace compi {
 namespace {
+
+/// Consumes one token and checks it equals `tag` (state-blob parsing).
+bool expect_tag(std::istream& is, const char* tag) {
+  std::string tok;
+  return static_cast<bool>(is >> tok) && tok == tag;
+}
 
 // ---------------------------------------------------------------------------
 // (Bounded) depth-first search — CREST's BoundedDFS, COMPI's default.
@@ -57,6 +68,28 @@ class BoundedDfsStrategy final : public SearchStrategy {
     return bound_ == static_cast<std::size_t>(-1) ? "DFS" : "BoundedDFS";
   }
 
+  void save_state(std::ostream& os) const override {
+    SearchStrategy::save_state(os);
+    os << "frames " << stack_.size() << '\n';
+    for (const Frame& f : stack_) {
+      os << f.lo << ' ' << f.idx << ' ';
+      ckpt::write_path(os, f.path);
+    }
+  }
+
+  bool load_state(std::istream& is) override {
+    if (!SearchStrategy::load_state(is)) return false;
+    std::size_t n = 0;
+    if (!expect_tag(is, "frames") || !(is >> n)) return false;
+    stack_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      Frame f;
+      if (!(is >> f.lo >> f.idx) || !ckpt::read_path(is, f.path)) return false;
+      stack_.push_back(std::move(f));
+    }
+    return true;
+  }
+
  private:
   struct Frame {
     sym::Path path;
@@ -101,6 +134,21 @@ class RandomBranchStrategy final : public SearchStrategy {
 
   [[nodiscard]] const char* name() const override { return "RandomBranch"; }
 
+  void save_state(std::ostream& os) const override {
+    SearchStrategy::save_state(os);
+    os << "rng " << rng_ << '\n';
+    os << "attempts " << attempts_ << '\n';
+    os << "path ";
+    ckpt::write_path(os, path_);
+  }
+
+  bool load_state(std::istream& is) override {
+    if (!SearchStrategy::load_state(is)) return false;
+    if (!expect_tag(is, "rng") || !(is >> rng_)) return false;
+    if (!expect_tag(is, "attempts") || !(is >> attempts_)) return false;
+    return expect_tag(is, "path") && ckpt::read_path(is, path_);
+  }
+
  private:
   std::mt19937_64 rng_;
   sym::Path path_;
@@ -139,6 +187,21 @@ class UniformRandomStrategy final : public SearchStrategy {
   void accepted(const Candidate&) override { attempts_ = 0; }
 
   [[nodiscard]] const char* name() const override { return "UniformRandom"; }
+
+  void save_state(std::ostream& os) const override {
+    SearchStrategy::save_state(os);
+    os << "rng " << rng_ << '\n';
+    os << "attempts " << attempts_ << '\n';
+    os << "path ";
+    ckpt::write_path(os, path_);
+  }
+
+  bool load_state(std::istream& is) override {
+    if (!SearchStrategy::load_state(is)) return false;
+    if (!expect_tag(is, "rng") || !(is >> rng_)) return false;
+    if (!expect_tag(is, "attempts") || !(is >> attempts_)) return false;
+    return expect_tag(is, "path") && ckpt::read_path(is, path_);
+  }
 
  private:
   std::mt19937_64 rng_;
@@ -201,6 +264,32 @@ class CfgStrategy final : public SearchStrategy {
 
   [[nodiscard]] const char* name() const override { return "CFG"; }
 
+  void save_state(std::ostream& os) const override {
+    SearchStrategy::save_state(os);
+    os << "rng " << rng_ << '\n';
+    os << "attempts " << attempts_ << '\n';
+    os << "tried " << tried_.size();
+    for (std::uint8_t t : tried_) os << ' ' << static_cast<int>(t);
+    os << '\n';
+    os << "path ";
+    ckpt::write_path(os, path_);
+  }
+
+  bool load_state(std::istream& is) override {
+    if (!SearchStrategy::load_state(is)) return false;
+    if (!expect_tag(is, "rng") || !(is >> rng_)) return false;
+    if (!expect_tag(is, "attempts") || !(is >> attempts_)) return false;
+    std::size_t n = 0;
+    if (!expect_tag(is, "tried") || !(is >> n)) return false;
+    tried_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      int bit = 0;
+      if (!(is >> bit)) return false;
+      tried_[i] = static_cast<std::uint8_t>(bit);
+    }
+    return expect_tag(is, "path") && ckpt::read_path(is, path_);
+  }
+
  private:
   /// BFS over the site graph from `from` to the nearest site with an
   /// uncovered branch; a large penalty when none is reachable.
@@ -257,19 +346,59 @@ class GenerationalStrategy final : public SearchStrategy {
 
     const std::size_t lo = flipped_depth ? *flipped_depth + 1 : 0;
     for (std::size_t d = lo; d < path.size(); ++d) {
-      queue_.push(Entry{gain, next_tiebreak_++, path.constraints_negating(d), d});
+      queue_.push_back(
+          Entry{gain, next_tiebreak_++, path.constraints_negating(d), d});
+      std::push_heap(queue_.begin(), queue_.end());
     }
   }
 
   std::optional<Candidate> next() override {
     if (queue_.empty()) return std::nullopt;
-    Entry top = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end());
+    Entry top = std::move(queue_.back());
+    queue_.pop_back();
     ++stats_.candidates_issued;
     return Candidate{std::move(top.constraints), top.depth};
   }
 
   [[nodiscard]] const char* name() const override { return "Generational"; }
+
+  void save_state(std::ostream& os) const override {
+    SearchStrategy::save_state(os);
+    os << "gen " << last_covered_ << ' ' << next_tiebreak_ << '\n';
+    os << "entries " << queue_.size() << '\n';
+    for (const Entry& e : queue_) {
+      os << e.score << ' ' << e.tiebreak << ' ' << e.depth << ' '
+         << e.constraints.size() << '\n';
+      for (const solver::Predicate& p : e.constraints) {
+        ckpt::write_predicate(os, p);
+        os << '\n';
+      }
+    }
+  }
+
+  bool load_state(std::istream& is) override {
+    if (!SearchStrategy::load_state(is)) return false;
+    if (!expect_tag(is, "gen") || !(is >> last_covered_ >> next_tiebreak_)) {
+      return false;
+    }
+    std::size_t n = 0;
+    if (!expect_tag(is, "entries") || !(is >> n)) return false;
+    queue_.clear();
+    queue_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry e;
+      std::size_t npreds = 0;
+      if (!(is >> e.score >> e.tiebreak >> e.depth >> npreds)) return false;
+      e.constraints.resize(npreds);
+      for (solver::Predicate& p : e.constraints) {
+        if (!ckpt::read_predicate(is, p)) return false;
+      }
+      queue_.push_back(std::move(e));
+    }
+    std::make_heap(queue_.begin(), queue_.end());
+    return true;
+  }
 
  private:
   struct Entry {
@@ -283,12 +412,25 @@ class GenerationalStrategy final : public SearchStrategy {
     }
   };
   const CoverageTracker* coverage_;
-  std::priority_queue<Entry> queue_;
+  /// Max-heap maintained with std::push_heap/pop_heap (an explicit vector
+  /// rather than std::priority_queue so checkpoints can walk the entries).
+  std::vector<Entry> queue_;
   std::size_t last_covered_ = 0;
   std::uint64_t next_tiebreak_ = 0;
 };
 
 }  // namespace
+
+void SearchStrategy::save_state(std::ostream& os) const {
+  os << "stats " << stats_.candidates_issued << ' '
+     << stats_.prediction_failures << '\n';
+}
+
+bool SearchStrategy::load_state(std::istream& is) {
+  return expect_tag(is, "stats") &&
+         static_cast<bool>(is >> stats_.candidates_issued >>
+                           stats_.prediction_failures);
+}
 
 std::unique_ptr<SearchStrategy> make_strategy(const StrategyConfig& config) {
   switch (config.kind) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <random>
@@ -53,6 +54,14 @@ class SearchStrategy {
 
   [[nodiscard]] virtual const char* name() const = 0;
   [[nodiscard]] const StrategyStats& stats() const { return stats_; }
+
+  /// Checkpoint support: serializes the strategy's full mutable state
+  /// (pending frames/queues, RNG engines, stats) as line-oriented text, and
+  /// restores it so a resumed campaign proposes exactly the candidates the
+  /// killed one would have.  `load_state` returns false on parse errors
+  /// (the caller then falls back to a fresh campaign).
+  virtual void save_state(std::ostream& os) const;
+  [[nodiscard]] virtual bool load_state(std::istream& is);
 
  protected:
   StrategyStats stats_;

@@ -39,12 +39,16 @@ std::vector<LoggedBug> read_bugs(const fs::path& bugs_file) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '[') {
-      // "[kind] message"
+      // "[kind] message" (message \-escaped so multi-line faults fit)
       LoggedBug bug;
       const auto close = line.find(']');
       if (close == std::string::npos) continue;
-      bug.outcome = line.substr(1, close - 1);
-      bug.message = line.substr(std::min(close + 2, line.size()));
+      const auto outcome =
+          rt::outcome_from_string(line.substr(1, close - 1));
+      if (!outcome) continue;
+      bug.outcome = *outcome;
+      bug.message =
+          ckpt::unescape(line.substr(std::min(close + 2, line.size())));
       out.push_back(std::move(bug));
     } else if (!out.empty() && line.find("first_iteration=") !=
                                    std::string::npos) {
@@ -56,6 +60,7 @@ std::vector<LoggedBug> read_bugs(const fs::path& bugs_file) {
         else if (k == "nprocs") out.back().nprocs =
             static_cast<int>(to_int(v));
         else if (k == "focus") out.back().focus = static_cast<int>(to_int(v));
+        else if (k == "flaky") out.back().flaky = to_int(v) != 0;
       });
     } else if (!out.empty() && line.find("inputs:") != std::string::npos) {
       parse_kv(line.substr(line.find("inputs:") + 7),
@@ -75,6 +80,12 @@ std::map<std::string, std::string> read_summary(const fs::path& summary_file) {
   return out;
 }
 
+std::optional<ckpt::CampaignCheckpoint> read_checkpoint(const fs::path& dir) {
+  std::ifstream in(dir / "checkpoint.txt");
+  if (!in) return std::nullopt;
+  return ckpt::CampaignCheckpoint::read(in);
+}
+
 SessionWriter::SessionWriter(fs::path dir, int keep_rank_logs)
     : dir_(std::move(dir)), keep_rank_logs_(keep_rank_logs) {
   fs::create_directories(dir_);
@@ -82,7 +93,10 @@ SessionWriter::SessionWriter(fs::path dir, int keep_rank_logs)
 
 void SessionWriter::write_iteration(int iteration,
                                     const minimpi::RunResult& run) {
+  // Nothing to retain (keep_rank_logs = 0, past the retention window, or a
+  // run with no rank logs): don't litter the session with empty iter dirs.
   if (keep_rank_logs_ >= 0 && iteration >= keep_rank_logs_) return;
+  if (run.ranks.empty()) return;
   const fs::path iter_dir =
       dir_ / ("iter_" + std::to_string(iteration));
   fs::create_directories(iter_dir);
@@ -107,10 +121,12 @@ void SessionWriter::write_summary(const CampaignResult& result) {
   {
     std::ofstream bugs(dir_ / "bugs.txt");
     for (const BugRecord& bug : result.bugs) {
-      bugs << '[' << rt::to_string(bug.outcome) << "] " << bug.message
+      bugs << '[' << rt::to_string(bug.outcome) << "] "
+           << ckpt::escape(bug.message)
            << "\n  first_iteration=" << bug.first_iteration
            << " occurrences=" << bug.occurrences << " nprocs=" << bug.nprocs
-           << " focus=" << bug.focus << "\n  inputs:";
+           << " focus=" << bug.focus << " flaky=" << (bug.flaky ? 1 : 0)
+           << "\n  inputs:";
       for (const auto& [name, value] : bug.named_inputs) {
         bugs << ' ' << name << '=' << value;
       }
@@ -126,9 +142,22 @@ void SessionWriter::write_summary(const CampaignResult& result) {
             << "max_constraint_set " << result.max_constraint_set << '\n'
             << "depth_bound_used " << result.depth_bound_used << '\n'
             << "restarts " << result.restarts << '\n'
+            << "transient_retries " << result.transient_retries << '\n'
+            << "focus_replans " << result.focus_replans << '\n'
+            << "resumed " << (result.resumed ? 1 : 0) << '\n'
             << "bugs " << result.bugs.size() << '\n'
             << "total_seconds " << result.total_seconds << '\n';
   }
+}
+
+void SessionWriter::write_checkpoint(
+    const ckpt::CampaignCheckpoint& checkpoint) {
+  const fs::path tmp = dir_ / "checkpoint.txt.tmp";
+  {
+    std::ofstream out(tmp);
+    checkpoint.write(out);
+  }
+  fs::rename(tmp, dir_ / "checkpoint.txt");
 }
 
 }  // namespace compi

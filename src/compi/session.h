@@ -10,11 +10,14 @@
 //                                 constraint-set sizes, timings)
 //   <dir>/bugs.txt                each bug with its error-inducing inputs
 //   <dir>/summary.txt             end-of-campaign totals
+//   <dir>/checkpoint.txt          periodic resume snapshot (crash recovery)
 #pragma once
 
 #include <filesystem>
+#include <optional>
 #include <string>
 
+#include "compi/checkpoint.h"
 #include "compi/driver.h"
 #include "minimpi/launcher.h"
 
@@ -22,12 +25,13 @@ namespace compi {
 
 /// A bug read back from a session's bugs.txt — replayable via run_fixed.
 struct LoggedBug {
-  std::string outcome;
+  rt::Outcome outcome = rt::Outcome::kOk;
   std::string message;
   int first_iteration = 0;
   int occurrences = 0;
   int nprocs = 0;
   int focus = 0;
+  bool flaky = false;
   std::map<std::string, std::int64_t> inputs;
 };
 
@@ -38,6 +42,10 @@ struct LoggedBug {
 /// Parses a session's summary.txt into key -> value.
 [[nodiscard]] std::map<std::string, std::string> read_summary(
     const std::filesystem::path& summary_file);
+
+/// Loads <dir>/checkpoint.txt; nullopt when absent or unparsable.
+[[nodiscard]] std::optional<ckpt::CampaignCheckpoint> read_checkpoint(
+    const std::filesystem::path& dir);
 
 class SessionWriter {
  public:
@@ -51,6 +59,10 @@ class SessionWriter {
 
   /// Writes iterations.csv, bugs.txt and summary.txt.
   void write_summary(const CampaignResult& result);
+
+  /// Atomically replaces <dir>/checkpoint.txt (write-to-temp + rename, so a
+  /// kill mid-write never leaves a truncated snapshot).
+  void write_checkpoint(const ckpt::CampaignCheckpoint& checkpoint);
 
   [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
 

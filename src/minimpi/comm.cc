@@ -24,6 +24,7 @@ void Comm::barrier() const {
 std::vector<std::byte> Comm::run_collective(
     std::vector<std::byte> contribution,
     const CollectiveSlot::Combine& combine) const {
+  shared_->world->chaos_call(global_rank(), /*collective=*/true);
   std::any result = shared_->slot->run(*shared_->world, local_rank_,
                                        std::move(contribution), combine);
   if (auto* bytes = std::any_cast<std::vector<std::byte>>(&result)) {
@@ -44,6 +45,7 @@ using SplitResult = std::vector<std::shared_ptr<CommShared>>;
 
 Comm Comm::split(rt::RuntimeContext& ctx, int color, int key) const {
   World& world = *shared_->world;
+  world.chaos_call(global_rank(), /*collective=*/true);
   std::any result = shared_->slot->run(
       world, local_rank_, SplitContribution{color, key},
       [this, &world](std::vector<std::any>& contribs) {

@@ -74,13 +74,16 @@ class Comm {
   template <typename T>
   void send(std::span<const T> data, int dest, int tag) const {
     shared_->world->check_alive();
+    shared_->world->chaos_call(global_rank(), /*collective=*/false);
     Message msg{local_rank_, shared_->uid, tag, to_bytes(data)};
-    shared_->world->mailbox(shared_->members[dest]).push(std::move(msg));
+    shared_->world->post(global_rank(), shared_->members[dest],
+                         std::move(msg));
   }
 
   template <typename T>
   Status recv(std::span<T> out, int src, int tag) const {
-    Message msg = shared_->world->mailbox(shared_->members[local_rank_])
+    shared_->world->chaos_call(global_rank(), /*collective=*/false);
+    Message msg = shared_->world->mailbox(global_rank())
                       .pop_matching(*shared_->world, src, shared_->uid, tag);
     from_bytes<T>(msg.payload, out);
     return {msg.src, msg.tag, msg.payload.size()};
@@ -253,6 +256,12 @@ class Comm {
   [[nodiscard]] Comm split(rt::RuntimeContext& ctx, int color, int key) const;
 
  private:
+  /// Global (world) rank of this member — the identity the chaos layer and
+  /// mailboxes are keyed by.
+  [[nodiscard]] int global_rank() const {
+    return shared_->members[local_rank_];
+  }
+
   template <typename T>
   static T combine_one(T a, T b, Op op) {
     switch (op) {

@@ -28,7 +28,7 @@ rt::CoverageBitmap RunResult::merged_coverage() const {
 
 RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
   const auto t0 = std::chrono::steady_clock::now();
-  World world(spec.nprocs, spec.timeout);
+  World world(spec.nprocs, spec.timeout, spec.chaos);
   auto world_shared = make_world_shared(world);
 
   RunResult result;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "minimpi/comm.h"
+#include "minimpi/fault_plan.h"
 #include "runtime/context.h"
 #include "runtime/test_log.h"
 
@@ -41,6 +42,8 @@ struct LaunchSpec {
   bool mark_mpi_vars = true;
   /// Per-test wall-clock timeout (paper §V allows a user-specified timeout).
   std::chrono::milliseconds timeout{30'000};
+  /// Environment-level fault injection (disabled by default).
+  FaultPlan chaos;
 };
 
 struct RankResult {

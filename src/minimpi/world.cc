@@ -1,13 +1,33 @@
 #include "minimpi/world.h"
 
+#include <thread>
+
 namespace compi::minimpi {
 
-World::World(int size, std::chrono::steady_clock::duration deadline)
+World::World(int size, std::chrono::steady_clock::duration deadline,
+             const FaultPlan& chaos)
     : size_(size), deadline_(std::chrono::steady_clock::now() + deadline) {
   mailboxes_.reserve(size);
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  if (chaos.enabled()) chaos_ = std::make_unique<ChaosEngine>(chaos, size);
+}
+
+void World::post(int src_global, int dest_global, Message msg) {
+  if (chaos_) {
+    if (chaos_->should_drop(src_global)) return;
+    const auto delay = chaos_->next_delay(src_global);
+    if (delay.count() > 0) {
+      // Bounded by the job deadline so a delayed sender can never outlive
+      // the watchdog.
+      const auto wake = std::min(std::chrono::steady_clock::now() + delay,
+                                 deadline_);
+      std::this_thread::sleep_until(wake);
+      check_alive();
+    }
+  }
+  mailbox(dest_global).push(std::move(msg));
 }
 
 void World::abort() {

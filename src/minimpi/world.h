@@ -1,4 +1,5 @@
-// The shared state of one MiniMPI job: mailboxes, abort flag, deadline.
+// The shared state of one MiniMPI job: mailboxes, abort flag, deadline,
+// and the (optional) chaos layer injecting environment-level faults.
 #pragma once
 
 #include <atomic>
@@ -10,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "minimpi/fault_plan.h"
 #include "minimpi/types.h"
 
 namespace compi::minimpi {
@@ -47,10 +49,22 @@ class World {
  public:
   explicit World(int size,
                  std::chrono::steady_clock::duration deadline =
-                     std::chrono::seconds(30));
+                     std::chrono::seconds(30),
+                 const FaultPlan& chaos = {});
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Chaos hook for every MPI entry point: may crash this rank (throws
+  /// InjectedFault) or stall it in a collective.  No-op without a plan.
+  void chaos_call(int global_rank, bool collective) {
+    if (chaos_) chaos_->on_mpi_call(*this, global_rank, collective);
+  }
+
+  /// Delivers a point-to-point message, applying the chaos layer's drop /
+  /// delay decisions (drops are silent — the watchdog catches the blocked
+  /// receiver, as a real lost message would surface).
+  void post(int src_global, int dest_global, Message msg);
 
   /// Called when a rank faults: wakes every blocked rank so the job
   /// unwinds, as mpiexec kills sibling processes of a crashed rank.
@@ -77,6 +91,7 @@ class World {
   std::atomic<bool> aborted_{false};
   std::atomic<std::int64_t> comm_uid_{0};
   std::chrono::steady_clock::time_point deadline_;
+  std::unique_ptr<ChaosEngine> chaos_;
 };
 
 }  // namespace compi::minimpi

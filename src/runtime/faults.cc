@@ -15,4 +15,14 @@ const char* to_string(Outcome o) {
   return "?";
 }
 
+std::optional<Outcome> outcome_from_string(std::string_view s) {
+  // Round-trips every enumerator through to_string (keep the two in sync).
+  for (const Outcome o :
+       {Outcome::kOk, Outcome::kSegfault, Outcome::kFpe, Outcome::kAssert,
+        Outcome::kTimeout, Outcome::kMpiError, Outcome::kAborted}) {
+    if (s == to_string(o)) return o;
+  }
+  return std::nullopt;
+}
+
 }  // namespace compi::rt

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace compi::rt {
 
@@ -32,6 +34,10 @@ enum class Outcome : std::uint8_t {
 }
 
 [[nodiscard]] const char* to_string(Outcome o);
+
+/// Inverse of to_string: parses the serialized outcome name (as written to
+/// bugs.txt / iterations.csv).  nullopt for unknown strings.
+[[nodiscard]] std::optional<Outcome> outcome_from_string(std::string_view s);
 
 /// Base class for simulated target faults.
 class SimulatedFault : public std::runtime_error {

@@ -11,6 +11,7 @@ struct SearchState {
   const SolverOptions* opts;
   const Assignment* prefer;
   std::int64_t nodes_left;
+  bool exhausted = false;
 };
 
 // Picks the unfixed variable with the narrowest domain (fail-first).
@@ -75,7 +76,10 @@ bool search(SearchState& st, DomainMap domains, const std::vector<Var>& vars,
   }
   const Interval dom = domain_of(domains, *branch);
   for (std::int64_t value : candidates_for(*branch, dom, st)) {
-    if (st.nodes_left-- <= 0) return false;
+    if (st.nodes_left-- <= 0) {
+      st.exhausted = true;
+      return false;
+    }
     DomainMap next = domains;
     next[*branch] = Interval::point(value);
     if (search(st, std::move(next), vars, solution)) return true;
@@ -87,7 +91,8 @@ bool search(SearchState& st, DomainMap domains, const std::vector<Var>& vars,
 
 std::optional<Assignment> Solver::solve(std::span<const Predicate> preds,
                                         const DomainMap& domains,
-                                        const Assignment& prefer) const {
+                                        const Assignment& prefer,
+                                        bool* budget_exhausted) const {
   std::vector<Var> vars;
   for (const Predicate& p : preds) p.expr.collect_vars(vars);
   for (const auto& [v, dom] : domains) {
@@ -98,7 +103,9 @@ std::optional<Assignment> Solver::solve(std::span<const Predicate> preds,
   DomainMap working = domains;
   SearchState st{preds, &opts_, &prefer, opts_.max_search_nodes};
   DomainMap solution;
-  if (!search(st, std::move(working), vars, solution)) return std::nullopt;
+  const bool found = search(st, std::move(working), vars, solution);
+  if (budget_exhausted != nullptr) *budget_exhausted = !found && st.exhausted;
+  if (!found) return std::nullopt;
 
   Assignment out;
   out.reserve(vars.size());
@@ -167,7 +174,8 @@ SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
   DomainMap sub_domains;
   for (Var v : slice_vars) sub_domains[v] = domain_of(domains, v);
 
-  const std::optional<Assignment> solved = solve(sub, sub_domains, previous);
+  const std::optional<Assignment> solved =
+      solve(sub, sub_domains, previous, &result.budget_exhausted);
   if (!solved) return result;  // UNSAT / budget exhausted
 
   result.sat = true;

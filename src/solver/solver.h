@@ -37,6 +37,10 @@ struct SolveResult {
   bool sat = false;
   Assignment values;           // complete (solved vars merged over previous)
   std::vector<Var> changed;    // vars whose value differs from the previous
+  /// Unsat verdict was forced by the node budget, not proven: the query is
+  /// *unknown* and may succeed with a larger budget (transient failure —
+  /// the driver retries these with a relaxed budget before giving up).
+  bool budget_exhausted = false;
 };
 
 class Solver {
@@ -46,10 +50,12 @@ class Solver {
   /// Solves the conjunction of `preds` over `domains`.  `prefer` supplies
   /// values to try first (the previous test's inputs), which both speeds up
   /// search and maximizes value reuse.  Returns values for every variable
-  /// appearing in `preds` or `domains`; nullopt when UNSAT or budget-bound.
+  /// appearing in `preds` or `domains`; nullopt when UNSAT or budget-bound
+  /// (`budget_exhausted`, when given, tells the two apart).
   [[nodiscard]] std::optional<Assignment> solve(
       std::span<const Predicate> preds, const DomainMap& domains,
-      const Assignment& prefer = {}) const;
+      const Assignment& prefer = {},
+      bool* budget_exhausted = nullptr) const;
 
   /// CREST-style incremental solve.  `preds` is the updated constraint set
   /// whose *last* element is the freshly negated constraint; `previous` is

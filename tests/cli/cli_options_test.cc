@@ -104,12 +104,56 @@ TEST(CliOptions, LogDirAndMetaFlags) {
   EXPECT_TRUE(r.config.show_help);
 }
 
+TEST(CliOptions, ParsesRobustnessFlags) {
+  const ParseResult r = parse(
+      {"--retry-max=5", "--retry-backoff-ms=40", "--checkpoint-interval=10",
+       "--chaos-seed=77", "--chaos-drop-rate=0.25", "--chaos-crash-rank=3",
+       "--chaos-crash-at=9", "--no-confirm-bugs"});
+  ASSERT_FALSE(r.error.has_value()) << *r.error;
+  EXPECT_EQ(r.config.campaign.retry_max, 5);
+  EXPECT_EQ(r.config.campaign.retry_backoff_ms, 40);
+  EXPECT_EQ(r.config.campaign.checkpoint_interval, 10);
+  EXPECT_EQ(r.config.campaign.chaos.seed, 77u);
+  EXPECT_DOUBLE_EQ(r.config.campaign.chaos.drop_rate, 0.25);
+  EXPECT_EQ(r.config.campaign.chaos.crash_rank, 3);
+  EXPECT_EQ(r.config.campaign.chaos.crash_at_call, 9);
+  EXPECT_FALSE(r.config.campaign.confirm_bugs);
+  EXPECT_TRUE(r.config.campaign.chaos.enabled());
+}
+
+TEST(CliOptions, RejectsBadRobustnessValues) {
+  EXPECT_TRUE(parse({"--chaos-drop-rate=1.5"}).error.has_value());
+  EXPECT_TRUE(parse({"--chaos-drop-rate=-0.1"}).error.has_value());
+  EXPECT_TRUE(parse({"--chaos-drop-rate=abc"}).error.has_value());
+  EXPECT_TRUE(parse({"--retry-max=11"}).error.has_value());
+  EXPECT_TRUE(parse({"--retry-max=-1"}).error.has_value());
+  EXPECT_TRUE(parse({"--retry-backoff-ms=70000"}).error.has_value());
+  EXPECT_TRUE(parse({"--chaos-crash-at=0"}).error.has_value());
+  EXPECT_TRUE(parse({"--resume="}).error.has_value());
+}
+
+TEST(CliOptions, ResumeNamesTheSessionDirectory) {
+  const ParseResult r = parse({"--resume=/tmp/session"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_TRUE(r.config.campaign.resume);
+  EXPECT_EQ(r.config.resume_dir, "/tmp/session");
+  EXPECT_EQ(r.config.campaign.log_dir, "/tmp/session");
+
+  // A matching --log-dir is redundant but harmless; a conflicting one is
+  // an error, not a silent pick-one.
+  EXPECT_FALSE(parse({"--resume=/tmp/s", "--log-dir=/tmp/s"}).error);
+  EXPECT_TRUE(parse({"--resume=/tmp/s", "--log-dir=/tmp/other"}).error);
+}
+
 TEST(CliOptions, UsageMentionsEveryFlag) {
   const std::string u = usage();
   for (const std::string flag :
        {"--iterations", "--strategy", "--cap", "--nprocs", "--max-procs",
         "--seed", "--log-dir", "--no-reduction", "--no-framework",
-        "--one-way", "--random", "--list-targets"}) {
+        "--one-way", "--random", "--list-targets", "--resume",
+        "--checkpoint-interval", "--retry-max", "--retry-backoff-ms",
+        "--chaos-seed", "--chaos-drop-rate", "--chaos-crash-rank",
+        "--chaos-crash-at", "--no-confirm-bugs"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

@@ -118,8 +118,7 @@ TEST(Session, BugsFileRoundTripsAndReplays) {
     }
     const auto replay = run_fixed(target, inputs, {.nprocs = bug.nprocs,
                                                    .focus = bug.focus});
-    EXPECT_EQ(std::string(rt::to_string(replay.job_outcome())), bug.outcome)
-        << bug.message;
+    EXPECT_EQ(replay.job_outcome(), bug.outcome) << bug.message;
   }
 }
 
@@ -135,6 +134,59 @@ TEST(Session, SummaryRoundTrips) {
   EXPECT_EQ(summary.at("bugs"), std::to_string(result.bugs.size()));
 }
 
+TEST(Session, BugsFileRoundTripsMultiLineMessagesAndFlaky) {
+  // Hand-built result: a flaky bug with an embedded newline in its message
+  // and a bug with no inputs at all must both survive the disk round-trip.
+  TempDir tmp;
+  CampaignResult result;
+  BugRecord noisy;
+  noisy.first_iteration = 3;
+  noisy.occurrences = 2;
+  noisy.outcome = rt::Outcome::kSegfault;
+  noisy.message = "line one\nline two\twith tab";
+  noisy.inputs[solver::Var{0}] = 7;
+  noisy.named_inputs["x"] = 7;
+  noisy.nprocs = 4;
+  noisy.focus = 1;
+  noisy.flaky = true;
+  result.bugs.push_back(noisy);
+
+  BugRecord bare;  // e.g. a hang before any input was read
+  bare.first_iteration = 9;
+  bare.occurrences = 1;
+  bare.outcome = rt::Outcome::kTimeout;
+  bare.message = "deadline exceeded";
+  bare.nprocs = 2;
+  result.bugs.push_back(bare);
+
+  SessionWriter(tmp.path).write_summary(result);
+  const std::vector<LoggedBug> logged = read_bugs(tmp.path / "bugs.txt");
+  ASSERT_EQ(logged.size(), 2u);
+  EXPECT_EQ(logged[0].outcome, rt::Outcome::kSegfault);
+  EXPECT_EQ(logged[0].message, noisy.message);
+  EXPECT_TRUE(logged[0].flaky);
+  EXPECT_EQ(logged[0].first_iteration, 3);
+  EXPECT_EQ(logged[0].occurrences, 2);
+  EXPECT_EQ(logged[0].nprocs, 4);
+  EXPECT_EQ(logged[0].focus, 1);
+  EXPECT_EQ(logged[1].outcome, rt::Outcome::kTimeout);
+  EXPECT_FALSE(logged[1].flaky);
+  EXPECT_TRUE(logged[1].inputs.empty());
+}
+
+TEST(Session, SummaryReportsRobustnessCounters) {
+  TempDir tmp;
+  CampaignResult result;
+  result.transient_retries = 5;
+  result.focus_replans = 2;
+  result.resumed = true;
+  SessionWriter(tmp.path).write_summary(result);
+  const auto summary = read_summary(tmp.path / "summary.txt");
+  EXPECT_EQ(summary.at("transient_retries"), "5");
+  EXPECT_EQ(summary.at("focus_replans"), "2");
+  EXPECT_EQ(summary.at("resumed"), "1");
+}
+
 TEST(Session, KeepRankLogsLimit) {
   TempDir tmp;
   SessionWriter writer(tmp.path, /*keep_rank_logs=*/2);
@@ -146,6 +198,40 @@ TEST(Session, KeepRankLogsLimit) {
   writer.write_iteration(2, run);
   EXPECT_TRUE(fs::exists(tmp.path / "iter_1" / "rank_0.log"));
   EXPECT_FALSE(fs::exists(tmp.path / "iter_2"));
+}
+
+TEST(Session, KeepRankLogsZeroCreatesNoIterationDirs) {
+  TempDir tmp;
+  SessionWriter writer(tmp.path, /*keep_rank_logs=*/0);
+  minimpi::RunResult run;
+  run.ranks.resize(2);
+  writer.write_iteration(0, run);
+  writer.write_iteration(1, run);
+  EXPECT_FALSE(fs::exists(tmp.path / "iter_0"));
+  EXPECT_FALSE(fs::exists(tmp.path / "iter_1"));
+}
+
+TEST(Session, EmptyRunWritesNoIterationDir) {
+  TempDir tmp;
+  SessionWriter writer(tmp.path);  // keep everything
+  minimpi::RunResult run;          // ...but there are no ranks to keep
+  writer.write_iteration(0, run);
+  EXPECT_FALSE(fs::exists(tmp.path / "iter_0"));
+}
+
+TEST(Session, CampaignWritesParsableCheckpoint) {
+  TempDir tmp;
+  CampaignOptions opts = session_opts(tmp.path, 20);
+  opts.checkpoint_interval = 5;
+  const CampaignResult result = Campaign(fig2_target(), opts).run();
+
+  const auto checkpoint = read_checkpoint(tmp.path);
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->seed, opts.seed);
+  // The end-of-campaign snapshot points one past the final iteration.
+  EXPECT_EQ(checkpoint->next_iteration, static_cast<int>(opts.iterations));
+  EXPECT_EQ(checkpoint->iterations.size(), result.iterations.size());
+  EXPECT_EQ(checkpoint->covered.size(), result.covered_branches);
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+// Outcome serialization round-trips (bugs.txt / checkpoint parsing).
+#include "runtime/faults.h"
+
+#include <gtest/gtest.h>
+
+namespace compi::rt {
+namespace {
+
+TEST(Outcome, ToStringFromStringRoundTripsAllValues) {
+  for (Outcome o : {Outcome::kOk, Outcome::kSegfault, Outcome::kFpe,
+                    Outcome::kAssert, Outcome::kTimeout, Outcome::kMpiError,
+                    Outcome::kAborted}) {
+    const auto parsed = outcome_from_string(to_string(o));
+    ASSERT_TRUE(parsed.has_value()) << to_string(o);
+    EXPECT_EQ(*parsed, o);
+  }
+}
+
+TEST(Outcome, FromStringRejectsUnknownNames) {
+  EXPECT_FALSE(outcome_from_string("").has_value());
+  EXPECT_FALSE(outcome_from_string("bogus").has_value());
+  EXPECT_FALSE(outcome_from_string("OK ").has_value());
+  EXPECT_FALSE(outcome_from_string("kOk").has_value());
+}
+
+TEST(Outcome, NamesAreDistinct) {
+  EXPECT_STRNE(to_string(Outcome::kOk), to_string(Outcome::kAborted));
+  EXPECT_STRNE(to_string(Outcome::kSegfault), to_string(Outcome::kFpe));
+}
+
+}  // namespace
+}  // namespace compi::rt
