@@ -6,6 +6,8 @@
 
 #include "compi/fixed_run.h"
 #include "minimpi/launcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/solver.h"
 #include "targets/targets.h"
 
@@ -127,6 +129,85 @@ BENCHMARK(BM_HplSolveScaling)
     ->Arg(100)
     ->Arg(200)
     ->Unit(benchmark::kMillisecond);
+
+// ---- observability overhead ----
+// The claim the obs layer makes: an off-path span costs one relaxed load
+// and a branch (within noise of the empty loop below), counters one
+// relaxed add, and an on-path span two clock reads plus a ring store.
+
+void BM_ObsNoop(benchmark::State& state) {
+  // Empty-loop baseline the disabled-path numbers are compared against.
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x += 1);
+  }
+}
+BENCHMARK(BM_ObsNoop);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter& c =
+      obs::registry().counter("bench_counter", "micro-bench counter");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::registry().histogram("bench_histogram", "micro-bench histogram");
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v = (v * 7 + 3) & 0xffff);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::tracer().set_enabled(false);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::Cat::kDriver, "bench_span", "arg", x);
+    benchmark::DoNotOptimize(x += 1);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::tracer().configure(256);
+  obs::tracer().set_enabled(true);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::Cat::kDriver, "bench_span", "arg", x);
+    benchmark::DoNotOptimize(x += 1);
+  }
+  obs::tracer().set_enabled(false);
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsInstantDisabled(benchmark::State& state) {
+  obs::tracer().set_enabled(false);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    obs::instant(obs::Cat::kMpi, "bench_instant", "arg", x);
+    benchmark::DoNotOptimize(x += 1);
+  }
+}
+BENCHMARK(BM_ObsInstantDisabled);
+
+void BM_ObsInstantEnabled(benchmark::State& state) {
+  obs::tracer().configure(256);
+  obs::tracer().set_enabled(true);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    obs::instant(obs::Cat::kMpi, "bench_instant", "arg", x);
+    benchmark::DoNotOptimize(x += 1);
+  }
+  obs::tracer().set_enabled(false);
+}
+BENCHMARK(BM_ObsInstantEnabled);
 
 }  // namespace
 

@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "compi/fixed_run.h"
+#include "obs/metrics.h"
 #include "targets/targets.h"
 
 namespace {
@@ -25,6 +26,10 @@ struct Config {
 
 struct Measurement {
   double seconds = 0.0;
+  /// Per-iteration wall-time distribution, not just the mean: one-way's
+  /// cost shows up in the tail when non-focus ranks record heavy logs.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
   std::size_t avg_nonfocus_log_bytes = 0;
 };
 
@@ -32,14 +37,21 @@ Measurement measure(const Config& config, bool one_way, int iterations,
                     std::uint64_t seed) {
   Measurement m;
   std::size_t log_bytes = 0, log_count = 0;
+  std::vector<double> iter_ms;
+  iter_ms.reserve(static_cast<std::size_t>(iterations));
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < iterations; ++i) {
+    const auto it0 = std::chrono::steady_clock::now();
     FixedRunOptions opts;
     opts.nprocs = config.nprocs;
     opts.focus = 0;
     opts.one_way = one_way;
     opts.seed = seed + static_cast<std::uint64_t>(i);
     const auto result = run_fixed(config.target, config.inputs, opts);
+    iter_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - it0)
+            .count());
     for (int rank = 1; rank < config.nprocs; ++rank) {
       log_bytes += result.ranks[rank].log.serialize().size();
       ++log_count;
@@ -48,8 +60,15 @@ Measurement measure(const Config& config, bool one_way, int iterations,
   m.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
                   .count();
+  m.p50_ms = obs::percentile(iter_ms, 0.50);
+  m.p95_ms = obs::percentile(iter_ms, 0.95);
   m.avg_nonfocus_log_bytes = log_count > 0 ? log_bytes / log_count : 0;
   return m;
+}
+
+std::string p50_p95(const Measurement& m) {
+  return compi::TablePrinter::num(m.p50_ms, 1) + "/" +
+         compi::TablePrinter::num(m.p95_ms, 1);
 }
 
 }  // namespace
@@ -86,7 +105,8 @@ int main(int argc, char** argv) {
   }
 
   compi::TablePrinter table({"Program", "N", "1-way (s)", "2-way (s)",
-                             "Saving", "1-way log", "2-way log"});
+                             "Saving", "1-way p50/p95 (ms)",
+                             "2-way p50/p95 (ms)", "1-way log", "2-way log"});
   for (const Config& config : configs) {
     const Measurement one = measure(config, true, iterations, args.seed);
     const Measurement two = measure(config, false, iterations, args.seed);
@@ -95,7 +115,8 @@ int main(int argc, char** argv) {
     table.add_row({config.program, config.n_label,
                    compi::TablePrinter::num(one.seconds, 2),
                    compi::TablePrinter::num(two.seconds, 2),
-                   compi::TablePrinter::pct(saving),
+                   compi::TablePrinter::pct(saving), p50_p95(one),
+                   p50_p95(two),
                    compi::TablePrinter::bytes(one.avg_nonfocus_log_bytes),
                    compi::TablePrinter::bytes(two.avg_nonfocus_log_bytes)});
   }

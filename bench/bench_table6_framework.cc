@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "compi/driver.h"
 #include "compi/random_tester.h"
+#include "obs/metrics.h"
 #include "targets/targets.h"
 
 namespace {
@@ -18,18 +19,32 @@ using namespace compi;
 
 struct Stats {
   double avg = 0.0, max = 0.0;
+  /// Per-iteration execution-time percentiles (ms), pooled over all reps —
+  /// the distribution behind the coverage numbers, not just the mean.
+  double exec_p50_ms = 0.0, exec_p95_ms = 0.0;
 };
 
 template <typename Runner>
 Stats reps_of(Runner&& runner, int reps) {
   Stats s;
+  std::vector<double> exec_ms;
   for (int r = 0; r < reps; ++r) {
     const CampaignResult result = runner(r);
     s.avg += result.coverage_rate;
     s.max = std::max(s.max, result.coverage_rate);
+    for (const IterationRecord& rec : result.iterations) {
+      exec_ms.push_back(rec.exec_seconds * 1e3);
+    }
   }
   s.avg /= reps;
+  s.exec_p50_ms = obs::percentile(exec_ms, 0.50);
+  s.exec_p95_ms = obs::percentile(exec_ms, 0.95);
   return s;
+}
+
+std::string p50_p95(const Stats& s) {
+  return TablePrinter::num(s.exec_p50_ms, 1) + "/" +
+         TablePrinter::num(s.exec_p95_ms, 1);
 }
 
 }  // namespace
@@ -57,7 +72,8 @@ int main(int argc, char** argv) {
   const int reps = 3;
 
   TablePrinter table({"Program", "Fwk avg", "Fwk max", "No_Fwk avg",
-                      "No_Fwk max", "Random avg", "Random max"});
+                      "No_Fwk max", "Random avg", "Random max",
+                      "Fwk exec p50/p95 (ms)", "No_Fwk exec p50/p95 (ms)"});
   for (const Row& row : rows) {
     auto opts_for = [&](int rep) {
       CampaignOptions opts;
@@ -83,7 +99,8 @@ int main(int argc, char** argv) {
                    TablePrinter::pct(fwk.max), TablePrinter::pct(no_fwk.avg),
                    TablePrinter::pct(no_fwk.max),
                    TablePrinter::pct(random.avg),
-                   TablePrinter::pct(random.max)});
+                   TablePrinter::pct(random.max), p50_p95(fwk),
+                   p50_p95(no_fwk)});
   }
   table.print(std::cout);
   return 0;

@@ -144,6 +144,14 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(1, 1'000'000'000);
       if (!v) return fail("--chaos-crash-at needs a call number >= 1");
       cfg.campaign.chaos.crash_at_call = *v;
+    } else if (flag == "--trace") {
+      cfg.campaign.trace = true;
+    } else if (flag == "--metrics") {
+      cfg.campaign.metrics = true;
+    } else if (flag == "--trace-buffer-kb") {
+      const auto v = want_int(1, 1'048'576);
+      if (!v) return fail("--trace-buffer-kb needs 1..1048576");
+      cfg.campaign.trace_buffer_kb = static_cast<int>(*v);
     } else if (flag == "--no-confirm-bugs") {
       cfg.campaign.confirm_bugs = false;
     } else if (flag == "--no-reduction") {
@@ -201,6 +209,10 @@ std::string usage() {
         "  --chaos-drop-rate=R  P(drop an outgoing message), 0..1\n"
         "  --chaos-crash-rank=N --chaos-crash-at=M\n"
         "                       crash rank N at its M-th MPI call\n"
+        "  --trace              record spans; export Chrome trace JSON\n"
+        "                       (<log-dir>/trace.json, one track per rank)\n"
+        "  --metrics            export Prometheus text (<log-dir>/metrics.prom)\n"
+        "  --trace-buffer-kb=N  trace ring size in KiB (default 256)\n"
         "  --no-confirm-bugs    skip the flaky-bug confirmation replay\n"
         "  --no-reduction | --no-framework | --one-way   ablations\n"
         "  --random             random-testing baseline\n"

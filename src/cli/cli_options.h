@@ -50,6 +50,9 @@ struct ParseResult {
 ///   --chaos-drop-rate=R  P(drop an outgoing message), 0..1
 ///   --chaos-crash-rank=N crash this rank ...
 ///   --chaos-crash-at=N   ... at its N-th MPI call (1-based)
+///   --trace              record spans, export Chrome trace JSON
+///   --metrics            export the metrics registry (Prometheus text)
+///   --trace-buffer-kb=N  trace ring capacity in KiB (default 256)
 ///   --no-confirm-bugs    skip the flaky-bug confirmation replay
 ///   --no-reduction       disable constraint-set reduction (§IV-C)
 ///   --no-framework       No_Fwk ablation (§VI-E)

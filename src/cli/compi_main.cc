@@ -39,6 +39,8 @@ void print_report(const TargetInfo& target, const CampaignResult& result,
             << TablePrinter::num(result.total_exec_seconds, 2) << "s exec, "
             << TablePrinter::num(result.total_solve_seconds, 2)
             << "s solve)\n";
+  std::cout << "\nPhase profile (per-iteration percentiles in us):\n";
+  print_phase_breakdown(std::cout, compute_phase_breakdown(result));
   if (result.bugs.empty()) {
     std::cout << "bugs              : none\n";
   } else {
@@ -98,5 +100,15 @@ int main(int argc, char** argv) {
       cfg.random_baseline ? RandomTester(target, cfg.campaign).run()
                           : Campaign(target, cfg.campaign).run();
   print_report(target, result, cfg.print_curve, cfg.print_functions);
+  if (!cfg.random_baseline) {
+    const std::string base =
+        cfg.campaign.log_dir.empty() ? "." : cfg.campaign.log_dir;
+    if (cfg.campaign.metrics) {
+      std::cout << "metrics           : " << base << "/metrics.prom\n";
+    }
+    if (cfg.campaign.trace) {
+      std::cout << "trace             : " << base << "/trace.json\n";
+    }
+  }
   return 0;
 }

@@ -183,8 +183,8 @@ void CampaignCheckpoint::write(std::ostream& os) const {
     os << "iter " << r.iteration << ' ' << r.nprocs << ' ' << r.focus << ' '
        << rt::to_string(r.outcome) << ' ' << r.constraint_set_size << ' '
        << r.covered_branches << ' ' << format_double(r.exec_seconds) << ' '
-       << format_double(r.solve_seconds) << ' ' << (r.restart ? 1 : 0)
-       << '\n';
+       << format_double(r.solve_seconds) << ' ' << (r.restart ? 1 : 0) << ' '
+       << r.solver_nodes << ' ' << r.retries << '\n';
   }
 
   os << "bugs " << bugs.size() << '\n';
@@ -297,6 +297,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
     r.solve_seconds = read_double(is);
     if (!(is >> flag)) return std::nullopt;
     r.restart = flag != 0;
+    if (!(is >> r.solver_nodes >> r.retries)) return std::nullopt;
     c.iterations.push_back(std::move(r));
   }
 

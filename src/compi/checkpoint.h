@@ -45,7 +45,9 @@ void write_path(std::ostream& os, const sym::Path& path);
 // ---- the campaign snapshot ----
 
 struct CampaignCheckpoint {
-  static constexpr int kVersion = 1;
+  // v2: iter lines carry solver_nodes and retries.  Older snapshots are
+  // rejected (the campaign falls back to a fresh start, by design).
+  static constexpr int kVersion = 2;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "compi/checkpoint.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/solver.h"
 
 namespace compi {
@@ -38,6 +42,53 @@ Campaign::Campaign(const TargetInfo& target, CampaignOptions options)
 
 CampaignResult Campaign::run() {
   using Clock = std::chrono::steady_clock;
+
+  // ---- observability setup ----
+  // The driver owns track 0 of the trace; MiniMPI rank threads claim
+  // tracks 1..nprocs inside launch().
+  obs::set_thread_track(0);
+  if (options_.trace) {
+    obs::tracer().configure(options_.trace_buffer_kb);
+    obs::tracer().set_enabled(true);
+  }
+  auto& reg = obs::registry();
+  obs::Counter& m_iterations =
+      reg.counter("compi_iterations_total", "Campaign iterations executed");
+  obs::Counter& m_restarts =
+      reg.counter("compi_restarts_total", "Restarts with fresh random inputs");
+  obs::Counter& m_retries = reg.counter(
+      "compi_transient_retries_total",
+      "Transient-failure retries (timeouts, solver budget exhaustion)");
+  obs::Counter& m_bugs =
+      reg.counter("compi_bugs_total", "Distinct bugs discovered");
+  obs::Gauge& m_covered =
+      reg.gauge("compi_covered_branches", "Cumulative covered branches");
+  obs::Histogram& m_exec_us = reg.histogram(
+      "compi_exec_us", "Per-iteration target execution time (us)");
+  obs::Histogram& m_solve_us = reg.histogram(
+      "compi_solve_us", "Per-iteration constraint solving time (us)");
+  obs::Histogram& m_solver_nodes = reg.histogram(
+      "compi_solver_nodes", "Per-iteration solver search nodes expanded");
+
+  // Dumps metrics.prom / trace.json next to the session (or into the
+  // working directory when no log dir is configured).  Called at every
+  // checkpoint and at campaign end, so a killed campaign still leaves
+  // observability artifacts behind.
+  const auto export_obs = [&] {
+    namespace fs = std::filesystem;
+    const fs::path base =
+        options_.log_dir.empty() ? fs::path(".") : fs::path(options_.log_dir);
+    if (options_.metrics) {
+      std::ofstream out(base / "metrics.prom");
+      reg.write_prometheus(out);
+    }
+    if (options_.trace) {
+      std::ofstream out(base / "trace.json");
+      obs::tracer().write_chrome_json(out);
+    }
+  };
+
+  obs::ObsSpan campaign_span(obs::Cat::kDriver, "campaign");
   const auto campaign_start = Clock::now();
   const auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - campaign_start)
@@ -122,6 +173,10 @@ CampaignResult Campaign::run() {
     }
   }
 
+  // Open iterations.csv for incremental appends (header + any restored
+  // prefix) so a crash mid-campaign loses at most the in-flight row.
+  if (session) session->begin_iterations(result.iterations);
+
   const auto backoff = [&](int attempt) {
     if (options_.retry_backoff_ms <= 0) return;
     const int ms = std::min(options_.retry_backoff_ms << attempt, 1000);
@@ -130,6 +185,8 @@ CampaignResult Campaign::run() {
 
   const auto save_checkpoint = [&](int next_iteration) {
     if (!session) return;
+    obs::ObsSpan span(obs::Cat::kCheckpoint, "save_checkpoint", "iteration",
+                      next_iteration);
     ckpt::CampaignCheckpoint c;
     c.seed = options_.seed;
     c.next_iteration = next_iteration;
@@ -156,6 +213,7 @@ CampaignResult Campaign::run() {
     strategy->save_state(blob);
     c.strategy_state = blob.str();
     session->write_checkpoint(c);
+    export_obs();
   };
 
   int executed = 0;   // iterations run by THIS process (halt hook)
@@ -183,6 +241,8 @@ CampaignResult Campaign::run() {
         elapsed() >= options_.time_budget_seconds) {
       break;
     }
+    obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
+    int iter_retries = 0;  // transient retries absorbed by THIS iteration
 
     // ---- launch the planned test (§III-D) ----
     minimpi::LaunchSpec spec;
@@ -223,9 +283,13 @@ CampaignResult Campaign::run() {
         known_hangs.push_back(sig);
         break;
       }
+      obs::instant(obs::Cat::kChaosRetry, "timeout_retry", "attempt", attempt);
+      m_retries.inc();
       backoff(attempt);
       ++result.transient_retries;
+      ++iter_retries;
     }
+    m_iterations.inc();
     if (session) session->write_iteration(iter, run);
 
     // ---- record coverage (all recorders — or focus only for No_Fwk) ----
@@ -248,6 +312,9 @@ CampaignResult Campaign::run() {
     rec.covered_branches = coverage.covered_branches();
     rec.exec_seconds = run.wall_seconds;
     rec.restart = next_is_restart;
+    rec.retries = iter_retries;
+    m_exec_us.observe(static_cast<std::int64_t>(rec.exec_seconds * 1e6));
+    m_covered.set(static_cast<std::int64_t>(rec.covered_branches));
 
     // ---- log error-inducing inputs (§V) ----
     if (rt::is_fault(rec.outcome)) {
@@ -280,6 +347,7 @@ CampaignResult Campaign::run() {
               minimpi::launch(confirm, *target_.table);
           bug.flaky = rerun.job_outcome() != bug.outcome;
         }
+        m_bugs.inc();
         result.bugs.push_back(std::move(bug));
       } else {
         ++known->occurrences;
@@ -298,6 +366,7 @@ CampaignResult Campaign::run() {
     if (focus_dead && focus_log.path.empty() && plan.nprocs > 1 &&
         consecutive_replans < plan.nprocs - 1) {
       result.iterations.push_back(rec);
+      if (session) session->append_iteration(rec);
       plan.focus = (plan.focus + 1) % plan.nprocs;
       ++result.focus_replans;
       ++consecutive_replans;
@@ -333,6 +402,7 @@ CampaignResult Campaign::run() {
 
     // ---- pick and solve the next constraint set (§II-A) ----
     const auto solve_start = Clock::now();
+    obs::ObsSpan plan_span(obs::Cat::kStrategy, "plan_next_test");
     bool planned = false;
     while (auto cand = strategy->next()) {
       // Insert the MPI-semantics constraints before the negated constraint
@@ -347,18 +417,24 @@ CampaignResult Campaign::run() {
 
       solver::SolveResult solved = the_solver.solve_incremental(
           preds, framework.domains(), focus_log.inputs_used);
+      rec.solver_nodes += solved.nodes_searched;
       // Node-budget exhaustion is "unknown", not UNSAT: back off and retry
       // the same query with a doubled budget before treating it as failed.
       for (int attempt = 0;
            !solved.sat && solved.budget_exhausted &&
            attempt < options_.retry_max;
            ++attempt) {
+        obs::instant(obs::Cat::kChaosRetry, "solver_retry", "attempt",
+                     attempt);
+        m_retries.inc();
         backoff(attempt);
         ++result.transient_retries;
+        ++iter_retries;
         solver::Solver relaxed(
             {options_.solver_node_budget << (attempt + 1)});
         solved = relaxed.solve_incremental(preds, framework.domains(),
                                            focus_log.inputs_used);
+        rec.solver_nodes += solved.nodes_searched;
       }
       if (solved.sat) {
         plan = framework.plan_next_test(solved, focus_log, plan);
@@ -372,11 +448,16 @@ CampaignResult Campaign::run() {
     }
     rec.solve_seconds =
         std::chrono::duration<double>(Clock::now() - solve_start).count();
+    rec.retries = iter_retries;
+    m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
+    m_solver_nodes.observe(rec.solver_nodes);
     result.iterations.push_back(rec);
+    if (session) session->append_iteration(rec);
 
     if (!planned) {
       // Strategy exhausted or solver stuck: restart with random inputs.
       ++result.restarts;
+      m_restarts.inc();
       plan.inputs.clear();
       plan.nprocs = options_.initial_nprocs;
       plan.focus = options_.initial_focus;
@@ -403,7 +484,8 @@ CampaignResult Campaign::run() {
     result.total_solve_seconds += r.solve_seconds;
   }
   // A simulated kill stops before the summary files exist, exactly like a
-  // real SIGKILL would; only the checkpoint survives.
+  // real SIGKILL would; only the checkpoint survives (end_of_iteration
+  // already exported the observability artifacts with it).
   if (halted) return result;
   if (session) {
     session->write_summary(result);
@@ -411,6 +493,8 @@ CampaignResult Campaign::run() {
       save_checkpoint(options_.iterations);
     }
   }
+  campaign_span.finish();  // close before the dump so the span is in it
+  export_obs();
   return result;
 }
 

@@ -36,6 +36,12 @@ struct IterationRecord {
   double exec_seconds = 0.0;
   double solve_seconds = 0.0;
   bool restart = false;  // this run used fresh random inputs
+  /// Backtracking-search nodes expanded by this iteration's solver queries
+  /// (summed over candidates and budget retries).
+  std::int64_t solver_nodes = 0;
+  /// Transient-failure retries absorbed this iteration (timeout re-runs and
+  /// relaxed-budget solver re-queries).
+  int retries = 0;
 };
 
 /// One discovered bug: the failure plus its error-inducing test setup.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace compi {
 
 using rt::VarKind;
@@ -60,6 +62,8 @@ solver::DomainMap Framework::domains() const {
 TestPlan Framework::plan_next_test(const solver::SolveResult& solved,
                                    const rt::TestLog& latest_log,
                                    const TestPlan& previous) const {
+  obs::ObsSpan span(obs::Cat::kStrategy, "framework_plan", "changed",
+                    static_cast<std::int64_t>(solved.changed.size()));
   TestPlan plan;
   plan.inputs = solved.values;
   plan.nprocs = previous.nprocs;

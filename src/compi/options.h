@@ -94,6 +94,19 @@ struct CampaignOptions {
   /// directory: per-iteration rank logs (the files the instrumented
   /// processes write in the paper's tool), iterations.csv, and bugs.txt.
   std::string log_dir;
+
+  // ---- observability ----
+  /// Record scoped spans/instants into the trace ring and export them as
+  /// Chrome trace_event JSON (<log_dir>/trace.json, loadable in
+  /// chrome://tracing or Perfetto) at every checkpoint and at campaign end.
+  /// Off-path cost when disabled: one relaxed atomic load per span site.
+  bool trace = false;
+  /// Export the metrics registry in Prometheus text exposition format
+  /// (<log_dir>/metrics.prom) at every checkpoint and at campaign end.
+  bool metrics = false;
+  /// Trace ring-buffer capacity in KiB (lossy flight recorder: oldest
+  /// events are overwritten once full).
+  int trace_buffer_kb = 256;
 };
 
 }  // namespace compi

@@ -1,10 +1,68 @@
 #include "compi/report.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "compi/driver.h"
+#include "obs/metrics.h"
+
 namespace compi {
+
+PhaseBreakdown compute_phase_breakdown(const CampaignResult& result) {
+  PhaseBreakdown b;
+  b.total_seconds = result.total_seconds;
+
+  std::vector<double> exec_us;
+  std::vector<double> solve_us;
+  exec_us.reserve(result.iterations.size());
+  solve_us.reserve(result.iterations.size());
+  for (const IterationRecord& r : result.iterations) {
+    exec_us.push_back(r.exec_seconds * 1e6);
+    solve_us.push_back(r.solve_seconds * 1e6);
+  }
+
+  const auto phase = [&](std::string name, double total,
+                         const std::vector<double>& samples) {
+    PhaseStats p;
+    p.name = std::move(name);
+    p.total_seconds = total;
+    p.share = b.total_seconds > 0.0 ? total / b.total_seconds : 0.0;
+    if (!samples.empty()) {
+      p.p50_us = obs::percentile(samples, 0.50);
+      p.p95_us = obs::percentile(samples, 0.95);
+      p.max_us = *std::max_element(samples.begin(), samples.end());
+    }
+    return p;
+  };
+
+  b.phases.push_back(
+      phase("execute", result.total_exec_seconds, exec_us));
+  b.phases.push_back(phase("solve", result.total_solve_seconds, solve_us));
+  // Everything the driver does between runs: planning, instrumentation
+  // replay, coverage merging, logging.  Clamped at zero — with sub-ms
+  // iterations the measured phases can overshoot the wall clock slightly.
+  const double overhead =
+      std::max(0.0, b.total_seconds - result.total_exec_seconds -
+                        result.total_solve_seconds);
+  b.phases.push_back(phase("overhead", overhead, {}));
+  return b;
+}
+
+void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b) {
+  TablePrinter table({"phase", "seconds", "share", "p50(us)", "p95(us)",
+                      "max(us)"});
+  const auto us = [](double v) {
+    return v < 0.0 ? std::string("-") : TablePrinter::num(v, 0);
+  };
+  for (const PhaseStats& p : b.phases) {
+    table.add_row({p.name, TablePrinter::num(p.total_seconds, 3),
+                   TablePrinter::pct(p.share), us(p.p50_us), us(p.p95_us),
+                   us(p.max_us)});
+  }
+  table.print(os);
+}
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}

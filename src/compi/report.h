@@ -1,4 +1,5 @@
-// Small fixed-width table / CSV helpers shared by the bench binaries.
+// Small fixed-width table / CSV helpers shared by the bench binaries, plus
+// the per-phase campaign profile (paper Table 4-style cost accounting).
 #pragma once
 
 #include <iosfwd>
@@ -6,6 +7,33 @@
 #include <vector>
 
 namespace compi {
+
+struct CampaignResult;
+
+/// Where one campaign phase's time went, with per-iteration latency
+/// percentiles (microseconds; < 0 when not applicable, e.g. the synthetic
+/// "overhead" phase has no per-iteration samples).
+struct PhaseStats {
+  std::string name;
+  double total_seconds = 0.0;
+  double share = 0.0;  // fraction of campaign wall time, [0, 1]
+  double p50_us = -1.0;
+  double p95_us = -1.0;
+  double max_us = -1.0;
+};
+
+/// Campaign wall time split into execute / solve / overhead (everything
+/// else: instrumentation replay, planning, logging).  Shares sum to ~1.
+struct PhaseBreakdown {
+  std::vector<PhaseStats> phases;
+  double total_seconds = 0.0;
+};
+
+[[nodiscard]] PhaseBreakdown compute_phase_breakdown(
+    const CampaignResult& result);
+
+/// Renders the breakdown as a TablePrinter table ("Phase profile").
+void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b);
 
 /// Minimal fixed-width table printer for paper-style rows.
 class TablePrinter {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "compi/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace compi {
 namespace {
@@ -17,6 +18,22 @@ namespace {
 bool expect_tag(std::istream& is, const char* tag) {
   std::string tok;
   return static_cast<bool>(is >> tok) && tok == tag;
+}
+
+// Global mirrors of the per-strategy stats (metrics.prom aggregates across
+// strategy swaps — the two-phase switch replaces the strategy object).
+void note_candidate_issued() {
+  static obs::Counter& c = obs::registry().counter(
+      "compi_strategy_candidates_total",
+      "Constraint-negation candidates issued by search strategies");
+  c.inc();
+}
+
+void note_prediction_failure() {
+  static obs::Counter& c = obs::registry().counter(
+      "compi_strategy_prediction_failures_total",
+      "Divergence prediction failures (path did not flip as predicted)");
+  c.inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -45,6 +62,7 @@ class BoundedDfsStrategy final : public SearchStrategy {
         !stack_.back().path.diverges_as_predicted(path, *flipped_depth)) {
       // Prediction failure (CREST logs and skips the subtree).
       ++stats_.prediction_failures;
+      note_prediction_failure();
       return;
     }
     push_frame(path, *flipped_depth + 1);
@@ -59,6 +77,7 @@ class BoundedDfsStrategy final : public SearchStrategy {
       }
       const std::size_t depth = static_cast<std::size_t>(f.idx--);
       ++stats_.candidates_issued;
+      note_candidate_issued();
       return Candidate{f.path.constraints_negating(depth), depth};
     }
     return std::nullopt;
@@ -127,6 +146,7 @@ class RandomBranchStrategy final : public SearchStrategy {
     std::uniform_int_distribution<std::size_t> dist(0, path_.size() - 1);
     const std::size_t depth = dist(rng_);
     ++stats_.candidates_issued;
+    note_candidate_issued();
     return Candidate{path_.constraints_negating(depth), depth};
   }
 
@@ -181,6 +201,7 @@ class UniformRandomStrategy final : public SearchStrategy {
       }
     }
     ++stats_.candidates_issued;
+    note_candidate_issued();
     return Candidate{path_.constraints_negating(depth), depth};
   }
 
@@ -257,6 +278,7 @@ class CfgStrategy final : public SearchStrategy {
     if (best_depth >= path_.size()) return std::nullopt;
     tried_[best_depth] = 1;
     ++stats_.candidates_issued;
+    note_candidate_issued();
     return Candidate{path_.constraints_negating(best_depth), best_depth};
   }
 
@@ -358,6 +380,7 @@ class GenerationalStrategy final : public SearchStrategy {
     Entry top = std::move(queue_.back());
     queue_.pop_back();
     ++stats_.candidates_issued;
+    note_candidate_issued();
     return Candidate{std::move(top.constraints), top.depth};
   }
 

@@ -106,16 +106,44 @@ void SessionWriter::write_iteration(int iteration,
   }
 }
 
+namespace {
+
+constexpr const char* kCsvHeader =
+    "iteration,nprocs,focus,outcome,constraint_set_size,"
+    "covered_branches,exec_seconds,solve_seconds,restart,"
+    "solver_nodes,retries\n";
+
+void write_csv_row(std::ostream& csv, const IterationRecord& r) {
+  csv << r.iteration << ',' << r.nprocs << ',' << r.focus << ','
+      << rt::to_string(r.outcome) << ',' << r.constraint_set_size << ','
+      << r.covered_branches << ',' << r.exec_seconds << ','
+      << r.solve_seconds << ',' << (r.restart ? 1 : 0) << ','
+      << r.solver_nodes << ',' << r.retries << '\n';
+}
+
+}  // namespace
+
+void SessionWriter::begin_iterations(
+    const std::vector<IterationRecord>& restored) {
+  csv_.open(dir_ / "iterations.csv", std::ios::trunc);
+  csv_ << kCsvHeader;
+  for (const IterationRecord& r : restored) write_csv_row(csv_, r);
+  csv_.flush();
+}
+
+void SessionWriter::append_iteration(const IterationRecord& rec) {
+  if (!csv_.is_open()) return;
+  write_csv_row(csv_, rec);
+  csv_.flush();
+}
+
 void SessionWriter::write_summary(const CampaignResult& result) {
+  if (csv_.is_open()) csv_.close();
   {
     std::ofstream csv(dir_ / "iterations.csv");
-    csv << "iteration,nprocs,focus,outcome,constraint_set_size,"
-           "covered_branches,exec_seconds,solve_seconds,restart\n";
+    csv << kCsvHeader;
     for (const IterationRecord& r : result.iterations) {
-      csv << r.iteration << ',' << r.nprocs << ',' << r.focus << ','
-          << rt::to_string(r.outcome) << ',' << r.constraint_set_size << ','
-          << r.covered_branches << ',' << r.exec_seconds << ','
-          << r.solve_seconds << ',' << (r.restart ? 1 : 0) << '\n';
+      write_csv_row(csv, r);
     }
   }
   {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -57,7 +58,18 @@ class SessionWriter {
   /// Writes every rank's log for one iteration.
   void write_iteration(int iteration, const minimpi::RunResult& run);
 
-  /// Writes iterations.csv, bugs.txt and summary.txt.
+  /// Opens iterations.csv for incremental appends: writes the header plus
+  /// any `restored` rows (a resumed session replays its checkpointed
+  /// prefix) and flushes.  A crash mid-campaign then loses at most the
+  /// current row, not the whole file.
+  void begin_iterations(const std::vector<IterationRecord>& restored);
+
+  /// Appends one row to iterations.csv and flushes it to disk.
+  void append_iteration(const IterationRecord& rec);
+
+  /// Writes iterations.csv, bugs.txt and summary.txt.  The CSV is fully
+  /// rewritten (callers that never used begin_iterations — e.g. the random
+  /// baseline tester — still get a complete file).
   void write_summary(const CampaignResult& result);
 
   /// Atomically replaces <dir>/checkpoint.txt (write-to-temp + rename, so a
@@ -69,6 +81,8 @@ class SessionWriter {
  private:
   std::filesystem::path dir_;
   int keep_rank_logs_;
+  /// Open while incremental appends are active (begin_iterations called).
+  std::ofstream csv_;
 };
 
 }  // namespace compi

@@ -1,5 +1,7 @@
 #include "minimpi/collective_slot.h"
 
+#include "obs/metrics.h"
+
 namespace compi::minimpi {
 
 void CollectiveSlot::wait(World& world, std::unique_lock<std::mutex>& lock,
@@ -18,6 +20,9 @@ void CollectiveSlot::wait(World& world, std::unique_lock<std::mutex>& lock,
 
 std::any CollectiveSlot::run(World& world, int local_rank,
                              std::any contribution, const Combine& combine) {
+  static obs::Counter& collectives = obs::registry().counter(
+      "compi_mpi_collectives_total", "Collective operations entered (per rank)");
+  collectives.inc();
   std::unique_lock lock(mu_);
   // Wait for the previous round to fully drain before joining a new one.
   wait(world, lock, [&] { return !draining_; });

@@ -5,7 +5,32 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace compi::minimpi {
+
+namespace detail {
+
+void note_send(int dest_local, std::size_t bytes) {
+  static obs::Counter& sends = obs::registry().counter(
+      "compi_mpi_sends_total", "Point-to-point messages sent");
+  static obs::Counter& send_bytes = obs::registry().counter(
+      "compi_mpi_send_bytes_total", "Point-to-point payload bytes sent");
+  sends.inc();
+  send_bytes.inc(static_cast<std::int64_t>(bytes));
+  obs::instant(obs::Cat::kMpi, "send", "dest", dest_local);
+}
+
+void note_recv_done(std::size_t bytes) {
+  static obs::Counter& recvs = obs::registry().counter(
+      "compi_mpi_recvs_total", "Point-to-point messages received");
+  static obs::Counter& recv_bytes = obs::registry().counter(
+      "compi_mpi_recv_bytes_total", "Point-to-point payload bytes received");
+  recvs.inc();
+  recv_bytes.inc(static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace detail
 
 sym::SymInt Comm::comm_rank(rt::RuntimeContext& ctx) const {
   if (shared_->is_world) return ctx.mark_world_rank(local_rank_);
@@ -18,12 +43,16 @@ sym::SymInt Comm::comm_size(rt::RuntimeContext& ctx) const {
 }
 
 void Comm::barrier() const {
-  run_collective({}, [](std::vector<std::any>&) { return std::any{}; });
+  run_collective("barrier", {},
+                 [](std::vector<std::any>&) { return std::any{}; });
 }
 
 std::vector<std::byte> Comm::run_collective(
-    std::vector<std::byte> contribution,
+    const char* what, std::vector<std::byte> contribution,
     const CollectiveSlot::Combine& combine) const {
+  // Enter-to-exit span: a rank stuck waiting for a straggler shows up as a
+  // long collective bar on its track, lined up against the others'.
+  obs::ObsSpan span(obs::Cat::kCollective, what, "rank", local_rank_);
   shared_->world->chaos_call(global_rank(), /*collective=*/true);
   std::any result = shared_->slot->run(*shared_->world, local_rank_,
                                        std::move(contribution), combine);
@@ -44,6 +73,7 @@ using SplitResult = std::vector<std::shared_ptr<CommShared>>;
 }  // namespace
 
 Comm Comm::split(rt::RuntimeContext& ctx, int color, int key) const {
+  obs::ObsSpan span(obs::Cat::kCollective, "split", "color", color);
   World& world = *shared_->world;
   world.chaos_call(global_rank(), /*collective=*/true);
   std::any result = shared_->slot->run(

@@ -18,9 +18,18 @@
 #include "minimpi/request.h"
 #include "minimpi/types.h"
 #include "minimpi/world.h"
+#include "obs/trace.h"
 #include "runtime/context.h"
 
 namespace compi::minimpi {
+
+namespace detail {
+/// Observability taps for the templated p2p entry points: bump the global
+/// message counters (always; one relaxed atomic) and, when tracing is on,
+/// drop an instant/span event on the calling rank's track.
+void note_send(int dest_local, std::size_t bytes);
+void note_recv_done(std::size_t bytes);
+}  // namespace detail
 
 /// Receive status (MPI_Status subset).
 struct Status {
@@ -75,6 +84,7 @@ class Comm {
   void send(std::span<const T> data, int dest, int tag) const {
     shared_->world->check_alive();
     shared_->world->chaos_call(global_rank(), /*collective=*/false);
+    detail::note_send(dest, data.size_bytes());
     Message msg{local_rank_, shared_->uid, tag, to_bytes(data)};
     shared_->world->post(global_rank(), shared_->members[dest],
                          std::move(msg));
@@ -82,9 +92,13 @@ class Comm {
 
   template <typename T>
   Status recv(std::span<T> out, int src, int tag) const {
+    // A span, not an instant: a recv can block (and a blocked recv next to
+    // a chaos_drop on the sender's track is the story the trace tells).
+    obs::ObsSpan span(obs::Cat::kMpi, "recv", "src", src);
     shared_->world->chaos_call(global_rank(), /*collective=*/false);
     Message msg = shared_->world->mailbox(global_rank())
                       .pop_matching(*shared_->world, src, shared_->uid, tag);
+    detail::note_recv_done(msg.payload.size());
     from_bytes<T>(msg.payload, out);
     return {msg.src, msg.tag, msg.payload.size()};
   }
@@ -119,6 +133,7 @@ class Comm {
   template <typename T>
   void bcast(std::span<T> data, int root) const {
     auto result = run_collective(
+        "bcast",
         local_rank_ == root ? to_bytes(std::span<const T>(data))
                             : std::vector<std::byte>{},
         [root](std::vector<std::any>& contribs) {
@@ -130,7 +145,8 @@ class Comm {
   template <typename T>
   void allreduce(std::span<const T> in, std::span<T> out, Op op) const {
     auto result = run_collective(
-        to_bytes(in), [op, n = in.size()](std::vector<std::any>& contribs) {
+        "allreduce", to_bytes(in),
+        [op, n = in.size()](std::vector<std::any>& contribs) {
           std::vector<T> acc(n);
           from_bytes<T>(std::any_cast<std::vector<std::byte>&>(contribs[0]),
                         std::span<T>(acc));
@@ -161,7 +177,7 @@ class Comm {
   template <typename T>
   void allgather(std::span<const T> in, std::span<T> out) const {
     auto result = run_collective(
-        to_bytes(in), [](std::vector<std::any>& contribs) {
+        "allgather", to_bytes(in), [](std::vector<std::any>& contribs) {
           std::vector<std::byte> acc;
           for (std::any& c : contribs) {
             auto& bytes = std::any_cast<std::vector<std::byte>&>(c);
@@ -188,7 +204,7 @@ class Comm {
   void scatter(std::span<const T> in, std::span<T> out, int root) const {
     const std::size_t chunk = out.size();
     auto result = run_collective(
-        local_rank_ == root ? to_bytes(in) : std::vector<std::byte>{},
+        "scatter", local_rank_ == root ? to_bytes(in) : std::vector<std::byte>{},
         [root](std::vector<std::any>& contribs) {
           return std::any_cast<std::vector<std::byte>&>(contribs[root]);
         });
@@ -203,7 +219,7 @@ class Comm {
   void alltoall(std::span<const T> in, std::span<T> out) const {
     const std::size_t chunk = in.size() / raw_size();
     auto result = run_collective(
-        to_bytes(in),
+        "alltoall", to_bytes(in),
         [chunk, me = local_rank_](std::vector<std::any>& contribs) {
           // Column `me` of the contribution matrix... computed per rank, so
           // the combine assembles the full matrix and each rank slices it.
@@ -273,7 +289,10 @@ class Comm {
     return a;
   }
 
-  std::vector<std::byte> run_collective(std::vector<std::byte> contribution,
+  /// `what` is the MPI collective's name, recorded as the enter-exit trace
+  /// span on this rank's track (must be a string literal).
+  std::vector<std::byte> run_collective(const char* what,
+                                        std::vector<std::byte> contribution,
                                         const CollectiveSlot::Combine&) const;
 
   std::shared_ptr<CommShared> shared_;

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "minimpi/world.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace compi::minimpi {
 
@@ -57,6 +59,12 @@ void ChaosEngine::on_mpi_call(World& world, int global_rank, bool collective) {
   const std::int64_t call =
       calls_[rank].fetch_add(1, std::memory_order_relaxed) + 1;
   if (global_rank == plan_.crash_rank && call == plan_.crash_at_call) {
+    static obs::Counter& crashes = obs::registry().counter(
+        "compi_chaos_crashes_total", "Crash faults injected by chaos plans");
+    crashes.inc();
+    // Lands on the victim rank's track: this is the event the trace-level
+    // fault-injection integration test looks for.
+    obs::instant(obs::Cat::kChaos, "chaos_crash", "call", call);
     throw InjectedFault(
         plan_.crash_outcome,
         "injected " + std::string(rt::to_string(plan_.crash_outcome)) +
@@ -67,6 +75,10 @@ void ChaosEngine::on_mpi_call(World& world, int global_rank, bool collective) {
     const std::int64_t coll =
         collectives_[rank].fetch_add(1, std::memory_order_relaxed) + 1;
     if (coll == plan_.stall_at_collective) {
+      static obs::Counter& stalls = obs::registry().counter(
+          "compi_chaos_stalls_total", "Stall faults injected by chaos plans");
+      stalls.inc();
+      obs::instant(obs::Cat::kChaos, "chaos_stall", "collective", coll);
       // Never arrive: hold the rank here until the deadline watchdog (or a
       // peer's fault) unwinds the job.  check_alive raises JobAborted.
       for (;;) {

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace compi::minimpi {
 
 rt::Outcome RunResult::job_outcome() const {
@@ -27,6 +29,8 @@ rt::CoverageBitmap RunResult::merged_coverage() const {
 }
 
 RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
+  obs::ObsSpan launch_span(obs::Cat::kLaunch, "launch", "nprocs",
+                           spec.nprocs);
   const auto t0 = std::chrono::steady_clock::now();
   World world(spec.nprocs, spec.timeout, spec.chaos);
   auto world_shared = make_world_shared(world);
@@ -37,6 +41,9 @@ RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
 
   const solver::Assignment empty_inputs;
   auto rank_body = [&](int rank) {
+    // Track 0 is the driver; rank r gets track r + 1 in the trace.
+    obs::ScopedTrack track(rank + 1);
+    obs::ObsSpan rank_span(obs::Cat::kExecute, "rank_body", "rank", rank);
     const bool heavy = spec.one_way || rank == spec.focus;
     rt::ContextParams params;
     params.mode = heavy ? rt::Mode::kHeavy : rt::Mode::kLight;

@@ -2,7 +2,23 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace compi::minimpi {
+
+namespace {
+obs::Counter& drops_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "compi_chaos_drops_total", "Messages dropped by chaos injection");
+  return c;
+}
+obs::Counter& delays_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "compi_chaos_delays_total", "Messages delayed by chaos injection");
+  return c;
+}
+}  // namespace
 
 World::World(int size, std::chrono::steady_clock::duration deadline,
              const FaultPlan& chaos)
@@ -16,9 +32,16 @@ World::World(int size, std::chrono::steady_clock::duration deadline,
 
 void World::post(int src_global, int dest_global, Message msg) {
   if (chaos_) {
-    if (chaos_->should_drop(src_global)) return;
+    if (chaos_->should_drop(src_global)) {
+      drops_counter().inc();
+      obs::instant(obs::Cat::kChaos, "chaos_drop", "dest", dest_global);
+      return;
+    }
     const auto delay = chaos_->next_delay(src_global);
     if (delay.count() > 0) {
+      delays_counter().inc();
+      obs::ObsSpan span(obs::Cat::kChaos, "chaos_delay", "ms",
+                        delay.count());
       // Bounded by the job deadline so a delayed sender can never outlive
       // the watchdog.
       const auto wake = std::min(std::chrono::steady_clock::now() + delay,

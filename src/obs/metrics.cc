@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace compi::obs {
+
+int Histogram::bucket_of(std::int64_t v) {
+  if (v <= 1) return 0;
+  if (v > bound(kBuckets - 1)) return kBuckets;  // +Inf
+  // First i with 2^i >= v, i.e. bit width of v-1.
+  return std::bit_width(static_cast<std::uint64_t>(v - 1));
+}
+
+void Histogram::observe(std::int64_t v) {
+  counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double p) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    const std::int64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Interpolate within [lo, hi); the +Inf bucket has no upper bound, so
+      // fall back to the exact observed maximum there (also the global cap:
+      // a one-element bucket must not report above what was ever seen).
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bound(i - 1));
+      const double hi = i == kBuckets ? static_cast<double>(max_observed())
+                                      : static_cast<double>(bound(i));
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return std::min(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0),
+                      static_cast<double>(max_observed()));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_observed());
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const std::string& help, Kind kind) {
+  std::scoped_lock lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      assert(e->kind == kind && "metric re-registered as a different kind");
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e->histogram = std::make_unique<Histogram>(); break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  return *find_or_create(name, help, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  return *find_or_create(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help) {
+  return *find_or_create(name, help, Kind::kHistogram).histogram;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& e : entries_) {
+    os << "# HELP " << e->name << ' ' << e->help << '\n';
+    switch (e->kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << e->name << " counter\n"
+           << e->name << ' ' << e->counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << e->name << " gauge\n"
+           << e->name << ' ' << e->gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << e->name << " histogram\n";
+        std::int64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          cumulative += e->histogram->bucket_count(i);
+          os << e->name << "_bucket{le=\"" << Histogram::bound(i) << "\"} "
+             << cumulative << '\n';
+        }
+        os << e->name << "_bucket{le=\"+Inf\"} " << e->histogram->count()
+           << '\n'
+           << e->name << "_sum " << e->histogram->sum() << '\n'
+           << e->name << "_count " << e->histogram->count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry* g = new Registry();  // leaked: handles outlive everything
+  return *g;
+}
+
+}  // namespace compi::obs

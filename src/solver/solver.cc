@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/trace.h"
+
 namespace compi::solver {
 namespace {
 
@@ -92,7 +94,8 @@ bool search(SearchState& st, DomainMap domains, const std::vector<Var>& vars,
 std::optional<Assignment> Solver::solve(std::span<const Predicate> preds,
                                         const DomainMap& domains,
                                         const Assignment& prefer,
-                                        bool* budget_exhausted) const {
+                                        bool* budget_exhausted,
+                                        std::int64_t* nodes_searched) const {
   std::vector<Var> vars;
   for (const Predicate& p : preds) p.expr.collect_vars(vars);
   for (const auto& [v, dom] : domains) {
@@ -104,6 +107,11 @@ std::optional<Assignment> Solver::solve(std::span<const Predicate> preds,
   SearchState st{preds, &opts_, &prefer, opts_.max_search_nodes};
   DomainMap solution;
   const bool found = search(st, std::move(working), vars, solution);
+  if (nodes_searched != nullptr) {
+    // nodes_left goes one past zero when the budget trips mid-expansion.
+    *nodes_searched =
+        opts_.max_search_nodes - std::max<std::int64_t>(st.nodes_left, 0);
+  }
   if (budget_exhausted != nullptr) *budget_exhausted = !found && st.exhausted;
   if (!found) return std::nullopt;
 
@@ -153,6 +161,8 @@ std::vector<std::size_t> Solver::dependency_slice(
 SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
                                       const DomainMap& domains,
                                       const Assignment& previous) const {
+  obs::ObsSpan span(obs::Cat::kSolver, "solve_incremental", "constraints",
+                    static_cast<std::int64_t>(preds.size()));
   SolveResult result;
   if (preds.empty()) {
     result.sat = true;
@@ -175,7 +185,9 @@ SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
   for (Var v : slice_vars) sub_domains[v] = domain_of(domains, v);
 
   const std::optional<Assignment> solved =
-      solve(sub, sub_domains, previous, &result.budget_exhausted);
+      solve(sub, sub_domains, previous, &result.budget_exhausted,
+            &result.nodes_searched);
+  span.set_arg("nodes", result.nodes_searched);
   if (!solved) return result;  // UNSAT / budget exhausted
 
   result.sat = true;

@@ -41,6 +41,9 @@ struct SolveResult {
   /// *unknown* and may succeed with a larger budget (transient failure —
   /// the driver retries these with a relaxed budget before giving up).
   bool budget_exhausted = false;
+  /// Backtracking-search nodes expanded by this query (per-iteration solver
+  /// cost accounting: iterations.csv's solver_nodes column).
+  std::int64_t nodes_searched = 0;
 };
 
 class Solver {
@@ -55,7 +58,8 @@ class Solver {
   [[nodiscard]] std::optional<Assignment> solve(
       std::span<const Predicate> preds, const DomainMap& domains,
       const Assignment& prefer = {},
-      bool* budget_exhausted = nullptr) const;
+      bool* budget_exhausted = nullptr,
+      std::int64_t* nodes_searched = nullptr) const;
 
   /// CREST-style incremental solve.  `preds` is the updated constraint set
   /// whose *last* element is the freshly negated constraint; `previous` is

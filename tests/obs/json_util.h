@@ -1,0 +1,212 @@
+// Minimal recursive-descent JSON parser for the obs tests: just enough to
+// parse an exported Chrome trace back and assert on its structure.  Not a
+// general-purpose parser — throws std::runtime_error on malformed input,
+// which is exactly what a validity test wants.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace compi::testing::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return object.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  char get() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (get() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    }
+  }
+
+  void literal(std::string_view word) {
+    for (char c : word) expect(c);
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': {
+        literal("true");
+        Value v;
+        v.type = Value::Type::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        Value v;
+        v.type = Value::Type::kBool;
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  Value object() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      const char c = get();
+      if (c == '}') return v;
+      if (c != ',') throw std::runtime_error("expected ',' or '}'");
+    }
+  }
+
+  Value array() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      const char c = get();
+      if (c == ']') return v;
+      if (c != ',') throw std::runtime_error("expected ',' or ']'");
+    }
+  }
+
+  Value string_value() {
+    Value v;
+    v.type = Value::Type::kString;
+    v.string = raw_string();
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = get();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = get();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = get();
+            code *= 16;
+            if (h >= '0' && h <= '9') code += h - '0';
+            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+            else throw std::runtime_error("bad \\u escape");
+          }
+          // The exporter only emits \u00XX control escapes: one byte.
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  Value number() {
+    Value v;
+    v.type = Value::Type::kNumber;
+    const std::size_t start = pos_;
+    if (peek() == '-') get();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    if (tok.empty()) throw std::runtime_error("bad number");
+    v.number = std::stod(tok);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace compi::testing::json

@@ -1,0 +1,141 @@
+// Metrics registry: histogram bucketing, percentile estimation, and the
+// Prometheus exposition dump.  Dump-format tests use a local Registry so
+// they see exactly the metrics they registered, not whatever the rest of
+// the process has bumped into the global one.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace compi::obs {
+namespace {
+
+TEST(HistogramBucketing, BucketOfEdgeCases) {
+  // Bucket i has inclusive upper bound 2^i; bucket 0 catches everything
+  // <= 1 including zero and negatives.
+  EXPECT_EQ(Histogram::bucket_of(-5), 0);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 0);
+  EXPECT_EQ(Histogram::bucket_of(2), 1);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 2);
+  EXPECT_EQ(Histogram::bucket_of(5), 3);
+  EXPECT_EQ(Histogram::bucket_of(Histogram::bound(Histogram::kBuckets - 1)),
+            Histogram::kBuckets - 1);
+  // Anything past the last finite bound lands in +Inf.
+  EXPECT_EQ(Histogram::bucket_of(Histogram::bound(Histogram::kBuckets - 1) + 1),
+            Histogram::kBuckets);
+}
+
+TEST(HistogramBucketing, BoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bound(0), 1);
+  EXPECT_EQ(Histogram::bound(1), 2);
+  EXPECT_EQ(Histogram::bound(10), 1024);
+}
+
+TEST(HistogramBucketing, ObserveAccumulates) {
+  Histogram h;
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+  h.observe(100);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 107);
+  EXPECT_EQ(h.max_observed(), 100);
+  EXPECT_EQ(h.bucket_count(0), 1);         // the 1
+  EXPECT_EQ(h.bucket_count(2), 2);         // the two 3s (le=4)
+  EXPECT_EQ(h.bucket_count(7), 1);         // 100 -> le=128
+}
+
+TEST(HistogramPercentile, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramPercentile, CappedByObservedMax) {
+  // A single sample of 100 lands in bucket (64, 128].  Interpolation keeps
+  // any estimate inside the bucket, and the cap keeps p100 at the exact
+  // observed maximum rather than the bucket's upper bound.
+  Histogram h;
+  h.observe(100);
+  EXPECT_GT(h.percentile(0.5), 64.0);
+  EXPECT_LE(h.percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(HistogramPercentile, OrderedAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(10);      // bucket le=16
+  for (int i = 0; i < 10; ++i) h.observe(10'000);  // bucket le=16384
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  EXPECT_LE(p50, 16.0);
+  EXPECT_GT(p95, 16.0);
+  EXPECT_LE(p95, 10'000.0);
+  EXPECT_LE(p50, p95);
+}
+
+TEST(ExactPercentile, InterpolatesRawSamples) {
+  const std::vector<double> samples = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 5.0);
+  // p25 of {1..5} sits halfway between 2 and... exactly on 2: pos = 1.0.
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(RegistryTest, ReRegisterReturnsSameHandle) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", "help");
+  Counter& b = reg.counter("x_total", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(RegistryTest, PrometheusDumpFormat) {
+  Registry reg;
+  reg.counter("compi_test_total", "a counter").inc(7);
+  reg.gauge("compi_test_depth", "a gauge").set(-2);
+  Histogram& h = reg.histogram("compi_test_us", "a histogram");
+  h.observe(1);
+  h.observe(3);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string out = os.str();
+
+  EXPECT_NE(out.find("# HELP compi_test_total a counter\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE compi_test_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_total 7\n"), std::string::npos);
+
+  EXPECT_NE(out.find("# TYPE compi_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_depth -2\n"), std::string::npos);
+
+  EXPECT_NE(out.find("# TYPE compi_test_us histogram\n"), std::string::npos);
+  // Buckets are cumulative: le="1" holds the 1, le="2" still 1, le="4"
+  // picks up the 3.
+  EXPECT_NE(out.find("compi_test_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_us_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_us_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("compi_test_us_sum 4\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_test_us_count 2\n"), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalRegistryIsStable) {
+  Counter& c = registry().counter("compi_metrics_test_probe_total", "probe");
+  const std::int64_t before = c.value();
+  c.inc();
+  EXPECT_EQ(registry().counter("compi_metrics_test_probe_total", "probe")
+                .value(),
+            before + 1);
+}
+
+}  // namespace
+}  // namespace compi::obs

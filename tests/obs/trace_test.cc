@@ -1,0 +1,174 @@
+// Tracer behavior: ring wraparound, span nesting, enable gating, track
+// ids, and parse-back validation of the Chrome trace_event JSON export.
+//
+// gtest_discover_tests runs each TEST in its own process, but these tests
+// still re-configure() the global tracer up front (clearing the ring) and
+// disable it on exit, so they hold up under any runner.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "tests/obs/json_util.h"
+
+namespace compi::obs {
+namespace {
+
+namespace json = compi::testing::json;
+
+std::string dump() {
+  std::ostringstream os;
+  tracer().write_chrome_json(os);
+  return os.str();
+}
+
+TEST(TraceExport, EmptyTraceIsValidJson) {
+  // Holds in both build modes: with COMPI_OBS_DISABLED the exporter must
+  // still write a loadable (empty) trace.
+  const json::Value root = json::parse(dump());
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  EXPECT_TRUE(root.has("otherData"));
+}
+
+#ifndef COMPI_OBS_DISABLED
+
+struct TracerGuard {
+  TracerGuard(std::size_t kb) { tracer().configure(kb); tracer().set_enabled(true); }
+  ~TracerGuard() { tracer().set_enabled(false); }
+};
+
+TEST(TraceRing, WraparoundIsLossyNotFatal) {
+  TracerGuard guard(1);  // smallest ring: a handful of slots
+  const std::size_t cap = tracer().capacity();
+  ASSERT_GT(cap, 0u);
+  const std::size_t n = cap + 13;
+  for (std::size_t i = 0; i < n; ++i) {
+    instant(Cat::kMpi, "wrap_probe", "i", static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(tracer().size(), cap);
+  EXPECT_EQ(tracer().dropped(), n - cap);
+  // The export survives a wrapped ring and reports the loss.
+  const json::Value root = json::parse(dump());
+  EXPECT_EQ(root.at("otherData").at("dropped_events").number,
+            static_cast<double>(n - cap));
+}
+
+TEST(TraceSpans, NestedSpansRecordCompleteEvents) {
+  TracerGuard guard(64);
+  {
+    ObsSpan outer(Cat::kDriver, "outer_span");
+    {
+      ObsSpan inner(Cat::kSolver, "inner_span", "nodes", 42);
+    }
+  }
+  const json::Value root = json::parse(dump());
+  const json::Value* outer = nullptr;
+  const json::Value* inner = nullptr;
+  for (const json::Value& e : root.at("traceEvents").array) {
+    if (!e.has("name")) continue;
+    if (e.at("name").string == "outer_span") outer = &e;
+    if (e.at("name").string == "inner_span") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->at("ph").string, "X");
+  EXPECT_EQ(inner->at("ph").string, "X");
+  EXPECT_EQ(inner->at("cat").string, "solver");
+  EXPECT_EQ(inner->at("args").at("nodes").number, 42.0);
+  // The inner span starts no earlier and ends no later than the outer one.
+  const double o_ts = outer->at("ts").number, o_dur = outer->at("dur").number;
+  const double i_ts = inner->at("ts").number, i_dur = inner->at("dur").number;
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_ts + i_dur, o_ts + o_dur);
+}
+
+TEST(TraceSpans, FinishIsIdempotentEarlyEnd) {
+  TracerGuard guard(64);
+  ObsSpan span(Cat::kDriver, "finished_span");
+  span.finish();
+  span.finish();  // second call must not record again
+  std::size_t count = 0;
+  const json::Value root = json::parse(dump());
+  for (const json::Value& e : root.at("traceEvents").array) {
+    if (e.has("name") && e.at("name").string == "finished_span") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(TraceGating, DisabledRecordsNothing) {
+  tracer().configure(64);
+  tracer().set_enabled(false);
+  {
+    ObsSpan span(Cat::kDriver, "ghost_span");
+    instant(Cat::kMpi, "ghost_instant");
+  }
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+TEST(TraceTracks, ScopedTrackTagsEvents) {
+  TracerGuard guard(64);
+  {
+    ScopedTrack track(5);
+    instant(Cat::kChaos, "tracked_instant");
+  }
+  EXPECT_EQ(thread_track(), 0);  // restored on scope exit
+  const json::Value root = json::parse(dump());
+  bool found = false;
+  for (const json::Value& e : root.at("traceEvents").array) {
+    if (e.has("name") && e.at("name").string == "tracked_instant") {
+      found = true;
+      EXPECT_EQ(e.at("tid").number, 5.0);
+      EXPECT_EQ(e.at("ph").string, "i");
+      EXPECT_EQ(e.at("s").string, "t");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceExport, ParseBackStructure) {
+  TracerGuard guard(64);
+  instant(Cat::kMpi, "evt_a", "dest", 1);
+  {
+    ScopedTrack track(2);
+    ObsSpan span(Cat::kCollective, "evt_b", "rank", 1);
+  }
+  const json::Value root = json::parse(dump());
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+
+  bool saw_driver_name = false, saw_track2_name = false;
+  for (const json::Value& e : root.at("traceEvents").array) {
+    ASSERT_TRUE(e.is_object());
+    const std::string ph = e.at("ph").string;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "M") << "bad ph: " << ph;
+    if (ph != "M") {
+      // Every real event carries the common fields on pid 1.
+      EXPECT_TRUE(e.has("name"));
+      EXPECT_TRUE(e.has("cat"));
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("tid"));
+      EXPECT_EQ(e.at("pid").number, 1.0);
+      continue;
+    }
+    if (e.at("name").string == "thread_name") {
+      const std::string label = e.at("args").at("name").string;
+      if (e.at("tid").number == 0.0) {
+        saw_driver_name = true;
+        EXPECT_EQ(label, "driver");
+      }
+      if (e.at("tid").number == 2.0) {
+        saw_track2_name = true;
+        EXPECT_EQ(label, "rank 1");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_driver_name);
+  EXPECT_TRUE(saw_track2_name);
+}
+
+#endif  // COMPI_OBS_DISABLED
+
+}  // namespace
+}  // namespace compi::obs
