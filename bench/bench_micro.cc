@@ -8,6 +8,8 @@
 #include "minimpi/launcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sandbox/supervisor.h"
+#include "sandbox/wire.h"
 #include "solver/solver.h"
 #include "targets/targets.h"
 
@@ -208,6 +210,76 @@ void BM_ObsInstantEnabled(benchmark::State& state) {
   obs::tracer().set_enabled(false);
 }
 BENCHMARK(BM_ObsInstantEnabled);
+
+// ---- sandbox (--isolate) overhead ----
+// What one fork()ed, pipe-harvested test run costs over the same run
+// launched in-process: the EXPERIMENTS.md "sandbox overhead" row.
+
+const rt::BranchTable& sandbox_bench_table() {
+  static const rt::BranchTable table = [] {
+    rt::BranchTable t;
+    t.add_site("bench", "gate");
+    t.finalize();
+    return t;
+  }();
+  return table;
+}
+
+minimpi::LaunchSpec sandbox_bench_spec(rt::VarRegistry& registry,
+                                       const solver::Assignment& inputs) {
+  minimpi::LaunchSpec spec;
+  spec.nprocs = 2;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.inputs = &inputs;
+  spec.rng_seed = 42;
+  spec.timeout = std::chrono::milliseconds(5000);
+  spec.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    const sym::SymInt x = ctx.input_int("x");
+    benchmark::DoNotOptimize(ctx.branch(0, sym::SymInt(0) < x));
+    world.barrier();
+  };
+  return spec;
+}
+
+void BM_LaunchInProcess(benchmark::State& state) {
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimpi::launch(spec, sandbox_bench_table()));
+  }
+}
+BENCHMARK(BM_LaunchInProcess)->Unit(benchmark::kMillisecond);
+
+void BM_LaunchSandboxed(benchmark::State& state) {
+  if (!sandbox::sandbox_supported()) {
+    state.SkipWithError("no fork() on this platform");
+    return;
+  }
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sandbox::run_sandboxed(spec, sandbox_bench_table(), {}, nullptr));
+  }
+}
+BENCHMARK(BM_LaunchSandboxed)->Unit(benchmark::kMillisecond);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  // Serialization share of the sandbox overhead, without the fork.
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+  const minimpi::RunResult run = minimpi::launch(spec, sandbox_bench_table());
+  for (auto _ : state) {
+    minimpi::RunResult decoded;
+    benchmark::DoNotOptimize(
+        sandbox::decode_run_result(sandbox::encode_run_result(run), decoded));
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
 
 }  // namespace
 

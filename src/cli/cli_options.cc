@@ -118,6 +118,16 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(0, 100'000'000);
       if (!v) return fail("--checkpoint-interval needs an integer >= 0");
       cfg.campaign.checkpoint_interval = static_cast<int>(*v);
+    } else if (flag == "--isolate") {
+      cfg.campaign.isolate = true;
+    } else if (flag == "--hang-timeout-ms") {
+      const auto v = want_int(0, 86'400'000);
+      if (!v) return fail("--hang-timeout-ms needs 0..86400000");
+      cfg.campaign.hang_timeout_ms = static_cast<int>(*v);
+    } else if (flag == "--child-mem-mb") {
+      const auto v = want_int(0, 1'048'576);
+      if (!v) return fail("--child-mem-mb needs 0..1048576");
+      cfg.campaign.child_mem_mb = static_cast<int>(*v);
     } else if (flag == "--retry-max") {
       const auto v = want_int(0, 10);
       if (!v) return fail("--retry-max needs 0..10");
@@ -203,6 +213,11 @@ std::string usage() {
         "  --log-dir=PATH       write per-iteration logs + iterations.csv\n"
         "  --resume=PATH        continue the checkpointed session in PATH\n"
         "  --checkpoint-interval=N  snapshot every N iterations (0 = off)\n"
+        "  --isolate            run each test in a fork()ed child: real\n"
+        "                       crashes/hangs are contained and recorded\n"
+        "  --hang-timeout-ms=N  SIGKILL a sandboxed child after N ms of\n"
+        "                       wall clock (0 = 2x test timeout + 2 s)\n"
+        "  --child-mem-mb=N     RLIMIT_AS for the child in MiB (0 = inherit)\n"
         "  --retry-max=N        transient-failure retries (default 2)\n"
         "  --retry-backoff-ms=N initial retry backoff (doubles per attempt)\n"
         "  --chaos-seed=N       fault-injection seed\n"

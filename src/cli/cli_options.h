@@ -44,6 +44,10 @@ struct ParseResult {
 ///   --log-dir=PATH       write a file-based session
 ///   --resume=PATH        continue the checkpointed session in PATH
 ///   --checkpoint-interval=N  snapshot every N iterations (0 = off)
+///   --isolate            fork a sandbox child per test (contain real
+///                        crashes and uninstrumented hangs)
+///   --hang-timeout-ms=N  sandbox wall-clock kill timeout (0 = derive)
+///   --child-mem-mb=N     sandbox child RLIMIT_AS in MiB (0 = inherit)
 ///   --retry-max=N        transient-failure retries (default 2)
 ///   --retry-backoff-ms=N initial retry backoff in milliseconds
 ///   --chaos-seed=N       fault-injection seed

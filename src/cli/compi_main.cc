@@ -39,6 +39,7 @@ void print_report(const TargetInfo& target, const CampaignResult& result,
             << TablePrinter::num(result.total_exec_seconds, 2) << "s exec, "
             << TablePrinter::num(result.total_solve_seconds, 2)
             << "s solve)\n";
+  print_sandbox_summary(std::cout, result);
   std::cout << "\nPhase profile (per-iteration percentiles in us):\n";
   print_phase_breakdown(std::cout, compute_phase_breakdown(result));
   if (result.bugs.empty()) {

@@ -23,31 +23,29 @@
 #include "runtime/var_registry.h"
 #include "solver/predicate.h"
 #include "symbolic/path.h"
+#include "symbolic/serialize.h"
 
 namespace compi::ckpt {
 
 // ---- low-level serialization helpers (shared with session files) ----
-
-/// Escapes backslashes and line breaks so any string fits on one line.
-[[nodiscard]] std::string escape(std::string_view s);
-[[nodiscard]] std::string unescape(std::string_view s);
-
-/// Shortest string that parses back to exactly `v`.
-[[nodiscard]] std::string format_double(double v);
-
-/// One-line predicate / multi-line path round-trips (used both by the
-/// checkpoint file and by search-strategy state serialization).
-void write_predicate(std::ostream& os, const solver::Predicate& p);
-[[nodiscard]] bool read_predicate(std::istream& is, solver::Predicate& p);
-void write_path(std::ostream& os, const sym::Path& path);
-[[nodiscard]] bool read_path(std::istream& is, sym::Path& path);
+// The implementations live in symbolic/serialize.h so lower layers (the
+// sandbox wire format) can share the exact same dialect; these aliases
+// keep the historical ckpt:: spellings working.
+using serial::escape;
+using serial::format_double;
+using serial::read_path;
+using serial::read_predicate;
+using serial::unescape;
+using serial::write_path;
+using serial::write_predicate;
 
 // ---- the campaign snapshot ----
 
 struct CampaignCheckpoint {
-  // v2: iter lines carry solver_nodes and retries.  Older snapshots are
-  // rejected (the campaign falls back to a fresh start, by design).
-  static constexpr int kVersion = 2;
+  // v3: adds the sandbox accounting line.  (v2 added solver_nodes and
+  // retries to iter lines.)  Older snapshots are rejected and the campaign
+  // falls back to a fresh start, by design.
+  static constexpr int kVersion = 3;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -71,6 +69,12 @@ struct CampaignCheckpoint {
   std::size_t depth_bound_used = 0;
   std::size_t transient_retries = 0;
   std::size_t focus_replans = 0;
+  // Sandbox (--isolate) accounting, preserved so hang/crash totals survive
+  // a kill + resume.
+  std::size_t sandbox_runs = 0;
+  std::size_t sandbox_signal_kills = 0;
+  std::size_t sandbox_hang_kills = 0;
+  std::size_t sandbox_harvest_bytes = 0;
   std::vector<IterationRecord> iterations;
   std::vector<BugRecord> bugs;
   std::vector<sym::BranchId> covered;

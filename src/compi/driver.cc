@@ -12,6 +12,7 @@
 #include "minimpi/launcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sandbox/supervisor.h"
 #include "solver/solver.h"
 
 namespace compi {
@@ -69,6 +70,15 @@ CampaignResult Campaign::run() {
       "compi_solve_us", "Per-iteration constraint solving time (us)");
   obs::Histogram& m_solver_nodes = reg.histogram(
       "compi_solver_nodes", "Per-iteration solver search nodes expanded");
+  obs::Counter& m_sandbox_signal_kills = reg.counter(
+      "compi_sandbox_signal_kills_total",
+      "Sandboxed children killed by a real signal (SIGSEGV, SIGABRT, ...)");
+  obs::Counter& m_sandbox_hang_kills = reg.counter(
+      "compi_sandbox_hang_kills_total",
+      "Sandboxed children SIGKILLed by the hang watchdog");
+  obs::Counter& m_sandbox_harvest_bytes = reg.counter(
+      "compi_sandbox_harvest_bytes_total",
+      "Bytes salvaged from sandboxed children (pipe stream + coverage map)");
 
   // Dumps metrics.prom / trace.json next to the session (or into the
   // working directory when no log dir is configured).  Called at every
@@ -153,6 +163,10 @@ CampaignResult Campaign::run() {
         result.depth_bound_used = c->depth_bound_used;
         result.transient_retries = c->transient_retries;
         result.focus_replans = c->focus_replans;
+        result.sandbox_runs = c->sandbox_runs;
+        result.sandbox_signal_kills = c->sandbox_signal_kills;
+        result.sandbox_hang_kills = c->sandbox_hang_kills;
+        result.sandbox_harvest_bytes = c->sandbox_harvest_bytes;
         result.resumed = true;
         plan.inputs = std::move(c->plan_inputs);
         plan.nprocs = c->plan_nprocs;
@@ -183,6 +197,38 @@ CampaignResult Campaign::run() {
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   };
 
+  // Every test execution funnels through here: in-process by default, or a
+  // fork()ed sandbox child under --isolate, so a target that really
+  // segfaults or wedges is contained, mapped onto the Outcome taxonomy,
+  // and the campaign keeps going with whatever coverage was harvested.
+  sandbox::SandboxOptions sandbox_options;
+  sandbox_options.hang_timeout =
+      std::chrono::milliseconds(options_.hang_timeout_ms);
+  sandbox_options.child_mem_mb = options_.child_mem_mb;
+  const auto execute = [&](const minimpi::LaunchSpec& s) {
+    if (!options_.isolate) return minimpi::launch(s, *target_.table);
+    sandbox::SandboxStats st;
+    minimpi::RunResult r =
+        sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+    if (!st.forked) return r;
+    ++result.sandbox_runs;
+    result.sandbox_harvest_bytes += st.harvest_bytes;
+    m_sandbox_harvest_bytes.inc(
+        static_cast<std::int64_t>(st.harvest_bytes));
+    if (st.signal_kill) {
+      ++result.sandbox_signal_kills;
+      m_sandbox_signal_kills.inc();
+      obs::instant(obs::Cat::kSandbox, "signal_kill", "signal",
+                   st.term_signal);
+    }
+    if (st.hang_kill) {
+      ++result.sandbox_hang_kills;
+      m_sandbox_hang_kills.inc();
+      obs::instant(obs::Cat::kSandbox, "hang_kill");
+    }
+    return r;
+  };
+
   const auto save_checkpoint = [&](int next_iteration) {
     if (!session) return;
     obs::ObsSpan span(obs::Cat::kCheckpoint, "save_checkpoint", "iteration",
@@ -203,6 +249,10 @@ CampaignResult Campaign::run() {
     c.depth_bound_used = result.depth_bound_used;
     c.transient_retries = result.transient_retries;
     c.focus_replans = result.focus_replans;
+    c.sandbox_runs = result.sandbox_runs;
+    c.sandbox_signal_kills = result.sandbox_signal_kills;
+    c.sandbox_hang_kills = result.sandbox_hang_kills;
+    c.sandbox_harvest_bytes = result.sandbox_harvest_bytes;
     c.iterations = result.iterations;
     c.bugs = result.bugs;
     c.covered = coverage.bitmap().covered_ids();
@@ -272,7 +322,7 @@ CampaignResult Campaign::run() {
       }
       spec.timeout = options_.test_timeout * (1 << attempt);
       spec.step_budget = options_.step_budget << attempt;
-      run = minimpi::launch(spec, *target_.table);
+      run = execute(spec);
       if (run.job_outcome() != rt::Outcome::kTimeout) break;
       const std::string sig = bug_signature(run.job_message());
       if (std::find(known_hangs.begin(), known_hangs.end(), sig) !=
@@ -330,6 +380,10 @@ CampaignResult Campaign::run() {
         bug.outcome = rec.outcome;
         bug.message = msg;
         bug.inputs = focus_log.inputs_used;
+        // A sandboxed child killed by a real signal dies before flushing
+        // its log, so the focus's inputs_used is empty: fall back to the
+        // planned assignment — those ARE the error-inducing inputs.
+        if (bug.inputs.empty()) bug.inputs = plan.inputs;
         for (const auto& [var, value] : bug.inputs) {
           bug.named_inputs[registry.meta(var).key] = value;
         }
@@ -343,8 +397,9 @@ CampaignResult Campaign::run() {
           confirm.inputs = &bug.inputs;
           confirm.timeout = options_.test_timeout;
           confirm.step_budget = options_.step_budget;
-          const minimpi::RunResult rerun =
-              minimpi::launch(confirm, *target_.table);
+          // Same funnel as the discovery run: replaying a real SIGSEGV
+          // in-process would kill the tester itself.
+          const minimpi::RunResult rerun = execute(confirm);
           bug.flaky = rerun.job_outcome() != bug.outcome;
         }
         m_bugs.inc();

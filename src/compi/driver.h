@@ -81,6 +81,13 @@ struct CampaignResult {
   /// Iterations salvaged by moving the focus to another rank after the
   /// planned focus died without recording a usable path.
   std::size_t focus_replans = 0;
+  /// Sandbox (--isolate) accounting: tests run in a forked child, children
+  /// killed by a real signal, children SIGKILLed by the hang watchdog, and
+  /// bytes salvaged from dead children (pipe stream + harvested coverage).
+  std::size_t sandbox_runs = 0;
+  std::size_t sandbox_signal_kills = 0;
+  std::size_t sandbox_hang_kills = 0;
+  std::size_t sandbox_harvest_bytes = 0;
   /// True when the campaign continued a checkpointed session.
   bool resumed = false;
   double total_seconds = 0.0;

@@ -89,6 +89,18 @@ struct CampaignOptions {
   /// (writing a final checkpoint but no summary), simulating a kill.
   /// 0 = run to the configured budget.
   int halt_after_iterations = 0;
+  /// Run every test in a fork()ed child (sandbox/supervisor.h): a target
+  /// that really segfaults or spins in an uninstrumented loop is contained
+  /// and recorded as a bug instead of taking the campaign down.  Falls back
+  /// to the in-process launcher on non-POSIX builds.
+  bool isolate = false;
+  /// Wall-clock hang timeout for the sandboxed child in milliseconds;
+  /// 0 derives 2x `test_timeout` + 2 s so the in-child cooperative watchdog
+  /// always reports simulated hangs first.
+  int hang_timeout_ms = 0;
+  /// RLIMIT_AS for the sandboxed child in MiB; 0 = inherit the parent's
+  /// limit.  Ignored in ASan builds (the shadow needs the address space).
+  int child_mem_mb = 0;
 
   /// When non-empty, the campaign writes a file-based session under this
   /// directory: per-iteration rank logs (the files the instrumented

@@ -64,6 +64,14 @@ void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b) {
   table.print(os);
 }
 
+void print_sandbox_summary(std::ostream& os, const CampaignResult& result) {
+  if (result.sandbox_runs == 0) return;
+  os << "sandbox           : " << result.sandbox_runs << " forked runs, "
+     << result.sandbox_signal_kills << " signal kills, "
+     << result.sandbox_hang_kills << " hang kills, "
+     << TablePrinter::bytes(result.sandbox_harvest_bytes) << " harvested\n";
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

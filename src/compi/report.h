@@ -35,6 +35,11 @@ struct PhaseBreakdown {
 /// Renders the breakdown as a TablePrinter table ("Phase profile").
 void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b);
 
+/// One-line sandbox (--isolate) accounting: forked runs, real-signal and
+/// hang kills, bytes salvaged from dead children.  Prints nothing when the
+/// campaign never forked a child.
+void print_sandbox_summary(std::ostream& os, const CampaignResult& result);
+
 /// Minimal fixed-width table printer for paper-style rows.
 class TablePrinter {
  public:

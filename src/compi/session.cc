@@ -81,9 +81,18 @@ std::map<std::string, std::string> read_summary(const fs::path& summary_file) {
 }
 
 std::optional<ckpt::CampaignCheckpoint> read_checkpoint(const fs::path& dir) {
-  std::ifstream in(dir / "checkpoint.txt");
-  if (!in) return std::nullopt;
-  return ckpt::CampaignCheckpoint::read(in);
+  const auto try_read =
+      [](const fs::path& file) -> std::optional<ckpt::CampaignCheckpoint> {
+    std::ifstream in(file);
+    if (!in) return std::nullopt;
+    return ckpt::CampaignCheckpoint::read(in);
+  };
+  if (auto c = try_read(dir / "checkpoint.txt")) return c;
+  // Torn or truncated snapshot (the writer died mid-file, or the disk
+  // filled): fall back to the previous complete snapshot kept as .bak, so
+  // the session resumes from the last good checkpoint instead of starting
+  // over.
+  return try_read(dir / "checkpoint.txt.bak");
 }
 
 SessionWriter::SessionWriter(fs::path dir, int keep_rank_logs)
@@ -172,6 +181,11 @@ void SessionWriter::write_summary(const CampaignResult& result) {
             << "restarts " << result.restarts << '\n'
             << "transient_retries " << result.transient_retries << '\n'
             << "focus_replans " << result.focus_replans << '\n'
+            << "sandbox_runs " << result.sandbox_runs << '\n'
+            << "sandbox_signal_kills " << result.sandbox_signal_kills << '\n'
+            << "sandbox_hang_kills " << result.sandbox_hang_kills << '\n'
+            << "sandbox_harvest_bytes " << result.sandbox_harvest_bytes
+            << '\n'
             << "resumed " << (result.resumed ? 1 : 0) << '\n'
             << "bugs " << result.bugs.size() << '\n'
             << "total_seconds " << result.total_seconds << '\n';
@@ -180,12 +194,18 @@ void SessionWriter::write_summary(const CampaignResult& result) {
 
 void SessionWriter::write_checkpoint(
     const ckpt::CampaignCheckpoint& checkpoint) {
+  const fs::path final_path = dir_ / "checkpoint.txt";
   const fs::path tmp = dir_ / "checkpoint.txt.tmp";
   {
     std::ofstream out(tmp);
     checkpoint.write(out);
   }
-  fs::rename(tmp, dir_ / "checkpoint.txt");
+  // Demote the previous complete snapshot to .bak before the new one lands:
+  // even if THIS write turns out torn (kill between the flush above and a
+  // durable rename), read_checkpoint still finds a complete snapshot.
+  std::error_code ec;
+  fs::rename(final_path, dir_ / "checkpoint.txt.bak", ec);  // first write: ok
+  fs::rename(tmp, final_path);
 }
 
 }  // namespace compi

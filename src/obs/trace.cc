@@ -19,6 +19,7 @@ const char* to_string(Cat cat) {
     case Cat::kMpi: return "mpi";
     case Cat::kCollective: return "collective";
     case Cat::kChaos: return "chaos";
+    case Cat::kSandbox: return "sandbox";
   }
   return "unknown";
 }

@@ -40,6 +40,7 @@ enum class Cat : std::uint8_t {
   kMpi,         // point-to-point message events
   kCollective,  // collective enter-exit
   kChaos,       // fault-plan injections (drop/delay/crash/stall)
+  kSandbox,     // process-isolation supervisor (fork / kill / harvest)
 };
 
 [[nodiscard]] const char* to_string(Cat cat);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "runtime/coverage_sink.h"
+
 namespace compi::rt {
 
 RuntimeContext::RuntimeContext(const ContextParams& params)
@@ -95,6 +97,7 @@ bool RuntimeContext::branch(SiteId site, const sym::SymBool& cond) {
   }
   const bool taken = cond.value();
   log_.covered.mark(sym::branch_id(site, taken));
+  coverage_sink_mark(sym::branch_id(site, taken));
   if (heavy()) {
     log_.branch_trace.push_back(sym::branch_id(site, taken));
   }

@@ -1,0 +1,56 @@
+// Process-global coverage sink: the crash-surviving half of coverage.
+//
+// The paper's tool reads per-process log files that survive the process —
+// a segfaulting target still leaves the coverage it reached on disk.  In
+// this reproduction coverage normally lives inside each rank's
+// RuntimeContext, which dies with the process; the sandbox supervisor
+// therefore maps a byte-per-branch region MAP_SHARED before fork() and
+// installs it here in the child, so every covered branch is mirrored into
+// memory the parent can still read after the child is killed by a real
+// signal or the hang watchdog.
+//
+// Cost discipline: without an installed sink (the default, and always in
+// the parent) the hot-path hook is one relaxed load and a branch.  Marks
+// are racy single-byte stores of 1 from any rank thread — benign, and made
+// formally so with std::atomic_ref.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace compi::rt {
+
+namespace sink_detail {
+inline std::atomic<unsigned char*> g_bytes{nullptr};
+inline std::atomic<std::size_t> g_size{0};
+}  // namespace sink_detail
+
+/// Installs `bytes` (already zeroed, `size` = number of branch ids) as the
+/// process-wide coverage mirror.  Not thread-safe against running targets:
+/// install before launching, clear after.
+inline void install_coverage_sink(unsigned char* bytes, std::size_t size) {
+  sink_detail::g_size.store(size, std::memory_order_relaxed);
+  sink_detail::g_bytes.store(bytes, std::memory_order_release);
+}
+
+inline void clear_coverage_sink() {
+  sink_detail::g_bytes.store(nullptr, std::memory_order_release);
+  sink_detail::g_size.store(0, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool coverage_sink_installed() {
+  return sink_detail::g_bytes.load(std::memory_order_acquire) != nullptr;
+}
+
+/// Mirrors branch id `id` into the installed sink; no-op without one.
+inline void coverage_sink_mark(std::size_t id) {
+  unsigned char* bytes =
+      sink_detail::g_bytes.load(std::memory_order_acquire);
+  if (bytes == nullptr) return;
+  if (id < sink_detail::g_size.load(std::memory_order_relaxed)) {
+    std::atomic_ref<unsigned char>(bytes[id]).store(
+        1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace compi::rt

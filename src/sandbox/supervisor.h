@@ -1,0 +1,76 @@
+// Process-isolated run sandbox: contain real crashes and hangs.
+//
+// The paper's artifact launches targets as separate OS processes under
+// `mpiexec`, so a segfaulting or wedged target can never take the tester
+// down with it.  MiniMPI runs every rank as a thread in the tester's own
+// address space; a *genuine* SIGSEGV, heap smash, or uninstrumented
+// infinite loop (one that executes no branch events, evading both the step
+// budget and the cooperative world deadline) would kill or hang the whole
+// campaign.  run_sandboxed() restores the paper's process boundary per
+// iteration: fork() the whole MiniMPI world into a child, run the launcher
+// there, and stream the results back over a pipe (wire.h).  The parent
+//  * enforces a wall-clock hang timeout (SIGKILL on expiry) and optional
+//    CPU / address-space rlimits on the child,
+//  * maps real termination signals onto the existing rt::Outcome taxonomy
+//    (SIGSEGV/SIGBUS -> kSegfault, SIGFPE -> kFpe, SIGABRT -> kAssert,
+//    SIGKILL/SIGXCPU -> kTimeout),
+//  * harvests whatever coverage the child flushed before dying, via a
+//    MAP_SHARED byte-per-branch mirror installed as the child's coverage
+//    sink (runtime/coverage_sink.h).
+//
+// On platforms without fork() the sandbox degrades to the in-process
+// launcher (SandboxStats::forked stays false), so in-process mode remains
+// the default for tests and non-POSIX builds.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "minimpi/launcher.h"
+
+namespace compi::sandbox {
+
+struct SandboxOptions {
+  /// Wall-clock budget for the whole child process; past it the child is
+  /// SIGKILLed and the run reports kTimeout.  0 derives 2x the launch
+  /// spec's cooperative timeout plus 2 s headroom, so the in-child
+  /// watchdog always gets the first chance to report a simulated hang.
+  std::chrono::milliseconds hang_timeout{0};
+  /// RLIMIT_AS for the child in MiB; 0 = inherit.  Ignored under ASan
+  /// (the shadow mapping needs terabytes of address space).
+  int child_mem_mb = 0;
+  /// RLIMIT_CPU for the child in whole seconds; 0 derives it from the
+  /// hang timeout (2x + 2 s) as a backstop against scheduler starvation
+  /// of the parent's wall-clock watchdog.
+  int child_cpu_s = 0;
+};
+
+/// How one sandboxed run terminated and what was salvaged from it.
+struct SandboxStats {
+  bool forked = false;       // false: fell back to the in-process launcher
+  bool signal_kill = false;  // the child died to a real signal
+  bool hang_kill = false;    // the supervisor SIGKILLed a wedged child
+  int term_signal = 0;       // terminating signal when signal_kill
+  /// Bytes recovered from the dead child: pipe stream plus harvested
+  /// shared-map coverage bytes.
+  std::size_t harvest_bytes = 0;
+};
+
+/// True when this build can actually fork a child (POSIX).
+[[nodiscard]] bool sandbox_supported();
+
+/// Maps a real termination signal onto the simulated-fault taxonomy, so
+/// sandboxed outcomes round-trip through to_string/outcome_from_string and
+/// replay exactly like in-process ones.
+[[nodiscard]] rt::Outcome outcome_for_signal(int sig);
+
+/// Runs one test in a forked child.  Never throws target faults and never
+/// lets the child's death propagate: a crashed or hung child yields a
+/// synthesized RunResult carrying the mapped outcome and the harvested
+/// coverage (attributed to the focus rank; per-rank attribution dies with
+/// the child).
+[[nodiscard]] minimpi::RunResult run_sandboxed(
+    const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
+    const SandboxOptions& options, SandboxStats* stats = nullptr);
+
+}  // namespace compi::sandbox

@@ -1,0 +1,290 @@
+#include "sandbox/wire.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "symbolic/serialize.h"
+
+namespace compi::sandbox {
+
+namespace {
+
+/// Ceiling on a single frame payload; anything larger is a corrupt header
+/// (a torn write interleaved into the stream), not a real frame.
+constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+bool known_type(char t) {
+  return t == static_cast<char>(FrameType::kResult) ||
+         t == static_cast<char>(FrameType::kError) ||
+         t == static_cast<char>(FrameType::kSignal) ||
+         t == static_cast<char>(FrameType::kRegistry);
+}
+
+/// Expects the next token to equal `tag`; poisons the stream otherwise.
+bool expect(std::istream& is, std::string_view tag) {
+  std::string tok;
+  if (!(is >> tok) || tok != tag) {
+    is.setstate(std::ios::failbit);
+    return false;
+  }
+  return true;
+}
+
+/// Reads the rest of the line (after one separating space) as a string.
+std::string read_tail(std::istream& is) {
+  std::string line;
+  if (is.peek() == ' ') is.get();
+  std::getline(is, line);
+  return line;
+}
+
+std::optional<rt::Outcome> read_outcome(std::istream& is) {
+  std::string tok;
+  if (!(is >> tok)) return std::nullopt;
+  return rt::outcome_from_string(tok);
+}
+
+void write_assignment(std::ostream& os, const solver::Assignment& a) {
+  os << a.size();
+  std::vector<std::pair<solver::Var, std::int64_t>> entries(a.begin(),
+                                                            a.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [v, value] : entries) os << ' ' << v << ' ' << value;
+}
+
+bool read_assignment(std::istream& is, solver::Assignment& a) {
+  std::size_t n = 0;
+  if (!(is >> n)) return false;
+  a.clear();
+  a.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    solver::Var v = 0;
+    std::int64_t value = 0;
+    if (!(is >> v >> value)) return false;
+    a[v] = value;
+  }
+  return true;
+}
+
+}  // namespace
+
+void append_frame(std::string& out, FrameType type,
+                  std::string_view payload) {
+  put_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+  fed_ += n;
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t len = get_u32_le(buf_.data() + pos_);
+  const char type = buf_[pos_ + 4];
+  if (len > kMaxFramePayload || !known_type(type)) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = buf_.substr(pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return frame;
+}
+
+void write_test_log(std::ostream& os, const rt::TestLog& log) {
+  os << "log " << (log.heavy ? 1 : 0) << ' ' << log.rank << ' '
+     << log.nprocs << ' ' << rt::to_string(log.outcome) << '\n';
+  os << "msg " << serial::escape(log.outcome_message) << '\n';
+  const std::vector<sym::BranchId> ids = log.covered.covered_ids();
+  os << "covered " << log.covered.size() << ' ' << ids.size();
+  for (sym::BranchId b : ids) os << ' ' << b;
+  os << '\n';
+  os << "path ";
+  serial::write_path(os, log.path);
+  os << "btrace " << log.branch_trace.size();
+  for (sym::BranchId b : log.branch_trace) os << ' ' << b;
+  os << '\n';
+  os << "ops " << log.op_count << '\n';
+  os << "inputs ";
+  write_assignment(os, log.inputs_used);
+  os << '\n';
+  os << "comm_sizes " << log.comm_sizes.size();
+  for (std::int64_t s : log.comm_sizes) os << ' ' << s;
+  os << '\n';
+  os << "mappings " << log.rank_mapping.size() << '\n';
+  for (const std::vector<int>& row : log.rank_mapping) {
+    os << "mapping " << row.size();
+    for (int g : row) os << ' ' << g;
+    os << '\n';
+  }
+  os << "end_log\n";
+}
+
+bool read_test_log(std::istream& is, rt::TestLog& log) {
+  int heavy = 0;
+  if (!expect(is, "log") || !(is >> heavy >> log.rank >> log.nprocs)) {
+    return false;
+  }
+  log.heavy = heavy != 0;
+  const auto outcome = read_outcome(is);
+  if (!outcome) return false;
+  log.outcome = *outcome;
+  if (!expect(is, "msg")) return false;
+  log.outcome_message = serial::unescape(read_tail(is));
+
+  std::size_t bitmap_size = 0;
+  std::size_t n = 0;
+  if (!expect(is, "covered") || !(is >> bitmap_size >> n)) return false;
+  log.covered = rt::CoverageBitmap(bitmap_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    sym::BranchId b = 0;
+    if (!(is >> b)) return false;
+    log.covered.mark(b);
+  }
+
+  if (!expect(is, "path") || !serial::read_path(is, log.path)) return false;
+
+  if (!expect(is, "btrace") || !(is >> n)) return false;
+  log.branch_trace.clear();
+  log.branch_trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sym::BranchId b = 0;
+    if (!(is >> b)) return false;
+    log.branch_trace.push_back(b);
+  }
+
+  if (!expect(is, "ops") || !(is >> log.op_count)) return false;
+  if (!expect(is, "inputs") || !read_assignment(is, log.inputs_used)) {
+    return false;
+  }
+
+  if (!expect(is, "comm_sizes") || !(is >> n)) return false;
+  log.comm_sizes.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> log.comm_sizes[i])) return false;
+  }
+
+  if (!expect(is, "mappings") || !(is >> n)) return false;
+  log.rank_mapping.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t row = 0;
+    if (!expect(is, "mapping") || !(is >> row)) return false;
+    log.rank_mapping[i].assign(row, 0);
+    for (std::size_t j = 0; j < row; ++j) {
+      if (!(is >> log.rank_mapping[i][j])) return false;
+    }
+  }
+  return expect(is, "end_log");
+}
+
+std::string encode_run_result(const minimpi::RunResult& run) {
+  std::ostringstream os;
+  os << "run " << run.focus << ' ' << serial::format_double(run.wall_seconds)
+     << ' ' << run.ranks.size() << '\n';
+  for (std::size_t r = 0; r < run.ranks.size(); ++r) {
+    const minimpi::RankResult& rank = run.ranks[r];
+    os << "rank " << r << ' ' << rt::to_string(rank.outcome) << '\n';
+    os << "rmsg " << serial::escape(rank.message) << '\n';
+    write_test_log(os, rank.log);
+  }
+  os << "end_run\n";
+  return os.str();
+}
+
+bool decode_run_result(std::string_view payload, minimpi::RunResult& out) {
+  std::istringstream is{std::string(payload)};
+  std::size_t nranks = 0;
+  std::string wall;
+  if (!expect(is, "run") || !(is >> out.focus >> wall >> nranks)) {
+    return false;
+  }
+  try {
+    out.wall_seconds = std::stod(wall);
+  } catch (...) {
+    return false;
+  }
+  out.ranks.assign(nranks, {});
+  for (std::size_t r = 0; r < nranks; ++r) {
+    std::size_t idx = 0;
+    if (!expect(is, "rank") || !(is >> idx) || idx != r) return false;
+    const auto outcome = read_outcome(is);
+    if (!outcome) return false;
+    out.ranks[r].outcome = *outcome;
+    if (!expect(is, "rmsg")) return false;
+    out.ranks[r].message = serial::unescape(read_tail(is));
+    if (!read_test_log(is, out.ranks[r].log)) return false;
+  }
+  return expect(is, "end_run");
+}
+
+std::string encode_registry(const rt::VarRegistry& registry) {
+  std::ostringstream os;
+  const std::vector<rt::VarMeta> metas = registry.all();
+  os << "registry " << metas.size() << '\n';
+  for (const rt::VarMeta& m : metas) {
+    os << "var " << static_cast<int>(m.kind) << ' ' << m.domain.lo << ' '
+       << m.domain.hi << ' ';
+    if (m.cap) {
+      os << *m.cap;
+    } else {
+      os << "none";
+    }
+    os << ' ' << m.comm_index << ' ' << serial::escape(m.key) << '\n';
+  }
+  os << "end_registry\n";
+  return os.str();
+}
+
+bool apply_registry(std::string_view payload, rt::VarRegistry& registry) {
+  std::istringstream is{std::string(payload)};
+  std::size_t n = 0;
+  if (!expect(is, "registry") || !(is >> n)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    rt::VarMeta m;
+    int kind = 0;
+    std::string cap;
+    if (!expect(is, "var") ||
+        !(is >> kind >> m.domain.lo >> m.domain.hi >> cap >> m.comm_index)) {
+      return false;
+    }
+    m.kind = static_cast<rt::VarKind>(kind);
+    std::optional<std::int64_t> cap_value;
+    if (cap != "none") {
+      try {
+        cap_value = std::stoll(cap);
+      } catch (...) {
+        return false;
+      }
+    }
+    m.key = serial::unescape(read_tail(is));
+    registry.intern(m.key, m.kind, m.domain, cap_value, m.comm_index);
+  }
+  return expect(is, "end_registry");
+}
+
+}  // namespace compi::sandbox

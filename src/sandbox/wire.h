@@ -1,0 +1,89 @@
+// Supervisor <-> child wire format: length-prefixed frames over a pipe.
+//
+// A sandboxed child streams its results back to the supervisor as frames:
+// a 4-byte little-endian payload length, a 1-byte type tag, then the
+// payload.  A cleanly finishing child writes one kResult frame holding the
+// full RunResult (every rank's TestLog, serialized with the same text
+// helpers the checkpoint format uses); a child whose launcher threw writes
+// a kError frame; a fatal-signal handler squeezes out a kSignal frame
+// (just the signal number) before re-raising.  The reader consumes the raw
+// byte stream incrementally and simply stops at a trailing partial or
+// malformed frame — exactly the residue a dying child leaves behind.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "minimpi/launcher.h"
+#include "runtime/var_registry.h"
+
+namespace compi::sandbox {
+
+enum class FrameType : char {
+  kResult = 'R',    // payload: encode_run_result() text
+  kError = 'E',     // payload: launcher error message
+  kSignal = 'S',    // payload: decimal signal number (fatal-signal handler)
+  kRegistry = 'V',  // payload: encode_registry() text (child's var interns)
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Bytes of framing overhead per frame (length prefix + type tag).
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Appends one frame (header + payload) to `out`.
+void append_frame(std::string& out, FrameType type, std::string_view payload);
+
+/// Incremental frame parser over the raw pipe byte stream.  Tolerates (and
+/// stops at) truncated or corrupt tails: next() returns nullopt once the
+/// buffered bytes no longer start with a complete well-formed frame.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n);
+
+  /// The next complete frame, or nullopt (partial tail, corrupt tail, or
+  /// nothing buffered).
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True once a malformed header was seen; everything after it is ignored.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  /// Total bytes fed so far (the supervisor's harvest accounting).
+  [[nodiscard]] std::size_t bytes_fed() const { return fed_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::size_t fed_ = 0;
+  bool corrupt_ = false;
+};
+
+/// Serializes a full RunResult — outcome, message, and complete TestLog
+/// (coverage, path, trace, inputs) for every rank.
+[[nodiscard]] std::string encode_run_result(const minimpi::RunResult& run);
+
+/// Inverse of encode_run_result.  False on any parse error.
+[[nodiscard]] bool decode_run_result(std::string_view payload,
+                                     minimpi::RunResult& out);
+
+/// One rank's TestLog round-trip (exposed for tests).
+void write_test_log(std::ostream& os, const rt::TestLog& log);
+[[nodiscard]] bool read_test_log(std::istream& is, rt::TestLog& log);
+
+/// Serializes the registry's full contents in intern (= variable id)
+/// order.  The child mutates only its fork-copied registry, so new input
+/// variables it interned must be shipped back for the parent's planner —
+/// replaying the interns in order reproduces identical dense ids
+/// (first-marking-wins makes the shared prefix a no-op).
+[[nodiscard]] std::string encode_registry(const rt::VarRegistry& registry);
+
+/// Replays an encode_registry() payload into `registry`.  False on any
+/// parse error (the registry keeps whatever prefix was applied).
+[[nodiscard]] bool apply_registry(std::string_view payload,
+                                  rt::VarRegistry& registry);
+
+}  // namespace compi::sandbox

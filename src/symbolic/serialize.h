@@ -1,0 +1,33 @@
+// Low-level text serialization shared by every on-disk / on-wire format:
+// the campaign checkpoint, session files, and the sandbox supervisor's
+// pipe protocol all speak the same line-oriented dialect.
+//
+// Strings are escaped (\n, \r, \\) so multi-line fault messages fit on one
+// line; doubles use shortest-round-trip formatting so restored timings are
+// bit-exact; predicates and paths round-trip through the same two helpers
+// everywhere, keeping the formats mutually consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "solver/predicate.h"
+#include "symbolic/path.h"
+
+namespace compi::serial {
+
+/// Escapes backslashes and line breaks so any string fits on one line.
+[[nodiscard]] std::string escape(std::string_view s);
+[[nodiscard]] std::string unescape(std::string_view s);
+
+/// Shortest string that parses back to exactly `v`.
+[[nodiscard]] std::string format_double(double v);
+
+/// One-line predicate / multi-line path round-trips.
+void write_predicate(std::ostream& os, const solver::Predicate& p);
+[[nodiscard]] bool read_predicate(std::istream& is, solver::Predicate& p);
+void write_path(std::ostream& os, const sym::Path& path);
+[[nodiscard]] bool read_path(std::istream& is, sym::Path& path);
+
+}  // namespace compi::serial

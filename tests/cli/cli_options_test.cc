@@ -121,6 +121,30 @@ TEST(CliOptions, ParsesRobustnessFlags) {
   EXPECT_TRUE(r.config.campaign.chaos.enabled());
 }
 
+TEST(CliOptions, ParsesSandboxFlags) {
+  const ParseResult r =
+      parse({"--isolate", "--hang-timeout-ms=2500", "--child-mem-mb=512"});
+  ASSERT_FALSE(r.error.has_value()) << *r.error;
+  EXPECT_TRUE(r.config.campaign.isolate);
+  EXPECT_EQ(r.config.campaign.hang_timeout_ms, 2500);
+  EXPECT_EQ(r.config.campaign.child_mem_mb, 512);
+
+  const ParseResult defaults = parse({});
+  ASSERT_FALSE(defaults.error.has_value());
+  EXPECT_FALSE(defaults.config.campaign.isolate)
+      << "in-process launch must stay the default";
+  EXPECT_EQ(defaults.config.campaign.hang_timeout_ms, 0);
+  EXPECT_EQ(defaults.config.campaign.child_mem_mb, 0);
+}
+
+TEST(CliOptions, RejectsBadSandboxValues) {
+  EXPECT_TRUE(parse({"--hang-timeout-ms=abc"}).error.has_value());
+  EXPECT_TRUE(parse({"--hang-timeout-ms=-1"}).error.has_value());
+  EXPECT_TRUE(parse({"--hang-timeout-ms=86400001"}).error.has_value());
+  EXPECT_TRUE(parse({"--child-mem-mb=-5"}).error.has_value());
+  EXPECT_TRUE(parse({"--child-mem-mb=1048577"}).error.has_value());
+}
+
 TEST(CliOptions, RejectsBadRobustnessValues) {
   EXPECT_TRUE(parse({"--chaos-drop-rate=1.5"}).error.has_value());
   EXPECT_TRUE(parse({"--chaos-drop-rate=-0.1"}).error.has_value());
@@ -153,7 +177,8 @@ TEST(CliOptions, UsageMentionsEveryFlag) {
         "--one-way", "--random", "--list-targets", "--resume",
         "--checkpoint-interval", "--retry-max", "--retry-backoff-ms",
         "--chaos-seed", "--chaos-drop-rate", "--chaos-crash-rank",
-        "--chaos-crash-at", "--no-confirm-bugs"}) {
+        "--chaos-crash-at", "--no-confirm-bugs", "--isolate",
+        "--hang-timeout-ms", "--child-mem-mb"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

@@ -1,0 +1,169 @@
+// Torn-write recovery: a truncated or corrupted trailing checkpoint.txt
+// (and a partial final iterations.csv row) must not strand the session —
+// resume falls back to the last complete snapshot and repairs the CSV.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "compi/checkpoint.h"
+#include "compi/driver.h"
+#include "compi/session.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_recovery_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+CampaignOptions session_opts(const fs::path& dir) {
+  CampaignOptions opts;
+  opts.seed = 21;
+  opts.iterations = 60;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.dfs_phase_iterations = 30;
+  opts.checkpoint_interval = 5;
+  opts.log_dir = dir.string();
+  return opts;
+}
+
+/// Runs the campaign to `halt_after` iterations, leaving checkpoint.txt
+/// AND checkpoint.txt.bak behind (interval 5, so several snapshots landed).
+void run_until_halt(const fs::path& dir, int halt_after) {
+  CampaignOptions opts = session_opts(dir);
+  opts.halt_after_iterations = halt_after;
+  const CampaignResult partial = Campaign(fig2_target(), opts).run();
+  ASSERT_EQ(partial.iterations.size(), static_cast<std::size_t>(halt_after));
+  ASSERT_TRUE(fs::exists(dir / "checkpoint.txt"));
+  ASSERT_TRUE(fs::exists(dir / "checkpoint.txt.bak"))
+      << "repeated snapshots must demote the previous one to .bak";
+}
+
+void truncate_file(const fs::path& file, double keep_fraction) {
+  std::ifstream in(file, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  in.close();
+  text.resize(static_cast<std::size_t>(
+      static_cast<double>(text.size()) * keep_fraction));
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+CampaignResult resume_campaign(const fs::path& dir) {
+  CampaignOptions opts = session_opts(dir);
+  opts.resume = true;
+  return Campaign(fig2_target(), opts).run();
+}
+
+TEST(CheckpointRecovery, EverySnapshotKeepsAReadableBak) {
+  TempDir dir;
+  run_until_halt(dir.path, 30);
+  std::ifstream txt(dir.path / "checkpoint.txt");
+  std::ifstream bak(dir.path / "checkpoint.txt.bak");
+  const auto head = ckpt::CampaignCheckpoint::read(txt);
+  const auto prev = ckpt::CampaignCheckpoint::read(bak);
+  ASSERT_TRUE(head.has_value());
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_GE(head->next_iteration, prev->next_iteration);
+}
+
+TEST(CheckpointRecovery, TruncatedCheckpointFallsBackToBak) {
+  TempDir dir;
+  run_until_halt(dir.path, 30);
+  // Simulate a torn write: the head snapshot is cut mid-file.
+  truncate_file(dir.path / "checkpoint.txt", 0.6);
+  {
+    std::ifstream in(dir.path / "checkpoint.txt");
+    ASSERT_FALSE(ckpt::CampaignCheckpoint::read(in).has_value())
+        << "the torn head snapshot must not parse";
+  }
+  const auto recovered = read_checkpoint(dir.path);
+  ASSERT_TRUE(recovered.has_value())
+      << "read_checkpoint must fall back to checkpoint.txt.bak";
+
+  const CampaignResult got = resume_campaign(dir.path);
+  EXPECT_TRUE(got.resumed);
+  EXPECT_EQ(got.iterations.size(), 60u);
+  // The resumed tail re-runs deterministically, so the final CSV is whole.
+  std::ifstream csv(dir.path / "iterations.csv");
+  std::string line;
+  int rows = 0;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, 61);  // header + 60 complete rows
+}
+
+TEST(CheckpointRecovery, CorruptedCheckpointBodyFallsBackToBak) {
+  TempDir dir;
+  run_until_halt(dir.path, 30);
+  // Flip the version header into garbage instead of truncating.
+  std::ofstream out(dir.path / "checkpoint.txt",
+                    std::ios::binary | std::ios::trunc);
+  out << "compi-checkpoint 999\ngarbage that should never parse\n";
+  out.close();
+  const CampaignResult got = resume_campaign(dir.path);
+  EXPECT_TRUE(got.resumed);
+  EXPECT_EQ(got.iterations.size(), 60u);
+}
+
+TEST(CheckpointRecovery, PartialFinalCsvRowIsRepairedOnResume) {
+  TempDir dir;
+  run_until_halt(dir.path, 30);
+  {
+    // A crash mid-append leaves a torn trailing row.
+    std::ofstream csv(dir.path / "iterations.csv",
+                      std::ios::binary | std::ios::app);
+    csv << "31,4,0,seg";  // no newline, half the columns
+  }
+  const CampaignResult got = resume_campaign(dir.path);
+  EXPECT_TRUE(got.resumed);
+  EXPECT_EQ(got.iterations.size(), 60u);
+  std::ifstream csv(dir.path / "iterations.csv");
+  std::string line;
+  int rows = 0;
+  bool torn_row_survived = false;
+  while (std::getline(csv, line)) {
+    if (line.find("seg") != std::string::npos &&
+        line.find("segfault") == std::string::npos) {
+      torn_row_survived = true;
+    }
+    ++rows;
+  }
+  EXPECT_EQ(rows, 61);
+  EXPECT_FALSE(torn_row_survived)
+      << "begin_iterations must rewrite the CSV from the restored records";
+}
+
+TEST(CheckpointRecovery, BothSnapshotsUnreadableFallsBackToFreshRun) {
+  TempDir dir;
+  run_until_halt(dir.path, 30);
+  truncate_file(dir.path / "checkpoint.txt", 0.5);
+  truncate_file(dir.path / "checkpoint.txt.bak", 0.5);
+  EXPECT_FALSE(read_checkpoint(dir.path).has_value());
+  const CampaignResult got = resume_campaign(dir.path);
+  // No snapshot to continue from: a fresh campaign, run to the full budget.
+  EXPECT_FALSE(got.resumed);
+  EXPECT_EQ(got.iterations.size(), 60u);
+}
+
+}  // namespace
+}  // namespace compi

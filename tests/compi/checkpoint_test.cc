@@ -91,6 +91,10 @@ ckpt::CampaignCheckpoint sample_checkpoint() {
   c.depth_bound_used = 20;
   c.transient_retries = 5;
   c.focus_replans = 1;
+  c.sandbox_runs = 40;
+  c.sandbox_signal_kills = 3;
+  c.sandbox_hang_kills = 2;
+  c.sandbox_harvest_bytes = 123456;
   IterationRecord rec;
   rec.iteration = 11;
   rec.nprocs = 6;
@@ -153,6 +157,10 @@ TEST(Ckpt, CampaignCheckpointRoundTrips) {
   EXPECT_EQ(back->depth_bound_used, c.depth_bound_used);
   EXPECT_EQ(back->transient_retries, c.transient_retries);
   EXPECT_EQ(back->focus_replans, c.focus_replans);
+  EXPECT_EQ(back->sandbox_runs, c.sandbox_runs);
+  EXPECT_EQ(back->sandbox_signal_kills, c.sandbox_signal_kills);
+  EXPECT_EQ(back->sandbox_hang_kills, c.sandbox_hang_kills);
+  EXPECT_EQ(back->sandbox_harvest_bytes, c.sandbox_harvest_bytes);
   ASSERT_EQ(back->iterations.size(), 1u);
   EXPECT_EQ(back->iterations[0].outcome, rt::Outcome::kSegfault);
   EXPECT_EQ(back->iterations[0].exec_seconds, c.iterations[0].exec_seconds);

@@ -1,0 +1,194 @@
+// End-to-end --isolate campaigns: a target that REALLY segfaults or spins
+// in an uninstrumented loop must be contained per-iteration, recorded as a
+// bug, and the campaign must run to its budget — including across
+// checkpoint/resume.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+
+#include "compi/driver.h"
+#include "compi/session.h"
+#include "sandbox/supervisor.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::Fig2Site;
+using compi::testing::fig2_table;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_isolated_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+/// Fig. 2 with the seeded bug swapped for a REAL segfault: rank 0 raises
+/// SIGSEGV when the solver derives y == 77 AND x == 33.  In-process this
+/// would kill the whole campaign (and the test binary).  Two nested
+/// conditions so a non-focus rank's random draw (~1/500 per input) can't
+/// plausibly stumble into the crash and claim the bug record first.
+TargetInfo segfaulting_target() {
+  TargetInfo info = fig2_target();
+  info.name = "fig2_segv";
+  info.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt x = ctx.input_int_capped("x", 500);
+    const SymInt y = ctx.input_int_capped("y", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    if (br(ctx, Fig2Site::kXLow, x < SymInt(1))) return;
+    if (br(ctx, Fig2Site::kYLow, y < SymInt(1))) return;
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, y == SymInt(77))) {
+        if (br(ctx, Fig2Site::kYBig, x == SymInt(33))) {
+          (void)std::raise(SIGSEGV);  // the real thing, not ctx.check
+        }
+      }
+    }
+    world.barrier();
+  };
+  return info;
+}
+
+/// Rank 0 wedges in an uninstrumented spin (no branch events, no MPI
+/// calls) once the solver derives y >= 250.  Evades the step budget and
+/// the cooperative deadline; only the supervisor's SIGKILL ends it.
+TargetInfo hanging_target() {
+  TargetInfo info = fig2_target();
+  info.name = "fig2_hang";
+  info.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt y = ctx.input_int_capped("y", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, y >= SymInt(250))) {
+        volatile bool spin = true;
+        while (spin) {
+        }
+      }
+    }
+    world.barrier();
+  };
+  return info;
+}
+
+CampaignOptions isolated_options() {
+  CampaignOptions opts;
+  opts.seed = 11;
+  opts.iterations = 120;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.dfs_phase_iterations = 30;
+  opts.isolate = true;
+  return opts;
+}
+
+TEST(IsolatedCampaign, RealSegfaultIsContainedAndTheCampaignCompletes) {
+  if (!sandbox::sandbox_supported()) GTEST_SKIP() << "no fork()";
+  CampaignOptions opts = isolated_options();
+  opts.iterations = 300;  // same budget that derives y == 77 in driver_test
+  const CampaignResult result = Campaign(segfaulting_target(), opts).run();
+
+  EXPECT_EQ(result.iterations.size(), 300u)
+      << "the campaign must survive the crash and run to its budget";
+  EXPECT_GT(result.sandbox_runs, 0u);
+  EXPECT_GE(result.sandbox_signal_kills, 1u);
+  EXPECT_GT(result.sandbox_harvest_bytes, 0u);
+
+  ASSERT_FALSE(result.bugs.empty()) << "y == 77 must be derivable";
+  bool found = false;
+  for (const BugRecord& bug : result.bugs) {
+    if (bug.outcome != rt::Outcome::kSegfault) continue;
+    found = true;
+    EXPECT_NE(bug.message.find("SIGSEGV"), std::string::npos) << bug.message;
+    // Confirmation replays the crash through the sandbox too; it must
+    // reproduce, so the bug is NOT flaky.
+    EXPECT_FALSE(bug.flaky);
+    // The child died before flushing its log, so the error-inducing
+    // inputs come from the planned assignment.
+    bool y_is_77 = false;
+    bool x_is_33 = false;
+    for (const auto& [var, value] : bug.named_inputs) {
+      if (value == 77) y_is_77 = true;
+      if (value == 33) x_is_33 = true;
+    }
+    EXPECT_TRUE(y_is_77 && x_is_33) << "error-inducing inputs must be logged";
+  }
+  EXPECT_TRUE(found) << "a kSegfault bug must be recorded";
+  // Coverage flushed by doomed children is harvested, not lost: the crash
+  // branch itself (kMagic taken) is only ever executed by a dying child.
+  EXPECT_GT(result.covered_branches, 0u);
+}
+
+TEST(IsolatedCampaign, UninstrumentedHangIsKilledAndTheCampaignCompletes) {
+  if (!sandbox::sandbox_supported()) GTEST_SKIP() << "no fork()";
+  CampaignOptions opts = isolated_options();
+  opts.iterations = 15;
+  opts.initial_nprocs = 2;
+  opts.max_procs = 2;
+  opts.test_timeout = std::chrono::milliseconds(100);
+  opts.hang_timeout_ms = 400;  // the watchdog, not the cooperative deadline
+  opts.retry_max = 0;          // don't burn retries re-running a real hang
+  opts.confirm_bugs = false;   // don't pay the hang twice to confirm it
+
+  const CampaignResult result = Campaign(hanging_target(), opts).run();
+
+  EXPECT_EQ(result.iterations.size(), 15u)
+      << "a wedged child must never wedge the campaign";
+  EXPECT_GE(result.sandbox_hang_kills, 1u)
+      << "y >= 250 is one DFS negation away from any non-hanging path";
+  ASSERT_FALSE(result.bugs.empty());
+  bool timeout_bug = false;
+  for (const BugRecord& bug : result.bugs) {
+    if (bug.outcome == rt::Outcome::kTimeout) timeout_bug = true;
+  }
+  EXPECT_TRUE(timeout_bug) << "the hang kill must surface as kTimeout";
+}
+
+TEST(IsolatedCampaign, CheckpointResumeCarriesSandboxCounters) {
+  if (!sandbox::sandbox_supported()) GTEST_SKIP() << "no fork()";
+  TempDir dir;
+  CampaignOptions opts = isolated_options();
+  opts.iterations = 60;
+  opts.checkpoint_interval = 10;
+  opts.log_dir = dir.path.string();
+
+  {
+    CampaignOptions halted = opts;
+    halted.halt_after_iterations = 30;
+    const CampaignResult partial = Campaign(fig2_target(), halted).run();
+    ASSERT_EQ(partial.iterations.size(), 30u);
+    ASSERT_GE(partial.sandbox_runs, 30u);
+  }
+  const auto snapshot = read_checkpoint(dir.path);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_GE(snapshot->sandbox_runs, 30u)
+      << "checkpoint v3 must persist the sandbox accounting";
+
+  CampaignOptions resumed = opts;
+  resumed.resume = true;
+  const CampaignResult got = Campaign(fig2_target(), resumed).run();
+  EXPECT_TRUE(got.resumed);
+  EXPECT_EQ(got.iterations.size(), 60u);
+  EXPECT_GE(got.sandbox_runs, 60u)
+      << "restored counters plus the resumed tail's own runs";
+  EXPECT_EQ(got.sandbox_signal_kills, 0u);
+  EXPECT_EQ(got.sandbox_hang_kills, 0u);
+}
+
+}  // namespace
+}  // namespace compi
