@@ -4,8 +4,13 @@
 // techniques (two-way instrumentation, reduction) are managing.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <map>
+
 #include "compi/fixed_run.h"
+#include "compi/ledger.h"
 #include "minimpi/launcher.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sandbox/supervisor.h"
@@ -210,6 +215,82 @@ void BM_ObsInstantEnabled(benchmark::State& state) {
   obs::tracer().set_enabled(false);
 }
 BENCHMARK(BM_ObsInstantEnabled);
+
+// ---- journal + ledger overhead ----
+// What one introspected iteration adds on top of the campaign loop: a
+// buffered JSONL event append (journal) and one attribution sweep over the
+// run's rank bitmaps (ledger).  The disabled-journal number is the emit
+// envelope every non-journaling campaign pays.
+
+void BM_JournalWriteIteration(benchmark::State& state) {
+  const std::filesystem::path file =
+      std::filesystem::temp_directory_path() /
+      ("compi_bench_journal_" + std::to_string(::getpid()) + ".jsonl");
+  obs::Journal journal;
+  if (!journal.open(file)) {
+    state.SkipWithError("cannot open journal file");
+    return;
+  }
+  const std::map<std::string, std::int64_t> inputs{{"x", 33}, {"y", 77}};
+  int iter = 0;
+  for (auto _ : state) {
+    obs::JournalEvent(journal, "iteration", iter++)
+        .num("nprocs", 8)
+        .num("focus", 0)
+        .str("outcome", "ok")
+        .boolean("restart", false)
+        .num("covered_branches", 120)
+        .num("new_branches", 1)
+        .real("exec_seconds", 0.001)
+        .real("solve_seconds", 0.0002)
+        .inputs(inputs);
+  }
+  journal.close();
+  std::filesystem::remove(file);
+}
+BENCHMARK(BM_JournalWriteIteration);
+
+void BM_JournalWriteDisabled(benchmark::State& state) {
+  obs::Journal journal;  // never opened: every emit is an enabled() branch
+  const std::map<std::string, std::int64_t> inputs{{"x", 33}, {"y", 77}};
+  int iter = 0;
+  for (auto _ : state) {
+    obs::JournalEvent(journal, "iteration", iter++)
+        .num("nprocs", 8)
+        .str("outcome", "ok")
+        .inputs(inputs);
+  }
+  benchmark::DoNotOptimize(journal.events_written());
+}
+BENCHMARK(BM_JournalWriteDisabled);
+
+void BM_LedgerRecordRun(benchmark::State& state) {
+  // One attribution sweep over `range(0)` ranks' bitmaps on the mini-HPL
+  // table — the per-iteration ledger cost after steady state (every branch
+  // already attributed, only hit counts move).
+  const int nranks = static_cast<int>(state.range(0));
+  const TargetInfo target = targets::make_mini_hpl_target(100);
+  CoverageLedger ledger(*target.table);
+  minimpi::RunResult run;
+  run.ranks.resize(static_cast<std::size_t>(nranks));
+  for (auto& rank : run.ranks) {
+    rank.log.covered = rt::CoverageBitmap(target.table->num_branches());
+    for (std::size_t b = 0; b < target.table->num_branches(); b += 2) {
+      rank.log.covered.mark(static_cast<sym::BranchId>(b));
+    }
+  }
+  const std::map<std::string, std::int64_t> inputs{{"n", 100}};
+  CoverageLedger::RunContext ctx;
+  ctx.nprocs = nranks;
+  ctx.inputs = &inputs;
+  int iter = 0;
+  for (auto _ : state) {
+    ctx.iteration = iter++;
+    ledger.record_run(ctx, run);
+  }
+  benchmark::DoNotOptimize(ledger.covered_branches());
+}
+BENCHMARK(BM_LedgerRecordRun)->Arg(2)->Arg(8)->Arg(16);
 
 // ---- sandbox (--isolate) overhead ----
 // What one fork()ed, pipe-harvested test run costs over the same run

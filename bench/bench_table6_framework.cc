@@ -22,29 +22,47 @@ struct Stats {
   /// Per-iteration execution-time percentiles (ms), pooled over all reps —
   /// the distribution behind the coverage numbers, not just the mean.
   double exec_p50_ms = 0.0, exec_p95_ms = 0.0;
+  /// Iteration-to-coverage percentiles: over every branch discovered (one
+  /// sample per newly covered branch, pooled over reps), the iteration by
+  /// which it was in hand — the coverage_timeline.csv data as a summary.
+  /// p50 = "half the final coverage came this early".
+  double disc_p50 = 0.0, disc_p95 = 0.0;
 };
 
 template <typename Runner>
 Stats reps_of(Runner&& runner, int reps) {
   Stats s;
   std::vector<double> exec_ms;
+  std::vector<double> discovery_iters;
   for (int r = 0; r < reps; ++r) {
     const CampaignResult result = runner(r);
     s.avg += result.coverage_rate;
     s.max = std::max(s.max, result.coverage_rate);
+    std::size_t prev_covered = 0;
     for (const IterationRecord& rec : result.iterations) {
       exec_ms.push_back(rec.exec_seconds * 1e3);
+      for (std::size_t b = prev_covered; b < rec.covered_branches; ++b) {
+        discovery_iters.push_back(static_cast<double>(rec.iteration));
+      }
+      prev_covered = std::max(prev_covered, rec.covered_branches);
     }
   }
   s.avg /= reps;
   s.exec_p50_ms = obs::percentile(exec_ms, 0.50);
   s.exec_p95_ms = obs::percentile(exec_ms, 0.95);
+  s.disc_p50 = obs::percentile(discovery_iters, 0.50);
+  s.disc_p95 = obs::percentile(discovery_iters, 0.95);
   return s;
 }
 
 std::string p50_p95(const Stats& s) {
   return TablePrinter::num(s.exec_p50_ms, 1) + "/" +
          TablePrinter::num(s.exec_p95_ms, 1);
+}
+
+std::string iters_to_cov(const Stats& s) {
+  return TablePrinter::num(s.disc_p50, 0) + "/" +
+         TablePrinter::num(s.disc_p95, 0);
 }
 
 }  // namespace
@@ -73,7 +91,8 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Program", "Fwk avg", "Fwk max", "No_Fwk avg",
                       "No_Fwk max", "Random avg", "Random max",
-                      "Fwk exec p50/p95 (ms)", "No_Fwk exec p50/p95 (ms)"});
+                      "Fwk exec p50/p95 (ms)", "No_Fwk exec p50/p95 (ms)",
+                      "Fwk iters-to-cov p50/p95"});
   for (const Row& row : rows) {
     auto opts_for = [&](int rep) {
       CampaignOptions opts;
@@ -100,7 +119,7 @@ int main(int argc, char** argv) {
                    TablePrinter::pct(no_fwk.max),
                    TablePrinter::pct(random.avg),
                    TablePrinter::pct(random.max), p50_p95(fwk),
-                   p50_p95(no_fwk)});
+                   p50_p95(no_fwk), iters_to_cov(fwk)});
   }
   table.print(std::cout);
   return 0;

@@ -154,6 +154,18 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(1, 1'000'000'000);
       if (!v) return fail("--chaos-crash-at needs a call number >= 1");
       cfg.campaign.chaos.crash_at_call = *v;
+    } else if (flag == "--journal") {
+      cfg.campaign.journal = true;
+    } else if (flag == "--status-file") {
+      if (value.empty()) return fail("--status-file needs a path");
+      cfg.campaign.status_file = value;
+    } else if (flag == "--max-bugs") {
+      const auto v = want_int(0, 1'000'000);
+      if (!v) return fail("--max-bugs needs an integer >= 0");
+      cfg.campaign.max_bugs = static_cast<int>(*v);
+    } else if (flag == "--explain") {
+      if (value.empty()) return fail("--explain needs a session directory");
+      cfg.explain_dir = value;
     } else if (flag == "--trace") {
       cfg.campaign.trace = true;
     } else if (flag == "--metrics") {
@@ -228,6 +240,14 @@ std::string usage() {
         "                       (<log-dir>/trace.json, one track per rank)\n"
         "  --metrics            export Prometheus text (<log-dir>/metrics.prom)\n"
         "  --trace-buffer-kb=N  trace ring size in KiB (default 256)\n"
+        "  --journal            write journal.jsonl (one JSON event per\n"
+        "                       iteration/solve/retry/kill) into the session\n"
+        "  --status-file=PATH   atomically rewrite a one-object heartbeat\n"
+        "                       JSON after every iteration\n"
+        "  --max-bugs=N         stop gracefully after N distinct bugs\n"
+        "  --explain=DIR        print coverage timeline, near-miss, rank\n"
+        "                       skew and solver reports for a logged\n"
+        "                       session, then exit\n"
         "  --no-confirm-bugs    skip the flaky-bug confirmation replay\n"
         "  --no-reduction | --no-framework | --one-way   ablations\n"
         "  --random             random-testing baseline\n"

@@ -16,6 +16,7 @@ struct CliConfig {
   int cap = 0;                  // 0 = target default N_C
   bool random_baseline = false; // run the random tester instead of COMPI
   std::string resume_dir;       // --resume: session directory to continue
+  std::string explain_dir;      // --explain: report on this session and exit
   CampaignOptions campaign;
   bool list_targets = false;
   bool show_help = false;
@@ -57,6 +58,11 @@ struct ParseResult {
 ///   --trace              record spans, export Chrome trace JSON
 ///   --metrics            export the metrics registry (Prometheus text)
 ///   --trace-buffer-kb=N  trace ring capacity in KiB (default 256)
+///   --journal            write journal.jsonl event log into the session
+///   --status-file=PATH   atomically rewrite a heartbeat JSON each iteration
+///   --max-bugs=N         stop gracefully after N distinct bugs (0 = off)
+///   --explain=DIR        print the introspection report for a logged
+///                        session directory and exit (no campaign)
 ///   --no-confirm-bugs    skip the flaky-bug confirmation replay
 ///   --no-reduction       disable constraint-set reduction (§IV-C)
 ///   --no-framework       No_Fwk ablation (§VI-E)

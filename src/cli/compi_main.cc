@@ -3,6 +3,7 @@
 
 #include "cli/cli_options.h"
 #include "compi/driver.h"
+#include "compi/explain.h"
 #include "compi/random_tester.h"
 #include "compi/report.h"
 #include "targets/targets.h"
@@ -87,6 +88,9 @@ int main(int argc, char** argv) {
   if (cfg.show_help) {
     std::cout << cli::usage();
     return 0;
+  }
+  if (!cfg.explain_dir.empty()) {
+    return explain_session(cfg.explain_dir, std::cout) ? 0 : 1;
   }
   if (cfg.list_targets) {
     std::cout << "susy        mini-SUSY-HMC (4 seeded bugs, N_C default 5)\n"

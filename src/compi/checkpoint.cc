@@ -68,6 +68,30 @@ bool read_assignment(std::istream& is, solver::Assignment& a) {
   return true;
 }
 
+void write_blob(std::ostream& os, std::string_view tag,
+                const std::string& blob) {
+  std::size_t lines = 0;
+  for (char c : blob) lines += c == '\n' ? 1 : 0;
+  if (!blob.empty() && blob.back() != '\n') ++lines;
+  os << tag << ' ' << lines << '\n';
+  os << blob;
+  if (!blob.empty() && blob.back() != '\n') os << '\n';
+}
+
+bool read_blob(std::istream& is, std::string_view tag, std::string& blob) {
+  std::size_t n = 0;
+  if (!expect(is, tag) || !(is >> n)) return false;
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  std::ostringstream body;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) return false;
+    body << line << '\n';
+  }
+  blob = body.str();
+  return true;
+}
+
 }  // namespace
 
 void CampaignCheckpoint::write(std::ostream& os) const {
@@ -141,13 +165,9 @@ void CampaignCheckpoint::write(std::ostream& os) const {
   }
 
   os << "strategy " << escape(strategy_name) << '\n';
-  // The strategy blob is embedded verbatim, prefixed with its line count.
-  std::size_t lines = 0;
-  for (char c : strategy_state) lines += c == '\n' ? 1 : 0;
-  if (!strategy_state.empty() && strategy_state.back() != '\n') ++lines;
-  os << "strategy_state_lines " << lines << '\n';
-  os << strategy_state;
-  if (!strategy_state.empty() && strategy_state.back() != '\n') os << '\n';
+  // Opaque blobs are embedded verbatim, prefixed with their line count.
+  write_blob(os, "strategy_state_lines", strategy_state);
+  write_blob(os, "ledger_lines", ledger_state);
   os << "end\n";
 }
 
@@ -292,15 +312,10 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
 
   if (!expect(is, "strategy")) return std::nullopt;
   c.strategy_name = unescape(read_tail(is));
-  if (!expect(is, "strategy_state_lines") || !(is >> n)) return std::nullopt;
-  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
-  std::ostringstream blob;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::string line;
-    if (!std::getline(is, line)) return std::nullopt;
-    blob << line << '\n';
+  if (!read_blob(is, "strategy_state_lines", c.strategy_state)) {
+    return std::nullopt;
   }
-  c.strategy_state = blob.str();
+  if (!read_blob(is, "ledger_lines", c.ledger_state)) return std::nullopt;
   if (!expect(is, "end")) return std::nullopt;
   return c;
 }

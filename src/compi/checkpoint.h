@@ -42,10 +42,11 @@ using serial::write_predicate;
 // ---- the campaign snapshot ----
 
 struct CampaignCheckpoint {
-  // v3: adds the sandbox accounting line.  (v2 added solver_nodes and
-  // retries to iter lines.)  Older snapshots are rejected and the campaign
-  // falls back to a fresh start, by design.
-  static constexpr int kVersion = 3;
+  // v4: embeds the coverage-attribution ledger snapshot.  (v3 added the
+  // sandbox accounting line; v2 added solver_nodes and retries to iter
+  // lines.)  Older snapshots are rejected and the campaign falls back to a
+  // fresh start, by design.
+  static constexpr int kVersion = 4;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -88,6 +89,12 @@ struct CampaignCheckpoint {
   /// (written by SearchStrategy::save_state).
   std::string strategy_name;
   std::string strategy_state;
+
+  /// Coverage-attribution ledger snapshot (CoverageLedger::write), embedded
+  /// as an opaque blob so attribution survives kill + --resume.  Empty when
+  /// the producing campaign predates the ledger (never the case for v4
+  /// writers, but read() tolerates an empty blob).
+  std::string ledger_state;
 
   void write(std::ostream& os) const;
   /// nullopt on version mismatch or any parse error (the caller then

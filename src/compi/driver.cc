@@ -4,12 +4,15 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <thread>
 
 #include "compi/checkpoint.h"
+#include "compi/ledger.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sandbox/supervisor.h"
@@ -108,6 +111,8 @@ CampaignResult Campaign::run() {
   CampaignResult result;
   rt::VarRegistry registry;
   CoverageTracker coverage(*target_.table);
+  CoverageLedger ledger(*target_.table);
+  obs::Journal journal;
   Framework framework(registry, options_.max_procs, options_.framework,
                       options_.conflict_resolution);
   std::optional<SessionWriter> session;
@@ -178,6 +183,12 @@ CampaignResult Campaign::run() {
         consecutive_replans = c->consecutive_replans;
         known_hangs = std::move(c->known_hang_signatures);
         start_iter = c->next_iteration;
+        if (!c->ledger_state.empty()) {
+          std::istringstream ledger_blob(c->ledger_state);
+          // A failed read keeps the fresh ledger: attribution restarts but
+          // the campaign itself is unaffected.
+          (void)ledger.read(ledger_blob);
+        }
       } else {
         // Unreadable strategy state: fall back to a fresh campaign.
         scfg.kind = two_phase ? SearchKind::kDfs : options_.search;
@@ -190,6 +201,31 @@ CampaignResult Campaign::run() {
   // Open iterations.csv for incremental appends (header + any restored
   // prefix) so a crash mid-campaign loses at most the in-flight row.
   if (session) session->begin_iterations(result.iterations);
+
+  // Open the event journal alongside it.  On resume the journal keeps only
+  // events below the checkpoint boundary, so its iteration events stay
+  // aligned with the restored iterations.csv prefix.
+  if (options_.journal && session) {
+    const std::filesystem::path journal_path = session->dir() / "journal.jsonl";
+    if (result.resumed) {
+      (void)journal.open_resume(journal_path, start_iter);
+    } else {
+      (void)journal.open(journal_path);
+    }
+  }
+
+  // Whatever way the campaign ends — budget, bug-budget exhaustion, a
+  // thrown fatal error — the journal tail and the metrics/trace exports
+  // must land on disk.  The simulated-kill path is the one exception (a
+  // real SIGKILL flushes nothing); it relies on its final checkpoint's
+  // export instead, which this guard repeats harmlessly.
+  struct ExportGuard {
+    std::function<void()> fn;
+    ~ExportGuard() { fn(); }
+  } export_guard{[&] {
+    journal.close();
+    export_obs();
+  }};
 
   const auto backoff = [&](int attempt) {
     if (options_.retry_backoff_ms <= 0) return;
@@ -205,7 +241,13 @@ CampaignResult Campaign::run() {
   sandbox_options.hang_timeout =
       std::chrono::milliseconds(options_.hang_timeout_ms);
   sandbox_options.child_mem_mb = options_.child_mem_mb;
+  int journal_iter = start_iter;  // iteration the next journal event names
+  // Branch ids the last execute() recovered from the sandbox harvest map
+  // (empty for in-process runs and delivered results): the ledger flags
+  // first hits that survived a child death with these.
+  std::vector<sym::BranchId> last_harvested;
   const auto execute = [&](const minimpi::LaunchSpec& s) {
+    last_harvested.clear();
     if (!options_.isolate) return minimpi::launch(s, *target_.table);
     sandbox::SandboxStats st;
     minimpi::RunResult r =
@@ -215,16 +257,26 @@ CampaignResult Campaign::run() {
     result.sandbox_harvest_bytes += st.harvest_bytes;
     m_sandbox_harvest_bytes.inc(
         static_cast<std::int64_t>(st.harvest_bytes));
+    last_harvested = std::move(st.harvested);
     if (st.signal_kill) {
       ++result.sandbox_signal_kills;
       m_sandbox_signal_kills.inc();
       obs::instant(obs::Cat::kSandbox, "signal_kill", "signal",
                    st.term_signal);
+      obs::JournalEvent(journal, "sandbox_kill", journal_iter)
+          .str("kind", "signal")
+          .num("signal", st.term_signal)
+          .num("harvested_branches",
+               static_cast<std::int64_t>(last_harvested.size()));
     }
     if (st.hang_kill) {
       ++result.sandbox_hang_kills;
       m_sandbox_hang_kills.inc();
       obs::instant(obs::Cat::kSandbox, "hang_kill");
+      obs::JournalEvent(journal, "sandbox_kill", journal_iter)
+          .str("kind", "hang")
+          .num("harvested_branches",
+               static_cast<std::int64_t>(last_harvested.size()));
     }
     return r;
   };
@@ -262,12 +314,25 @@ CampaignResult Campaign::run() {
     std::ostringstream blob;
     strategy->save_state(blob);
     c.strategy_state = blob.str();
+    std::ostringstream ledger_blob;
+    ledger.write(ledger_blob);
+    c.ledger_state = ledger_blob.str();
     session->write_checkpoint(c);
+    session->write_ledger(ledger, *target_.table);
+    session->write_coverage_timeline(result.iterations);
+    journal.flush();
     export_obs();
   };
 
   int executed = 0;   // iterations run by THIS process (halt hook)
   bool halted = false;
+
+  // Bug-budget exhaustion (--max-bugs) ends the campaign gracefully: the
+  // loop breaks, and summary/ledger/obs exports below all still run.
+  const auto bug_budget_hit = [&] {
+    return options_.max_bugs > 0 &&
+           result.bugs.size() >= static_cast<std::size_t>(options_.max_bugs);
+  };
 
   // Periodic snapshot / simulated-kill bookkeeping at the bottom of every
   // iteration; returns true when the campaign must stop abruptly.
@@ -286,12 +351,60 @@ CampaignResult Campaign::run() {
     return false;
   };
 
+  // One "iteration" journal event per iterations.csv row (both the normal
+  // and the focus-replan append sites funnel through here) plus the
+  // --status-file heartbeat, rewritten via tmp + rename so a monitoring
+  // reader never sees a torn file.
+  const auto note_iteration = [&](const IterationRecord& rec,
+                                  const std::map<std::string, std::int64_t>&
+                                      named_inputs,
+                                  std::size_t new_branches) {
+    obs::JournalEvent(journal, "iteration", rec.iteration)
+        .num("nprocs", rec.nprocs)
+        .num("focus", rec.focus)
+        .str("outcome", rt::to_string(rec.outcome))
+        .boolean("restart", rec.restart)
+        .num("constraint_set_size",
+             static_cast<std::int64_t>(rec.constraint_set_size))
+        .num("covered_branches",
+             static_cast<std::int64_t>(rec.covered_branches))
+        .num("new_branches", static_cast<std::int64_t>(new_branches))
+        .real("exec_seconds", rec.exec_seconds)
+        .real("solve_seconds", rec.solve_seconds)
+        .num("solver_nodes", rec.solver_nodes)
+        .num("retries", rec.retries)
+        .inputs(named_inputs);
+    journal.flush();
+    if (options_.status_file.empty()) return;
+    std::string line;
+    obs::JsonWriter status(line);
+    status.field("iteration", static_cast<std::int64_t>(rec.iteration));
+    status.field("covered_branches",
+                 static_cast<std::int64_t>(rec.covered_branches));
+    status.field("bugs", static_cast<std::int64_t>(result.bugs.size()));
+    status.field("elapsed_seconds", elapsed());
+    status.field("nprocs", static_cast<std::int64_t>(rec.nprocs));
+    status.field("focus", static_cast<std::int64_t>(rec.focus));
+    status.field("outcome", rt::to_string(rec.outcome));
+    status.finish();
+    namespace fs = std::filesystem;
+    const fs::path tmp(options_.status_file + ".tmp");
+    {
+      std::ofstream out(tmp);
+      out << line;
+    }
+    std::error_code ec;
+    fs::rename(tmp, fs::path(options_.status_file), ec);
+  };
+
   for (int iter = start_iter; iter < options_.iterations; ++iter) {
     if (options_.time_budget_seconds > 0 &&
         elapsed() >= options_.time_budget_seconds) {
       break;
     }
     obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
+    journal_iter = iter;
+    const std::size_t covered_before = coverage.covered_branches();
     int iter_retries = 0;  // transient retries absorbed by THIS iteration
 
     // ---- launch the planned test (§III-D) ----
@@ -319,6 +432,9 @@ CampaignResult Campaign::run() {
             mix_seed(options_.chaos.seed,
                      static_cast<std::uint64_t>(iter) * 64 +
                          static_cast<std::uint64_t>(attempt));
+        obs::JournalEvent(journal, "chaos_armed", iter)
+            .num("attempt", attempt)
+            .num("seed", static_cast<std::int64_t>(spec.chaos.seed));
       }
       spec.timeout = options_.test_timeout * (1 << attempt);
       spec.step_budget = options_.step_budget << attempt;
@@ -334,6 +450,9 @@ CampaignResult Campaign::run() {
         break;
       }
       obs::instant(obs::Cat::kChaosRetry, "timeout_retry", "attempt", attempt);
+      obs::JournalEvent(journal, "retry", iter)
+          .str("kind", "timeout")
+          .num("attempt", attempt);
       m_retries.inc();
       backoff(attempt);
       ++result.transient_retries;
@@ -352,6 +471,26 @@ CampaignResult Campaign::run() {
     const rt::TestLog& focus_log = run.focus_log();
     result.max_constraint_set =
         std::max(result.max_constraint_set, focus_log.path.size());
+
+    // ---- attribute this run's coverage (ledger + journal) ----
+    // The named assignment of the run: the focus's actually-used values, or
+    // the planned assignment when the focus died before flushing its log
+    // (same fallback the bug records use).
+    std::map<std::string, std::int64_t> named_inputs;
+    for (const auto& [var, value] :
+         !focus_log.inputs_used.empty() ? focus_log.inputs_used
+                                        : plan.inputs) {
+      named_inputs[registry.meta(var).key] = value;
+    }
+    {
+      CoverageLedger::RunContext lctx;
+      lctx.iteration = iter;
+      lctx.nprocs = plan.nprocs;
+      lctx.focus = plan.focus;
+      lctx.inputs = &named_inputs;
+      lctx.harvested = &last_harvested;
+      ledger.record_run(lctx, run);
+    }
 
     IterationRecord rec;
     rec.iteration = iter;
@@ -422,9 +561,11 @@ CampaignResult Campaign::run() {
         consecutive_replans < plan.nprocs - 1) {
       result.iterations.push_back(rec);
       if (session) session->append_iteration(rec);
+      note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
       plan.focus = (plan.focus + 1) % plan.nprocs;
       ++result.focus_replans;
       ++consecutive_replans;
+      if (bug_budget_hit()) break;
       if (end_of_iteration(iter)) {
         halted = true;
         break;
@@ -470,6 +611,7 @@ CampaignResult Campaign::run() {
       }
       preds.push_back(negated);
 
+      const std::int64_t nodes_before = rec.solver_nodes;
       solver::SolveResult solved = the_solver.solve_incremental(
           preds, framework.domains(), focus_log.inputs_used);
       rec.solver_nodes += solved.nodes_searched;
@@ -481,6 +623,10 @@ CampaignResult Campaign::run() {
            ++attempt) {
         obs::instant(obs::Cat::kChaosRetry, "solver_retry", "attempt",
                      attempt);
+        obs::JournalEvent(journal, "retry", iter)
+            .str("kind", "solver")
+            .num("attempt", attempt)
+            .num("target", cand->target);
         m_retries.inc();
         backoff(attempt);
         ++result.transient_retries;
@@ -491,6 +637,13 @@ CampaignResult Campaign::run() {
                                            focus_log.inputs_used);
         rec.solver_nodes += solved.nodes_searched;
       }
+      obs::JournalEvent(journal, "solve", iter)
+          .num("depth", static_cast<std::int64_t>(cand->depth))
+          .num("target", cand->target)
+          .boolean("sat", solved.sat)
+          .boolean("budget_exhausted", solved.budget_exhausted)
+          .num("nodes", rec.solver_nodes - nodes_before)
+          .num("slice_size", static_cast<std::int64_t>(solved.slice_size));
       if (solved.sat) {
         plan = framework.plan_next_test(solved, focus_log, plan);
         strategy->accepted(*cand);
@@ -498,6 +651,13 @@ CampaignResult Campaign::run() {
         failures = 0;
         planned = true;
         break;
+      }
+      // The negation failed: remember the nearest miss for the branch it
+      // was steering toward (UNSAT keeps the rendered constraint around
+      // for --explain's never-taken report).
+      if (cand->target >= 0) {
+        ledger.record_solve_failure(cand->target, iter, negated.to_string(),
+                                    solved.budget_exhausted);
       }
       if (++failures >= options_.restart_after_failures) break;
     }
@@ -508,6 +668,7 @@ CampaignResult Campaign::run() {
     m_solver_nodes.observe(rec.solver_nodes);
     result.iterations.push_back(rec);
     if (session) session->append_iteration(rec);
+    note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
 
     if (!planned) {
       // Strategy exhausted or solver stuck: restart with random inputs.
@@ -520,6 +681,11 @@ CampaignResult Campaign::run() {
       next_is_restart = true;
     }
 
+    if (bug_budget_hit()) {
+      obs::JournalEvent(journal, "bug_budget_exhausted", iter)
+          .num("bugs", static_cast<std::int64_t>(result.bugs.size()));
+      break;
+    }
     if (end_of_iteration(iter)) {
       halted = true;
       break;
@@ -544,11 +710,14 @@ CampaignResult Campaign::run() {
   if (halted) return result;
   if (session) {
     session->write_summary(result);
+    session->write_ledger(ledger, *target_.table);
+    session->write_coverage_timeline(result.iterations);
     if (options_.checkpoint_interval > 0) {
       save_checkpoint(options_.iterations);
     }
   }
   campaign_span.finish();  // close before the dump so the span is in it
+  journal.close();
   export_obs();
   return result;
 }

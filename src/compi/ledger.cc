@@ -1,0 +1,241 @@
+#include "compi/ledger.h"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "compi/checkpoint.h"
+
+namespace compi {
+
+std::uint64_t BranchAttribution::total_hits() const {
+  return std::accumulate(hits_per_rank.begin(), hits_per_rank.end(),
+                         std::uint64_t{0});
+}
+
+CoverageLedger::CoverageLedger(const rt::BranchTable& table)
+    : attribution_(table.num_branches()),
+      near_misses_(table.num_branches()) {}
+
+void CoverageLedger::record_run(const RunContext& ctx,
+                                const minimpi::RunResult& run) {
+  // Harvested ids form a small sorted probe set (the supervisor emits them
+  // in id order); binary search keeps the per-branch test cheap.
+  const std::vector<sym::BranchId>* harvested =
+      ctx.harvested != nullptr && !ctx.harvested->empty() ? ctx.harvested
+                                                          : nullptr;
+  for (std::size_t r = 0; r < run.ranks.size(); ++r) {
+    const rt::CoverageBitmap& covered = run.ranks[r].log.covered;
+    const std::size_t n = std::min(covered.size(), attribution_.size());
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!covered.covered(static_cast<sym::BranchId>(b))) continue;
+      BranchAttribution& a = attribution_[b];
+      if (!a.covered()) {
+        a.first_iteration = ctx.iteration;
+        a.first_focus = ctx.focus;
+        a.first_nprocs = ctx.nprocs;
+        a.first_rank = static_cast<int>(r);
+        a.first_harvested =
+            harvested != nullptr &&
+            std::binary_search(harvested->begin(), harvested->end(),
+                               static_cast<sym::BranchId>(b));
+        if (ctx.inputs != nullptr) a.first_inputs = *ctx.inputs;
+        ++covered_;
+        // Coverage settles the near miss; drop the stale constraint.
+        near_misses_[b].reset();
+      }
+      if (a.hits_per_rank.size() <= r) a.hits_per_rank.resize(r + 1, 0);
+      ++a.hits_per_rank[r];
+    }
+  }
+}
+
+void CoverageLedger::record_solve_failure(sym::BranchId branch, int iteration,
+                                          const std::string& constraint,
+                                          bool budget_exhausted) {
+  const auto b = static_cast<std::size_t>(branch);
+  if (b >= attribution_.size() || attribution_[b].covered()) return;
+  std::optional<NearMiss>& miss = near_misses_[b];
+  if (!miss) miss.emplace();
+  ++miss->attempts;
+  miss->last_iteration = iteration;
+  miss->budget_exhausted = budget_exhausted;
+  miss->constraint = constraint;
+}
+
+std::vector<std::size_t> CoverageLedger::branches_per_rank() const {
+  std::vector<std::size_t> out;
+  for (const BranchAttribution& a : attribution_) {
+    for (std::size_t r = 0; r < a.hits_per_rank.size(); ++r) {
+      if (a.hits_per_rank[r] == 0) continue;
+      if (out.size() <= r) out.resize(r + 1, 0);
+      ++out[r];
+    }
+  }
+  return out;
+}
+
+std::vector<sym::BranchId> CoverageLedger::nearest_misses() const {
+  std::vector<sym::BranchId> out;
+  for (std::size_t b = 0; b < near_misses_.size(); ++b) {
+    if (near_misses_[b].has_value() && !attribution_[b].covered()) {
+      out.push_back(static_cast<sym::BranchId>(b));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [&](sym::BranchId x, sym::BranchId y) {
+                     return near_misses_[static_cast<std::size_t>(x)]
+                                ->attempts >
+                            near_misses_[static_cast<std::size_t>(y)]
+                                ->attempts;
+                   });
+  return out;
+}
+
+// ---- persistence ----
+
+void CoverageLedger::write(std::ostream& os) const {
+  os << "ledger " << attribution_.size() << ' ' << covered_ << '\n';
+  for (std::size_t b = 0; b < attribution_.size(); ++b) {
+    const BranchAttribution& a = attribution_[b];
+    if (a.covered()) {
+      os << "hit " << b << ' ' << a.first_iteration << ' ' << a.first_focus
+         << ' ' << a.first_nprocs << ' ' << a.first_rank << ' '
+         << (a.first_harvested ? 1 : 0) << ' ' << a.hits_per_rank.size();
+      for (std::uint32_t h : a.hits_per_rank) os << ' ' << h;
+      os << ' ' << a.first_inputs.size() << '\n';
+      for (const auto& [name, value] : a.first_inputs) {
+        os << value << ' ' << ckpt::escape(name) << '\n';
+      }
+    }
+    const std::optional<NearMiss>& miss = near_misses_[b];
+    if (miss.has_value() && !a.covered()) {
+      os << "miss " << b << ' ' << miss->attempts << ' '
+         << miss->last_iteration << ' ' << (miss->budget_exhausted ? 1 : 0)
+         << ' ' << ckpt::escape(miss->constraint) << '\n';
+    }
+  }
+  os << "ledger_end\n";
+}
+
+bool CoverageLedger::read(std::istream& is) {
+  std::string tok;
+  if (!(is >> tok) || tok != "ledger") return false;
+  std::size_t branches = 0, covered = 0;
+  if (!(is >> branches >> covered) || branches != attribution_.size()) {
+    return false;
+  }
+  std::vector<BranchAttribution> attribution(attribution_.size());
+  std::vector<std::optional<NearMiss>> misses(near_misses_.size());
+  std::size_t covered_seen = 0;
+  const auto read_tail = [&is] {
+    std::string line;
+    if (is.peek() == ' ') is.get();
+    std::getline(is, line);
+    return line;
+  };
+  for (;;) {
+    if (!(is >> tok)) return false;
+    if (tok == "ledger_end") break;
+    std::size_t b = 0;
+    if (!(is >> b) || b >= attribution.size()) return false;
+    if (tok == "hit") {
+      BranchAttribution& a = attribution[b];
+      int harvested = 0;
+      std::size_t nranks = 0;
+      if (!(is >> a.first_iteration >> a.first_focus >> a.first_nprocs >>
+            a.first_rank >> harvested >> nranks)) {
+        return false;
+      }
+      a.first_harvested = harvested != 0;
+      a.hits_per_rank.resize(nranks);
+      for (std::uint32_t& h : a.hits_per_rank) {
+        if (!(is >> h)) return false;
+      }
+      std::size_t ninputs = 0;
+      if (!(is >> ninputs)) return false;
+      for (std::size_t i = 0; i < ninputs; ++i) {
+        std::int64_t value = 0;
+        if (!(is >> value)) return false;
+        a.first_inputs[ckpt::unescape(read_tail())] = value;
+      }
+      ++covered_seen;
+    } else if (tok == "miss") {
+      NearMiss miss;
+      int budget = 0;
+      if (!(is >> miss.attempts >> miss.last_iteration >> budget)) {
+        return false;
+      }
+      miss.budget_exhausted = budget != 0;
+      miss.constraint = ckpt::unescape(read_tail());
+      misses[b] = std::move(miss);
+    } else {
+      return false;
+    }
+  }
+  if (covered_seen != covered) return false;
+  attribution_ = std::move(attribution);
+  near_misses_ = std::move(misses);
+  covered_ = covered;
+  return true;
+}
+
+std::string csv_quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CoverageLedger::write_csv(std::ostream& os,
+                               const rt::BranchTable& table) const {
+  os << "branch,site,function,arm,covered,first_iteration,first_focus,"
+        "first_nprocs,first_rank,first_harvested,total_hits,hits_per_rank,"
+        "miss_attempts,miss_last_iteration,miss_budget_exhausted,"
+        "nearest_miss_constraint,first_inputs\n";
+  for (std::size_t b = 0; b < attribution_.size(); ++b) {
+    const BranchAttribution& a = attribution_[b];
+    const sym::SiteId site = sym::site_of(static_cast<sym::BranchId>(b));
+    os << b << ',' << csv_quote(table.site(site).name) << ','
+       << csv_quote(table.site(site).function) << ','
+       << (sym::direction_of(static_cast<sym::BranchId>(b)) ? 'T' : 'F')
+       << ',' << (a.covered() ? 1 : 0) << ',';
+    if (a.covered()) {
+      os << a.first_iteration << ',' << a.first_focus << ','
+         << a.first_nprocs << ',' << a.first_rank << ','
+         << (a.first_harvested ? 1 : 0) << ',' << a.total_hits() << ',';
+      std::string per_rank;
+      for (std::size_t r = 0; r < a.hits_per_rank.size(); ++r) {
+        if (r > 0) per_rank.push_back(':');
+        per_rank += std::to_string(a.hits_per_rank[r]);
+      }
+      os << per_rank << ',';
+    } else {
+      os << ",,,,,0,,";
+    }
+    const std::optional<NearMiss>& miss = near_misses_[b];
+    if (miss.has_value() && !a.covered()) {
+      os << miss->attempts << ',' << miss->last_iteration << ','
+         << (miss->budget_exhausted ? 1 : 0) << ','
+         << csv_quote(miss->constraint) << ',';
+    } else {
+      os << ",,,,";
+    }
+    std::string inputs;
+    for (const auto& [name, value] : a.first_inputs) {
+      if (!inputs.empty()) inputs.push_back(' ');
+      inputs += name + "=" + std::to_string(value);
+    }
+    os << csv_quote(inputs) << '\n';
+  }
+}
+
+}  // namespace compi

@@ -1,0 +1,136 @@
+// Coverage attribution ledger: which branch was earned by what, and when.
+//
+// The coverage tracker answers "how many branches" — this ledger answers
+// the questions a plateaued campaign raises (paper Tables 4-6 are
+// coverage-over-iterations curves; MPISE-style per-path diagnostics need
+// the provenance behind them):
+//  * For every covered branch: the iteration that first hit it, the
+//    planned input assignment / focus / world size of that run, the rank
+//    that actually executed it, and whether the hit was recovered from the
+//    sandbox's MAP_SHARED harvest after the child died.
+//  * Per-rank hit counts: how many (iteration, rank) pairs covered each
+//    branch — the data behind `--explain`'s per-rank skew table.
+//  * For never-taken branches: the nearest miss — the negated constraint
+//    the solver most recently failed to satisfy while trying to steer
+//    execution into that branch, and how often it was attempted.
+//
+// The ledger is driver state, persisted inside the campaign checkpoint
+// (format v4) so attribution survives kill + --resume, and exported as
+// <log_dir>/ledger.csv for `--explain` and external tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/launcher.h"
+#include "runtime/branch_table.h"
+
+namespace compi {
+
+/// Attribution of one branch.  Default-constructed = never taken.
+struct BranchAttribution {
+  /// Iteration of the first hit; -1 while never taken.
+  int first_iteration = -1;
+  /// Focus rank / world size the discovering run was planned with.
+  int first_focus = -1;
+  int first_nprocs = 0;
+  /// Global rank whose log (or harvest stamp) first contained the branch.
+  int first_rank = -1;
+  /// The first hit was recovered from the sandbox coverage harvest of a
+  /// child that died before delivering its logs.
+  bool first_harvested = false;
+  /// Named planned assignment of the discovering run.
+  std::map<std::string, std::int64_t> first_inputs;
+  /// hits_per_rank[r] = iterations in which rank r covered this branch
+  /// (bitmaps record presence per run, not execution counts).
+  std::vector<std::uint32_t> hits_per_rank;
+
+  [[nodiscard]] bool covered() const { return first_iteration >= 0; }
+  [[nodiscard]] std::uint64_t total_hits() const;
+};
+
+/// The solver near-miss record of a never-taken branch.
+struct NearMiss {
+  /// Failed negation attempts targeting this branch.
+  int attempts = 0;
+  int last_iteration = -1;
+  /// The last failure was a node-budget exhaustion (unknown), not UNSAT.
+  bool budget_exhausted = false;
+  /// Rendered form of the negated constraint that failed to solve.
+  std::string constraint;
+};
+
+class CoverageLedger {
+ public:
+  explicit CoverageLedger(const rt::BranchTable& table);
+
+  /// Context of one executed test, shared by every branch it attributes.
+  struct RunContext {
+    int iteration = 0;
+    int nprocs = 0;
+    int focus = 0;
+    /// Planned assignment by variable name (copied into first-hit records).
+    const std::map<std::string, std::int64_t>* inputs = nullptr;
+    /// Branch ids whose coverage came from the sandbox harvest map instead
+    /// of a delivered rank log (nullptr/empty for in-process runs).
+    const std::vector<sym::BranchId>* harvested = nullptr;
+  };
+
+  /// Attributes one run's coverage: walks every rank's covered bitmap and
+  /// updates first-hit records and per-rank hit counts.
+  void record_run(const RunContext& ctx, const minimpi::RunResult& run);
+
+  /// Records a failed solve whose negated constraint targeted `branch`
+  /// (the other arm of a path entry).  Covered branches are ignored —
+  /// a near miss only matters while the branch is still never-taken.
+  void record_solve_failure(sym::BranchId branch, int iteration,
+                            const std::string& constraint,
+                            bool budget_exhausted);
+
+  [[nodiscard]] std::size_t num_branches() const {
+    return attribution_.size();
+  }
+  [[nodiscard]] const BranchAttribution& attribution(sym::BranchId b) const {
+    return attribution_[static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] const std::optional<NearMiss>& near_miss(
+      sym::BranchId b) const {
+    return near_misses_[static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] std::size_t covered_branches() const { return covered_; }
+
+  /// branches_per_rank()[r] = distinct branches rank r has ever covered
+  /// (the per-rank skew summary).
+  [[nodiscard]] std::vector<std::size_t> branches_per_rank() const;
+
+  /// Never-taken branches that have at least one recorded near miss,
+  /// ordered by attempt count (most-tried first).
+  [[nodiscard]] std::vector<sym::BranchId> nearest_misses() const;
+
+  // ---- persistence (checkpoint v4 embeds this; ledger.csv exports it) ----
+
+  /// Line-oriented snapshot in the checkpoint dialect.
+  void write(std::ostream& os) const;
+  /// Restores a write() snapshot.  False on parse errors or a branch-count
+  /// mismatch (the caller then keeps the fresh, empty ledger).
+  [[nodiscard]] bool read(std::istream& is);
+
+  /// CSV export: one row per branch site arm with attribution, per-rank
+  /// hit counts, and near-miss columns.  `table` supplies site names.
+  void write_csv(std::ostream& os, const rt::BranchTable& table) const;
+
+ private:
+  std::vector<BranchAttribution> attribution_;
+  std::vector<std::optional<NearMiss>> near_misses_;
+  std::size_t covered_ = 0;
+};
+
+/// Escapes one CSV cell: doubles internal quotes and wraps in quotes when
+/// the value contains a comma, quote, or newline (RFC 4180 style).
+[[nodiscard]] std::string csv_quote(const std::string& cell);
+
+}  // namespace compi

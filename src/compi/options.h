@@ -102,6 +102,11 @@ struct CampaignOptions {
   /// limit.  Ignored in ASan builds (the shadow needs the address space).
   int child_mem_mb = 0;
 
+  /// Stop the campaign once this many distinct bugs have been recorded
+  /// (0 = no budget).  Unlike the halt hook this is a graceful early
+  /// termination: summary, ledger, and observability exports all run.
+  int max_bugs = 0;
+
   /// When non-empty, the campaign writes a file-based session under this
   /// directory: per-iteration rank logs (the files the instrumented
   /// processes write in the paper's tool), iterations.csv, and bugs.txt.
@@ -119,6 +124,15 @@ struct CampaignOptions {
   /// Trace ring-buffer capacity in KiB (lossy flight recorder: oldest
   /// events are overwritten once full).
   int trace_buffer_kb = 256;
+  /// Write <log_dir>/journal.jsonl: one JSON event per iteration, per
+  /// solve attempt, per retry/chaos arming, and per sandbox kill
+  /// (obs/journal.h).  Requires `log_dir`; survives --resume with its
+  /// iteration events aligned to iterations.csv.
+  bool journal = false;
+  /// When non-empty, atomically rewrite this file each iteration with a
+  /// small JSON heartbeat (iteration, covered branches, bugs, elapsed
+  /// seconds, world size, focus) for external monitoring.
+  std::string status_file;
 };
 
 }  // namespace compi

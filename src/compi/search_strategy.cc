@@ -20,6 +20,11 @@ bool expect_tag(std::istream& is, const char* tag) {
   return static_cast<bool>(is >> tok) && tok == tag;
 }
 
+/// The branch a flip at `depth` steers toward (the untaken arm).
+sym::BranchId flip_target(const sym::Path& path, std::size_t depth) {
+  return sym::branch_id(path[depth].site, !path[depth].taken);
+}
+
 // Global mirrors of the per-strategy stats (metrics.prom aggregates across
 // strategy swaps — the two-phase switch replaces the strategy object).
 void note_candidate_issued() {
@@ -78,7 +83,8 @@ class BoundedDfsStrategy final : public SearchStrategy {
       const std::size_t depth = static_cast<std::size_t>(f.idx--);
       ++stats_.candidates_issued;
       note_candidate_issued();
-      return Candidate{f.path.constraints_negating(depth), depth};
+      return Candidate{f.path.constraints_negating(depth), depth,
+                       flip_target(f.path, depth)};
     }
     return std::nullopt;
   }
@@ -147,7 +153,8 @@ class RandomBranchStrategy final : public SearchStrategy {
     const std::size_t depth = dist(rng_);
     ++stats_.candidates_issued;
     note_candidate_issued();
-    return Candidate{path_.constraints_negating(depth), depth};
+    return Candidate{path_.constraints_negating(depth), depth,
+                     flip_target(path_, depth)};
   }
 
   void accepted(const Candidate&) override { attempts_ = 0; }
@@ -202,7 +209,8 @@ class UniformRandomStrategy final : public SearchStrategy {
     }
     ++stats_.candidates_issued;
     note_candidate_issued();
-    return Candidate{path_.constraints_negating(depth), depth};
+    return Candidate{path_.constraints_negating(depth), depth,
+                     flip_target(path_, depth)};
   }
 
   void accepted(const Candidate&) override { attempts_ = 0; }
@@ -279,7 +287,8 @@ class CfgStrategy final : public SearchStrategy {
     tried_[best_depth] = 1;
     ++stats_.candidates_issued;
     note_candidate_issued();
-    return Candidate{path_.constraints_negating(best_depth), best_depth};
+    return Candidate{path_.constraints_negating(best_depth), best_depth,
+                     flip_target(path_, best_depth)};
   }
 
   void accepted(const Candidate&) override { attempts_ = 0; }
@@ -368,8 +377,9 @@ class GenerationalStrategy final : public SearchStrategy {
 
     const std::size_t lo = flipped_depth ? *flipped_depth + 1 : 0;
     for (std::size_t d = lo; d < path.size(); ++d) {
-      queue_.push_back(
-          Entry{gain, next_tiebreak_++, path.constraints_negating(d), d});
+      queue_.push_back(Entry{gain, next_tiebreak_++,
+                             path.constraints_negating(d), d,
+                             flip_target(path, d)});
       std::push_heap(queue_.begin(), queue_.end());
     }
   }
@@ -381,7 +391,7 @@ class GenerationalStrategy final : public SearchStrategy {
     queue_.pop_back();
     ++stats_.candidates_issued;
     note_candidate_issued();
-    return Candidate{std::move(top.constraints), top.depth};
+    return Candidate{std::move(top.constraints), top.depth, top.target};
   }
 
   [[nodiscard]] const char* name() const override { return "Generational"; }
@@ -392,7 +402,7 @@ class GenerationalStrategy final : public SearchStrategy {
     os << "entries " << queue_.size() << '\n';
     for (const Entry& e : queue_) {
       os << e.score << ' ' << e.tiebreak << ' ' << e.depth << ' '
-         << e.constraints.size() << '\n';
+         << e.target << ' ' << e.constraints.size() << '\n';
       for (const solver::Predicate& p : e.constraints) {
         ckpt::write_predicate(os, p);
         os << '\n';
@@ -412,7 +422,9 @@ class GenerationalStrategy final : public SearchStrategy {
     for (std::size_t i = 0; i < n; ++i) {
       Entry e;
       std::size_t npreds = 0;
-      if (!(is >> e.score >> e.tiebreak >> e.depth >> npreds)) return false;
+      if (!(is >> e.score >> e.tiebreak >> e.depth >> e.target >> npreds)) {
+        return false;
+      }
       e.constraints.resize(npreds);
       for (solver::Predicate& p : e.constraints) {
         if (!ckpt::read_predicate(is, p)) return false;
@@ -429,6 +441,7 @@ class GenerationalStrategy final : public SearchStrategy {
     std::uint64_t tiebreak = 0; // FIFO within a score class
     std::vector<solver::Predicate> constraints;
     std::size_t depth = 0;
+    sym::BranchId target = -1;  // untaken arm the flip steers toward
     bool operator<(const Entry& o) const {
       if (score != o.score) return score < o.score;  // max-heap on score
       return tiebreak > o.tiebreak;                  // FIFO otherwise

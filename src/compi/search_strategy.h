@@ -27,6 +27,10 @@ namespace compi {
 struct Candidate {
   std::vector<solver::Predicate> constraints;
   std::size_t depth = 0;
+  /// Branch the negation steers toward — the UNTAKEN arm of the flipped
+  /// path entry.  -1 when unknown; the attribution ledger keys solver
+  /// near-misses on it.
+  sym::BranchId target = -1;
 };
 
 struct StrategyStats {

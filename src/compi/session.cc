@@ -192,6 +192,25 @@ void SessionWriter::write_summary(const CampaignResult& result) {
   }
 }
 
+void SessionWriter::write_ledger(const CoverageLedger& ledger,
+                                 const rt::BranchTable& table) {
+  std::ofstream out(dir_ / "ledger.csv");
+  ledger.write_csv(out, table);
+}
+
+void SessionWriter::write_coverage_timeline(
+    const std::vector<IterationRecord>& iterations) {
+  std::ofstream out(dir_ / "coverage_timeline.csv");
+  out << "iteration,covered_branches,new_branches\n";
+  std::size_t prev = 0;
+  for (const IterationRecord& r : iterations) {
+    if (r.covered_branches <= prev) continue;
+    out << r.iteration << ',' << r.covered_branches << ','
+        << (r.covered_branches - prev) << '\n';
+    prev = r.covered_branches;
+  }
+}
+
 void SessionWriter::write_checkpoint(
     const ckpt::CampaignCheckpoint& checkpoint) {
   const fs::path final_path = dir_ / "checkpoint.txt";

@@ -20,6 +20,7 @@
 
 #include "compi/checkpoint.h"
 #include "compi/driver.h"
+#include "compi/ledger.h"
 #include "minimpi/launcher.h"
 
 namespace compi {
@@ -75,6 +76,16 @@ class SessionWriter {
   /// Atomically replaces <dir>/checkpoint.txt (write-to-temp + rename, so a
   /// kill mid-write never leaves a truncated snapshot).
   void write_checkpoint(const ckpt::CampaignCheckpoint& checkpoint);
+
+  /// Rewrites <dir>/ledger.csv from the attribution ledger (called at every
+  /// checkpoint and at campaign end, like the obs exports).
+  void write_ledger(const CoverageLedger& ledger, const rt::BranchTable& table);
+
+  /// Rewrites <dir>/coverage_timeline.csv: one row per iteration that
+  /// increased cumulative coverage (iteration, covered_branches,
+  /// new_branches) — the file bench tables and --explain build
+  /// iterations-to-coverage columns from.
+  void write_coverage_timeline(const std::vector<IterationRecord>& iterations);
 
   [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
 

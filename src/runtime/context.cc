@@ -97,7 +97,7 @@ bool RuntimeContext::branch(SiteId site, const sym::SymBool& cond) {
   }
   const bool taken = cond.value();
   log_.covered.mark(sym::branch_id(site, taken));
-  coverage_sink_mark(sym::branch_id(site, taken));
+  coverage_sink_mark(sym::branch_id(site, taken), log_.rank);
   if (heavy()) {
     log_.branch_trace.push_back(sym::branch_id(site, taken));
   }

@@ -74,8 +74,9 @@ const char* signal_name(int sig) {
 /// Builds the job the campaign records when the child died without
 /// delivering a result frame: the mapped outcome on the reporting rank,
 /// kAborted peers (mpiexec tears the rest of the job down the same way),
-/// and the shared-map coverage harvest attributed to the reporting rank —
-/// per-rank attribution died with the child.
+/// and the shared-map coverage harvest distributed to the per-rank logs
+/// named by the sink's rank stamps.  Stamps outside the world (saturated,
+/// or from a mis-sized map) fall back to the reporting rank.
 minimpi::RunResult synthesize(const minimpi::LaunchSpec& spec,
                               const rt::BranchTable& table,
                               const unsigned char* map, std::size_t map_size,
@@ -102,12 +103,12 @@ minimpi::RunResult synthesize(const minimpi::LaunchSpec& spec,
     rank.log.outcome_message = rank.message;
     rank.log.covered = rt::CoverageBitmap(table.num_branches());
   }
-  rt::CoverageBitmap& covered =
-      run.ranks[static_cast<std::size_t>(report)].log.covered;
-  for (std::size_t i = 0; i < map_size; ++i) {
-    if (map != nullptr && map[i] != 0) {
-      covered.mark(static_cast<sym::BranchId>(i));
-    }
+  for (std::size_t i = 0; map != nullptr && i < map_size; ++i) {
+    if (map[i] == 0) continue;
+    int rank = rt::coverage_sink_rank(map[i]);
+    if (rank < 0 || rank >= nprocs) rank = report;
+    run.ranks[static_cast<std::size_t>(rank)].log.covered.mark(
+        static_cast<sym::BranchId>(i));
   }
   return run;
 }
@@ -356,15 +357,17 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
   }
   st.harvest_bytes = reader.bytes_fed();
   const auto* bytes = static_cast<const unsigned char*>(map);
-  std::size_t harvested_branches = 0;
+  std::vector<sym::BranchId> harvested_ids;
   for (std::size_t i = 0; i < map_size; ++i) {
-    harvested_branches += bytes[i] != 0 ? 1 : 0;
+    if (bytes[i] != 0) harvested_ids.push_back(static_cast<sym::BranchId>(i));
   }
+  const std::size_t harvested_branches = harvested_ids.size();
 
   minimpi::RunResult result;
   if (timed_out) {
     st.hang_kill = true;
     st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
     result = synthesize(
         spec, table, bytes, map_size, rt::Outcome::kTimeout,
         "sandboxed child exceeded the hang timeout; killed by the "
@@ -396,6 +399,7 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
       result.ranks[report].log.outcome = outcome;
       result.ranks[report].log.outcome_message = message;
     } else {
+      st.harvested = std::move(harvested_ids);
       result = synthesize(spec, table, bytes, map_size, outcome, message);
       result.wall_seconds = wall;
     }
@@ -403,11 +407,13 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
     result = std::move(*decoded);
   } else if (error_frame.has_value()) {
     st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
     result = synthesize(spec, table, bytes, map_size, rt::Outcome::kMpiError,
                         "sandboxed launcher failed: " + *error_frame);
     result.wall_seconds = wall;
   } else {
     st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
     const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     result = synthesize(spec, table, bytes, map_size, rt::Outcome::kMpiError,
                         "sandboxed child exited with status " +

@@ -16,7 +16,9 @@
 //    SIGKILL/SIGXCPU -> kTimeout),
 //  * harvests whatever coverage the child flushed before dying, via a
 //    MAP_SHARED byte-per-branch mirror installed as the child's coverage
-//    sink (runtime/coverage_sink.h).
+//    sink (runtime/coverage_sink.h).  Sink bytes carry the marking rank
+//    (rank + 1, first-write-wins), so harvested coverage is attributed to
+//    the rank that executed each branch, not lumped onto the focus.
 //
 // On platforms without fork() the sandbox degrades to the in-process
 // launcher (SandboxStats::forked stays false), so in-process mode remains
@@ -25,6 +27,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <vector>
 
 #include "minimpi/launcher.h"
 
@@ -54,6 +57,11 @@ struct SandboxStats {
   /// Bytes recovered from the dead child: pipe stream plus harvested
   /// shared-map coverage bytes.
   std::size_t harvest_bytes = 0;
+  /// Branch ids whose coverage was recovered from the shared map instead
+  /// of a delivered rank log (sorted ascending; empty when the child
+  /// delivered a full result).  The attribution ledger uses this to flag
+  /// first hits that survived a child death.
+  std::vector<sym::BranchId> harvested;
 };
 
 /// True when this build can actually fork a child (POSIX).
@@ -67,8 +75,8 @@ struct SandboxStats {
 /// Runs one test in a forked child.  Never throws target faults and never
 /// lets the child's death propagate: a crashed or hung child yields a
 /// synthesized RunResult carrying the mapped outcome and the harvested
-/// coverage (attributed to the focus rank; per-rank attribution dies with
-/// the child).
+/// coverage, distributed to the per-rank logs named by the sink's rank
+/// stamps (unattributable stamps fall back to the reporting rank).
 [[nodiscard]] minimpi::RunResult run_sandboxed(
     const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
     const SandboxOptions& options, SandboxStats* stats = nullptr);

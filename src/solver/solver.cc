@@ -172,6 +172,7 @@ SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
 
   const std::vector<std::size_t> slice =
       dependency_slice(preds, preds.size() - 1);
+  result.slice_size = slice.size();
   std::vector<Predicate> sub;
   sub.reserve(slice.size());
   std::vector<Var> slice_vars;

@@ -44,6 +44,9 @@ struct SolveResult {
   /// Backtracking-search nodes expanded by this query (per-iteration solver
   /// cost accounting: iterations.csv's solver_nodes column).
   std::int64_t nodes_searched = 0;
+  /// Constraints in the dependency slice actually re-solved (the journal's
+  /// per-solve cost signal; 0 for the empty-set fast path).
+  std::size_t slice_size = 0;
 };
 
 class Solver {

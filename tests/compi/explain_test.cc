@@ -1,0 +1,201 @@
+// `--explain` end-to-end: a journaled campaign leaves artifacts the
+// report can replay, the journal's iteration events stay aligned with
+// iterations.csv (including across a kill + --resume), and the CSV
+// splitter honors RFC 4180 quoting.
+#include "compi/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "compi/driver.h"
+#include "obs/journal.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_explain_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::size_t csv_rows(const fs::path& file) {
+  std::ifstream in(file);
+  std::string line;
+  std::size_t rows = 0;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  return rows;
+}
+
+std::size_t journal_iteration_events(const fs::path& dir,
+                                     std::size_t* malformed = nullptr) {
+  std::size_t n = 0;
+  for (const obs::ParsedEvent& ev :
+       obs::read_journal(dir / "journal.jsonl", malformed)) {
+    if (ev.type == "iteration") ++n;
+  }
+  return n;
+}
+
+CampaignOptions journaled_options(const TempDir& tmp) {
+  CampaignOptions opts;
+  opts.seed = 7;
+  opts.iterations = 30;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.confirm_bugs = false;
+  opts.journal = true;
+  opts.log_dir = tmp.path.string();
+  return opts;
+}
+
+TEST(SplitCsvRow, HonorsRfc4180Quoting) {
+  const std::vector<std::string> cells =
+      split_csv_row("1,\"a,b\",\"say \"\"hi\"\"\",,x");
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0], "1");
+  EXPECT_EQ(cells[1], "a,b");
+  EXPECT_EQ(cells[2], "say \"hi\"");
+  EXPECT_EQ(cells[3], "");
+  EXPECT_EQ(cells[4], "x");
+}
+
+TEST(Explain, ReportsTimelineNearMissesSkewAndSolverBreakdown) {
+  TempDir tmp;
+  const CampaignResult result =
+      Campaign(fig2_target(), journaled_options(tmp)).run();
+  ASSERT_EQ(result.iterations.size(), 30u);
+
+  // Journal/CSV alignment: one iteration event per CSV row, all valid JSON.
+  std::size_t malformed = 0;
+  EXPECT_EQ(journal_iteration_events(tmp.path, &malformed),
+            csv_rows(tmp.path / "iterations.csv"));
+  EXPECT_EQ(malformed, 0u);
+
+  std::ostringstream report;
+  ASSERT_TRUE(explain_session(tmp.path, report));
+  const std::string text = report.str();
+  EXPECT_NE(text.find("Coverage timeline"), std::string::npos) << text;
+  EXPECT_NE(text.find("Never-taken branches"), std::string::npos);
+  EXPECT_NE(text.find("Per-rank coverage"), std::string::npos);
+  EXPECT_NE(text.find("solve attempts"), std::string::npos);
+  EXPECT_NE(text.find("journal events"), std::string::npos);
+}
+
+TEST(Explain, LedgerCsvAttributesTheCoverageTheCampaignFound) {
+  TempDir tmp;
+  const CampaignResult result =
+      Campaign(fig2_target(), journaled_options(tmp)).run();
+  const std::vector<LedgerCsvRow> rows =
+      read_ledger_csv(tmp.path / "ledger.csv");
+  ASSERT_EQ(rows.size(), compi::testing::kFig2Branches);
+
+  std::size_t covered = 0;
+  for (const LedgerCsvRow& row : rows) {
+    if (!row.covered) continue;
+    ++covered;
+    EXPECT_GE(row.first_iteration, 0);
+    EXPECT_LT(row.first_iteration, 30);
+    EXPECT_GT(row.first_nprocs, 0);
+    EXPECT_GE(row.first_rank, 0);
+    EXPECT_GT(row.total_hits, 0u);
+  }
+  EXPECT_EQ(covered, result.covered_branches);
+}
+
+TEST(Explain, JournalAndLedgerSurviveKillAndResume) {
+  TempDir tmp;
+  CampaignOptions opts = journaled_options(tmp);
+  opts.checkpoint_interval = 5;
+  {
+    CampaignOptions halted = opts;
+    halted.halt_after_iterations = 12;
+    const CampaignResult partial = Campaign(fig2_target(), halted).run();
+    ASSERT_EQ(partial.iterations.size(), 12u);
+  }
+  CampaignOptions resumed = opts;
+  resumed.resume = true;
+  const CampaignResult result = Campaign(fig2_target(), resumed).run();
+  ASSERT_TRUE(result.resumed);
+  ASSERT_EQ(result.iterations.size(), 30u);
+
+  // The resumed journal truncated the un-checkpointed tail and re-appended
+  // it: exactly one iteration event per CSV row, each ordinal once.
+  std::size_t malformed = 0;
+  const std::vector<obs::ParsedEvent> events =
+      obs::read_journal(tmp.path / "journal.jsonl", &malformed);
+  EXPECT_EQ(malformed, 0u);
+  std::set<int> ordinals;
+  for (const obs::ParsedEvent& ev : events) {
+    if (ev.type == "iteration") {
+      EXPECT_TRUE(ordinals.insert(ev.iter()).second)
+          << "duplicate iteration event " << ev.iter();
+    }
+  }
+  EXPECT_EQ(ordinals.size(), 30u);
+  EXPECT_EQ(csv_rows(tmp.path / "iterations.csv"), 30u);
+
+  // The restored ledger still holds pre-kill attribution: every covered
+  // row's first-hit iteration is valid and the report renders.
+  const std::vector<LedgerCsvRow> rows =
+      read_ledger_csv(tmp.path / "ledger.csv");
+  std::size_t covered = 0;
+  for (const LedgerCsvRow& row : rows) {
+    if (row.covered) {
+      ++covered;
+      EXPECT_GE(row.first_iteration, 0);
+    }
+  }
+  EXPECT_EQ(covered, result.covered_branches);
+  std::ostringstream report;
+  EXPECT_TRUE(explain_session(tmp.path, report));
+}
+
+TEST(Explain, FailsCleanlyOnAnEmptyDirectory) {
+  TempDir tmp;
+  fs::create_directories(tmp.path);
+  std::ostringstream report;
+  EXPECT_FALSE(explain_session(tmp.path, report));
+  EXPECT_NE(report.str().find("no ledger.csv"), std::string::npos);
+}
+
+TEST(Explain, StatusFileHeartbeatTracksTheLastIteration) {
+  TempDir tmp;
+  CampaignOptions opts = journaled_options(tmp);
+  opts.iterations = 5;
+  opts.status_file = (tmp.path / "status.json").string();
+  const CampaignResult result = Campaign(fig2_target(), opts).run();
+  ASSERT_EQ(result.iterations.size(), 5u);
+
+  std::ifstream in(tmp.path / "status.json");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"iteration\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"covered_branches\""), std::string::npos);
+  EXPECT_NE(line.find("\"outcome\""), std::string::npos);
+  // No torn temp file left behind.
+  EXPECT_FALSE(fs::exists(tmp.path / "status.json.tmp"));
+}
+
+}  // namespace
+}  // namespace compi

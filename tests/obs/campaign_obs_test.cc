@@ -13,6 +13,7 @@
 
 #include "compi/driver.h"
 #include "compi/report.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "tests/compi/fig2_target.h"
 #include "tests/obs/json_util.h"
@@ -168,6 +169,44 @@ TEST(CampaignObs, InjectedCrashAppearsOnVictimRankTrack) {
 }
 
 #endif  // COMPI_OBS_DISABLED
+
+TEST(CampaignObs, BugBudgetStopStillFlushesMetricsTraceAndJournal) {
+  // Regression: a campaign that terminates early once --max-bugs is hit
+  // must still flush every observability artifact — the stop is graceful,
+  // not a simulated kill.
+  TempDir tmp;
+  CampaignOptions opts = obs_opts(tmp);
+  opts.iterations = 300;  // budget large enough to derive y == 77
+  opts.max_bugs = 1;
+  opts.journal = true;
+  const CampaignResult result =
+      Campaign(fig2_target(/*with_bug=*/true), opts).run();
+#ifndef COMPI_OBS_DISABLED
+  obs::tracer().set_enabled(false);
+#endif
+
+  ASSERT_FALSE(result.bugs.empty()) << "the seeded bug must be derivable";
+  ASSERT_LT(result.iterations.size(), 300u) << "must stop before the budget";
+
+  EXPECT_FALSE(slurp(tmp.path / "metrics.prom").empty())
+      << "metrics must be flushed on early termination";
+  EXPECT_FALSE(slurp(tmp.path / "trace.json").empty())
+      << "trace must be flushed on early termination";
+
+  // The journal records the stop and stays aligned with iterations.csv.
+  std::size_t iteration_events = 0;
+  bool saw_budget_event = false;
+  for (const obs::ParsedEvent& ev :
+       obs::read_journal(tmp.path / "journal.jsonl")) {
+    if (ev.type == "iteration") ++iteration_events;
+    if (ev.type == "bug_budget_exhausted") saw_budget_event = true;
+  }
+  EXPECT_EQ(iteration_events, result.iterations.size());
+  EXPECT_TRUE(saw_budget_event);
+  // The summary still ran (graceful stop, not a kill).
+  EXPECT_FALSE(slurp(tmp.path / "summary.txt").empty());
+  EXPECT_FALSE(slurp(tmp.path / "ledger.csv").empty());
+}
 
 TEST(CampaignObs, IterationsCsvHasSolverColumnsAndAllRows) {
   TempDir tmp;

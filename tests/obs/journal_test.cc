@@ -1,0 +1,185 @@
+// The event journal: JSON emission, buffered commit, crash-tolerant
+// read-back, and the resume truncation contract (events at or past the
+// checkpoint boundary are dropped, torn tails are skipped).
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace compi::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_journal_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlCharacters) {
+  std::string out;
+  JsonWriter::append_escaped(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriter, BuildsAFlatObjectWithTypedFields) {
+  std::string out;
+  JsonWriter w(out);
+  w.field("n", std::int64_t{42});
+  w.field("s", std::string_view{"hi"});
+  w.field_bool("b", true);
+  w.begin_object("inputs");
+  w.field("x", std::int64_t{7});
+  w.end_object();
+  w.finish();
+  EXPECT_EQ(out, "{\"n\":42,\"s\":\"hi\",\"b\":true,\"inputs\":{\"x\":7}}\n");
+}
+
+TEST(Journal, DisabledJournalMakesEventsNoOps) {
+  Journal journal;  // never opened
+  EXPECT_FALSE(journal.enabled());
+  JournalEvent(journal, "iteration", 0).num("nprocs", 4).str("outcome", "ok");
+  journal.flush();
+  EXPECT_EQ(journal.events_written(), 0u);
+}
+
+TEST(Journal, EventsRoundTripThroughReadJournal) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "journal.jsonl";
+  Journal journal;
+  ASSERT_TRUE(journal.open(file));
+  {
+    JournalEvent ev(journal, "iteration", 3);
+    ev.num("nprocs", 8)
+        .real("exec_seconds", 0.25)
+        .str("outcome", "ok")
+        .boolean("restart", false)
+        .inputs({{"x", 33}, {"y", 77}});
+  }
+  JournalEvent(journal, "solve", 3).num("target", 12).boolean("sat", true);
+  journal.close();
+  EXPECT_EQ(journal.events_written(), 2u);
+
+  std::size_t malformed = 0;
+  const std::vector<ParsedEvent> events = read_journal(file, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "iteration");
+  EXPECT_EQ(events[0].iter(), 3);
+  EXPECT_EQ(events[0].num("nprocs"), 8);
+  EXPECT_EQ(events[0].real("exec_seconds"), 0.25);
+  EXPECT_EQ(events[0].str("outcome"), "ok");
+  EXPECT_EQ(events[0].boolean("restart"), false);
+  EXPECT_EQ(events[0].num("inputs.x"), 33);
+  EXPECT_EQ(events[0].num("inputs.y"), 77);
+  EXPECT_EQ(events[1].type, "solve");
+  EXPECT_EQ(events[1].boolean("sat"), true);
+}
+
+TEST(Journal, ParseRejectsMalformedAndTornLines) {
+  EXPECT_FALSE(parse_journal_line("").has_value());
+  EXPECT_FALSE(parse_journal_line("not json").has_value());
+  EXPECT_FALSE(parse_journal_line("{\"type\":\"x\"").has_value());  // torn
+  EXPECT_FALSE(parse_journal_line("{\"iter\":1}").has_value());  // no type
+  EXPECT_FALSE(
+      parse_journal_line("{\"type\":\"x\"}").has_value());  // no iter
+  const auto ok = parse_journal_line("{\"type\":\"x\",\"iter\":5}");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->iter(), 5);
+}
+
+TEST(Journal, ReadSkipsTornTrailingLine) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "journal.jsonl";
+  {
+    std::ofstream out(file);
+    out << "{\"type\":\"iteration\",\"iter\":0}\n"
+        << "{\"type\":\"iteration\",\"it";  // writer died mid-line
+  }
+  std::size_t malformed = 0;
+  const std::vector<ParsedEvent> events = read_journal(file, &malformed);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST(Journal, OpenResumeDropsEventsAtOrPastTheBoundaryAndTornTails) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "journal.jsonl";
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(file));
+    for (int i = 0; i < 6; ++i) {
+      JournalEvent(journal, "iteration", i).num("nprocs", 4);
+      JournalEvent(journal, "solve", i).boolean("sat", true);
+    }
+    journal.close();
+  }
+  // Simulate the killed writer's torn tail.
+  {
+    std::ofstream out(file, std::ios::app);
+    out << "{\"type\":\"iteration\",\"iter\":6,\"npro";
+  }
+  // Checkpoint said the next iteration is 3: events 0..2 survive, the
+  // un-checkpointed tail (3..6) and the torn line go.
+  Journal journal;
+  ASSERT_TRUE(journal.open_resume(file, 3));
+  JournalEvent(journal, "iteration", 3).num("nprocs", 4);
+  journal.close();
+
+  const std::vector<ParsedEvent> events = read_journal(file);
+  ASSERT_EQ(events.size(), 7u);  // (iteration+solve) x 3 retained + 1 new
+  int iteration_events = 0;
+  for (const ParsedEvent& ev : events) {
+    EXPECT_LE(ev.iter(), 3);
+    if (ev.type == "iteration") ++iteration_events;
+  }
+  EXPECT_EQ(iteration_events, 4);
+  const std::string text = slurp(file);
+  EXPECT_EQ(text.find("\"iter\":4"), std::string::npos);
+  EXPECT_EQ(text.find("\"iter\":6"), std::string::npos)
+      << "torn tail retained";
+}
+
+TEST(Journal, OpenResumeFallsBackToFreshOpenWhenFileMissing) {
+  TempDir tmp;
+  Journal journal;
+  ASSERT_TRUE(journal.open_resume(tmp.path / "journal.jsonl", 10));
+  JournalEvent(journal, "iteration", 10);
+  journal.close();
+  EXPECT_EQ(read_journal(tmp.path / "journal.jsonl").size(), 1u);
+}
+
+TEST(Journal, BufferedEventsReachDiskOnFlush) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "journal.jsonl";
+  Journal journal;
+  ASSERT_TRUE(journal.open(file));
+  JournalEvent(journal, "iteration", 0).num("covered_branches", 5);
+  journal.flush();
+  // Visible to a reader while the journal is still open.
+  EXPECT_EQ(read_journal(file).size(), 1u);
+  journal.close();
+}
+
+}  // namespace
+}  // namespace compi::obs

@@ -6,9 +6,13 @@
 
 #include <csignal>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "compi/driver.h"
+#include "compi/explain.h"
 #include "compi/session.h"
+#include "obs/journal.h"
 #include "sandbox/supervisor.h"
 #include "tests/compi/fig2_target.h"
 
@@ -157,6 +161,98 @@ TEST(IsolatedCampaign, UninstrumentedHangIsKilledAndTheCampaignCompletes) {
     if (bug.outcome == rt::Outcome::kTimeout) timeout_bug = true;
   }
   EXPECT_TRUE(timeout_bug) << "the hang kill must surface as kTimeout";
+}
+
+/// Strips the volatile columns (hits can differ while a doomed child's
+/// harvest races its siblings) down to the attribution identity: branch,
+/// covered flag, and first-hit iteration/focus/nprocs/rank.
+std::string attribution_fingerprint(const fs::path& dir) {
+  std::ostringstream os;
+  for (const LedgerCsvRow& row : read_ledger_csv(dir / "ledger.csv")) {
+    os << row.branch << ':' << row.covered << ':' << row.first_iteration
+       << ':' << row.first_focus << ':' << row.first_nprocs << ':'
+       << row.first_rank << '\n';
+  }
+  return os.str();
+}
+
+TEST(IsolatedCampaign, LedgerAttributionMatchesTheInProcessRun) {
+  if (!sandbox::sandbox_supported()) GTEST_SKIP() << "no fork()";
+  // The same deterministic campaign executed in-process and sandboxed must
+  // attribute every branch identically — the sandbox only changes the
+  // execution mechanism, and the harvest path must not skew provenance.
+  CampaignOptions opts = isolated_options();
+  opts.iterations = 40;
+  opts.journal = true;
+
+  TempDir in_process_dir;
+  CampaignOptions in_process = opts;
+  in_process.isolate = false;
+  in_process.log_dir = in_process_dir.path.string();
+  const CampaignResult a = Campaign(fig2_target(), in_process).run();
+
+  TempDir sandboxed_dir;
+  CampaignOptions sandboxed = opts;
+  sandboxed.log_dir = sandboxed_dir.path.string();
+  const CampaignResult b = Campaign(fig2_target(), sandboxed).run();
+
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  EXPECT_EQ(a.covered_branches, b.covered_branches);
+  EXPECT_EQ(attribution_fingerprint(in_process_dir.path),
+            attribution_fingerprint(sandboxed_dir.path));
+}
+
+TEST(IsolatedCampaign, CrashingChildrenKeepJournalAlignedAndAttributed) {
+  if (!sandbox::sandbox_supported()) GTEST_SKIP() << "no fork()";
+  TempDir dir;
+  CampaignOptions opts = isolated_options();
+  opts.iterations = 300;
+  opts.journal = true;
+  opts.log_dir = dir.path.string();
+  const CampaignResult result = Campaign(segfaulting_target(), opts).run();
+
+  ASSERT_EQ(result.iterations.size(), 300u);
+  ASSERT_GE(result.sandbox_signal_kills, 1u);
+
+  // Every journal line parses; iteration events match iterations.csv rows
+  // even though children were dying mid-campaign.
+  std::size_t malformed = 0;
+  const std::vector<obs::ParsedEvent> events =
+      obs::read_journal(dir.path / "journal.jsonl", &malformed);
+  EXPECT_EQ(malformed, 0u);
+  std::size_t iteration_events = 0, kill_events = 0;
+  for (const obs::ParsedEvent& ev : events) {
+    if (ev.type == "iteration") ++iteration_events;
+    if (ev.type == "sandbox_kill") ++kill_events;
+  }
+  std::ifstream csv(dir.path / "iterations.csv");
+  std::string line;
+  std::size_t csv_rows = 0;
+  std::getline(csv, line);
+  while (std::getline(csv, line)) {
+    if (!line.empty()) ++csv_rows;
+  }
+  EXPECT_EQ(iteration_events, 300u);
+  EXPECT_EQ(csv_rows, 300u);
+  EXPECT_GE(kill_events, result.sandbox_signal_kills);
+
+  // The crash branch (x == 33 nested under y == 77, site y_big taken) is
+  // only ever executed by a child that raises SIGSEGV on the next line:
+  // its attribution must come from the MAP_SHARED harvest, flagged as
+  // such, and credited to rank 0 (the rank whose stamp is in the map).
+  const std::vector<LedgerCsvRow> rows = read_ledger_csv(dir.path /
+                                                         "ledger.csv");
+  bool found_harvested_crash_arm = false;
+  for (const LedgerCsvRow& row : rows) {
+    if (row.site == "y_big" && row.arm == 'T' && row.covered) {
+      found_harvested_crash_arm = true;
+      EXPECT_TRUE(row.first_harvested)
+          << "the doomed child's coverage must be credited to the harvest";
+      EXPECT_EQ(row.first_rank, 0);
+    }
+  }
+  EXPECT_TRUE(found_harvested_crash_arm)
+      << "x == 33 under y == 77 must be derived, covered, and attributed";
 }
 
 TEST(IsolatedCampaign, CheckpointResumeCarriesSandboxCounters) {
