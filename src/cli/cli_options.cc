@@ -118,6 +118,14 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(0, 100'000'000);
       if (!v) return fail("--checkpoint-interval needs an integer >= 0");
       cfg.campaign.checkpoint_interval = static_cast<int>(*v);
+    } else if (flag == "--workers") {
+      const auto v = want_int(1, 256);
+      if (!v) return fail("--workers needs 1..256");
+      cfg.campaign.workers = static_cast<int>(*v);
+    } else if (flag == "--solver-cache") {
+      const auto v = want_int(0, 10'000'000);
+      if (!v) return fail("--solver-cache needs entries >= 0");
+      cfg.campaign.solver_cache_entries = static_cast<int>(*v);
     } else if (flag == "--isolate") {
       cfg.campaign.isolate = true;
     } else if (flag == "--hang-timeout-ms") {
@@ -225,6 +233,12 @@ std::string usage() {
         "  --log-dir=PATH       write per-iteration logs + iterations.csv\n"
         "  --resume=PATH        continue the checkpointed session in PATH\n"
         "  --checkpoint-interval=N  snapshot every N iterations (0 = off)\n"
+        "  --workers=N          parallel campaign workers sharing one\n"
+        "                       coverage map and negation frontier\n"
+        "                       (default 1 = the serial driver, bit-identical\n"
+        "                       sessions)\n"
+        "  --solver-cache=N     memoize definitive solver answers, N entries\n"
+        "                       LRU (0 = off); shared across workers\n"
         "  --isolate            run each test in a fork()ed child: real\n"
         "                       crashes/hangs are contained and recorded\n"
         "  --hang-timeout-ms=N  SIGKILL a sandboxed child after N ms of\n"

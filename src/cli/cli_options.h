@@ -45,6 +45,8 @@ struct ParseResult {
 ///   --log-dir=PATH       write a file-based session
 ///   --resume=PATH        continue the checkpointed session in PATH
 ///   --checkpoint-interval=N  snapshot every N iterations (0 = off)
+///   --workers=N          parallel campaign workers (default 1 = serial)
+///   --solver-cache=N     solver memoization capacity in entries (0 = off)
 ///   --isolate            fork a sandbox child per test (contain real
 ///                        crashes and uninstrumented hangs)
 ///   --hang-timeout-ms=N  sandbox wall-clock kill timeout (0 = derive)

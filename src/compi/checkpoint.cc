@@ -54,11 +54,16 @@ void write_assignment(std::ostream& os, const solver::Assignment& a) {
   for (const auto& [v, value] : entries) os << ' ' << v << ' ' << value;
 }
 
+/// Reserve clamp for counts read from disk: a corrupted (bit-flipped)
+/// count must fail at parse time, not drive a multi-gigabyte allocation.
+/// The read loops themselves stop at EOF, so only reserve() needs guarding.
+constexpr std::size_t kMaxSaneReserve = 1 << 20;
+
 bool read_assignment(std::istream& is, solver::Assignment& a) {
   std::size_t n = 0;
   if (!(is >> n)) return false;
   a.clear();
-  a.reserve(n);
+  a.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     solver::Var v = 0;
     std::int64_t value = 0;
@@ -125,7 +130,7 @@ void CampaignCheckpoint::write(std::ostream& os) const {
        << rt::to_string(r.outcome) << ' ' << r.constraint_set_size << ' '
        << r.covered_branches << ' ' << format_double(r.exec_seconds) << ' '
        << format_double(r.solve_seconds) << ' ' << (r.restart ? 1 : 0) << ' '
-       << r.solver_nodes << ' ' << r.retries << '\n';
+       << r.solver_nodes << ' ' << r.retries << ' ' << r.worker << '\n';
   }
 
   os << "bugs " << bugs.size() << '\n';
@@ -168,6 +173,24 @@ void CampaignCheckpoint::write(std::ostream& os) const {
   // Opaque blobs are embedded verbatim, prefixed with their line count.
   write_blob(os, "strategy_state_lines", strategy_state);
   write_blob(os, "ledger_lines", ledger_state);
+
+  os << "workers " << workers << '\n';
+  os << "cursors " << worker_cursors.size() << '\n';
+  for (const WorkerCursor& w : worker_cursors) {
+    os << "cursor " << w.plan_nprocs << ' ' << w.plan_focus << ' '
+       << (w.next_is_restart ? 1 : 0) << ' ';
+    if (w.pending_depth) {
+      os << *w.pending_depth;
+    } else {
+      os << "none";
+    }
+    os << ' ' << w.failures << ' ' << w.consecutive_replans << ' '
+       << (w.bounded_phase ? 1 : 0) << ' ';
+    write_assignment(os, w.plan_inputs);
+    os << '\n';
+    os << "cursor_strategy " << escape(w.strategy_name) << '\n';
+    write_blob(os, "cursor_state_lines", w.strategy_state);
+  }
   os << "end\n";
 }
 
@@ -222,7 +245,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
 
   std::size_t n = 0;
   if (!expect(is, "iterations") || !(is >> n)) return std::nullopt;
-  c.iterations.reserve(n);
+  c.iterations.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     IterationRecord r;
     if (!expect(is, "iter") ||
@@ -239,12 +262,12 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
     r.solve_seconds = read_double(is);
     if (!(is >> flag)) return std::nullopt;
     r.restart = flag != 0;
-    if (!(is >> r.solver_nodes >> r.retries)) return std::nullopt;
+    if (!(is >> r.solver_nodes >> r.retries >> r.worker)) return std::nullopt;
     c.iterations.push_back(std::move(r));
   }
 
   if (!expect(is, "bugs") || !(is >> n)) return std::nullopt;
-  c.bugs.reserve(n);
+  c.bugs.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     BugRecord b;
     if (!expect(is, "bug") || !(is >> b.first_iteration >> b.occurrences)) {
@@ -271,7 +294,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
   }
 
   if (!expect(is, "covered") || !(is >> n)) return std::nullopt;
-  c.covered.reserve(n);
+  c.covered.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     sym::BranchId b = 0;
     if (!(is >> b)) return std::nullopt;
@@ -279,7 +302,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
   }
 
   if (!expect(is, "registry") || !(is >> n)) return std::nullopt;
-  c.registry.reserve(n);
+  c.registry.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     rt::VarMeta m;
     int kind = 0;
@@ -316,6 +339,43 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
     return std::nullopt;
   }
   if (!read_blob(is, "ledger_lines", c.ledger_state)) return std::nullopt;
+
+  if (!expect(is, "workers") || !(is >> c.workers)) return std::nullopt;
+  if (!expect(is, "cursors") || !(is >> n)) return std::nullopt;
+  // A hostile/corrupt count must not drive a giant reserve; cursors are one
+  // per worker, so anything huge is garbage.
+  if (n > 4096) return std::nullopt;
+  c.worker_cursors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerCursor w;
+    std::string tok;
+    if (!expect(is, "cursor") || !(is >> w.plan_nprocs >> w.plan_focus >>
+                                   flag)) {
+      return std::nullopt;
+    }
+    w.next_is_restart = flag != 0;
+    if (!(is >> tok)) return std::nullopt;
+    if (tok != "none") {
+      std::size_t depth = 0;
+      const auto [ptr, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), depth);
+      if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+        return std::nullopt;
+      }
+      w.pending_depth = depth;
+    }
+    if (!(is >> w.failures >> w.consecutive_replans >> flag)) {
+      return std::nullopt;
+    }
+    w.bounded_phase = flag != 0;
+    if (!read_assignment(is, w.plan_inputs)) return std::nullopt;
+    if (!expect(is, "cursor_strategy")) return std::nullopt;
+    w.strategy_name = unescape(read_tail(is));
+    if (!read_blob(is, "cursor_state_lines", w.strategy_state)) {
+      return std::nullopt;
+    }
+    c.worker_cursors.push_back(std::move(w));
+  }
   if (!expect(is, "end")) return std::nullopt;
   return c;
 }

@@ -41,12 +41,33 @@ using serial::write_predicate;
 
 // ---- the campaign snapshot ----
 
+/// One parallel worker's private loop state: everything a worker needs to
+/// continue its in-flight search line after a kill — the already-planned
+/// next test, backtracking flags, and the worker's own strategy snapshot
+/// (each worker runs an independent strategy instance over the shared
+/// coverage).  The serial driver has exactly this state too, stored in the
+/// top-level CampaignCheckpoint fields; cursors exist only for workers > 1.
+struct WorkerCursor {
+  solver::Assignment plan_inputs;
+  int plan_nprocs = 1;
+  int plan_focus = 0;
+  bool next_is_restart = false;
+  std::optional<std::size_t> pending_depth;
+  int failures = 0;
+  int consecutive_replans = 0;
+  bool bounded_phase = false;
+  std::string strategy_name;
+  std::string strategy_state;
+};
+
 struct CampaignCheckpoint {
-  // v4: embeds the coverage-attribution ledger snapshot.  (v3 added the
-  // sandbox accounting line; v2 added solver_nodes and retries to iter
-  // lines.)  Older snapshots are rejected and the campaign falls back to a
-  // fresh start, by design.
-  static constexpr int kVersion = 4;
+  // v5: iter lines carry the owning worker ordinal, and the snapshot embeds
+  // per-worker cursors for parallel campaigns.  (v4 embedded the
+  // coverage-attribution ledger snapshot; v3 added the sandbox accounting
+  // line; v2 added solver_nodes and retries to iter lines.)  Older
+  // snapshots are rejected and the campaign falls back to a fresh start,
+  // by design.
+  static constexpr int kVersion = 5;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -92,9 +113,17 @@ struct CampaignCheckpoint {
 
   /// Coverage-attribution ledger snapshot (CoverageLedger::write), embedded
   /// as an opaque blob so attribution survives kill + --resume.  Empty when
-  /// the producing campaign predates the ledger (never the case for v4
+  /// the producing campaign predates the ledger (never the case for v4+
   /// writers, but read() tolerates an empty blob).
   std::string ledger_state;
+
+  /// Worker count the snapshot was taken under.  Serial campaigns write 1
+  /// and no cursors; parallel campaigns write one cursor per worker.  A
+  /// resume whose --workers disagrees with the snapshot (or whose cursor
+  /// count is inconsistent) starts fresh rather than guessing how to remap
+  /// in-flight search lines.
+  int workers = 1;
+  std::vector<WorkerCursor> worker_cursors;
 
   void write(std::ostream& os) const;
   /// nullopt on version mismatch or any parse error (the caller then

@@ -9,42 +9,31 @@
 #include <thread>
 
 #include "compi/checkpoint.h"
+#include "compi/driver_internal.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/phase_clock.h"
 #include "obs/trace.h"
 #include "sandbox/supervisor.h"
+#include "solver/cache.h"
 #include "solver/solver.h"
 
 namespace compi {
-namespace {
 
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-  std::uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-// Two failures are the same bug when their messages differ only in
-// concrete quantities (indices, sizes vary with the triggering inputs).
-std::string bug_signature(const std::string& message) {
-  std::string out;
-  out.reserve(message.size());
-  for (char c : message) {
-    if (c < '0' || c > '9') out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
+using detail::bug_signature;
+using detail::mix_seed;
 
 Campaign::Campaign(const TargetInfo& target, CampaignOptions options)
     : target_(target), options_(std::move(options)) {}
 
 CampaignResult Campaign::run() {
+  return options_.workers > 1 ? run_parallel() : run_serial();
+}
+
+CampaignResult Campaign::run_serial() {
   using Clock = std::chrono::steady_clock;
 
   // ---- observability setup ----
@@ -82,6 +71,37 @@ CampaignResult Campaign::run() {
   obs::Counter& m_sandbox_harvest_bytes = reg.counter(
       "compi_sandbox_harvest_bytes_total",
       "Bytes salvaged from sandboxed children (pipe stream + coverage map)");
+  obs::Counter& m_cache_hits = reg.counter(
+      "compi_solver_cache_hits_total",
+      "Solver memoization cache hits (query answered without searching)");
+  obs::Counter& m_cache_misses = reg.counter(
+      "compi_solver_cache_misses_total",
+      "Solver memoization cache misses (full backtracking search ran)");
+  obs::Counter& m_cache_evictions = reg.counter(
+      "compi_solver_cache_evictions_total",
+      "Solver memoization cache LRU evictions");
+
+  // Solver memoization (--solver-cache=N entries; 0 = off, the default).
+  // Optional so the off state carries zero overhead — solve_incremental
+  // takes a plain nullptr.
+  std::optional<solver::SolveCache> solve_cache;
+  if (options_.solver_cache_entries > 0) {
+    solve_cache.emplace(
+        static_cast<std::size_t>(options_.solver_cache_entries));
+  }
+  solver::SolveCache* cache = solve_cache ? &*solve_cache : nullptr;
+  // The registry's counters are cumulative across campaigns in one process
+  // (bench loops); sync by delta so each export reflects this cache's
+  // totals without double counting.
+  const auto sync_cache_metrics = [&] {
+    if (cache == nullptr) return;
+    m_cache_hits.inc(static_cast<std::int64_t>(cache->hits()) -
+                     m_cache_hits.value());
+    m_cache_misses.inc(static_cast<std::int64_t>(cache->misses()) -
+                       m_cache_misses.value());
+    m_cache_evictions.inc(static_cast<std::int64_t>(cache->evictions()) -
+                          m_cache_evictions.value());
+  };
 
   // Dumps metrics.prom / trace.json next to the session (or into the
   // working directory when no log dir is configured).  Called at every
@@ -91,6 +111,7 @@ CampaignResult Campaign::run() {
     namespace fs = std::filesystem;
     const fs::path base =
         options_.log_dir.empty() ? fs::path(".") : fs::path(options_.log_dir);
+    sync_cache_metrics();
     if (options_.metrics) {
       std::ofstream out(base / "metrics.prom");
       reg.write_prometheus(out);
@@ -146,7 +167,10 @@ CampaignResult Campaign::run() {
   if (options_.resume && !options_.log_dir.empty()) {
     std::optional<ckpt::CampaignCheckpoint> c =
         read_checkpoint(options_.log_dir);
-    if (c && c->seed == options_.seed) {
+    // A snapshot taken by a parallel campaign carries per-worker cursors the
+    // serial loop has no way to honour: start fresh instead of resuming one
+    // of N in-flight search lines arbitrarily.
+    if (c && c->seed == options_.seed && c->workers == 1) {
       if (two_phase && c->bounded_phase) {
         scfg.kind = SearchKind::kBoundedDfs;
         scfg.bound = c->depth_bound_used;
@@ -373,6 +397,7 @@ CampaignResult Campaign::run() {
         .real("solve_seconds", rec.solve_seconds)
         .num("solver_nodes", rec.solver_nodes)
         .num("retries", rec.retries)
+        .num("worker", rec.worker)
         .inputs(named_inputs);
     journal.flush();
     if (options_.status_file.empty()) return;
@@ -597,7 +622,10 @@ CampaignResult Campaign::run() {
     pending_depth.reset();
 
     // ---- pick and solve the next constraint set (§II-A) ----
-    const auto solve_start = Clock::now();
+    // Thread CPU time, not wall clock: the solve phase runs entirely on
+    // this thread, and CPU time neither counts retry-backoff sleeps nor
+    // double-counts when parallel workers overlap (see DESIGN.md).
+    const double solve_cpu_start = obs::thread_cpu_seconds();
     obs::ObsSpan plan_span(obs::Cat::kStrategy, "plan_next_test");
     bool planned = false;
     while (auto cand = strategy->next()) {
@@ -613,7 +641,7 @@ CampaignResult Campaign::run() {
 
       const std::int64_t nodes_before = rec.solver_nodes;
       solver::SolveResult solved = the_solver.solve_incremental(
-          preds, framework.domains(), focus_log.inputs_used);
+          preds, framework.domains(), focus_log.inputs_used, cache);
       rec.solver_nodes += solved.nodes_searched;
       // Node-budget exhaustion is "unknown", not UNSAT: back off and retry
       // the same query with a doubled budget before treating it as failed.
@@ -634,7 +662,7 @@ CampaignResult Campaign::run() {
         solver::Solver relaxed(
             {options_.solver_node_budget << (attempt + 1)});
         solved = relaxed.solve_incremental(preds, framework.domains(),
-                                           focus_log.inputs_used);
+                                           focus_log.inputs_used, cache);
         rec.solver_nodes += solved.nodes_searched;
       }
       obs::JournalEvent(journal, "solve", iter)
@@ -661,8 +689,7 @@ CampaignResult Campaign::run() {
       }
       if (++failures >= options_.restart_after_failures) break;
     }
-    rec.solve_seconds =
-        std::chrono::duration<double>(Clock::now() - solve_start).count();
+    rec.solve_seconds = obs::thread_cpu_seconds() - solve_cpu_start;
     rec.retries = iter_retries;
     m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
     m_solver_nodes.observe(rec.solver_nodes);
@@ -697,6 +724,10 @@ CampaignResult Campaign::run() {
   result.total_branches = coverage.total_branches();
   result.coverage_rate = coverage.rate();
   result.function_coverage = coverage.per_function();
+  if (cache != nullptr) {
+    result.solver_cache_hits = static_cast<std::size_t>(cache->hits());
+    result.solver_cache_misses = static_cast<std::size_t>(cache->misses());
+  }
   result.total_seconds = elapsed();
   result.total_exec_seconds = 0.0;
   result.total_solve_seconds = 0.0;

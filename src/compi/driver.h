@@ -42,6 +42,8 @@ struct IterationRecord {
   /// Transient-failure retries absorbed this iteration (timeout re-runs and
   /// relaxed-budget solver re-queries).
   int retries = 0;
+  /// Campaign worker that executed this iteration (0 for the serial path).
+  int worker = 0;
 };
 
 /// One discovered bug: the failure plus its error-inducing test setup.
@@ -90,7 +92,21 @@ struct CampaignResult {
   std::size_t sandbox_harvest_bytes = 0;
   /// True when the campaign continued a checkpointed session.
   bool resumed = false;
+  /// Parallel-engine accounting (--workers > 1; all zero on the serial
+  /// path).  Dedup skips are candidates not solved because their untaken
+  /// arm was claimed by another worker; stale drops are candidates whose
+  /// arm was covered by another worker between dequeue and solve.
+  std::size_t workers_used = 1;
+  std::size_t frontier_dedup_skips = 0;
+  std::size_t stale_candidate_drops = 0;
+  /// Solver memoization totals (zero when the cache is disabled).
+  std::size_t solver_cache_hits = 0;
+  std::size_t solver_cache_misses = 0;
   double total_seconds = 0.0;
+  /// Sums of the per-iteration phase timings.  exec_seconds is each
+  /// worker's launch-phase wall clock, so under --workers > 1 this SUM can
+  /// exceed total_seconds (workers overlap); solve_seconds is per-worker
+  /// THREAD CPU time and never double-counts (see DESIGN.md).
   double total_exec_seconds = 0.0;
   double total_solve_seconds = 0.0;
 };
@@ -99,10 +115,17 @@ class Campaign {
  public:
   Campaign(const TargetInfo& target, CampaignOptions options);
 
-  /// Runs the full campaign to its iteration/time budget.
+  /// Runs the full campaign to its iteration/time budget.  Dispatches to
+  /// the serial loop (workers <= 1, bit-identical to the pre-parallel
+  /// driver) or the parallel engine (parallel.cc).
   [[nodiscard]] CampaignResult run();
 
  private:
+  [[nodiscard]] CampaignResult run_serial();
+  /// The --workers engine: N concurrent execute->solve loops over shared
+  /// coverage, ledger, and candidate frontier (defined in parallel.cc).
+  [[nodiscard]] CampaignResult run_parallel();
+
   TargetInfo target_;  // by value: callers may pass temporaries
   CampaignOptions options_;
 };

@@ -56,6 +56,22 @@ struct CampaignOptions {
   /// (§III-C).  false = ablation: local ranks read as global ranks.
   bool conflict_resolution = true;
 
+  // ---- parallelism (the --workers engine) ----
+  /// Concurrent campaign workers.  1 (the default) runs the serial driver
+  /// loop unchanged — sessions are bit-identical to the pre-parallel
+  /// driver.  N > 1 runs N worker threads that each execute->solve
+  /// independently while sharing one coverage map, attribution ledger, and
+  /// deduplicated negation frontier (two workers never chase the same
+  /// untaken arm concurrently; a candidate whose arm another worker covered
+  /// between dequeue and solve is dropped before solving).
+  int workers = 1;
+  /// Solver memoization capacity in entries (solver/cache.h): definitive
+  /// incremental-solve answers keyed on the normalized dependency slice,
+  /// shared across workers and restarts.  0 disables the cache (the
+  /// default, keeping single-worker sessions bit-identical in their
+  /// solver_nodes accounting).
+  int solver_cache_entries = 0;
+
   // ---- runtime limits ----
   std::int64_t step_budget = 2'000'000;
   std::chrono::milliseconds test_timeout{30'000};

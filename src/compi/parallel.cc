@@ -1,0 +1,952 @@
+// The parallel campaign engine (--workers=N).
+//
+// N worker threads each run the full execute -> observe -> solve loop of
+// the serial driver (driver.cc) concurrently, merging into ONE campaign:
+// a shared CoverageTracker, attribution ledger, bug list, iteration log,
+// and event journal, all guarded by a single campaign mutex (`mu`).  Each
+// worker owns its private search line — strategy instance (seeded
+// per-worker so the lines diverge), test plan, solver, and sandbox — so
+// the only contention is short bookkeeping sections; target execution and
+// constraint solving, where the time goes, run lock-free.
+//
+// Iteration ordinals are dealt from one atomic ticket counter, so the
+// campaign executes exactly the configured budget regardless of how the
+// work interleaves.  Rows land in iterations.csv in completion order
+// (each tagged with its worker) and are re-sorted by ordinal for the
+// final summary rewrite.
+//
+// The negation frontier is deduplicated across workers: before solving a
+// candidate that steers toward an uncovered untaken arm, a worker claims
+// the arm in the shared in-flight set — a second worker proposing the
+// same arm skips it (frontier_dedup_skips) instead of burning solver
+// budget on a duplicate.  A claim whose arm another worker covered while
+// the solve ran is dropped before its model is used
+// (stale_candidate_drops).  Candidates whose target is ALREADY covered
+// pass through unclaimed, exactly like the serial loop: those are DFS
+// backtracking moves, not frontier work, and filtering them would break
+// search completeness.
+//
+// Timing: exec_seconds stays each worker's launch-phase wall clock;
+// solve_seconds is the worker's THREAD CPU time, which sums correctly
+// across overlapping workers (see obs/phase_clock.h and DESIGN.md).
+//
+// Checkpointing: the snapshot embeds one WorkerCursor per worker (plan +
+// strategy state) plus the contiguous completed-iteration prefix; resume
+// requires the same seed AND the same --workers, otherwise the campaign
+// starts fresh rather than remapping in-flight search lines.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include "compi/checkpoint.h"
+#include "compi/driver.h"
+#include "compi/driver_internal.h"
+#include "compi/ledger.h"
+#include "compi/session.h"
+#include "minimpi/launcher.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/phase_clock.h"
+#include "obs/trace.h"
+#include "sandbox/supervisor.h"
+#include "solver/cache.h"
+#include "solver/solver.h"
+
+namespace compi {
+
+using detail::bug_signature;
+using detail::mix_seed;
+
+namespace {
+
+/// One worker's private search line (everything the serial loop keeps in
+/// locals between iterations).
+struct WorkerState {
+  TestPlan plan;
+  std::unique_ptr<SearchStrategy> strategy;
+  StrategyConfig scfg;
+  std::optional<std::size_t> pending_depth;
+  bool next_is_restart = true;
+  bool bounded_phase = false;
+  int failures = 0;
+  int consecutive_replans = 0;
+};
+
+}  // namespace
+
+CampaignResult Campaign::run_parallel() {
+  using Clock = std::chrono::steady_clock;
+  const int workers = options_.workers;
+
+  // ---- observability setup (same registry handles as the serial loop) ----
+  obs::set_thread_track(0);
+  if (options_.trace) {
+    obs::tracer().configure(options_.trace_buffer_kb);
+    obs::tracer().set_enabled(true);
+  }
+  auto& reg = obs::registry();
+  obs::Counter& m_iterations =
+      reg.counter("compi_iterations_total", "Campaign iterations executed");
+  obs::Counter& m_restarts =
+      reg.counter("compi_restarts_total", "Restarts with fresh random inputs");
+  obs::Counter& m_retries = reg.counter(
+      "compi_transient_retries_total",
+      "Transient-failure retries (timeouts, solver budget exhaustion)");
+  obs::Counter& m_bugs =
+      reg.counter("compi_bugs_total", "Distinct bugs discovered");
+  obs::Gauge& m_covered =
+      reg.gauge("compi_covered_branches", "Cumulative covered branches");
+  obs::Histogram& m_exec_us = reg.histogram(
+      "compi_exec_us", "Per-iteration target execution time (us)");
+  obs::Histogram& m_solve_us = reg.histogram(
+      "compi_solve_us", "Per-iteration constraint solving time (us)");
+  obs::Histogram& m_solver_nodes = reg.histogram(
+      "compi_solver_nodes", "Per-iteration solver search nodes expanded");
+  obs::Counter& m_sandbox_signal_kills = reg.counter(
+      "compi_sandbox_signal_kills_total",
+      "Sandboxed children killed by a real signal (SIGSEGV, SIGABRT, ...)");
+  obs::Counter& m_sandbox_hang_kills = reg.counter(
+      "compi_sandbox_hang_kills_total",
+      "Sandboxed children SIGKILLed by the hang watchdog");
+  obs::Counter& m_sandbox_harvest_bytes = reg.counter(
+      "compi_sandbox_harvest_bytes_total",
+      "Bytes salvaged from sandboxed children (pipe stream + coverage map)");
+  obs::Counter& m_cache_hits = reg.counter(
+      "compi_solver_cache_hits_total",
+      "Solver memoization cache hits (query answered without searching)");
+  obs::Counter& m_cache_misses = reg.counter(
+      "compi_solver_cache_misses_total",
+      "Solver memoization cache misses (full backtracking search ran)");
+  obs::Counter& m_cache_evictions = reg.counter(
+      "compi_solver_cache_evictions_total",
+      "Solver memoization cache LRU evictions");
+  obs::Counter& m_dedup_skips = reg.counter(
+      "compi_frontier_dedup_skips_total",
+      "Candidates skipped because another worker claimed the same arm");
+  obs::Counter& m_stale_drops = reg.counter(
+      "compi_stale_candidate_drops_total",
+      "Claimed candidates dropped: arm covered while the solve ran");
+
+  // One cache shared by every worker: cross-worker hits are the point
+  // (parallel workers flip neighbouring branches of the same paths).
+  std::optional<solver::SolveCache> solve_cache;
+  if (options_.solver_cache_entries > 0) {
+    solve_cache.emplace(
+        static_cast<std::size_t>(options_.solver_cache_entries));
+  }
+  solver::SolveCache* cache = solve_cache ? &*solve_cache : nullptr;
+  const auto sync_cache_metrics = [&] {
+    if (cache == nullptr) return;
+    m_cache_hits.inc(static_cast<std::int64_t>(cache->hits()) -
+                     m_cache_hits.value());
+    m_cache_misses.inc(static_cast<std::int64_t>(cache->misses()) -
+                       m_cache_misses.value());
+    m_cache_evictions.inc(static_cast<std::int64_t>(cache->evictions()) -
+                          m_cache_evictions.value());
+  };
+
+  const auto export_obs = [&] {
+    namespace fs = std::filesystem;
+    const fs::path base =
+        options_.log_dir.empty() ? fs::path(".") : fs::path(options_.log_dir);
+    sync_cache_metrics();
+    if (options_.metrics) {
+      std::ofstream out(base / "metrics.prom");
+      reg.write_prometheus(out);
+    }
+    if (options_.trace) {
+      std::ofstream out(base / "trace.json");
+      obs::tracer().write_chrome_json(out);
+    }
+  };
+
+  obs::ObsSpan campaign_span(obs::Cat::kDriver, "campaign");
+  const auto campaign_start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - campaign_start)
+        .count();
+  };
+
+  CampaignResult result;
+  result.workers_used = static_cast<std::size_t>(workers);
+  rt::VarRegistry registry;
+  CoverageTracker coverage(*target_.table);
+  CoverageLedger ledger(*target_.table);
+  obs::Journal journal;
+  std::optional<SessionWriter> session;
+  if (!options_.log_dir.empty()) session.emplace(options_.log_dir);
+
+  const bool two_phase = options_.search == SearchKind::kBoundedDfs;
+
+  // ---- the shared campaign state, guarded by one mutex ----
+  std::mutex mu;
+  std::vector<std::string> known_hangs;
+  /// Untaken arms currently being solved for, keyed by BranchId: the
+  /// cross-worker frontier deduplication set.
+  std::unordered_set<sym::BranchId> in_flight;
+  /// Ticket counter: each worker iteration consumes one ordinal.
+  std::atomic<int> next_ticket{0};
+  std::atomic<bool> stop{false};
+  bool halted = false;
+  int executed = 0;  // iterations run by THIS process (halt hook)
+  /// Completion tracking for checkpoint boundaries: done[i] marks ordinal
+  /// i fully recorded; `prefix` is the first not-yet-complete ordinal, so
+  /// every iteration below it is safely checkpointable.
+  std::vector<char> done(static_cast<std::size_t>(
+                             std::max(options_.iterations, 0)),
+                         0);
+  int prefix = 0;
+  /// Latest per-worker cursors, refreshed at the end of each worker
+  /// iteration (only when checkpointing can happen — save_state is not
+  /// free).
+  std::vector<ckpt::WorkerCursor> cursors(
+      static_cast<std::size_t>(workers));
+  const bool track_cursors =
+      session && (options_.checkpoint_interval > 0 ||
+                  options_.halt_after_iterations > 0);
+
+  std::vector<WorkerState> wstate(static_cast<std::size_t>(workers));
+  const auto make_worker_strategy = [&](int w, bool bounded,
+                                        std::size_t bound) {
+    StrategyConfig scfg;
+    if (two_phase) {
+      scfg.kind = bounded ? SearchKind::kBoundedDfs : SearchKind::kDfs;
+    } else {
+      scfg.kind = options_.search;
+    }
+    scfg.bound = bound;
+    // Decorrelated per-worker seeds: N workers explore N diverging search
+    // lines instead of racing down the same one.
+    scfg.seed = mix_seed(options_.seed, 0x5eed0000ULL +
+                                            static_cast<std::uint64_t>(w));
+    scfg.table = target_.table;
+    scfg.coverage = &coverage;
+    WorkerState ws;
+    ws.scfg = scfg;
+    ws.strategy = make_strategy(scfg);
+    ws.bounded_phase = bounded;
+    ws.plan.nprocs = options_.initial_nprocs;
+    ws.plan.focus = options_.initial_focus;
+    return ws;
+  };
+  for (int w = 0; w < workers; ++w) {
+    wstate[static_cast<std::size_t>(w)] =
+        make_worker_strategy(w, false, static_cast<std::size_t>(-1));
+  }
+
+  // ---- resume a checkpointed parallel session ----
+  if (options_.resume && session) {
+    std::optional<ckpt::CampaignCheckpoint> c =
+        read_checkpoint(options_.log_dir);
+    if (c && c->seed == options_.seed && c->workers == workers &&
+        c->worker_cursors.size() == static_cast<std::size_t>(workers)) {
+      // Validate every cursor's strategy blob BEFORE touching shared
+      // state, so a half-readable snapshot degrades to a clean fresh start.
+      std::vector<WorkerState> restored;
+      restored.reserve(static_cast<std::size_t>(workers));
+      bool ok = true;
+      for (int w = 0; w < workers && ok; ++w) {
+        const ckpt::WorkerCursor& cur =
+            c->worker_cursors[static_cast<std::size_t>(w)];
+        WorkerState ws = make_worker_strategy(
+            w, two_phase && cur.bounded_phase, c->depth_bound_used);
+        std::istringstream blob(cur.strategy_state);
+        if (cur.strategy_name != ws.strategy->name() ||
+            !ws.strategy->load_state(blob)) {
+          ok = false;
+          break;
+        }
+        ws.plan.inputs = cur.plan_inputs;
+        ws.plan.nprocs = cur.plan_nprocs;
+        ws.plan.focus = cur.plan_focus;
+        ws.next_is_restart = cur.next_is_restart;
+        ws.pending_depth = cur.pending_depth;
+        ws.failures = cur.failures;
+        ws.consecutive_replans = cur.consecutive_replans;
+        restored.push_back(std::move(ws));
+      }
+      if (ok) {
+        wstate = std::move(restored);
+        for (const rt::VarMeta& m : c->registry) {
+          registry.intern(m.key, m.kind, m.domain, m.cap, m.comm_index);
+        }
+        rt::CoverageBitmap bitmap(target_.table->num_branches());
+        for (sym::BranchId b : c->covered) bitmap.mark(b);
+        coverage.merge(bitmap);
+        result.iterations = std::move(c->iterations);
+        result.bugs = std::move(c->bugs);
+        result.restarts = c->restarts;
+        result.max_constraint_set = c->max_constraint_set;
+        result.depth_bound_used = c->depth_bound_used;
+        result.transient_retries = c->transient_retries;
+        result.focus_replans = c->focus_replans;
+        result.sandbox_runs = c->sandbox_runs;
+        result.sandbox_signal_kills = c->sandbox_signal_kills;
+        result.sandbox_hang_kills = c->sandbox_hang_kills;
+        result.sandbox_harvest_bytes = c->sandbox_harvest_bytes;
+        result.resumed = true;
+        known_hangs = std::move(c->known_hang_signatures);
+        next_ticket.store(c->next_iteration);
+        prefix = c->next_iteration;
+        for (int i = 0; i < c->next_iteration &&
+                        i < static_cast<int>(done.size());
+             ++i) {
+          done[static_cast<std::size_t>(i)] = 1;
+        }
+        if (!c->ledger_state.empty()) {
+          std::istringstream ledger_blob(c->ledger_state);
+          (void)ledger.read(ledger_blob);
+        }
+      }
+    }
+  }
+  const int start_iter = next_ticket.load();
+
+  // Seed every cursor from its worker's initial (or restored) state, so a
+  // checkpoint taken before worker w completes an iteration still embeds a
+  // loadable cursor for it.
+  if (track_cursors) {
+    for (int w = 0; w < workers; ++w) {
+      WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+      ckpt::WorkerCursor& cur = cursors[static_cast<std::size_t>(w)];
+      cur.plan_inputs = ws.plan.inputs;
+      cur.plan_nprocs = ws.plan.nprocs;
+      cur.plan_focus = ws.plan.focus;
+      cur.next_is_restart = ws.next_is_restart;
+      cur.pending_depth = ws.pending_depth;
+      cur.failures = ws.failures;
+      cur.consecutive_replans = ws.consecutive_replans;
+      cur.bounded_phase = ws.bounded_phase;
+      cur.strategy_name = ws.strategy->name();
+      std::ostringstream blob;
+      ws.strategy->save_state(blob);
+      cur.strategy_state = blob.str();
+    }
+  }
+
+  if (session) session->begin_iterations(result.iterations);
+  if (options_.journal && session) {
+    const std::filesystem::path journal_path =
+        session->dir() / "journal.jsonl";
+    if (result.resumed) {
+      (void)journal.open_resume(journal_path, start_iter);
+    } else {
+      (void)journal.open(journal_path);
+    }
+  }
+
+  struct ExportGuard {
+    std::function<void()> fn;
+    ~ExportGuard() { fn(); }
+  } export_guard{[&] {
+    journal.close();
+    export_obs();
+  }};
+
+  const auto backoff = [&](int attempt) {
+    if (options_.retry_backoff_ms <= 0) return;
+    const int ms = std::min(options_.retry_backoff_ms << attempt, 1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+
+  const auto bug_budget_hit = [&] {  // callers hold `mu`
+    return options_.max_bugs > 0 &&
+           result.bugs.size() >= static_cast<std::size_t>(options_.max_bugs);
+  };
+
+  // Snapshot under `mu`.  Only the contiguous completed prefix is recorded
+  // as "done": ordinals at or past `prefix` (completed out of order, or in
+  // flight) are re-run on resume — coverage merging is idempotent, so the
+  // only cost is repeated work, never corruption.
+  const auto save_checkpoint_locked = [&] {
+    if (!session) return;
+    obs::ObsSpan span(obs::Cat::kCheckpoint, "save_checkpoint", "iteration",
+                      prefix);
+    ckpt::CampaignCheckpoint c;
+    c.seed = options_.seed;
+    c.next_iteration = prefix;
+    c.workers = workers;
+    c.worker_cursors = cursors;
+    c.restarts = result.restarts;
+    c.max_constraint_set = result.max_constraint_set;
+    c.depth_bound_used = result.depth_bound_used;
+    c.transient_retries = result.transient_retries;
+    c.focus_replans = result.focus_replans;
+    c.sandbox_runs = result.sandbox_runs;
+    c.sandbox_signal_kills = result.sandbox_signal_kills;
+    c.sandbox_hang_kills = result.sandbox_hang_kills;
+    c.sandbox_harvest_bytes = result.sandbox_harvest_bytes;
+    for (const IterationRecord& r : result.iterations) {
+      if (r.iteration < prefix) c.iterations.push_back(r);
+    }
+    std::sort(c.iterations.begin(), c.iterations.end(),
+              [](const IterationRecord& a, const IterationRecord& b) {
+                return a.iteration < b.iteration;
+              });
+    c.bugs = result.bugs;
+    c.covered = coverage.bitmap().covered_ids();
+    c.registry = registry.all();
+    c.known_hang_signatures = known_hangs;
+    // The top-level strategy slot mirrors worker 0 (the format requires
+    // one); parallel resume reads the cursors, never this.
+    c.strategy_name = cursors.empty() ? "" : cursors[0].strategy_name;
+    c.strategy_state = cursors.empty() ? "" : cursors[0].strategy_state;
+    std::ostringstream ledger_blob;
+    ledger.write(ledger_blob);
+    c.ledger_state = ledger_blob.str();
+    session->write_checkpoint(c);
+    session->write_ledger(ledger, *target_.table);
+    session->write_coverage_timeline(c.iterations);
+    journal.flush();
+    export_obs();
+  };
+
+  // One "iteration" journal event per iterations.csv row plus the
+  // --status-file heartbeat (tmp + rename).  Callers hold `mu`.
+  const auto note_iteration = [&](const IterationRecord& rec,
+                                  const std::map<std::string, std::int64_t>&
+                                      named_inputs,
+                                  std::size_t new_branches) {
+    obs::JournalEvent(journal, "iteration", rec.iteration)
+        .num("nprocs", rec.nprocs)
+        .num("focus", rec.focus)
+        .str("outcome", rt::to_string(rec.outcome))
+        .boolean("restart", rec.restart)
+        .num("constraint_set_size",
+             static_cast<std::int64_t>(rec.constraint_set_size))
+        .num("covered_branches",
+             static_cast<std::int64_t>(rec.covered_branches))
+        .num("new_branches", static_cast<std::int64_t>(new_branches))
+        .real("exec_seconds", rec.exec_seconds)
+        .real("solve_seconds", rec.solve_seconds)
+        .num("solver_nodes", rec.solver_nodes)
+        .num("retries", rec.retries)
+        .num("worker", rec.worker)
+        .inputs(named_inputs);
+    journal.flush();
+    if (options_.status_file.empty()) return;
+    std::string line;
+    obs::JsonWriter status(line);
+    status.field("iteration", static_cast<std::int64_t>(rec.iteration));
+    status.field("covered_branches",
+                 static_cast<std::int64_t>(rec.covered_branches));
+    status.field("bugs", static_cast<std::int64_t>(result.bugs.size()));
+    status.field("elapsed_seconds", elapsed());
+    status.field("nprocs", static_cast<std::int64_t>(rec.nprocs));
+    status.field("focus", static_cast<std::int64_t>(rec.focus));
+    status.field("outcome", rt::to_string(rec.outcome));
+    status.finish();
+    namespace fs = std::filesystem;
+    const fs::path tmp(options_.status_file + ".tmp");
+    {
+      std::ofstream out(tmp);
+      out << line;
+    }
+    std::error_code ec;
+    fs::rename(tmp, fs::path(options_.status_file), ec);
+  };
+
+  // End-of-iteration bookkeeping under `mu`: completion tracking, cursor
+  // refresh, periodic checkpoint, halt hook.  Sets `stop` when the
+  // campaign must end.
+  const auto end_of_iteration_locked = [&](int iter, int w) {
+    if (iter >= 0 && iter < static_cast<int>(done.size())) {
+      done[static_cast<std::size_t>(iter)] = 1;
+      while (prefix < static_cast<int>(done.size()) &&
+             done[static_cast<std::size_t>(prefix)] != 0) {
+        ++prefix;
+      }
+    }
+    if (track_cursors) {
+      WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+      ckpt::WorkerCursor& cur = cursors[static_cast<std::size_t>(w)];
+      cur.plan_inputs = ws.plan.inputs;
+      cur.plan_nprocs = ws.plan.nprocs;
+      cur.plan_focus = ws.plan.focus;
+      cur.next_is_restart = ws.next_is_restart;
+      cur.pending_depth = ws.pending_depth;
+      cur.failures = ws.failures;
+      cur.consecutive_replans = ws.consecutive_replans;
+      cur.bounded_phase = ws.bounded_phase;
+      cur.strategy_name = ws.strategy->name();
+      std::ostringstream blob;
+      ws.strategy->save_state(blob);
+      cur.strategy_state = blob.str();
+    }
+    ++executed;
+    if (options_.checkpoint_interval > 0 &&
+        executed % options_.checkpoint_interval == 0) {
+      save_checkpoint_locked();
+    }
+    if (options_.halt_after_iterations > 0 &&
+        executed >= options_.halt_after_iterations &&
+        next_ticket.load() < options_.iterations) {
+      save_checkpoint_locked();
+      halted = true;
+      stop.store(true);
+    }
+  };
+
+  // ---- the worker loop ----
+  const auto worker_body = [&](int w) {
+    // Worker w owns trace tracks [w*(max_procs+1), (w+1)*(max_procs+1)):
+    // its driver loop on the base track, its rank threads above it.
+    const int track_base = w * (options_.max_procs + 1);
+    obs::set_thread_track(track_base);
+    WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+    solver::Solver the_solver({options_.solver_node_budget});
+    Framework framework(registry, options_.max_procs, options_.framework,
+                        options_.conflict_resolution);
+    sandbox::SandboxOptions sandbox_options;
+    sandbox_options.hang_timeout =
+        std::chrono::milliseconds(options_.hang_timeout_ms);
+    sandbox_options.child_mem_mb = options_.child_mem_mb;
+    std::vector<sym::BranchId> last_harvested;
+
+    const auto execute = [&](const minimpi::LaunchSpec& s, int iter) {
+      last_harvested.clear();
+      if (!options_.isolate) return minimpi::launch(s, *target_.table);
+      sandbox::SandboxStats st;
+      minimpi::RunResult r =
+          sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+      if (!st.forked) return r;
+      last_harvested = std::move(st.harvested);
+      std::lock_guard<std::mutex> lock(mu);
+      ++result.sandbox_runs;
+      result.sandbox_harvest_bytes += st.harvest_bytes;
+      m_sandbox_harvest_bytes.inc(
+          static_cast<std::int64_t>(st.harvest_bytes));
+      if (st.signal_kill) {
+        ++result.sandbox_signal_kills;
+        m_sandbox_signal_kills.inc();
+        obs::instant(obs::Cat::kSandbox, "signal_kill", "signal",
+                     st.term_signal);
+        obs::JournalEvent(journal, "sandbox_kill", iter)
+            .str("kind", "signal")
+            .num("signal", st.term_signal)
+            .num("worker", w)
+            .num("harvested_branches",
+                 static_cast<std::int64_t>(last_harvested.size()));
+      }
+      if (st.hang_kill) {
+        ++result.sandbox_hang_kills;
+        m_sandbox_hang_kills.inc();
+        obs::instant(obs::Cat::kSandbox, "hang_kill");
+        obs::JournalEvent(journal, "sandbox_kill", iter)
+            .str("kind", "hang")
+            .num("worker", w)
+            .num("harvested_branches",
+                 static_cast<std::int64_t>(last_harvested.size()));
+      }
+      return r;
+    };
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (options_.time_budget_seconds > 0 &&
+          elapsed() >= options_.time_budget_seconds) {
+        break;
+      }
+      const int iter = next_ticket.fetch_add(1);
+      if (iter >= options_.iterations) break;
+      obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
+      int iter_retries = 0;
+
+      // ---- launch the planned test (§III-D) ----
+      minimpi::LaunchSpec spec;
+      spec.program = target_.program;
+      spec.nprocs = ws.plan.nprocs;
+      spec.focus = ws.plan.focus;
+      spec.one_way = options_.one_way;
+      spec.registry = &registry;
+      spec.inputs = &ws.plan.inputs;
+      spec.rng_seed =
+          mix_seed(options_.seed, static_cast<std::uint64_t>(iter));
+      spec.step_budget = options_.step_budget;
+      spec.reduction = options_.reduction;
+      spec.mark_mpi_vars = options_.framework;
+      spec.timeout = options_.test_timeout;
+      spec.track_base = track_base;
+
+      minimpi::RunResult run;
+      for (int attempt = 0;; ++attempt) {
+        if (options_.chaos.enabled()) {
+          spec.chaos = options_.chaos;
+          spec.chaos.seed =
+              mix_seed(options_.chaos.seed,
+                       static_cast<std::uint64_t>(iter) * 64 +
+                           static_cast<std::uint64_t>(attempt));
+          obs::JournalEvent(journal, "chaos_armed", iter)
+              .num("attempt", attempt)
+              .num("worker", w)
+              .num("seed", static_cast<std::int64_t>(spec.chaos.seed));
+        }
+        spec.timeout = options_.test_timeout * (1 << attempt);
+        spec.step_budget = options_.step_budget << attempt;
+        run = execute(spec, iter);
+        if (run.job_outcome() != rt::Outcome::kTimeout) break;
+        const std::string sig = bug_signature(run.job_message());
+        bool known = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          known = std::find(known_hangs.begin(), known_hangs.end(), sig) !=
+                  known_hangs.end();
+          if (!known && attempt >= options_.retry_max) {
+            known_hangs.push_back(sig);
+            known = true;
+          }
+        }
+        if (known) break;
+        obs::instant(obs::Cat::kChaosRetry, "timeout_retry", "attempt",
+                     attempt);
+        obs::JournalEvent(journal, "retry", iter)
+            .str("kind", "timeout")
+            .num("worker", w)
+            .num("attempt", attempt);
+        m_retries.inc();
+        backoff(attempt);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++result.transient_retries;
+        }
+        ++iter_retries;
+      }
+      m_iterations.inc();
+
+      const rt::TestLog& focus_log = run.focus_log();
+
+      IterationRecord rec;
+      rec.iteration = iter;
+      rec.worker = w;
+      rec.nprocs = ws.plan.nprocs;
+      rec.focus = ws.plan.focus;
+      rec.outcome = run.job_outcome();
+      rec.constraint_set_size = focus_log.path.size();
+      rec.exec_seconds = run.wall_seconds;
+      rec.restart = ws.next_is_restart;
+      rec.retries = iter_retries;
+      m_exec_us.observe(static_cast<std::int64_t>(rec.exec_seconds * 1e6));
+
+      // ---- merge coverage + attribute the run (one short section) ----
+      std::map<std::string, std::int64_t> named_inputs;
+      for (const auto& [var, value] :
+           !focus_log.inputs_used.empty() ? focus_log.inputs_used
+                                          : ws.plan.inputs) {
+        named_inputs[registry.meta(var).key] = value;
+      }
+      std::size_t covered_before = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (session) session->write_iteration(iter, run);
+        covered_before = coverage.covered_branches();
+        if (options_.framework) {
+          coverage.merge(run.merged_coverage());
+        } else {
+          coverage.merge(run.focus_log().covered);
+        }
+        result.max_constraint_set =
+            std::max(result.max_constraint_set, focus_log.path.size());
+        CoverageLedger::RunContext lctx;
+        lctx.iteration = iter;
+        lctx.nprocs = ws.plan.nprocs;
+        lctx.focus = ws.plan.focus;
+        lctx.inputs = &named_inputs;
+        lctx.harvested = &last_harvested;
+        ledger.record_run(lctx, run);
+        rec.covered_branches = coverage.covered_branches();
+      }
+      m_covered.set(static_cast<std::int64_t>(rec.covered_branches));
+
+      // ---- log error-inducing inputs (§V) ----
+      if (rt::is_fault(rec.outcome)) {
+        const std::string msg = run.job_message();
+        const std::string sig = bug_signature(msg);
+        bool fresh = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          auto known = std::find_if(result.bugs.begin(), result.bugs.end(),
+                                    [&](const BugRecord& b) {
+                                      return bug_signature(b.message) == sig;
+                                    });
+          if (known == result.bugs.end()) {
+            fresh = true;
+          } else {
+            ++known->occurrences;
+          }
+        }
+        if (fresh) {
+          BugRecord bug;
+          bug.first_iteration = iter;
+          bug.occurrences = 1;
+          bug.outcome = rec.outcome;
+          bug.message = msg;
+          bug.inputs = focus_log.inputs_used;
+          if (bug.inputs.empty()) bug.inputs = ws.plan.inputs;
+          for (const auto& [var, value] : bug.inputs) {
+            bug.named_inputs[registry.meta(var).key] = value;
+          }
+          bug.nprocs = ws.plan.nprocs;
+          bug.focus = ws.plan.focus;
+          if (options_.confirm_bugs) {
+            // Replay outside the lock — confirmation is a full execution
+            // and must not stall the other workers.
+            minimpi::LaunchSpec confirm = spec;
+            confirm.chaos = minimpi::FaultPlan{};
+            confirm.inputs = &bug.inputs;
+            confirm.timeout = options_.test_timeout;
+            confirm.step_budget = options_.step_budget;
+            const minimpi::RunResult rerun = execute(confirm, iter);
+            bug.flaky = rerun.job_outcome() != bug.outcome;
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          // Re-check: another worker may have landed the same signature
+          // while the confirmation replay ran.
+          auto known = std::find_if(result.bugs.begin(), result.bugs.end(),
+                                    [&](const BugRecord& b) {
+                                      return bug_signature(b.message) == sig;
+                                    });
+          if (known == result.bugs.end()) {
+            m_bugs.inc();
+            result.bugs.push_back(std::move(bug));
+          } else {
+            ++known->occurrences;
+          }
+        }
+      }
+
+      // ---- graceful degradation: the focus died before recording ----
+      const bool focus_dead =
+          run.focus >= 0 &&
+          static_cast<std::size_t>(run.focus) < run.ranks.size() &&
+          run.ranks[run.focus].outcome != rt::Outcome::kOk;
+      if (focus_dead && focus_log.path.empty() && ws.plan.nprocs > 1 &&
+          ws.consecutive_replans < ws.plan.nprocs - 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.iterations.push_back(rec);
+        if (session) session->append_iteration(rec);
+        note_iteration(rec, named_inputs,
+                       rec.covered_branches - covered_before);
+        ws.plan.focus = (ws.plan.focus + 1) % ws.plan.nprocs;
+        ++result.focus_replans;
+        ++ws.consecutive_replans;
+        if (bug_budget_hit()) {
+          stop.store(true);
+          break;
+        }
+        end_of_iteration_locked(iter, w);
+        continue;
+      }
+      ws.consecutive_replans = 0;
+
+      // ---- two-phase switch (per worker, at the global ordinal) ----
+      if (two_phase && !ws.bounded_phase &&
+          iter + 1 >= options_.dfs_phase_iterations) {
+        std::size_t bound = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          bound = options_.depth_bound > 0
+                      ? static_cast<std::size_t>(options_.depth_bound)
+                      : static_cast<std::size_t>(
+                            static_cast<double>(result.max_constraint_set) *
+                                options_.bound_slack +
+                            10);
+          result.depth_bound_used = bound;
+        }
+        ws.scfg.kind = SearchKind::kBoundedDfs;
+        ws.scfg.bound = bound;
+        ws.strategy = make_strategy(ws.scfg);
+        ws.bounded_phase = true;
+        ws.pending_depth.reset();
+      }
+
+      ws.strategy->observe(focus_log.path, ws.next_is_restart
+                                               ? std::nullopt
+                                               : ws.pending_depth);
+      ws.next_is_restart = false;
+      ws.pending_depth.reset();
+
+      // ---- pick and solve the next constraint set (§II-A) ----
+      const double solve_cpu_start = obs::thread_cpu_seconds();
+      obs::ObsSpan plan_span(obs::Cat::kStrategy, "plan_next_test");
+      bool planned = false;
+      while (auto cand = ws.strategy->next()) {
+        // Frontier deduplication: claim an UNCOVERED target arm before
+        // spending solver budget on it.  Covered targets pass through
+        // unclaimed — those are backtracking moves, same as serial.
+        bool claimed = false;
+        if (cand->target >= 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!coverage.branch_covered(cand->target)) {
+            if (in_flight.count(cand->target) != 0) {
+              ++result.frontier_dedup_skips;
+              m_dedup_skips.inc();
+              continue;
+            }
+            in_flight.insert(cand->target);
+            claimed = true;
+          }
+        }
+
+        std::vector<solver::Predicate> preds = std::move(cand->constraints);
+        const solver::Predicate negated = std::move(preds.back());
+        preds.pop_back();
+        for (auto& p : framework.mpi_constraints(focus_log)) {
+          preds.push_back(std::move(p));
+        }
+        preds.push_back(negated);
+
+        const std::int64_t nodes_before = rec.solver_nodes;
+        solver::SolveResult solved = the_solver.solve_incremental(
+            preds, framework.domains(), focus_log.inputs_used, cache);
+        rec.solver_nodes += solved.nodes_searched;
+        for (int attempt = 0;
+             !solved.sat && solved.budget_exhausted &&
+             attempt < options_.retry_max;
+             ++attempt) {
+          obs::instant(obs::Cat::kChaosRetry, "solver_retry", "attempt",
+                       attempt);
+          obs::JournalEvent(journal, "retry", iter)
+              .str("kind", "solver")
+              .num("attempt", attempt)
+              .num("worker", w)
+              .num("target", cand->target);
+          m_retries.inc();
+          backoff(attempt);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++result.transient_retries;
+          }
+          ++iter_retries;
+          solver::Solver relaxed(
+              {options_.solver_node_budget << (attempt + 1)});
+          solved = relaxed.solve_incremental(preds, framework.domains(),
+                                             focus_log.inputs_used, cache);
+          rec.solver_nodes += solved.nodes_searched;
+        }
+
+        if (claimed) {
+          std::lock_guard<std::mutex> lock(mu);
+          in_flight.erase(cand->target);
+          if (coverage.branch_covered(cand->target)) {
+            // Another worker's execution covered the arm while this solve
+            // ran: the candidate is stale, its model worthless.  Drop it
+            // without accepting or recording a failure.
+            ++result.stale_candidate_drops;
+            m_stale_drops.inc();
+            obs::JournalEvent(journal, "stale_drop", iter)
+                .num("worker", w)
+                .num("target", cand->target);
+            continue;
+          }
+        }
+
+        obs::JournalEvent(journal, "solve", iter)
+            .num("depth", static_cast<std::int64_t>(cand->depth))
+            .num("target", cand->target)
+            .num("worker", w)
+            .boolean("sat", solved.sat)
+            .boolean("budget_exhausted", solved.budget_exhausted)
+            .num("nodes", rec.solver_nodes - nodes_before)
+            .num("slice_size", static_cast<std::int64_t>(solved.slice_size));
+        if (solved.sat) {
+          ws.plan = framework.plan_next_test(solved, focus_log, ws.plan);
+          ws.strategy->accepted(*cand);
+          ws.pending_depth = cand->depth;
+          ws.failures = 0;
+          planned = true;
+          break;
+        }
+        if (cand->target >= 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          ledger.record_solve_failure(cand->target, iter,
+                                      negated.to_string(),
+                                      solved.budget_exhausted);
+        }
+        if (++ws.failures >= options_.restart_after_failures) break;
+      }
+      rec.solve_seconds = obs::thread_cpu_seconds() - solve_cpu_start;
+      rec.retries = iter_retries;
+      m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
+      m_solver_nodes.observe(rec.solver_nodes);
+
+      // ---- record the iteration + end-of-iteration bookkeeping ----
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        result.iterations.push_back(rec);
+        if (session) session->append_iteration(rec);
+        note_iteration(rec, named_inputs,
+                       rec.covered_branches - covered_before);
+        if (!planned) {
+          ++result.restarts;
+          m_restarts.inc();
+          ws.plan.inputs.clear();
+          ws.plan.nprocs = options_.initial_nprocs;
+          ws.plan.focus = options_.initial_focus;
+          ws.failures = 0;
+          ws.next_is_restart = true;
+        }
+        if (bug_budget_hit()) {
+          obs::JournalEvent(journal, "bug_budget_exhausted", iter)
+              .num("bugs", static_cast<std::int64_t>(result.bugs.size()));
+          stop.store(true);
+          break;
+        }
+        end_of_iteration_locked(iter, w);
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body, w);
+  }  // join
+  obs::set_thread_track(0);
+
+  // ---- finalize (workers joined: no locking needed) ----
+  std::sort(result.iterations.begin(), result.iterations.end(),
+            [](const IterationRecord& a, const IterationRecord& b) {
+              return a.iteration < b.iteration;
+            });
+  result.covered_branches = coverage.covered_branches();
+  result.reachable_branches = coverage.reachable_branches();
+  result.total_branches = coverage.total_branches();
+  result.coverage_rate = coverage.rate();
+  result.function_coverage = coverage.per_function();
+  if (cache != nullptr) {
+    result.solver_cache_hits = static_cast<std::size_t>(cache->hits());
+    result.solver_cache_misses = static_cast<std::size_t>(cache->misses());
+  }
+  result.total_seconds = elapsed();
+  result.total_exec_seconds = 0.0;
+  result.total_solve_seconds = 0.0;
+  for (const IterationRecord& r : result.iterations) {
+    result.total_exec_seconds += r.exec_seconds;
+    result.total_solve_seconds += r.solve_seconds;
+  }
+  if (halted) return result;
+  if (session) {
+    session->write_summary(result);
+    session->write_ledger(ledger, *target_.table);
+    session->write_coverage_timeline(result.iterations);
+    if (options_.checkpoint_interval > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      prefix = std::max(prefix, static_cast<int>(options_.iterations));
+      save_checkpoint_locked();
+    }
+  }
+  campaign_span.finish();
+  journal.close();
+  export_obs();
+  return result;
+}
+
+}  // namespace compi

@@ -117,17 +117,19 @@ void SessionWriter::write_iteration(int iteration,
 
 namespace {
 
+// `worker` rides at the END of the row so positional readers of the
+// pre-parallel 11-column layout (explain, external tooling) keep working.
 constexpr const char* kCsvHeader =
     "iteration,nprocs,focus,outcome,constraint_set_size,"
     "covered_branches,exec_seconds,solve_seconds,restart,"
-    "solver_nodes,retries\n";
+    "solver_nodes,retries,worker\n";
 
 void write_csv_row(std::ostream& csv, const IterationRecord& r) {
   csv << r.iteration << ',' << r.nprocs << ',' << r.focus << ','
       << rt::to_string(r.outcome) << ',' << r.constraint_set_size << ','
       << r.covered_branches << ',' << r.exec_seconds << ','
       << r.solve_seconds << ',' << (r.restart ? 1 : 0) << ','
-      << r.solver_nodes << ',' << r.retries << '\n';
+      << r.solver_nodes << ',' << r.retries << ',' << r.worker << '\n';
 }
 
 }  // namespace

@@ -41,8 +41,9 @@ RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
 
   const solver::Assignment empty_inputs;
   auto rank_body = [&](int rank) {
-    // Track 0 is the driver; rank r gets track r + 1 in the trace.
-    obs::ScopedTrack track(rank + 1);
+    // Track `track_base` is the owning driver/worker; rank r gets the
+    // track_base-relative track r + 1 (base 0: the classic serial layout).
+    obs::ScopedTrack track(spec.track_base + rank + 1);
     obs::ObsSpan rank_span(obs::Cat::kExecute, "rank_body", "rank", rank);
     const bool heavy = spec.one_way || rank == spec.focus;
     rt::ContextParams params;

@@ -44,6 +44,11 @@ struct LaunchSpec {
   std::chrono::milliseconds timeout{30'000};
   /// Environment-level fault injection (disabled by default).
   FaultPlan chaos;
+  /// Trace-track offset: rank r records on track `track_base + r + 1`
+  /// (track_base itself is the owning driver/worker's track).  Parallel
+  /// campaign workers use disjoint bases so concurrent jobs don't
+  /// interleave on the same trace rows.
+  int track_base = 0;
 };
 
 struct RankResult {

@@ -179,6 +179,7 @@ bool Journal::open_resume(const std::filesystem::path& file,
 }
 
 void Journal::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) return;
   if (!buffer_.empty()) {
     out_ << buffer_;
@@ -188,13 +189,15 @@ void Journal::flush() {
 }
 
 void Journal::close() {
-  if (!out_.is_open()) return;
   flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
   out_.close();
   buffer_.clear();
 }
 
 void Journal::commit(std::string&& line) {
+  std::lock_guard<std::mutex> lock(mu_);
   buffer_ += line;
   ++events_;
   if (buffer_.size() >= kFlushBytes) {

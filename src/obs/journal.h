@@ -31,6 +31,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -117,7 +118,10 @@ class Journal {
   void close();
 
   /// Events committed since open (resume-retained lines not included).
-  [[nodiscard]] std::size_t events_written() const { return events_; }
+  [[nodiscard]] std::size_t events_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
 
  private:
   friend class JournalEvent;
@@ -129,6 +133,10 @@ class Journal {
 
   void commit(std::string&& line);
 
+  /// Guards buffer_/out_/events_: parallel campaign workers commit events
+  /// concurrently, each event landing as one whole line.  open/close are
+  /// driver-side (quiesced) but lock anyway — they are not hot.
+  mutable std::mutex mu_;
   std::ofstream out_;
   std::string buffer_;
   std::size_t events_ = 0;

@@ -158,9 +158,32 @@ std::vector<std::size_t> Solver::dependency_slice(
   return out;
 }
 
+namespace {
+
+/// Overlays a solved slice model onto `previous`, computing the
+/// changed-variable set — the merge step shared by the search path and the
+/// cache-hit path (both must produce identical SolveResults).
+void merge_model(const Assignment& previous,
+                 const std::vector<std::pair<Var, std::int64_t>>& model,
+                 SolveResult& result) {
+  result.sat = true;
+  result.values = previous;
+  for (const auto& [v, value] : model) {
+    auto it = previous.find(v);
+    if (it == previous.end() || it->second != value) {
+      result.changed.push_back(v);
+    }
+    result.values[v] = value;
+  }
+  std::sort(result.changed.begin(), result.changed.end());
+}
+
+}  // namespace
+
 SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
                                       const DomainMap& domains,
-                                      const Assignment& previous) const {
+                                      const Assignment& previous,
+                                      SolveCache* cache) const {
   obs::ObsSpan span(obs::Cat::kSolver, "solve_incremental", "constraints",
                     static_cast<std::int64_t>(preds.size()));
   SolveResult result;
@@ -185,22 +208,46 @@ SolveResult Solver::solve_incremental(std::span<const Predicate> preds,
   DomainMap sub_domains;
   for (Var v : slice_vars) sub_domains[v] = domain_of(domains, v);
 
+  NormalizedSlice norm;
+  if (cache != nullptr) {
+    norm = normalize_slice(sub, sub_domains, previous);
+    CachedSolve hit;
+    if (cache->lookup(norm.key, &hit)) {
+      result.cache_hit = true;
+      span.set_arg("nodes", 0);
+      if (!hit.sat) return result;  // proven UNSAT
+      std::vector<std::pair<Var, std::int64_t>> model;
+      model.reserve(norm.vars.size());
+      for (std::size_t i = 0; i < norm.vars.size(); ++i) {
+        model.emplace_back(norm.vars[i], hit.values[i]);
+      }
+      merge_model(previous, model, result);
+      return result;
+    }
+  }
+
   const std::optional<Assignment> solved =
       solve(sub, sub_domains, previous, &result.budget_exhausted,
             &result.nodes_searched);
   span.set_arg("nodes", result.nodes_searched);
+
+  // Memoize definitive verdicts only: a budget-bound "unknown" may flip
+  // under a relaxed budget and must never be replayed as an answer.
+  if (cache != nullptr && (solved.has_value() || !result.budget_exhausted)) {
+    CachedSolve entry;
+    entry.sat = solved.has_value();
+    entry.nodes_searched = result.nodes_searched;
+    if (solved) {
+      entry.values.reserve(norm.vars.size());
+      for (Var v : norm.vars) entry.values.push_back(solved->at(v));
+    }
+    cache->insert(norm.key, std::move(entry));
+  }
   if (!solved) return result;  // UNSAT / budget exhausted
 
-  result.sat = true;
-  result.values = previous;
-  for (const auto& [v, value] : *solved) {
-    auto it = previous.find(v);
-    if (it == previous.end() || it->second != value) {
-      result.changed.push_back(v);
-    }
-    result.values[v] = value;
-  }
-  std::sort(result.changed.begin(), result.changed.end());
+  std::vector<std::pair<Var, std::int64_t>> model(solved->begin(),
+                                                  solved->end());
+  merge_model(previous, model, result);
   return result;
 }
 

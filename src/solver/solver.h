@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "solver/cache.h"
 #include "solver/predicate.h"
 #include "solver/propagation.h"
 
@@ -47,6 +48,10 @@ struct SolveResult {
   /// Constraints in the dependency slice actually re-solved (the journal's
   /// per-solve cost signal; 0 for the empty-set fast path).
   std::size_t slice_size = 0;
+  /// Answered from the memoization cache: no search ran (nodes_searched is
+  /// 0) but the verdict and model are exactly what the search would have
+  /// produced (the cache key covers everything the search depends on).
+  bool cache_hit = false;
 };
 
 class Solver {
@@ -68,10 +73,13 @@ class Solver {
   /// whose *last* element is the freshly negated constraint; `previous` is
   /// the input assignment that satisfied the un-negated set.  Re-solves only
   /// the dependency slice of the last constraint and keeps previous values
-  /// elsewhere.
+  /// elsewhere.  A non-null `cache` memoizes definitive answers keyed on
+  /// the normalized slice (cache.h): hits skip the search entirely while
+  /// returning the identical verdict/model/changed-set.
   [[nodiscard]] SolveResult solve_incremental(std::span<const Predicate> preds,
                                               const DomainMap& domains,
-                                              const Assignment& previous) const;
+                                              const Assignment& previous,
+                                              SolveCache* cache = nullptr) const;
 
   /// Indices of `preds` transitively sharing variables with `preds[seed]`
   /// (the dependency slice used by incremental solving).  Exposed for tests.

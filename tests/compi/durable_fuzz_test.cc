@@ -1,0 +1,239 @@
+// Fuzzing the durable-format parsers: random truncation and bit-flips of
+// checkpoint.txt, journal.jsonl, iterations.csv, ledger.csv, bugs.txt and
+// summary.txt must NEVER crash the readers — every corruption degrades to
+// a clean fallback (nullopt / skipped lines / empty vector), and a resumed
+// campaign over a corrupted session starts fresh and still completes.
+//
+// The corpus is real: one serial and one 2-worker fig2 session are run
+// once and their artifacts mutated deterministically (mt19937, fixed
+// seed), so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "compi/checkpoint.h"
+#include "compi/driver.h"
+#include "compi/explain.h"
+#include "compi/session.h"
+#include "obs/journal.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_fuzz_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& file, const std::string& bytes) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Pristine artifacts from one real session of each shape, produced once.
+struct Corpus {
+  std::string serial_checkpoint;
+  std::string parallel_checkpoint;
+  std::string journal;
+  std::string iterations_csv;
+  std::string ledger_csv;
+  std::string bugs_txt;
+  std::string summary_txt;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    Corpus out;
+    {
+      TempDir dir;
+      CampaignOptions opts;
+      opts.seed = 11;
+      opts.iterations = 40;
+      opts.initial_nprocs = 4;
+      opts.max_procs = 8;
+      opts.dfs_phase_iterations = 20;
+      opts.checkpoint_interval = 5;
+      opts.journal = true;
+      opts.log_dir = dir.path.string();
+      (void)Campaign(fig2_target(), opts).run();
+      out.serial_checkpoint = slurp(dir.path / "checkpoint.txt");
+      out.journal = slurp(dir.path / "journal.jsonl");
+      out.iterations_csv = slurp(dir.path / "iterations.csv");
+      out.ledger_csv = slurp(dir.path / "ledger.csv");
+      out.bugs_txt = slurp(dir.path / "bugs.txt");
+      out.summary_txt = slurp(dir.path / "summary.txt");
+    }
+    {
+      TempDir dir;
+      CampaignOptions opts;
+      opts.seed = 11;
+      opts.iterations = 40;
+      opts.initial_nprocs = 4;
+      opts.max_procs = 8;
+      opts.dfs_phase_iterations = 20;
+      opts.checkpoint_interval = 5;
+      opts.workers = 2;
+      opts.log_dir = dir.path.string();
+      (void)Campaign(fig2_target(), opts).run();
+      out.parallel_checkpoint = slurp(dir.path / "checkpoint.txt");
+    }
+    return out;
+  }();
+  return c;
+}
+
+/// One random mutation: truncate at a random offset, flip 1-8 random
+/// bits, or splice a short burst of random bytes.
+std::string mutate(const std::string& pristine, std::mt19937& rng) {
+  std::string bytes = pristine;
+  if (bytes.empty()) return bytes;
+  switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+    case 0: {  // truncation (torn write)
+      bytes.resize(std::uniform_int_distribution<std::size_t>(
+          0, bytes.size() - 1)(rng));
+      break;
+    }
+    case 1: {  // bit flips (media corruption)
+      const int flips = std::uniform_int_distribution<int>(1, 8)(rng);
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t pos = std::uniform_int_distribution<std::size_t>(
+            0, bytes.size() - 1)(rng);
+        bytes[pos] = static_cast<char>(
+            bytes[pos] ^ (1 << std::uniform_int_distribution<int>(0, 7)(rng)));
+      }
+      break;
+    }
+    default: {  // garbage splice (interleaved writer residue)
+      const std::size_t pos = std::uniform_int_distribution<std::size_t>(
+          0, bytes.size() - 1)(rng);
+      std::string burst;
+      const int len = std::uniform_int_distribution<int>(1, 64)(rng);
+      for (int i = 0; i < len; ++i) {
+        burst.push_back(static_cast<char>(
+            std::uniform_int_distribution<int>(0, 255)(rng)));
+      }
+      bytes.insert(pos, burst);
+      break;
+    }
+  }
+  return bytes;
+}
+
+constexpr int kMutationsPerArtifact = 120;
+
+TEST(DurableFuzz, CheckpointReadNeverCrashes) {
+  std::mt19937 rng(0xC0FFEE);
+  for (const std::string* pristine :
+       {&corpus().serial_checkpoint, &corpus().parallel_checkpoint}) {
+    ASSERT_FALSE(pristine->empty());
+    // Sanity: the unmutated snapshot parses.
+    {
+      std::istringstream is(*pristine);
+      EXPECT_TRUE(ckpt::CampaignCheckpoint::read(is).has_value());
+    }
+    for (int i = 0; i < kMutationsPerArtifact; ++i) {
+      std::istringstream is(mutate(*pristine, rng));
+      // Either a clean reject or a fully parsed struct — never a crash.
+      (void)ckpt::CampaignCheckpoint::read(is);
+    }
+  }
+}
+
+TEST(DurableFuzz, OldVersionCheckpointIsRejectedCleanly) {
+  // v4 (and any other non-current version) snapshots must be refused by
+  // design: the campaign falls back to a fresh start.
+  for (const char* version : {"0", "1", "2", "3", "4", "6", "99", "-5"}) {
+    std::string bytes = corpus().serial_checkpoint;
+    const std::string current =
+        "compi-checkpoint " + std::to_string(ckpt::CampaignCheckpoint::kVersion);
+    ASSERT_EQ(bytes.rfind(current, 0), 0u);
+    bytes.replace(0, current.size(),
+                  std::string("compi-checkpoint ") + version);
+    std::istringstream is(bytes);
+    EXPECT_FALSE(ckpt::CampaignCheckpoint::read(is).has_value()) << version;
+  }
+}
+
+TEST(DurableFuzz, JournalReadersTolerateAnyCorruption) {
+  std::mt19937 rng(0x10BBED);
+  TempDir dir;
+  const fs::path file = dir.path / "journal.jsonl";
+  ASSERT_FALSE(corpus().journal.empty());
+  for (int i = 0; i < kMutationsPerArtifact; ++i) {
+    spit(file, mutate(corpus().journal, rng));
+    std::size_t malformed = 0;
+    (void)obs::read_journal(file, &malformed);
+    obs::Journal j;
+    // Resume-open must truncate/skip, never crash; boundary varies.
+    (void)j.open_resume(file, std::uniform_int_distribution<int>(0, 50)(rng));
+    j.close();
+  }
+}
+
+TEST(DurableFuzz, SessionCsvReadersTolerateAnyCorruption) {
+  std::mt19937 rng(0x5E55104);
+  TempDir dir;
+  for (int i = 0; i < kMutationsPerArtifact; ++i) {
+    spit(dir.path / "ledger.csv", mutate(corpus().ledger_csv, rng));
+    spit(dir.path / "iterations.csv", mutate(corpus().iterations_csv, rng));
+    spit(dir.path / "journal.jsonl", mutate(corpus().journal, rng));
+    spit(dir.path / "bugs.txt", mutate(corpus().bugs_txt, rng));
+    spit(dir.path / "summary.txt", mutate(corpus().summary_txt, rng));
+    (void)read_ledger_csv(dir.path / "ledger.csv");
+    (void)read_bugs(dir.path / "bugs.txt");
+    (void)read_summary(dir.path / "summary.txt");
+    // --explain replays the whole directory; it must render or decline.
+    std::ostringstream report;
+    (void)explain_session(dir.path, report);
+  }
+}
+
+TEST(DurableFuzz, ResumeOverCorruptedCheckpointStillCompletes) {
+  // End to end: a resume pointed at a corrupted snapshot (and no usable
+  // .bak) must fall back to a fresh campaign and run to its budget.
+  std::mt19937 rng(0x2E5013);
+  for (int i = 0; i < 4; ++i) {
+    TempDir dir;
+    spit(dir.path / "checkpoint.txt", mutate(corpus().serial_checkpoint, rng));
+    CampaignOptions opts;
+    opts.seed = 11;
+    opts.iterations = 30;
+    opts.initial_nprocs = 4;
+    opts.max_procs = 8;
+    opts.dfs_phase_iterations = 20;
+    opts.resume = true;
+    opts.log_dir = dir.path.string();
+    const CampaignResult result = Campaign(fig2_target(), opts).run();
+    EXPECT_EQ(result.iterations.size(), 30u)
+        << (result.resumed ? "resumed a corrupt snapshot?" : "fresh");
+  }
+}
+
+}  // namespace
+}  // namespace compi
