@@ -348,6 +348,62 @@ void BM_LaunchSandboxed(benchmark::State& state) {
 }
 BENCHMARK(BM_LaunchSandboxed)->Unit(benchmark::kMillisecond);
 
+// ---- match-scheduler (--explore-matchings) overhead ----
+// What routing every receive through the central MatchScheduler costs over
+// the plain mailbox path, on a wildcard fan-in job: per-receive scheduler
+// bookkeeping plus the decision-trace records.
+
+minimpi::LaunchSpec matching_bench_spec(rt::VarRegistry& registry,
+                                        int fanin) {
+  minimpi::LaunchSpec spec;
+  spec.nprocs = fanin + 1;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.rng_seed = 42;
+  spec.timeout = std::chrono::milliseconds(5000);
+  spec.program = [](rt::RuntimeContext&, minimpi::Comm& world) {
+    const int me = world.raw_rank();
+    constexpr int kRounds = 16;
+    if (me != 0) {
+      const std::vector<int> mine{me};
+      for (int i = 0; i < kRounds; ++i) {
+        world.send(std::span<const int>(mine), 0, 1);
+      }
+    } else {
+      std::vector<int> got(1);
+      const int total = kRounds * (world.raw_size() - 1);
+      for (int i = 0; i < total; ++i) {
+        world.recv(std::span<int>(got), minimpi::kAnySource, 1);
+      }
+    }
+    world.barrier();
+  };
+  return spec;
+}
+
+void BM_LaunchPlainMatching(benchmark::State& state) {
+  rt::VarRegistry registry;
+  const minimpi::LaunchSpec spec =
+      matching_bench_spec(registry, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimpi::launch(spec, sandbox_bench_table()));
+  }
+}
+BENCHMARK(BM_LaunchPlainMatching)->Arg(3)->Arg(7)->Unit(
+    benchmark::kMillisecond);
+
+void BM_LaunchMatchScheduled(benchmark::State& state) {
+  rt::VarRegistry registry;
+  minimpi::LaunchSpec spec =
+      matching_bench_spec(registry, static_cast<int>(state.range(0)));
+  spec.match_schedule = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimpi::launch(spec, sandbox_bench_table()));
+  }
+}
+BENCHMARK(BM_LaunchMatchScheduled)->Arg(3)->Arg(7)->Unit(
+    benchmark::kMillisecond);
+
 void BM_WireEncodeDecode(benchmark::State& state) {
   // Serialization share of the sandbox overhead, without the fork.
   rt::VarRegistry registry;

@@ -126,6 +126,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(0, 10'000'000);
       if (!v) return fail("--solver-cache needs entries >= 0");
       cfg.campaign.solver_cache_entries = static_cast<int>(*v);
+    } else if (flag == "--explore-matchings") {
+      cfg.campaign.explore_matchings = true;
+    } else if (flag == "--max-interleavings") {
+      const auto v = want_int(0, 10'000'000);
+      if (!v) return fail("--max-interleavings needs an integer >= 0");
+      cfg.campaign.max_interleavings = static_cast<int>(*v);
     } else if (flag == "--isolate") {
       cfg.campaign.isolate = true;
     } else if (flag == "--hang-timeout-ms") {
@@ -239,6 +245,13 @@ std::string usage() {
         "                       sessions)\n"
         "  --solver-cache=N     memoize definitive solver answers, N entries\n"
         "                       LRU (0 = off); shared across workers\n"
+        "  --explore-matchings  route tests through the match scheduler and\n"
+        "                       enumerate alternative wildcard-receive\n"
+        "                       matchings (exact deadlock / orphan-message\n"
+        "                       detection; each reordering is a replayable\n"
+        "                       campaign iteration)\n"
+        "  --max-interleavings=N  cap on enqueued reorderings (default 64,\n"
+        "                       0 = unlimited)\n"
         "  --isolate            run each test in a fork()ed child: real\n"
         "                       crashes/hangs are contained and recorded\n"
         "  --hang-timeout-ms=N  SIGKILL a sandboxed child after N ms of\n"

@@ -41,6 +41,7 @@ void print_report(const TargetInfo& target, const CampaignResult& result,
             << TablePrinter::num(result.total_solve_seconds, 2)
             << "s solve)\n";
   print_sandbox_summary(std::cout, result);
+  print_matchings_summary(std::cout, result);
   std::cout << "\nPhase profile (per-iteration percentiles in us):\n";
   print_phase_breakdown(std::cout, compute_phase_breakdown(result));
   if (result.bugs.empty()) {
@@ -55,6 +56,13 @@ void print_report(const TargetInfo& target, const CampaignResult& result,
         std::cout << ' ' << name << '=' << value;
       }
       std::cout << "\n";
+      if (!bug.decisions.empty()) {
+        std::cout << "    decisions:";
+        for (const minimpi::MatchDecision& d : bug.decisions) {
+          std::cout << ' ' << d.rank << '/' << d.seq << "->" << d.src;
+        }
+        std::cout << "\n";
+      }
     }
   }
   if (functions) {

@@ -130,7 +130,8 @@ void CampaignCheckpoint::write(std::ostream& os) const {
        << rt::to_string(r.outcome) << ' ' << r.constraint_set_size << ' '
        << r.covered_branches << ' ' << format_double(r.exec_seconds) << ' '
        << format_double(r.solve_seconds) << ' ' << (r.restart ? 1 : 0) << ' '
-       << r.solver_nodes << ' ' << r.retries << ' ' << r.worker << '\n';
+       << r.solver_nodes << ' ' << r.retries << ' ' << r.worker << ' '
+       << r.interleaving << '\n';
   }
 
   os << "bugs " << bugs.size() << '\n';
@@ -146,6 +147,11 @@ void CampaignCheckpoint::write(std::ostream& os) const {
     for (const auto& [key, value] : b.named_inputs) {
       os << value << ' ' << escape(key) << '\n';
     }
+    os << "decisions " << b.decisions.size();
+    for (const minimpi::MatchDecision& d : b.decisions) {
+      os << ' ' << d.rank << ' ' << d.seq << ' ' << d.src;
+    }
+    os << '\n';
   }
 
   os << "covered " << covered.size();
@@ -167,6 +173,24 @@ void CampaignCheckpoint::write(std::ostream& os) const {
   os << "hangs " << known_hang_signatures.size() << '\n';
   for (const std::string& sig : known_hang_signatures) {
     os << escape(sig) << '\n';
+  }
+
+  os << "match_frontier " << interleavings_enqueued << ' '
+     << interleavings_run << ' ' << interleavings_pruned << ' '
+     << interleavings_capped << ' ' << next_interleaving_id << '\n';
+  os << "match_seen " << interleaving_seen.size();
+  for (std::uint64_t h : interleaving_seen) os << ' ' << h;
+  os << '\n';
+  os << "pending_interleavings " << pending_interleavings.size() << '\n';
+  for (const PendingInterleaving& p : pending_interleavings) {
+    os << "pend " << p.id << ' ' << p.nprocs << ' ' << p.focus << ' '
+       << p.plan.size();
+    for (const minimpi::MatchDecision& d : p.plan) {
+      os << ' ' << d.rank << ' ' << d.seq << ' ' << d.src;
+    }
+    os << ' ';
+    write_assignment(os, p.inputs);
+    os << '\n';
   }
 
   os << "strategy " << escape(strategy_name) << '\n';
@@ -262,7 +286,9 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
     r.solve_seconds = read_double(is);
     if (!(is >> flag)) return std::nullopt;
     r.restart = flag != 0;
-    if (!(is >> r.solver_nodes >> r.retries >> r.worker)) return std::nullopt;
+    if (!(is >> r.solver_nodes >> r.retries >> r.worker >> r.interleaving)) {
+      return std::nullopt;
+    }
     c.iterations.push_back(std::move(r));
   }
 
@@ -289,6 +315,14 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
       std::int64_t value = 0;
       if (!(is >> value)) return std::nullopt;
       b.named_inputs[unescape(read_tail(is))] = value;
+    }
+    std::size_t ndecisions = 0;
+    if (!expect(is, "decisions") || !(is >> ndecisions)) return std::nullopt;
+    b.decisions.reserve(std::min(ndecisions, kMaxSaneReserve));
+    for (std::size_t j = 0; j < ndecisions; ++j) {
+      minimpi::MatchDecision d;
+      if (!(is >> d.rank >> d.seq >> d.src)) return std::nullopt;
+      b.decisions.push_back(d);
     }
     c.bugs.push_back(std::move(b));
   }
@@ -331,6 +365,38 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
     std::string line;
     if (!std::getline(is, line)) return std::nullopt;
     c.known_hang_signatures.push_back(unescape(line));
+  }
+
+  if (!expect(is, "match_frontier") ||
+      !(is >> c.interleavings_enqueued >> c.interleavings_run >>
+        c.interleavings_pruned >> c.interleavings_capped >>
+        c.next_interleaving_id)) {
+    return std::nullopt;
+  }
+  if (!expect(is, "match_seen") || !(is >> n)) return std::nullopt;
+  c.interleaving_seen.reserve(std::min(n, kMaxSaneReserve));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t h = 0;
+    if (!(is >> h)) return std::nullopt;
+    c.interleaving_seen.push_back(h);
+  }
+  if (!expect(is, "pending_interleavings") || !(is >> n)) return std::nullopt;
+  c.pending_interleavings.reserve(std::min(n, kMaxSaneReserve));
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingInterleaving p;
+    std::size_t plan_size = 0;
+    if (!expect(is, "pend") ||
+        !(is >> p.id >> p.nprocs >> p.focus >> plan_size)) {
+      return std::nullopt;
+    }
+    p.plan.reserve(std::min(plan_size, kMaxSaneReserve));
+    for (std::size_t j = 0; j < plan_size; ++j) {
+      minimpi::MatchDecision d;
+      if (!(is >> d.rank >> d.seq >> d.src)) return std::nullopt;
+      p.plan.push_back(d);
+    }
+    if (!read_assignment(is, p.inputs)) return std::nullopt;
+    c.pending_interleavings.push_back(std::move(p));
   }
 
   if (!expect(is, "strategy")) return std::nullopt;

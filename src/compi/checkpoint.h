@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compi/driver.h"
+#include "compi/interleaving.h"
 #include "runtime/var_registry.h"
 #include "solver/predicate.h"
 #include "symbolic/path.h"
@@ -61,13 +62,14 @@ struct WorkerCursor {
 };
 
 struct CampaignCheckpoint {
-  // v5: iter lines carry the owning worker ordinal, and the snapshot embeds
-  // per-worker cursors for parallel campaigns.  (v4 embedded the
-  // coverage-attribution ledger snapshot; v3 added the sandbox accounting
-  // line; v2 added solver_nodes and retries to iter lines.)  Older
-  // snapshots are rejected and the campaign falls back to a fresh start,
-  // by design.
-  static constexpr int kVersion = 5;
+  // v6: iter lines carry the interleaving id, bug records carry their
+  // wildcard decision vector, and the snapshot embeds the interleaving
+  // frontier (--explore-matchings).  (v5 added worker ordinals and
+  // per-worker cursors; v4 embedded the coverage-attribution ledger
+  // snapshot; v3 added the sandbox accounting line; v2 added solver_nodes
+  // and retries to iter lines.)  Older snapshots are rejected and the
+  // campaign falls back to a fresh start, by design.
+  static constexpr int kVersion = 6;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -105,6 +107,17 @@ struct CampaignCheckpoint {
   std::vector<rt::VarMeta> registry;
   /// Fault signatures already classified as genuine hangs (not retried).
   std::vector<std::string> known_hang_signatures;
+
+  // Interleaving frontier (--explore-matchings): not-yet-replayed
+  // reordered matchings plus the sleep set, so exploration continues
+  // exactly where the killed campaign stopped.
+  std::vector<PendingInterleaving> pending_interleavings;
+  std::vector<std::uint64_t> interleaving_seen;  // sorted on write
+  std::int64_t next_interleaving_id = 1;
+  std::size_t interleavings_enqueued = 0;
+  std::size_t interleavings_run = 0;
+  std::size_t interleavings_pruned = 0;
+  std::size_t interleavings_capped = 0;
 
   /// Search-strategy snapshot: strategy name + its opaque state blob
   /// (written by SearchStrategy::save_state).

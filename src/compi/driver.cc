@@ -10,6 +10,7 @@
 
 #include "compi/checkpoint.h"
 #include "compi/driver_internal.h"
+#include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
@@ -80,6 +81,9 @@ CampaignResult Campaign::run_serial() {
   obs::Counter& m_cache_evictions = reg.counter(
       "compi_solver_cache_evictions_total",
       "Solver memoization cache LRU evictions");
+  obs::Counter& m_interleavings = reg.counter(
+      "compi_interleavings_total",
+      "Reordered wildcard matchings replayed (--explore-matchings)");
 
   // Solver memoization (--solver-cache=N entries; 0 = off, the default).
   // Optional so the off state carries zero overhead — solve_incremental
@@ -162,6 +166,7 @@ CampaignResult Campaign::run_serial() {
   int consecutive_replans = 0;
   int start_iter = 0;
   std::vector<std::string> known_hangs;  // signatures proven to really hang
+  InterleavingFrontier interleavings;    // --explore-matchings frontier
 
   // ---- resume a checkpointed session (crash recovery) ----
   if (options_.resume && !options_.log_dir.empty()) {
@@ -206,6 +211,15 @@ CampaignResult Campaign::run_serial() {
         failures = c->failures;
         consecutive_replans = c->consecutive_replans;
         known_hangs = std::move(c->known_hang_signatures);
+        interleavings.queue.assign(c->pending_interleavings.begin(),
+                                   c->pending_interleavings.end());
+        interleavings.seen.insert(c->interleaving_seen.begin(),
+                                  c->interleaving_seen.end());
+        interleavings.next_id = c->next_interleaving_id;
+        interleavings.enqueued = c->interleavings_enqueued;
+        interleavings.run_count = c->interleavings_run;
+        interleavings.pruned = c->interleavings_pruned;
+        interleavings.capped = c->interleavings_capped;
         start_iter = c->next_iteration;
         if (!c->ledger_state.empty()) {
           std::istringstream ledger_blob(c->ledger_state);
@@ -334,6 +348,18 @@ CampaignResult Campaign::run_serial() {
     c.covered = coverage.bitmap().covered_ids();
     c.registry = registry.all();
     c.known_hang_signatures = known_hangs;
+    c.pending_interleavings.assign(interleavings.queue.begin(),
+                                   interleavings.queue.end());
+    c.interleaving_seen.assign(interleavings.seen.begin(),
+                               interleavings.seen.end());
+    // Hash-set iteration order is arbitrary: sort so identical campaigns
+    // write byte-identical snapshots.
+    std::sort(c.interleaving_seen.begin(), c.interleaving_seen.end());
+    c.next_interleaving_id = interleavings.next_id;
+    c.interleavings_enqueued = interleavings.enqueued;
+    c.interleavings_run = interleavings.run_count;
+    c.interleavings_pruned = interleavings.pruned;
+    c.interleavings_capped = interleavings.capped;
     c.strategy_name = strategy->name();
     std::ostringstream blob;
     strategy->save_state(blob);
@@ -398,6 +424,7 @@ CampaignResult Campaign::run_serial() {
         .num("solver_nodes", rec.solver_nodes)
         .num("retries", rec.retries)
         .num("worker", rec.worker)
+        .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
     journal.flush();
     if (options_.status_file.empty()) return;
@@ -432,19 +459,44 @@ CampaignResult Campaign::run_serial() {
     const std::size_t covered_before = coverage.covered_branches();
     int iter_retries = 0;  // transient retries absorbed by THIS iteration
 
+    // ---- pop a pending reordered matching, if any ----
+    // Interleavings are frontier items: each consumes one iteration,
+    // replaying its parent run's inputs under the prescribed match plan.
+    // The planned input-driven test simply runs on the next iteration.
+    std::optional<PendingInterleaving> pending;
+    if (options_.explore_matchings && !interleavings.queue.empty()) {
+      pending = std::move(interleavings.queue.front());
+      interleavings.queue.pop_front();
+      ++interleavings.run_count;
+      m_interleavings.inc();
+      obs::JournalEvent(journal, "interleaving", iter)
+          .num("id", pending->id)
+          .num("plan_size", static_cast<std::int64_t>(pending->plan.size()))
+          .num("nprocs", pending->nprocs)
+          .num("focus", pending->focus);
+    }
+    const solver::Assignment* run_inputs =
+        pending ? &pending->inputs : &plan.inputs;
+    const int run_nprocs = pending ? pending->nprocs : plan.nprocs;
+    const int run_focus = pending ? pending->focus : plan.focus;
+
     // ---- launch the planned test (§III-D) ----
     minimpi::LaunchSpec spec;
     spec.program = target_.program;
-    spec.nprocs = plan.nprocs;
-    spec.focus = plan.focus;
+    spec.nprocs = run_nprocs;
+    spec.focus = run_focus;
     spec.one_way = options_.one_way;
     spec.registry = &registry;
-    spec.inputs = &plan.inputs;
+    spec.inputs = run_inputs;
     spec.rng_seed = mix_seed(options_.seed, static_cast<std::uint64_t>(iter));
     spec.step_budget = options_.step_budget;
     spec.reduction = options_.reduction;
     spec.mark_mpi_vars = options_.framework;
     spec.timeout = options_.test_timeout;
+    if (options_.explore_matchings) {
+      spec.match_schedule = true;
+      if (pending) spec.match_plan = pending->plan;
+    }
 
     // A per-test timeout is transient until proven otherwise: retry with a
     // relaxed clock/step budget (and a re-mixed chaos seed, so injected
@@ -504,23 +556,25 @@ CampaignResult Campaign::run_serial() {
     std::map<std::string, std::int64_t> named_inputs;
     for (const auto& [var, value] :
          !focus_log.inputs_used.empty() ? focus_log.inputs_used
-                                        : plan.inputs) {
+                                        : *run_inputs) {
       named_inputs[registry.meta(var).key] = value;
     }
     {
       CoverageLedger::RunContext lctx;
       lctx.iteration = iter;
-      lctx.nprocs = plan.nprocs;
-      lctx.focus = plan.focus;
+      lctx.nprocs = run_nprocs;
+      lctx.focus = run_focus;
       lctx.inputs = &named_inputs;
       lctx.harvested = &last_harvested;
+      lctx.interleaving = pending ? pending->id : -1;
       ledger.record_run(lctx, run);
     }
 
     IterationRecord rec;
     rec.iteration = iter;
-    rec.nprocs = plan.nprocs;
-    rec.focus = plan.focus;
+    rec.nprocs = run_nprocs;
+    rec.focus = run_focus;
+    rec.interleaving = pending ? pending->id : -1;
     rec.outcome = run.job_outcome();
     rec.constraint_set_size = focus_log.path.size();
     rec.covered_branches = coverage.covered_branches();
@@ -529,6 +583,33 @@ CampaignResult Campaign::run_serial() {
     rec.retries = iter_retries;
     m_exec_us.observe(static_cast<std::int64_t>(rec.exec_seconds * 1e6));
     m_covered.set(static_cast<std::int64_t>(rec.covered_branches));
+
+    // ---- wildcard matchings: journal the decisions, fork alternatives ----
+    if (spec.match_schedule) {
+      for (const minimpi::MatchRecord& mr : run.match_trace) {
+        obs::JournalEvent(journal, "match_choice", iter)
+            .num("rank", mr.rank)
+            .num("seq", mr.seq)
+            .num("src", mr.chosen_src)
+            .num("feasible", static_cast<std::int64_t>(mr.feasible.size()))
+            .num("interleaving", rec.interleaving);
+      }
+      if (rec.outcome == rt::Outcome::kDeadlock) {
+        obs::JournalEvent(journal, "deadlock", iter)
+            .str("cycle", run.job_message())
+            .num("interleaving", rec.interleaving);
+      }
+      // Fork from the actually-used inputs when the focus recorded them:
+      // an interleaving replays at a different iteration (different RNG
+      // stream), so the planned assignment alone would re-roll any value
+      // the parent drew randomly.
+      enqueue_alternatives(interleavings, run.match_trace,
+                           !focus_log.inputs_used.empty()
+                               ? focus_log.inputs_used
+                               : *run_inputs,
+                           run_nprocs, run_focus,
+                           options_.max_interleavings);
+    }
 
     // ---- log error-inducing inputs (§V) ----
     if (rt::is_fault(rec.outcome)) {
@@ -547,18 +628,27 @@ CampaignResult Campaign::run_serial() {
         // A sandboxed child killed by a real signal dies before flushing
         // its log, so the focus's inputs_used is empty: fall back to the
         // planned assignment — those ARE the error-inducing inputs.
-        if (bug.inputs.empty()) bug.inputs = plan.inputs;
+        if (bug.inputs.empty()) bug.inputs = *run_inputs;
         for (const auto& [var, value] : bug.inputs) {
           bug.named_inputs[registry.meta(var).key] = value;
         }
-        bug.nprocs = plan.nprocs;
-        bug.focus = plan.focus;
+        bug.nprocs = run_nprocs;
+        bug.focus = run_focus;
+        if (spec.match_schedule) {
+          // The full decision vector — not just the forced prefix — so the
+          // replay pins EVERY wildcard choice of the failing run.
+          bug.decisions.reserve(run.match_trace.size());
+          for (const minimpi::MatchRecord& mr : run.match_trace) {
+            bug.decisions.push_back({mr.rank, mr.seq, mr.chosen_src});
+          }
+        }
         if (options_.confirm_bugs) {
           // Replay once with the same inputs and NO injected noise; a bug
           // that fails to reproduce is environment-induced, hence flaky.
           minimpi::LaunchSpec confirm = spec;
           confirm.chaos = minimpi::FaultPlan{};
           confirm.inputs = &bug.inputs;
+          confirm.match_plan = bug.decisions;
           confirm.timeout = options_.test_timeout;
           confirm.step_budget = options_.step_budget;
           // Same funnel as the discovery run: replaying a real SIGSEGV
@@ -571,6 +661,27 @@ CampaignResult Campaign::run_serial() {
       } else {
         ++known->occurrences;
       }
+    }
+
+    // ---- interleaving replays don't drive the search ----
+    // The reordered matching's job was its outcome verdict and any new
+    // coverage, both recorded above (plus the alternatives it forked).
+    // The strategy neither observes its path nor solves from it; the
+    // already-planned input-driven test runs on the next iteration.
+    if (pending) {
+      result.iterations.push_back(rec);
+      if (session) session->append_iteration(rec);
+      note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
+      if (bug_budget_hit()) {
+        obs::JournalEvent(journal, "bug_budget_exhausted", iter)
+            .num("bugs", static_cast<std::int64_t>(result.bugs.size()));
+        break;
+      }
+      if (end_of_iteration(iter)) {
+        halted = true;
+        break;
+      }
+      continue;
     }
 
     // ---- graceful degradation: the focus died before recording ----
@@ -734,7 +845,15 @@ CampaignResult Campaign::run_serial() {
   for (const IterationRecord& r : result.iterations) {
     result.total_exec_seconds += r.exec_seconds;
     result.total_solve_seconds += r.solve_seconds;
+    if (r.outcome == rt::Outcome::kDeadlock) ++result.deadlocks_found;
+    if (r.outcome == rt::Outcome::kOrphanMessage) {
+      ++result.orphan_messages_found;
+    }
   }
+  result.interleavings_enqueued = interleavings.enqueued;
+  result.interleavings_run = interleavings.run_count;
+  result.interleavings_pruned = interleavings.pruned;
+  result.interleavings_capped = interleavings.capped;
   // A simulated kill stops before the summary files exist, exactly like a
   // real SIGKILL would; only the checkpoint survives (end_of_iteration
   // already exported the observability artifacts with it).

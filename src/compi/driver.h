@@ -44,6 +44,9 @@ struct IterationRecord {
   int retries = 0;
   /// Campaign worker that executed this iteration (0 for the serial path).
   int worker = 0;
+  /// Interleaving id when this iteration replayed a reordered wildcard
+  /// matching (--explore-matchings); -1 for ordinary input-driven runs.
+  std::int64_t interleaving = -1;
 };
 
 /// One discovered bug: the failure plus its error-inducing test setup.
@@ -60,6 +63,10 @@ struct BugRecord {
   /// The confirmation re-execution (same inputs, chaos off) did NOT
   /// reproduce the failure: likely environment noise, not a target bug.
   bool flaky = false;
+  /// Wildcard decision vector of the failing run (match-scheduled runs
+  /// only): replaying it as a match plan reproduces the interleaving — and
+  /// hence matching-order-dependent failures — deterministically.
+  minimpi::MatchPlan decisions;
 };
 
 struct CampaignResult {
@@ -102,6 +109,17 @@ struct CampaignResult {
   /// Solver memoization totals (zero when the cache is disabled).
   std::size_t solver_cache_hits = 0;
   std::size_t solver_cache_misses = 0;
+  /// Wildcard-matching exploration accounting (--explore-matchings; all
+  /// zero when exploration is off).  Pruned counts alternatives dropped by
+  /// the sleep-set dedup; capped counts those dropped by
+  /// --max-interleavings.
+  std::size_t interleavings_enqueued = 0;
+  std::size_t interleavings_run = 0;
+  std::size_t interleavings_pruned = 0;
+  std::size_t interleavings_capped = 0;
+  /// Exact matching-bug verdicts observed across iterations.
+  std::size_t deadlocks_found = 0;
+  std::size_t orphan_messages_found = 0;
   double total_seconds = 0.0;
   /// Sums of the per-iteration phase timings.  exec_seconds is each
   /// worker's launch-phase wall clock, so under --workers > 1 this SUM can

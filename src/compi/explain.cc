@@ -44,6 +44,7 @@ struct IterRow {
   bool restart = false;
   std::int64_t solver_nodes = 0;
   int retries = 0;
+  std::int64_t interleaving = -1;
 };
 
 std::vector<IterRow> read_iterations_csv(const std::filesystem::path& file) {
@@ -64,6 +65,7 @@ std::vector<IterRow> read_iterations_csv(const std::filesystem::path& file) {
     row.restart = to_int(cell_at(cells, 8), 0) != 0;
     row.solver_nodes = to_int(cell_at(cells, 9), 0);
     row.retries = static_cast<int>(to_int(cell_at(cells, 10), 0));
+    row.interleaving = to_int(cell_at(cells, 12), -1);
     rows.push_back(std::move(row));
   }
   return rows;
@@ -256,6 +258,52 @@ void print_solver_breakdown(std::ostream& os,
   if (chaos > 0) os << "  chaos injections armed: " << chaos << "\n";
 }
 
+void print_matchings(std::ostream& os, const std::vector<IterRow>& iters,
+                     const std::vector<LedgerCsvRow>& ledger,
+                     const std::vector<obs::ParsedEvent>& journal) {
+  std::size_t replays = 0, deadlocks = 0, orphans = 0;
+  for (const IterRow& row : iters) {
+    if (row.interleaving >= 0) ++replays;
+    if (row.outcome == "deadlock") ++deadlocks;
+    if (row.outcome == "orphan-message") ++orphans;
+  }
+  std::size_t interleaving_firsts = 0;
+  for (const LedgerCsvRow& row : ledger) {
+    if (row.covered && row.first_interleaving >= 0) ++interleaving_firsts;
+  }
+  std::int64_t choices = 0, wildcard_choices = 0;
+  std::vector<std::string> cycles;
+  for (const obs::ParsedEvent& ev : journal) {
+    if (ev.type == "match_choice") {
+      ++choices;
+      if (ev.num("feasible").value_or(0) > 1) ++wildcard_choices;
+    } else if (ev.type == "deadlock") {
+      if (const auto cycle = ev.str("cycle");
+          cycle && !cycle->empty() && cycles.size() < 3) {
+        cycles.push_back(*cycle);
+      }
+    }
+  }
+  // Sessions that never ran the match scheduler get no section at all.
+  if (replays + deadlocks + orphans + interleaving_firsts == 0 &&
+      choices == 0) {
+    return;
+  }
+  os << "\nWildcard matchings:\n"
+     << "  interleaving replays: " << replays << "\n"
+     << "  deadlocks: " << deadlocks << ", orphan messages: " << orphans
+     << "\n"
+     << "  branches first covered by a replay: " << interleaving_firsts
+     << "\n";
+  if (choices > 0) {
+    os << "  match choices journaled: " << choices << " ("
+       << wildcard_choices << " with >1 feasible sender)\n";
+  }
+  for (const std::string& cycle : cycles) {
+    os << "  wait-for cycle: " << cycle << "\n";
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> split_csv_row(const std::string& line) {
@@ -331,6 +379,7 @@ std::vector<LedgerCsvRow> read_ledger_csv(const std::filesystem::path& file) {
     row.miss_budget_exhausted = to_int(cell_at(cells, 14), 0) != 0;
     row.miss_constraint = cell_at(cells, 15);
     row.first_inputs = cell_at(cells, 16);
+    row.first_interleaving = to_int(cell_at(cells, 17), -1);
     rows.push_back(std::move(row));
   }
   return rows;
@@ -378,6 +427,7 @@ bool explain_session(const std::filesystem::path& dir, std::ostream& os,
   print_rank_skew(os, ledger);
   os << "\n";
   print_solver_breakdown(os, iters, journal, have_journal);
+  print_matchings(os, iters, ledger, journal);
   return true;
 }
 

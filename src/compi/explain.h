@@ -51,6 +51,9 @@ struct LedgerCsvRow {
   bool miss_budget_exhausted = false;
   std::string miss_constraint;
   std::string first_inputs;  // "name=value name=value ..."
+  /// Interleaving replay that first covered this branch (cell 17; absent
+  /// in pre-matchings sessions and for input-driven firsts — both -1).
+  std::int64_t first_interleaving = -1;
 };
 
 /// Splits one CSV record into cells, honoring RFC 4180 quoting (doubled

@@ -41,6 +41,7 @@ void CoverageLedger::record_run(const RunContext& ctx,
             harvested != nullptr &&
             std::binary_search(harvested->begin(), harvested->end(),
                                static_cast<sym::BranchId>(b));
+        a.first_interleaving = ctx.interleaving;
         if (ctx.inputs != nullptr) a.first_inputs = *ctx.inputs;
         ++covered_;
         // Coverage settles the near miss; drop the stale constraint.
@@ -103,7 +104,8 @@ void CoverageLedger::write(std::ostream& os) const {
     if (a.covered()) {
       os << "hit " << b << ' ' << a.first_iteration << ' ' << a.first_focus
          << ' ' << a.first_nprocs << ' ' << a.first_rank << ' '
-         << (a.first_harvested ? 1 : 0) << ' ' << a.hits_per_rank.size();
+         << (a.first_harvested ? 1 : 0) << ' ' << a.first_interleaving
+         << ' ' << a.hits_per_rank.size();
       for (std::uint32_t h : a.hits_per_rank) os << ' ' << h;
       os << ' ' << a.first_inputs.size() << '\n';
       for (const auto& [name, value] : a.first_inputs) {
@@ -146,7 +148,7 @@ bool CoverageLedger::read(std::istream& is) {
       int harvested = 0;
       std::size_t nranks = 0;
       if (!(is >> a.first_iteration >> a.first_focus >> a.first_nprocs >>
-            a.first_rank >> harvested >> nranks)) {
+            a.first_rank >> harvested >> a.first_interleaving >> nranks)) {
         return false;
       }
       a.first_harvested = harvested != 0;
@@ -197,10 +199,12 @@ std::string csv_quote(const std::string& cell) {
 
 void CoverageLedger::write_csv(std::ostream& os,
                                const rt::BranchTable& table) const {
+  // first_interleaving is appended at the END so positional readers of the
+  // older 17-column layout (cells 0..16) keep working.
   os << "branch,site,function,arm,covered,first_iteration,first_focus,"
         "first_nprocs,first_rank,first_harvested,total_hits,hits_per_rank,"
         "miss_attempts,miss_last_iteration,miss_budget_exhausted,"
-        "nearest_miss_constraint,first_inputs\n";
+        "nearest_miss_constraint,first_inputs,first_interleaving\n";
   for (std::size_t b = 0; b < attribution_.size(); ++b) {
     const BranchAttribution& a = attribution_[b];
     const sym::SiteId site = sym::site_of(static_cast<sym::BranchId>(b));
@@ -234,7 +238,11 @@ void CoverageLedger::write_csv(std::ostream& os,
       if (!inputs.empty()) inputs.push_back(' ');
       inputs += name + "=" + std::to_string(value);
     }
-    os << csv_quote(inputs) << '\n';
+    os << csv_quote(inputs) << ',';
+    if (a.covered() && a.first_interleaving >= 0) {
+      os << a.first_interleaving;
+    }
+    os << '\n';
   }
 }
 

@@ -43,6 +43,10 @@ struct BranchAttribution {
   /// The first hit was recovered from the sandbox coverage harvest of a
   /// child that died before delivering its logs.
   bool first_harvested = false;
+  /// Interleaving id of the discovering run when the branch was first
+  /// reached under a reordered wildcard matching (--explore-matchings);
+  /// -1 for ordinary input-driven first hits.
+  std::int64_t first_interleaving = -1;
   /// Named planned assignment of the discovering run.
   std::map<std::string, std::int64_t> first_inputs;
   /// hits_per_rank[r] = iterations in which rank r covered this branch
@@ -78,6 +82,9 @@ class CoverageLedger {
     /// Branch ids whose coverage came from the sandbox harvest map instead
     /// of a delivered rank log (nullptr/empty for in-process runs).
     const std::vector<sym::BranchId>* harvested = nullptr;
+    /// Interleaving id when the run replayed a reordered matching; -1
+    /// otherwise.
+    std::int64_t interleaving = -1;
   };
 
   /// Attributes one run's coverage: walks every rank's covered bitmap and

@@ -72,6 +72,18 @@ struct CampaignOptions {
   /// solver_nodes accounting).
   int solver_cache_entries = 0;
 
+  // ---- wildcard-matching exploration (match_scheduler.h) ----
+  /// Route every test through the match scheduler and enumerate alternative
+  /// wildcard-receive matchings as a second frontier dimension: each
+  /// observed decision point with >1 feasible senders forks a replayable
+  /// interleaving (prefix choices pinned, one choice flipped), deduplicated
+  /// DPOR/sleep-set style.  Also switches hang detection from the
+  /// wall-clock watchdog to the scheduler's exact deadlock / orphan-message
+  /// verdicts.  Off by default: campaigns stay bit-identical.
+  bool explore_matchings = false;
+  /// Cap on distinct interleavings enqueued per campaign (0 = unlimited).
+  int max_interleavings = 64;
+
   // ---- runtime limits ----
   std::int64_t step_budget = 2'000'000;
   std::chrono::milliseconds test_timeout{30'000};

@@ -50,6 +50,7 @@
 #include "compi/checkpoint.h"
 #include "compi/driver.h"
 #include "compi/driver_internal.h"
+#include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
 #include "minimpi/launcher.h"
@@ -135,6 +136,9 @@ CampaignResult Campaign::run_parallel() {
   obs::Counter& m_stale_drops = reg.counter(
       "compi_stale_candidate_drops_total",
       "Claimed candidates dropped: arm covered while the solve ran");
+  obs::Counter& m_interleavings = reg.counter(
+      "compi_interleavings_total",
+      "Reordered wildcard matchings replayed (--explore-matchings)");
 
   // One cache shared by every worker: cross-worker hits are the point
   // (parallel workers flip neighbouring branches of the same paths).
@@ -190,6 +194,9 @@ CampaignResult Campaign::run_parallel() {
   // ---- the shared campaign state, guarded by one mutex ----
   std::mutex mu;
   std::vector<std::string> known_hangs;
+  /// Shared interleaving frontier (--explore-matchings): any worker's run
+  /// forks alternatives, any worker replays them.
+  InterleavingFrontier interleavings;
   /// Untaken arms currently being solved for, keyed by BranchId: the
   /// cross-worker frontier deduplication set.
   std::unordered_set<sym::BranchId> in_flight;
@@ -295,6 +302,15 @@ CampaignResult Campaign::run_parallel() {
         result.sandbox_harvest_bytes = c->sandbox_harvest_bytes;
         result.resumed = true;
         known_hangs = std::move(c->known_hang_signatures);
+        interleavings.queue.assign(c->pending_interleavings.begin(),
+                                   c->pending_interleavings.end());
+        interleavings.seen.insert(c->interleaving_seen.begin(),
+                                  c->interleaving_seen.end());
+        interleavings.next_id = c->next_interleaving_id;
+        interleavings.enqueued = c->interleavings_enqueued;
+        interleavings.run_count = c->interleavings_run;
+        interleavings.pruned = c->interleavings_pruned;
+        interleavings.capped = c->interleavings_capped;
         next_ticket.store(c->next_iteration);
         prefix = c->next_iteration;
         for (int i = 0; i < c->next_iteration &&
@@ -396,6 +412,16 @@ CampaignResult Campaign::run_parallel() {
     c.covered = coverage.bitmap().covered_ids();
     c.registry = registry.all();
     c.known_hang_signatures = known_hangs;
+    c.pending_interleavings.assign(interleavings.queue.begin(),
+                                   interleavings.queue.end());
+    c.interleaving_seen.assign(interleavings.seen.begin(),
+                               interleavings.seen.end());
+    std::sort(c.interleaving_seen.begin(), c.interleaving_seen.end());
+    c.next_interleaving_id = interleavings.next_id;
+    c.interleavings_enqueued = interleavings.enqueued;
+    c.interleavings_run = interleavings.run_count;
+    c.interleavings_pruned = interleavings.pruned;
+    c.interleavings_capped = interleavings.capped;
     // The top-level strategy slot mirrors worker 0 (the format requires
     // one); parallel resume reads the cursors, never this.
     c.strategy_name = cursors.empty() ? "" : cursors[0].strategy_name;
@@ -431,6 +457,7 @@ CampaignResult Campaign::run_parallel() {
         .num("solver_nodes", rec.solver_nodes)
         .num("retries", rec.retries)
         .num("worker", rec.worker)
+        .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
     journal.flush();
     if (options_.status_file.empty()) return;
@@ -560,14 +587,39 @@ CampaignResult Campaign::run_parallel() {
       obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
       int iter_retries = 0;
 
+      // ---- pop a pending reordered matching, if any ----
+      std::optional<PendingInterleaving> pending;
+      if (options_.explore_matchings) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!interleavings.queue.empty()) {
+          pending = std::move(interleavings.queue.front());
+          interleavings.queue.pop_front();
+          ++interleavings.run_count;
+        }
+      }
+      if (pending) {
+        m_interleavings.inc();
+        obs::JournalEvent(journal, "interleaving", iter)
+            .num("id", pending->id)
+            .num("plan_size",
+                 static_cast<std::int64_t>(pending->plan.size()))
+            .num("nprocs", pending->nprocs)
+            .num("focus", pending->focus)
+            .num("worker", w);
+      }
+      const solver::Assignment* run_inputs =
+          pending ? &pending->inputs : &ws.plan.inputs;
+      const int run_nprocs = pending ? pending->nprocs : ws.plan.nprocs;
+      const int run_focus = pending ? pending->focus : ws.plan.focus;
+
       // ---- launch the planned test (§III-D) ----
       minimpi::LaunchSpec spec;
       spec.program = target_.program;
-      spec.nprocs = ws.plan.nprocs;
-      spec.focus = ws.plan.focus;
+      spec.nprocs = run_nprocs;
+      spec.focus = run_focus;
       spec.one_way = options_.one_way;
       spec.registry = &registry;
-      spec.inputs = &ws.plan.inputs;
+      spec.inputs = run_inputs;
       spec.rng_seed =
           mix_seed(options_.seed, static_cast<std::uint64_t>(iter));
       spec.step_budget = options_.step_budget;
@@ -575,6 +627,10 @@ CampaignResult Campaign::run_parallel() {
       spec.mark_mpi_vars = options_.framework;
       spec.timeout = options_.test_timeout;
       spec.track_base = track_base;
+      if (options_.explore_matchings) {
+        spec.match_schedule = true;
+        if (pending) spec.match_plan = pending->plan;
+      }
 
       minimpi::RunResult run;
       for (int attempt = 0;; ++attempt) {
@@ -626,8 +682,9 @@ CampaignResult Campaign::run_parallel() {
       IterationRecord rec;
       rec.iteration = iter;
       rec.worker = w;
-      rec.nprocs = ws.plan.nprocs;
-      rec.focus = ws.plan.focus;
+      rec.nprocs = run_nprocs;
+      rec.focus = run_focus;
+      rec.interleaving = pending ? pending->id : -1;
       rec.outcome = run.job_outcome();
       rec.constraint_set_size = focus_log.path.size();
       rec.exec_seconds = run.wall_seconds;
@@ -639,7 +696,7 @@ CampaignResult Campaign::run_parallel() {
       std::map<std::string, std::int64_t> named_inputs;
       for (const auto& [var, value] :
            !focus_log.inputs_used.empty() ? focus_log.inputs_used
-                                          : ws.plan.inputs) {
+                                          : *run_inputs) {
         named_inputs[registry.meta(var).key] = value;
       }
       std::size_t covered_before = 0;
@@ -656,14 +713,40 @@ CampaignResult Campaign::run_parallel() {
             std::max(result.max_constraint_set, focus_log.path.size());
         CoverageLedger::RunContext lctx;
         lctx.iteration = iter;
-        lctx.nprocs = ws.plan.nprocs;
-        lctx.focus = ws.plan.focus;
+        lctx.nprocs = run_nprocs;
+        lctx.focus = run_focus;
         lctx.inputs = &named_inputs;
         lctx.harvested = &last_harvested;
+        lctx.interleaving = pending ? pending->id : -1;
         ledger.record_run(lctx, run);
         rec.covered_branches = coverage.covered_branches();
+        if (spec.match_schedule) {
+          enqueue_alternatives(interleavings, run.match_trace,
+                               !focus_log.inputs_used.empty()
+                                   ? focus_log.inputs_used
+                                   : *run_inputs,
+                               run_nprocs, run_focus,
+                               options_.max_interleavings);
+        }
       }
       m_covered.set(static_cast<std::int64_t>(rec.covered_branches));
+
+      if (spec.match_schedule) {
+        for (const minimpi::MatchRecord& mr : run.match_trace) {
+          obs::JournalEvent(journal, "match_choice", iter)
+              .num("rank", mr.rank)
+              .num("seq", mr.seq)
+              .num("src", mr.chosen_src)
+              .num("feasible",
+                   static_cast<std::int64_t>(mr.feasible.size()))
+              .num("interleaving", rec.interleaving);
+        }
+        if (rec.outcome == rt::Outcome::kDeadlock) {
+          obs::JournalEvent(journal, "deadlock", iter)
+              .str("cycle", run.job_message())
+              .num("interleaving", rec.interleaving);
+        }
+      }
 
       // ---- log error-inducing inputs (§V) ----
       if (rt::is_fault(rec.outcome)) {
@@ -689,18 +772,25 @@ CampaignResult Campaign::run_parallel() {
           bug.outcome = rec.outcome;
           bug.message = msg;
           bug.inputs = focus_log.inputs_used;
-          if (bug.inputs.empty()) bug.inputs = ws.plan.inputs;
+          if (bug.inputs.empty()) bug.inputs = *run_inputs;
           for (const auto& [var, value] : bug.inputs) {
             bug.named_inputs[registry.meta(var).key] = value;
           }
-          bug.nprocs = ws.plan.nprocs;
-          bug.focus = ws.plan.focus;
+          bug.nprocs = run_nprocs;
+          bug.focus = run_focus;
+          if (spec.match_schedule) {
+            bug.decisions.reserve(run.match_trace.size());
+            for (const minimpi::MatchRecord& mr : run.match_trace) {
+              bug.decisions.push_back({mr.rank, mr.seq, mr.chosen_src});
+            }
+          }
           if (options_.confirm_bugs) {
             // Replay outside the lock — confirmation is a full execution
             // and must not stall the other workers.
             minimpi::LaunchSpec confirm = spec;
             confirm.chaos = minimpi::FaultPlan{};
             confirm.inputs = &bug.inputs;
+            confirm.match_plan = bug.decisions;
             confirm.timeout = options_.test_timeout;
             confirm.step_budget = options_.step_budget;
             const minimpi::RunResult rerun = execute(confirm, iter);
@@ -720,6 +810,23 @@ CampaignResult Campaign::run_parallel() {
             ++known->occurrences;
           }
         }
+      }
+
+      // ---- interleaving replays don't drive the search ----
+      if (pending) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.iterations.push_back(rec);
+        if (session) session->append_iteration(rec);
+        note_iteration(rec, named_inputs,
+                       rec.covered_branches - covered_before);
+        if (bug_budget_hit()) {
+          obs::JournalEvent(journal, "bug_budget_exhausted", iter)
+              .num("bugs", static_cast<std::int64_t>(result.bugs.size()));
+          stop.store(true);
+          break;
+        }
+        end_of_iteration_locked(iter, w);
+        continue;
       }
 
       // ---- graceful degradation: the focus died before recording ----
@@ -931,7 +1038,15 @@ CampaignResult Campaign::run_parallel() {
   for (const IterationRecord& r : result.iterations) {
     result.total_exec_seconds += r.exec_seconds;
     result.total_solve_seconds += r.solve_seconds;
+    if (r.outcome == rt::Outcome::kDeadlock) ++result.deadlocks_found;
+    if (r.outcome == rt::Outcome::kOrphanMessage) {
+      ++result.orphan_messages_found;
+    }
   }
+  result.interleavings_enqueued = interleavings.enqueued;
+  result.interleavings_run = interleavings.run_count;
+  result.interleavings_pruned = interleavings.pruned;
+  result.interleavings_capped = interleavings.capped;
   if (halted) return result;
   if (session) {
     session->write_summary(result);

@@ -72,6 +72,19 @@ void print_sandbox_summary(std::ostream& os, const CampaignResult& result) {
      << TablePrinter::bytes(result.sandbox_harvest_bytes) << " harvested\n";
 }
 
+void print_matchings_summary(std::ostream& os, const CampaignResult& result) {
+  if (result.interleavings_enqueued == 0 && result.deadlocks_found == 0 &&
+      result.orphan_messages_found == 0) {
+    return;
+  }
+  os << "matchings         : " << result.interleavings_enqueued
+     << " interleavings enqueued, " << result.interleavings_run << " run, "
+     << result.interleavings_pruned << " pruned, "
+     << result.interleavings_capped << " capped; " << result.deadlocks_found
+     << " deadlocks, " << result.orphan_messages_found
+     << " orphan messages\n";
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -40,6 +40,12 @@ void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b);
 /// campaign never forked a child.
 void print_sandbox_summary(std::ostream& os, const CampaignResult& result);
 
+/// One-line wildcard-matchings (--explore-matchings) accounting:
+/// interleavings enqueued/run/pruned/capped plus deadlocks and orphan
+/// messages found.  Prints nothing when the campaign never explored an
+/// alternative matching and found no ordering bug.
+void print_matchings_summary(std::ostream& os, const CampaignResult& result);
+
 /// Minimal fixed-width table printer for paper-style rows.
 class TablePrinter {
  public:

@@ -67,6 +67,25 @@ std::vector<LoggedBug> read_bugs(const fs::path& bugs_file) {
                [&](const std::string& k, const std::string& v) {
                  out.back().inputs[k] = to_int(v);
                });
+    } else if (!out.empty() &&
+               line.find("decisions:") != std::string::npos) {
+      // "decisions: rank/seq->src ..." — the replayable decision vector.
+      std::istringstream in(line.substr(line.find("decisions:") + 10));
+      std::string token;
+      while (in >> token) {
+        const auto slash = token.find('/');
+        const auto arrow = token.find("->");
+        if (slash == std::string::npos || arrow == std::string::npos ||
+            arrow < slash) {
+          continue;
+        }
+        minimpi::MatchDecision d;
+        d.rank = static_cast<int>(to_int(token.substr(0, slash)));
+        d.seq = static_cast<int>(
+            to_int(token.substr(slash + 1, arrow - slash - 1)));
+        d.src = static_cast<int>(to_int(token.substr(arrow + 2)));
+        out.back().decisions.push_back(d);
+      }
     }
   }
   return out;
@@ -117,19 +136,20 @@ void SessionWriter::write_iteration(int iteration,
 
 namespace {
 
-// `worker` rides at the END of the row so positional readers of the
-// pre-parallel 11-column layout (explain, external tooling) keep working.
+// `worker` and `interleaving` ride at the END of the row so positional
+// readers of the older layouts (explain, external tooling) keep working.
 constexpr const char* kCsvHeader =
     "iteration,nprocs,focus,outcome,constraint_set_size,"
     "covered_branches,exec_seconds,solve_seconds,restart,"
-    "solver_nodes,retries,worker\n";
+    "solver_nodes,retries,worker,interleaving\n";
 
 void write_csv_row(std::ostream& csv, const IterationRecord& r) {
   csv << r.iteration << ',' << r.nprocs << ',' << r.focus << ','
       << rt::to_string(r.outcome) << ',' << r.constraint_set_size << ','
       << r.covered_branches << ',' << r.exec_seconds << ','
       << r.solve_seconds << ',' << (r.restart ? 1 : 0) << ','
-      << r.solver_nodes << ',' << r.retries << ',' << r.worker << '\n';
+      << r.solver_nodes << ',' << r.retries << ',' << r.worker << ','
+      << r.interleaving << '\n';
 }
 
 }  // namespace
@@ -170,6 +190,13 @@ void SessionWriter::write_summary(const CampaignResult& result) {
         bugs << ' ' << name << '=' << value;
       }
       bugs << "\n";
+      if (!bug.decisions.empty()) {
+        bugs << "  decisions:";
+        for (const minimpi::MatchDecision& d : bug.decisions) {
+          bugs << ' ' << d.rank << '/' << d.seq << "->" << d.src;
+        }
+        bugs << "\n";
+      }
     }
   }
   {
@@ -190,6 +217,14 @@ void SessionWriter::write_summary(const CampaignResult& result) {
             << '\n'
             << "resumed " << (result.resumed ? 1 : 0) << '\n'
             << "bugs " << result.bugs.size() << '\n'
+            << "interleavings_enqueued " << result.interleavings_enqueued
+            << '\n'
+            << "interleavings_run " << result.interleavings_run << '\n'
+            << "interleavings_pruned " << result.interleavings_pruned << '\n'
+            << "interleavings_capped " << result.interleavings_capped << '\n'
+            << "deadlocks_found " << result.deadlocks_found << '\n'
+            << "orphan_messages_found " << result.orphan_messages_found
+            << '\n'
             << "total_seconds " << result.total_seconds << '\n';
   }
 }

@@ -35,6 +35,9 @@ struct LoggedBug {
   int focus = 0;
   bool flaky = false;
   std::map<std::string, std::int64_t> inputs;
+  /// Wildcard decision vector of the failing run (match-scheduled
+  /// campaigns only; empty otherwise).
+  minimpi::MatchPlan decisions;
 };
 
 /// Parses a session's bugs.txt (written by SessionWriter::write_summary).

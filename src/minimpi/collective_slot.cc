@@ -1,13 +1,27 @@
 #include "minimpi/collective_slot.h"
 
+#include "minimpi/match_scheduler.h"
 #include "obs/metrics.h"
 
 namespace compi::minimpi {
 
-void CollectiveSlot::wait(World& world, std::unique_lock<std::mutex>& lock,
+void CollectiveSlot::wait(World& world, int global_rank,
+                          std::unique_lock<std::mutex>& lock,
                           const std::function<bool()>& pred) {
+  MatchScheduler* sched = world.match_scheduler();
+  bool blocked = false;
   while (!pred()) {
     world.check_alive();
+    if (sched != nullptr) {
+      // Mark blocked only once the predicate is known false; a member that
+      // sails through never registers with the deadlock detector.
+      if (!blocked) {
+        blocked = true;
+        sched->block_collective(global_rank);  // throws on the victim
+      } else {
+        sched->poll(global_rank);
+      }
+    }
     // Bounded quantum: a job abort() only notifies mailbox waiters, so slot
     // waiters poll the abort flag at a short interval instead of sleeping
     // all the way to the job deadline.
@@ -16,16 +30,17 @@ void CollectiveSlot::wait(World& world, std::unique_lock<std::mutex>& lock,
     cv_.wait_until(lock, std::min(quantum, world.deadline()));
     world.check_alive();
   }
+  if (sched != nullptr && blocked) sched->unblock_collective(global_rank);
 }
 
-std::any CollectiveSlot::run(World& world, int local_rank,
+std::any CollectiveSlot::run(World& world, int local_rank, int global_rank,
                              std::any contribution, const Combine& combine) {
   static obs::Counter& collectives = obs::registry().counter(
       "compi_mpi_collectives_total", "Collective operations entered (per rank)");
   collectives.inc();
   std::unique_lock lock(mu_);
   // Wait for the previous round to fully drain before joining a new one.
-  wait(world, lock, [&] { return !draining_; });
+  wait(world, global_rank, lock, [&] { return !draining_; });
 
   contributions_[local_rank] = std::move(contribution);
   if (++arrived_ == size_) {
@@ -38,7 +53,7 @@ std::any CollectiveSlot::run(World& world, int local_rank,
     cv_.notify_all();
   } else {
     const std::uint64_t my_gen = generation_;
-    wait(world, lock, [&] { return generation_ != my_gen; });
+    wait(world, global_rank, lock, [&] { return generation_ != my_gen; });
   }
 
   std::any out = result_;

@@ -27,12 +27,15 @@ class CollectiveSlot {
   /// Deposits `contribution` for `local_rank`; the last arriving member
   /// runs `combine` over all contributions (indexed by local rank); every
   /// member receives a copy of the combined std::any.  Raises JobAborted on
-  /// job abort / deadline.
-  std::any run(World& world, int local_rank, std::any contribution,
-               const Combine& combine);
+  /// job abort / deadline.  `global_rank` identifies the caller to the
+  /// match scheduler (blocked-state bookkeeping for exact deadlock
+  /// detection); a waiter elected deadlock victim raises DeadlockDetected.
+  std::any run(World& world, int local_rank, int global_rank,
+               std::any contribution, const Combine& combine);
 
  private:
-  void wait(World& world, std::unique_lock<std::mutex>& lock,
+  void wait(World& world, int global_rank,
+            std::unique_lock<std::mutex>& lock,
             const std::function<bool()>& pred);
 
   int size_;

@@ -54,8 +54,9 @@ std::vector<std::byte> Comm::run_collective(
   // long collective bar on its track, lined up against the others'.
   obs::ObsSpan span(obs::Cat::kCollective, what, "rank", local_rank_);
   shared_->world->chaos_call(global_rank(), /*collective=*/true);
-  std::any result = shared_->slot->run(*shared_->world, local_rank_,
-                                       std::move(contribution), combine);
+  std::any result =
+      shared_->slot->run(*shared_->world, local_rank_, global_rank(),
+                         std::move(contribution), combine);
   if (auto* bytes = std::any_cast<std::vector<std::byte>>(&result)) {
     return std::move(*bytes);
   }
@@ -77,7 +78,7 @@ Comm Comm::split(rt::RuntimeContext& ctx, int color, int key) const {
   World& world = *shared_->world;
   world.chaos_call(global_rank(), /*collective=*/true);
   std::any result = shared_->slot->run(
-      world, local_rank_, SplitContribution{color, key},
+      world, local_rank_, global_rank(), SplitContribution{color, key},
       [this, &world](std::vector<std::any>& contribs) {
         // Group members by color, ordered within a group by (key, rank) —
         // the MPI_Comm_split ordering rule.

@@ -92,15 +92,7 @@ class Comm {
 
   template <typename T>
   Status recv(std::span<T> out, int src, int tag) const {
-    // A span, not an instant: a recv can block (and a blocked recv next to
-    // a chaos_drop on the sender's track is the story the trace tells).
-    obs::ObsSpan span(obs::Cat::kMpi, "recv", "src", src);
-    shared_->world->chaos_call(global_rank(), /*collective=*/false);
-    Message msg = shared_->world->mailbox(global_rank())
-                      .pop_matching(*shared_->world, src, shared_->uid, tag);
-    detail::note_recv_done(msg.payload.size());
-    from_bytes<T>(msg.payload, out);
-    return {msg.src, msg.tag, msg.payload.size()};
+    return recv_impl(out, src, tag, /*reserved_seq=*/-1);
   }
 
   template <typename T>
@@ -120,11 +112,25 @@ class Comm {
     return Request::completed();
   }
 
-  /// MPI_Irecv: matching is deferred to wait().  The caller must keep
-  /// `out` alive until then (MPI semantics).
+  /// MPI_Irecv: posted at call time — an already-delivered message is
+  /// consumed immediately, and under the match scheduler the receive's
+  /// wildcard decision ordinal is reserved here, so matching honors
+  /// posting order (MPI semantics) rather than wait() order.  The caller
+  /// must keep `out` alive until the request completes.
   template <typename T>
   [[nodiscard]] Request irecv(std::span<T> out, int src, int tag) const {
-    return Request([this, out, src, tag] { (void)recv(out, src, tag); });
+    shared_->world->check_alive();
+    int reserved_seq = -1;
+    if (auto msg = shared_->world->post_irecv(global_rank(), src,
+                                              shared_->uid, tag,
+                                              reserved_seq)) {
+      detail::note_recv_done(msg->payload.size());
+      from_bytes<T>(msg->payload, out);
+      return Request::completed();
+    }
+    return Request([this, out, src, tag, reserved_seq] {
+      (void)recv_impl(out, src, tag, reserved_seq);
+    });
   }
 
   // ---- collectives ----
@@ -276,6 +282,24 @@ class Comm {
   /// mailboxes are keyed by.
   [[nodiscard]] int global_rank() const {
     return shared_->members[local_rank_];
+  }
+
+  /// The blocking receive body; `reserved_seq` >= 0 replays a wildcard
+  /// decision ordinal reserved at irecv posting time.
+  template <typename T>
+  Status recv_impl(std::span<T> out, int src, int tag,
+                   int reserved_seq) const {
+    // A span, not an instant: a recv can block (and a blocked recv next to
+    // a chaos_drop on the sender's track is the story the trace tells).
+    obs::ObsSpan span(obs::Cat::kMpi, "recv", "src", src);
+    shared_->world->chaos_call(global_rank(), /*collective=*/false);
+    Message msg = shared_->world->recv_message(
+        global_rank(), src,
+        src == kAnySource ? kAnySource : shared_->members[src], shared_->uid,
+        tag, reserved_seq);
+    detail::note_recv_done(msg.payload.size());
+    from_bytes<T>(msg.payload, out);
+    return {msg.src, msg.tag, msg.payload.size()};
   }
 
   template <typename T>

@@ -1,7 +1,10 @@
 #include "minimpi/launcher.h"
 
+#include <sstream>
 #include <thread>
 
+#include "minimpi/match_scheduler.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace compi::minimpi {
@@ -33,6 +36,7 @@ RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
                            spec.nprocs);
   const auto t0 = std::chrono::steady_clock::now();
   World world(spec.nprocs, spec.timeout, spec.chaos);
+  if (spec.match_schedule) world.enable_match_scheduler(spec.match_plan);
   auto world_shared = make_world_shared(world);
 
   RunResult result;
@@ -79,6 +83,11 @@ RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
       ctx.finish(rt::Outcome::kMpiError, e.what());
       world.abort();
     }
+    // A finishing rank can complete a deadlock for the ranks still blocked
+    // on it, so the scheduler re-checks on every transition to done.
+    if (MatchScheduler* sched = world.match_scheduler()) {
+      sched->mark_done(rank);
+    }
     out.log = ctx.take_log();
     out.outcome = out.log.outcome;
     out.message = out.log.outcome_message;
@@ -91,6 +100,34 @@ RunResult launch(const LaunchSpec& spec, const rt::BranchTable& table) {
       threads.emplace_back(rank_body, rank);
     }
   }  // join
+
+  if (MatchScheduler* sched = world.match_scheduler()) {
+    result.match_trace = sched->take_trace();
+    result.match_diverged = sched->diverged();
+    // Orphan-message check: a job that finished without faulting but left
+    // sent messages unreceived has the other silent matching bug.  Faulted
+    // jobs are skipped — their leftovers are unwind collateral.
+    bool any_fault = false;
+    for (const RankResult& r : result.ranks) {
+      if (rt::is_fault(r.outcome)) any_fault = true;
+    }
+    if (!any_fault && !world.aborted()) {
+      static obs::Counter& orphans = obs::registry().counter(
+          "compi_orphans_total",
+          "Jobs finalized with unreceived (orphan) messages");
+      for (int r = 0; r < spec.nprocs; ++r) {
+        const std::deque<Message> leftover = world.mailbox(r).drain();
+        if (leftover.empty()) continue;
+        orphans.inc();
+        std::ostringstream os;
+        os << leftover.size() << " message(s) unreceived at finalize (first:"
+           << " src=" << leftover.front().src
+           << " tag=" << leftover.front().tag << ")";
+        result.ranks[r].outcome = rt::Outcome::kOrphanMessage;
+        result.ranks[r].message = os.str();
+      }
+    }
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

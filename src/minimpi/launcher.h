@@ -49,6 +49,13 @@ struct LaunchSpec {
   /// campaign workers use disjoint bases so concurrent jobs don't
   /// interleave on the same trace rows.
   int track_base = 0;
+  /// Routes every receive through the match scheduler: wildcard decisions
+  /// are recorded (RunResult::match_trace), `match_plan` choices are
+  /// replayed, and deadlock / orphan-message detection become exact.  Off
+  /// by default so the default pipeline's behavior is byte-identical.
+  bool match_schedule = false;
+  /// Prescribed wildcard choices to replay (used when match_schedule).
+  MatchPlan match_plan;
 };
 
 struct RankResult {
@@ -61,6 +68,12 @@ struct RunResult {
   std::vector<RankResult> ranks;
   int focus = 0;
   double wall_seconds = 0.0;
+  /// Wildcard decisions taken this run, in global match order (only when
+  /// the spec enabled match_schedule).
+  std::vector<MatchRecord> match_trace;
+  /// True when a prescribed match choice had to be abandoned mid-replay
+  /// (the observed prefix diverged from the plan's source run).
+  bool match_diverged = false;
 
   /// The job-level outcome: the first real fault across ranks, else kOk.
   [[nodiscard]] rt::Outcome job_outcome() const;

@@ -1,0 +1,149 @@
+// Central scheduler for message-matching nondeterminism.
+//
+// MPI_ANY_SOURCE makes receive matching a scheduling decision: which of the
+// feasible senders' messages the receive consumes depends on arrival order,
+// and real MPI heisenbugs hide in the orders a single run never takes.  When
+// enabled, every receive in the job consults this scheduler instead of
+// blocking on its mailbox directly.  For each wildcard receive it records
+// the feasible sender set and the choice taken — the run's *decision
+// vector* — and it can replay a prescribed choice at any decision point, so
+// any interleaving the driver wants to explore is a deterministic,
+// replayable plan (MPISE-style on-the-fly matching; see PAPERS.md).
+//
+// Because the scheduler sees every rank's blocking state, it also detects
+// deadlock *exactly*: when all non-finished ranks are blocked and no blocked
+// receive has a feasible message, the job can never progress, and one rank
+// throws DeadlockDetected with the wait-for cycle — instantly, instead of
+// burning the wall-clock watchdog (`--hang-timeout-ms`), which remains as
+// the fallback for uninstrumented infinite loops that never block in MPI.
+// At finalize the launcher asks for unreceived messages (orphans), the other
+// silent matching bug.
+//
+// Memory-ordering note for the no-false-deadlock argument: a sender posts
+// its message under the destination mailbox mutex *before* it can block
+// under the scheduler mutex, so a checker that (holding the scheduler
+// mutex) observes every rank blocked will also observe every message those
+// ranks posted when it scans the mailboxes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minimpi/types.h"
+#include "minimpi/world.h"
+
+namespace compi::minimpi {
+
+// MatchDecision / MatchPlan / MatchRecord live in types.h (World accepts a
+// plan without depending on this header).
+
+class MatchScheduler {
+ public:
+  MatchScheduler(World& world, MatchPlan plan);
+
+  /// Blocking receive through the scheduler.  `src_local` may be
+  /// kAnySource; `src_global` is the world rank of the sender (or
+  /// kAnySource) — used for wait-for-graph edges.  `reserved_seq` >= 0
+  /// replays a decision ordinal reserved by post_irecv (posting order);
+  /// otherwise ANY_SOURCE receives draw the next ordinal here.  Throws
+  /// DeadlockDetected on this rank when it is the chosen deadlock victim.
+  Message recv(int dest_global, int src_local, int src_global,
+               std::int64_t comm_uid, int tag, int reserved_seq = -1);
+
+  /// Non-blocking posting step of MPI_Irecv: matches immediately when a
+  /// message is already feasible (recording the decision), otherwise
+  /// reserves this receive's decision ordinal in `reserved_seq` so the
+  /// eventual wait() matches in posting order.
+  std::optional<Message> post_irecv(int dest_global, int src_local,
+                                    std::int64_t comm_uid, int tag,
+                                    int& reserved_seq);
+
+  /// Blocked-state bracketing for collective waits (CollectiveSlot).  May
+  /// run the deadlock check; block_collective throws on the calling rank
+  /// when blocking it completes a deadlock.
+  void block_collective(int global_rank);
+  void unblock_collective(int global_rank);
+
+  /// Throws DeadlockDetected when `global_rank` was chosen as the victim by
+  /// a check run on another rank's transition.  Cheap; called from wait
+  /// loops that sleep on foreign condition variables.
+  void poll(int global_rank);
+
+  /// Rank finished (cleanly or not).  A finishing rank can complete a
+  /// deadlock for the ranks still blocked on it.
+  void mark_done(int global_rank);
+
+  /// A message was delivered somewhere: wake blocked receivers to rescan.
+  void on_message();
+  /// The job is aborting: wake everything parked on the scheduler.
+  void notify_abort();
+
+  /// The run's decision vector, in global match order.
+  [[nodiscard]] std::vector<MatchRecord> take_trace();
+  /// True when a prescribed choice had to be abandoned because its message
+  /// could no longer arrive (the replayed prefix diverged).
+  [[nodiscard]] bool diverged() const;
+
+ private:
+  enum class State : std::uint8_t {
+    kRunning,
+    kBlockedRecv,
+    kBlockedCollective,
+    kDone,
+  };
+
+  struct RankState {
+    State state = State::kRunning;
+    // Criteria of the receive this rank is blocked in (kBlockedRecv only).
+    int src_local = kAnySource;
+    int src_global = kAnySource;
+    std::int64_t comm_uid = 0;
+    int tag = kAnyTag;
+    std::optional<int> forced;  // prescribed wildcard source, if replaying
+  };
+
+  /// Looks up a prescribed choice for (rank, seq).
+  [[nodiscard]] std::optional<int> planned_choice(int rank, int seq) const;
+  /// True when the blocked receive described by `rs` has a feasible message
+  /// (honoring a prescription when `honor_forced`).
+  [[nodiscard]] bool recv_feasible(int rank, const RankState& rs,
+                                   bool honor_forced);
+  /// The all-blocked/no-feasible check.  Runs under mu_; resolves replay
+  /// divergence by dropping a dead prescription, else declares deadlock by
+  /// choosing a victim and waking everyone.  When collective-blocked ranks
+  /// are involved the declaration is deferred (see pending_confirm_at_): a
+  /// rank woken out of a finished collective round can be marked blocked
+  /// for one wake latency after its wait predicate turned true, so the
+  /// condition must hold across a confirmation window to be sound.
+  void check_deadlock_locked();
+  void declare_deadlock_locked();
+  [[nodiscard]] std::string describe_deadlock_locked();
+  /// Common wait-loop step for blocked receives: victim check, pending
+  /// re-check, liveness check, timed sleep.
+  void wait_step(std::unique_lock<std::mutex>& lock, int global_rank);
+
+  World& world_;
+  MatchPlan plan_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<RankState> ranks_;
+  std::vector<int> next_seq_;  // per-rank ANY_SOURCE ordinal source
+  std::vector<MatchRecord> trace_;
+  int victim_ = -1;            // rank elected to throw DeadlockDetected
+  std::string deadlock_msg_;
+  bool diverged_ = false;
+  /// Bumped on every rank state transition; a pending (deferred) deadlock
+  /// is confirmed only if no transition happened across the window.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t pending_epoch_ = 0;
+  std::chrono::steady_clock::time_point pending_confirm_at_{};
+  bool pending_ = false;
+};
+
+}  // namespace compi::minimpi

@@ -29,6 +29,36 @@ inline constexpr int kAnyTag = -1;
 /// launcher maps it to the "aborted with the job" rank status.
 struct JobAborted {};
 
+// ---- wildcard-receive decision vectors (match_scheduler.h) ----
+// Defined here, next to kAnySource, so World can accept a plan without
+// depending on the scheduler header.
+
+/// One prescribed wildcard choice: the `seq`-th ANY_SOURCE receive posted
+/// by (global) `rank` must consume a message from communicator-local
+/// sender `src`.  A vector of these is a replayable interleaving.
+struct MatchDecision {
+  int rank = 0;
+  int seq = 0;
+  int src = 0;
+
+  friend bool operator==(const MatchDecision&, const MatchDecision&) = default;
+};
+
+using MatchPlan = std::vector<MatchDecision>;
+
+/// One wildcard decision as it was actually taken: the feasible sender set
+/// observed at match time and the source chosen from it.  The trace of
+/// these (in global match order) is what the driver enumerates alternative
+/// interleavings from.
+struct MatchRecord {
+  int rank = 0;        // receiving rank (global)
+  int seq = 0;         // per-rank ANY_SOURCE ordinal (posting order)
+  int chosen_src = 0;  // communicator-local source consumed
+  std::int64_t comm_uid = 0;
+  int tag = kAnyTag;          // the receive's tag criterion
+  std::vector<int> feasible;  // sorted communicator-local feasible sources
+};
+
 /// Serializes a span of trivially copyable values to bytes.
 template <typename T>
   requires std::is_trivially_copyable_v<T>

@@ -1,7 +1,10 @@
 #include "minimpi/world.h"
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 
+#include "minimpi/match_scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -30,6 +33,33 @@ World::World(int size, std::chrono::steady_clock::duration deadline,
   if (chaos.enabled()) chaos_ = std::make_unique<ChaosEngine>(chaos, size);
 }
 
+World::~World() = default;
+
+void World::enable_match_scheduler(MatchPlan plan) {
+  scheduler_ = std::make_unique<MatchScheduler>(*this, std::move(plan));
+}
+
+Message World::recv_message(int dest_global, int src_local, int src_global,
+                            std::int64_t comm_uid, int tag,
+                            int reserved_seq) {
+  if (scheduler_) {
+    return scheduler_->recv(dest_global, src_local, src_global, comm_uid,
+                            tag, reserved_seq);
+  }
+  return mailbox(dest_global).pop_matching(*this, src_local, comm_uid, tag);
+}
+
+std::optional<Message> World::post_irecv(int dest_global, int src_local,
+                                         std::int64_t comm_uid, int tag,
+                                         int& reserved_seq) {
+  reserved_seq = -1;
+  if (scheduler_) {
+    return scheduler_->post_irecv(dest_global, src_local, comm_uid, tag,
+                                  reserved_seq);
+  }
+  return mailbox(dest_global).try_pop(src_local, comm_uid, tag);
+}
+
 void World::post(int src_global, int dest_global, Message msg) {
   if (chaos_) {
     if (chaos_->should_drop(src_global)) {
@@ -51,6 +81,10 @@ void World::post(int src_global, int dest_global, Message msg) {
     }
   }
   mailbox(dest_global).push(std::move(msg));
+  // The sender posted under the mailbox mutex *before* this notification,
+  // so a scheduler checker that saw every rank blocked also sees this
+  // message when it scans (the no-false-deadlock argument).
+  if (scheduler_) scheduler_->on_message();
 }
 
 void World::abort() {
@@ -59,6 +93,7 @@ void World::abort() {
     std::scoped_lock lock(mb->mu_);
     mb->cv_.notify_all();
   }
+  if (scheduler_) scheduler_->notify_abort();
 }
 
 void World::check_alive() const {
@@ -79,9 +114,7 @@ Message Mailbox::pop_matching(World& world, int src, std::int64_t comm_uid,
   for (;;) {
     world.check_alive();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      const bool src_ok = src == kAnySource || it->src == src;
-      const bool tag_ok = tag == kAnyTag || it->tag == tag;
-      if (it->comm_uid == comm_uid && src_ok && tag_ok) {
+      if (matches(*it, src, comm_uid, tag)) {
         Message out = std::move(*it);
         queue_.erase(it);
         return out;
@@ -89,6 +122,45 @@ Message Mailbox::pop_matching(World& world, int src, std::int64_t comm_uid,
     }
     cv_.wait_until(lock, world.deadline());
   }
+}
+
+std::optional<Message> Mailbox::try_pop(int src, std::int64_t comm_uid,
+                                        int tag) {
+  std::scoped_lock lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, comm_uid, tag)) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::has_matching(int src, std::int64_t comm_uid, int tag) {
+  std::scoped_lock lock(mu_);
+  for (const Message& m : queue_) {
+    if (matches(m, src, comm_uid, tag)) return true;
+  }
+  return false;
+}
+
+std::vector<int> Mailbox::feasible_sources(std::int64_t comm_uid, int tag) {
+  std::vector<int> out;
+  {
+    std::scoped_lock lock(mu_);
+    for (const Message& m : queue_) {
+      if (matches(m, kAnySource, comm_uid, tag)) out.push_back(m.src);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::deque<Message> Mailbox::drain() {
+  std::scoped_lock lock(mu_);
+  return std::exchange(queue_, {});
 }
 
 }  // namespace compi::minimpi

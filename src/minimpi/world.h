@@ -9,6 +9,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "minimpi/fault_plan.h"
@@ -27,6 +28,7 @@ struct Message {
 };
 
 class World;
+class MatchScheduler;
 
 /// Per-rank incoming message queue with (source, tag) matching.
 class Mailbox {
@@ -37,8 +39,29 @@ class Mailbox {
   /// job aborts or its wall-clock deadline passes.
   Message pop_matching(World& world, int src, std::int64_t comm_uid, int tag);
 
+  // ---- non-blocking views (the match scheduler's matching primitives) ----
+  /// Removes and returns the first matching message, if any.
+  [[nodiscard]] std::optional<Message> try_pop(int src, std::int64_t comm_uid,
+                                               int tag);
+  /// True when a matching message is queued.
+  [[nodiscard]] bool has_matching(int src, std::int64_t comm_uid, int tag);
+  /// Sorted distinct communicator-local sources with a queued message
+  /// matching (comm_uid, tag).
+  [[nodiscard]] std::vector<int> feasible_sources(std::int64_t comm_uid,
+                                                  int tag);
+  /// Removes and returns everything still queued (the launcher's finalize
+  /// orphan-message check).
+  [[nodiscard]] std::deque<Message> drain();
+
  private:
   friend class World;
+  [[nodiscard]] static bool matches(const Message& m, int src,
+                                    std::int64_t comm_uid, int tag) {
+    const bool src_ok = src == kAnySource || m.src == src;
+    const bool tag_ok = tag == kAnyTag || m.tag == tag;
+    return m.comm_uid == comm_uid && src_ok && tag_ok;
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
@@ -51,9 +74,28 @@ class World {
                  std::chrono::steady_clock::duration deadline =
                      std::chrono::seconds(30),
                  const FaultPlan& chaos = {});
+  ~World();  // out of line: MatchScheduler is forward-declared here
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Installs the match scheduler (wildcard decision recording / replay,
+  /// exact deadlock detection).  Launcher-only: call before any rank runs.
+  void enable_match_scheduler(MatchPlan plan);
+  [[nodiscard]] MatchScheduler* match_scheduler() { return scheduler_.get(); }
+
+  /// Receive dispatch: through the scheduler when installed, else a direct
+  /// blocking mailbox match.  `src_local`/`src_global` may be kAnySource;
+  /// `reserved_seq` is a decision ordinal reserved by post_irecv (or -1).
+  Message recv_message(int dest_global, int src_local, int src_global,
+                       std::int64_t comm_uid, int tag, int reserved_seq = -1);
+
+  /// Non-blocking posting step of MPI_Irecv: consumes an already-delivered
+  /// matching message, else (under the scheduler) reserves the receive's
+  /// decision ordinal in `reserved_seq` so wait() matches in posting order.
+  std::optional<Message> post_irecv(int dest_global, int src_local,
+                                    std::int64_t comm_uid, int tag,
+                                    int& reserved_seq);
 
   /// Chaos hook for every MPI entry point: may crash this rank (throws
   /// InjectedFault) or stall it in a collective.  No-op without a plan.
@@ -92,6 +134,7 @@ class World {
   std::atomic<std::int64_t> comm_uid_{0};
   std::chrono::steady_clock::time_point deadline_;
   std::unique_ptr<ChaosEngine> chaos_;
+  std::unique_ptr<MatchScheduler> scheduler_;
 };
 
 }  // namespace compi::minimpi

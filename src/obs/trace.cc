@@ -20,6 +20,7 @@ const char* to_string(Cat cat) {
     case Cat::kCollective: return "collective";
     case Cat::kChaos: return "chaos";
     case Cat::kSandbox: return "sandbox";
+    case Cat::kMatch: return "match";
   }
   return "unknown";
 }

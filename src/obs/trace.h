@@ -41,6 +41,7 @@ enum class Cat : std::uint8_t {
   kCollective,  // collective enter-exit
   kChaos,       // fault-plan injections (drop/delay/crash/stall)
   kSandbox,     // process-isolation supervisor (fork / kill / harvest)
+  kMatch,       // wildcard-receive match decisions / deadlock verdicts
 };
 
 [[nodiscard]] const char* to_string(Cat cat);

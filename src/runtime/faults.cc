@@ -11,6 +11,8 @@ const char* to_string(Outcome o) {
     case Outcome::kTimeout: return "timeout";
     case Outcome::kMpiError: return "mpi-error";
     case Outcome::kAborted: return "aborted";
+    case Outcome::kDeadlock: return "deadlock";
+    case Outcome::kOrphanMessage: return "orphan-message";
   }
   return "?";
 }
@@ -19,7 +21,8 @@ std::optional<Outcome> outcome_from_string(std::string_view s) {
   // Round-trips every enumerator through to_string (keep the two in sync).
   for (const Outcome o :
        {Outcome::kOk, Outcome::kSegfault, Outcome::kFpe, Outcome::kAssert,
-        Outcome::kTimeout, Outcome::kMpiError, Outcome::kAborted}) {
+        Outcome::kTimeout, Outcome::kMpiError, Outcome::kAborted,
+        Outcome::kDeadlock, Outcome::kOrphanMessage}) {
     if (s == to_string(o)) return o;
   }
   return std::nullopt;

@@ -25,6 +25,8 @@ enum class Outcome : std::uint8_t {
   kTimeout,     // step-budget watchdog / wall-clock deadline (simulated hang)
   kMpiError,    // MPI substrate usage error
   kAborted,     // unwound because a *peer* faulted (mpiexec kills the job)
+  kDeadlock,    // match scheduler proved a wait-for cycle (exact, no timeout)
+  kOrphanMessage,  // sent messages never received by finalize
 };
 
 /// True for outcomes that indicate a bug in the target on *this* rank
@@ -78,6 +80,16 @@ class MpiUsageError : public SimulatedFault {
  public:
   explicit MpiUsageError(const std::string& what)
       : SimulatedFault(Outcome::kMpiError, what) {}
+};
+
+/// Thrown on the rank whose blocking call completed a wait-for cycle: the
+/// match scheduler proved every live rank blocked with no feasible message,
+/// so the job can never progress.  Exact and instant, unlike the wall-clock
+/// watchdog that kTimeout rides on.
+class DeadlockDetected : public SimulatedFault {
+ public:
+  explicit DeadlockDetected(const std::string& what)
+      : SimulatedFault(Outcome::kDeadlock, what) {}
 };
 
 }  // namespace compi::rt

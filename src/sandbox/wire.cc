@@ -212,6 +212,17 @@ std::string encode_run_result(const minimpi::RunResult& run) {
     os << "rmsg " << serial::escape(rank.message) << '\n';
     write_test_log(os, rank.log);
   }
+  // Wildcard decision trace (match-scheduled runs; empty otherwise).  Both
+  // sides of the pipe are the same binary, so growing the format needs no
+  // compatibility shim.
+  os << "matches " << run.match_trace.size() << ' '
+     << (run.match_diverged ? 1 : 0) << '\n';
+  for (const minimpi::MatchRecord& m : run.match_trace) {
+    os << "match " << m.rank << ' ' << m.seq << ' ' << m.chosen_src << ' '
+       << m.comm_uid << ' ' << m.tag << ' ' << m.feasible.size();
+    for (int f : m.feasible) os << ' ' << f;
+    os << '\n';
+  }
   os << "end_run\n";
   return os.str();
 }
@@ -238,6 +249,26 @@ bool decode_run_result(std::string_view payload, minimpi::RunResult& out) {
     if (!expect(is, "rmsg")) return false;
     out.ranks[r].message = serial::unescape(read_tail(is));
     if (!read_test_log(is, out.ranks[r].log)) return false;
+  }
+  std::size_t nmatches = 0;
+  int diverged = 0;
+  if (!expect(is, "matches") || !(is >> nmatches >> diverged)) return false;
+  out.match_diverged = diverged != 0;
+  out.match_trace.clear();
+  out.match_trace.reserve(std::min<std::size_t>(nmatches, 1u << 20));
+  for (std::size_t i = 0; i < nmatches; ++i) {
+    minimpi::MatchRecord m;
+    std::size_t nfeasible = 0;
+    if (!expect(is, "match") ||
+        !(is >> m.rank >> m.seq >> m.chosen_src >> m.comm_uid >> m.tag >>
+          nfeasible)) {
+      return false;
+    }
+    m.feasible.assign(nfeasible, 0);
+    for (std::size_t j = 0; j < nfeasible; ++j) {
+      if (!(is >> m.feasible[j])) return false;
+    }
+    out.match_trace.push_back(std::move(m));
   }
   return expect(is, "end_run");
 }

@@ -168,7 +168,7 @@ TEST(DurableFuzz, CheckpointReadNeverCrashes) {
 TEST(DurableFuzz, OldVersionCheckpointIsRejectedCleanly) {
   // v4 (and any other non-current version) snapshots must be refused by
   // design: the campaign falls back to a fresh start.
-  for (const char* version : {"0", "1", "2", "3", "4", "6", "99", "-5"}) {
+  for (const char* version : {"0", "1", "2", "3", "4", "5", "99", "-5"}) {
     std::string bytes = corpus().serial_checkpoint;
     const std::string current =
         "compi-checkpoint " + std::to_string(ckpt::CampaignCheckpoint::kVersion);

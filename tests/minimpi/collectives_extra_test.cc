@@ -37,7 +37,8 @@ TEST(MiniMpiNonBlocking, IsendIrecvRoundTrip) {
     Request r = world.irecv(std::span<int>(theirs), 1 - me, 3);
     Request s = world.isend(std::span<const int>(mine), 1 - me, 3);
     EXPECT_TRUE(s.done()) << "eager isend completes immediately";
-    EXPECT_FALSE(r.done());
+    // r.done() is timing-dependent: the receive is posted at call time, so
+    // it completes immediately iff the peer's eager send already landed.
     r.wait();
     s.wait();
     EXPECT_EQ(theirs[0], (1 - me) + 500);
