@@ -6,7 +6,10 @@
 
 #include <filesystem>
 #include <map>
+#include <sstream>
+#include <string>
 
+#include "compi/driver.h"
 #include "compi/fixed_run.h"
 #include "compi/ledger.h"
 #include "minimpi/launcher.h"
@@ -403,6 +406,70 @@ void BM_LaunchMatchScheduled(benchmark::State& state) {
 }
 BENCHMARK(BM_LaunchMatchScheduled)->Arg(3)->Arg(7)->Unit(
     benchmark::kMillisecond);
+
+// ---- control plane (--serve) overhead ----
+// Two claims: rendering one /metrics scrape body is cheap enough to serve
+// on every poll tick, and a campaign that is not serving pays nothing for
+// the feature (the EXPERIMENTS.md serve-overhead row).  The serve-on
+// campaign number includes the listening server but no clients — the
+// idle-server cost a serving campaign always carries.
+
+void BM_MetricsScrape(benchmark::State& state) {
+  // A registry populated like a mid-campaign scrape: `range(0)` series
+  // across counters, gauges, and histograms (histograms dominate the
+  // rendered byte count with their bucket lines).
+  const int series = static_cast<int>(state.range(0));
+  obs::Registry reg;
+  for (int i = 0; i < series; ++i) {
+    const std::string suffix = std::to_string(i);
+    obs::Counter& c =
+        reg.counter("bench_scrape_total_" + suffix, "scrape bench counter");
+    c.inc(i);
+    reg.gauge("bench_scrape_depth_" + suffix, "scrape bench gauge").set(i);
+    obs::Histogram& h =
+        reg.histogram("bench_scrape_us_" + suffix, "scrape bench histogram");
+    for (int v = 1; v < 1024; v *= 3) h.observe(v);
+  }
+  for (auto _ : state) {
+    std::ostringstream os;
+    reg.write_prometheus(os);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+}
+BENCHMARK(BM_MetricsScrape)->Arg(8)->Arg(32);
+
+CampaignOptions serve_bench_opts() {
+  CampaignOptions opts;
+  opts.seed = 7;
+  opts.iterations = 40;
+  opts.initial_nprocs = 2;
+  opts.max_procs = 2;
+  opts.dfs_phase_iterations = 20;
+  opts.checkpoint_interval = 0;
+  return opts;
+}
+
+void BM_CampaignServeOff(benchmark::State& state) {
+  const TargetInfo target = targets::make_mini_imb_target(4);
+  const CampaignOptions opts = serve_bench_opts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Campaign(target, opts).run());
+  }
+}
+BENCHMARK(BM_CampaignServeOff)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignServeOn(benchmark::State& state) {
+  // Same campaign with the control plane bound to an ephemeral port (no
+  // scraping clients).  On stub builds (obs-off preset) the bind fails and
+  // this measures the same serve-less loop — the compiled-out claim.
+  const TargetInfo target = targets::make_mini_imb_target(4);
+  CampaignOptions opts = serve_bench_opts();
+  opts.serve_port = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Campaign(target, opts).run());
+  }
+}
+BENCHMARK(BM_CampaignServeOn)->Unit(benchmark::kMillisecond);
 
 void BM_WireEncodeDecode(benchmark::State& state) {
   // Serialization share of the sandbox overhead, without the fork.

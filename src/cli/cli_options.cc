@@ -48,6 +48,40 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return result;
   };
 
+  // `compi top <target> [--interval-ms=N] [--frames=N]` — the first
+  // positional argument selects the subcommand; the target is the second.
+  if (!args.empty() && args[0] == "top") {
+    cfg.top = true;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto [flag, value] = split_flag(args[i]);
+      if (flag == "--interval-ms") {
+        const auto v = parse_int(value);
+        if (!v || *v < 50 || *v > 60'000) {
+          return fail("--interval-ms needs 50..60000");
+        }
+        cfg.top_interval_ms = static_cast<int>(*v);
+      } else if (flag == "--frames") {
+        const auto v = parse_int(value);
+        if (!v || *v < 0 || *v > 1'000'000) {
+          return fail("--frames needs 0..1000000");
+        }
+        cfg.top_frames = static_cast<int>(*v);
+      } else if (flag == "--help" || flag == "-h") {
+        cfg.show_help = true;
+      } else if (!flag.empty() && flag[0] == '-') {
+        return fail("unknown flag '" + flag + "' for compi top");
+      } else if (cfg.top_target.empty()) {
+        cfg.top_target = args[i];
+      } else {
+        return fail("compi top takes one target (host:port or status file)");
+      }
+    }
+    if (!cfg.show_help && cfg.top_target.empty()) {
+      return fail("compi top needs a target: host:port or a status file");
+    }
+    return result;
+  }
+
   for (const std::string& arg : args) {
     const auto [flag, value] = split_flag(arg);
     auto want_int = [&](std::int64_t lo,
@@ -173,6 +207,10 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--status-file") {
       if (value.empty()) return fail("--status-file needs a path");
       cfg.campaign.status_file = value;
+    } else if (flag == "--serve") {
+      const auto v = want_int(0, 65'535);
+      if (!v) return fail("--serve needs a port 0..65535 (0 = ephemeral)");
+      cfg.campaign.serve_port = static_cast<int>(*v);
     } else if (flag == "--max-bugs") {
       const auto v = want_int(0, 1'000'000);
       if (!v) return fail("--max-bugs needs an integer >= 0");
@@ -271,6 +309,10 @@ std::string usage() {
         "                       iteration/solve/retry/kill) into the session\n"
         "  --status-file=PATH   atomically rewrite a one-object heartbeat\n"
         "                       JSON after every iteration\n"
+        "  --serve=PORT         embedded control-plane HTTP server on\n"
+        "                       127.0.0.1:PORT (0 = ephemeral; the bound port\n"
+        "                       lands in the status heartbeat).  Endpoints:\n"
+        "                       /metrics /status /events /explain\n"
         "  --max-bugs=N         stop gracefully after N distinct bugs\n"
         "  --explain=DIR        print coverage timeline, near-miss, rank\n"
         "                       skew and solver reports for a logged\n"
@@ -280,7 +322,12 @@ std::string usage() {
         "  --random             random-testing baseline\n"
         "  --curve              print the coverage curve\n"
         "  --functions          per-function coverage breakdown\n"
-        "  --list-targets | --help\n";
+        "  --list-targets | --help\n"
+        "\n"
+        "subcommands:\n"
+        "  compi top <host:port|status-file> [--interval-ms=N] [--frames=N]\n"
+        "                       live terminal dashboard for a campaign that\n"
+        "                       is serving (--serve) or writing --status-file\n";
   return os.str();
 }
 

@@ -22,6 +22,12 @@ struct CliConfig {
   bool show_help = false;
   bool print_curve = false;     // per-iteration coverage curve on stdout
   bool print_functions = false; // per-function coverage breakdown
+  // `compi top <host:port|status-file>`: live terminal dashboard against a
+  // serving campaign (or a --status-file heartbeat).
+  bool top = false;
+  std::string top_target;
+  int top_interval_ms = 1000;
+  int top_frames = 0;           // 0 = refresh until the campaign ends
 };
 
 struct ParseResult {
@@ -62,6 +68,8 @@ struct ParseResult {
 ///   --trace-buffer-kb=N  trace ring capacity in KiB (default 256)
 ///   --journal            write journal.jsonl event log into the session
 ///   --status-file=PATH   atomically rewrite a heartbeat JSON each iteration
+///   --serve=PORT         embedded HTTP control plane on 127.0.0.1:PORT
+///                        (0 = ephemeral): /metrics /status /events /explain
 ///   --max-bugs=N         stop gracefully after N distinct bugs (0 = off)
 ///   --explain=DIR        print the introspection report for a logged
 ///                        session directory and exit (no campaign)
@@ -73,6 +81,9 @@ struct ParseResult {
 ///   --curve              print the per-iteration coverage curve
 ///   --functions          print the per-function coverage breakdown
 ///   --list-targets, --help
+///
+/// Subcommand: `top <host:port|status-file> [--interval-ms=N] [--frames=N]`
+/// fills the `top*` fields instead of running a campaign.
 [[nodiscard]] ParseResult parse_cli(const std::vector<std::string>& args);
 
 [[nodiscard]] std::string usage();

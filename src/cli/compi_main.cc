@@ -6,6 +6,7 @@
 #include "compi/explain.h"
 #include "compi/random_tester.h"
 #include "compi/report.h"
+#include "serve/dashboard.h"
 #include "targets/targets.h"
 
 namespace {
@@ -96,6 +97,13 @@ int main(int argc, char** argv) {
   if (cfg.show_help) {
     std::cout << cli::usage();
     return 0;
+  }
+  if (cfg.top) {
+    serve::TopOptions opts;
+    opts.target = cfg.top_target;
+    opts.interval_ms = cfg.top_interval_ms;
+    opts.frames = cfg.top_frames;
+    return serve::run_top(opts, std::cout);
   }
   if (!cfg.explain_dir.empty()) {
     return explain_session(cfg.explain_dir, std::cout) ? 0 : 1;

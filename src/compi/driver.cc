@@ -5,11 +5,14 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "compi/checkpoint.h"
 #include "compi/driver_internal.h"
+#include "compi/explain.h"
 #include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
@@ -17,8 +20,10 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/phase_clock.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "sandbox/supervisor.h"
+#include "serve/control_plane.h"
 #include "solver/cache.h"
 #include "solver/solver.h"
 
@@ -84,6 +89,15 @@ CampaignResult Campaign::run_serial() {
   obs::Counter& m_interleavings = reg.counter(
       "compi_interleavings_total",
       "Reordered wildcard matchings replayed (--explore-matchings)");
+  obs::Gauge& m_frontier_depth = reg.gauge(
+      "compi_frontier_depth",
+      "Unexplored negation candidates currently queued by the search");
+  obs::Gauge& m_interleavings_pending = reg.gauge(
+      "compi_interleavings_pending",
+      "Reordered wildcard matchings queued and awaiting replay");
+  obs::Gauge& m_worker_progress = reg.gauge(
+      "compi_worker_last_progress_seconds{worker=\"0\"}",
+      "Campaign-relative time of each worker's last completed iteration");
 
   // Solver memoization (--solver-cache=N entries; 0 = off, the default).
   // Optional so the off state carries zero overhead — solve_incremental
@@ -143,6 +157,30 @@ CampaignResult Campaign::run_serial() {
   std::optional<SessionWriter> session;
   if (!options_.log_dir.empty()) session.emplace(options_.log_dir);
   solver::Solver the_solver({options_.solver_node_budget});
+
+  // ---- live status board (--status-file heartbeat + GET /status) ----
+  // The board is the single writer both the file heartbeat and the control
+  // plane render from; when serving without an explicit --status-file the
+  // heartbeat lands in the session directory so `compi top <file>` and the
+  // CI smoke test can discover the ephemeral port.
+  const bool serving = options_.serve_port >= 0;
+  std::string status_path = options_.status_file;
+  if (serving && status_path.empty() && session) {
+    status_path = (session->dir() / "status.json").string();
+  }
+  std::shared_ptr<obs::StatusBoard> board;
+  if (serving || !status_path.empty()) {
+    board = std::make_shared<obs::StatusBoard>(1, options_.iterations);
+    board->set_campaign(options_.initial_nprocs, options_.initial_focus);
+  }
+  // Leaf mutex ordering the /explain endpoint (server thread) against the
+  // loop's ledger and iteration-record mutations.  Never taken when not
+  // serving, so the serve-off loop is untouched.
+  std::mutex live_mu;
+  const auto live_lock = [&] {
+    return serving ? std::unique_lock<std::mutex>(live_mu)
+                   : std::unique_lock<std::mutex>();
+  };
 
   TestPlan plan;
   plan.nprocs = options_.initial_nprocs;
@@ -265,6 +303,34 @@ CampaignResult Campaign::run_serial() {
     export_obs();
   }};
 
+  // The control plane is declared AFTER the export guard on purpose:
+  // reverse destruction stops the server thread (and with it every live
+  // endpoint) before the journal closes and the final export runs — on
+  // every exit path, including thrown fatal errors.
+  serve::ControlPlane control_plane;
+  if (serving && board != nullptr) {
+    serve::ControlPlaneConfig cp;
+    cp.port = options_.serve_port;
+    cp.registry = &reg;
+    cp.journal = &journal;
+    cp.status = [board] { return board->snapshot(); };
+    cp.explain = [&, board] {
+      std::lock_guard<std::mutex> lock(live_mu);
+      std::vector<std::string> lines;
+      (void)journal.tap_since(0, lines);
+      return explain_live(ledger, *target_.table, result.iterations, lines);
+    };
+    if (control_plane.start(std::move(cp))) {
+      board->set_serve_port(control_plane.port());
+      // Publish the bound port immediately (iteration -1): with
+      // --serve=0 this is how clients discover the ephemeral port.
+      if (!status_path.empty()) {
+        (void)obs::write_status_file(
+            status_path, obs::render_status_json(board->snapshot()));
+      }
+    }
+  }
+
   const auto backoff = [&](int attempt) {
     if (options_.retry_backoff_ms <= 0) return;
     const int ms = std::min(options_.retry_backoff_ms << attempt, 1000);
@@ -323,6 +389,9 @@ CampaignResult Campaign::run_serial() {
     if (!session) return;
     obs::ObsSpan span(obs::Cat::kCheckpoint, "save_checkpoint", "iteration",
                       next_iteration);
+    // The checkpoint reads the ledger and the iteration records wholesale;
+    // keep /explain out while the snapshot is taken.
+    const auto live = live_lock();
     ckpt::CampaignCheckpoint c;
     c.seed = options_.seed;
     c.next_iteration = next_iteration;
@@ -427,26 +496,24 @@ CampaignResult Campaign::run_serial() {
         .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
     journal.flush();
-    if (options_.status_file.empty()) return;
-    std::string line;
-    obs::JsonWriter status(line);
-    status.field("iteration", static_cast<std::int64_t>(rec.iteration));
-    status.field("covered_branches",
-                 static_cast<std::int64_t>(rec.covered_branches));
-    status.field("bugs", static_cast<std::int64_t>(result.bugs.size()));
-    status.field("elapsed_seconds", elapsed());
-    status.field("nprocs", static_cast<std::int64_t>(rec.nprocs));
-    status.field("focus", static_cast<std::int64_t>(rec.focus));
-    status.field("outcome", rt::to_string(rec.outcome));
-    status.finish();
-    namespace fs = std::filesystem;
-    const fs::path tmp(options_.status_file + ".tmp");
-    {
-      std::ofstream out(tmp);
-      out << line;
+    if (board == nullptr) return;
+    board->record_iteration(rec.iteration, rec.covered_branches,
+                            result.bugs.size(), elapsed(), rec.nprocs,
+                            rec.focus, rt::to_string(rec.outcome),
+                            /*worker=*/0);
+    board->set_depths(rec.constraint_set_size, interleavings.queue.size());
+    if (cache != nullptr) {
+      board->set_solver_cache(static_cast<std::int64_t>(cache->hits()),
+                              static_cast<std::int64_t>(cache->misses()));
     }
-    std::error_code ec;
-    fs::rename(tmp, fs::path(options_.status_file), ec);
+    m_frontier_depth.set(static_cast<std::int64_t>(rec.constraint_set_size));
+    m_interleavings_pending.set(
+        static_cast<std::int64_t>(interleavings.queue.size()));
+    m_worker_progress.set(static_cast<std::int64_t>(elapsed()));
+    if (!status_path.empty()) {
+      (void)obs::write_status_file(
+          status_path, obs::render_status_json(board->snapshot()));
+    }
   };
 
   for (int iter = start_iter; iter < options_.iterations; ++iter) {
@@ -456,6 +523,9 @@ CampaignResult Campaign::run_serial() {
     }
     obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
     journal_iter = iter;
+    if (board != nullptr) {
+      board->worker_phase(0, iter, obs::WorkerPhase::kExecute);
+    }
     const std::size_t covered_before = coverage.covered_branches();
     int iter_retries = 0;  // transient retries absorbed by THIS iteration
 
@@ -567,6 +637,7 @@ CampaignResult Campaign::run_serial() {
       lctx.inputs = &named_inputs;
       lctx.harvested = &last_harvested;
       lctx.interleaving = pending ? pending->id : -1;
+      const auto live = live_lock();
       ledger.record_run(lctx, run);
     }
 
@@ -669,7 +740,10 @@ CampaignResult Campaign::run_serial() {
     // The strategy neither observes its path nor solves from it; the
     // already-planned input-driven test runs on the next iteration.
     if (pending) {
-      result.iterations.push_back(rec);
+      {
+        const auto live = live_lock();
+        result.iterations.push_back(rec);
+      }
       if (session) session->append_iteration(rec);
       note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
       if (bug_budget_hit()) {
@@ -695,7 +769,10 @@ CampaignResult Campaign::run_serial() {
         run.ranks[run.focus].outcome != rt::Outcome::kOk;
     if (focus_dead && focus_log.path.empty() && plan.nprocs > 1 &&
         consecutive_replans < plan.nprocs - 1) {
-      result.iterations.push_back(rec);
+      {
+        const auto live = live_lock();
+        result.iterations.push_back(rec);
+      }
       if (session) session->append_iteration(rec);
       note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
       plan.focus = (plan.focus + 1) % plan.nprocs;
@@ -737,6 +814,9 @@ CampaignResult Campaign::run_serial() {
     // this thread, and CPU time neither counts retry-backoff sleeps nor
     // double-counts when parallel workers overlap (see DESIGN.md).
     const double solve_cpu_start = obs::thread_cpu_seconds();
+    if (board != nullptr) {
+      board->worker_phase(0, iter, obs::WorkerPhase::kSolve);
+    }
     obs::ObsSpan plan_span(obs::Cat::kStrategy, "plan_next_test");
     bool planned = false;
     while (auto cand = strategy->next()) {
@@ -795,6 +875,7 @@ CampaignResult Campaign::run_serial() {
       // was steering toward (UNSAT keeps the rendered constraint around
       // for --explain's never-taken report).
       if (cand->target >= 0) {
+        const auto live = live_lock();
         ledger.record_solve_failure(cand->target, iter, negated.to_string(),
                                     solved.budget_exhausted);
       }
@@ -804,7 +885,10 @@ CampaignResult Campaign::run_serial() {
     rec.retries = iter_retries;
     m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
     m_solver_nodes.observe(rec.solver_nodes);
-    result.iterations.push_back(rec);
+    {
+      const auto live = live_lock();
+      result.iterations.push_back(rec);
+    }
     if (session) session->append_iteration(rec);
     note_iteration(rec, named_inputs, rec.covered_branches - covered_before);
 
@@ -830,6 +914,12 @@ CampaignResult Campaign::run_serial() {
     }
   }
 
+  if (board != nullptr) {
+    board->worker_phase(0, result.iterations.empty()
+                               ? -1
+                               : result.iterations.back().iteration,
+                        obs::WorkerPhase::kDone);
+  }
   result.covered_branches = coverage.covered_branches();
   result.reachable_branches = coverage.reachable_branches();
   result.total_branches = coverage.total_branches();

@@ -6,8 +6,11 @@
 #include <iomanip>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <string_view>
 
+#include "compi/driver.h"
+#include "compi/ledger.h"
 #include "obs/journal.h"
 
 namespace compi {
@@ -336,10 +339,10 @@ std::vector<std::string> split_csv_row(const std::string& line) {
   return cells;
 }
 
-std::vector<LedgerCsvRow> read_ledger_csv(const std::filesystem::path& file) {
+namespace {
+
+std::vector<LedgerCsvRow> parse_ledger_csv(std::istream& in) {
   std::vector<LedgerCsvRow> rows;
-  std::ifstream in(file);
-  if (!in.is_open()) return rows;
   std::string line;
   std::getline(in, line);  // header
   while (std::getline(in, line)) {
@@ -385,6 +388,67 @@ std::vector<LedgerCsvRow> read_ledger_csv(const std::filesystem::path& file) {
   return rows;
 }
 
+/// IterationRecord -> the report's row shape (the live /explain path;
+/// offline sessions read the same fields back out of iterations.csv).
+std::vector<IterRow> rows_from_records(
+    const std::vector<IterationRecord>& records) {
+  std::vector<IterRow> rows;
+  rows.reserve(records.size());
+  for (const IterationRecord& r : records) {
+    IterRow row;
+    row.iteration = r.iteration;
+    row.outcome = rt::to_string(r.outcome);
+    row.covered = r.covered_branches;
+    row.exec_seconds = r.exec_seconds;
+    row.solve_seconds = r.solve_seconds;
+    row.restart = r.restart;
+    row.solver_nodes = r.solver_nodes;
+    row.retries = r.retries;
+    row.interleaving = r.interleaving;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// The report body shared by explain_session and explain_live.
+/// `journal_header` is the pre-rendered "journal events : ..." line (empty
+/// when there is no journal to describe).
+void render_report(std::ostream& os, const std::vector<LedgerCsvRow>& ledger,
+                   const std::vector<IterRow>& iters,
+                   const std::vector<obs::ParsedEvent>& journal,
+                   bool have_journal, const std::string& journal_header,
+                   const ExplainOptions& opts) {
+  std::size_t covered = 0;
+  for (const LedgerCsvRow& row : ledger) {
+    if (row.covered) ++covered;
+  }
+  int restarts = 0;
+  for (const IterRow& row : iters) {
+    if (row.restart) ++restarts;
+  }
+  os << "iterations        : " << iters.size() << " (" << restarts
+     << " restarts)\n"
+     << "covered branches  : " << covered << " / " << ledger.size() << "\n";
+  os << journal_header;
+  os << "\n";
+  print_timeline(os, iters, opts.max_milestones);
+  os << "\n";
+  print_near_misses(os, ledger, opts.top_misses);
+  os << "\n";
+  print_rank_skew(os, ledger);
+  os << "\n";
+  print_solver_breakdown(os, iters, journal, have_journal);
+  print_matchings(os, iters, ledger, journal);
+}
+
+}  // namespace
+
+std::vector<LedgerCsvRow> read_ledger_csv(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in.is_open()) return {};
+  return parse_ledger_csv(in);
+}
+
 bool explain_session(const std::filesystem::path& dir, std::ostream& os,
                      const ExplainOptions& opts) {
   const std::vector<LedgerCsvRow> ledger = read_ledger_csv(dir / "ledger.csv");
@@ -402,33 +466,50 @@ bool explain_session(const std::filesystem::path& dir, std::ostream& os,
       have_journal ? obs::read_journal(journal_file, &malformed)
                    : std::vector<obs::ParsedEvent>{};
 
-  std::size_t covered = 0;
-  for (const LedgerCsvRow& row : ledger) {
-    if (row.covered) ++covered;
-  }
-  int restarts = 0;
-  for (const IterRow& row : iters) {
-    if (row.restart) ++restarts;
-  }
-  os << "session           : " << dir.string() << "\n"
-     << "iterations        : " << iters.size() << " (" << restarts
-     << " restarts)\n"
-     << "covered branches  : " << covered << " / " << ledger.size() << "\n";
+  os << "session           : " << dir.string() << "\n";
+  std::string journal_header;
   if (have_journal) {
-    os << "journal events    : " << journal.size();
-    if (malformed > 0) os << " (+" << malformed << " torn/malformed)";
-    os << "\n";
+    std::ostringstream jh;
+    jh << "journal events    : " << journal.size();
+    if (malformed > 0) jh << " (+" << malformed << " torn/malformed)";
+    jh << "\n";
+    journal_header = jh.str();
   }
-  os << "\n";
-  print_timeline(os, iters, opts.max_milestones);
-  os << "\n";
-  print_near_misses(os, ledger, opts.top_misses);
-  os << "\n";
-  print_rank_skew(os, ledger);
-  os << "\n";
-  print_solver_breakdown(os, iters, journal, have_journal);
-  print_matchings(os, iters, ledger, journal);
+  render_report(os, ledger, iters, journal, have_journal, journal_header,
+                opts);
   return true;
+}
+
+std::string explain_live(const CoverageLedger& ledger_state,
+                         const rt::BranchTable& table,
+                         const std::vector<IterationRecord>& iterations,
+                         const std::vector<std::string>& journal_lines,
+                         const ExplainOptions& opts) {
+  // Render the live ledger to CSV and re-parse it through the offline
+  // reader: one source of truth for both report paths.
+  std::stringstream csv;
+  ledger_state.write_csv(csv, table);
+  const std::vector<LedgerCsvRow> ledger = parse_ledger_csv(csv);
+  const std::vector<IterRow> iters = rows_from_records(iterations);
+  std::vector<obs::ParsedEvent> journal;
+  journal.reserve(journal_lines.size());
+  for (const std::string& line : journal_lines) {
+    if (auto ev = obs::parse_journal_line(line)) {
+      journal.push_back(std::move(*ev));
+    }
+  }
+  const bool have_journal = !journal_lines.empty();
+  std::ostringstream os;
+  os << "session           : (live campaign)\n";
+  std::string journal_header;
+  if (have_journal) {
+    std::ostringstream jh;
+    jh << "journal events    : " << journal.size() << " (in-memory tail)\n";
+    journal_header = jh.str();
+  }
+  render_report(os, ledger, iters, journal, have_journal, journal_header,
+                opts);
+  return os.str();
 }
 
 }  // namespace compi

@@ -21,7 +21,14 @@
 #include <string>
 #include <vector>
 
+namespace compi::rt {
+class BranchTable;
+}  // namespace compi::rt
+
 namespace compi {
+
+class CoverageLedger;
+struct IterationRecord;
 
 struct ExplainOptions {
   /// Never-taken branch sites shown in the near-miss section.
@@ -70,5 +77,17 @@ struct LedgerCsvRow {
 /// the directory has neither a readable ledger.csv nor iterations.csv.
 bool explain_session(const std::filesystem::path& dir, std::ostream& os,
                      const ExplainOptions& opts = {});
+
+/// Renders the same report from a LIVE campaign (the /explain endpoint):
+/// the in-memory ledger, the iteration records so far, and raw journal
+/// lines from the in-memory tap.  The ledger CSV is rendered and re-parsed
+/// through the exact offline reader so live and offline reports can never
+/// drift.  The caller must hold whatever lock guards the ledger and
+/// iteration vector for the duration of the call.
+[[nodiscard]] std::string explain_live(
+    const CoverageLedger& ledger, const rt::BranchTable& table,
+    const std::vector<IterationRecord>& iterations,
+    const std::vector<std::string>& journal_lines,
+    const ExplainOptions& opts = {});
 
 }  // namespace compi

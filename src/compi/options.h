@@ -161,6 +161,13 @@ struct CampaignOptions {
   /// small JSON heartbeat (iteration, covered branches, bugs, elapsed
   /// seconds, world size, focus) for external monitoring.
   std::string status_file;
+  /// Embedded control-plane HTTP server (serve/control_plane.h): -1 (the
+  /// default) = off, 0 = bind an ephemeral loopback port, else bind this
+  /// port.  Serves /metrics, /status, /events (SSE journal tail), and
+  /// /explain while the campaign runs.  The bound port is published in the
+  /// status heartbeat (`serve_port`), which defaults to
+  /// <log_dir>/status.json when serving without --status-file.
+  int serve_port = -1;
 };
 
 }  // namespace compi

@@ -50,6 +50,7 @@
 #include "compi/checkpoint.h"
 #include "compi/driver.h"
 #include "compi/driver_internal.h"
+#include "compi/explain.h"
 #include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
@@ -57,8 +58,10 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/phase_clock.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "sandbox/supervisor.h"
+#include "serve/control_plane.h"
 #include "solver/cache.h"
 #include "solver/solver.h"
 
@@ -139,6 +142,22 @@ CampaignResult Campaign::run_parallel() {
   obs::Counter& m_interleavings = reg.counter(
       "compi_interleavings_total",
       "Reordered wildcard matchings replayed (--explore-matchings)");
+  obs::Gauge& m_frontier_depth = reg.gauge(
+      "compi_frontier_depth",
+      "Unexplored negation candidates currently queued by the search");
+  obs::Gauge& m_interleavings_pending = reg.gauge(
+      "compi_interleavings_pending",
+      "Reordered wildcard matchings queued and awaiting replay");
+  // Registered adjacently so the Prometheus writer emits one HELP/TYPE
+  // pair for the whole compi_worker_last_progress_seconds family.
+  std::vector<obs::Gauge*> m_worker_progress;
+  m_worker_progress.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    m_worker_progress.push_back(&reg.gauge(
+        "compi_worker_last_progress_seconds{worker=\"" + std::to_string(w) +
+            "\"}",
+        "Campaign-relative time of each worker's last completed iteration"));
+  }
 
   // One cache shared by every worker: cross-worker hits are the point
   // (parallel workers flip neighbouring branches of the same paths).
@@ -188,6 +207,18 @@ CampaignResult Campaign::run_parallel() {
   obs::Journal journal;
   std::optional<SessionWriter> session;
   if (!options_.log_dir.empty()) session.emplace(options_.log_dir);
+
+  // ---- live status board (--status-file heartbeat + GET /status) ----
+  const bool serving = options_.serve_port >= 0;
+  std::string status_path = options_.status_file;
+  if (serving && status_path.empty() && session) {
+    status_path = (session->dir() / "status.json").string();
+  }
+  std::shared_ptr<obs::StatusBoard> board;
+  if (serving || !status_path.empty()) {
+    board = std::make_shared<obs::StatusBoard>(workers, options_.iterations);
+    board->set_campaign(options_.initial_nprocs, options_.initial_focus);
+  }
 
   const bool two_phase = options_.search == SearchKind::kBoundedDfs;
 
@@ -368,6 +399,37 @@ CampaignResult Campaign::run_parallel() {
     export_obs();
   }};
 
+  // Declared AFTER the export guard: reverse destruction stops the server
+  // thread before the journal closes and the final export runs, on every
+  // exit path.  (The happy path also stops it explicitly right after the
+  // workers join, before the finalize section mutates shared state
+  // without `mu`.)
+  serve::ControlPlane control_plane;
+  if (serving && board != nullptr) {
+    serve::ControlPlaneConfig cp;
+    cp.port = options_.serve_port;
+    cp.registry = &reg;
+    cp.journal = &journal;
+    cp.status = [board] { return board->snapshot(); };
+    cp.explain = [&, board] {
+      // /explain renders a bounded summary from the live ledger under the
+      // campaign mutex — same lock the workers' bookkeeping sections take.
+      std::lock_guard<std::mutex> lock(mu);
+      std::vector<std::string> lines;
+      (void)journal.tap_since(0, lines);
+      return explain_live(ledger, *target_.table, result.iterations, lines);
+    };
+    if (control_plane.start(std::move(cp))) {
+      board->set_serve_port(control_plane.port());
+      // Publish the bound port immediately (iteration -1): with --serve=0
+      // this is how clients discover the ephemeral port.
+      if (!status_path.empty()) {
+        (void)obs::write_status_file(
+            status_path, obs::render_status_json(board->snapshot()));
+      }
+    }
+  }
+
   const auto backoff = [&](int attempt) {
     if (options_.retry_backoff_ms <= 0) return;
     const int ms = std::min(options_.retry_backoff_ms << attempt, 1000);
@@ -460,26 +522,28 @@ CampaignResult Campaign::run_parallel() {
         .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
     journal.flush();
-    if (options_.status_file.empty()) return;
-    std::string line;
-    obs::JsonWriter status(line);
-    status.field("iteration", static_cast<std::int64_t>(rec.iteration));
-    status.field("covered_branches",
-                 static_cast<std::int64_t>(rec.covered_branches));
-    status.field("bugs", static_cast<std::int64_t>(result.bugs.size()));
-    status.field("elapsed_seconds", elapsed());
-    status.field("nprocs", static_cast<std::int64_t>(rec.nprocs));
-    status.field("focus", static_cast<std::int64_t>(rec.focus));
-    status.field("outcome", rt::to_string(rec.outcome));
-    status.finish();
-    namespace fs = std::filesystem;
-    const fs::path tmp(options_.status_file + ".tmp");
-    {
-      std::ofstream out(tmp);
-      out << line;
+    if (board == nullptr) return;
+    board->record_iteration(rec.iteration, rec.covered_branches,
+                            result.bugs.size(), elapsed(), rec.nprocs,
+                            rec.focus, rt::to_string(rec.outcome),
+                            rec.worker);
+    board->set_depths(in_flight.size(), interleavings.queue.size());
+    if (cache != nullptr) {
+      board->set_solver_cache(static_cast<std::int64_t>(cache->hits()),
+                              static_cast<std::int64_t>(cache->misses()));
     }
-    std::error_code ec;
-    fs::rename(tmp, fs::path(options_.status_file), ec);
+    m_frontier_depth.set(static_cast<std::int64_t>(in_flight.size()));
+    m_interleavings_pending.set(
+        static_cast<std::int64_t>(interleavings.queue.size()));
+    if (rec.worker >= 0 &&
+        rec.worker < static_cast<int>(m_worker_progress.size())) {
+      m_worker_progress[static_cast<std::size_t>(rec.worker)]->set(
+          static_cast<std::int64_t>(elapsed()));
+    }
+    if (!status_path.empty()) {
+      (void)obs::write_status_file(
+          status_path, obs::render_status_json(board->snapshot()));
+    }
   };
 
   // End-of-iteration bookkeeping under `mu`: completion tracking, cursor
@@ -538,6 +602,7 @@ CampaignResult Campaign::run_parallel() {
         std::chrono::milliseconds(options_.hang_timeout_ms);
     sandbox_options.child_mem_mb = options_.child_mem_mb;
     std::vector<sym::BranchId> last_harvested;
+    int last_iter = -1;  // the ordinal this worker parks on when done
 
     const auto execute = [&](const minimpi::LaunchSpec& s, int iter) {
       last_harvested.clear();
@@ -586,6 +651,10 @@ CampaignResult Campaign::run_parallel() {
       if (iter >= options_.iterations) break;
       obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
       int iter_retries = 0;
+      last_iter = iter;
+      if (board != nullptr) {
+        board->worker_phase(w, iter, obs::WorkerPhase::kExecute);
+      }
 
       // ---- pop a pending reordered matching, if any ----
       std::optional<PendingInterleaving> pending;
@@ -882,6 +951,9 @@ CampaignResult Campaign::run_parallel() {
 
       // ---- pick and solve the next constraint set (§II-A) ----
       const double solve_cpu_start = obs::thread_cpu_seconds();
+      if (board != nullptr) {
+        board->worker_phase(w, iter, obs::WorkerPhase::kSolve);
+      }
       obs::ObsSpan plan_span(obs::Cat::kStrategy, "plan_next_test");
       bool planned = false;
       while (auto cand = ws.strategy->next()) {
@@ -1009,6 +1081,9 @@ CampaignResult Campaign::run_parallel() {
         end_of_iteration_locked(iter, w);
       }
     }
+    if (board != nullptr) {
+      board->worker_phase(w, last_iter, obs::WorkerPhase::kDone);
+    }
   };
 
   {
@@ -1017,6 +1092,10 @@ CampaignResult Campaign::run_parallel() {
     for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body, w);
   }  // join
   obs::set_thread_track(0);
+  // Stop serving before finalize: the sort below mutates the iteration
+  // vector the /explain endpoint reads under `mu`, and finalize itself
+  // runs unlocked now that the workers are gone.
+  control_plane.stop();
 
   // ---- finalize (workers joined: no locking needed) ----
   std::sort(result.iterations.begin(), result.iterations.end(),

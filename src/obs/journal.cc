@@ -198,12 +198,44 @@ void Journal::close() {
 
 void Journal::commit(std::string&& line) {
   std::lock_guard<std::mutex> lock(mu_);
-  buffer_ += line;
   ++events_;
+  if (tap_capacity_ > 0) {
+    // Retain the line without its trailing newline: tap consumers (the
+    // SSE stream) frame lines themselves.
+    std::string_view body(line);
+    while (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+    tap_.emplace_back(body);
+    ++tap_head_;
+    while (tap_.size() > tap_capacity_) tap_.pop_front();
+  }
+  // Only accumulate the disk buffer when a file is draining it: a
+  // tap-only journal (--serve without --journal) must not grow without
+  // bound.
+  if (!out_.is_open()) return;
+  buffer_ += line;
   if (buffer_.size() >= kFlushBytes) {
     out_ << buffer_;
     buffer_.clear();
   }
+}
+
+void Journal::enable_tap(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  tap_capacity_ = capacity;
+  while (tap_.size() > tap_capacity_) tap_.pop_front();
+  tap_on_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t Journal::tap_since(std::uint64_t cursor,
+                                 std::vector<std::string>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t oldest = tap_head_ - tap_.size();
+  if (cursor < oldest) cursor = oldest;
+  for (std::uint64_t seq = cursor; seq < tap_head_; ++seq) {
+    out.push_back(tap_[static_cast<std::size_t>(seq - oldest)]);
+  }
+  return tap_head_;
 }
 
 // ---- read-back ----
@@ -378,6 +410,13 @@ std::optional<bool> ParsedEvent::boolean(const std::string& key) const {
 
 int ParsedEvent::iter() const {
   return static_cast<int>(num("iter").value_or(-1));
+}
+
+std::optional<ParsedEvent> parse_json_object(std::string_view text) {
+  ParsedEvent event;
+  LineParser parser(text);
+  if (!parser.parse(event)) return std::nullopt;
+  return event;
 }
 
 std::optional<ParsedEvent> parse_journal_line(std::string_view line) {

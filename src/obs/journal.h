@@ -27,7 +27,9 @@
 // journal's iteration events exactly aligned with iterations.csv.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -108,7 +110,26 @@ class Journal {
   /// not exist yet.
   bool open_resume(const std::filesystem::path& file, int first_iteration);
 
-  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+  [[nodiscard]] bool enabled() const {
+    return out_.is_open() || tap_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Enables the in-memory tap: the last `capacity` committed lines are
+  /// retained in a ring with monotonically increasing sequence numbers,
+  /// independent of whether a file is open.  This is what /events streams
+  /// from — enabling the tap turns the emit sites on even when --journal
+  /// is not writing to disk.  Idempotent; survives close().
+  void enable_tap(std::size_t capacity);
+  [[nodiscard]] bool tap_enabled() const {
+    return tap_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends every retained line committed at or after sequence `cursor`
+  /// to `out` (oldest first, no trailing newlines) and returns the new
+  /// cursor (one past the last line ever committed).  A cursor older than
+  /// the retained window skips ahead — the subscriber missed events.
+  std::uint64_t tap_since(std::uint64_t cursor,
+                          std::vector<std::string>& out) const;
 
   /// Flushes buffered events through to the OS.  Called by the driver at
   /// iteration boundaries and checkpoints; cheap when the buffer is empty.
@@ -140,6 +161,13 @@ class Journal {
   std::ofstream out_;
   std::string buffer_;
   std::size_t events_ = 0;
+  /// Tap state (guarded by mu_ except the enable flag, which emit sites
+  /// read lock-free like out_.is_open()).  tap_head_ is the sequence
+  /// number one past the newest retained line.
+  std::atomic<bool> tap_on_{false};
+  std::size_t tap_capacity_ = 0;
+  std::deque<std::string> tap_;
+  std::uint64_t tap_head_ = 0;
 };
 
 // ---- read-back (the --explain side) ----
@@ -158,6 +186,13 @@ struct ParsedEvent {
   /// The mandatory iteration ordinal; -1 when missing (malformed event).
   [[nodiscard]] int iter() const;
 };
+
+/// Parses one flat JSON object in the journal's dialect (scalars plus one
+/// nesting level, flattened into dotted keys) without requiring the
+/// "type"/"iter" journal envelope — the status heartbeat reuses this.
+/// `type` is left empty.  nullopt on malformed input.
+[[nodiscard]] std::optional<ParsedEvent> parse_json_object(
+    std::string_view text);
 
 /// Parses one JSONL line.  nullopt on malformed input (torn tail lines) —
 /// callers skip those, mirroring the FrameReader's tolerance of a dying

@@ -99,19 +99,28 @@ Histogram& Registry::histogram(const std::string& name,
 
 void Registry::write_prometheus(std::ostream& os) const {
   std::scoped_lock lock(mu_);
+  // Labeled metrics (name{label="..."}) share one metric family: HELP and
+  // TYPE lines must carry the bare name, emitted once per consecutive run
+  // of same-family entries (per-worker gauges register adjacently).
+  std::string_view last_base;
   for (const auto& e : entries_) {
-    os << "# HELP " << e->name << ' ' << e->help << '\n';
+    const std::size_t brace = e->name.find('{');
+    const std::string_view base =
+        std::string_view(e->name).substr(0, brace);
+    const bool new_family = base != last_base;
+    last_base = base;
+    if (new_family) os << "# HELP " << base << ' ' << e->help << '\n';
     switch (e->kind) {
       case Kind::kCounter:
-        os << "# TYPE " << e->name << " counter\n"
-           << e->name << ' ' << e->counter->value() << '\n';
+        if (new_family) os << "# TYPE " << base << " counter\n";
+        os << e->name << ' ' << e->counter->value() << '\n';
         break;
       case Kind::kGauge:
-        os << "# TYPE " << e->name << " gauge\n"
-           << e->name << ' ' << e->gauge->value() << '\n';
+        if (new_family) os << "# TYPE " << base << " gauge\n";
+        os << e->name << ' ' << e->gauge->value() << '\n';
         break;
       case Kind::kHistogram: {
-        os << "# TYPE " << e->name << " histogram\n";
+        if (new_family) os << "# TYPE " << base << " histogram\n";
         std::int64_t cumulative = 0;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           cumulative += e->histogram->bucket_count(i);

@@ -1,0 +1,237 @@
+#include "obs/status.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/journal.h"
+
+namespace compi::obs {
+
+const char* to_string(WorkerPhase p) {
+  switch (p) {
+    case WorkerPhase::kIdle: return "idle";
+    case WorkerPhase::kExecute: return "execute";
+    case WorkerPhase::kSolve: return "solve";
+    case WorkerPhase::kDone: return "done";
+  }
+  return "idle";
+}
+
+std::optional<WorkerPhase> parse_worker_phase(std::string_view s) {
+  if (s == "idle") return WorkerPhase::kIdle;
+  if (s == "execute") return WorkerPhase::kExecute;
+  if (s == "solve") return WorkerPhase::kSolve;
+  if (s == "done") return WorkerPhase::kDone;
+  return std::nullopt;
+}
+
+std::string render_status_json(const StatusSnapshot& s) {
+  std::string line;
+  JsonWriter w(line);
+  w.field("iteration", static_cast<std::int64_t>(s.iteration));
+  w.field("covered_branches", static_cast<std::int64_t>(s.covered_branches));
+  w.field("bugs", static_cast<std::int64_t>(s.bugs));
+  w.field("elapsed_seconds", s.elapsed_seconds);
+  w.field("nprocs", static_cast<std::int64_t>(s.nprocs));
+  w.field("focus", static_cast<std::int64_t>(s.focus));
+  w.field("outcome", s.outcome);
+  w.field("serve_port", static_cast<std::int64_t>(s.serve_port));
+  w.field("workers", static_cast<std::int64_t>(s.workers));
+  w.field("iterations_total", static_cast<std::int64_t>(s.iterations_total));
+  w.field("frontier_depth", static_cast<std::int64_t>(s.frontier_depth));
+  w.field("interleavings_pending",
+          static_cast<std::int64_t>(s.interleavings_pending));
+  w.field("solver_cache_hits", s.solver_cache_hits);
+  w.field("solver_cache_misses", s.solver_cache_misses);
+  // Encoded as one "iter:covered iter:covered ..." string: the journal
+  // JSON dialect (which parse_status_json reuses) has no arrays.
+  std::string timeline;
+  for (const auto& [iter, covered] : s.coverage_timeline) {
+    if (!timeline.empty()) timeline.push_back(' ');
+    timeline += std::to_string(iter);
+    timeline.push_back(':');
+    timeline += std::to_string(covered);
+  }
+  w.field("coverage_timeline", timeline);
+  for (std::size_t i = 0; i < s.worker_status.size(); ++i) {
+    const WorkerStatus& ws = s.worker_status[i];
+    w.begin_object("worker_" + std::to_string(i));
+    w.field("iteration", static_cast<std::int64_t>(ws.iteration));
+    w.field("phase", to_string(ws.phase));
+    w.field("last_progress_seconds", ws.last_progress_seconds);
+    w.field("iterations_done", ws.iterations_done);
+    w.end_object();
+  }
+  w.finish();
+  return line;
+}
+
+std::optional<StatusSnapshot> parse_status_json(std::string_view json) {
+  // Strip the trailing newline finish() appends; the object parser wants
+  // the object to be the whole input.
+  while (!json.empty() && (json.back() == '\n' || json.back() == '\r')) {
+    json.remove_suffix(1);
+  }
+  const std::optional<ParsedEvent> obj = parse_json_object(json);
+  if (!obj) return std::nullopt;
+  StatusSnapshot s;
+  const auto num = [&](const char* key, std::int64_t fallback) {
+    return obj->num(key).value_or(fallback);
+  };
+  if (!obj->num("iteration") || !obj->num("covered_branches")) {
+    return std::nullopt;
+  }
+  s.iteration = static_cast<int>(num("iteration", -1));
+  s.covered_branches = static_cast<std::size_t>(num("covered_branches", 0));
+  s.bugs = static_cast<std::size_t>(num("bugs", 0));
+  s.elapsed_seconds = obj->real("elapsed_seconds").value_or(0.0);
+  s.nprocs = static_cast<int>(num("nprocs", 0));
+  s.focus = static_cast<int>(num("focus", 0));
+  s.outcome = obj->str("outcome").value_or("");
+  s.serve_port = static_cast<int>(num("serve_port", -1));
+  s.workers = static_cast<int>(num("workers", 1));
+  s.iterations_total = static_cast<int>(num("iterations_total", 0));
+  s.frontier_depth = static_cast<std::size_t>(num("frontier_depth", 0));
+  s.interleavings_pending =
+      static_cast<std::size_t>(num("interleavings_pending", 0));
+  s.solver_cache_hits = num("solver_cache_hits", 0);
+  s.solver_cache_misses = num("solver_cache_misses", 0);
+  if (const auto timeline = obj->str("coverage_timeline")) {
+    std::string_view rest = *timeline;
+    while (!rest.empty()) {
+      const std::size_t space = rest.find(' ');
+      const std::string_view point = rest.substr(0, space);
+      rest = space == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(space + 1);
+      const std::size_t colon = point.find(':');
+      if (colon == std::string_view::npos) continue;
+      int iter = 0;
+      std::uint64_t covered = 0;
+      const auto [ip, iec] =
+          std::from_chars(point.data(), point.data() + colon, iter);
+      const auto [cp, cec] = std::from_chars(
+          point.data() + colon + 1, point.data() + point.size(), covered);
+      if (iec != std::errc{} || cec != std::errc{}) continue;
+      s.coverage_timeline.emplace_back(iter,
+                                       static_cast<std::size_t>(covered));
+    }
+  }
+  for (int w = 0;; ++w) {
+    const std::string prefix = "worker_" + std::to_string(w) + ".";
+    const auto iter = obj->num(prefix + "iteration");
+    if (!iter) break;
+    WorkerStatus ws;
+    ws.iteration = static_cast<int>(*iter);
+    ws.phase = parse_worker_phase(obj->str(prefix + "phase").value_or("idle"))
+                   .value_or(WorkerPhase::kIdle);
+    ws.last_progress_seconds =
+        obj->real(prefix + "last_progress_seconds").value_or(0.0);
+    ws.iterations_done = obj->num(prefix + "iterations_done").value_or(0);
+    s.worker_status.push_back(ws);
+  }
+  return s;
+}
+
+bool write_status_file(const std::string& path, const std::string& contents) {
+  namespace fs = std::filesystem;
+  const fs::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) return false;
+    out << contents;
+  }
+  std::error_code ec;
+  fs::rename(tmp, fs::path(path), ec);
+  return !ec;
+}
+
+// ---- StatusBoard ----
+
+StatusBoard::StatusBoard(int workers, int iterations_total) {
+  s_.workers = workers;
+  s_.iterations_total = iterations_total;
+  s_.worker_status.resize(
+      static_cast<std::size_t>(workers > 0 ? workers : 1));
+}
+
+void StatusBoard::set_serve_port(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.serve_port = port;
+}
+
+void StatusBoard::set_campaign(int nprocs, int focus) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.nprocs = nprocs;
+  s_.focus = focus;
+}
+
+void StatusBoard::record_iteration(int iteration, std::size_t covered,
+                                   std::size_t bugs, double elapsed,
+                                   int nprocs, int focus,
+                                   std::string_view outcome, int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.iteration = std::max(s_.iteration, iteration);
+  s_.covered_branches = std::max(s_.covered_branches, covered);
+  s_.bugs = bugs;
+  s_.elapsed_seconds = elapsed;
+  s_.nprocs = nprocs;
+  s_.focus = focus;
+  s_.outcome = std::string(outcome);
+  if (s_.coverage_timeline.empty() ||
+      covered > s_.coverage_timeline.back().second) {
+    s_.coverage_timeline.emplace_back(iteration, covered);
+    if (s_.coverage_timeline.size() >= 2 * kTimelineCap) {
+      // Keep every other point plus the newest; the sparkline only needs
+      // the shape, not every discovery.
+      std::vector<std::pair<int, std::size_t>> thinned;
+      thinned.reserve(kTimelineCap);
+      for (std::size_t i = 0; i < s_.coverage_timeline.size(); i += 2) {
+        thinned.push_back(s_.coverage_timeline[i]);
+      }
+      if (thinned.back() != s_.coverage_timeline.back()) {
+        thinned.push_back(s_.coverage_timeline.back());
+      }
+      s_.coverage_timeline = std::move(thinned);
+    }
+  }
+  if (worker >= 0 &&
+      static_cast<std::size_t>(worker) < s_.worker_status.size()) {
+    WorkerStatus& ws = s_.worker_status[static_cast<std::size_t>(worker)];
+    ws.iteration = iteration;
+    ws.last_progress_seconds = elapsed;
+    ++ws.iterations_done;
+  }
+}
+
+void StatusBoard::set_depths(std::size_t frontier,
+                             std::size_t interleavings_pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.frontier_depth = frontier;
+  s_.interleavings_pending = interleavings_pending;
+}
+
+void StatusBoard::set_solver_cache(std::int64_t hits, std::int64_t misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.solver_cache_hits = hits;
+  s_.solver_cache_misses = misses;
+}
+
+void StatusBoard::worker_phase(int worker, int iteration, WorkerPhase phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 ||
+      static_cast<std::size_t>(worker) >= s_.worker_status.size()) {
+    return;
+  }
+  WorkerStatus& ws = s_.worker_status[static_cast<std::size_t>(worker)];
+  ws.iteration = iteration;
+  ws.phase = phase;
+}
+
+StatusSnapshot StatusBoard::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+}  // namespace compi::obs

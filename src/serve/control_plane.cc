@@ -1,0 +1,101 @@
+#include "serve/control_plane.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+
+namespace compi::serve {
+
+namespace {
+
+/// Journal lines the SSE tap retains for late-joining clients.
+constexpr std::size_t kTapCapacity = 1024;
+
+}  // namespace
+
+struct ControlPlane::Impl {
+  HttpServer server;
+  ControlPlaneConfig config;
+};
+
+ControlPlane::ControlPlane() : impl_(std::make_unique<Impl>()) {}
+
+ControlPlane::~ControlPlane() { stop(); }
+
+bool ControlPlane::start(ControlPlaneConfig config) {
+  if (config.port < 0 || impl_->server.running()) return false;
+  impl_->config = std::move(config);
+  ControlPlaneConfig& cfg = impl_->config;
+
+  if (cfg.journal != nullptr) cfg.journal->enable_tap(kTapCapacity);
+
+  impl_->server.handle("/", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body =
+        "compi control plane\n"
+        "  /metrics  Prometheus scrape (live registry)\n"
+        "  /status   heartbeat JSON with per-worker state\n"
+        "  /events   SSE tail of the campaign journal\n"
+        "  /explain  live campaign summary\n";
+    return r;
+  });
+
+  if (cfg.registry != nullptr) {
+    obs::Registry* registry = cfg.registry;
+    impl_->server.handle("/metrics", [registry](const HttpRequest&) {
+      std::ostringstream os;
+      registry->write_prometheus(os);
+      HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = os.str();
+      return r;
+    });
+  }
+
+  if (cfg.status) {
+    const auto& status = cfg.status;
+    impl_->server.handle("/status", [&status](const HttpRequest&) {
+      HttpResponse r;
+      r.content_type = "application/json";
+      r.body = obs::render_status_json(status());
+      return r;
+    });
+  }
+
+  if (cfg.explain) {
+    const auto& explain = cfg.explain;
+    impl_->server.handle("/explain", [&explain](const HttpRequest&) {
+      HttpResponse r;
+      r.body = explain();
+      return r;
+    });
+  }
+
+  if (cfg.journal != nullptr) {
+    obs::Journal* journal = cfg.journal;
+    impl_->server.handle_stream(
+        "/events", [journal](std::uint64_t& cursor, std::string& out) {
+          std::vector<std::string> lines;
+          cursor = journal->tap_since(cursor, lines);
+          for (const std::string& line : lines) {
+            out += "data: ";
+            out += line;
+            out += "\n\n";
+          }
+        });
+  }
+
+  return impl_->server.start(cfg.port);
+}
+
+void ControlPlane::stop() { impl_->server.stop(); }
+
+bool ControlPlane::running() const { return impl_->server.running(); }
+
+int ControlPlane::port() const { return impl_->server.port(); }
+
+}  // namespace compi::serve

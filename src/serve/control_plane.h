@@ -1,0 +1,67 @@
+// Campaign control plane: wires the embedded HTTP server to the live
+// observability state.  Endpoints:
+//   GET /metrics — Prometheus scrape of the process-wide registry (live,
+//                  not the at-exit dump).
+//   GET /status  — the heartbeat JSON, rendered on demand from the
+//                  StatusBoard snapshot closure.
+//   GET /events  — SSE tail of the journal via its in-memory tap; works
+//                  with or without --journal writing to disk.
+//   GET /explain — the --explain summary rendered from the live ledger.
+//   GET /        — plain-text index of the above.
+//
+// Lock discipline: every closure passed in here runs on the SERVER thread.
+// The status closure takes only the StatusBoard's leaf mutex; the explain
+// closure may take the campaign mutex (briefly — it renders a bounded
+// summary).  The journal tap locks the journal's own mutex.  None of these
+// are ever held while calling into each other, so no ordering is imposed.
+//
+// Shutdown: ControlPlane is an RAII guard.  Campaign loops declare it
+// AFTER their export guard so reverse destruction stops the server (and
+// its thread) before the journal closes and metrics export — no endpoint
+// can observe torn-down state on any exit path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/status.h"
+
+namespace compi::obs {
+class Journal;
+class Registry;
+}  // namespace compi::obs
+
+namespace compi::serve {
+
+struct ControlPlaneConfig {
+  int port = -1;  ///< -1 = disabled, 0 = ephemeral, else fixed port.
+  obs::Registry* registry = nullptr;
+  obs::Journal* journal = nullptr;  ///< may be null: /events then idles
+  std::function<obs::StatusSnapshot()> status;
+  std::function<std::string()> explain;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane();
+  ~ControlPlane();  ///< stops the server
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Registers the endpoints, enables the journal tap, binds and starts
+  /// the server.  Returns false (leaving nothing running) if the config
+  /// has no port, the bind fails, or serving is compiled out.
+  bool start(ControlPlaneConfig config);
+
+  void stop();
+  [[nodiscard]] bool running() const;
+  /// Bound port after a successful start() (resolves port 0).
+  [[nodiscard]] int port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace compi::serve

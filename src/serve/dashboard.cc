@@ -1,0 +1,212 @@
+#include "serve/dashboard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "serve/http.h"
+
+namespace compi::serve {
+
+namespace {
+
+constexpr const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+
+bool looks_like_host_port(const std::string& target) {
+  if (target.empty()) return false;
+  // A path separator or an existing-file-style name means status-file mode;
+  // everything made of digits, dots and at most one colon is an address.
+  return target.find('/') == std::string::npos &&
+         target.find_first_not_of("0123456789.:") == std::string::npos;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", static_cast<int>(s) / 3600,
+                  (static_cast<int>(s) / 60) % 60, static_cast<int>(s) % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%d:%02d", static_cast<int>(s) / 60,
+                  static_cast<int>(s) % 60);
+  }
+  return buf;
+}
+
+double metric_or(const std::map<std::string, double>& metrics,
+                 const std::string& name, double fallback) {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+std::map<std::string, double> parse_prometheus_text(std::string_view text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    // Name runs to the last space (labels may not contain spaces in our
+    // writer); the remainder is the value.
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp == 0) continue;
+    const std::string name(line.substr(0, sp));
+    char* end = nullptr;
+    const std::string value_str(line.substr(sp + 1));
+    const double v = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str()) continue;
+    out[name] = v;
+  }
+  return out;
+}
+
+std::string sparkline(
+    const std::vector<std::pair<int, std::size_t>>& timeline,
+    std::size_t width) {
+  if (timeline.empty() || width == 0) return "";
+  std::vector<std::size_t> points;
+  points.reserve(timeline.size());
+  for (const auto& [iter, cov] : timeline) points.push_back(cov);
+  if (points.size() > width) {
+    points.erase(points.begin(),
+                 points.begin() + static_cast<std::ptrdiff_t>(points.size() - width));
+  }
+  const std::size_t lo = *std::min_element(points.begin(), points.end());
+  const std::size_t hi = *std::max_element(points.begin(), points.end());
+  std::string out;
+  for (const std::size_t p : points) {
+    const std::size_t level =
+        hi == lo ? 7 : (p - lo) * 7 / (hi - lo);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string render_dashboard(const obs::StatusSnapshot& s,
+                             const std::map<std::string, double>& metrics,
+                             bool ansi) {
+  std::ostringstream os;
+  if (ansi) os << "\x1b[H\x1b[2J";
+
+  os << "compi top";
+  if (s.serve_port > 0) os << "  127.0.0.1:" << s.serve_port;
+  os << "  elapsed " << format_seconds(s.elapsed_seconds) << '\n';
+
+  os << "iteration " << s.iteration;
+  if (s.iterations_total > 0) os << '/' << s.iterations_total;
+  os << "  covered " << s.covered_branches << "  bugs " << s.bugs
+     << "  nprocs " << s.nprocs;
+  if (!s.outcome.empty()) os << "  last " << s.outcome;
+  os << '\n';
+
+  os << "coverage  " << sparkline(s.coverage_timeline, 48);
+  if (!s.coverage_timeline.empty()) {
+    os << "  (" << s.coverage_timeline.front().second << " -> "
+       << s.coverage_timeline.back().second << ")";
+  }
+  os << '\n';
+
+  const std::int64_t hits = s.solver_cache_hits;
+  const std::int64_t misses = s.solver_cache_misses;
+  const std::int64_t lookups = hits + misses;
+  os << "frontier " << s.frontier_depth << "  interleavings "
+     << s.interleavings_pending << "  solver-cache ";
+  if (lookups > 0) {
+    os << (100 * hits / lookups) << "% hit (" << hits << '/' << lookups
+       << ")\n";
+  } else {
+    os << "-\n";
+  }
+
+  const double solves =
+      metric_or(metrics, "compi_solver_queries_total", -1.0);
+  const double iters = metric_or(metrics, "compi_iterations_total", -1.0);
+  if (iters >= 0.0 || solves >= 0.0) {
+    os << "metrics  ";
+    if (iters >= 0.0) os << "iterations " << static_cast<std::int64_t>(iters);
+    if (solves >= 0.0) {
+      os << "  solver-queries " << static_cast<std::int64_t>(solves);
+    }
+    os << '\n';
+  }
+
+  os << '\n'
+     << "worker  phase    iter   done   last-progress\n";
+  for (std::size_t i = 0; i < s.worker_status.size(); ++i) {
+    const obs::WorkerStatus& w = s.worker_status[i];
+    char row[96];
+    std::snprintf(row, sizeof(row), "%5zu   %-8s %5d  %5lld   %s", i,
+                  obs::to_string(w.phase), w.iteration,
+                  static_cast<long long>(w.iterations_done),
+                  format_seconds(w.last_progress_seconds).c_str());
+    os << row;
+    // Flag a worker whose last progress lags the campaign clock badly.
+    if (w.phase != obs::WorkerPhase::kDone &&
+        s.elapsed_seconds - w.last_progress_seconds > 30.0) {
+      os << "  (stalled?)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+int run_top(const TopOptions& opts, std::ostream& os) {
+  const bool remote = looks_like_host_port(opts.target);
+  int rendered = 0;
+  for (int frame = 0; opts.frames == 0 || frame < opts.frames; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+    }
+    std::string status_json;
+    std::map<std::string, double> metrics;
+    if (remote) {
+      const auto status = http_get(opts.target, "/status");
+      if (!status || status->status != 200) {
+        if (rendered > 0) {
+          os << "campaign ended (" << opts.target << " stopped answering)\n";
+          return 0;
+        }
+        os << "compi top: no response from " << opts.target << '\n';
+        return 1;
+      }
+      status_json = status->body;
+      if (const auto m = http_get(opts.target, "/metrics");
+          m && m->status == 200) {
+        metrics = parse_prometheus_text(m->body);
+      }
+    } else {
+      std::ifstream in(opts.target);
+      if (!in) {
+        if (rendered > 0) {
+          os << "campaign ended (" << opts.target << " removed)\n";
+          return 0;
+        }
+        os << "compi top: cannot read " << opts.target << '\n';
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      status_json = buf.str();
+    }
+    const auto snapshot = obs::parse_status_json(status_json);
+    if (!snapshot) {
+      // A torn read should be impossible (tmp+rename / Content-Length),
+      // so treat malformed JSON as a real error.
+      os << "compi top: malformed status from " << opts.target << '\n';
+      return rendered > 0 ? 0 : 1;
+    }
+    os << render_dashboard(*snapshot, metrics, opts.ansi);
+    os.flush();
+    ++rendered;
+  }
+  return 0;
+}
+
+}  // namespace compi::serve

@@ -1,0 +1,54 @@
+// `compi top` — a refreshing single-screen terminal dashboard for a live
+// campaign.  Polls GET /status and GET /metrics from a control plane (or
+// re-reads a --status-file when given a path instead of host:port) and
+// renders a workers table, a coverage sparkline from the status timeline,
+// and solver / frontier gauges.
+//
+// Rendering is pure (snapshot + metrics map in, string out) so tests can
+// assert on frames without a terminal or a server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/status.h"
+
+namespace compi::serve {
+
+struct TopOptions {
+  /// "host:port", ":port", "port" — or a filesystem path to a status file.
+  std::string target;
+  int interval_ms = 1000;
+  /// 0 = refresh until the campaign ends; N = render N frames and exit
+  /// (tests and CI use frames=1).
+  int frames = 0;
+  /// Emit ANSI clear/home escapes between frames (off when not a tty).
+  bool ansi = true;
+};
+
+/// Parses Prometheus text exposition into {metric-name-with-labels: value}.
+/// Comment lines are skipped; unparsable sample lines are ignored.
+[[nodiscard]] std::map<std::string, double> parse_prometheus_text(
+    std::string_view text);
+
+/// Unicode block-element sparkline of the coverage timeline, at most
+/// `width` cells wide (the newest points win when thinning).
+[[nodiscard]] std::string sparkline(
+    const std::vector<std::pair<int, std::size_t>>& timeline,
+    std::size_t width);
+
+/// One dashboard frame.  `metrics` may be empty (status-file mode).
+[[nodiscard]] std::string render_dashboard(
+    const obs::StatusSnapshot& s, const std::map<std::string, double>& metrics,
+    bool ansi);
+
+/// Runs the dashboard loop; returns a process exit code.  A target that
+/// never answers is an error (1); a campaign that answered at least once
+/// and then went away is a normal ending (0).
+int run_top(const TopOptions& opts, std::ostream& os);
+
+}  // namespace compi::serve

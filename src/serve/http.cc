@@ -1,0 +1,466 @@
+#include "serve/http.h"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#if (defined(__unix__) || defined(__APPLE__)) && !defined(COMPI_OBS_DISABLED)
+#define COMPI_SERVE_POSIX 1
+#endif
+
+#ifdef COMPI_SERVE_POSIX
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace compi::serve {
+
+#ifdef COMPI_SERVE_POSIX
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+/// A stream whose client stops reading is dropped once this much output
+/// is buffered — the server thread must never wait on a slow consumer.
+constexpr std::size_t kMaxStreamBacklog = 256 * 1024;
+constexpr int kPollTickMs = 50;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string frame_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    reason_phrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+/// Parses "host:port" / ":port" / "port" into an IPv4 sockaddr.
+bool parse_host_port(const std::string& host_port, sockaddr_in& addr) {
+  std::string host = "127.0.0.1";
+  std::string port = host_port;
+  const std::size_t colon = host_port.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = host_port.substr(0, colon);
+    port = host_port.substr(colon + 1);
+  }
+  if (port.empty()) return false;
+  char* end = nullptr;
+  const long p = std::strtol(port.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(p));
+  if (host == "localhost") host = "127.0.0.1";
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+/// Blocking connect with a receive deadline; returns -1 on failure.
+int connect_client(const std::string& host_port, int timeout_ms) {
+  sockaddr_in addr{};
+  if (!parse_host_port(host_port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  std::map<std::string, HttpHandler> handlers;
+  std::map<std::string, StreamSource> streams;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  int port = -1;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::thread thread;
+
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool close_after_flush = false;
+    bool is_stream = false;
+    const StreamSource* source = nullptr;
+    std::uint64_t cursor = 0;
+  };
+  std::vector<Conn> conns;
+
+  ~Impl() { close_fds(); }
+
+  void close_fds() {
+    for (Conn& c : conns) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    conns.clear();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+    listen_fd = wake_read = wake_write = -1;
+  }
+
+  bool bind_and_listen(int want_port) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return false;
+    const int one = 1;
+    (void)::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(want_port));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 16) != 0 || !set_nonblocking(listen_fd)) {
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return false;
+    }
+    port = static_cast<int>(ntohs(bound.sin_port));
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) return false;
+    wake_read = pipe_fds[0];
+    wake_write = pipe_fds[1];
+    (void)set_nonblocking(wake_read);
+    return true;
+  }
+
+  void dispatch(Conn& c) {
+    // Request line: METHOD SP PATH SP VERSION.  Headers are ignored — the
+    // control plane has no use for them.
+    HttpRequest req;
+    const std::size_t line_end = c.in.find("\r\n");
+    const std::string line =
+        c.in.substr(0, line_end == std::string::npos ? c.in.find('\n')
+                                                     : line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      c.out = frame_response({400, "text/plain", "bad request\n"});
+      c.close_after_flush = true;
+      return;
+    }
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      req.query = target.substr(qmark + 1);
+      target.resize(qmark);
+    }
+    req.path = std::move(target);
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (req.method != "GET") {
+      c.out = frame_response({405, "text/plain", "GET only\n"});
+      c.close_after_flush = true;
+      return;
+    }
+    if (const auto s = streams.find(req.path); s != streams.end()) {
+      c.is_stream = true;
+      c.source = &s->second;
+      c.out =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/event-stream\r\n"
+          "Cache-Control: no-cache\r\n"
+          "Connection: close\r\n\r\n"
+          ": stream open\n\n";
+      c.source->operator()(c.cursor, c.out);
+      return;
+    }
+    if (const auto h = handlers.find(req.path); h != handlers.end()) {
+      c.out = frame_response(h->second(req));
+    } else {
+      c.out = frame_response({404, "text/plain", "not found\n"});
+    }
+    c.close_after_flush = true;
+  }
+
+  void loop() {
+    std::vector<pollfd> pfds;
+    while (!stop_requested.load(std::memory_order_relaxed)) {
+      pfds.clear();
+      pfds.push_back({wake_read, POLLIN, 0});
+      pfds.push_back({listen_fd, POLLIN, 0});
+      for (const Conn& c : conns) {
+        short events = POLLIN;
+        if (!c.out.empty()) events |= POLLOUT;
+        pfds.push_back({c.fd, events, 0});
+      }
+      (void)::poll(pfds.data(), pfds.size(), kPollTickMs);
+      if ((pfds[0].revents & POLLIN) != 0) {
+        char buf[64];
+        while (::read(wake_read, buf, sizeof(buf)) > 0) {
+        }
+      }
+      if ((pfds[1].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = ::accept(listen_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          if (!set_nonblocking(fd)) {
+            ::close(fd);
+            continue;
+          }
+          const int one = 1;
+          (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+          Conn c;
+          c.fd = fd;
+          conns.push_back(std::move(c));
+        }
+      }
+      // Service existing connections.  pfds[i + 2] pairs with the conns
+      // entry i from before the accept loop; fresh conns get polled next
+      // tick.
+      const std::size_t polled = pfds.size() - 2;
+      for (std::size_t i = 0; i < polled && i < conns.size(); ++i) {
+        Conn& c = conns[i];
+        const short re = pfds[i + 2].revents;
+        if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 && c.out.empty()) {
+          ::close(c.fd);
+          c.fd = -1;
+          continue;
+        }
+        if ((re & POLLIN) != 0) {
+          char buf[2048];
+          for (;;) {
+            const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+              c.in.append(buf, static_cast<std::size_t>(n));
+              continue;
+            }
+            if (n == 0 && c.out.empty() && !c.is_stream) {
+              ::close(c.fd);
+              c.fd = -1;
+            }
+            break;
+          }
+          if (c.fd < 0) continue;
+          if (!c.is_stream && c.out.empty() &&
+              (c.in.find("\r\n\r\n") != std::string::npos ||
+               c.in.find("\n\n") != std::string::npos)) {
+            dispatch(c);
+          } else if (c.in.size() > kMaxRequestBytes) {
+            c.out = frame_response({400, "text/plain", "request too large\n"});
+            c.close_after_flush = true;
+          }
+        }
+        if (c.is_stream && c.source != nullptr &&
+            c.out.size() < kMaxStreamBacklog) {
+          c.source->operator()(c.cursor, c.out);
+        }
+        if (!c.out.empty()) {
+          const ssize_t n =
+              ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+          if (n > 0) {
+            c.out.erase(0, static_cast<std::size_t>(n));
+          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+            ::close(c.fd);
+            c.fd = -1;
+            continue;
+          }
+        }
+        if (c.is_stream && c.out.size() >= kMaxStreamBacklog) {
+          ::close(c.fd);  // consumer stopped reading
+          c.fd = -1;
+          continue;
+        }
+        if (c.out.empty() && c.close_after_flush) {
+          ::close(c.fd);
+          c.fd = -1;
+        }
+      }
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const Conn& c) { return c.fd < 0; }),
+                  conns.end());
+    }
+  }
+};
+
+HttpServer::HttpServer() : impl_(std::make_unique<Impl>()) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, HttpHandler h) {
+  impl_->handlers[path] = std::move(h);
+}
+
+void HttpServer::handle_stream(const std::string& path, StreamSource s) {
+  impl_->streams[path] = std::move(s);
+}
+
+bool HttpServer::start(int port) {
+  if (impl_->running.load()) return false;
+  if (port < 0 || port > 65535) return false;
+  if (!impl_->bind_and_listen(port)) {
+    impl_->close_fds();
+    return false;
+  }
+  impl_->stop_requested.store(false);
+  impl_->running.store(true);
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!impl_->running.load()) return;
+  impl_->stop_requested.store(true);
+  if (impl_->wake_write >= 0) {
+    const char byte = 'x';
+    (void)!::write(impl_->wake_write, &byte, 1);
+  }
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->close_fds();
+  impl_->running.store(false);
+}
+
+int HttpServer::port() const { return impl_->port; }
+
+bool HttpServer::running() const { return impl_->running.load(); }
+
+std::uint64_t HttpServer::requests_served() const {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+std::optional<HttpClientResponse> http_get(const std::string& host_port,
+                                           const std::string& path,
+                                           int timeout_ms) {
+  const int fd = connect_client(host_port, timeout_ms);
+  if (fd < 0) return std::nullopt;
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: " + host_port +
+                          "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, req)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF, timeout, or error — parse what arrived
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  HttpClientResponse r;
+  r.status = std::atoi(raw.c_str() + 9);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  r.body = raw.substr(header_end + 4);
+  return r;
+}
+
+std::optional<std::string> http_get_stream(const std::string& host_port,
+                                           const std::string& path,
+                                           std::size_t max_bytes,
+                                           int timeout_ms) {
+  const int fd = connect_client(host_port, timeout_ms);
+  if (fd < 0) return std::nullopt;
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: " + host_port +
+                          "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, req)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while (raw.size() < max_bytes + 512) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // timeout counts as "done": return what streamed
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+    }
+    if (header_end != std::string::npos &&
+        raw.size() - header_end - 4 >= max_bytes) {
+      break;
+    }
+  }
+  ::close(fd);
+  if (header_end == std::string::npos) header_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.", 0) != 0 || header_end == std::string::npos) {
+    return std::nullopt;
+  }
+  return raw.substr(header_end + 4);
+}
+
+#else  // !COMPI_SERVE_POSIX — inert stubs (obs-off preset / non-POSIX)
+
+struct HttpServer::Impl {};
+
+HttpServer::HttpServer() : impl_(std::make_unique<Impl>()) {}
+HttpServer::~HttpServer() = default;
+void HttpServer::handle(const std::string&, HttpHandler) {}
+void HttpServer::handle_stream(const std::string&, StreamSource) {}
+bool HttpServer::start(int) { return false; }
+void HttpServer::stop() {}
+int HttpServer::port() const { return -1; }
+bool HttpServer::running() const { return false; }
+std::uint64_t HttpServer::requests_served() const { return 0; }
+
+std::optional<HttpClientResponse> http_get(const std::string&,
+                                           const std::string&, int) {
+  return std::nullopt;
+}
+
+std::optional<std::string> http_get_stream(const std::string&,
+                                           const std::string&, std::size_t,
+                                           int) {
+  return std::nullopt;
+}
+
+#endif  // COMPI_SERVE_POSIX
+
+}  // namespace compi::serve

@@ -66,10 +66,21 @@ class SolveCache {
   /// Stores a definitive result (idempotent for an existing key).
   void insert(const std::string& key, CachedSolve value);
 
+  // Counter accessors lock like everything else: the live control plane
+  // reads them from the server thread while workers are mid-lookup.
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::int64_t hits() const { return hits_; }
-  [[nodiscard]] std::int64_t misses() const { return misses_; }
-  [[nodiscard]] std::int64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   mutable std::mutex mu_;

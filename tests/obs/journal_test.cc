@@ -181,5 +181,82 @@ TEST(Journal, BufferedEventsReachDiskOnFlush) {
   journal.close();
 }
 
+TEST(JournalTap, TapOnlyJournalRetainsLinesWithoutAFile) {
+  Journal journal;  // no file: --serve without --journal
+  EXPECT_FALSE(journal.tap_enabled());
+  journal.enable_tap(8);
+  EXPECT_TRUE(journal.tap_enabled());
+  EXPECT_TRUE(journal.enabled());  // emit sites turn on for the tap alone
+
+  for (int i = 0; i < 3; ++i) {
+    JournalEvent(journal, "iteration", i).num("covered", 10 + i);
+  }
+  std::vector<std::string> lines;
+  const std::uint64_t head = journal.tap_since(0, lines);
+  EXPECT_EQ(head, 3u);
+  ASSERT_EQ(lines.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const auto ev = parse_journal_line(lines[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->type, "iteration");
+    EXPECT_EQ(ev->iter(), i);
+    EXPECT_EQ(ev->num("covered"), 10 + i);
+  }
+
+  // Resuming from the returned cursor yields nothing new.
+  std::vector<std::string> more;
+  EXPECT_EQ(journal.tap_since(head, more), head);
+  EXPECT_TRUE(more.empty());
+}
+
+TEST(JournalTap, RingEvictsOldestAndStaleCursorsSkipAhead) {
+  Journal journal;
+  journal.enable_tap(2);
+  for (int i = 0; i < 5; ++i) {
+    JournalEvent(journal, "solve", i);
+  }
+  // A cursor older than the retained window misses events but still gets
+  // everything that survives.
+  std::vector<std::string> lines;
+  const std::uint64_t head = journal.tap_since(0, lines);
+  EXPECT_EQ(head, 5u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(parse_journal_line(lines[0])->iter(), 3);
+  EXPECT_EQ(parse_journal_line(lines[1])->iter(), 4);
+}
+
+TEST(JournalTap, TapAndFileSeeTheSameEvents) {
+  TempDir dir;
+  Journal journal;
+  ASSERT_TRUE(journal.open(dir.path / "journal.jsonl"));
+  journal.enable_tap(16);
+  JournalEvent(journal, "iteration", 0).num("covered", 1);
+  JournalEvent(journal, "iteration", 1).num("covered", 2);
+  journal.close();
+
+  std::vector<std::string> tapped;
+  journal.tap_since(0, tapped);
+  ASSERT_EQ(tapped.size(), 2u);  // tap survives close()
+  const auto from_disk = read_journal(dir.path / "journal.jsonl");
+  ASSERT_EQ(from_disk.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto ev = parse_journal_line(tapped[i]);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->iter(), from_disk[i].iter());
+    EXPECT_EQ(ev->num("covered"), from_disk[i].num("covered"));
+  }
+}
+
+TEST(ParseJsonObject, ParsesBareObjectsWithoutTheJournalEnvelope) {
+  const auto obj =
+      parse_json_object("{\"a\":1,\"nested\":{\"b\":2},\"s\":\"x\"}");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_TRUE(obj->type.empty());
+  EXPECT_EQ(obj->num("a"), 1);
+  EXPECT_EQ(obj->num("nested.b"), 2);
+  EXPECT_EQ(obj->str("s"), "x");
+  EXPECT_FALSE(parse_json_object("{\"a\":1").has_value());
+}
+
 }  // namespace
 }  // namespace compi::obs

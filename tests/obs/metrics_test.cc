@@ -128,6 +128,32 @@ TEST(RegistryTest, PrometheusDumpFormat) {
   EXPECT_NE(out.find("compi_test_us_count 2\n"), std::string::npos);
 }
 
+TEST(RegistryTest, LabeledSeriesShareOneFamilyHeader) {
+  // Per-worker gauges are registered with the labels baked into the name;
+  // consecutive same-base series must emit one HELP/TYPE pair (Prometheus
+  // rejects duplicated family headers) with each sample on its own line.
+  Registry reg;
+  reg.gauge("compi_lbl_test{worker=\"0\"}", "per-worker probe").set(1);
+  reg.gauge("compi_lbl_test{worker=\"1\"}", "per-worker probe").set(2);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string out = os.str();
+
+  std::size_t help_count = 0;
+  for (std::size_t at = out.find("# HELP compi_lbl_test");
+       at != std::string::npos;
+       at = out.find("# HELP compi_lbl_test", at + 1)) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u);
+  // The family header names the base metric, not the labeled series.
+  EXPECT_NE(out.find("# TYPE compi_lbl_test gauge\n"), std::string::npos);
+  EXPECT_EQ(out.find("# TYPE compi_lbl_test{"), std::string::npos);
+  EXPECT_NE(out.find("compi_lbl_test{worker=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("compi_lbl_test{worker=\"1\"} 2\n"), std::string::npos);
+}
+
 TEST(RegistryTest, GlobalRegistryIsStable) {
   Counter& c = registry().counter("compi_metrics_test_probe_total", "probe");
   const std::int64_t before = c.value();

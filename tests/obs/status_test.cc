@@ -1,0 +1,201 @@
+// The shared status heartbeat: JSON render/parse round-trip, legacy-form
+// tolerance, the StatusBoard's monotonic merge + timeline thinning, and
+// the tmp+rename atomic file writer.
+#include "obs/status.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace compi::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_status_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+StatusSnapshot full_snapshot() {
+  StatusSnapshot s;
+  s.iteration = 41;
+  s.covered_branches = 87;
+  s.bugs = 3;
+  s.elapsed_seconds = 1.5;
+  s.nprocs = 8;
+  s.focus = 2;
+  s.outcome = "ok";
+  s.serve_port = 8080;
+  s.workers = 4;
+  s.iterations_total = 500;
+  s.frontier_depth = 12;
+  s.interleavings_pending = 2;
+  s.solver_cache_hits = 100;
+  s.solver_cache_misses = 7;
+  s.coverage_timeline = {{0, 5}, {10, 40}, {41, 87}};
+  s.worker_status.resize(2);
+  s.worker_status[0] = {41, WorkerPhase::kSolve, 1.5, 20};
+  s.worker_status[1] = {40, WorkerPhase::kExecute, 1.4, 21};
+  return s;
+}
+
+TEST(StatusJson, RoundTripsEveryField) {
+  const StatusSnapshot s = full_snapshot();
+  const std::string json = render_status_json(s);
+  const auto parsed = parse_status_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->iteration, 41);
+  EXPECT_EQ(parsed->covered_branches, 87u);
+  EXPECT_EQ(parsed->bugs, 3u);
+  EXPECT_DOUBLE_EQ(parsed->elapsed_seconds, 1.5);
+  EXPECT_EQ(parsed->nprocs, 8);
+  EXPECT_EQ(parsed->focus, 2);
+  EXPECT_EQ(parsed->outcome, "ok");
+  EXPECT_EQ(parsed->serve_port, 8080);
+  EXPECT_EQ(parsed->workers, 4);
+  EXPECT_EQ(parsed->iterations_total, 500);
+  EXPECT_EQ(parsed->frontier_depth, 12u);
+  EXPECT_EQ(parsed->interleavings_pending, 2u);
+  EXPECT_EQ(parsed->solver_cache_hits, 100);
+  EXPECT_EQ(parsed->solver_cache_misses, 7);
+  EXPECT_EQ(parsed->coverage_timeline, s.coverage_timeline);
+  ASSERT_EQ(parsed->worker_status.size(), 2u);
+  EXPECT_EQ(parsed->worker_status[0].iteration, 41);
+  EXPECT_EQ(parsed->worker_status[0].phase, WorkerPhase::kSolve);
+  EXPECT_DOUBLE_EQ(parsed->worker_status[0].last_progress_seconds, 1.5);
+  EXPECT_EQ(parsed->worker_status[0].iterations_done, 20);
+  EXPECT_EQ(parsed->worker_status[1].phase, WorkerPhase::kExecute);
+}
+
+TEST(StatusJson, LegacySevenFieldFormKeepsFieldOrderAndParses) {
+  // Existing monitors scrape the original heartbeat: the seven legacy
+  // fields must come first, in the original order.
+  const std::string json = render_status_json(full_snapshot());
+  const char* order[] = {"\"iteration\"", "\"covered_branches\"", "\"bugs\"",
+                         "\"elapsed_seconds\"", "\"nprocs\"", "\"focus\"",
+                         "\"outcome\""};
+  std::size_t pos = 0;
+  for (const char* key : order) {
+    const std::size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key;
+    EXPECT_GE(at, pos) << key << " out of order";
+    pos = at;
+  }
+
+  const auto legacy = parse_status_json(
+      "{\"iteration\":5,\"covered_branches\":9,\"bugs\":1,"
+      "\"elapsed_seconds\":0.25,\"nprocs\":4,\"focus\":1,\"outcome\":\"ok\"}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->iteration, 5);
+  EXPECT_EQ(legacy->covered_branches, 9u);
+  EXPECT_EQ(legacy->serve_port, -1);  // extension defaults survive
+  EXPECT_TRUE(legacy->worker_status.empty());
+}
+
+TEST(StatusJson, MalformedInputIsRejected) {
+  EXPECT_FALSE(parse_status_json("").has_value());
+  EXPECT_FALSE(parse_status_json("not json").has_value());
+  EXPECT_FALSE(parse_status_json("{\"iteration\":").has_value());
+}
+
+TEST(WorkerPhaseNames, RoundTrip) {
+  for (const WorkerPhase p : {WorkerPhase::kIdle, WorkerPhase::kExecute,
+                              WorkerPhase::kSolve, WorkerPhase::kDone}) {
+    const auto back = parse_worker_phase(to_string(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(parse_worker_phase("napping").has_value());
+}
+
+TEST(StatusBoardTest, RecordIterationMergesMonotonically) {
+  StatusBoard board(2, 100);
+  board.set_campaign(8, 0);
+  board.record_iteration(5, 10, 0, 0.5, 8, 0, "ok", 0);
+  // A slower worker finishing an older ordinal must not roll the headline
+  // iteration or coverage backwards.
+  board.record_iteration(3, 8, 0, 0.6, 8, 0, "ok", 1);
+  const StatusSnapshot s = board.snapshot();
+  EXPECT_EQ(s.iteration, 5);
+  EXPECT_EQ(s.covered_branches, 10u);
+  ASSERT_EQ(s.worker_status.size(), 2u);
+  EXPECT_EQ(s.worker_status[0].iteration, 5);
+  EXPECT_EQ(s.worker_status[1].iteration, 3);
+  EXPECT_EQ(s.worker_status[0].iterations_done, 1);
+  EXPECT_EQ(s.worker_status[1].iterations_done, 1);
+}
+
+TEST(StatusBoardTest, TimelineRecordsGrowthAndStaysBounded) {
+  StatusBoard board(1, 100000);
+  std::size_t covered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    covered += 1;  // every iteration discovers something: worst case
+    board.record_iteration(i, covered, 0, 0.001 * i, 4, 0, "ok", 0);
+  }
+  const StatusSnapshot s = board.snapshot();
+  ASSERT_FALSE(s.coverage_timeline.empty());
+  EXPECT_LE(s.coverage_timeline.size(), 128u);  // 2 * kTimelineCap
+  // The newest point survives thinning and the series stays sorted.
+  EXPECT_EQ(s.coverage_timeline.back().first, 999);
+  EXPECT_EQ(s.coverage_timeline.back().second, 1000u);
+  for (std::size_t i = 1; i < s.coverage_timeline.size(); ++i) {
+    EXPECT_LT(s.coverage_timeline[i - 1].first, s.coverage_timeline[i].first);
+  }
+}
+
+TEST(StatusBoardTest, WorkerPhaseTracksLiveState) {
+  StatusBoard board(2, 10);
+  board.worker_phase(1, 7, WorkerPhase::kExecute);
+  StatusSnapshot s = board.snapshot();
+  ASSERT_EQ(s.worker_status.size(), 2u);
+  EXPECT_EQ(s.worker_status[1].phase, WorkerPhase::kExecute);
+  EXPECT_EQ(s.worker_status[1].iteration, 7);
+  EXPECT_EQ(s.worker_status[0].phase, WorkerPhase::kIdle);
+
+  board.worker_phase(1, 7, WorkerPhase::kDone);
+  s = board.snapshot();
+  EXPECT_EQ(s.worker_status[1].phase, WorkerPhase::kDone);
+}
+
+TEST(StatusFile, WritesAtomicallyAndLeavesNoTmpResidue) {
+  TempDir dir;
+  const fs::path file = dir.path / "status.json";
+  ASSERT_TRUE(write_status_file(file.string(), "{\"iteration\":1}\n"));
+  EXPECT_EQ(slurp(file), "{\"iteration\":1}\n");
+  ASSERT_TRUE(write_status_file(file.string(), "{\"iteration\":2}\n"));
+  EXPECT_EQ(slurp(file), "{\"iteration\":2}\n");
+  // Only the status file remains — the tmp staging file was renamed away.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(StatusFile, FailsCleanlyOnUnwritableDirectory) {
+  EXPECT_FALSE(write_status_file("/nonexistent_dir_zz/status.json", "{}\n"));
+}
+
+}  // namespace
+}  // namespace compi::obs

@@ -1,0 +1,204 @@
+// The control plane under campaign load (the tsan suite):
+//   * a serving serial campaign produces byte-identical session artifacts
+//     to a non-serving one — the server only ever reads;
+//   * client threads hammering /metrics, /status, and /explain during a
+//     --workers=4 campaign always get well-formed responses, with the
+//     campaign's own results unharmed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compi/driver.h"
+#include "obs/status.h"
+#include "serve/http.h"
+#include "targets/targets.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi {
+namespace {
+
+namespace fs = std::filesystem;
+using compi::testing::fig2_target;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_scrape_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& file) {
+  std::ifstream in(file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// iterations.csv with the named column indices blanked (timings are wall
+/// clock readings and legitimately vary run to run).
+std::vector<std::string> csv_rows_excluding(const fs::path& file,
+                                            const std::set<int>& drop) {
+  std::ifstream in(file);
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::stringstream ss(line);
+    std::string field, rebuilt;
+    int idx = 0;
+    while (std::getline(ss, field, ',')) {
+      rebuilt += drop.count(idx) ? std::string("_") : field;
+      rebuilt += ',';
+      ++idx;
+    }
+    rows.push_back(rebuilt);
+  }
+  return rows;
+}
+
+constexpr int kExecSecondsCol = 6;
+constexpr int kSolveSecondsCol = 7;
+
+CampaignOptions base_opts(const fs::path& dir) {
+  CampaignOptions opts;
+  opts.seed = 7;
+  opts.iterations = 80;
+  opts.initial_nprocs = 4;
+  opts.max_procs = 8;
+  opts.dfs_phase_iterations = 40;
+  opts.checkpoint_interval = 0;
+  opts.log_dir = dir.string();
+  return opts;
+}
+
+/// Polls `status_file` until it advertises a bound serve port (or gives
+/// up after ~10 s).  -1 when the campaign never served.
+int wait_for_port(const fs::path& status_file) {
+  for (int tries = 0; tries < 1000; ++tries) {
+    const auto snapshot = obs::parse_status_json(slurp(status_file));
+    if (snapshot && snapshot->serve_port > 0) return snapshot->serve_port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+TEST(ConcurrentScrape, ServingChangesNoSessionArtifacts) {
+  // Serial campaigns are bit-deterministic, so the serve-on session must
+  // reproduce the serve-off CSVs exactly (timing columns excluded): the
+  // control plane observes, it never steers.
+  TempDir off_dir, on_dir;
+  const CampaignOptions off = base_opts(off_dir.path);
+  const CampaignResult off_result = Campaign(fig2_target(), off).run();
+
+  CampaignOptions on = base_opts(on_dir.path);
+  on.serve_port = 0;
+  const CampaignResult on_result = Campaign(fig2_target(), on).run();
+
+  EXPECT_EQ(off_result.covered_branches, on_result.covered_branches);
+  EXPECT_EQ(off_result.restarts, on_result.restarts);
+  EXPECT_EQ(off_result.bugs.size(), on_result.bugs.size());
+  const auto drop = std::set<int>{kExecSecondsCol, kSolveSecondsCol};
+  EXPECT_EQ(csv_rows_excluding(off_dir.path / "iterations.csv", drop),
+            csv_rows_excluding(on_dir.path / "iterations.csv", drop));
+  EXPECT_EQ(slurp(off_dir.path / "ledger.csv"),
+            slurp(on_dir.path / "ledger.csv"));
+  // The serve-off session must not even gain a status heartbeat.
+  EXPECT_FALSE(fs::exists(off_dir.path / "status.json"));
+}
+
+TEST(ConcurrentScrape, ClientThreadsHammerAFourWorkerCampaign) {
+  TempDir dir;
+  const fs::path status_file = dir.path / "hammer_status.json";
+  CampaignOptions opts = base_opts(dir.path / "session");
+  opts.seed = 3;
+  opts.iterations = 1200;
+  opts.workers = 4;
+  opts.solver_cache_entries = 4096;
+  opts.serve_port = 0;
+  opts.status_file = status_file.string();
+
+  CampaignResult result;
+  std::thread campaign([&] {
+    result = Campaign(targets::make_mini_imb_target(4), opts).run();
+  });
+
+  const int port = wait_for_port(status_file);
+  std::atomic<bool> campaign_done{false};
+  std::atomic<int> scrapes{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  if (port > 0) {
+    const std::string target = "127.0.0.1:" + std::to_string(port);
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&, target, c] {
+        while (!campaign_done.load(std::memory_order_relaxed)) {
+          const auto metrics = serve::http_get(target, "/metrics");
+          const auto status = serve::http_get(target, "/status");
+          if (!metrics && !status) continue;  // server already shut down
+          if (metrics) {
+            if (metrics->status != 200 ||
+                metrics->body.find("compi_iterations_total") ==
+                    std::string::npos) {
+              ++failures;
+            }
+          }
+          if (status) {
+            if (status->status != 200 ||
+                !obs::parse_status_json(status->body)) {
+              ++failures;
+            }
+          }
+          // One client also pulls the expensive live report.
+          if (c == 0) {
+            if (const auto explain = serve::http_get(target, "/explain")) {
+              if (explain->status != 200 ||
+                  explain->body.find("live campaign") == std::string::npos) {
+                ++failures;
+              }
+            }
+          }
+          ++scrapes;
+        }
+      });
+    }
+  }
+
+  campaign.join();
+  campaign_done.store(true);
+  for (std::thread& t : clients) t.join();
+
+  if (port <= 0) {
+    // The stub build (obs-off / non-POSIX) never binds: the campaign must
+    // still complete untroubled.
+    EXPECT_EQ(result.iterations.size(), 1200u);
+    GTEST_SKIP() << "control plane compiled out; campaign ran serve-less";
+  }
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(result.iterations.size(), 1200u);
+  EXPECT_EQ(result.workers_used, 4u);
+  EXPECT_GT(result.covered_branches, 0u);
+  // The final heartbeat records the campaign's end state.
+  const auto last = obs::parse_status_json(slurp(status_file));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->iteration, 1199);
+  EXPECT_EQ(last->workers, 4);
+}
+
+}  // namespace
+}  // namespace compi

@@ -1,0 +1,134 @@
+// The control plane glued together from its real parts: a live Registry,
+// a tap-enabled Journal, and status/explain closures — everything but the
+// campaign loop.  (concurrent_scrape_test.cc covers the full campaign.)
+#include "serve/control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/status.h"
+#include "serve/http.h"
+
+namespace compi::serve {
+namespace {
+
+struct Fixture {
+  obs::Registry registry;
+  obs::Journal journal;
+  obs::StatusBoard board{2, 100};
+  ControlPlane plane;
+
+  std::string target;  // "127.0.0.1:<port>" once started
+
+  bool start() {
+    registry.counter("compi_cp_test_total", "probe counter").inc(5);
+    board.set_campaign(4, 0);
+    board.record_iteration(7, 12, 1, 0.5, 4, 0, "ok", 0);
+
+    ControlPlaneConfig config;
+    config.port = 0;
+    config.registry = &registry;
+    config.journal = &journal;
+    config.status = [this] { return board.snapshot(); };
+    config.explain = [] { return std::string("live explain report\n"); };
+    if (!plane.start(config)) return false;
+    target = "127.0.0.1:" + std::to_string(plane.port());
+    return true;
+  }
+};
+
+#define START_OR_SKIP(fixture)                                       \
+  do {                                                               \
+    if (!(fixture).start()) {                                        \
+      GTEST_SKIP() << "control plane compiled out on this platform"; \
+    }                                                                \
+  } while (0)
+
+TEST(ControlPlaneTest, MetricsEndpointServesThePassedRegistry) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/metrics");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("# TYPE compi_cp_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(resp->body.find("compi_cp_test_total 5"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, StatusEndpointServesAParseableSnapshot) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/status");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  const auto snapshot = obs::parse_status_json(resp->body);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->iteration, 7);
+  EXPECT_EQ(snapshot->covered_branches, 12u);
+  EXPECT_EQ(snapshot->bugs, 1u);
+  EXPECT_EQ(snapshot->workers, 2);
+
+  // The endpoint reads the live board: later updates are visible to the
+  // next scrape without restarting anything.
+  f.board.record_iteration(8, 13, 1, 0.6, 4, 0, "ok", 1);
+  const auto again = http_get(f.target, "/status");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(obs::parse_status_json(again->body)->iteration, 8);
+}
+
+TEST(ControlPlaneTest, ExplainEndpointRunsTheClosure) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/explain");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "live explain report\n");
+}
+
+TEST(ControlPlaneTest, EventsEndpointStreamsTheJournalTap) {
+  Fixture f;
+  START_OR_SKIP(f);
+  // start() enabled the tap, so a diskless journal records events now.
+  ASSERT_TRUE(f.journal.tap_enabled());
+  obs::JournalEvent(f.journal, "iteration", 3).num("covered", 9);
+
+  const auto body = http_get_stream(f.target, "/events", 512, 1500);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("data: {\"type\":\"iteration\",\"iter\":3"),
+            std::string::npos);
+}
+
+TEST(ControlPlaneTest, IndexListsEndpointsAndUnknownPathsAre404) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto index = http_get(f.target, "/");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(index->status, 200);
+  for (const char* endpoint : {"/metrics", "/status", "/events", "/explain"}) {
+    EXPECT_NE(index->body.find(endpoint), std::string::npos) << endpoint;
+  }
+  const auto missing = http_get(f.target, "/bogus");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ControlPlaneTest, NegativePortMeansOff) {
+  ControlPlane plane;
+  ControlPlaneConfig config;  // port = -1
+  obs::Registry registry;
+  obs::Journal journal;
+  config.registry = &registry;
+  config.journal = &journal;
+  config.status = [] { return obs::StatusSnapshot{}; };
+  config.explain = [] { return std::string{}; };
+  EXPECT_FALSE(plane.start(config));
+  EXPECT_FALSE(plane.running());
+  plane.stop();  // harmless when never started
+}
+
+}  // namespace
+}  // namespace compi::serve

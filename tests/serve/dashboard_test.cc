@@ -1,0 +1,207 @@
+// `compi top` internals: the Prometheus text parser, the sparkline, the
+// pure frame renderer, and run_top's two data paths (status file and
+// HTTP).  Rendering is string-in/string-out, so none of this needs a tty.
+#include "serve/dashboard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/status.h"
+#include "serve/control_plane.h"
+#include "serve/http.h"
+
+namespace compi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("compi_dashboard_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+obs::StatusSnapshot sample_snapshot() {
+  obs::StatusSnapshot s;
+  s.iteration = 42;
+  s.covered_branches = 90;
+  s.bugs = 2;
+  s.elapsed_seconds = 75.0;
+  s.nprocs = 8;
+  s.focus = 0;
+  s.outcome = "ok";
+  s.serve_port = 9001;
+  s.workers = 2;
+  s.iterations_total = 100;
+  s.frontier_depth = 5;
+  s.interleavings_pending = 1;
+  s.solver_cache_hits = 30;
+  s.solver_cache_misses = 10;
+  s.coverage_timeline = {{0, 10}, {20, 50}, {42, 90}};
+  s.worker_status.resize(2);
+  s.worker_status[0] = {42, obs::WorkerPhase::kExecute, 74.5, 21};
+  s.worker_status[1] = {41, obs::WorkerPhase::kSolve, 74.0, 21};
+  return s;
+}
+
+TEST(PrometheusText, ParsesSamplesAndSkipsComments) {
+  const auto metrics = parse_prometheus_text(
+      "# HELP compi_x_total help text\n"
+      "# TYPE compi_x_total counter\n"
+      "compi_x_total 12\n"
+      "compi_y{worker=\"1\"} 3.5\n"
+      "compi_neg -2\n"
+      "garbage line without value x\n"
+      "\n");
+  EXPECT_EQ(metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.at("compi_x_total"), 12.0);
+  EXPECT_DOUBLE_EQ(metrics.at("compi_y{worker=\"1\"}"), 3.5);
+  EXPECT_DOUBLE_EQ(metrics.at("compi_neg"), -2.0);
+}
+
+TEST(Sparkline, ScalesToTheBlockRangeAndCapsWidth) {
+  EXPECT_EQ(sparkline({}, 10), "");
+  EXPECT_EQ(sparkline({{0, 5}}, 0), "");
+  // A flat series renders at full height; a rising one ends on the top
+  // block and starts on the bottom one.
+  EXPECT_EQ(sparkline({{0, 7}, {1, 7}}, 10), "██");
+  const std::string rising = sparkline({{0, 0}, {1, 50}, {2, 100}}, 10);
+  EXPECT_EQ(rising, "▁▄█");
+  // Width capping keeps the newest points.
+  const std::string capped =
+      sparkline({{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 2);
+  EXPECT_EQ(capped, "▁█");
+}
+
+TEST(RenderDashboard, ShowsCampaignWorkersAndGauges) {
+  const std::string frame =
+      render_dashboard(sample_snapshot(),
+                       {{"compi_iterations_total", 43.0},
+                        {"compi_solver_queries_total", 17.0}},
+                       /*ansi=*/false);
+  EXPECT_EQ(frame.find("\x1b"), std::string::npos);  // ansi off
+  EXPECT_NE(frame.find("127.0.0.1:9001"), std::string::npos);
+  EXPECT_NE(frame.find("elapsed 1:15"), std::string::npos);
+  EXPECT_NE(frame.find("iteration 42/100"), std::string::npos);
+  EXPECT_NE(frame.find("covered 90"), std::string::npos);
+  EXPECT_NE(frame.find("bugs 2"), std::string::npos);
+  EXPECT_NE(frame.find("(10 -> 90)"), std::string::npos);
+  EXPECT_NE(frame.find("frontier 5"), std::string::npos);
+  EXPECT_NE(frame.find("interleavings 1"), std::string::npos);
+  EXPECT_NE(frame.find("75% hit (30/40)"), std::string::npos);
+  EXPECT_NE(frame.find("iterations 43"), std::string::npos);
+  EXPECT_NE(frame.find("solver-queries 17"), std::string::npos);
+  EXPECT_NE(frame.find("execute"), std::string::npos);
+  EXPECT_NE(frame.find("solve"), std::string::npos);
+  EXPECT_EQ(frame.find("(stalled?)"), std::string::npos);
+
+  const std::string ansi_frame =
+      render_dashboard(sample_snapshot(), {}, /*ansi=*/true);
+  EXPECT_EQ(ansi_frame.rfind("\x1b[H\x1b[2J", 0), 0u);
+}
+
+TEST(RenderDashboard, FlagsWorkersWithStaleProgress) {
+  obs::StatusSnapshot s = sample_snapshot();
+  s.elapsed_seconds = 120.0;
+  s.worker_status[1].last_progress_seconds = 10.0;  // 110 s behind
+  const std::string frame = render_dashboard(s, {}, false);
+  EXPECT_NE(frame.find("(stalled?)"), std::string::npos);
+
+  // A worker that is done is finished, not stalled.
+  s.worker_status[1].phase = obs::WorkerPhase::kDone;
+  s.worker_status[0].last_progress_seconds = 119.0;
+  EXPECT_EQ(render_dashboard(s, {}, false).find("(stalled?)"),
+            std::string::npos);
+}
+
+TEST(RunTop, RendersFromAStatusFile) {
+  TempDir dir;
+  const fs::path file = dir.path / "status.json";
+  ASSERT_TRUE(obs::write_status_file(
+      file.string(), obs::render_status_json(sample_snapshot())));
+
+  TopOptions opts;
+  opts.target = file.string();
+  opts.frames = 2;
+  opts.interval_ms = 1;
+  opts.ansi = false;
+  std::ostringstream os;
+  EXPECT_EQ(run_top(opts, os), 0);
+  EXPECT_NE(os.str().find("iteration 42/100"), std::string::npos);
+}
+
+TEST(RunTop, MissingTargetsAreAnErrorOnlyBeforeTheFirstFrame) {
+  TopOptions opts;
+  opts.target = "/nonexistent_zz/status.json";
+  opts.frames = 1;
+  std::ostringstream os;
+  EXPECT_EQ(run_top(opts, os), 1);
+  EXPECT_NE(os.str().find("cannot read"), std::string::npos);
+
+  // Host:port mode against a dead port: never answered -> exit 1.
+  TopOptions remote;
+  remote.target = "127.0.0.1:1";
+  remote.frames = 1;
+  std::ostringstream ros;
+  EXPECT_EQ(run_top(remote, ros), 1);
+}
+
+TEST(RunTop, PollsALiveControlPlane) {
+  obs::Registry registry;
+  obs::Journal journal;
+  registry.counter("compi_iterations_total", "iterations").inc(43);
+
+  ControlPlane plane;
+  ControlPlaneConfig config;
+  config.port = 0;
+  config.registry = &registry;
+  config.journal = &journal;
+  config.status = [] { return sample_snapshot(); };
+  config.explain = [] { return std::string{}; };
+  if (!plane.start(config)) {
+    GTEST_SKIP() << "control plane compiled out on this platform";
+  }
+
+  TopOptions opts;
+  opts.target = "127.0.0.1:" + std::to_string(plane.port());
+  opts.frames = 1;
+  opts.ansi = false;
+  std::ostringstream os;
+  EXPECT_EQ(run_top(opts, os), 0);
+  EXPECT_NE(os.str().find("iteration 42/100"), std::string::npos);
+  EXPECT_NE(os.str().find("iterations 43"), std::string::npos);
+
+  // The campaign going away mid-watch is a clean ending: frames=0 loops
+  // until the target stops answering, which must exit 0 once at least one
+  // frame rendered.
+  opts.frames = 0;
+  opts.interval_ms = 20;
+  std::thread stopper([&plane] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    plane.stop();
+  });
+  std::ostringstream gone;
+  EXPECT_EQ(run_top(opts, gone), 0);
+  stopper.join();
+  EXPECT_NE(gone.str().find("campaign ended"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace compi::serve
