@@ -82,6 +82,74 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     return result;
   }
 
+  // `compi coordinate [--port=N] [--budget=N] ...` — the coordinator
+  // process of a distributed campaign.  Shares the target/session flags
+  // with the campaign mode; everything else is lease bookkeeping.
+  if (!args.empty() && args[0] == "coordinate") {
+    cfg.coordinate = true;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto [flag, value] = split_flag(args[i]);
+      const auto want_int = [&](std::int64_t lo,
+                                std::int64_t hi) -> std::optional<std::int64_t> {
+        const auto v = parse_int(value);
+        if (!v || *v < lo || *v > hi) return std::nullopt;
+        return v;
+      };
+      if (flag == "--port") {
+        const auto v = want_int(0, 65'535);
+        if (!v) return fail("--port needs 0..65535 (0 = ephemeral)");
+        cfg.coord_port = static_cast<int>(*v);
+      } else if (flag == "--budget") {
+        const auto v = want_int(1, 1'000'000'000);
+        if (!v) return fail("--budget needs a positive iteration count");
+        cfg.coord_budget = *v;
+      } else if (flag == "--lease-quota") {
+        const auto v = want_int(1, 100'000);
+        if (!v) return fail("--lease-quota needs 1..100000");
+        cfg.coord_lease_quota = static_cast<int>(*v);
+      } else if (flag == "--lease-ttl-ms") {
+        const auto v = want_int(100, 3'600'000);
+        if (!v) return fail("--lease-ttl-ms needs 100..3600000");
+        cfg.coord_lease_ttl_ms = static_cast<int>(*v);
+      } else if (flag == "--target") {
+        if (value != "susy" && value != "susy-fixed" && value != "hpl" &&
+            value != "imb") {
+          return fail("unknown target '" + value + "'");
+        }
+        cfg.target = value;
+      } else if (flag == "--cap") {
+        const auto v = want_int(1, 1'000'000);
+        if (!v) return fail("--cap needs a positive integer");
+        cfg.cap = static_cast<int>(*v);
+      } else if (flag == "--log-dir") {
+        if (value.empty()) return fail("--log-dir needs a path");
+        cfg.campaign.log_dir = value;
+      } else if (flag == "--resume") {
+        if (value.empty()) return fail("--resume needs a session directory");
+        cfg.campaign.resume = true;
+        cfg.resume_dir = value;
+      } else if (flag == "--journal") {
+        cfg.campaign.journal = true;
+      } else if (flag == "--serve") {
+        const auto v = want_int(0, 65'535);
+        if (!v) return fail("--serve needs a port 0..65535 (0 = ephemeral)");
+        cfg.campaign.serve_port = static_cast<int>(*v);
+      } else if (flag == "--help" || flag == "-h") {
+        cfg.show_help = true;
+      } else {
+        return fail("unknown flag '" + flag + "' for compi coordinate");
+      }
+    }
+    if (!cfg.resume_dir.empty()) {
+      if (!cfg.campaign.log_dir.empty() &&
+          cfg.campaign.log_dir != cfg.resume_dir) {
+        return fail("--resume already names the session; drop --log-dir");
+      }
+      cfg.campaign.log_dir = cfg.resume_dir;
+    }
+    return result;
+  }
+
   for (const std::string& arg : args) {
     const auto [flag, value] = split_flag(arg);
     auto want_int = [&](std::int64_t lo,
@@ -215,6 +283,16 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
       const auto v = want_int(0, 1'000'000);
       if (!v) return fail("--max-bugs needs an integer >= 0");
       cfg.campaign.max_bugs = static_cast<int>(*v);
+    } else if (flag == "--connect") {
+      if (value.empty()) return fail("--connect needs HOST:PORT");
+      cfg.connect = value;
+    } else if (flag == "--shard-name") {
+      if (value.empty()) return fail("--shard-name needs a name");
+      cfg.shard_name = value;
+    } else if (flag == "--shard-heartbeat-ms") {
+      const auto v = want_int(50, 3'600'000);
+      if (!v) return fail("--shard-heartbeat-ms needs 50..3600000");
+      cfg.shard_heartbeat_ms = static_cast<int>(*v);
     } else if (flag == "--explain") {
       if (value.empty()) return fail("--explain needs a session directory");
       cfg.explain_dir = value;
@@ -314,6 +392,14 @@ std::string usage() {
         "                       lands in the status heartbeat).  Endpoints:\n"
         "                       /metrics /status /events /explain\n"
         "  --max-bugs=N         stop gracefully after N distinct bugs\n"
+        "  --connect=HOST:PORT  run as a distributed campaign shard: pull\n"
+        "                       iteration leases from a `compi coordinate`\n"
+        "                       process, upload coverage/bug deltas, absorb\n"
+        "                       the fleet's coverage; degrades to standalone\n"
+        "                       (and keeps retrying) when the coordinator is\n"
+        "                       unreachable\n"
+        "  --shard-name=NAME    shard identity for the coordinator's logs\n"
+        "  --shard-heartbeat-ms=N  lease keepalive cadence (default 1000)\n"
         "  --explain=DIR        print coverage timeline, near-miss, rank\n"
         "                       skew and solver reports for a logged\n"
         "                       session, then exit\n"
@@ -327,7 +413,18 @@ std::string usage() {
         "subcommands:\n"
         "  compi top <host:port|status-file> [--interval-ms=N] [--frames=N]\n"
         "                       live terminal dashboard for a campaign that\n"
-        "                       is serving (--serve) or writing --status-file\n";
+        "                       is serving (--serve) or writing --status-file\n"
+        "  compi coordinate [--port=N] [--budget=N] [--lease-quota=N]\n"
+        "                   [--lease-ttl-ms=N] [--target=...] [--cap=N]\n"
+        "                   [--log-dir=PATH] [--resume=PATH] [--journal]\n"
+        "                   [--serve=PORT]\n"
+        "                       fault-tolerant distributed campaign\n"
+        "                       coordinator: partitions the iteration budget\n"
+        "                       across --connect'ed shards as time-bounded\n"
+        "                       leases, merges their coverage/bug/ledger\n"
+        "                       deltas, reclaims leases from dead shards,\n"
+        "                       and checkpoints so kill -9 + --resume loses\n"
+        "                       nothing\n";
   return os.str();
 }
 

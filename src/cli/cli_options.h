@@ -28,6 +28,19 @@ struct CliConfig {
   std::string top_target;
   int top_interval_ms = 1000;
   int top_frames = 0;           // 0 = refresh until the campaign ends
+  // `compi coordinate`: distributed campaign coordinator.  Reuses
+  // --target/--cap/--log-dir/--resume/--journal/--serve from the shared
+  // flags; the fields below are its own.
+  bool coordinate = false;
+  int coord_port = 0;           // shard TCP port (0 = ephemeral loopback)
+  std::int64_t coord_budget = 1000;
+  int coord_lease_quota = 16;
+  int coord_lease_ttl_ms = 10000;
+  // Campaign shard mode: --connect=HOST:PORT attaches the campaign to a
+  // coordinator (degrades to standalone when it is unreachable).
+  std::string connect;
+  std::string shard_name = "shard";
+  int shard_heartbeat_ms = 1000;
 };
 
 struct ParseResult {
@@ -82,8 +95,21 @@ struct ParseResult {
 ///   --functions          print the per-function coverage breakdown
 ///   --list-targets, --help
 ///
+/// Campaign shard mode:
+///   --connect=HOST:PORT  pull iteration leases from a `compi coordinate`
+///                        process instead of running the whole local
+///                        budget; degrades to standalone when the
+///                        coordinator is unreachable
+///   --shard-name=NAME    human-readable shard identity (default "shard")
+///   --shard-heartbeat-ms=N  lease-keepalive cadence (default 1000)
+///
 /// Subcommand: `top <host:port|status-file> [--interval-ms=N] [--frames=N]`
 /// fills the `top*` fields instead of running a campaign.
+///
+/// Subcommand: `coordinate [--port=N] [--budget=N] [--lease-quota=N]
+/// [--lease-ttl-ms=N] [--target=...] [--cap=N] [--log-dir=PATH]
+/// [--resume=PATH] [--journal] [--serve=PORT]` fills the `coord*` fields
+/// and runs the distributed campaign coordinator.
 [[nodiscard]] ParseResult parse_cli(const std::vector<std::string>& args);
 
 [[nodiscard]] std::string usage();

@@ -1,11 +1,14 @@
 // The `compi` tool binary: run a testing campaign from the command line.
 #include <iostream>
+#include <optional>
 
 #include "cli/cli_options.h"
+#include "compi/coordinator.h"
 #include "compi/driver.h"
 #include "compi/explain.h"
 #include "compi/random_tester.h"
 #include "compi/report.h"
+#include "compi/shard_link.h"
 #include "serve/dashboard.h"
 #include "targets/targets.h"
 
@@ -105,6 +108,50 @@ int main(int argc, char** argv) {
     opts.frames = cfg.top_frames;
     return serve::run_top(opts, std::cout);
   }
+  if (cfg.coordinate) {
+    const TargetInfo target = build_target(cfg);
+    CoordinatorOptions co;
+    co.port = cfg.coord_port;
+    co.budget = cfg.coord_budget;
+    co.lease_quota = cfg.coord_lease_quota;
+    co.lease_ttl_ms = cfg.coord_lease_ttl_ms;
+    co.log_dir = cfg.campaign.log_dir;
+    co.resume = cfg.campaign.resume;
+    co.journal = cfg.campaign.journal;
+    co.serve_port = cfg.campaign.serve_port;
+    Coordinator coord(target, co);
+    if (!coord.start()) {
+      std::cerr << "error: coordinator could not bind 127.0.0.1:"
+                << cfg.coord_port << "\n";
+      return 1;
+    }
+    std::cout << "coordinating " << target.name << " on 127.0.0.1:"
+              << coord.port() << " (budget " << coord.budget()
+              << " iterations)\n"
+              << "start shards with: compi --target=" << cfg.target
+              << " --connect=127.0.0.1:" << coord.port() << "\n";
+    if (coord.http_port() >= 0) {
+      std::cout << "serving merged state on 127.0.0.1:" << coord.http_port()
+                << " (/metrics /status /events /healthz)\n";
+    }
+    // Scripts discover the ephemeral port from this banner: flush it even
+    // when stdout is a redirected (block-buffered) file.
+    std::cout.flush();
+    coord.wait_until_done();
+    coord.stop();
+    std::cout << "completed         : " << coord.completed() << " / "
+              << coord.budget() << " iterations\n"
+              << "covered branches  : " << coord.covered_ids().size() << "\n"
+              << "bugs              : " << coord.bugs().size() << "\n"
+              << "shards joined     : " << coord.shards_joined()
+              << " (lost " << coord.shards_lost() << ", leases reclaimed "
+              << coord.leases_reclaimed() << ")\n";
+    for (const BugRecord& bug : coord.bugs()) {
+      std::cout << "  [" << rt::to_string(bug.outcome) << "] " << bug.message
+                << "\n";
+    }
+    return 0;
+  }
   if (!cfg.explain_dir.empty()) {
     return explain_session(cfg.explain_dir, std::cout) ? 0 : 1;
   }
@@ -117,9 +164,28 @@ int main(int argc, char** argv) {
   }
 
   const TargetInfo target = build_target(cfg);
+  CampaignOptions campaign = cfg.campaign;
+  std::optional<ShardLink> link;
+  if (!cfg.connect.empty() && !cfg.random_baseline) {
+    ShardLinkOptions so;
+    so.connect = cfg.connect;
+    so.name = cfg.shard_name;
+    so.seed = cfg.campaign.seed;
+    so.heartbeat_ms = cfg.shard_heartbeat_ms;
+    link.emplace(std::move(so));
+    if (link->start()) {
+      std::cout << "shard " << link->key() << " joined coordinator at "
+                << cfg.connect << std::endl;
+    } else {
+      std::cerr << "compi: coordinator at " << cfg.connect
+                << " unreachable; running standalone and retrying\n";
+    }
+    campaign.work_source = &*link;
+  }
   const CampaignResult result =
       cfg.random_baseline ? RandomTester(target, cfg.campaign).run()
-                          : Campaign(target, cfg.campaign).run();
+                          : Campaign(target, campaign).run();
+  if (link) link->finish();
   print_report(target, result, cfg.print_curve, cfg.print_functions);
   if (!cfg.random_baseline) {
     const std::string base =

@@ -9,9 +9,6 @@
 
 namespace compi::ckpt {
 
-namespace {
-
-/// Reads the rest of the line (after one separating space) as a string.
 std::string read_tail(std::istream& is) {
   std::string line;
   if (is.peek() == ' ') is.get();
@@ -19,7 +16,6 @@ std::string read_tail(std::istream& is) {
   return line;
 }
 
-/// Expects the next token to equal `tag`; poisons the stream otherwise.
 bool expect(std::istream& is, std::string_view tag) {
   std::string tok;
   if (!(is >> tok) || tok != tag) {
@@ -28,6 +24,8 @@ bool expect(std::istream& is, std::string_view tag) {
   }
   return true;
 }
+
+namespace {
 
 std::optional<rt::Outcome> read_outcome(std::istream& is) {
   std::string tok;
@@ -73,6 +71,8 @@ bool read_assignment(std::istream& is, solver::Assignment& a) {
   return true;
 }
 
+}  // namespace
+
 void write_blob(std::ostream& os, std::string_view tag,
                 const std::string& blob) {
   std::size_t lines = 0;
@@ -97,7 +97,55 @@ bool read_blob(std::istream& is, std::string_view tag, std::string& blob) {
   return true;
 }
 
-}  // namespace
+void write_bug(std::ostream& os, const BugRecord& b) {
+  os << "bug " << b.first_iteration << ' ' << b.occurrences << ' '
+     << rt::to_string(b.outcome) << ' ' << b.nprocs << ' ' << b.focus << ' '
+     << (b.flaky ? 1 : 0) << '\n';
+  os << "msg " << escape(b.message) << '\n';
+  os << "inputs ";
+  write_assignment(os, b.inputs);
+  os << '\n';
+  os << "named " << b.named_inputs.size() << '\n';
+  for (const auto& [key, value] : b.named_inputs) {
+    os << value << ' ' << escape(key) << '\n';
+  }
+  os << "decisions " << b.decisions.size();
+  for (const minimpi::MatchDecision& d : b.decisions) {
+    os << ' ' << d.rank << ' ' << d.seq << ' ' << d.src;
+  }
+  os << '\n';
+}
+
+bool read_bug(std::istream& is, BugRecord& b) {
+  int flag = 0;
+  if (!expect(is, "bug") || !(is >> b.first_iteration >> b.occurrences)) {
+    return false;
+  }
+  const auto outcome = read_outcome(is);
+  if (!outcome) return false;
+  b.outcome = *outcome;
+  if (!(is >> b.nprocs >> b.focus >> flag)) return false;
+  b.flaky = flag != 0;
+  if (!expect(is, "msg")) return false;
+  b.message = unescape(read_tail(is));
+  if (!expect(is, "inputs") || !read_assignment(is, b.inputs)) return false;
+  std::size_t named = 0;
+  if (!expect(is, "named") || !(is >> named)) return false;
+  for (std::size_t j = 0; j < named; ++j) {
+    std::int64_t value = 0;
+    if (!(is >> value)) return false;
+    b.named_inputs[unescape(read_tail(is))] = value;
+  }
+  std::size_t ndecisions = 0;
+  if (!expect(is, "decisions") || !(is >> ndecisions)) return false;
+  b.decisions.reserve(std::min(ndecisions, kMaxSaneReserve));
+  for (std::size_t j = 0; j < ndecisions; ++j) {
+    minimpi::MatchDecision d;
+    if (!(is >> d.rank >> d.seq >> d.src)) return false;
+    b.decisions.push_back(d);
+  }
+  return true;
+}
 
 void CampaignCheckpoint::write(std::ostream& os) const {
   os << "compi-checkpoint " << kVersion << '\n';
@@ -135,24 +183,7 @@ void CampaignCheckpoint::write(std::ostream& os) const {
   }
 
   os << "bugs " << bugs.size() << '\n';
-  for (const BugRecord& b : bugs) {
-    os << "bug " << b.first_iteration << ' ' << b.occurrences << ' '
-       << rt::to_string(b.outcome) << ' ' << b.nprocs << ' ' << b.focus << ' '
-       << (b.flaky ? 1 : 0) << '\n';
-    os << "msg " << escape(b.message) << '\n';
-    os << "inputs ";
-    write_assignment(os, b.inputs);
-    os << '\n';
-    os << "named " << b.named_inputs.size() << '\n';
-    for (const auto& [key, value] : b.named_inputs) {
-      os << value << ' ' << escape(key) << '\n';
-    }
-    os << "decisions " << b.decisions.size();
-    for (const minimpi::MatchDecision& d : b.decisions) {
-      os << ' ' << d.rank << ' ' << d.seq << ' ' << d.src;
-    }
-    os << '\n';
-  }
+  for (const BugRecord& b : bugs) write_bug(os, b);
 
   os << "covered " << covered.size();
   for (sym::BranchId b : covered) os << ' ' << b;
@@ -214,6 +245,22 @@ void CampaignCheckpoint::write(std::ostream& os) const {
     os << '\n';
     os << "cursor_strategy " << escape(w.strategy_name) << '\n';
     write_blob(os, "cursor_state_lines", w.strategy_state);
+  }
+
+  os << "coord " << (is_coordinator ? 1 : 0) << '\n';
+  if (is_coordinator) {
+    os << "coord_counters " << coord_budget << ' ' << coord_completed << ' '
+       << coord_next_lease_id << '\n';
+    os << "coord_leases " << coord_leases.size() << '\n';
+    for (const CoordLease& l : coord_leases) {
+      os << "lease " << l.id << ' ' << l.remaining << ' ' << escape(l.shard)
+         << '\n';
+    }
+    os << "coord_shards " << coord_shards.size() << '\n';
+    for (const CoordShardCursor& s : coord_shards) {
+      os << "shard " << s.iterations_completed << ' ' << s.covered_cursor
+         << ' ' << escape(s.shard) << '\n';
+    }
   }
   os << "end\n";
 }
@@ -296,34 +343,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
   c.bugs.reserve(std::min(n, kMaxSaneReserve));
   for (std::size_t i = 0; i < n; ++i) {
     BugRecord b;
-    if (!expect(is, "bug") || !(is >> b.first_iteration >> b.occurrences)) {
-      return std::nullopt;
-    }
-    const auto outcome = read_outcome(is);
-    if (!outcome) return std::nullopt;
-    b.outcome = *outcome;
-    if (!(is >> b.nprocs >> b.focus >> flag)) return std::nullopt;
-    b.flaky = flag != 0;
-    if (!expect(is, "msg")) return std::nullopt;
-    b.message = unescape(read_tail(is));
-    if (!expect(is, "inputs") || !read_assignment(is, b.inputs)) {
-      return std::nullopt;
-    }
-    std::size_t named = 0;
-    if (!expect(is, "named") || !(is >> named)) return std::nullopt;
-    for (std::size_t j = 0; j < named; ++j) {
-      std::int64_t value = 0;
-      if (!(is >> value)) return std::nullopt;
-      b.named_inputs[unescape(read_tail(is))] = value;
-    }
-    std::size_t ndecisions = 0;
-    if (!expect(is, "decisions") || !(is >> ndecisions)) return std::nullopt;
-    b.decisions.reserve(std::min(ndecisions, kMaxSaneReserve));
-    for (std::size_t j = 0; j < ndecisions; ++j) {
-      minimpi::MatchDecision d;
-      if (!(is >> d.rank >> d.seq >> d.src)) return std::nullopt;
-      b.decisions.push_back(d);
-    }
+    if (!read_bug(is, b)) return std::nullopt;
     c.bugs.push_back(std::move(b));
   }
 
@@ -441,6 +461,40 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
       return std::nullopt;
     }
     c.worker_cursors.push_back(std::move(w));
+  }
+
+  if (!expect(is, "coord") || !(is >> flag)) return std::nullopt;
+  c.is_coordinator = flag != 0;
+  if (c.is_coordinator) {
+    if (!expect(is, "coord_counters") ||
+        !(is >> c.coord_budget >> c.coord_completed >>
+          c.coord_next_lease_id)) {
+      return std::nullopt;
+    }
+    if (!expect(is, "coord_leases") || !(is >> n)) return std::nullopt;
+    // Leases are one per in-flight shard request; a huge count is garbage.
+    if (n > 4096) return std::nullopt;
+    c.coord_leases.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      CoordLease l;
+      if (!expect(is, "lease") || !(is >> l.id >> l.remaining)) {
+        return std::nullopt;
+      }
+      l.shard = unescape(read_tail(is));
+      c.coord_leases.push_back(std::move(l));
+    }
+    if (!expect(is, "coord_shards") || !(is >> n)) return std::nullopt;
+    if (n > 4096) return std::nullopt;
+    c.coord_shards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      CoordShardCursor s;
+      if (!expect(is, "shard") ||
+          !(is >> s.iterations_completed >> s.covered_cursor)) {
+        return std::nullopt;
+      }
+      s.shard = unescape(read_tail(is));
+      c.coord_shards.push_back(std::move(s));
+    }
   }
   if (!expect(is, "end")) return std::nullopt;
   return c;

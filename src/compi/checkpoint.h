@@ -40,6 +40,26 @@ using serial::unescape;
 using serial::write_path;
 using serial::write_predicate;
 
+// ---- shared line-oriented parsing helpers ----
+// Used by the checkpoint itself and by the coordinator wire protocol
+// (coord_protocol.cc), which speaks the same dialect so bug records and
+// opaque blobs round-trip identically over TCP and through snapshots.
+
+/// Expects the next whitespace-delimited token to equal `tag`; poisons the
+/// stream otherwise.
+bool expect(std::istream& is, std::string_view tag);
+/// Reads the rest of the line (after one separating space) as a string.
+std::string read_tail(std::istream& is);
+/// Embeds an opaque multi-line blob, prefixed with its line count.
+void write_blob(std::ostream& os, std::string_view tag,
+                const std::string& blob);
+bool read_blob(std::istream& is, std::string_view tag, std::string& blob);
+/// One bug record in the checkpoint dialect (bug/msg/inputs/named/decisions
+/// lines).  The checkpoint's bug list and the coordinator's delta frames
+/// are both sequences of these.
+void write_bug(std::ostream& os, const BugRecord& b);
+[[nodiscard]] bool read_bug(std::istream& is, BugRecord& b);
+
 // ---- the campaign snapshot ----
 
 /// One parallel worker's private loop state: everything a worker needs to
@@ -61,15 +81,40 @@ struct WorkerCursor {
   std::string strategy_state;
 };
 
+/// One outstanding coordinator lease: quota not yet reported back by the
+/// holding shard.  Deadlines are NOT persisted — a coordinator restart
+/// reclaims every restored lease immediately (journal `lease_reclaimed`),
+/// which is safe because re-execution is idempotent.
+struct CoordLease {
+  std::uint64_t id = 0;
+  /// Shard key ("name@token", see coord_protocol.h).
+  std::string shard;
+  /// Iterations granted but not yet reported.
+  int remaining = 0;
+};
+
+/// Per-shard merge cursor: the cumulative iteration count already folded
+/// into the coordinator's completed total (deltas carry cumulative counts,
+/// so replays merge to the same state), and how far down the coordinator's
+/// covered log the shard has been synced.
+struct CoordShardCursor {
+  std::string shard;
+  std::int64_t iterations_completed = 0;
+  std::size_t covered_cursor = 0;
+};
+
 struct CampaignCheckpoint {
-  // v6: iter lines carry the interleaving id, bug records carry their
-  // wildcard decision vector, and the snapshot embeds the interleaving
-  // frontier (--explore-matchings).  (v5 added worker ordinals and
-  // per-worker cursors; v4 embedded the coverage-attribution ledger
-  // snapshot; v3 added the sandbox accounting line; v2 added solver_nodes
-  // and retries to iter lines.)  Older snapshots are rejected and the
-  // campaign falls back to a fresh start, by design.
-  static constexpr int kVersion = 6;
+  // v7: the snapshot gains an optional coordinator section (`coord 1`) —
+  // global budget/completed counters, outstanding leases, and per-shard
+  // merge cursors — so a kill -9'd `compi coordinate` resumes without
+  // losing confirmed coverage or double-counting shard iterations.  (v6
+  // added interleaving ids/decision vectors and the interleaving frontier;
+  // v5 added worker ordinals and per-worker cursors; v4 embedded the
+  // coverage-attribution ledger snapshot; v3 added the sandbox accounting
+  // line; v2 added solver_nodes and retries to iter lines.)  Older
+  // snapshots are rejected and the campaign falls back to a fresh start,
+  // by design.
+  static constexpr int kVersion = 7;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -137,6 +182,16 @@ struct CampaignCheckpoint {
   /// in-flight search lines.
   int workers = 1;
   std::vector<WorkerCursor> worker_cursors;
+
+  /// Coordinator section (v7): present only for `compi coordinate`
+  /// snapshots.  Campaign-engine snapshots write `coord 0` and none of the
+  /// fields, keeping standalone checkpoints byte-compatible in shape.
+  bool is_coordinator = false;
+  std::int64_t coord_budget = 0;
+  std::int64_t coord_completed = 0;
+  std::uint64_t coord_next_lease_id = 1;
+  std::vector<CoordLease> coord_leases;
+  std::vector<CoordShardCursor> coord_shards;
 
   void write(std::ostream& os) const;
   /// nullopt on version mismatch or any parse error (the caller then

@@ -1,0 +1,187 @@
+#include "compi/coord_protocol.h"
+
+#include <sstream>
+
+#include "compi/checkpoint.h"
+
+namespace compi::coord {
+
+namespace {
+
+using ckpt::escape;
+using ckpt::expect;
+using ckpt::read_tail;
+using ckpt::unescape;
+
+/// Reserve clamp mirroring the checkpoint reader: a corrupted count must
+/// fail at parse time, not drive a giant allocation.
+constexpr std::size_t kMaxSaneReserve = 1 << 20;
+
+template <typename T>
+void write_list(std::ostream& os, std::string_view tag,
+                const std::vector<T>& v) {
+  os << tag << ' ' << v.size();
+  for (const T& x : v) os << ' ' << x;
+  os << '\n';
+}
+
+template <typename T>
+bool read_list(std::istream& is, std::string_view tag, std::vector<T>& v) {
+  std::size_t n = 0;
+  if (!expect(is, tag) || !(is >> n)) return false;
+  v.clear();
+  v.reserve(std::min(n, kMaxSaneReserve));
+  for (std::size_t i = 0; i < n; ++i) {
+    T x{};
+    if (!(is >> x)) return false;
+    v.push_back(x);
+  }
+  return true;
+}
+
+void write_sync(std::ostream& os, const CoverageSync& s) {
+  os << "progress " << s.completed << ' ' << s.budget << '\n';
+  write_list(os, "covered", s.covered);
+  write_list(os, "iseen", s.interleaving_seen);
+}
+
+bool read_sync(std::istream& is, CoverageSync& s) {
+  return expect(is, "progress") && (is >> s.completed >> s.budget) &&
+         read_list(is, "covered", s.covered) &&
+         read_list(is, "iseen", s.interleaving_seen);
+}
+
+}  // namespace
+
+std::string shard_key(const std::string& name, std::uint64_t token) {
+  std::ostringstream os;
+  os << name << '@' << std::hex << token;
+  return os.str();
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  std::ostringstream os;
+  os << "hello " << m.version << ' ' << m.token << ' ' << m.seed << ' '
+     << escape(m.name) << '\n';
+  return os.str();
+}
+
+bool decode_hello(const std::string& payload, HelloMsg& m) {
+  std::istringstream is(payload);
+  if (!expect(is, "hello") || !(is >> m.version >> m.token >> m.seed)) {
+    return false;
+  }
+  m.name = unescape(read_tail(is));
+  return m.version == kProtocolVersion && !m.name.empty();
+}
+
+std::string encode_welcome(const WelcomeMsg& m) {
+  std::ostringstream os;
+  os << "welcome " << m.ordinal << '\n';
+  write_sync(os, m.sync);
+  return os.str();
+}
+
+bool decode_welcome(const std::string& payload, WelcomeMsg& m) {
+  std::istringstream is(payload);
+  return expect(is, "welcome") && (is >> m.ordinal) && read_sync(is, m.sync);
+}
+
+std::string encode_lease_request(const LeaseRequestMsg& m) {
+  std::ostringstream os;
+  os << "lease_request " << escape(m.shard) << '\n';
+  return os.str();
+}
+
+bool decode_lease_request(const std::string& payload, LeaseRequestMsg& m) {
+  std::istringstream is(payload);
+  if (!expect(is, "lease_request")) return false;
+  m.shard = unescape(read_tail(is));
+  return !m.shard.empty();
+}
+
+std::string encode_lease_grant(const LeaseGrantMsg& m) {
+  std::ostringstream os;
+  os << "grant " << m.lease_id << ' ' << m.quota << ' ' << (m.stop ? 1 : 0)
+     << ' ' << m.wait_ms << '\n';
+  write_sync(os, m.sync);
+  return os.str();
+}
+
+bool decode_lease_grant(const std::string& payload, LeaseGrantMsg& m) {
+  std::istringstream is(payload);
+  int stop = 0;
+  if (!expect(is, "grant") ||
+      !(is >> m.lease_id >> m.quota >> stop >> m.wait_ms)) {
+    return false;
+  }
+  m.stop = stop != 0;
+  return read_sync(is, m.sync);
+}
+
+std::string encode_delta(const DeltaMsg& m) {
+  std::ostringstream os;
+  os << "delta " << m.iterations << ' ' << (m.final_report ? 1 : 0) << ' '
+     << escape(m.shard) << '\n';
+  write_list(os, "covered", m.covered);
+  write_list(os, "iseen", m.interleaving_seen);
+  os << "bugs " << m.bugs.size() << '\n';
+  for (const BugRecord& b : m.bugs) ckpt::write_bug(os, b);
+  ckpt::write_blob(os, "ledger_lines", m.ledger_blob);
+  return os.str();
+}
+
+bool decode_delta(const std::string& payload, DeltaMsg& m) {
+  std::istringstream is(payload);
+  int final_flag = 0;
+  if (!expect(is, "delta") || !(is >> m.iterations >> final_flag)) {
+    return false;
+  }
+  m.final_report = final_flag != 0;
+  m.shard = unescape(read_tail(is));
+  if (m.shard.empty()) return false;
+  if (!read_list(is, "covered", m.covered) ||
+      !read_list(is, "iseen", m.interleaving_seen)) {
+    return false;
+  }
+  std::size_t nbugs = 0;
+  if (!expect(is, "bugs") || !(is >> nbugs)) return false;
+  m.bugs.clear();
+  m.bugs.reserve(std::min(nbugs, kMaxSaneReserve));
+  for (std::size_t i = 0; i < nbugs; ++i) {
+    BugRecord b;
+    if (!ckpt::read_bug(is, b)) return false;
+    m.bugs.push_back(std::move(b));
+  }
+  return ckpt::read_blob(is, "ledger_lines", m.ledger_blob);
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::ostringstream os;
+  os << "heartbeat " << escape(m.shard) << '\n';
+  return os.str();
+}
+
+bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m) {
+  std::istringstream is(payload);
+  if (!expect(is, "heartbeat")) return false;
+  m.shard = unescape(read_tail(is));
+  return !m.shard.empty();
+}
+
+std::string encode_ack(const AckMsg& m) {
+  std::ostringstream os;
+  os << "ack " << (m.stop ? 1 : 0) << '\n';
+  write_sync(os, m.sync);
+  return os.str();
+}
+
+bool decode_ack(const std::string& payload, AckMsg& m) {
+  std::istringstream is(payload);
+  int stop = 0;
+  if (!expect(is, "ack") || !(is >> stop)) return false;
+  m.stop = stop != 0;
+  return read_sync(is, m.sync);
+}
+
+}  // namespace compi::coord

@@ -1,0 +1,153 @@
+// The coordinator wire protocol: message types exchanged between a
+// `compi coordinate` process and its `--connect` campaign shards.
+//
+// Transport: the serve-layer length-prefixed frames (serve/frame.h — the
+// same 4-byte-LE-length + 1-byte-tag envelope as the sandbox R/E/S/V
+// wire).  Payloads are line-oriented text in the checkpoint `serial::`
+// dialect, so bug records and ledger blobs round-trip over TCP exactly as
+// they do through snapshots.  Strict request/response: the shard sends one
+// frame and reads exactly one reply; the coordinator never pushes.
+//
+//   shard -> coordinator             coordinator -> shard
+//   'H' Hello (name, token, seed)    'W' Welcome (full-state resync)
+//   'L' LeaseRequest                 'G' LeaseGrant (quota | wait | stop)
+//   'D' Delta (full local state)     'A' Ack (coverage sync)
+//   'B' Heartbeat (renews leases)    'A' Ack (coverage sync)
+//   'F' Finished                     'A' Ack
+//
+// Idempotency: Delta frames carry the shard's FULL covered set, FULL bug
+// list, and CUMULATIVE iteration total.  The coordinator merges by
+// set-union, bug-signature dedup, and max(cumulative) — so a delta
+// replayed after a reconnect, a lease re-granted after a shard death, or a
+// coordinator restart from checkpoint all converge to the same global
+// state.  Shard identity is `name@token` where the token is minted once
+// per shard PROCESS: a reconnecting process keeps its cumulative cursor, a
+// restarted (fresh-state) process gets a new cursor and counts from zero.
+//
+// Coverage flows back to shards as an append-ordered log: every Welcome /
+// LeaseGrant / Ack carries the coordinator's covered-log suffix past the
+// shard's cursor (Welcome always resets the cursor to 0 — a full resync —
+// which is what makes coordinator restarts transparent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compi/driver.h"
+#include "symbolic/path.h"
+
+namespace compi::coord {
+
+inline constexpr int kProtocolVersion = 1;
+
+// Frame type tags, and the valid-type sets each side hands its
+// WireFrameReader (anything else marks the stream corrupt and drops the
+// connection).
+inline constexpr char kHello = 'H';
+inline constexpr char kWelcome = 'W';
+inline constexpr char kLeaseRequest = 'L';
+inline constexpr char kLeaseGrant = 'G';
+inline constexpr char kDelta = 'D';
+inline constexpr char kHeartbeat = 'B';
+inline constexpr char kFinished = 'F';
+inline constexpr char kAck = 'A';
+inline constexpr char kError = 'E';
+inline constexpr const char* kCoordinatorAccepts = "HLDBF";
+inline constexpr const char* kShardAccepts = "WGAE";
+
+/// Coverage piggyback on every coordinator reply: branch ids and
+/// interleaving hashes the shard has not seen yet, plus the global
+/// progress counters (for logging and stop decisions).
+struct CoverageSync {
+  std::vector<sym::BranchId> covered;
+  std::vector<std::uint64_t> interleaving_seen;
+  std::int64_t completed = 0;
+  std::int64_t budget = 0;
+};
+
+struct HelloMsg {
+  int version = kProtocolVersion;
+  std::string name;           ///< human-chosen shard name (--shard-name)
+  std::uint64_t token = 0;    ///< minted once per shard process
+  std::uint64_t seed = 0;     ///< shard campaign seed (logged, not checked)
+};
+
+struct WelcomeMsg {
+  int ordinal = 0;  ///< join ordinal (stable per shard key)
+  CoverageSync sync;  ///< FULL covered/seen sets — a complete resync
+};
+
+struct LeaseRequestMsg {
+  std::string shard;  ///< "name@token" key from the Welcome handshake
+};
+
+/// quota > 0: lease granted.  quota == 0 && stop: global budget done,
+/// wind down.  quota == 0 && !stop: budget temporarily exhausted by other
+/// shards' outstanding leases — retry after wait_ms.
+struct LeaseGrantMsg {
+  std::uint64_t lease_id = 0;
+  int quota = 0;
+  bool stop = false;
+  int wait_ms = 0;
+  CoverageSync sync;
+};
+
+struct DeltaMsg {
+  std::string shard;
+  /// CUMULATIVE local iterations completed (not an increment).
+  std::int64_t iterations = 0;
+  /// FULL local covered set / seen hashes / bug list.
+  std::vector<sym::BranchId> covered;
+  std::vector<std::uint64_t> interleaving_seen;
+  std::vector<BugRecord> bugs;
+  /// Full CoverageLedger snapshot; empty = no ledger upload this delta.
+  std::string ledger_blob;
+  bool final_report = false;
+};
+
+struct HeartbeatMsg {
+  std::string shard;
+};
+
+struct AckMsg {
+  /// stop mirrors LeaseGrant: a heartbeat/delta Ack can tell the shard
+  /// the campaign is over without waiting for its next lease request.
+  bool stop = false;
+  CoverageSync sync;
+};
+
+// ---- encode/decode ----
+// Encoders render the payload text (the frame envelope is added by
+// serve::append_wire_frame).  Decoders return false on any parse error —
+// the caller then treats the peer as corrupt and drops the connection.
+
+[[nodiscard]] std::string encode_hello(const HelloMsg& m);
+[[nodiscard]] bool decode_hello(const std::string& payload, HelloMsg& m);
+
+[[nodiscard]] std::string encode_welcome(const WelcomeMsg& m);
+[[nodiscard]] bool decode_welcome(const std::string& payload, WelcomeMsg& m);
+
+[[nodiscard]] std::string encode_lease_request(const LeaseRequestMsg& m);
+[[nodiscard]] bool decode_lease_request(const std::string& payload,
+                                        LeaseRequestMsg& m);
+
+[[nodiscard]] std::string encode_lease_grant(const LeaseGrantMsg& m);
+[[nodiscard]] bool decode_lease_grant(const std::string& payload,
+                                      LeaseGrantMsg& m);
+
+[[nodiscard]] std::string encode_delta(const DeltaMsg& m);
+[[nodiscard]] bool decode_delta(const std::string& payload, DeltaMsg& m);
+
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
+[[nodiscard]] bool decode_heartbeat(const std::string& payload,
+                                    HeartbeatMsg& m);
+
+[[nodiscard]] std::string encode_ack(const AckMsg& m);
+[[nodiscard]] bool decode_ack(const std::string& payload, AckMsg& m);
+
+/// The shard key both sides use for cursors and lease ownership.
+[[nodiscard]] std::string shard_key(const std::string& name,
+                                    std::uint64_t token);
+
+}  // namespace compi::coord

@@ -1,0 +1,710 @@
+#include "compi/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "compi/checkpoint.h"
+#include "compi/coord_protocol.h"
+#include "compi/coverage.h"
+#include "compi/driver_internal.h"
+#include "compi/ledger.h"
+#include "compi/session.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/status.h"
+#include "serve/control_plane.h"
+#include "serve/frame.h"
+#include "serve/msg_server.h"
+
+namespace compi {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One outstanding lease (the in-memory form of ckpt::CoordLease plus its
+/// deadline, which is never persisted — restored leases are reclaimed).
+struct LiveLease {
+  std::string shard;
+  int remaining = 0;
+  Clock::time_point deadline;
+};
+
+struct ShardState {
+  std::string name;   ///< display name (key without the token)
+  int ordinal = 0;
+  bool connected = false;
+  std::uint64_t conn = 0;
+  std::int64_t iterations_completed = 0;
+  std::size_t covered_cursor = 0;
+  std::size_t iseen_cursor = 0;
+  Clock::time_point last_seen;
+};
+
+}  // namespace
+
+struct Coordinator::Impl {
+  TargetInfo target;
+  CoordinatorOptions opts;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+
+  // Merged global state (guarded by mu).
+  CoverageTracker coverage;
+  std::vector<sym::BranchId> covered_log;  ///< append order, cursor space
+  std::unordered_set<std::uint64_t> iseen;
+  std::vector<std::uint64_t> iseen_log;
+  std::vector<BugRecord> bugs;
+  CoverageLedger ledger;
+
+  // Lease and shard bookkeeping (guarded by mu).
+  std::int64_t completed = 0;
+  std::uint64_t next_lease_id = 1;
+  int next_ordinal = 0;
+  std::map<std::uint64_t, LiveLease> leases;
+  std::map<std::string, ShardState> shards;  ///< by shard key
+  std::unordered_map<std::uint64_t, std::string> conn_to_shard;
+
+  // Accounting surfaced through the accessors and /metrics.
+  std::size_t joined = 0;
+  std::size_t lost = 0;
+  std::size_t reclaimed = 0;
+
+  // Persistence + observability.
+  std::unique_ptr<SessionWriter> session;
+  obs::Journal journal;
+  std::shared_ptr<obs::StatusBoard> board;
+  serve::MsgServer server;
+  serve::ControlPlane control_plane;
+  Clock::time_point start_time = Clock::now();
+  int deltas_since_checkpoint = 0;
+  Clock::time_point last_checkpoint = Clock::now();
+  bool dirty = false;
+
+  obs::Counter& m_joined = obs::registry().counter(
+      "compi_shards_joined_total", "Shard join handshakes accepted");
+  obs::Counter& m_lost = obs::registry().counter(
+      "compi_shards_lost_total",
+      "Shards declared lost (broken connection or missed heartbeats)");
+  obs::Counter& m_reclaimed = obs::registry().counter(
+      "compi_leases_reclaimed_total",
+      "Leases expired or reclaimed from lost shards");
+  obs::Gauge& m_connected = obs::registry().gauge(
+      "compi_shards_connected", "Shards currently connected");
+  obs::Gauge& m_completed = obs::registry().gauge(
+      "compi_coord_iterations_completed",
+      "Global iterations merged across all shards");
+
+  Impl(const TargetInfo& t, CoordinatorOptions o)
+      : target(t),
+        opts(std::move(o)),
+        coverage(*t.table),
+        ledger(*t.table) {}
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_time).count();
+  }
+
+  [[nodiscard]] std::int64_t outstanding_locked() const {
+    std::int64_t sum = 0;
+    for (const auto& [id, l] : leases) sum += l.remaining;
+    return sum;
+  }
+
+  [[nodiscard]] bool done_locked() const {
+    return completed >= opts.budget;
+  }
+
+  /// Per-shard heartbeat gauge, named by the shard's display name.
+  void touch_heartbeat_gauge(const ShardState& sh) {
+    obs::registry()
+        .gauge("compi_shard_last_heartbeat_seconds{shard=\"" + sh.name +
+                   "\"}",
+               "Coordinator-relative time of each shard's last frame")
+        .set(static_cast<std::int64_t>(elapsed()));
+  }
+
+  void update_board_locked() {
+    if (board == nullptr) return;
+    board->record_iteration(
+        static_cast<int>(std::min<std::int64_t>(completed, INT32_MAX)),
+        coverage.covered_branches(), bugs.size(), elapsed(), 0, 0, "ok", 0);
+  }
+
+  /// Renews every lease held by `key` (any frame from a shard counts as a
+  /// heartbeat) and stamps its last-seen time.
+  void renew_locked(ShardState& sh, const std::string& key) {
+    sh.last_seen = Clock::now();
+    const auto deadline =
+        sh.last_seen + std::chrono::milliseconds(opts.lease_ttl_ms);
+    for (auto& [id, l] : leases) {
+      if (l.shard == key) l.deadline = deadline;
+    }
+    touch_heartbeat_gauge(sh);
+  }
+
+  void reclaim_lease_locked(std::uint64_t id, const char* reason) {
+    const auto it = leases.find(id);
+    if (it == leases.end()) return;
+    obs::JournalEvent(journal, "lease_reclaimed",
+                      static_cast<int>(std::min<std::int64_t>(completed,
+                                                              INT32_MAX)))
+        .num("lease", static_cast<std::int64_t>(id))
+        .num("remaining", it->second.remaining)
+        .str("shard", it->second.shard)
+        .str("reason", reason);
+    leases.erase(it);
+    ++reclaimed;
+    m_reclaimed.inc();
+    dirty = true;
+    cv.notify_all();
+  }
+
+  void reclaim_shard_leases_locked(const std::string& key,
+                                   const char* reason) {
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, l] : leases) {
+      if (l.shard == key) ids.push_back(id);
+    }
+    for (std::uint64_t id : ids) reclaim_lease_locked(id, reason);
+  }
+
+  void mark_lost_locked(ShardState& sh, const std::string& key,
+                        const char* reason) {
+    if (!sh.connected) return;
+    sh.connected = false;
+    sh.conn = 0;
+    ++lost;
+    m_lost.inc();
+    m_connected.set(static_cast<std::int64_t>(connected_count_locked()));
+    obs::JournalEvent(journal, "shard_lost",
+                      static_cast<int>(std::min<std::int64_t>(completed,
+                                                              INT32_MAX)))
+        .str("shard", key)
+        .str("reason", reason);
+    reclaim_shard_leases_locked(key, reason);
+  }
+
+  [[nodiscard]] std::size_t connected_count_locked() const {
+    std::size_t n = 0;
+    for (const auto& [key, sh] : shards) n += sh.connected ? 1 : 0;
+    return n;
+  }
+
+  /// Covered-log suffix past the shard's cursors; advances the cursors.
+  [[nodiscard]] coord::CoverageSync sync_for_locked(ShardState& sh) {
+    coord::CoverageSync sync;
+    sync.completed = completed;
+    sync.budget = opts.budget;
+    sync.covered.assign(covered_log.begin() +
+                            static_cast<std::ptrdiff_t>(sh.covered_cursor),
+                        covered_log.end());
+    sh.covered_cursor = covered_log.size();
+    sync.interleaving_seen.assign(
+        iseen_log.begin() + static_cast<std::ptrdiff_t>(sh.iseen_cursor),
+        iseen_log.end());
+    sh.iseen_cursor = iseen_log.size();
+    return sync;
+  }
+
+  void merge_delta_locked(ShardState& sh, const std::string& key,
+                          const coord::DeltaMsg& m) {
+    // Cumulative iteration cursor: max() makes replays idempotent.
+    const std::int64_t increment =
+        std::max<std::int64_t>(0, m.iterations - sh.iterations_completed);
+    sh.iterations_completed =
+        std::max(sh.iterations_completed, m.iterations);
+    completed += increment;
+    m_completed.set(completed);
+
+    // Consume quota from the shard's leases, oldest grant first.
+    std::int64_t consume = increment;
+    std::vector<std::uint64_t> drained;
+    for (auto& [id, l] : leases) {
+      if (consume <= 0) break;
+      if (l.shard != key) continue;
+      const int take =
+          static_cast<int>(std::min<std::int64_t>(consume, l.remaining));
+      l.remaining -= take;
+      consume -= take;
+      if (l.remaining <= 0) drained.push_back(id);
+    }
+    for (std::uint64_t id : drained) leases.erase(id);
+
+    rt::CoverageBitmap bm(target.table->num_branches());
+    for (sym::BranchId b : m.covered) {
+      if (static_cast<std::size_t>(b) >= target.table->num_branches()) {
+        continue;
+      }
+      // bm doubles as the within-delta dedup: a repeated id must land in
+      // the broadcast log once, or every shard cursor replays it forever.
+      if (!coverage.branch_covered(b) && !bm.covered(b)) {
+        covered_log.push_back(b);
+      }
+      bm.mark(b);
+    }
+    coverage.merge(bm);
+    for (std::uint64_t h : m.interleaving_seen) {
+      if (iseen.insert(h).second) iseen_log.push_back(h);
+    }
+
+    for (const BugRecord& b : m.bugs) {
+      const std::string sig = detail::bug_signature(b.message);
+      const auto it = std::find_if(
+          bugs.begin(), bugs.end(), [&](const BugRecord& have) {
+            return detail::bug_signature(have.message) == sig;
+          });
+      if (it == bugs.end()) {
+        bugs.push_back(b);
+        obs::JournalEvent(journal, "bug",
+                          static_cast<int>(std::min<std::int64_t>(
+                              completed, INT32_MAX)))
+            .str("shard", key)
+            .str("message", b.message);
+      } else {
+        it->occurrences = std::max(it->occurrences, b.occurrences);
+      }
+    }
+
+    if (!m.ledger_blob.empty()) {
+      std::istringstream is(m.ledger_blob);
+      (void)ledger.merge(is);
+    }
+
+    renew_locked(sh, key);
+    update_board_locked();
+    ++deltas_since_checkpoint;
+    dirty = true;
+    journal.flush();
+    cv.notify_all();
+  }
+
+  // ---- frame handlers (message-server thread) ----
+
+  serve::WireFrame error_reply(const std::string& reason) {
+    return serve::WireFrame{coord::kError, reason};
+  }
+
+  serve::WireFrame on_frame(std::uint64_t conn,
+                            const serve::WireFrame& frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    switch (frame.type) {
+      case coord::kHello: {
+        coord::HelloMsg m;
+        if (!coord::decode_hello(frame.payload, m)) {
+          return error_reply("bad hello");
+        }
+        const std::string key = coord::shard_key(m.name, m.token);
+        ShardState& sh = shards[key];
+        const bool fresh = sh.last_seen == Clock::time_point{};
+        if (fresh) {
+          sh.name = m.name;
+          sh.ordinal = next_ordinal++;
+        }
+        sh.connected = true;
+        sh.conn = conn;
+        conn_to_shard[conn] = key;
+        ++joined;
+        m_joined.inc();
+        m_connected.set(
+            static_cast<std::int64_t>(connected_count_locked()));
+        obs::JournalEvent(journal, "shard_joined",
+                          static_cast<int>(std::min<std::int64_t>(
+                              completed, INT32_MAX)))
+            .str("shard", key)
+            .num("ordinal", sh.ordinal)
+            .boolean("rejoin", !fresh);
+        journal.flush();
+        // Welcome is a full resync: reset the cursors so the sync below
+        // carries the complete covered/seen logs.  This is what makes a
+        // coordinator restart (fresh logs, restored sets) transparent.
+        sh.covered_cursor = 0;
+        sh.iseen_cursor = 0;
+        renew_locked(sh, key);
+        coord::WelcomeMsg w;
+        w.ordinal = sh.ordinal;
+        w.sync = sync_for_locked(sh);
+        dirty = true;
+        return serve::WireFrame{coord::kWelcome, coord::encode_welcome(w)};
+      }
+      case coord::kLeaseRequest: {
+        coord::LeaseRequestMsg m;
+        if (!coord::decode_lease_request(frame.payload, m)) {
+          return error_reply("bad lease_request");
+        }
+        const auto it = shards.find(m.shard);
+        if (it == shards.end()) return error_reply("unknown shard");
+        ShardState& sh = it->second;
+        renew_locked(sh, m.shard);
+        coord::LeaseGrantMsg g;
+        if (done_locked()) {
+          g.stop = true;
+        } else {
+          const std::int64_t avail =
+              opts.budget - completed - outstanding_locked();
+          if (avail <= 0) {
+            g.wait_ms = std::max(50, opts.tick_ms * 4);
+          } else {
+            g.lease_id = next_lease_id++;
+            g.quota = static_cast<int>(std::min<std::int64_t>(
+                avail, std::max(1, opts.lease_quota)));
+            leases[g.lease_id] = LiveLease{
+                m.shard, g.quota,
+                Clock::now() +
+                    std::chrono::milliseconds(opts.lease_ttl_ms)};
+            dirty = true;
+          }
+        }
+        g.sync = sync_for_locked(sh);
+        return serve::WireFrame{coord::kLeaseGrant,
+                                coord::encode_lease_grant(g)};
+      }
+      case coord::kDelta: {
+        coord::DeltaMsg m;
+        if (!coord::decode_delta(frame.payload, m)) {
+          return error_reply("bad delta");
+        }
+        const auto it = shards.find(m.shard);
+        if (it == shards.end()) return error_reply("unknown shard");
+        merge_delta_locked(it->second, m.shard, m);
+        coord::AckMsg a;
+        a.stop = done_locked();
+        a.sync = sync_for_locked(it->second);
+        return serve::WireFrame{coord::kAck, coord::encode_ack(a)};
+      }
+      case coord::kHeartbeat: {
+        coord::HeartbeatMsg m;
+        if (!coord::decode_heartbeat(frame.payload, m)) {
+          return error_reply("bad heartbeat");
+        }
+        const auto it = shards.find(m.shard);
+        if (it == shards.end()) return error_reply("unknown shard");
+        renew_locked(it->second, m.shard);
+        coord::AckMsg a;
+        a.stop = done_locked();
+        a.sync = sync_for_locked(it->second);
+        return serve::WireFrame{coord::kAck, coord::encode_ack(a)};
+      }
+      case coord::kFinished: {
+        coord::HeartbeatMsg m;  // Finished carries the heartbeat payload
+        if (!coord::decode_heartbeat(frame.payload, m)) {
+          return error_reply("bad finished");
+        }
+        const auto it = shards.find(m.shard);
+        if (it != shards.end()) {
+          // Clean departure: return unreported quota to the pool without
+          // declaring the shard lost.
+          reclaim_shard_leases_locked(m.shard, "finished");
+          it->second.connected = false;
+          conn_to_shard.erase(it->second.conn);
+          it->second.conn = 0;
+          m_connected.set(
+              static_cast<std::int64_t>(connected_count_locked()));
+        }
+        coord::AckMsg a;
+        a.stop = done_locked();
+        if (it != shards.end()) a.sync = sync_for_locked(it->second);
+        return serve::WireFrame{coord::kAck, coord::encode_ack(a)};
+      }
+      default:
+        return error_reply("unexpected frame");
+    }
+  }
+
+  void on_disconnect(std::uint64_t conn) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = conn_to_shard.find(conn);
+    if (it == conn_to_shard.end()) return;
+    const std::string key = it->second;
+    conn_to_shard.erase(it);
+    const auto sit = shards.find(key);
+    if (sit != shards.end() && sit->second.conn == conn) {
+      mark_lost_locked(sit->second, key, "disconnect");
+      journal.flush();
+    }
+  }
+
+  void on_tick() {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto now = Clock::now();
+    // Expired leases (missed heartbeats) and silent shards.
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, l] : leases) {
+      if (l.deadline < now) expired.push_back(id);
+    }
+    for (std::uint64_t id : expired) reclaim_lease_locked(id, "expired");
+    const auto silent_cutoff =
+        now - std::chrono::milliseconds(opts.lease_ttl_ms);
+    for (auto& [key, sh] : shards) {
+      if (sh.connected && sh.last_seen < silent_cutoff) {
+        conn_to_shard.erase(sh.conn);
+        mark_lost_locked(sh, key, "missed_heartbeats");
+      }
+    }
+    if (!expired.empty()) journal.flush();
+    maybe_checkpoint_locked(false);
+  }
+
+  // ---- persistence ----
+
+  [[nodiscard]] ckpt::CampaignCheckpoint snapshot_locked() const {
+    ckpt::CampaignCheckpoint c;
+    c.next_iteration =
+        static_cast<int>(std::min<std::int64_t>(completed, INT32_MAX));
+    c.covered = covered_log;
+    c.bugs = bugs;
+    c.interleaving_seen = iseen_log;
+    std::sort(c.interleaving_seen.begin(), c.interleaving_seen.end());
+    {
+      std::ostringstream os;
+      ledger.write(os);
+      c.ledger_state = os.str();
+    }
+    c.is_coordinator = true;
+    c.coord_budget = opts.budget;
+    c.coord_completed = completed;
+    c.coord_next_lease_id = next_lease_id;
+    for (const auto& [id, l] : leases) {
+      c.coord_leases.push_back(ckpt::CoordLease{id, l.shard, l.remaining});
+    }
+    for (const auto& [key, sh] : shards) {
+      c.coord_shards.push_back(ckpt::CoordShardCursor{
+          key, sh.iterations_completed, sh.covered_cursor});
+    }
+    return c;
+  }
+
+  void maybe_checkpoint_locked(bool force) {
+    if (session == nullptr || !dirty) return;
+    const bool due =
+        force ||
+        deltas_since_checkpoint >= opts.checkpoint_every_deltas ||
+        Clock::now() - last_checkpoint > std::chrono::seconds(1);
+    if (!due) return;
+    session->write_checkpoint(snapshot_locked());
+    deltas_since_checkpoint = 0;
+    last_checkpoint = Clock::now();
+    dirty = false;
+  }
+
+  bool restore_locked() {
+    const auto c = read_checkpoint(opts.log_dir);
+    if (!c || !c->is_coordinator) return false;
+    completed = c->coord_completed;
+    m_completed.set(completed);
+    next_lease_id = c->coord_next_lease_id;
+    rt::CoverageBitmap bm(target.table->num_branches());
+    for (sym::BranchId b : c->covered) {
+      if (static_cast<std::size_t>(b) >= target.table->num_branches()) {
+        continue;
+      }
+      covered_log.push_back(b);
+      bm.mark(b);
+    }
+    coverage.merge(bm);
+    for (std::uint64_t h : c->interleaving_seen) {
+      if (iseen.insert(h).second) iseen_log.push_back(h);
+    }
+    bugs = c->bugs;
+    if (!c->ledger_state.empty()) {
+      std::istringstream is(c->ledger_state);
+      if (!ledger.read(is)) ledger = CoverageLedger(*target.table);
+    }
+    for (const ckpt::CoordShardCursor& s : c->coord_shards) {
+      ShardState sh;
+      sh.name = s.shard.substr(0, s.shard.find('@'));
+      sh.ordinal = next_ordinal++;
+      sh.iterations_completed = s.iterations_completed;
+      // Cursors index the PREVIOUS process's covered log; Welcome resyncs
+      // in full, so they restart at zero here.
+      sh.covered_cursor = 0;
+      sh.iseen_cursor = 0;
+      shards.emplace(s.shard, std::move(sh));
+    }
+    // Restored leases belonged to connections that died with the old
+    // process: reclaim them all (idempotent re-execution makes this safe).
+    for (const ckpt::CoordLease& l : c->coord_leases) {
+      leases[l.id] =
+          LiveLease{l.shard, l.remaining, Clock::time_point{}};
+      reclaim_lease_locked(l.id, "coordinator_restart");
+    }
+    dirty = true;
+    return true;
+  }
+
+  void finalize() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [key, sh] : shards) {
+      if (sh.connected) mark_lost_locked(sh, key, "coordinator_stop");
+    }
+    dirty = true;
+    maybe_checkpoint_locked(true);
+    if (session != nullptr) {
+      CampaignResult result;
+      result.bugs = bugs;
+      result.covered_branches = coverage.covered_branches();
+      result.reachable_branches = coverage.reachable_branches();
+      result.total_branches = coverage.total_branches();
+      result.coverage_rate = coverage.rate();
+      result.function_coverage = coverage.per_function();
+      result.total_seconds = elapsed();
+      session->write_summary(result);
+      session->write_ledger(ledger, *target.table);
+    }
+    journal.flush();
+    journal.close();
+  }
+};
+
+Coordinator::Coordinator(const TargetInfo& target, CoordinatorOptions options)
+    : impl_(std::make_unique<Impl>(target, std::move(options))) {}
+
+Coordinator::~Coordinator() { stop(); }
+
+bool Coordinator::start() {
+  Impl& im = *impl_;
+  if (im.server.running()) return false;
+  if (!im.opts.log_dir.empty()) {
+    im.session = std::make_unique<SessionWriter>(im.opts.log_dir, 0);
+    if (im.opts.resume) {
+      std::lock_guard<std::mutex> lock(im.mu);
+      (void)im.restore_locked();
+    }
+    if (im.opts.journal) {
+      const auto path =
+          std::filesystem::path(im.opts.log_dir) / "journal.jsonl";
+      std::int64_t boundary = 0;
+      {
+        std::lock_guard<std::mutex> lock(im.mu);
+        boundary = im.completed;
+      }
+      if (im.opts.resume) {
+        (void)im.journal.open_resume(
+            path,
+            static_cast<int>(std::min<std::int64_t>(boundary, INT32_MAX)));
+      } else {
+        (void)im.journal.open(path);
+      }
+    }
+  }
+
+  serve::MsgServer::Callbacks cb;
+  cb.on_frame = [im = impl_.get()](std::uint64_t conn,
+                                   const serve::WireFrame& f) {
+    return im->on_frame(conn, f);
+  };
+  cb.on_disconnect = [im = impl_.get()](std::uint64_t conn) {
+    im->on_disconnect(conn);
+  };
+  cb.on_tick = [im = impl_.get()] { im->on_tick(); };
+  im.server.set_callbacks(std::move(cb));
+  if (!im.server.start(im.opts.port, coord::kCoordinatorAccepts,
+                       im.opts.tick_ms)) {
+    return false;
+  }
+
+  if (im.opts.serve_port >= 0) {
+    im.board = std::make_shared<obs::StatusBoard>(
+        1, static_cast<int>(
+               std::min<std::int64_t>(im.opts.budget, INT32_MAX)));
+    {
+      std::lock_guard<std::mutex> lock(im.mu);
+      im.update_board_locked();
+    }
+    serve::ControlPlaneConfig cp;
+    cp.port = im.opts.serve_port;
+    cp.registry = &obs::registry();
+    cp.journal = &im.journal;
+    cp.status = [board = im.board] { return board->snapshot(); };
+    cp.healthy = [im = impl_.get()]() -> std::pair<bool, std::string> {
+      std::lock_guard<std::mutex> lock(im->mu);
+      std::ostringstream os;
+      os << "coordinating: " << im->completed << '/' << im->opts.budget
+         << " iterations, " << im->connected_count_locked() << " shards";
+      return {true, os.str()};
+    };
+    if (im.control_plane.start(std::move(cp)) && im.board != nullptr) {
+      im.board->set_serve_port(im.control_plane.port());
+    }
+  }
+  return true;
+}
+
+void Coordinator::stop() {
+  Impl& im = *impl_;
+  if (!im.server.running()) return;
+  im.control_plane.stop();
+  im.server.stop();  // drains final on_disconnects on the server thread
+  im.finalize();
+  im.cv.notify_all();
+}
+
+bool Coordinator::running() const { return impl_->server.running(); }
+
+int Coordinator::port() const { return impl_->server.port(); }
+
+int Coordinator::http_port() const {
+  return impl_->control_plane.running() ? impl_->control_plane.port() : -1;
+}
+
+bool Coordinator::done() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->done_locked();
+}
+
+bool Coordinator::wait_until_done(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto pred = [this] { return impl_->done_locked(); };
+  if (timeout_seconds <= 0.0) {
+    impl_->cv.wait(lock, pred);
+  } else {
+    impl_->cv.wait_for(lock,
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds)),
+                       pred);
+  }
+  return impl_->done_locked();
+}
+
+std::int64_t Coordinator::completed() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->completed;
+}
+
+std::int64_t Coordinator::budget() const { return impl_->opts.budget; }
+
+std::vector<sym::BranchId> Coordinator::covered_ids() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<sym::BranchId> out = impl_->covered_log;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<BugRecord> Coordinator::bugs() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->bugs;
+}
+
+std::size_t Coordinator::shards_joined() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->joined;
+}
+
+std::size_t Coordinator::shards_lost() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->lost;
+}
+
+std::size_t Coordinator::leases_reclaimed() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->reclaimed;
+}
+
+}  // namespace compi

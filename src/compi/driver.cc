@@ -16,6 +16,7 @@
 #include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
+#include "compi/work_source.h"
 #include "minimpi/launcher.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -320,6 +321,32 @@ CampaignResult Campaign::run_serial() {
       (void)journal.tap_since(0, lines);
       return explain_live(ledger, *target_.table, result.iterations, lines);
     };
+    // /healthz: live while a worker completed an iteration recently.  The
+    // threshold scales with the hang timeout — one test may legitimately
+    // sit for hang_timeout_ms (times retries) before the sandbox reaps it,
+    // so only a multiple of that is a genuine stall.
+    const double stall_threshold = std::max(
+        30.0, 3.0 * static_cast<double>(options_.hang_timeout_ms) / 1000.0);
+    cp.healthy = [board, stall_threshold, &elapsed] {
+      const obs::StatusSnapshot s = board->snapshot();
+      double last = 0.0;
+      bool active = false;
+      for (const obs::WorkerStatus& w : s.worker_status) {
+        if (w.phase == obs::WorkerPhase::kDone) continue;
+        active = true;
+        last = std::max(last, w.last_progress_seconds);
+      }
+      const double stall = elapsed() - last;
+      std::ostringstream detail;
+      if (!active || stall <= stall_threshold) {
+        detail << "progressing: iteration " << s.iteration << ", "
+               << s.covered_branches << " branches";
+        return std::make_pair(true, detail.str());
+      }
+      detail << "stalled: no progress for " << static_cast<int>(stall)
+             << "s (threshold " << static_cast<int>(stall_threshold) << "s)";
+      return std::make_pair(false, detail.str());
+    };
     if (control_plane.start(std::move(cp))) {
       board->set_serve_port(control_plane.port());
       // Publish the bound port immediately (iteration -1): with
@@ -453,9 +480,39 @@ CampaignResult Campaign::run_serial() {
            result.bugs.size() >= static_cast<std::size_t>(options_.max_bugs);
   };
 
+  // Distributed intake: one report per completed iteration.  The delta
+  // carries FULL local state and a CUMULATIVE iteration count (see
+  // work_source.h) so a replay after a reconnect or a reclaimed lease
+  // merges to the same global state.  The ledger blob is rendered lazily —
+  // the work source only pays for it when it actually transmits — and the
+  // closure runs on THIS thread inside report(), so the live lock ordering
+  // holds.
+  const auto report_work = [&](bool final_report) {
+    if (options_.work_source == nullptr) return;
+    WorkDelta d;
+    d.final_report = final_report;
+    d.covered = coverage.bitmap().covered_ids();
+    d.interleaving_seen.assign(interleavings.seen.begin(),
+                               interleavings.seen.end());
+    {
+      const auto live = live_lock();
+      d.iterations_completed =
+          static_cast<std::int64_t>(result.iterations.size());
+      d.bugs = result.bugs;
+    }
+    d.ledger_blob = [&] {
+      const auto live = live_lock();
+      std::ostringstream blob;
+      ledger.write(blob);
+      return blob.str();
+    };
+    options_.work_source->report(d);
+  };
+
   // Periodic snapshot / simulated-kill bookkeeping at the bottom of every
   // iteration; returns true when the campaign must stop abruptly.
   const auto end_of_iteration = [&](int iter) {
+    report_work(/*final_report=*/false);
     if (options_.checkpoint_interval > 0 &&
         (iter + 1) % options_.checkpoint_interval == 0) {
       save_checkpoint(iter + 1);
@@ -520,6 +577,29 @@ CampaignResult Campaign::run_serial() {
     if (options_.time_budget_seconds > 0 &&
         elapsed() >= options_.time_budget_seconds) {
       break;
+    }
+    // ---- distributed intake: lease one iteration, absorb the fleet ----
+    // acquire() blocks for a lease (or passes immediately standalone /
+    // degraded); false means the coordinator declared the global budget
+    // done.  Remote coverage merges BEFORE planning so the strategy's
+    // dedup and stale-candidate pruning skip branches other shards
+    // already covered — that is the frontier partition.
+    if (options_.work_source != nullptr) {
+      if (!options_.work_source->acquire()) {
+        obs::JournalEvent(journal, "work_source_stop", iter);
+        break;
+      }
+      const std::vector<sym::BranchId> fleet_covered =
+          options_.work_source->take_remote_coverage();
+      if (!fleet_covered.empty()) {
+        rt::CoverageBitmap fleet(target_.table->num_branches());
+        for (const sym::BranchId b : fleet_covered) fleet.mark(b);
+        coverage.merge(fleet);
+      }
+      for (const std::uint64_t h :
+           options_.work_source->take_remote_interleavings()) {
+        interleavings.seen.insert(h);
+      }
     }
     obs::ObsSpan iter_span(obs::Cat::kDriver, "iteration", "iter", iter);
     journal_iter = iter;
@@ -913,6 +993,11 @@ CampaignResult Campaign::run_serial() {
       break;
     }
   }
+
+  // Flush the final delta whatever way the loop ended (bug budget, time
+  // budget, stop grant): the work source retains it for reconciliation
+  // even when the coordinator is unreachable right now.
+  report_work(/*final_report=*/true);
 
   if (board != nullptr) {
     board->worker_phase(0, result.iterations.empty()

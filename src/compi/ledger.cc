@@ -184,6 +184,58 @@ bool CoverageLedger::read(std::istream& is) {
   return true;
 }
 
+bool CoverageLedger::merge(std::istream& is) {
+  CoverageLedger other(*this);
+  // Reuse read() for parsing by round-tripping through a scratch ledger of
+  // the same shape; read() validates the branch count for us.
+  other.attribution_.assign(attribution_.size(), BranchAttribution{});
+  other.near_misses_.assign(near_misses_.size(), std::nullopt);
+  other.covered_ = 0;
+  if (!other.read(is)) return false;
+
+  for (std::size_t b = 0; b < attribution_.size(); ++b) {
+    BranchAttribution& mine = attribution_[b];
+    BranchAttribution& theirs = other.attribution_[b];
+    if (theirs.covered()) {
+      if (!mine.covered()) {
+        mine = std::move(theirs);
+        ++covered_;
+        near_misses_[b].reset();
+      } else {
+        // Both sides covered it: earlier discovery wins the attribution
+        // (ties keep ours — shard iteration ordinals are local clocks, so
+        // this is a stable heuristic, not a total order).
+        if (theirs.first_iteration < mine.first_iteration) {
+          std::vector<std::uint32_t> hits = std::move(mine.hits_per_rank);
+          mine = std::move(theirs);
+          std::swap(mine.hits_per_rank, hits);
+          mine.hits_per_rank.resize(
+              std::max(mine.hits_per_rank.size(), hits.size()), 0);
+          for (std::size_t r = 0; r < hits.size(); ++r) {
+            mine.hits_per_rank[r] = std::max(mine.hits_per_rank[r], hits[r]);
+          }
+        } else {
+          if (mine.hits_per_rank.size() < theirs.hits_per_rank.size()) {
+            mine.hits_per_rank.resize(theirs.hits_per_rank.size(), 0);
+          }
+          for (std::size_t r = 0; r < theirs.hits_per_rank.size(); ++r) {
+            mine.hits_per_rank[r] =
+                std::max(mine.hits_per_rank[r], theirs.hits_per_rank[r]);
+          }
+        }
+      }
+    }
+    if (!attribution_[b].covered() && other.near_misses_[b].has_value()) {
+      std::optional<NearMiss>& miss = near_misses_[b];
+      if (!miss.has_value() ||
+          other.near_misses_[b]->attempts > miss->attempts) {
+        miss = std::move(other.near_misses_[b]);
+      }
+    }
+  }
+  return true;
+}
+
 std::string csv_quote(const std::string& cell) {
   if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out;

@@ -126,6 +126,15 @@ class CoverageLedger {
   /// mismatch (the caller then keeps the fresh, empty ledger).
   [[nodiscard]] bool read(std::istream& is);
 
+  /// Merges another write() snapshot into this ledger (the coordinator's
+  /// delta-upload path).  Branches only the other side covered adopt its
+  /// attribution wholesale; branches covered by both keep the EARLIER
+  /// first hit and element-wise-max per-rank hit counts (deltas carry full
+  /// cumulative state, so max — not sum — keeps replays idempotent).
+  /// Near misses keep the record with more attempts.  False (this ledger
+  /// unchanged) on parse errors or a branch-count mismatch.
+  [[nodiscard]] bool merge(std::istream& is);
+
   /// CSV export: one row per branch site arm with attribution, per-rank
   /// hit counts, and near-miss columns.  `table` supplies site names.
   void write_csv(std::ostream& os, const rt::BranchTable& table) const;

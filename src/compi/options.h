@@ -9,6 +9,8 @@
 
 namespace compi {
 
+class WorkSource;
+
 /// Which search strategy drives constraint negation (paper §II-B).
 enum class SearchKind : std::uint8_t {
   kBoundedDfs,     // COMPI's default (two-phase: DFS then BoundedDFS)
@@ -168,6 +170,11 @@ struct CampaignOptions {
   /// status heartbeat (`serve_port`), which defaults to
   /// <log_dir>/status.json when serving without --status-file.
   int serve_port = -1;
+  /// Distributed work intake (work_source.h): non-owning; null (the
+  /// default) leaves the engines byte-identical to standalone behaviour.
+  /// Set by the --connect shard mode to a ShardLink speaking the
+  /// coordinator protocol.
+  WorkSource* work_source = nullptr;
 };
 
 }  // namespace compi

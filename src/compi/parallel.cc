@@ -54,6 +54,7 @@
 #include "compi/interleaving.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
+#include "compi/work_source.h"
 #include "minimpi/launcher.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -419,6 +420,31 @@ CampaignResult Campaign::run_parallel() {
       (void)journal.tap_since(0, lines);
       return explain_live(ledger, *target_.table, result.iterations, lines);
     };
+    // /healthz: live while some worker completed an iteration recently
+    // (same threshold rule as the serial loop — a single test may sit for
+    // hang_timeout_ms times retries before the sandbox reaps it).
+    const double stall_threshold = std::max(
+        30.0, 3.0 * static_cast<double>(options_.hang_timeout_ms) / 1000.0);
+    cp.healthy = [board, stall_threshold, &elapsed] {
+      const obs::StatusSnapshot s = board->snapshot();
+      double last = 0.0;
+      bool active = false;
+      for (const obs::WorkerStatus& w : s.worker_status) {
+        if (w.phase == obs::WorkerPhase::kDone) continue;
+        active = true;
+        last = std::max(last, w.last_progress_seconds);
+      }
+      const double stall = elapsed() - last;
+      std::ostringstream detail;
+      if (!active || stall <= stall_threshold) {
+        detail << "progressing: iteration " << s.iteration << ", "
+               << s.covered_branches << " branches";
+        return std::make_pair(true, detail.str());
+      }
+      detail << "stalled: no progress for " << static_cast<int>(stall)
+             << "s (threshold " << static_cast<int>(stall_threshold) << "s)";
+      return std::make_pair(false, detail.str());
+    };
     if (control_plane.start(std::move(cp))) {
       board->set_serve_port(control_plane.port());
       // Publish the bound port immediately (iteration -1): with --serve=0
@@ -546,10 +572,34 @@ CampaignResult Campaign::run_parallel() {
     }
   };
 
+  // Distributed intake (callers hold `mu`): one report per completed
+  // iteration, carrying FULL local state and a CUMULATIVE count (see
+  // work_source.h) so replays after reconnects or reclaimed leases are
+  // idempotent.  The ledger closure runs inside report() on this thread
+  // and takes no locks of its own, so holding `mu` here is safe.
+  const auto report_work_locked = [&](bool final_report) {
+    if (options_.work_source == nullptr) return;
+    WorkDelta d;
+    d.final_report = final_report;
+    d.iterations_completed =
+        static_cast<std::int64_t>(result.iterations.size());
+    d.covered = coverage.bitmap().covered_ids();
+    d.interleaving_seen.assign(interleavings.seen.begin(),
+                               interleavings.seen.end());
+    d.bugs = result.bugs;
+    d.ledger_blob = [&] {
+      std::ostringstream blob;
+      ledger.write(blob);
+      return blob.str();
+    };
+    options_.work_source->report(d);
+  };
+
   // End-of-iteration bookkeeping under `mu`: completion tracking, cursor
   // refresh, periodic checkpoint, halt hook.  Sets `stop` when the
   // campaign must end.
   const auto end_of_iteration_locked = [&](int iter, int w) {
+    report_work_locked(/*final_report=*/false);
     if (iter >= 0 && iter < static_cast<int>(done.size())) {
       done[static_cast<std::size_t>(iter)] = 1;
       while (prefix < static_cast<int>(done.size()) &&
@@ -646,6 +696,32 @@ CampaignResult Campaign::run_parallel() {
       if (options_.time_budget_seconds > 0 &&
           elapsed() >= options_.time_budget_seconds) {
         break;
+      }
+      // ---- distributed intake: lease one iteration, absorb the fleet ----
+      // Before consuming a ticket, so a denied acquire (global budget
+      // done) never burns an ordinal.  Remote coverage merges ahead of
+      // planning so the frontier dedup skips branches other shards
+      // already covered.
+      if (options_.work_source != nullptr) {
+        if (!options_.work_source->acquire()) {
+          obs::JournalEvent(journal, "work_source_stop", next_ticket.load())
+              .num("worker", w);
+          stop.store(true);
+          break;
+        }
+        const std::vector<sym::BranchId> fleet_covered =
+            options_.work_source->take_remote_coverage();
+        const std::vector<std::uint64_t> fleet_iseen =
+            options_.work_source->take_remote_interleavings();
+        if (!fleet_covered.empty() || !fleet_iseen.empty()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!fleet_covered.empty()) {
+            rt::CoverageBitmap fleet(target_.table->num_branches());
+            for (const sym::BranchId b : fleet_covered) fleet.mark(b);
+            coverage.merge(fleet);
+          }
+          interleavings.seen.insert(fleet_iseen.begin(), fleet_iseen.end());
+        }
       }
       const int iter = next_ticket.fetch_add(1);
       if (iter >= options_.iterations) break;
@@ -1096,6 +1172,14 @@ CampaignResult Campaign::run_parallel() {
   // vector the /explain endpoint reads under `mu`, and finalize itself
   // runs unlocked now that the workers are gone.
   control_plane.stop();
+
+  // Flush the final delta whatever way the workers stopped (budget, bug
+  // budget, stop grant): the work source retains it for reconciliation
+  // even when the coordinator is unreachable right now.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    report_work_locked(/*final_report=*/true);
+  }
 
   // ---- finalize (workers joined: no locking needed) ----
   std::sort(result.iterations.begin(), result.iterations.end(),

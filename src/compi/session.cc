@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/artifacts.h"
+
 namespace compi {
 
 namespace fs = std::filesystem;
@@ -252,16 +254,31 @@ void SessionWriter::write_checkpoint(
     const ckpt::CampaignCheckpoint& checkpoint) {
   const fs::path final_path = dir_ / "checkpoint.txt";
   const fs::path tmp = dir_ / "checkpoint.txt.tmp";
+  bool written = false;
   {
     std::ofstream out(tmp);
-    checkpoint.write(out);
+    if (out.is_open()) {
+      checkpoint.write(out);
+      out.flush();
+      written = out.good();
+    }
+  }
+  // A failed or short tmp write (unwritable dir, disk full) must never
+  // replace a complete snapshot with a torn one: report, drop the tmp,
+  // keep the previous checkpoint (and its .bak) untouched.
+  if (!written) {
+    obs::note_artifact_write_error("checkpoint", final_path.string());
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    return;
   }
   // Demote the previous complete snapshot to .bak before the new one lands:
   // even if THIS write turns out torn (kill between the flush above and a
   // durable rename), read_checkpoint still finds a complete snapshot.
   std::error_code ec;
   fs::rename(final_path, dir_ / "checkpoint.txt.bak", ec);  // first write: ok
-  fs::rename(tmp, final_path);
+  fs::rename(tmp, final_path, ec);
+  if (ec) obs::note_artifact_write_error("checkpoint", final_path.string());
 }
 
 }  // namespace compi

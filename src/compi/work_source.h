@@ -1,0 +1,80 @@
+// Distributed work intake for campaign engines (the shard side of the
+// coordinator protocol, abstracted).
+//
+// A WorkSource decides whether the next iteration may run and absorbs the
+// results of completed ones.  The campaign loops (driver.cc serial and
+// parallel.cc workers) consult it when CampaignOptions::work_source is
+// set; a null pointer (the default) leaves both engines byte-identical to
+// their standalone behaviour — the same gating pattern as `serving` /
+// `live_lock()`.
+//
+// The contract is built for idempotent re-execution: report() always
+// carries the shard's FULL covered set, FULL bug list, and CUMULATIVE
+// iteration count, so a delta replayed after a reconnect (or a lease
+// reclaimed from a dead shard and re-granted elsewhere) merges to the same
+// global state.  Coverage learned from other shards flows back through
+// take_remote_coverage()/take_remote_interleavings(); merging it into the
+// local CoverageTracker lets the existing strategy dedup and stale-drop
+// machinery prune candidates the fleet already covered — that is how the
+// frontier is partitioned without any per-candidate ownership protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "symbolic/path.h"
+
+namespace compi {
+
+struct BugRecord;
+
+/// One end-of-iteration report.  Vectors are FULL local state, not
+/// increments (see file comment); `ledger_blob` is evaluated lazily so the
+/// transport only pays for a CoverageLedger::write when it actually
+/// transmits.
+struct WorkDelta {
+  /// Cumulative local iterations completed (not an increment).
+  std::int64_t iterations_completed = 0;
+  /// Full local covered branch set.
+  std::vector<sym::BranchId> covered;
+  /// Full local interleaving sleep-set hashes (--explore-matchings).
+  std::vector<std::uint64_t> interleaving_seen;
+  /// Full local bug list.
+  std::vector<BugRecord> bugs;
+  /// Renders the full CoverageLedger snapshot; may be empty (no ledger
+  /// upload).  Called at most once per transmission, on the caller's
+  /// thread.
+  std::function<std::string()> ledger_blob;
+  /// The campaign is finalizing: flush everything now.
+  bool final_report = false;
+};
+
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+
+  /// Permission to run one more iteration.  May block (waiting for a lease
+  /// or backing off a reconnect); returns false when the global budget is
+  /// exhausted — the engine then winds down exactly as if its local
+  /// iteration budget ran out.  Thread-safe (parallel workers call
+  /// concurrently).
+  [[nodiscard]] virtual bool acquire() = 0;
+
+  /// Absorbs one completed iteration's results (see WorkDelta).  The
+  /// implementation decides when to actually transmit.  Thread-safe.
+  virtual void report(const WorkDelta& delta) = 0;
+
+  /// Drains branch ids covered remotely since the last call.  The engine
+  /// merges them into its CoverageTracker before planning.  Thread-safe.
+  [[nodiscard]] virtual std::vector<sym::BranchId> take_remote_coverage() = 0;
+
+  /// Drains interleaving hashes seen remotely since the last call (merged
+  /// into the local sleep set so shards do not replay each other's
+  /// matchings).  Thread-safe.
+  [[nodiscard]] virtual std::vector<std::uint64_t>
+  take_remote_interleavings() = 0;
+};
+
+}  // namespace compi

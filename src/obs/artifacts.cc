@@ -1,0 +1,44 @@
+#include "obs/artifacts.h"
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace compi::obs {
+
+namespace {
+
+constexpr const char* kCounterName = "compi_artifact_write_errors_total";
+constexpr const char* kCounterHelp =
+    "Artifact writes that failed (unwritable path, short write, ENOSPC)";
+
+}  // namespace
+
+void note_artifact_write_error(std::string_view artifact,
+                               std::string_view path) {
+  registry().counter(kCounterName, kCounterHelp).inc();
+  // Leaked on purpose: emit sites may run during static destruction (the
+  // export guard fires from destructors on fatal paths).
+  static std::mutex* mu = new std::mutex();
+  static std::set<std::string>* logged = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(*mu);
+  if (!logged->insert(std::string(artifact)).second) return;
+  std::fprintf(stderr,
+               "compi: failed to write %.*s artifact%s%.*s%s (disk full or "
+               "unwritable?); further %.*s write errors are counted in "
+               "%s but not logged\n",
+               static_cast<int>(artifact.size()), artifact.data(),
+               path.empty() ? "" : " (", static_cast<int>(path.size()),
+               path.data(), path.empty() ? "" : ")",
+               static_cast<int>(artifact.size()), artifact.data(),
+               kCounterName);
+}
+
+std::int64_t artifact_write_errors() {
+  return registry().counter(kCounterName, kCounterHelp).value();
+}
+
+}  // namespace compi::obs

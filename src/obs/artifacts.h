@@ -1,0 +1,32 @@
+// Artifact write-failure surfacing.
+//
+// Campaign artifacts (the journal, the --status-file heartbeat, session
+// checkpoints) are written on best-effort paths that historically
+// swallowed ENOSPC and short writes silently: the campaign kept running
+// while its session directory quietly stopped reflecting reality.  Every
+// writer now reports through note_artifact_write_error(), which
+//   * increments compi_artifact_write_errors_total — monitors scraping
+//     /metrics see the failure even when the status file itself is the
+//     artifact that cannot be written, and
+//   * logs ONE stderr line per artifact kind, so a full disk does not
+//     turn the terminal into a scrolling error firehose.
+// Writers keep going after reporting (the campaign's results matter more
+// than its paper trail); checkpoint writers additionally refuse to
+// replace a complete snapshot with a torn one.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace compi::obs {
+
+/// Reports one failed artifact write.  `artifact` is the kind ("journal",
+/// "status", "checkpoint", ...); `path` names the target for the log line
+/// (may be empty).  Thread-safe.
+void note_artifact_write_error(std::string_view artifact,
+                               std::string_view path);
+
+/// Total failures reported so far (the counter's live value; tests).
+[[nodiscard]] std::int64_t artifact_write_errors();
+
+}  // namespace compi::obs

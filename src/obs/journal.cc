@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/artifacts.h"
+
 namespace compi::obs {
 
 namespace {
@@ -149,8 +151,13 @@ JournalEvent& JournalEvent::inputs(
 bool Journal::open(const std::filesystem::path& file) {
   close();
   out_.open(file, std::ios::trunc);
+  path_ = file;
   events_ = 0;
-  return out_.is_open();
+  if (!out_.is_open()) {
+    note_artifact_write_error("journal", file.string());
+    return false;
+  }
+  return true;
 }
 
 bool Journal::open_resume(const std::filesystem::path& file,
@@ -171,8 +178,12 @@ bool Journal::open_resume(const std::filesystem::path& file,
     }
   }
   out_.open(file, std::ios::trunc);
+  path_ = file;
   events_ = 0;
-  if (!out_.is_open()) return false;
+  if (!out_.is_open()) {
+    note_artifact_write_error("journal", file.string());
+    return false;
+  }
   for (const std::string& line : kept) out_ << line << '\n';
   out_.flush();
   return true;
@@ -186,6 +197,13 @@ void Journal::flush() {
     buffer_.clear();
   }
   out_.flush();
+  // A short write (disk full) latches the stream's failbit; report it and
+  // clear the state so later events still get their chance — the journal
+  // is a paper trail, not the campaign's source of truth.
+  if (!out_.good()) {
+    note_artifact_write_error("journal", path_.string());
+    out_.clear();
+  }
 }
 
 void Journal::close() {

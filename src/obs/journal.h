@@ -159,6 +159,7 @@ class Journal {
   /// driver-side (quiesced) but lock anyway — they are not hot.
   mutable std::mutex mu_;
   std::ofstream out_;
+  std::filesystem::path path_;  ///< names the target in write-error logs
   std::string buffer_;
   std::size_t events_ = 0;
   /// Tap state (guarded by mu_ except the enable flag, which emit sites

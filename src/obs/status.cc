@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/artifacts.h"
 #include "obs/journal.h"
 
 namespace compi::obs {
@@ -139,11 +140,22 @@ bool write_status_file(const std::string& path, const std::string& contents) {
   const fs::path tmp(path + ".tmp");
   {
     std::ofstream out(tmp);
-    if (!out.is_open()) return false;
+    if (!out.is_open()) {
+      note_artifact_write_error("status", path);
+      return false;
+    }
     out << contents;
+    out.flush();
+    // A short write (disk full) leaves a torn tmp: don't rename it over
+    // the last complete heartbeat a monitor may be reading.
+    if (!out.good()) {
+      note_artifact_write_error("status", path);
+      return false;
+    }
   }
   std::error_code ec;
   fs::rename(tmp, fs::path(path), ec);
+  if (ec) note_artifact_write_error("status", path);
   return !ec;
 }
 

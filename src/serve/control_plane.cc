@@ -40,9 +40,39 @@ bool ControlPlane::start(ControlPlaneConfig config) {
         "  /metrics  Prometheus scrape (live registry)\n"
         "  /status   heartbeat JSON with per-worker state\n"
         "  /events   SSE tail of the campaign journal\n"
-        "  /explain  live campaign summary\n";
+        "  /explain  live campaign summary\n"
+        "  /healthz  liveness probe (200 while progressing, else 503)\n";
     return r;
   });
+
+  // /healthz always exists: without a liveness closure it degrades to a
+  // bare "the serve thread is answering" probe, which is still what a
+  // load balancer needs to know.
+  {
+    const auto& healthy = cfg.healthy;
+    impl_->server.handle("/healthz", [&healthy](const HttpRequest&) {
+      HttpResponse r;
+      r.content_type = "application/json";
+      bool ok = true;
+      std::string detail = "serving";
+      if (healthy) {
+        const auto verdict = healthy();
+        ok = verdict.first;
+        detail = verdict.second;
+      }
+      r.status = ok ? 200 : 503;
+      std::string body = "{\"ok\":";
+      body += ok ? "true" : "false";
+      body += ",\"detail\":\"";
+      for (const char ch : detail) {
+        if (ch == '"' || ch == '\\') body += '\\';
+        if (static_cast<unsigned char>(ch) >= 0x20) body += ch;
+      }
+      body += "\"}\n";
+      r.body = std::move(body);
+      return r;
+    });
+  }
 
   if (cfg.registry != nullptr) {
     obs::Registry* registry = cfg.registry;

@@ -7,6 +7,10 @@
 //   GET /events  — SSE tail of the journal via its in-memory tap; works
 //                  with or without --journal writing to disk.
 //   GET /explain — the --explain summary rendered from the live ledger.
+//   GET /healthz — liveness probe: 200 {"ok":true} while the campaign is
+//                  making progress, 503 {"ok":false} once a worker has
+//                  stalled past the liveness threshold.  Orchestrators and
+//                  the campaign coordinator probe shards through this.
 //   GET /        — plain-text index of the above.
 //
 // Lock discipline: every closure passed in here runs on the SERVER thread.
@@ -24,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "obs/status.h"
 
@@ -40,6 +45,9 @@ struct ControlPlaneConfig {
   obs::Journal* journal = nullptr;  ///< may be null: /events then idles
   std::function<obs::StatusSnapshot()> status;
   std::function<std::string()> explain;
+  /// Liveness verdict for /healthz: second = human-readable detail.  When
+  /// unset, /healthz falls back to "server is answering" (always ok).
+  std::function<std::pair<bool, std::string>()> healthy;
 };
 
 class ControlPlane {

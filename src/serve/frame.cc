@@ -1,0 +1,60 @@
+#include "serve/frame.h"
+
+namespace compi::serve {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void append_wire_frame(std::string& out, char type,
+                       std::string_view payload) {
+  put_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+  out.push_back(type);
+  out.append(payload);
+}
+
+void WireFrameReader::feed(const char* data, std::size_t n) {
+  if (corrupt_) return;
+  buf_.append(data, n);
+}
+
+std::optional<WireFrame> WireFrameReader::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() - pos_ < kWireFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t len = get_u32_le(buf_.data() + pos_);
+  const char type = buf_[pos_ + 4];
+  if (len > kMaxWireFramePayload ||
+      valid_types_.find(type) == std::string::npos) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - kWireFrameHeaderBytes < len) return std::nullopt;
+  WireFrame frame;
+  frame.type = type;
+  frame.payload.assign(buf_, pos_ + kWireFrameHeaderBytes, len);
+  pos_ += kWireFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // doesn't grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace compi::serve

@@ -1,0 +1,60 @@
+// Generic length-prefixed message framing for the coordinator wire.
+//
+// Same shape as the sandbox supervisor pipe (src/sandbox/wire.h): a 4-byte
+// little-endian payload length, a 1-byte type tag, then the payload — but
+// with the valid type set supplied by the caller instead of hard-coded, so
+// the coordinator protocol can define its own tags without dragging the
+// sandbox's RunResult codecs below compi_core.  The reader consumes a raw
+// TCP byte stream incrementally and stops at a malformed header (wrong
+// tag, insane length): everything after the first corruption is ignored,
+// which is exactly the right behavior for a peer that died mid-write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace compi::serve {
+
+struct WireFrame {
+  char type = '\0';
+  std::string payload;
+};
+
+/// Bytes of framing overhead per frame (length prefix + type tag).
+inline constexpr std::size_t kWireFrameHeaderBytes = 5;
+
+/// Frames larger than this are treated as corruption, not messages: the
+/// coordinator wire carries campaign deltas (covered-branch ids, bug
+/// records, ledger blobs), which stay far below this even on huge targets.
+inline constexpr std::size_t kMaxWireFramePayload = 64u * 1024u * 1024u;
+
+/// Appends one frame (header + payload) to `out`.
+void append_wire_frame(std::string& out, char type, std::string_view payload);
+
+/// Incremental frame parser over a raw byte stream.  `valid_types` is the
+/// set of acceptable tag characters; any other tag marks the stream
+/// corrupt and next() stops returning frames.
+class WireFrameReader {
+ public:
+  explicit WireFrameReader(std::string valid_types)
+      : valid_types_(std::move(valid_types)) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// The next complete frame, or nullopt (partial tail, corrupt stream, or
+  /// nothing buffered).
+  [[nodiscard]] std::optional<WireFrame> next();
+
+  /// True once a malformed header was seen.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string valid_types_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace compi::serve

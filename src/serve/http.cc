@@ -6,19 +6,10 @@
 #include <thread>
 #include <vector>
 
-#if (defined(__unix__) || defined(__APPLE__)) && !defined(COMPI_OBS_DISABLED)
-#define COMPI_SERVE_POSIX 1
-#endif
-
-#ifdef COMPI_SERVE_POSIX
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
+// Defines COMPI_SERVE_POSIX and pulls in the EINTR-safe syscall wrappers
+// (net::xpoll/xaccept/xrecv/xsend/...) every loop below goes through: a
+// stray signal must never drop a connection or wedge the serve thread.
+#include "serve/net_util.h"
 
 namespace compi::serve {
 
@@ -32,17 +23,13 @@ constexpr std::size_t kMaxRequestBytes = 8 * 1024;
 constexpr std::size_t kMaxStreamBacklog = 256 * 1024;
 constexpr int kPollTickMs = 50;
 
-bool set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
-
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -55,55 +42,6 @@ std::string frame_response(const HttpResponse& r) {
   out += "Connection: close\r\n\r\n";
   out += r.body;
   return out;
-}
-
-/// Parses "host:port" / ":port" / "port" into an IPv4 sockaddr.
-bool parse_host_port(const std::string& host_port, sockaddr_in& addr) {
-  std::string host = "127.0.0.1";
-  std::string port = host_port;
-  const std::size_t colon = host_port.rfind(':');
-  if (colon != std::string::npos) {
-    if (colon > 0) host = host_port.substr(0, colon);
-    port = host_port.substr(colon + 1);
-  }
-  if (port.empty()) return false;
-  char* end = nullptr;
-  const long p = std::strtol(port.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(p));
-  if (host == "localhost") host = "127.0.0.1";
-  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
-}
-
-/// Blocking connect with a receive deadline; returns -1 on failure.
-int connect_client(const std::string& host_port, int timeout_ms) {
-  sockaddr_in addr{};
-  if (!parse_host_port(host_port, addr)) return -1;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 }  // namespace
@@ -157,7 +95,7 @@ struct HttpServer::Impl {
     addr.sin_port = htons(static_cast<std::uint16_t>(want_port));
     if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) != 0 ||
-        ::listen(listen_fd, 16) != 0 || !set_nonblocking(listen_fd)) {
+        ::listen(listen_fd, 16) != 0 || !net::set_nonblocking(listen_fd)) {
       return false;
     }
     sockaddr_in bound{};
@@ -171,7 +109,7 @@ struct HttpServer::Impl {
     if (::pipe(pipe_fds) != 0) return false;
     wake_read = pipe_fds[0];
     wake_write = pipe_fds[1];
-    (void)set_nonblocking(wake_read);
+    (void)net::set_nonblocking(wake_read);
     return true;
   }
 
@@ -236,17 +174,17 @@ struct HttpServer::Impl {
         if (!c.out.empty()) events |= POLLOUT;
         pfds.push_back({c.fd, events, 0});
       }
-      (void)::poll(pfds.data(), pfds.size(), kPollTickMs);
+      (void)net::xpoll(pfds.data(), pfds.size(), kPollTickMs);
       if ((pfds[0].revents & POLLIN) != 0) {
         char buf[64];
-        while (::read(wake_read, buf, sizeof(buf)) > 0) {
+        while (net::xread(wake_read, buf, sizeof(buf)) > 0) {
         }
       }
       if ((pfds[1].revents & POLLIN) != 0) {
         for (;;) {
-          const int fd = ::accept(listen_fd, nullptr, nullptr);
+          const int fd = net::xaccept(listen_fd);
           if (fd < 0) break;
-          if (!set_nonblocking(fd)) {
+          if (!net::set_nonblocking(fd)) {
             ::close(fd);
             continue;
           }
@@ -273,7 +211,7 @@ struct HttpServer::Impl {
         if ((re & POLLIN) != 0) {
           char buf[2048];
           for (;;) {
-            const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+            const ssize_t n = net::xrecv(c.fd, buf, sizeof(buf));
             if (n > 0) {
               c.in.append(buf, static_cast<std::size_t>(n));
               continue;
@@ -300,7 +238,7 @@ struct HttpServer::Impl {
         }
         if (!c.out.empty()) {
           const ssize_t n =
-              ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+              net::xsend(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
           if (n > 0) {
             c.out.erase(0, static_cast<std::size_t>(n));
           } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -374,20 +312,29 @@ std::uint64_t HttpServer::requests_served() const {
 std::optional<HttpClientResponse> http_get(const std::string& host_port,
                                            const std::string& path,
                                            int timeout_ms) {
-  const int fd = connect_client(host_port, timeout_ms);
+  const int fd = net::connect_client(host_port, timeout_ms);
   if (fd < 0) return std::nullopt;
   const std::string req = "GET " + path +
                           " HTTP/1.1\r\nHost: " + host_port +
                           "\r\nConnection: close\r\n\r\n";
-  if (!send_all(fd, req)) {
+  if (!net::send_all(fd, req)) {
     ::close(fd);
     return std::nullopt;
   }
+  // Read to EOF under a hard deadline: poll re-derives the remaining wait
+  // across EINTR retries, so SO_RCVTIMEO restarting per recv() cannot turn
+  // the timeout into an unbounded wait under a signal storm.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::string raw;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // EOF, timeout, or error — parse what arrived
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (net::xpoll_deadline(&p, 1, deadline) <= 0) break;  // timeout/error
+    const ssize_t n = net::xrecv(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF or error — parse what arrived
     raw.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
@@ -404,21 +351,29 @@ std::optional<std::string> http_get_stream(const std::string& host_port,
                                            const std::string& path,
                                            std::size_t max_bytes,
                                            int timeout_ms) {
-  const int fd = connect_client(host_port, timeout_ms);
+  const int fd = net::connect_client(host_port, timeout_ms);
   if (fd < 0) return std::nullopt;
   const std::string req = "GET " + path +
                           " HTTP/1.1\r\nHost: " + host_port +
                           "\r\nConnection: close\r\n\r\n";
-  if (!send_all(fd, req)) {
+  if (!net::send_all(fd, req)) {
     ::close(fd);
     return std::nullopt;
   }
+  // The stream never closes on its own, so the deadline is the only exit:
+  // it must hold even when signals interrupt every recv (see http_get).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::string raw;
   char buf[4096];
   std::size_t header_end = std::string::npos;
   while (raw.size() < max_bytes + 512) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // timeout counts as "done": return what streamed
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (net::xpoll_deadline(&p, 1, deadline) <= 0) break;  // done streaming
+    const ssize_t n = net::xrecv(fd, buf, sizeof(buf));
+    if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
     if (header_end == std::string::npos) {
       header_end = raw.find("\r\n\r\n");

@@ -169,6 +169,70 @@ TEST(CliOptions, ResumeNamesTheSessionDirectory) {
   EXPECT_TRUE(parse({"--resume=/tmp/s", "--log-dir=/tmp/other"}).error);
 }
 
+TEST(CliOptions, CoordinateSubcommandParsesItsFlags) {
+  const ParseResult r =
+      parse({"coordinate", "--port=7700", "--budget=480", "--lease-quota=32",
+             "--lease-ttl-ms=5000", "--target=imb", "--log-dir=/tmp/coord",
+             "--journal", "--serve=0"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_TRUE(r.config.coordinate);
+  EXPECT_EQ(r.config.coord_port, 7700);
+  EXPECT_EQ(r.config.coord_budget, 480);
+  EXPECT_EQ(r.config.coord_lease_quota, 32);
+  EXPECT_EQ(r.config.coord_lease_ttl_ms, 5000);
+  EXPECT_EQ(r.config.target, "imb");
+  EXPECT_EQ(r.config.campaign.log_dir, "/tmp/coord");
+  EXPECT_TRUE(r.config.campaign.journal);
+  EXPECT_EQ(r.config.campaign.serve_port, 0);
+
+  const ParseResult defaults = parse({"coordinate"});
+  ASSERT_FALSE(defaults.error.has_value());
+  EXPECT_TRUE(defaults.config.coordinate);
+  EXPECT_EQ(defaults.config.coord_port, 0);
+  EXPECT_EQ(defaults.config.coord_budget, 1000);
+}
+
+TEST(CliOptions, CoordinateRejectsBadValuesAndForeignFlags) {
+  EXPECT_TRUE(parse({"coordinate", "--port=65536"}).error.has_value());
+  EXPECT_TRUE(parse({"coordinate", "--budget=0"}).error.has_value());
+  EXPECT_TRUE(parse({"coordinate", "--lease-quota=0"}).error.has_value());
+  EXPECT_TRUE(parse({"coordinate", "--lease-ttl-ms=50"}).error.has_value());
+  // Campaign-only flags don't leak into the subcommand.
+  EXPECT_TRUE(parse({"coordinate", "--iterations=10"}).error.has_value());
+  EXPECT_TRUE(parse({"coordinate", "--connect=h:1"}).error.has_value());
+  // --resume names the session, same rule as campaign mode.
+  EXPECT_TRUE(parse({"coordinate", "--resume=/tmp/a", "--log-dir=/tmp/b"})
+                  .error.has_value());
+  const ParseResult resumed = parse({"coordinate", "--resume=/tmp/a"});
+  ASSERT_FALSE(resumed.error.has_value());
+  EXPECT_TRUE(resumed.config.campaign.resume);
+  EXPECT_EQ(resumed.config.campaign.log_dir, "/tmp/a");
+}
+
+TEST(CliOptions, ShardFlagsAttachTheCampaignToACoordinator) {
+  const ParseResult r = parse(
+      {"--connect=127.0.0.1:7700", "--shard-name=rack7",
+       "--shard-heartbeat-ms=250"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.config.connect, "127.0.0.1:7700");
+  EXPECT_EQ(r.config.shard_name, "rack7");
+  EXPECT_EQ(r.config.shard_heartbeat_ms, 250);
+
+  const ParseResult defaults = parse({});
+  ASSERT_FALSE(defaults.error.has_value());
+  EXPECT_TRUE(defaults.config.connect.empty())
+      << "coordinator-off must stay the default";
+  EXPECT_EQ(defaults.config.shard_name, "shard");
+  EXPECT_EQ(defaults.config.shard_heartbeat_ms, 1000);
+}
+
+TEST(CliOptions, RejectsBadShardValues) {
+  EXPECT_TRUE(parse({"--connect="}).error.has_value());
+  EXPECT_TRUE(parse({"--shard-name="}).error.has_value());
+  EXPECT_TRUE(parse({"--shard-heartbeat-ms=10"}).error.has_value());
+  EXPECT_TRUE(parse({"--shard-heartbeat-ms=abc"}).error.has_value());
+}
+
 TEST(CliOptions, UsageMentionsEveryFlag) {
   const std::string u = usage();
   for (const std::string flag :
@@ -178,7 +242,8 @@ TEST(CliOptions, UsageMentionsEveryFlag) {
         "--checkpoint-interval", "--retry-max", "--retry-backoff-ms",
         "--chaos-seed", "--chaos-drop-rate", "--chaos-crash-rank",
         "--chaos-crash-at", "--no-confirm-bugs", "--isolate",
-        "--hang-timeout-ms", "--child-mem-mb"}) {
+        "--hang-timeout-ms", "--child-mem-mb", "--connect", "--shard-name",
+        "--shard-heartbeat-ms", "--lease-quota", "--lease-ttl-ms"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

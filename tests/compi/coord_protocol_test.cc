@@ -1,0 +1,310 @@
+// Wire-level tests for the coordinator protocol (coord_protocol.h).
+//
+// Every message type must round-trip encode -> decode bit-exactly,
+// including the awkward payloads: shard names with spaces, bug messages
+// with embedded newlines (the checkpoint \-escape dialect), empty and
+// large coverage sets, and ledger blobs.  Decoders must reject truncated
+// or version-skewed payloads by returning false — never by crashing —
+// because a false return is what makes the peer drop a corrupt connection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compi/checkpoint.h"
+#include "compi/coord_protocol.h"
+#include "compi/ledger.h"
+#include "minimpi/launcher.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi::coord {
+namespace {
+
+/// Records one hit of `branch` by `rank` at `iteration` into the ledger.
+void hit(CoverageLedger& ledger, sym::BranchId branch, int rank,
+         int iteration) {
+  minimpi::RunResult run;
+  run.ranks.resize(static_cast<std::size_t>(rank) + 1);
+  for (auto& r : run.ranks) {
+    r.log.covered = rt::CoverageBitmap(testing::fig2_table().num_branches());
+  }
+  run.ranks[static_cast<std::size_t>(rank)].log.covered.mark(branch);
+  CoverageLedger::RunContext ctx;
+  ctx.iteration = iteration;
+  ctx.nprocs = static_cast<int>(run.ranks.size());
+  ledger.record_run(ctx, run);
+}
+
+TEST(CoordProtocol, HelloRoundTripsIdentityFields) {
+  HelloMsg m;
+  m.name = "rack 7 shard b";  // spaces must survive
+  m.token = 0xdeadbeefcafe123ULL;
+  m.seed = 42;
+  HelloMsg out;
+  ASSERT_TRUE(decode_hello(encode_hello(m), out));
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.name, m.name);
+  EXPECT_EQ(out.token, m.token);
+  EXPECT_EQ(out.seed, m.seed);
+}
+
+TEST(CoordProtocol, HelloRejectsFutureVersion) {
+  HelloMsg m;
+  m.version = kProtocolVersion + 1;
+  m.name = "s";
+  const std::string payload = encode_hello(m);
+  HelloMsg out;
+  EXPECT_FALSE(decode_hello(payload, out));
+}
+
+TEST(CoordProtocol, WelcomeCarriesFullResync) {
+  WelcomeMsg m;
+  m.ordinal = 3;
+  m.sync.covered = {1, 5, 9, 14};
+  m.sync.interleaving_seen = {0ULL, 0xffffffffffffffffULL, 7ULL};
+  m.sync.completed = 120;
+  m.sync.budget = 500;
+  WelcomeMsg out;
+  ASSERT_TRUE(decode_welcome(encode_welcome(m), out));
+  EXPECT_EQ(out.ordinal, 3);
+  EXPECT_EQ(out.sync.covered, m.sync.covered);
+  EXPECT_EQ(out.sync.interleaving_seen, m.sync.interleaving_seen);
+  EXPECT_EQ(out.sync.completed, 120);
+  EXPECT_EQ(out.sync.budget, 500);
+}
+
+TEST(CoordProtocol, LeaseRequestRoundTripsShardKey) {
+  LeaseRequestMsg m;
+  m.shard = shard_key("node a", 99);
+  LeaseRequestMsg out;
+  ASSERT_TRUE(decode_lease_request(encode_lease_request(m), out));
+  EXPECT_EQ(out.shard, m.shard);
+}
+
+TEST(CoordProtocol, LeaseGrantRoundTripsAllThreeShapes) {
+  // Granted.
+  LeaseGrantMsg grant;
+  grant.lease_id = 17;
+  grant.quota = 16;
+  grant.sync.covered = {2};
+  LeaseGrantMsg out;
+  ASSERT_TRUE(decode_lease_grant(encode_lease_grant(grant), out));
+  EXPECT_EQ(out.lease_id, 17u);
+  EXPECT_EQ(out.quota, 16);
+  EXPECT_FALSE(out.stop);
+  EXPECT_EQ(out.sync.covered, grant.sync.covered);
+
+  // Wait hint: other shards hold the remaining budget.
+  LeaseGrantMsg wait;
+  wait.quota = 0;
+  wait.wait_ms = 250;
+  ASSERT_TRUE(decode_lease_grant(encode_lease_grant(wait), out));
+  EXPECT_EQ(out.quota, 0);
+  EXPECT_FALSE(out.stop);
+  EXPECT_EQ(out.wait_ms, 250);
+
+  // Stop: global budget done.
+  LeaseGrantMsg stop;
+  stop.quota = 0;
+  stop.stop = true;
+  ASSERT_TRUE(decode_lease_grant(encode_lease_grant(stop), out));
+  EXPECT_TRUE(out.stop);
+}
+
+TEST(CoordProtocol, DeltaRoundTripsBugsWithNewlinesAndLedger) {
+  DeltaMsg m;
+  m.shard = shard_key("shard", 1);
+  m.iterations = 4242;
+  m.covered = {0, 3, 8};
+  m.interleaving_seen = {11, 12};
+  m.final_report = true;
+
+  BugRecord bug;
+  bug.first_iteration = 9;
+  bug.occurrences = 2;
+  bug.outcome = rt::Outcome::kAssert;
+  bug.message = "assert failed:\n  y == 77\n  on the master";
+  bug.named_inputs["x"] = 3;
+  bug.named_inputs["y"] = 77;
+  bug.nprocs = 4;
+  bug.focus = 1;
+  minimpi::MatchDecision d;
+  d.rank = 0;
+  d.seq = 2;
+  d.src = 3;
+  bug.decisions.push_back(d);
+  m.bugs.push_back(bug);
+
+  CoverageLedger ledger(testing::fig2_table());
+  hit(ledger, 1, 0, 5);
+  std::ostringstream blob;
+  ledger.write(blob);
+  m.ledger_blob = blob.str();
+
+  DeltaMsg out;
+  ASSERT_TRUE(decode_delta(encode_delta(m), out));
+  EXPECT_EQ(out.shard, m.shard);
+  EXPECT_EQ(out.iterations, 4242);
+  EXPECT_EQ(out.covered, m.covered);
+  EXPECT_EQ(out.interleaving_seen, m.interleaving_seen);
+  EXPECT_TRUE(out.final_report);
+  ASSERT_EQ(out.bugs.size(), 1u);
+  EXPECT_EQ(out.bugs[0].message, bug.message);
+  EXPECT_EQ(out.bugs[0].named_inputs, bug.named_inputs);
+  EXPECT_EQ(out.bugs[0].occurrences, 2);
+  ASSERT_EQ(out.bugs[0].decisions.size(), 1u);
+  EXPECT_EQ(out.bugs[0].decisions[0].src, 3);
+  EXPECT_EQ(out.ledger_blob, m.ledger_blob);
+}
+
+TEST(CoordProtocol, DeltaWithEmptySetsRoundTrips) {
+  DeltaMsg m;
+  m.shard = shard_key("s", 2);
+  m.iterations = 0;
+  DeltaMsg out;
+  ASSERT_TRUE(decode_delta(encode_delta(m), out));
+  EXPECT_TRUE(out.covered.empty());
+  EXPECT_TRUE(out.bugs.empty());
+  EXPECT_TRUE(out.ledger_blob.empty());
+  EXPECT_FALSE(out.final_report);
+}
+
+TEST(CoordProtocol, HeartbeatAndAckRoundTrip) {
+  HeartbeatMsg hb;
+  hb.shard = shard_key("shard", 5);
+  HeartbeatMsg hb_out;
+  ASSERT_TRUE(decode_heartbeat(encode_heartbeat(hb), hb_out));
+  EXPECT_EQ(hb_out.shard, hb.shard);
+
+  AckMsg ack;
+  ack.stop = true;
+  ack.sync.covered = {7};
+  ack.sync.completed = 99;
+  AckMsg ack_out;
+  ASSERT_TRUE(decode_ack(encode_ack(ack), ack_out));
+  EXPECT_TRUE(ack_out.stop);
+  EXPECT_EQ(ack_out.sync.covered, ack.sync.covered);
+  EXPECT_EQ(ack_out.sync.completed, 99);
+}
+
+TEST(CoordProtocol, DecodersRejectTruncationsWithoutCrashing) {
+  DeltaMsg m;
+  m.shard = "s@1";
+  m.iterations = 10;
+  m.covered = {1, 2, 3};
+  BugRecord bug;
+  bug.message = "boom";
+  m.bugs.push_back(bug);
+  const std::string full = encode_delta(m);
+  // Every proper prefix must decode false or (for prefixes that happen to
+  // end on a record boundary) at least never crash.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    DeltaMsg out;
+    (void)decode_delta(full.substr(0, len), out);
+  }
+  // Garbage must be rejected outright.
+  DeltaMsg out;
+  EXPECT_FALSE(decode_delta("not a delta\n", out));
+  HelloMsg h;
+  EXPECT_FALSE(decode_hello("", h));
+  WelcomeMsg w;
+  EXPECT_FALSE(decode_welcome("\x01\x02\x03", w));
+  LeaseGrantMsg g;
+  EXPECT_FALSE(decode_lease_grant("grant banana\n", g));
+}
+
+TEST(CoordProtocol, ShardKeyCombinesNameAndToken) {
+  EXPECT_EQ(shard_key("shard", 7), "shard@7");
+  // Two processes with the same human name stay distinct identities.
+  EXPECT_NE(shard_key("shard", 7), shard_key("shard", 8));
+}
+
+TEST(CoordProtocol, LedgerMergeKeepsMaxHitsAndEarlierFirst) {
+  CoverageLedger a(testing::fig2_table());
+  CoverageLedger b(testing::fig2_table());
+  hit(a, 1, 0, 5);   // branch 1: rank 0, iteration 5
+  hit(a, 1, 0, 6);   // rank 0 count -> 2
+  hit(b, 1, 1, 3);   // same branch from rank 1, EARLIER first hit
+  hit(b, 2, 0, 4);   // branch 2 only b covers
+
+  std::ostringstream blob;
+  b.write(blob);
+  std::istringstream in(blob.str());
+  ASSERT_TRUE(a.merge(in));
+  EXPECT_EQ(a.covered_branches(), 2u);
+
+  // Merging the SAME blob again must be a no-op (idempotent replays).
+  std::istringstream again(blob.str());
+  ASSERT_TRUE(a.merge(again));
+  EXPECT_EQ(a.covered_branches(), 2u);
+  const std::vector<std::size_t> per_rank = a.branches_per_rank();
+  ASSERT_GE(per_rank.size(), 2u);
+  EXPECT_EQ(per_rank[0], 2u);  // rank 0 covered branches 1 and 2
+  EXPECT_EQ(per_rank[1], 1u);  // rank 1 covered branch 1
+
+  // A branch-count mismatch leaves the ledger untouched.
+  rt::BranchTable small;
+  small.add_site("f", "only");
+  small.finalize();
+  CoverageLedger tiny(small);
+  std::ostringstream tiny_blob;
+  tiny.write(tiny_blob);
+  std::istringstream bad(tiny_blob.str());
+  EXPECT_FALSE(a.merge(bad));
+  EXPECT_EQ(a.covered_branches(), 2u);
+}
+
+TEST(CoordProtocol, CheckpointV7CoordSectionRoundTrips) {
+  ckpt::CampaignCheckpoint c;
+  c.seed = 11;
+  c.is_coordinator = true;
+  c.coord_budget = 1000;
+  c.coord_completed = 384;
+  c.coord_next_lease_id = 42;
+  ckpt::CoordLease lease;
+  lease.id = 41;
+  lease.shard = "rack 7@123";  // space in the shard name must survive
+  lease.remaining = 9;
+  c.coord_leases.push_back(lease);
+  ckpt::CoordShardCursor cur;
+  cur.shard = "rack 7@123";
+  cur.iterations_completed = 200;
+  cur.covered_cursor = 12;
+  c.coord_shards.push_back(cur);
+  c.covered = {1, 4};
+
+  std::ostringstream os;
+  c.write(os);
+  std::istringstream is(os.str());
+  const auto restored = ckpt::CampaignCheckpoint::read(is);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->is_coordinator);
+  EXPECT_EQ(restored->coord_budget, 1000);
+  EXPECT_EQ(restored->coord_completed, 384);
+  EXPECT_EQ(restored->coord_next_lease_id, 42u);
+  ASSERT_EQ(restored->coord_leases.size(), 1u);
+  EXPECT_EQ(restored->coord_leases[0].id, 41u);
+  EXPECT_EQ(restored->coord_leases[0].shard, "rack 7@123");
+  EXPECT_EQ(restored->coord_leases[0].remaining, 9);
+  ASSERT_EQ(restored->coord_shards.size(), 1u);
+  EXPECT_EQ(restored->coord_shards[0].iterations_completed, 200);
+  EXPECT_EQ(restored->coord_shards[0].covered_cursor, 12u);
+  EXPECT_EQ(restored->covered, c.covered);
+}
+
+TEST(CoordProtocol, CampaignCheckpointWritesCoordZero) {
+  // Engine snapshots must stay shape-compatible: coord 0, no coord fields.
+  ckpt::CampaignCheckpoint c;
+  c.seed = 3;
+  std::ostringstream os;
+  c.write(os);
+  EXPECT_NE(os.str().find("coord 0"), std::string::npos);
+  std::istringstream is(os.str());
+  const auto restored = ckpt::CampaignCheckpoint::read(is);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_FALSE(restored->is_coordinator);
+}
+
+}  // namespace
+}  // namespace compi::coord

@@ -60,6 +60,9 @@ void spit(const fs::path& file, const std::string& bytes) {
 struct Corpus {
   std::string serial_checkpoint;
   std::string parallel_checkpoint;
+  /// A v7 snapshot with the coordinator section populated (leases and
+  /// shard cursors with hostile shard names), as `compi coordinate` writes.
+  std::string coordinator_checkpoint;
   std::string journal;
   std::string iterations_csv;
   std::string ledger_csv;
@@ -102,6 +105,27 @@ const Corpus& corpus() {
       opts.log_dir = dir.path.string();
       (void)Campaign(fig2_target(), opts).run();
       out.parallel_checkpoint = slurp(dir.path / "checkpoint.txt");
+    }
+    {
+      // Coordinator snapshots are the serial shape plus the coord section;
+      // graft one onto the real serial snapshot so every other field stays
+      // a genuine campaign state.
+      std::istringstream is(out.serial_checkpoint);
+      std::optional<ckpt::CampaignCheckpoint> cp =
+          ckpt::CampaignCheckpoint::read(is);
+      if (cp.has_value()) {
+        cp->is_coordinator = true;
+        cp->coord_budget = 480;
+        cp->coord_completed = 123;
+        cp->coord_next_lease_id = 9;
+        cp->coord_leases.push_back({7, "rack 7@2a", 16});
+        cp->coord_leases.push_back({8, "line\nbreak@ff", 4});
+        cp->coord_shards.push_back({"rack 7@2a", 64, 3});
+        cp->coord_shards.push_back({"line\nbreak@ff", 59, 0});
+        std::ostringstream os;
+        cp->write(os);
+        out.coordinator_checkpoint = os.str();
+      }
     }
     return out;
   }();
@@ -150,7 +174,8 @@ constexpr int kMutationsPerArtifact = 120;
 TEST(DurableFuzz, CheckpointReadNeverCrashes) {
   std::mt19937 rng(0xC0FFEE);
   for (const std::string* pristine :
-       {&corpus().serial_checkpoint, &corpus().parallel_checkpoint}) {
+       {&corpus().serial_checkpoint, &corpus().parallel_checkpoint,
+        &corpus().coordinator_checkpoint}) {
     ASSERT_FALSE(pristine->empty());
     // Sanity: the unmutated snapshot parses.
     {
@@ -166,9 +191,10 @@ TEST(DurableFuzz, CheckpointReadNeverCrashes) {
 }
 
 TEST(DurableFuzz, OldVersionCheckpointIsRejectedCleanly) {
-  // v4 (and any other non-current version) snapshots must be refused by
+  // v6 (and any other non-current version) snapshots must be refused by
   // design: the campaign falls back to a fresh start.
-  for (const char* version : {"0", "1", "2", "3", "4", "5", "99", "-5"}) {
+  for (const char* version :
+       {"0", "1", "2", "3", "4", "5", "6", "99", "-5"}) {
     std::string bytes = corpus().serial_checkpoint;
     const std::string current =
         "compi-checkpoint " + std::to_string(ckpt::CampaignCheckpoint::kVersion);

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/journal.h"
@@ -22,6 +25,9 @@ struct Fixture {
   obs::StatusBoard board{2, 100};
   ControlPlane plane;
 
+  // Optional liveness closure wired into /healthz when set before start().
+  std::function<std::pair<bool, std::string>()> healthy;
+
   std::string target;  // "127.0.0.1:<port>" once started
 
   bool start() {
@@ -35,6 +41,7 @@ struct Fixture {
     config.journal = &journal;
     config.status = [this] { return board.snapshot(); };
     config.explain = [] { return std::string("live explain report\n"); };
+    if (healthy) config.healthy = healthy;
     if (!plane.start(config)) return false;
     target = "127.0.0.1:" + std::to_string(plane.port());
     return true;
@@ -114,6 +121,63 @@ TEST(ControlPlaneTest, IndexListsEndpointsAndUnknownPathsAre404) {
   const auto missing = http_get(f.target, "/bogus");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ControlPlaneTest, HealthzWithoutClosureIsABareLivenessProbe) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/healthz");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"ok\":true,\"detail\":\"serving\"}\n");
+
+  // And the index advertises it next to the other endpoints.
+  const auto index = http_get(f.target, "/");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_NE(index->body.find("/healthz"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, HealthzFollowsTheLivenessClosure) {
+  std::atomic<bool> progressing{true};
+  Fixture f;
+  f.healthy = [&progressing]() -> std::pair<bool, std::string> {
+    if (progressing.load()) return {true, "progressing"};
+    return {false, "stalled: no iteration for 12s"};
+  };
+  START_OR_SKIP(f);
+
+  const auto up = http_get(f.target, "/healthz");
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->status, 200);
+  EXPECT_NE(up->body.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(up->body.find("progressing"), std::string::npos);
+
+  // The closure is consulted on every probe: a stall flips the very next
+  // scrape to 503 without restarting the server.
+  progressing.store(false);
+  const auto down = http_get(f.target, "/healthz");
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->status, 503);
+  EXPECT_NE(down->body.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(down->body.find("stalled: no iteration for 12s"),
+            std::string::npos);
+}
+
+TEST(ControlPlaneTest, HealthzEscapesDetailIntoValidJson) {
+  Fixture f;
+  f.healthy = []() -> std::pair<bool, std::string> {
+    return {false, "bad \"state\" back\\slash\nmultiline"};
+  };
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/healthz");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 503);
+  // Quotes and backslashes are escaped, control characters dropped, so
+  // the body stays one well-formed JSON object.
+  EXPECT_NE(resp->body.find("bad \\\"state\\\" back\\\\slash"),
+            std::string::npos);
+  EXPECT_EQ(resp->body.find("multiline"),
+            resp->body.find("back\\\\slash") + std::string("back\\\\slash").size());
 }
 
 TEST(ControlPlaneTest, NegativePortMeansOff) {
