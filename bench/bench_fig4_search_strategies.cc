@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Strategy", "Covered", "Reachable", "Rate",
                       "Covered @25%", "Covered @50%", "Restarts"});
+  bench::JsonEmitter json(args, "fig4_search_strategies");
   for (const Config& config : configs) {
     CampaignOptions opts;
     opts.seed = args.seed;
@@ -61,6 +62,14 @@ int main(int argc, char** argv) {
                    TablePrinter::pct(result.coverage_rate),
                    std::to_string(at(0.25)), std::to_string(at(0.5)),
                    std::to_string(result.restarts)});
+    json.row(config.label,
+             {{"covered", static_cast<double>(result.covered_branches)},
+              {"reachable", static_cast<double>(result.reachable_branches)},
+              {"coverage_rate", result.coverage_rate},
+              {"covered_at_25pct", static_cast<double>(at(0.25))},
+              {"covered_at_50pct", static_cast<double>(at(0.5))},
+              {"restarts", static_cast<double>(result.restarts)},
+              {"total_seconds", result.total_seconds}});
   }
   table.print(std::cout);
   return 0;

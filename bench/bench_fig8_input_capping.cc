@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
        +[](int cap) { return targets::make_mini_imb_target(cap); }},
   };
   const int reps = args.full ? 10 : 3;
+  bench::JsonEmitter json(args, "fig8_input_capping");
 
   for (const Sweep& sweep : sweeps) {
     std::cout << sweep.name << " (" << sweep.iterations
@@ -65,6 +66,13 @@ int main(int argc, char** argv) {
                      TablePrinter::num(avg / base, 1) + "x",
                      std::to_string(cov_total / reps),
                      std::to_string(cov_max)});
+      json.row(sweep.name + " cap=" + std::to_string(cap),
+               {{"cap", static_cast<double>(cap)},
+                {"avg_seconds", avg},
+                {"max_seconds", worst},
+                {"relative", avg / base},
+                {"avg_covered", static_cast<double>(cov_total / reps)},
+                {"max_covered", static_cast<double>(cov_max)}});
     }
     table.print(std::cout);
     std::cout << "\n";

@@ -4,21 +4,31 @@
 //   --full     paper-scale budgets (default is a quick mode that keeps the
 //              whole `for b in build/bench/*; do $b; done` sweep fast)
 //   --seed=N   base RNG seed (default 1)
+//   --json[=DIR]  ALSO write the results as BENCH_<experiment>.json into
+//              DIR (default ".") — one flat JSON object per file, rows as
+//              nested "row_N" objects in the journal dialect, so CI can
+//              archive machine-readable numbers next to the human tables
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compi/report.h"
+#include "obs/journal.h"
 
 namespace compi::bench {
 
 struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 1;
+  bool json = false;
+  std::string json_dir = ".";
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -28,8 +38,14 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.full = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json = true;
+      args.json_dir = argv[i] + 7;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--full] [--seed=N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--full] [--seed=N] [--json[=DIR]]\n";
     }
   }
   return args;
@@ -41,5 +57,61 @@ inline void banner(const std::string& experiment, const std::string& claim,
             << " ===\n"
             << "paper claim: " << claim << "\n\n";
 }
+
+/// Machine-readable sidecar for one bench run.  Construct with a slug
+/// ("fig8_input_capping"), add one row per measured configuration, and the
+/// destructor writes BENCH_<slug>.json — or nothing at all without --json,
+/// so the default sweep stays write-free.
+class JsonEmitter {
+ public:
+  JsonEmitter(const BenchArgs& args, std::string slug)
+      : enabled_(args.json), full_(args.full), seed_(args.seed),
+        slug_(std::move(slug)), dir_(args.json_dir) {}
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  /// One result row: a series label (target, strategy, ...) plus named
+  /// metric values.  No-op without --json.
+  void row(const std::string& series,
+           const std::map<std::string, double>& values) {
+    if (!enabled_) return;
+    rows_.emplace_back(series, values);
+  }
+
+  ~JsonEmitter() {
+    if (!enabled_) return;
+    std::string doc;
+    obs::JsonWriter w(doc);
+    w.field("experiment", slug_);
+    w.field_bool("full", full_);
+    w.field("seed", static_cast<std::int64_t>(seed_));
+    w.field("rows", static_cast<std::int64_t>(rows_.size()));
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      w.begin_object("row_" + std::to_string(i));
+      w.field("series", rows_[i].first);
+      for (const auto& [key, value] : rows_[i].second) {
+        w.field(key, value);
+      }
+      w.end_object();
+    }
+    w.finish();
+    const std::string path = dir_ + "/BENCH_" + slug_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << doc;
+      std::cout << "json results      : " << path << "\n";
+    } else {
+      std::cerr << "bench: cannot write " << path << "\n";
+    }
+  }
+
+ private:
+  bool enabled_;
+  bool full_;
+  std::uint64_t seed_;
+  std::string slug_;
+  std::string dir_;
+  std::vector<std::pair<std::string, std::map<std::string, double>>> rows_;
+};
 
 }  // namespace compi::bench

@@ -66,6 +66,8 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
           return fail("--frames needs 0..1000000");
         }
         cfg.top_frames = static_cast<int>(*v);
+      } else if (flag == "--fleet") {
+        cfg.top_fleet = true;
       } else if (flag == "--help" || flag == "-h") {
         cfg.show_help = true;
       } else if (!flag.empty() && flag[0] == '-') {
@@ -78,6 +80,34 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     }
     if (!cfg.show_help && cfg.top_target.empty()) {
       return fail("compi top needs a target: host:port or a status file");
+    }
+    return result;
+  }
+
+  // `compi trace-merge [--coordinator=DIR] [--out=PATH] SHARD_DIR...` —
+  // stitch a distributed campaign's Chrome traces into one timeline.
+  if (!args.empty() && args[0] == "trace-merge") {
+    cfg.trace_merge = true;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto [flag, value] = split_flag(args[i]);
+      if (flag == "--coordinator") {
+        if (value.empty()) return fail("--coordinator needs a session dir");
+        cfg.trace_merge_coordinator = value;
+      } else if (flag == "--out") {
+        if (value.empty()) return fail("--out needs a path");
+        cfg.trace_merge_out = value;
+      } else if (flag == "--help" || flag == "-h") {
+        cfg.show_help = true;
+      } else if (!flag.empty() && flag[0] == '-') {
+        return fail("unknown flag '" + flag + "' for compi trace-merge");
+      } else {
+        cfg.trace_merge_shards.push_back(args[i]);
+      }
+    }
+    if (!cfg.show_help && cfg.trace_merge_shards.empty() &&
+        cfg.trace_merge_coordinator.empty()) {
+      return fail("compi trace-merge needs shard session dirs "
+                  "(and/or --coordinator=DIR)");
     }
     return result;
   }
@@ -134,6 +164,18 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
         const auto v = want_int(0, 65'535);
         if (!v) return fail("--serve needs a port 0..65535 (0 = ephemeral)");
         cfg.campaign.serve_port = static_cast<int>(*v);
+      } else if (flag == "--trace") {
+        cfg.campaign.trace = true;
+      } else if (flag == "--trace-buffer-kb") {
+        const auto v = want_int(1, 1'048'576);
+        if (!v) return fail("--trace-buffer-kb needs 1..1048576");
+        cfg.campaign.trace_buffer_kb = static_cast<int>(*v);
+      } else if (flag == "--stall-window") {
+        const auto v = parse_double(value);
+        if (!v || *v < 1.0 || *v > 86'400.0) {
+          return fail("--stall-window needs seconds in 1..86400");
+        }
+        cfg.campaign.stall_window_seconds = *v;
       } else if (flag == "--help" || flag == "-h") {
         cfg.show_help = true;
       } else {
@@ -275,6 +317,12 @@ ParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--status-file") {
       if (value.empty()) return fail("--status-file needs a path");
       cfg.campaign.status_file = value;
+    } else if (flag == "--stall-window") {
+      const auto v = parse_double(value);
+      if (!v || *v < 1.0 || *v > 86'400.0) {
+        return fail("--stall-window needs seconds in 1..86400");
+      }
+      cfg.campaign.stall_window_seconds = *v;
     } else if (flag == "--serve") {
       const auto v = want_int(0, 65'535);
       if (!v) return fail("--serve needs a port 0..65535 (0 = ephemeral)");
@@ -387,6 +435,9 @@ std::string usage() {
         "                       iteration/solve/retry/kill) into the session\n"
         "  --status-file=PATH   atomically rewrite a one-object heartbeat\n"
         "                       JSON after every iteration\n"
+        "  --stall-window=SECS  coverage-plateau window before the stall\n"
+        "                       diagnosis engine classifies why the search\n"
+        "                       stopped progressing (default 20)\n"
         "  --serve=PORT         embedded control-plane HTTP server on\n"
         "                       127.0.0.1:PORT (0 = ephemeral; the bound port\n"
         "                       lands in the status heartbeat).  Endpoints:\n"
@@ -412,19 +463,30 @@ std::string usage() {
         "\n"
         "subcommands:\n"
         "  compi top <host:port|status-file> [--interval-ms=N] [--frames=N]\n"
+        "            [--fleet]\n"
         "                       live terminal dashboard for a campaign that\n"
-        "                       is serving (--serve) or writing --status-file\n"
+        "                       is serving (--serve) or writing --status-file;\n"
+        "                       --fleet renders a coordinator's per-shard\n"
+        "                       table (rates, leases, lag sparklines) from\n"
+        "                       its /fleet endpoint\n"
         "  compi coordinate [--port=N] [--budget=N] [--lease-quota=N]\n"
         "                   [--lease-ttl-ms=N] [--target=...] [--cap=N]\n"
         "                   [--log-dir=PATH] [--resume=PATH] [--journal]\n"
-        "                   [--serve=PORT]\n"
+        "                   [--serve=PORT] [--trace] [--trace-buffer-kb=N]\n"
+        "                   [--stall-window=SECS]\n"
         "                       fault-tolerant distributed campaign\n"
         "                       coordinator: partitions the iteration budget\n"
         "                       across --connect'ed shards as time-bounded\n"
         "                       leases, merges their coverage/bug/ledger\n"
         "                       deltas, reclaims leases from dead shards,\n"
         "                       and checkpoints so kill -9 + --resume loses\n"
-        "                       nothing\n";
+        "                       nothing\n"
+        "  compi trace-merge [--coordinator=DIR] [--out=PATH] SHARD_DIR...\n"
+        "                       stitch the coordinator's and each shard's\n"
+        "                       trace.json into one clock-aligned Chrome\n"
+        "                       trace (one process lane per shard; wall-\n"
+        "                       clock drift corrected from the handshake\n"
+        "                       stamps in the coordinator journal)\n";
   return os.str();
 }
 

@@ -28,6 +28,7 @@ struct CliConfig {
   std::string top_target;
   int top_interval_ms = 1000;
   int top_frames = 0;           // 0 = refresh until the campaign ends
+  bool top_fleet = false;       // --fleet: per-shard coordinator view
   // `compi coordinate`: distributed campaign coordinator.  Reuses
   // --target/--cap/--log-dir/--resume/--journal/--serve from the shared
   // flags; the fields below are its own.
@@ -36,6 +37,12 @@ struct CliConfig {
   std::int64_t coord_budget = 1000;
   int coord_lease_quota = 16;
   int coord_lease_ttl_ms = 10000;
+  // `compi trace-merge`: stitch coordinator + shard Chrome traces into one
+  // clock-aligned timeline.
+  bool trace_merge = false;
+  std::string trace_merge_coordinator;       // --coordinator=DIR (optional)
+  std::vector<std::string> trace_merge_shards;  // positional shard dirs
+  std::string trace_merge_out;               // --out=PATH (default stdout)
   // Campaign shard mode: --connect=HOST:PORT attaches the campaign to a
   // coordinator (degrades to standalone when it is unreachable).
   std::string connect;
@@ -103,13 +110,22 @@ struct ParseResult {
 ///   --shard-name=NAME    human-readable shard identity (default "shard")
 ///   --shard-heartbeat-ms=N  lease-keepalive cadence (default 1000)
 ///
-/// Subcommand: `top <host:port|status-file> [--interval-ms=N] [--frames=N]`
-/// fills the `top*` fields instead of running a campaign.
+/// Campaign/coordinator shared: `--stall-window=SECS` sets the coverage
+/// plateau the stall-diagnosis engine requires before it classifies a
+/// stall (default 20).
+///
+/// Subcommand: `top <host:port|status-file> [--interval-ms=N] [--frames=N]
+/// [--fleet]` fills the `top*` fields instead of running a campaign;
+/// --fleet renders the coordinator's per-shard table from GET /fleet.
 ///
 /// Subcommand: `coordinate [--port=N] [--budget=N] [--lease-quota=N]
 /// [--lease-ttl-ms=N] [--target=...] [--cap=N] [--log-dir=PATH]
-/// [--resume=PATH] [--journal] [--serve=PORT]` fills the `coord*` fields
+/// [--resume=PATH] [--journal] [--serve=PORT] [--trace]
+/// [--trace-buffer-kb=N] [--stall-window=SECS]` fills the `coord*` fields
 /// and runs the distributed campaign coordinator.
+///
+/// Subcommand: `trace-merge [--coordinator=DIR] [--out=PATH] SHARD_DIR...`
+/// merges coordinator + shard trace.json files into one Chrome trace.
 [[nodiscard]] ParseResult parse_cli(const std::vector<std::string>& args);
 
 [[nodiscard]] std::string usage();

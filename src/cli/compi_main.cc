@@ -1,4 +1,6 @@
 // The `compi` tool binary: run a testing campaign from the command line.
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -9,6 +11,8 @@
 #include "compi/random_tester.h"
 #include "compi/report.h"
 #include "compi/shard_link.h"
+#include "obs/journal.h"
+#include "obs/trace_merge.h"
 #include "serve/dashboard.h"
 #include "targets/targets.h"
 
@@ -46,6 +50,12 @@ void print_report(const TargetInfo& target, const CampaignResult& result,
             << "s solve)\n";
   print_sandbox_summary(std::cout, result);
   print_matchings_summary(std::cout, result);
+  if (result.stall_kind != "progressing" && !result.stall_kind.empty()) {
+    std::cout << "\nWhy progress stopped: " << result.stall_kind << "\n  "
+              << result.stall_detail << "\n  (no new coverage for the last "
+              << TablePrinter::num(result.stalled_seconds, 1)
+              << "s of the campaign)\n";
+  }
   std::cout << "\nPhase profile (per-iteration percentiles in us):\n";
   print_phase_breakdown(std::cout, compute_phase_breakdown(result));
   if (result.bugs.empty()) {
@@ -106,7 +116,33 @@ int main(int argc, char** argv) {
     opts.target = cfg.top_target;
     opts.interval_ms = cfg.top_interval_ms;
     opts.frames = cfg.top_frames;
+    opts.fleet = cfg.top_fleet;
     return serve::run_top(opts, std::cout);
+  }
+  if (cfg.trace_merge) {
+    obs::TraceMergeOptions opts;
+    opts.coordinator_dir = cfg.trace_merge_coordinator;
+    opts.shard_dirs = cfg.trace_merge_shards;
+    std::string error;
+    if (cfg.trace_merge_out.empty()) {
+      if (!obs::merge_traces(opts, std::cout, &error)) {
+        std::cerr << "compi trace-merge: " << error << "\n";
+        return 1;
+      }
+      return 0;
+    }
+    std::ofstream out(cfg.trace_merge_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "compi trace-merge: cannot write " << cfg.trace_merge_out
+                << "\n";
+      return 1;
+    }
+    if (!obs::merge_traces(opts, out, &error)) {
+      std::cerr << "compi trace-merge: " << error << "\n";
+      return 1;
+    }
+    std::cout << "merged trace      : " << cfg.trace_merge_out << "\n";
+    return 0;
   }
   if (cfg.coordinate) {
     const TargetInfo target = build_target(cfg);
@@ -119,6 +155,9 @@ int main(int argc, char** argv) {
     co.resume = cfg.campaign.resume;
     co.journal = cfg.campaign.journal;
     co.serve_port = cfg.campaign.serve_port;
+    co.trace = cfg.campaign.trace;
+    co.trace_buffer_kb = cfg.campaign.trace_buffer_kb;
+    co.stall_window_seconds = cfg.campaign.stall_window_seconds;
     Coordinator coord(target, co);
     if (!coord.start()) {
       std::cerr << "error: coordinator could not bind 127.0.0.1:"
@@ -146,6 +185,11 @@ int main(int argc, char** argv) {
               << "shards joined     : " << coord.shards_joined()
               << " (lost " << coord.shards_lost() << ", leases reclaimed "
               << coord.leases_reclaimed() << ")\n";
+    const auto [stall_kind, stall_detail] = coord.diagnosis();
+    if (stall_kind != "progressing" && !stall_kind.empty()) {
+      std::cout << "why stopped       : " << stall_kind << " ("
+                << stall_detail << ")\n";
+    }
     for (const BugRecord& bug : coord.bugs()) {
       std::cout << "  [" << rt::to_string(bug.outcome) << "] " << bug.message
                 << "\n";
@@ -181,6 +225,22 @@ int main(int argc, char** argv) {
                 << " unreachable; running standalone and retrying\n";
     }
     campaign.work_source = &*link;
+    // Identity sidecar for `compi trace-merge`: maps this session dir to
+    // the shard key the coordinator journals (and labels the merged lane).
+    if (!campaign.log_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(campaign.log_dir, ec);
+      std::ofstream sidecar(
+          std::filesystem::path(campaign.log_dir) / "shard.json");
+      if (sidecar) {
+        std::string doc;
+        obs::JsonWriter w(doc);
+        w.field("key", link->key());
+        w.field("name", cfg.shard_name);
+        w.finish();
+        sidecar << doc;
+      }
+    }
   }
   const CampaignResult result =
       cfg.random_baseline ? RandomTester(target, cfg.campaign).run()

@@ -51,6 +51,31 @@ bool read_sync(std::istream& is, CoverageSync& s) {
          read_list(is, "iseen", s.interleaving_seen);
 }
 
+void write_telemetry(std::ostream& os, const ShardTelemetry& t) {
+  if (!t.valid) return;
+  os << "telemetry " << t.elapsed_us << ' ' << t.iterations << ' '
+     << t.covered << ' ' << t.frontier_depth << ' '
+     << t.interleavings_pending << ' ' << t.solver_sat << ' '
+     << t.solver_unsat << ' ' << t.solver_budget << ' ' << t.exec_us << ' '
+     << t.solve_us << '\n';
+}
+
+/// The telemetry line is optional (a heartbeat sent before the first
+/// iteration has nothing to report): absence leaves `valid` false and is
+/// not an error; a present-but-torn line is.
+bool read_telemetry(std::istream& is, ShardTelemetry& t) {
+  std::string tag;
+  if (!(is >> tag)) return true;
+  if (tag != "telemetry") return false;
+  if (!(is >> t.elapsed_us >> t.iterations >> t.covered >> t.frontier_depth >>
+        t.interleavings_pending >> t.solver_sat >> t.solver_unsat >>
+        t.solver_budget >> t.exec_us >> t.solve_us)) {
+    return false;
+  }
+  t.valid = true;
+  return true;
+}
+
 }  // namespace
 
 std::string shard_key(const std::string& name, std::uint64_t token) {
@@ -62,13 +87,14 @@ std::string shard_key(const std::string& name, std::uint64_t token) {
 std::string encode_hello(const HelloMsg& m) {
   std::ostringstream os;
   os << "hello " << m.version << ' ' << m.token << ' ' << m.seed << ' '
-     << escape(m.name) << '\n';
+     << m.wall_us << ' ' << escape(m.name) << '\n';
   return os.str();
 }
 
 bool decode_hello(const std::string& payload, HelloMsg& m) {
   std::istringstream is(payload);
-  if (!expect(is, "hello") || !(is >> m.version >> m.token >> m.seed)) {
+  if (!expect(is, "hello") ||
+      !(is >> m.version >> m.token >> m.seed >> m.wall_us)) {
     return false;
   }
   m.name = unescape(read_tail(is));
@@ -128,6 +154,7 @@ std::string encode_delta(const DeltaMsg& m) {
   os << "bugs " << m.bugs.size() << '\n';
   for (const BugRecord& b : m.bugs) ckpt::write_bug(os, b);
   ckpt::write_blob(os, "ledger_lines", m.ledger_blob);
+  write_telemetry(os, m.telemetry);
   return os.str();
 }
 
@@ -153,12 +180,14 @@ bool decode_delta(const std::string& payload, DeltaMsg& m) {
     if (!ckpt::read_bug(is, b)) return false;
     m.bugs.push_back(std::move(b));
   }
-  return ckpt::read_blob(is, "ledger_lines", m.ledger_blob);
+  return ckpt::read_blob(is, "ledger_lines", m.ledger_blob) &&
+         read_telemetry(is, m.telemetry);
 }
 
 std::string encode_heartbeat(const HeartbeatMsg& m) {
   std::ostringstream os;
   os << "heartbeat " << escape(m.shard) << '\n';
+  write_telemetry(os, m.telemetry);
   return os.str();
 }
 
@@ -166,7 +195,8 @@ bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m) {
   std::istringstream is(payload);
   if (!expect(is, "heartbeat")) return false;
   m.shard = unescape(read_tail(is));
-  return !m.shard.empty();
+  if (m.shard.empty()) return false;
+  return read_telemetry(is, m.telemetry);
 }
 
 std::string encode_ack(const AckMsg& m) {

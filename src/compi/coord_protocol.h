@@ -39,7 +39,10 @@
 
 namespace compi::coord {
 
-inline constexpr int kProtocolVersion = 1;
+/// v2 adds the shard telemetry piggyback on Delta/Heartbeat frames and the
+/// wall-clock field in Hello (trace clock alignment).  Hello checks the
+/// version for equality, so v1 and v2 processes refuse each other cleanly.
+inline constexpr int kProtocolVersion = 2;
 
 // Frame type tags, and the valid-type sets each side hands its
 // WireFrameReader (anything else marks the stream corrupt and drops the
@@ -71,6 +74,30 @@ struct HelloMsg {
   std::string name;           ///< human-chosen shard name (--shard-name)
   std::uint64_t token = 0;    ///< minted once per shard process
   std::uint64_t seed = 0;     ///< shard campaign seed (logged, not checked)
+  /// Shard wall clock (microseconds since the Unix epoch) sampled when the
+  /// Hello was encoded.  The coordinator samples its own clock on receipt
+  /// and journals both, giving `compi trace-merge` a per-handshake offset
+  /// to align shard trace timestamps onto the coordinator's timeline.
+  std::int64_t wall_us = 0;
+};
+
+/// Compact progress snapshot a shard piggybacks on Delta and Heartbeat
+/// frames: everything the coordinator needs to compute iters/sec, lag, and
+/// stall diagnoses without a second connection.  All counters are
+/// CUMULATIVE since shard start (same idempotency contract as Delta), and
+/// times are integer microseconds so the text encoding is lossless.
+struct ShardTelemetry {
+  bool valid = false;  ///< false = frame carried no telemetry line
+  std::int64_t elapsed_us = 0;     ///< shard wall time since campaign start
+  std::int64_t iterations = 0;     ///< cumulative iterations completed
+  std::int64_t covered = 0;        ///< local covered-branch count
+  std::int64_t frontier_depth = 0; ///< pending negation-frontier entries
+  std::int64_t interleavings_pending = 0;  ///< unexplored match frontier
+  std::int64_t solver_sat = 0;     ///< cumulative SAT outcomes
+  std::int64_t solver_unsat = 0;   ///< cumulative UNSAT outcomes
+  std::int64_t solver_budget = 0;  ///< cumulative budget-exhausted outcomes
+  std::int64_t exec_us = 0;        ///< cumulative target-execution time
+  std::int64_t solve_us = 0;       ///< cumulative solver time
 };
 
 struct WelcomeMsg {
@@ -104,10 +131,12 @@ struct DeltaMsg {
   /// Full CoverageLedger snapshot; empty = no ledger upload this delta.
   std::string ledger_blob;
   bool final_report = false;
+  ShardTelemetry telemetry;
 };
 
 struct HeartbeatMsg {
   std::string shard;
+  ShardTelemetry telemetry;
 };
 
 struct AckMsg {

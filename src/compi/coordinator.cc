@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -15,9 +17,11 @@
 #include "compi/driver_internal.h"
 #include "compi/ledger.h"
 #include "compi/session.h"
+#include "obs/diagnosis.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/status.h"
+#include "obs/trace.h"
 #include "serve/control_plane.h"
 #include "serve/frame.h"
 #include "serve/msg_server.h"
@@ -36,6 +40,18 @@ struct LiveLease {
   Clock::time_point deadline;
 };
 
+/// One per-shard telemetry reading in the coordinator-relative clock; the
+/// fleet view derives live rates and lag sparklines from a short ring of
+/// these.
+struct FleetSample {
+  double at = 0.0;  ///< coordinator elapsed seconds at receipt
+  std::int64_t iterations = 0;
+  std::int64_t covered = 0;
+};
+
+/// Telemetry samples retained per shard (~2 minutes at 1 Hz deltas).
+constexpr std::size_t kFleetSampleCap = 128;
+
 struct ShardState {
   std::string name;   ///< display name (key without the token)
   int ordinal = 0;
@@ -45,7 +61,28 @@ struct ShardState {
   std::size_t covered_cursor = 0;
   std::size_t iseen_cursor = 0;
   Clock::time_point last_seen;
+  /// Latest snapshot piggybacked on this shard's deltas/heartbeats
+  /// (valid=false until the first frame carrying one arrives).
+  coord::ShardTelemetry telemetry;
+  std::deque<FleetSample> samples;
 };
+
+[[nodiscard]] std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Iterations/second over the shard's retained sample window; 0 until two
+/// samples with distinct timestamps exist.
+[[nodiscard]] double shard_rate(const ShardState& sh) {
+  if (sh.samples.size() < 2) return 0.0;
+  const FleetSample& a = sh.samples.front();
+  const FleetSample& b = sh.samples.back();
+  const double dt = b.at - a.at;
+  if (dt <= 0.0) return 0.0;
+  return static_cast<double>(b.iterations - a.iterations) / dt;
+}
 
 }  // namespace
 
@@ -88,6 +125,11 @@ struct Coordinator::Impl {
   Clock::time_point last_checkpoint = Clock::now();
   bool dirty = false;
 
+  /// Fleet stall diagnosis, fed ~1 Hz from on_tick (declared after the
+  /// journal it writes transitions into).
+  obs::DiagnosisEngine diagnosis_engine{&journal};
+  Clock::time_point last_diagnosis = Clock::now();
+
   obs::Counter& m_joined = obs::registry().counter(
       "compi_shards_joined_total", "Shard join handshakes accepted");
   obs::Counter& m_lost = obs::registry().counter(
@@ -122,13 +164,168 @@ struct Coordinator::Impl {
     return completed >= opts.budget;
   }
 
-  /// Per-shard heartbeat gauge, named by the shard's display name.
+  /// Per-shard heartbeat gauge, named by the shard's display name
+  /// (labeled_name escapes it — shard names are operator-chosen strings).
   void touch_heartbeat_gauge(const ShardState& sh) {
     obs::registry()
-        .gauge("compi_shard_last_heartbeat_seconds{shard=\"" + sh.name +
-                   "\"}",
+        .gauge(obs::labeled_name("compi_shard_last_heartbeat_seconds",
+                                 "shard", sh.name),
                "Coordinator-relative time of each shard's last frame")
         .set(static_cast<std::int64_t>(elapsed()));
+  }
+
+  /// Absorbs a telemetry snapshot piggybacked on a delta or heartbeat:
+  /// latest reading, the rate-ring sample, and the shard-labeled gauges.
+  void note_telemetry_locked(ShardState& sh,
+                             const coord::ShardTelemetry& t) {
+    if (!t.valid) return;
+    sh.telemetry = t;
+    sh.samples.push_back(FleetSample{elapsed(), t.iterations, t.covered});
+    if (sh.samples.size() > kFleetSampleCap) sh.samples.pop_front();
+    auto& reg = obs::registry();
+    reg.gauge(obs::labeled_name("compi_shard_iterations", "shard", sh.name),
+              "Iterations completed per shard (self-reported)")
+        .set(t.iterations);
+    reg.gauge(
+           obs::labeled_name("compi_shard_covered_branches", "shard",
+                             sh.name),
+           "Covered branches per shard (self-reported, pre-merge)")
+        .set(t.covered);
+    reg.gauge(obs::labeled_name("compi_shard_frontier_depth", "shard",
+                                sh.name),
+              "Negation frontier depth per shard (self-reported)")
+        .set(t.frontier_depth);
+  }
+
+  /// Aggregated fleet view for the stall classifier.  frontier_depth stays
+  /// -1 (unknown) until some shard reports telemetry — a coordinator in
+  /// front of telemetry-less shards must not read as frontier-starved.
+  [[nodiscard]] obs::DiagnosisInput diagnosis_input_locked() const {
+    obs::DiagnosisInput in;
+    in.elapsed_seconds = elapsed();
+    in.plateau_window_seconds = opts.stall_window_seconds;
+    in.shards_joined = static_cast<std::int64_t>(joined);
+    in.leases_reclaimed = static_cast<std::int64_t>(reclaimed);
+    const auto now = Clock::now();
+    for (const auto& [key, sh] : shards) {
+      if (sh.telemetry.valid) {
+        if (in.frontier_depth < 0) in.frontier_depth = 0;
+        in.frontier_depth += sh.telemetry.frontier_depth;
+        in.interleavings_pending += sh.telemetry.interleavings_pending;
+        in.solver_sat += sh.telemetry.solver_sat;
+        in.solver_unsat += sh.telemetry.solver_unsat;
+        in.solver_budget += sh.telemetry.solver_budget;
+      }
+      obs::ShardProgress p;
+      p.name = sh.name;
+      p.rate = shard_rate(sh);
+      p.connected = sh.connected;
+      p.since_last_seen =
+          std::chrono::duration<double>(now - sh.last_seen).count();
+      in.shards.push_back(std::move(p));
+    }
+    return in;
+  }
+
+  /// Re-runs the classifier (at most ~1 Hz unless forced) and republishes
+  /// the verdict on the status board.
+  void update_diagnosis_locked(bool force) {
+    const auto now = Clock::now();
+    if (!force && now - last_diagnosis < std::chrono::seconds(1)) return;
+    last_diagnosis = now;
+    const obs::Diagnosis diag = diagnosis_engine.update(
+        diagnosis_input_locked(),
+        static_cast<std::int64_t>(coverage.covered_branches()),
+        static_cast<int>(std::min<std::int64_t>(completed, INT32_MAX)));
+    if (board != nullptr) {
+      board->set_diagnosis(obs::to_string(diag.kind), diag.detail,
+                           diag.stalled_seconds);
+    }
+  }
+
+  /// The /fleet document: coordinator totals plus one nested object per
+  /// shard, in the same flat JSON dialect as /status (no arrays) so
+  /// `compi top --fleet` parses it with the journal's object parser.
+  [[nodiscard]] std::string fleet_json_locked() const {
+    std::string out;
+    obs::JsonWriter w(out);
+    w.field("budget", opts.budget);
+    w.field("completed", completed);
+    w.field("elapsed_seconds", elapsed());
+    w.field("shards_connected",
+            static_cast<std::int64_t>(connected_count_locked()));
+    w.field("shards_joined", static_cast<std::int64_t>(joined));
+    w.field("shards_lost", static_cast<std::int64_t>(lost));
+    w.field("leases_reclaimed", static_cast<std::int64_t>(reclaimed));
+    w.field("covered_branches",
+            static_cast<std::int64_t>(coverage.covered_branches()));
+    w.field("bugs", static_cast<std::int64_t>(bugs.size()));
+    const obs::Diagnosis& diag = diagnosis_engine.current();
+    w.field("diagnosis_kind", obs::to_string(diag.kind));
+    w.field("diagnosis_detail", diag.detail);
+    const auto now = Clock::now();
+    // Stable order: by join ordinal, so shard_N indexes don't shuffle
+    // between polls.
+    std::vector<const ShardState*> ordered;
+    ordered.reserve(shards.size());
+    for (const auto& [key, sh] : shards) ordered.push_back(&sh);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const ShardState* a, const ShardState* b) {
+                return a->ordinal < b->ordinal;
+              });
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const ShardState& sh = *ordered[i];
+      std::int64_t lease_count = 0;
+      std::int64_t lease_remaining = 0;
+      for (const auto& [id, l] : leases) {
+        // Lease keys are full shard keys; resolve through the map to
+        // compare against this shard.
+        const auto it = shards.find(l.shard);
+        if (it != shards.end() && &it->second == &sh) {
+          ++lease_count;
+          lease_remaining += l.remaining;
+        }
+      }
+      w.begin_object("shard_" + std::to_string(i));
+      w.field("name", sh.name);
+      w.field("ordinal", static_cast<std::int64_t>(sh.ordinal));
+      w.field_bool("connected", sh.connected);
+      w.field("since_last_seen",
+              std::chrono::duration<double>(now - sh.last_seen).count());
+      // Prefer the telemetry snapshot (piggybacked at heartbeat cadence)
+      // over the delta-merged count: the dashboard should show where the
+      // shard IS, not where its last merge left it.
+      w.field("iterations", sh.telemetry.valid ? sh.telemetry.iterations
+                                               : sh.iterations_completed);
+      w.field("rate", shard_rate(sh));
+      w.field("leases", lease_count);
+      w.field("lease_remaining", lease_remaining);
+      w.field_bool("telemetry", sh.telemetry.valid);
+      if (sh.telemetry.valid) {
+        const coord::ShardTelemetry& t = sh.telemetry;
+        w.field("covered", t.covered);
+        w.field("frontier_depth", t.frontier_depth);
+        w.field("interleavings_pending", t.interleavings_pending);
+        w.field("solver_sat", t.solver_sat);
+        w.field("solver_unsat", t.solver_unsat);
+        w.field("solver_budget", t.solver_budget);
+        w.field("exec_us", t.exec_us);
+        w.field("solve_us", t.solve_us);
+      }
+      // Lag sparkline data: "elapsed:iterations" pairs, the same encoding
+      // trick the status heartbeat uses for its coverage timeline.
+      std::string spark;
+      for (const FleetSample& s : sh.samples) {
+        if (!spark.empty()) spark.push_back(' ');
+        spark += std::to_string(static_cast<std::int64_t>(s.at));
+        spark.push_back(':');
+        spark += std::to_string(s.iterations);
+      }
+      w.field("timeline", spark);
+      w.end_object();
+    }
+    w.finish();
+    return out;
   }
 
   void update_board_locked() {
@@ -153,6 +350,8 @@ struct Coordinator::Impl {
   void reclaim_lease_locked(std::uint64_t id, const char* reason) {
     const auto it = leases.find(id);
     if (it == leases.end()) return;
+    obs::instant(obs::Cat::kCoord, "lease_reclaimed", "lease",
+                 static_cast<std::int64_t>(id));
     obs::JournalEvent(journal, "lease_reclaimed",
                       static_cast<int>(std::min<std::int64_t>(completed,
                                                               INT32_MAX)))
@@ -200,6 +399,8 @@ struct Coordinator::Impl {
 
   /// Covered-log suffix past the shard's cursors; advances the cursors.
   [[nodiscard]] coord::CoverageSync sync_for_locked(ShardState& sh) {
+    obs::ObsSpan span(obs::Cat::kCoord, "broadcast", "covered_from",
+                      static_cast<std::int64_t>(sh.covered_cursor));
     coord::CoverageSync sync;
     sync.completed = completed;
     sync.budget = opts.budget;
@@ -216,6 +417,8 @@ struct Coordinator::Impl {
 
   void merge_delta_locked(ShardState& sh, const std::string& key,
                           const coord::DeltaMsg& m) {
+    obs::ObsSpan span(obs::Cat::kCoord, "merge_delta", "iterations",
+                      m.iterations);
     // Cumulative iteration cursor: max() makes replays idempotent.
     const std::int64_t increment =
         std::max<std::int64_t>(0, m.iterations - sh.iterations_completed);
@@ -278,8 +481,10 @@ struct Coordinator::Impl {
       (void)ledger.merge(is);
     }
 
+    note_telemetry_locked(sh, m.telemetry);
     renew_locked(sh, key);
     update_board_locked();
+    update_diagnosis_locked(/*force=*/false);
     ++deltas_since_checkpoint;
     dirty = true;
     journal.flush();
@@ -315,12 +520,19 @@ struct Coordinator::Impl {
         m_joined.inc();
         m_connected.set(
             static_cast<std::int64_t>(connected_count_locked()));
+        obs::instant(obs::Cat::kCoord, "shard_joined", "ordinal",
+                     sh.ordinal);
+        // Both sides' wall clocks at the handshake: `compi trace-merge`
+        // derives per-shard clock drift from these to align the merged
+        // timeline.
         obs::JournalEvent(journal, "shard_joined",
                           static_cast<int>(std::min<std::int64_t>(
                               completed, INT32_MAX)))
             .str("shard", key)
             .num("ordinal", sh.ordinal)
-            .boolean("rejoin", !fresh);
+            .boolean("rejoin", !fresh)
+            .num("shard_wall_us", m.wall_us)
+            .num("coord_wall_us", wall_clock_us());
         journal.flush();
         // Welcome is a full resync: reset the cursors so the sync below
         // carries the complete covered/seen logs.  This is what makes a
@@ -342,6 +554,7 @@ struct Coordinator::Impl {
         const auto it = shards.find(m.shard);
         if (it == shards.end()) return error_reply("unknown shard");
         ShardState& sh = it->second;
+        obs::ObsSpan span(obs::Cat::kCoord, "lease_grant");
         renew_locked(sh, m.shard);
         coord::LeaseGrantMsg g;
         if (done_locked()) {
@@ -386,6 +599,7 @@ struct Coordinator::Impl {
         }
         const auto it = shards.find(m.shard);
         if (it == shards.end()) return error_reply("unknown shard");
+        note_telemetry_locked(it->second, m.telemetry);
         renew_locked(it->second, m.shard);
         coord::AckMsg a;
         a.stop = done_locked();
@@ -449,6 +663,7 @@ struct Coordinator::Impl {
       }
     }
     if (!expired.empty()) journal.flush();
+    update_diagnosis_locked(/*force=*/false);
     maybe_checkpoint_locked(false);
   }
 
@@ -544,8 +759,13 @@ struct Coordinator::Impl {
     for (auto& [key, sh] : shards) {
       if (sh.connected) mark_lost_locked(sh, key, "coordinator_stop");
     }
+    update_diagnosis_locked(/*force=*/true);
     dirty = true;
     maybe_checkpoint_locked(true);
+    if (opts.trace && !opts.log_dir.empty()) {
+      std::ofstream out(std::filesystem::path(opts.log_dir) / "trace.json");
+      obs::tracer().write_chrome_json(out);
+    }
     if (session != nullptr) {
       CampaignResult result;
       result.bugs = bugs;
@@ -571,6 +791,11 @@ Coordinator::~Coordinator() { stop(); }
 bool Coordinator::start() {
   Impl& im = *impl_;
   if (im.server.running()) return false;
+  if (im.opts.trace) {
+    obs::tracer().configure(
+        static_cast<std::size_t>(std::max(1, im.opts.trace_buffer_kb)));
+    obs::tracer().set_enabled(true);
+  }
   if (!im.opts.log_dir.empty()) {
     im.session = std::make_unique<SessionWriter>(im.opts.log_dir, 0);
     if (im.opts.resume) {
@@ -623,12 +848,28 @@ bool Coordinator::start() {
     cp.registry = &obs::registry();
     cp.journal = &im.journal;
     cp.status = [board = im.board] { return board->snapshot(); };
+    cp.fleet = [im = impl_.get()] {
+      std::lock_guard<std::mutex> lock(im->mu);
+      return im->fleet_json_locked();
+    };
+    // /healthz carries the real fleet verdict: 503 once the diagnosis
+    // engine classifies the merged coverage curve as stalled (a finished
+    // campaign is healthy, not stalled).
     cp.healthy = [im = impl_.get()]() -> std::pair<bool, std::string> {
       std::lock_guard<std::mutex> lock(im->mu);
       std::ostringstream os;
       os << "coordinating: " << im->completed << '/' << im->opts.budget
          << " iterations, " << im->connected_count_locked() << " shards";
-      return {true, os.str()};
+      if (im->done_locked()) {
+        os << "; budget complete";
+        return {true, os.str()};
+      }
+      const obs::Diagnosis& diag = im->diagnosis_engine.current();
+      if (diag.kind == obs::StallKind::kProgressing) {
+        return {true, os.str()};
+      }
+      os << "; " << diag.detail;
+      return {false, os.str()};
     };
     if (im.control_plane.start(std::move(cp)) && im.board != nullptr) {
       im.board->set_serve_port(im.control_plane.port());
@@ -705,6 +946,17 @@ std::size_t Coordinator::shards_lost() const {
 std::size_t Coordinator::leases_reclaimed() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->reclaimed;
+}
+
+std::string Coordinator::fleet_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->fleet_json_locked();
+}
+
+std::pair<std::string, std::string> Coordinator::diagnosis() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const obs::Diagnosis& d = impl_->diagnosis_engine.current();
+  return {obs::to_string(d.kind), d.detail};
 }
 
 }  // namespace compi

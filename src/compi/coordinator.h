@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compi/driver.h"
@@ -71,6 +72,14 @@ struct CoordinatorOptions {
   int serve_port = -1;
   /// Checkpoint after this many merged deltas (and on stop).
   int checkpoint_every_deltas = 8;
+  /// Record coordinator spans (lease grant/reclaim, delta merge, broadcast
+  /// sync) into the trace ring and write <log_dir>/trace.json on stop —
+  /// the coordinator lane `compi trace-merge` stitches shard traces onto.
+  bool trace = false;
+  int trace_buffer_kb = 256;
+  /// Seconds without new merged coverage before the stall-diagnosis engine
+  /// classifies the fleet as stalled (obs/diagnosis.h).
+  double stall_window_seconds = 20.0;
 };
 
 class Coordinator {
@@ -109,6 +118,12 @@ class Coordinator {
   [[nodiscard]] std::size_t shards_joined() const;
   [[nodiscard]] std::size_t shards_lost() const;
   [[nodiscard]] std::size_t leases_reclaimed() const;
+  /// The /fleet JSON document (per-shard telemetry, lease state, rates),
+  /// rendered from live state — same bytes the HTTP endpoint serves.
+  [[nodiscard]] std::string fleet_json() const;
+  /// Current stall-diagnosis verdict: kind ("progressing",
+  /// "frontier-starved", ...) and human detail sentence.
+  [[nodiscard]] std::pair<std::string, std::string> diagnosis() const;
 
  private:
   struct Impl;

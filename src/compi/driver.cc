@@ -18,6 +18,7 @@
 #include "compi/session.h"
 #include "compi/work_source.h"
 #include "minimpi/launcher.h"
+#include "obs/diagnosis.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/phase_clock.h"
@@ -345,6 +346,9 @@ CampaignResult Campaign::run_serial() {
       }
       detail << "stalled: no progress for " << static_cast<int>(stall)
              << "s (threshold " << static_cast<int>(stall_threshold) << "s)";
+      if (!s.diagnosis_detail.empty()) {
+        detail << "; " << s.diagnosis_detail;
+      }
       return std::make_pair(false, detail.str());
     };
     if (control_plane.start(std::move(cp))) {
@@ -473,6 +477,32 @@ CampaignResult Campaign::run_serial() {
   int executed = 0;   // iterations run by THIS process (halt hook)
   bool halted = false;
 
+  // Running totals for the telemetry piggyback (work_source.h) and the
+  // stall-diagnosis engine: cumulative solver outcome mix and phase time.
+  std::int64_t tele_sat = 0, tele_unsat = 0, tele_budget = 0;
+  std::int64_t tele_exec_us = 0, tele_solve_us = 0;
+  // Live frontier depth: the last planned constraint set's size, or 0 the
+  // moment the strategy ran dry (that is the frontier-starved signal).
+  std::int64_t tele_frontier = -1;
+
+  // Stall diagnosis (obs/diagnosis.h): fed once per iteration, journals
+  // verdict transitions, and leaves its final verdict on the result.  Pure
+  // computation over local state — obs-off and serve-off sessions see the
+  // identical artifact bytes they always did.
+  obs::DiagnosisEngine diagnosis_engine(&journal);
+  const auto diagnosis_input = [&] {
+    obs::DiagnosisInput in;
+    in.elapsed_seconds = elapsed();
+    in.frontier_depth = tele_frontier;
+    in.interleavings_pending =
+        static_cast<std::int64_t>(interleavings.queue.size());
+    in.solver_sat = tele_sat;
+    in.solver_unsat = tele_unsat;
+    in.solver_budget = tele_budget;
+    in.plateau_window_seconds = options_.stall_window_seconds;
+    return in;
+  };
+
   // Bug-budget exhaustion (--max-bugs) ends the campaign gracefully: the
   // loop breaks, and summary/ledger/obs exports below all still run.
   const auto bug_budget_hit = [&] {
@@ -499,7 +529,21 @@ CampaignResult Campaign::run_serial() {
       d.iterations_completed =
           static_cast<std::int64_t>(result.iterations.size());
       d.bugs = result.bugs;
+      if (tele_frontier >= 0) {
+        d.frontier_depth = tele_frontier;
+      } else if (!result.iterations.empty()) {
+        d.frontier_depth = static_cast<std::int64_t>(
+            result.iterations.back().constraint_set_size);
+      }
     }
+    d.elapsed_us = static_cast<std::int64_t>(elapsed() * 1e6);
+    d.interleavings_pending =
+        static_cast<std::int64_t>(interleavings.queue.size());
+    d.solver_sat = tele_sat;
+    d.solver_unsat = tele_unsat;
+    d.solver_budget = tele_budget;
+    d.exec_us = tele_exec_us;
+    d.solve_us = tele_solve_us;
     d.ledger_blob = [&] {
       const auto live = live_lock();
       std::ostringstream blob;
@@ -552,8 +596,13 @@ CampaignResult Campaign::run_serial() {
         .num("worker", rec.worker)
         .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
+    const obs::Diagnosis diag = diagnosis_engine.update(
+        diagnosis_input(), static_cast<std::int64_t>(rec.covered_branches),
+        rec.iteration);
     journal.flush();
     if (board == nullptr) return;
+    board->set_diagnosis(obs::to_string(diag.kind), diag.detail,
+                         diag.stalled_seconds);
     board->record_iteration(rec.iteration, rec.covered_branches,
                             result.bugs.size(), elapsed(), rec.nprocs,
                             rec.focus, rt::to_string(rec.outcome),
@@ -733,6 +782,7 @@ CampaignResult Campaign::run_serial() {
     rec.restart = next_is_restart;
     rec.retries = iter_retries;
     m_exec_us.observe(static_cast<std::int64_t>(rec.exec_seconds * 1e6));
+    tele_exec_us += static_cast<std::int64_t>(rec.exec_seconds * 1e6);
     m_covered.set(static_cast<std::int64_t>(rec.covered_branches));
 
     // ---- wildcard matchings: journal the decisions, fork alternatives ----
@@ -944,6 +994,13 @@ CampaignResult Campaign::run_serial() {
           .num("nodes", rec.solver_nodes - nodes_before)
           .num("slice_size", static_cast<std::int64_t>(solved.slice_size));
       if (solved.sat) {
+        ++tele_sat;
+      } else if (solved.budget_exhausted) {
+        ++tele_budget;
+      } else {
+        ++tele_unsat;
+      }
+      if (solved.sat) {
         plan = framework.plan_next_test(solved, focus_log, plan);
         strategy->accepted(*cand);
         pending_depth = cand->depth;
@@ -964,7 +1021,10 @@ CampaignResult Campaign::run_serial() {
     rec.solve_seconds = obs::thread_cpu_seconds() - solve_cpu_start;
     rec.retries = iter_retries;
     m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
+    tele_solve_us += static_cast<std::int64_t>(rec.solve_seconds * 1e6);
     m_solver_nodes.observe(rec.solver_nodes);
+    tele_frontier =
+        planned ? static_cast<std::int64_t>(rec.constraint_set_size) : 0;
     {
       const auto live = live_lock();
       result.iterations.push_back(rec);
@@ -998,6 +1058,19 @@ CampaignResult Campaign::run_serial() {
   // budget, stop grant): the work source retains it for reconciliation
   // even when the coordinator is unreachable right now.
   report_work(/*final_report=*/true);
+
+  // Final stall verdict for the report and --explain: one more sample at
+  // the terminal state (the loop may have exited between samples).
+  {
+    const obs::Diagnosis diag = diagnosis_engine.update(
+        diagnosis_input(),
+        static_cast<std::int64_t>(coverage.covered_branches()),
+        result.iterations.empty() ? 0
+                                  : result.iterations.back().iteration);
+    result.stall_kind = obs::to_string(diag.kind);
+    result.stall_detail = diag.detail;
+    result.stalled_seconds = diag.stalled_seconds;
+  }
 
   if (board != nullptr) {
     board->worker_phase(0, result.iterations.empty()

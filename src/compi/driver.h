@@ -127,6 +127,13 @@ struct CampaignResult {
   /// THREAD CPU time and never double-counts (see DESIGN.md).
   double total_exec_seconds = 0.0;
   double total_solve_seconds = 0.0;
+  /// End-of-campaign search-stall diagnosis (obs/diagnosis.h): why progress
+  /// stopped, computed purely from the records above so obs-on and obs-off
+  /// builds agree.  "progressing" means coverage was still being earned
+  /// when the budget ran out.
+  std::string stall_kind = "progressing";
+  std::string stall_detail;
+  double stalled_seconds = 0.0;
 };
 
 class Campaign {

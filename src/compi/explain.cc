@@ -307,6 +307,28 @@ void print_matchings(std::ostream& os, const std::vector<IterRow>& iters,
   }
 }
 
+/// The diagnosis engine journals one `diagnosis` event per verdict
+/// TRANSITION, so the sequence reads as the campaign's stall history and
+/// the last entry is why the session ended the way it did.
+void print_stall_history(std::ostream& os,
+                         const std::vector<obs::ParsedEvent>& journal) {
+  std::vector<const obs::ParsedEvent*> verdicts;
+  for (const obs::ParsedEvent& ev : journal) {
+    if (ev.type == "diagnosis") verdicts.push_back(&ev);
+  }
+  if (verdicts.empty()) return;
+  os << "\nWhy progress stopped:\n";
+  for (const obs::ParsedEvent* ev : verdicts) {
+    os << "  [" << fmt_seconds(ev->real("elapsed_seconds").value_or(0.0))
+       << " iter " << ev->iter() << "] " << ev->str("kind").value_or("?")
+       << " — " << ev->str("detail").value_or("") << "\n";
+  }
+  const obs::ParsedEvent& last = *verdicts.back();
+  if (last.str("kind").value_or("") == "progressing") {
+    os << "  (still earning coverage when the budget ran out)\n";
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> split_csv_row(const std::string& line) {
@@ -439,6 +461,7 @@ void render_report(std::ostream& os, const std::vector<LedgerCsvRow>& ledger,
   os << "\n";
   print_solver_breakdown(os, iters, journal, have_journal);
   print_matchings(os, iters, ledger, journal);
+  print_stall_history(os, journal);
 }
 
 }  // namespace

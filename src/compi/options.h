@@ -175,6 +175,10 @@ struct CampaignOptions {
   /// Set by the --connect shard mode to a ShardLink speaking the
   /// coordinator protocol.
   WorkSource* work_source = nullptr;
+  /// Seconds without new coverage before the stall-diagnosis engine
+  /// (obs/diagnosis.h) classifies the campaign as stalled rather than
+  /// progressing.  Tests and deliberately-short campaigns lower it.
+  double stall_window_seconds = 20.0;
 };
 
 }  // namespace compi

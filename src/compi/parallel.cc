@@ -56,6 +56,7 @@
 #include "compi/session.h"
 #include "compi/work_source.h"
 #include "minimpi/launcher.h"
+#include "obs/diagnosis.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/phase_clock.h"
@@ -237,6 +238,34 @@ CampaignResult Campaign::run_parallel() {
   std::atomic<bool> stop{false};
   bool halted = false;
   int executed = 0;  // iterations run by THIS process (halt hook)
+
+  // Running totals for the telemetry piggyback (work_source.h) and the
+  // stall-diagnosis engine: cumulative solver outcome mix and phase time.
+  // Atomics, not `mu` fields: workers bump them from the solve loop, which
+  // deliberately holds no lock.
+  std::atomic<std::int64_t> tele_sat{0}, tele_unsat{0}, tele_budget{0};
+  std::atomic<std::int64_t> tele_exec_us{0}, tele_solve_us{0};
+  /// Live frontier depth: the last planned constraint set's size, or 0 the
+  /// moment a worker's strategy ran dry (the frontier-starved signal).
+  std::atomic<std::int64_t> tele_frontier{-1};
+
+  // Stall diagnosis (obs/diagnosis.h): fed once per iteration under `mu`,
+  // journals verdict transitions, and leaves its final verdict on the
+  // result.  Pure computation over local state — obs-off and serve-off
+  // sessions see the identical artifact bytes they always did.
+  obs::DiagnosisEngine diagnosis_engine(&journal);
+  const auto diagnosis_input = [&] {  // callers hold `mu`
+    obs::DiagnosisInput in;
+    in.elapsed_seconds = elapsed();
+    in.frontier_depth = tele_frontier.load();
+    in.interleavings_pending =
+        static_cast<std::int64_t>(interleavings.queue.size());
+    in.solver_sat = tele_sat.load();
+    in.solver_unsat = tele_unsat.load();
+    in.solver_budget = tele_budget.load();
+    in.plateau_window_seconds = options_.stall_window_seconds;
+    return in;
+  };
   /// Completion tracking for checkpoint boundaries: done[i] marks ordinal
   /// i fully recorded; `prefix` is the first not-yet-complete ordinal, so
   /// every iteration below it is safely checkpointable.
@@ -443,6 +472,9 @@ CampaignResult Campaign::run_parallel() {
       }
       detail << "stalled: no progress for " << static_cast<int>(stall)
              << "s (threshold " << static_cast<int>(stall_threshold) << "s)";
+      if (!s.diagnosis_detail.empty()) {
+        detail << "; " << s.diagnosis_detail;
+      }
       return std::make_pair(false, detail.str());
     };
     if (control_plane.start(std::move(cp))) {
@@ -547,8 +579,13 @@ CampaignResult Campaign::run_parallel() {
         .num("worker", rec.worker)
         .num("interleaving", rec.interleaving)
         .inputs(named_inputs);
+    const obs::Diagnosis diag = diagnosis_engine.update(
+        diagnosis_input(), static_cast<std::int64_t>(rec.covered_branches),
+        rec.iteration);
     journal.flush();
     if (board == nullptr) return;
+    board->set_diagnosis(obs::to_string(diag.kind), diag.detail,
+                         diag.stalled_seconds);
     board->record_iteration(rec.iteration, rec.covered_branches,
                             result.bugs.size(), elapsed(), rec.nprocs,
                             rec.focus, rt::to_string(rec.outcome),
@@ -587,6 +624,20 @@ CampaignResult Campaign::run_parallel() {
     d.interleaving_seen.assign(interleavings.seen.begin(),
                                interleavings.seen.end());
     d.bugs = result.bugs;
+    if (tele_frontier.load() >= 0) {
+      d.frontier_depth = tele_frontier.load();
+    } else if (!result.iterations.empty()) {
+      d.frontier_depth = static_cast<std::int64_t>(
+          result.iterations.back().constraint_set_size);
+    }
+    d.elapsed_us = static_cast<std::int64_t>(elapsed() * 1e6);
+    d.interleavings_pending =
+        static_cast<std::int64_t>(interleavings.queue.size());
+    d.solver_sat = tele_sat.load();
+    d.solver_unsat = tele_unsat.load();
+    d.solver_budget = tele_budget.load();
+    d.exec_us = tele_exec_us.load();
+    d.solve_us = tele_solve_us.load();
     d.ledger_blob = [&] {
       std::ostringstream blob;
       ledger.write(blob);
@@ -836,6 +887,7 @@ CampaignResult Campaign::run_parallel() {
       rec.restart = ws.next_is_restart;
       rec.retries = iter_retries;
       m_exec_us.observe(static_cast<std::int64_t>(rec.exec_seconds * 1e6));
+      tele_exec_us += static_cast<std::int64_t>(rec.exec_seconds * 1e6);
 
       // ---- merge coverage + attribute the run (one short section) ----
       std::map<std::string, std::int64_t> named_inputs;
@@ -1112,6 +1164,13 @@ CampaignResult Campaign::run_parallel() {
             .num("nodes", rec.solver_nodes - nodes_before)
             .num("slice_size", static_cast<std::int64_t>(solved.slice_size));
         if (solved.sat) {
+          ++tele_sat;
+        } else if (solved.budget_exhausted) {
+          ++tele_budget;
+        } else {
+          ++tele_unsat;
+        }
+        if (solved.sat) {
           ws.plan = framework.plan_next_test(solved, focus_log, ws.plan);
           ws.strategy->accepted(*cand);
           ws.pending_depth = cand->depth;
@@ -1130,7 +1189,10 @@ CampaignResult Campaign::run_parallel() {
       rec.solve_seconds = obs::thread_cpu_seconds() - solve_cpu_start;
       rec.retries = iter_retries;
       m_solve_us.observe(static_cast<std::int64_t>(rec.solve_seconds * 1e6));
+      tele_solve_us += static_cast<std::int64_t>(rec.solve_seconds * 1e6);
       m_solver_nodes.observe(rec.solver_nodes);
+      tele_frontier.store(
+          planned ? static_cast<std::int64_t>(rec.constraint_set_size) : 0);
 
       // ---- record the iteration + end-of-iteration bookkeeping ----
       {
@@ -1179,6 +1241,16 @@ CampaignResult Campaign::run_parallel() {
   {
     std::lock_guard<std::mutex> lock(mu);
     report_work_locked(/*final_report=*/true);
+    // Final stall verdict for the report and --explain: one more sample at
+    // the terminal state (the workers may have stopped between samples).
+    const obs::Diagnosis diag = diagnosis_engine.update(
+        diagnosis_input(),
+        static_cast<std::int64_t>(coverage.covered_branches()),
+        result.iterations.empty() ? 0
+                                  : result.iterations.back().iteration);
+    result.stall_kind = obs::to_string(diag.kind);
+    result.stall_detail = diag.detail;
+    result.stalled_seconds = diag.stalled_seconds;
   }
 
   // ---- finalize (workers joined: no locking needed) ----

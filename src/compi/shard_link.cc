@@ -30,7 +30,16 @@ struct Snapshot {
   std::string ledger_blob;
   bool final_report = false;
   bool has_data = false;
+  /// Latest telemetry snapshot, piggybacked on deltas AND heartbeats so an
+  /// idle (leased-out, slow-iteration) shard still reports live rates.
+  coord::ShardTelemetry telemetry;
 };
+
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 std::uint64_t mint_token(const ShardLinkOptions& opts, const void* self) {
   const auto now = std::chrono::system_clock::now().time_since_epoch();
@@ -159,6 +168,7 @@ struct ShardLink::Impl {
     m.bugs = snap.bugs;
     m.ledger_blob = snap.ledger_blob;
     m.final_report = snap.final_report;
+    m.telemetry = snap.telemetry;
     serve::WireFrame reply;
     if (!transact_locked(coord::kDelta, coord::encode_delta(m), reply)) {
       return false;
@@ -193,6 +203,7 @@ struct ShardLink::Impl {
     h.name = opts.name;
     h.token = token;
     h.seed = opts.seed;
+    h.wall_us = wall_clock_us();
     serve::WireFrame reply;
     if (!transact_locked(coord::kHello, coord::encode_hello(h), reply)) {
       return false;
@@ -236,6 +247,7 @@ struct ShardLink::Impl {
         }
         coord::HeartbeatMsg m;
         m.shard = key;
+        m.telemetry = snap.telemetry;
         serve::WireFrame reply;
         if (!transact_locked(coord::kHeartbeat,
                              coord::encode_heartbeat(m), reply)) {
@@ -358,6 +370,18 @@ void ShardLink::report(const WorkDelta& delta) {
   const bool bugs_changed = delta.bugs.size() != im.snap.bugs.size();
   im.snap.iterations =
       std::max(im.snap.iterations, delta.iterations_completed);
+  coord::ShardTelemetry& t = im.snap.telemetry;
+  t.valid = true;
+  t.elapsed_us = delta.elapsed_us;
+  t.iterations = delta.iterations_completed;
+  t.covered = static_cast<std::int64_t>(delta.covered.size());
+  t.frontier_depth = delta.frontier_depth;
+  t.interleavings_pending = delta.interleavings_pending;
+  t.solver_sat = delta.solver_sat;
+  t.solver_unsat = delta.solver_unsat;
+  t.solver_budget = delta.solver_budget;
+  t.exec_us = delta.exec_us;
+  t.solve_us = delta.solve_us;
   im.snap.covered = delta.covered;
   im.snap.iseen = delta.interleaving_seen;
   im.snap.bugs = delta.bugs;

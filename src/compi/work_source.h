@@ -49,6 +49,18 @@ struct WorkDelta {
   std::function<std::string()> ledger_blob;
   /// The campaign is finalizing: flush everything now.
   bool final_report = false;
+
+  // ---- telemetry piggyback (all cumulative since campaign start) ----
+  /// Shard wall time so the coordinator can compute iters/sec without
+  /// trusting cross-host clocks.
+  std::int64_t elapsed_us = 0;
+  std::int64_t frontier_depth = 0;         ///< pending negation candidates
+  std::int64_t interleavings_pending = 0;  ///< unexplored match frontier
+  std::int64_t solver_sat = 0;
+  std::int64_t solver_unsat = 0;
+  std::int64_t solver_budget = 0;          ///< budget-exhausted solves
+  std::int64_t exec_us = 0;                ///< cumulative execution time
+  std::int64_t solve_us = 0;               ///< cumulative solver time
 };
 
 class WorkSource {

@@ -366,8 +366,11 @@ class LineParser {
   }
 
   void skip_ws() {
+    // '\n' included so whole documents (JsonWriter::finish ends with a
+    // newline — /fleet, shard.json) parse as well as journal lines.
     while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r' ||
+            s_[pos_] == '\n')) {
       ++pos_;
     }
   }

@@ -51,6 +51,31 @@ double Histogram::percentile(double p) const {
   return static_cast<double>(max_observed());
 }
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(std::string_view base, std::string_view label,
+                         std::string_view value) {
+  std::string out(base);
+  out.push_back('{');
+  out.append(label);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += "\"}";
+  return out;
+}
+
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
@@ -99,38 +124,55 @@ Histogram& Registry::histogram(const std::string& name,
 
 void Registry::write_prometheus(std::ostream& os) const {
   std::scoped_lock lock(mu_);
-  // Labeled metrics (name{label="..."}) share one metric family: HELP and
-  // TYPE lines must carry the bare name, emitted once per consecutive run
-  // of same-family entries (per-worker gauges register adjacently).
-  std::string_view last_base;
+  // Labeled metrics (name{label="..."}) share one metric family: the
+  // exposition format requires all of a family's samples under a single
+  // HELP/TYPE pair, so entries are emitted grouped by family in
+  // first-registration order — shard-labeled gauges register interleaved
+  // across families as shards report, not adjacently.
+  const auto base_of = [](const Entry& e) {
+    return std::string_view(e.name).substr(0, e.name.find('{'));
+  };
+  std::vector<const Entry*> grouped;
+  grouped.reserve(entries_.size());
   for (const auto& e : entries_) {
-    const std::size_t brace = e->name.find('{');
-    const std::string_view base =
-        std::string_view(e->name).substr(0, brace);
+    if (std::find_if(grouped.begin(), grouped.end(),
+                     [&](const Entry* g) {
+                       return base_of(*g) == base_of(*e);
+                     }) != grouped.end()) {
+      continue;  // family already swept below
+    }
+    for (const auto& member : entries_) {
+      if (base_of(*member) == base_of(*e)) grouped.push_back(member.get());
+    }
+  }
+  std::string_view last_base;
+  for (const Entry* entry : grouped) {
+    const Entry& e = *entry;
+    const std::string_view base = base_of(e);
     const bool new_family = base != last_base;
     last_base = base;
-    if (new_family) os << "# HELP " << base << ' ' << e->help << '\n';
-    switch (e->kind) {
+    if (new_family) os << "# HELP " << base << ' ' << e.help << '\n';
+    switch (e.kind) {
       case Kind::kCounter:
         if (new_family) os << "# TYPE " << base << " counter\n";
-        os << e->name << ' ' << e->counter->value() << '\n';
+        os << e.name << ' ' << e.counter->value() << '\n';
         break;
       case Kind::kGauge:
         if (new_family) os << "# TYPE " << base << " gauge\n";
-        os << e->name << ' ' << e->gauge->value() << '\n';
+        os << e.name << ' ' << e.gauge->value() << '\n';
         break;
       case Kind::kHistogram: {
         if (new_family) os << "# TYPE " << base << " histogram\n";
         std::int64_t cumulative = 0;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
-          cumulative += e->histogram->bucket_count(i);
-          os << e->name << "_bucket{le=\"" << Histogram::bound(i) << "\"} "
+          cumulative += e.histogram->bucket_count(i);
+          os << e.name << "_bucket{le=\"" << Histogram::bound(i) << "\"} "
              << cumulative << '\n';
         }
-        os << e->name << "_bucket{le=\"+Inf\"} " << e->histogram->count()
+        os << e.name << "_bucket{le=\"+Inf\"} " << e.histogram->count()
            << '\n'
-           << e->name << "_sum " << e->histogram->sum() << '\n'
-           << e->name << "_count " << e->histogram->count() << '\n';
+           << e.name << "_sum " << e.histogram->sum() << '\n'
+           << e.name << "_count " << e.histogram->count() << '\n';
         break;
       }
     }

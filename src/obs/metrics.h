@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace compi::obs {
@@ -94,6 +95,18 @@ class Histogram {
 /// (`p` in [0, 1]); the helper the bench tables use for p50/p95 columns.
 /// Returns 0 for an empty sample set.
 [[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Escapes a string for use as a Prometheus label value: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n` (per the text exposition format).  Shard
+/// names are user-chosen and checkpoint v7 allows spaces and newlines in
+/// them, so every labeled metric built from one must pass through here.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Builds `base{label="<escaped value>"}` — the full metric name under
+/// which a labeled series registers.
+[[nodiscard]] std::string labeled_name(std::string_view base,
+                                       std::string_view label,
+                                       std::string_view value);
 
 /// Named-handle registry.  `counter`/`gauge`/`histogram` find-or-create
 /// under a mutex (startup cost only); returned references stay valid for

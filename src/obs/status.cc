@@ -56,6 +56,13 @@ std::string render_status_json(const StatusSnapshot& s) {
     timeline += std::to_string(covered);
   }
   w.field("coverage_timeline", timeline);
+  if (!s.diagnosis_kind.empty()) {
+    w.begin_object("diagnosis");
+    w.field("kind", s.diagnosis_kind);
+    w.field("detail", s.diagnosis_detail);
+    w.field("stalled_seconds", s.diagnosis_stalled_seconds);
+    w.end_object();
+  }
   for (std::size_t i = 0; i < s.worker_status.size(); ++i) {
     const WorkerStatus& ws = s.worker_status[i];
     w.begin_object("worker_" + std::to_string(i));
@@ -119,6 +126,10 @@ std::optional<StatusSnapshot> parse_status_json(std::string_view json) {
                                        static_cast<std::size_t>(covered));
     }
   }
+  s.diagnosis_kind = obj->str("diagnosis.kind").value_or("");
+  s.diagnosis_detail = obj->str("diagnosis.detail").value_or("");
+  s.diagnosis_stalled_seconds =
+      obj->real("diagnosis.stalled_seconds").value_or(0.0);
   for (int w = 0;; ++w) {
     const std::string prefix = "worker_" + std::to_string(w) + ".";
     const auto iter = obj->num(prefix + "iteration");
@@ -228,6 +239,14 @@ void StatusBoard::set_solver_cache(std::int64_t hits, std::int64_t misses) {
   std::lock_guard<std::mutex> lock(mu_);
   s_.solver_cache_hits = hits;
   s_.solver_cache_misses = misses;
+}
+
+void StatusBoard::set_diagnosis(std::string_view kind, std::string_view detail,
+                                double stalled_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.diagnosis_kind = std::string(kind);
+  s_.diagnosis_detail = std::string(detail);
+  s_.diagnosis_stalled_seconds = stalled_seconds;
 }
 
 void StatusBoard::worker_phase(int worker, int iteration, WorkerPhase phase) {

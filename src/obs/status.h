@@ -66,6 +66,14 @@ struct StatusSnapshot {
   /// count — the sparkline data.
   std::vector<std::pair<int, std::size_t>> coverage_timeline;
   std::vector<WorkerStatus> worker_status;
+  /// Search-stall diagnosis (obs/diagnosis.h): the current verdict kind
+  /// ("progressing", "frontier-starved", ...), its human detail sentence,
+  /// and seconds since the last coverage gain.  Rendered as a nested
+  /// `diagnosis` object (one level — within the JSON dialect).  Empty kind
+  /// = no engine feeding this board.
+  std::string diagnosis_kind;
+  std::string diagnosis_detail;
+  double diagnosis_stalled_seconds = 0.0;
 };
 
 /// Renders the snapshot as a single JSON object (newline-terminated), the
@@ -96,6 +104,8 @@ class StatusBoard {
                         std::string_view outcome, int worker);
   void set_depths(std::size_t frontier, std::size_t interleavings_pending);
   void set_solver_cache(std::int64_t hits, std::int64_t misses);
+  void set_diagnosis(std::string_view kind, std::string_view detail,
+                     double stalled_seconds);
   void worker_phase(int worker, int iteration, WorkerPhase phase);
 
   [[nodiscard]] StatusSnapshot snapshot() const;

@@ -21,6 +21,7 @@ const char* to_string(Cat cat) {
     case Cat::kChaos: return "chaos";
     case Cat::kSandbox: return "sandbox";
     case Cat::kMatch: return "match";
+    case Cat::kCoord: return "coord";
   }
   return "unknown";
 }
@@ -36,6 +37,9 @@ void Tracer::configure(std::size_t buffer_kb) {
   ring_.assign(events, TraceEvent{});
   next_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
+  epoch_wall_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
 }
 
 void Tracer::set_enabled(bool on) {
@@ -152,7 +156,8 @@ void Tracer::write_chrome_json(std::ostream& os) const {
          << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
     });
   }
-  os << "],\"otherData\":{\"dropped_events\":" << dropped() << "}}\n";
+  os << "],\"otherData\":{\"dropped_events\":" << dropped()
+     << ",\"epoch_wall_us\":" << epoch_wall_us_ << "}}\n";
 }
 
 #ifndef COMPI_OBS_DISABLED

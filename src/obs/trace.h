@@ -42,6 +42,7 @@ enum class Cat : std::uint8_t {
   kChaos,       // fault-plan injections (drop/delay/crash/stall)
   kSandbox,     // process-isolation supervisor (fork / kill / harvest)
   kMatch,       // wildcard-receive match decisions / deadlock verdicts
+  kCoord,       // coordinator lease/merge/broadcast bookkeeping
 };
 
 [[nodiscard]] const char* to_string(Cat cat);
@@ -80,6 +81,12 @@ class Tracer {
   /// Microseconds since the last configure().
   [[nodiscard]] std::int64_t now_us() const;
 
+  /// Wall-clock time (microseconds since the Unix epoch) captured at the
+  /// last configure() — the same instant the monotonic epoch restarted.
+  /// Exported in the Chrome JSON's otherData so `compi trace-merge` can
+  /// align traces from different processes on one absolute timeline.
+  [[nodiscard]] std::int64_t epoch_wall_us() const { return epoch_wall_us_; }
+
   /// Events currently held (<= capacity).
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
@@ -97,6 +104,7 @@ class Tracer {
   std::atomic<std::uint64_t> next_{0};
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+  std::int64_t epoch_wall_us_ = 0;
 };
 
 /// The process-global tracer all hooks record into.

@@ -1,0 +1,241 @@
+#include "obs/trace_merge.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "obs/journal.h"
+
+namespace compi::obs {
+
+namespace {
+
+/// One input trace, reduced to what the merge needs: raw event objects
+/// (verbatim JSON, one string per event) and the wall-clock zero point.
+struct TraceSource {
+  std::string label;         ///< process lane name in the merged trace
+  std::vector<std::string> events;
+  std::int64_t epoch_wall_us = 0;  ///< 0 = unknown (pre-fleet trace)
+  std::int64_t drift_us = 0;       ///< coordinator wall - shard wall
+};
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Extracts the top-level objects of the `traceEvents` array by brace-depth
+/// scanning (string- and escape-aware), plus `epoch_wall_us` from
+/// otherData.  Tolerant of whitespace/newline placement; false when the
+/// text has no traceEvents array at all.
+bool parse_trace(std::string_view text, std::vector<std::string>& events,
+                 std::int64_t* epoch_wall_us) {
+  const std::size_t tag = text.find("\"traceEvents\"");
+  if (tag == std::string_view::npos) return false;
+  std::size_t pos = text.find('[', tag);
+  if (pos == std::string_view::npos) return false;
+  ++pos;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (in_string) {
+      if (c == '\\') {
+        ++pos;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = pos;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        events.emplace_back(text.substr(start, pos - start + 1));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;  // end of traceEvents
+    }
+  }
+  if (epoch_wall_us != nullptr) {
+    static constexpr std::string_view kKey = "\"epoch_wall_us\":";
+    const std::size_t at = text.find(kKey, pos);
+    if (at != std::string_view::npos) {
+      *epoch_wall_us = std::strtoll(
+          std::string(text.substr(at + kKey.size(), 24)).c_str(), nullptr, 10);
+    }
+  }
+  return true;
+}
+
+/// Rewrites one event object for its merged lane: retargets `"pid":N` to
+/// `pid` and shifts `"ts":N` by `shift_us`.  Events without a ts field
+/// (metadata) pass through with only the pid rewrite.
+std::string rewrite_event(const std::string& event, int pid,
+                          std::int64_t shift_us) {
+  std::string out = event;
+  const auto rewrite_int = [&out](std::string_view key,
+                                  auto&& transform) {
+    const std::size_t at = out.find(key);
+    if (at == std::string::npos) return;
+    const std::size_t begin = at + key.size();
+    std::size_t end = begin;
+    if (end < out.size() && out[end] == '-') ++end;
+    while (end < out.size() && out[end] >= '0' && out[end] <= '9') ++end;
+    if (end == begin) return;
+    const std::int64_t value =
+        std::strtoll(out.substr(begin, end - begin).c_str(), nullptr, 10);
+    out.replace(begin, end - begin, std::to_string(transform(value)));
+  };
+  rewrite_int("\"pid\":", [pid](std::int64_t) -> std::int64_t { return pid; });
+  rewrite_int("\"ts\":", [shift_us](std::int64_t ts) { return ts + shift_us; });
+  return out;
+}
+
+/// A single-process trace names its lane "compi"; the merged file renames
+/// every lane, so drop the per-file process metadata.
+bool is_process_metadata(const std::string& event) {
+  return event.find("\"name\":\"process_name\"") != std::string::npos ||
+         event.find("\"name\":\"process_sort_index\"") != std::string::npos;
+}
+
+/// Shard lane label: <dir>/shard.json ({"key","name"}) when present, else
+/// the directory basename.  Returns the key (for drift lookup) through
+/// `key`.
+std::string shard_label(const std::filesystem::path& dir, std::string* key) {
+  std::string text;
+  if (read_file(dir / "shard.json", text)) {
+    if (const auto parsed = parse_json_object(text)) {
+      if (const auto k = parsed->str("key"); k && key != nullptr) *key = *k;
+      if (const auto name = parsed->str("name"); name && !name->empty()) {
+        return "shard " + *name;
+      }
+      if (const auto k = parsed->str("key")) return "shard " + *k;
+    }
+  }
+  std::filesystem::path base = dir.filename();
+  if (base.empty()) base = dir.parent_path().filename();
+  return "shard " + base.string();
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  std::string escaped;
+  JsonWriter::append_escaped(escaped, s);
+  os << escaped;
+}
+
+}  // namespace
+
+bool merge_traces(const TraceMergeOptions& options, std::ostream& out,
+                  std::string* error) {
+  std::vector<TraceSource> sources;
+  std::vector<std::string> skipped;
+
+  // Per-shard wall-clock drift, recovered from the coordinator journal's
+  // handshake stamps.  Latest join wins (a rejoining shard restamped).
+  std::map<std::string, std::int64_t> drift_by_key;
+  if (!options.coordinator_dir.empty()) {
+    const std::filesystem::path dir(options.coordinator_dir);
+    for (const ParsedEvent& ev : read_journal(dir / "journal.jsonl")) {
+      if (ev.type != "shard_joined") continue;
+      const auto shard = ev.str("shard");
+      const auto shard_wall = ev.num("shard_wall_us");
+      const auto coord_wall = ev.num("coord_wall_us");
+      if (shard && shard_wall && coord_wall) {
+        drift_by_key[*shard] = *coord_wall - *shard_wall;
+      }
+    }
+    TraceSource coord;
+    coord.label = "coordinator";
+    std::string text;
+    if (read_file(dir / "trace.json", text) &&
+        parse_trace(text, coord.events, &coord.epoch_wall_us)) {
+      sources.push_back(std::move(coord));
+    } else {
+      skipped.push_back(options.coordinator_dir);
+    }
+  }
+
+  for (const std::string& shard_dir : options.shard_dirs) {
+    const std::filesystem::path dir(shard_dir);
+    TraceSource src;
+    std::string key;
+    src.label = shard_label(dir, &key);
+    std::string text;
+    if (!read_file(dir / "trace.json", text) ||
+        !parse_trace(text, src.events, &src.epoch_wall_us)) {
+      skipped.push_back(shard_dir);
+      continue;
+    }
+    if (const auto it = drift_by_key.find(key); it != drift_by_key.end()) {
+      src.drift_us = it->second;
+    }
+    sources.push_back(std::move(src));
+  }
+
+  if (sources.empty()) {
+    if (error != nullptr) {
+      *error = "no readable trace.json under any input directory";
+    }
+    return false;
+  }
+
+  // The time base: the coordinator's epoch when its trace is present, else
+  // the earliest known shard epoch.  Sources without an epoch stamp merge
+  // unshifted (their own relative clock).
+  std::int64_t base_wall = 0;
+  for (const TraceSource& src : sources) {
+    if (src.epoch_wall_us == 0) continue;
+    const std::int64_t aligned = src.epoch_wall_us + src.drift_us;
+    if (base_wall == 0 || aligned < base_wall) base_wall = aligned;
+  }
+  if (!sources.empty() && sources.front().label == "coordinator" &&
+      sources.front().epoch_wall_us != 0) {
+    base_wall = sources.front().epoch_wall_us;
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const TraceSource& src = sources[i];
+    const int pid = static_cast<int>(i) + 1;
+    const std::int64_t shift =
+        (src.epoch_wall_us == 0 || base_wall == 0)
+            ? 0
+            : src.epoch_wall_us + src.drift_us - base_wall;
+    for (const std::string& event : src.events) {
+      if (is_process_metadata(event)) continue;
+      sep();
+      out << rewrite_event(event, pid, shift);
+    }
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"name\":";
+    write_json_string(out, src.label);
+    out << "}}";
+    sep();
+    out << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"sort_index\":" << pid << "}}";
+  }
+  out << "],\"otherData\":{\"sources\":" << sources.size()
+      << ",\"skipped\":" << skipped.size() << "}}\n";
+  return true;
+}
+
+}  // namespace compi::obs

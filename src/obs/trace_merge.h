@@ -1,0 +1,50 @@
+// `compi trace-merge` — stitches the Chrome traces of a distributed
+// campaign into ONE timeline: the coordinator's trace.json (lease grants,
+// delta merges, broadcast syncs) becomes process lane 1, and each shard's
+// trace.json becomes its own process lane, so Perfetto shows "coordinator
+// granted lease L, shard A solved under it, shard B was idle" as adjacent
+// rows on a shared clock.
+//
+// Clock alignment: every trace carries `epoch_wall_us` in otherData — the
+// system clock at Tracer::configure(), the zero point of its relative
+// timestamps.  Merged timestamps are re-based onto the coordinator's
+// epoch:
+//
+//   merged_ts = shard_ts + (shard_epoch_wall + drift) - coord_epoch_wall
+//
+// where drift corrects for disagreeing wall clocks, recovered from the
+// coordinator journal's `shard_joined` events (both sides stamp their wall
+// clock into the Hello/Welcome handshake).  Same-host fleets have drift
+// ~0; the correction matters across machines.
+//
+// Shard identity comes from <shard-dir>/shard.json ({"key","name"},
+// written by the campaign process when it runs with --connect and a log
+// dir), falling back to the directory's basename.  Traces missing
+// epoch_wall_us (pre-fleet sessions) merge with shift 0 and a warning
+// span is not invented — the lanes still render, just unaligned.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace compi::obs {
+
+struct TraceMergeOptions {
+  /// Coordinator session dir: trace.json required, journal.jsonl optional
+  /// (no journal = drift 0 for every shard).  Empty = no coordinator lane;
+  /// the earliest shard epoch becomes the time base instead.
+  std::string coordinator_dir;
+  /// Shard session dirs, each holding a trace.json (+ optional shard.json
+  /// identity sidecar).  Lane order follows this list.
+  std::vector<std::string> shard_dirs;
+};
+
+/// Writes the merged Chrome trace to `out`.  False (with `error` set, when
+/// given) if no input trace could be read; individual unreadable shard
+/// dirs are skipped and named in `error`-less warnings on the merged
+/// trace's metadata only when everything else succeeded.
+bool merge_traces(const TraceMergeOptions& options, std::ostream& out,
+                  std::string* error);
+
+}  // namespace compi::obs

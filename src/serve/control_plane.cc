@@ -41,6 +41,7 @@ bool ControlPlane::start(ControlPlaneConfig config) {
         "  /status   heartbeat JSON with per-worker state\n"
         "  /events   SSE tail of the campaign journal\n"
         "  /explain  live campaign summary\n"
+        "  /fleet    per-shard fleet telemetry (coordinator only)\n"
         "  /healthz  liveness probe (200 while progressing, else 503)\n";
     return r;
   });
@@ -105,6 +106,16 @@ bool ControlPlane::start(ControlPlaneConfig config) {
     });
   }
 
+  if (cfg.fleet) {
+    const auto& fleet = cfg.fleet;
+    impl_->server.handle("/fleet", [&fleet](const HttpRequest&) {
+      HttpResponse r;
+      r.content_type = "application/json";
+      r.body = fleet();
+      return r;
+    });
+  }
+
   if (cfg.journal != nullptr) {
     obs::Journal* journal = cfg.journal;
     impl_->server.handle_stream(
@@ -119,6 +130,7 @@ bool ControlPlane::start(ControlPlaneConfig config) {
         });
   }
 
+  impl_->server.set_stream_keepalive(cfg.stream_keepalive_ms);
   return impl_->server.start(cfg.port);
 }
 

@@ -7,6 +7,9 @@
 //   GET /events  — SSE tail of the journal via its in-memory tap; works
 //                  with or without --journal writing to disk.
 //   GET /explain — the --explain summary rendered from the live ledger.
+//   GET /fleet   — coordinator only: per-shard telemetry JSON (rates,
+//                  coverage, lease state, solver mix) for `compi top
+//                  --fleet`.  Same flat JSON dialect as /status.
 //   GET /healthz — liveness probe: 200 {"ok":true} while the campaign is
 //                  making progress, 503 {"ok":false} once a worker has
 //                  stalled past the liveness threshold.  Orchestrators and
@@ -48,6 +51,11 @@ struct ControlPlaneConfig {
   /// Liveness verdict for /healthz: second = human-readable detail.  When
   /// unset, /healthz falls back to "server is answering" (always ok).
   std::function<std::pair<bool, std::string>()> healthy;
+  /// Fleet telemetry JSON for /fleet (the coordinator's per-shard view).
+  /// Unset = endpoint not registered (single-process campaigns).
+  std::function<std::string()> fleet;
+  /// SSE comment-frame keepalive cadence for /events; 0 disables.
+  int stream_keepalive_ms = 15000;
 };
 
 class ControlPlane {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -106,6 +107,14 @@ std::string render_dashboard(const obs::StatusSnapshot& s,
   if (!s.outcome.empty()) os << "  last " << s.outcome;
   os << '\n';
 
+  // Stall banner: the diagnosis engine's verdict, surfaced before the
+  // numbers so a stuck campaign reads as stuck at a glance.
+  if (!s.diagnosis_kind.empty() && s.diagnosis_kind != "progressing") {
+    os << "!! " << s.diagnosis_kind << " ("
+       << format_seconds(s.diagnosis_stalled_seconds)
+       << " without new coverage): " << s.diagnosis_detail << '\n';
+  }
+
   os << "coverage  " << sparkline(s.coverage_timeline, 48);
   if (!s.coverage_timeline.empty()) {
     os << "  (" << s.coverage_timeline.front().second << " -> "
@@ -157,12 +166,120 @@ std::string render_dashboard(const obs::StatusSnapshot& s,
   return os.str();
 }
 
+std::string render_fleet(const obs::ParsedEvent& fleet, bool ansi) {
+  std::ostringstream os;
+  if (ansi) os << "\x1b[H\x1b[2J";
+
+  const auto num = [&fleet](const std::string& key) {
+    return fleet.num(key).value_or(0);
+  };
+  os << "compi fleet  elapsed "
+     << format_seconds(fleet.real("elapsed_seconds").value_or(0.0))
+     << "  completed " << num("completed") << '/' << num("budget")
+     << "  covered " << num("covered_branches") << "  bugs " << num("bugs")
+     << '\n';
+  os << "shards " << num("shards_connected") << " connected / "
+     << num("shards_joined") << " joined (lost " << num("shards_lost")
+     << ", leases reclaimed " << num("leases_reclaimed") << ")\n";
+  const std::string kind = fleet.str("diagnosis_kind").value_or("");
+  if (!kind.empty() && kind != "progressing") {
+    os << "!! " << kind << ": "
+       << fleet.str("diagnosis_detail").value_or("") << '\n';
+  }
+
+  os << '\n'
+     << "shard             state  iters    /sec  leases(rem)  frontier"
+        "  sat/unsat/bgt  trend\n";
+  for (int i = 0;; ++i) {
+    const std::string p = "shard_" + std::to_string(i) + '.';
+    const auto name = fleet.str(p + "name");
+    if (!name) break;
+    const bool connected = fleet.boolean(p + "connected").value_or(false);
+    char head[128];
+    std::snprintf(head, sizeof(head), "%-17s %-6s %6lld  %6.1f  %4lld(%lld)",
+                  name->substr(0, 17).c_str(), connected ? "up" : "lost",
+                  static_cast<long long>(
+                      fleet.num(p + "iterations").value_or(0)),
+                  fleet.real(p + "rate").value_or(0.0),
+                  static_cast<long long>(fleet.num(p + "leases").value_or(0)),
+                  static_cast<long long>(
+                      fleet.num(p + "lease_remaining").value_or(0)));
+    os << head;
+    if (fleet.boolean(p + "telemetry").value_or(false)) {
+      char tele[64];
+      std::snprintf(tele, sizeof(tele), "  %8lld  %4lld/%lld/%lld",
+                    static_cast<long long>(
+                        fleet.num(p + "frontier_depth").value_or(-1)),
+                    static_cast<long long>(
+                        fleet.num(p + "solver_sat").value_or(0)),
+                    static_cast<long long>(
+                        fleet.num(p + "solver_unsat").value_or(0)),
+                    static_cast<long long>(
+                        fleet.num(p + "solver_budget").value_or(0)));
+      os << tele;
+    } else {
+      os << "         -      -/-/-";
+    }
+    // Lag sparkline: per-interval iteration deltas from the coordinator's
+    // sample ring ("elapsed:iterations" pairs) — flat means stalled.
+    std::vector<std::pair<int, std::size_t>> deltas;
+    std::istringstream spark(fleet.str(p + "timeline").value_or(""));
+    std::string pair;
+    std::int64_t prev = -1;
+    while (spark >> pair) {
+      const auto colon = pair.find(':');
+      if (colon == std::string::npos) continue;
+      const std::int64_t at = std::strtoll(pair.c_str(), nullptr, 10);
+      const std::int64_t iters =
+          std::strtoll(pair.c_str() + colon + 1, nullptr, 10);
+      if (prev >= 0) {
+        deltas.emplace_back(static_cast<int>(at),
+                            static_cast<std::size_t>(
+                                std::max<std::int64_t>(0, iters - prev)));
+      }
+      prev = iters;
+    }
+    os << "  " << sparkline(deltas, 24);
+    if (connected) {
+      const double idle = fleet.real(p + "since_last_seen").value_or(0.0);
+      if (idle > 5.0) os << "  (quiet " << format_seconds(idle) << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
 int run_top(const TopOptions& opts, std::ostream& os) {
   const bool remote = looks_like_host_port(opts.target);
+  if (opts.fleet && !remote) {
+    os << "compi top: --fleet needs a coordinator host:port, not a file\n";
+    return 1;
+  }
   int rendered = 0;
   for (int frame = 0; opts.frames == 0 || frame < opts.frames; ++frame) {
     if (frame > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+    }
+    if (opts.fleet) {
+      const auto fleet = http_get(opts.target, "/fleet");
+      if (!fleet || fleet->status != 200) {
+        if (rendered > 0) {
+          os << "campaign ended (" << opts.target << " stopped answering)\n";
+          return 0;
+        }
+        os << "compi top: no /fleet from " << opts.target
+           << " (is it a coordinator with --serve?)\n";
+        return 1;
+      }
+      const auto parsed = obs::parse_json_object(fleet->body);
+      if (!parsed) {
+        os << "compi top: malformed /fleet from " << opts.target << '\n';
+        return rendered > 0 ? 0 : 1;
+      }
+      os << render_fleet(*parsed, opts.ansi);
+      os.flush();
+      ++rendered;
+      continue;
     }
     std::string status_json;
     std::map<std::string, double> metrics;

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/status.h"
 
 namespace compi::serve {
@@ -28,6 +29,9 @@ struct TopOptions {
   int frames = 0;
   /// Emit ANSI clear/home escapes between frames (off when not a tty).
   bool ansi = true;
+  /// Poll GET /fleet instead of /status and render the per-shard fleet
+  /// table (coordinator targets only; needs host:port, not a file).
+  bool fleet = false;
 };
 
 /// Parses Prometheus text exposition into {metric-name-with-labels: value}.
@@ -45,6 +49,13 @@ struct TopOptions {
 [[nodiscard]] std::string render_dashboard(
     const obs::StatusSnapshot& s, const std::map<std::string, double>& metrics,
     bool ansi);
+
+/// One fleet-dashboard frame from a parsed /fleet document (the flat JSON
+/// dialect: coordinator totals at the top level, per-shard fields under
+/// dotted "shard_N." keys).  Pure like render_dashboard so tests assert on
+/// frames directly.
+[[nodiscard]] std::string render_fleet(const obs::ParsedEvent& fleet,
+                                       bool ansi);
 
 /// Runs the dashboard loop; returns a process exit code.  A target that
 /// never answers is an error (1); a campaign that answered at least once

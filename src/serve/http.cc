@@ -1,6 +1,7 @@
 #include "serve/http.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <thread>
@@ -49,6 +50,7 @@ std::string frame_response(const HttpResponse& r) {
 struct HttpServer::Impl {
   std::map<std::string, HttpHandler> handlers;
   std::map<std::string, StreamSource> streams;
+  int stream_keepalive_ms = 0;
 
   int listen_fd = -1;
   int wake_read = -1;
@@ -67,6 +69,10 @@ struct HttpServer::Impl {
     bool is_stream = false;
     const StreamSource* source = nullptr;
     std::uint64_t cursor = 0;
+    /// Last time this stream appended output (frames or keepalives); the
+    /// idle clock the keepalive comment is measured against.
+    std::chrono::steady_clock::time_point last_activity =
+        std::chrono::steady_clock::now();
   };
   std::vector<Conn> conns;
 
@@ -234,7 +240,17 @@ struct HttpServer::Impl {
         }
         if (c.is_stream && c.source != nullptr &&
             c.out.size() < kMaxStreamBacklog) {
+          const std::size_t before = c.out.size();
           c.source->operator()(c.cursor, c.out);
+          const auto now = std::chrono::steady_clock::now();
+          if (c.out.size() != before) {
+            c.last_activity = now;
+          } else if (stream_keepalive_ms > 0 && c.out.empty() &&
+                     now - c.last_activity >=
+                         std::chrono::milliseconds(stream_keepalive_ms)) {
+            c.out += ": keepalive\n\n";
+            c.last_activity = now;
+          }
         }
         if (!c.out.empty()) {
           const ssize_t n =
@@ -274,6 +290,10 @@ void HttpServer::handle(const std::string& path, HttpHandler h) {
 
 void HttpServer::handle_stream(const std::string& path, StreamSource s) {
   impl_->streams[path] = std::move(s);
+}
+
+void HttpServer::set_stream_keepalive(int ms) {
+  impl_->stream_keepalive_ms = ms;
 }
 
 bool HttpServer::start(int port) {
@@ -399,6 +419,7 @@ HttpServer::HttpServer() : impl_(std::make_unique<Impl>()) {}
 HttpServer::~HttpServer() = default;
 void HttpServer::handle(const std::string&, HttpHandler) {}
 void HttpServer::handle_stream(const std::string&, StreamSource) {}
+void HttpServer::set_stream_keepalive(int) {}
 bool HttpServer::start(int) { return false; }
 void HttpServer::stop() {}
 int HttpServer::port() const { return -1; }

@@ -59,6 +59,12 @@ class HttpServer {
   void handle(const std::string& path, HttpHandler h);
   void handle_stream(const std::string& path, StreamSource s);
 
+  /// Emit an SSE comment frame (": keepalive\n\n") on any stream that has
+  /// produced no output for `ms` milliseconds, so proxies and client read
+  /// timeouts don't sever quiet /events connections.  0 disables.  Must be
+  /// called before start() (read by the server thread without locking).
+  void set_stream_keepalive(int ms);
+
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and spawns the server thread.
   /// Returns false when the bind fails or server support is compiled out.
   bool start(int port);

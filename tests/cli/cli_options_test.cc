@@ -233,6 +233,48 @@ TEST(CliOptions, RejectsBadShardValues) {
   EXPECT_TRUE(parse({"--shard-heartbeat-ms=abc"}).error.has_value());
 }
 
+TEST(CliOptions, TopFleetAndStallWindowFlags) {
+  const ParseResult r = parse({"top", "127.0.0.1:7700", "--fleet",
+                               "--frames=2"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_TRUE(r.config.top);
+  EXPECT_TRUE(r.config.top_fleet);
+  EXPECT_EQ(r.config.top_target, "127.0.0.1:7700");
+
+  const ParseResult plain = parse({"top", "127.0.0.1:7700"});
+  ASSERT_FALSE(plain.error.has_value());
+  EXPECT_FALSE(plain.config.top_fleet);
+
+  // --stall-window tunes the diagnosis engine in campaign and
+  // coordinator mode alike; out-of-range values are rejected.
+  const ParseResult campaign = parse({"--stall-window=45"});
+  ASSERT_FALSE(campaign.error.has_value());
+  EXPECT_DOUBLE_EQ(campaign.config.campaign.stall_window_seconds, 45.0);
+  const ParseResult coord = parse({"coordinate", "--stall-window=90"});
+  ASSERT_FALSE(coord.error.has_value());
+  EXPECT_DOUBLE_EQ(coord.config.campaign.stall_window_seconds, 90.0);
+  EXPECT_TRUE(parse({"--stall-window=0"}).error.has_value());
+  EXPECT_TRUE(parse({"--stall-window=abc"}).error.has_value());
+}
+
+TEST(CliOptions, TraceMergeSubcommandParsesItsInputs) {
+  const ParseResult r =
+      parse({"trace-merge", "--coordinator=/tmp/coord", "--out=/tmp/m.json",
+             "/tmp/shard-a", "/tmp/shard-b"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_TRUE(r.config.trace_merge);
+  EXPECT_EQ(r.config.trace_merge_coordinator, "/tmp/coord");
+  EXPECT_EQ(r.config.trace_merge_out, "/tmp/m.json");
+  ASSERT_EQ(r.config.trace_merge_shards.size(), 2u);
+  EXPECT_EQ(r.config.trace_merge_shards[0], "/tmp/shard-a");
+  EXPECT_EQ(r.config.trace_merge_shards[1], "/tmp/shard-b");
+
+  // Shards-only merges are fine; no inputs at all is an error.
+  ASSERT_FALSE(parse({"trace-merge", "/tmp/a"}).error.has_value());
+  EXPECT_TRUE(parse({"trace-merge"}).error.has_value());
+  EXPECT_TRUE(parse({"trace-merge", "--bogus=1"}).error.has_value());
+}
+
 TEST(CliOptions, UsageMentionsEveryFlag) {
   const std::string u = usage();
   for (const std::string flag :
@@ -243,7 +285,8 @@ TEST(CliOptions, UsageMentionsEveryFlag) {
         "--chaos-seed", "--chaos-drop-rate", "--chaos-crash-rank",
         "--chaos-crash-at", "--no-confirm-bugs", "--isolate",
         "--hang-timeout-ms", "--child-mem-mb", "--connect", "--shard-name",
-        "--shard-heartbeat-ms", "--lease-quota", "--lease-ttl-ms"}) {
+        "--shard-heartbeat-ms", "--lease-quota", "--lease-ttl-ms",
+        "--stall-window", "--fleet", "trace-merge"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

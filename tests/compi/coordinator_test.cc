@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "compi/coord_protocol.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "serve/frame.h"
+#include "serve/http.h"
 #include "serve/net_util.h"
 #include "tests/compi/fig2_target.h"
 
@@ -140,7 +143,35 @@ struct TestShard {
     }
     return a;
   }
+
+  std::optional<coord::AckMsg> heartbeat(const coord::ShardTelemetry& t) {
+    coord::HeartbeatMsg m;
+    m.shard = key();
+    m.telemetry = t;
+    const auto f = transact(coord::kHeartbeat, coord::encode_heartbeat(m));
+    coord::AckMsg a;
+    if (!f || f->type != coord::kAck || !coord::decode_ack(f->payload, a)) {
+      return std::nullopt;
+    }
+    return a;
+  }
 };
+
+/// A plausible telemetry snapshot at `iterations` completed.
+coord::ShardTelemetry telemetry_at(std::int64_t iterations,
+                                   std::int64_t frontier) {
+  coord::ShardTelemetry t;
+  t.valid = true;
+  t.elapsed_us = iterations * 100'000;
+  t.iterations = iterations;
+  t.covered = 10 + iterations;
+  t.frontier_depth = frontier;
+  t.solver_sat = iterations / 2;
+  t.solver_unsat = 1;
+  t.exec_us = iterations * 60'000;
+  t.solve_us = iterations * 20'000;
+  return t;
+}
 
 CoordinatorOptions fast_opts(std::int64_t budget, int quota) {
   CoordinatorOptions o;
@@ -416,6 +447,112 @@ TEST(Coordinator, RestartFromCheckpointKeepsStateAndNeverDoubleCounts) {
   EXPECT_EQ(restarted.covered_ids(), (std::vector<sym::BranchId>{1, 2, 4}));
   EXPECT_EQ(restarted.bugs().size(), 1u) << "bug dedup survives the restart";
   restarted.stop();
+}
+
+TEST(Coordinator, FleetJsonReportsPerShardTelemetryAndRates) {
+  Coordinator coord(fig2_target(true), fast_opts(1000, 8));
+  ASSERT_TRUE(coord.start());
+
+  TestShard a, b;
+  a.name = "node one";  // space survives the key and the fleet document
+  b.name = "b";
+  b.token = 2;
+  ASSERT_TRUE(a.connect(coord.port()));
+  ASSERT_TRUE(b.connect(coord.port()));
+  ASSERT_TRUE(a.hello().has_value());
+  ASSERT_TRUE(b.hello().has_value());
+
+  // Telemetry piggybacks on deltas and heartbeats; two samples spaced in
+  // coordinator time give each shard a live iters/sec estimate.
+  coord::DeltaMsg d;
+  d.iterations = 5;
+  d.covered = {1, 2};
+  d.telemetry = telemetry_at(5, 3);
+  ASSERT_TRUE(a.delta(d).has_value());
+  ASSERT_TRUE(b.heartbeat(telemetry_at(2, 1)).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(a.heartbeat(telemetry_at(25, 4)).has_value());
+  ASSERT_TRUE(b.heartbeat(telemetry_at(12, 2)).has_value());
+
+  const auto fleet = obs::parse_json_object(coord.fleet_json());
+  ASSERT_TRUE(fleet.has_value());
+  EXPECT_EQ(fleet->num("budget").value_or(-1), 1000);
+  EXPECT_EQ(fleet->num("shards_connected").value_or(-1), 2);
+  ASSERT_EQ(fleet->str("shard_0.name").value_or(""), "node one");
+  ASSERT_EQ(fleet->str("shard_1.name").value_or(""), "b");
+  EXPECT_TRUE(fleet->boolean("shard_0.connected").value_or(false));
+  EXPECT_TRUE(fleet->boolean("shard_0.telemetry").value_or(false));
+  EXPECT_EQ(fleet->num("shard_0.iterations").value_or(-1), 25);
+  EXPECT_EQ(fleet->num("shard_1.iterations").value_or(-1), 12);
+  EXPECT_EQ(fleet->num("shard_0.frontier_depth").value_or(-1), 4);
+  EXPECT_EQ(fleet->num("shard_0.covered").value_or(-1), 35);
+  // Both shards advanced between their two samples: live positive rates.
+  EXPECT_GT(fleet->real("shard_0.rate").value_or(0.0), 0.0);
+  EXPECT_GT(fleet->real("shard_1.rate").value_or(0.0), 0.0);
+  // The sparkline ring carries the same two samples.
+  EXPECT_NE(fleet->str("shard_0.timeline").value_or("").find(":25"),
+            std::string::npos);
+
+  // The telemetry also lands in the shard-labeled gauges (space intact).
+  std::ostringstream prom;
+  obs::registry().write_prometheus(prom);
+  EXPECT_NE(
+      prom.str().find("compi_shard_iterations{shard=\"node one\"} 25"),
+      std::string::npos);
+  coord.stop();
+}
+
+TEST(Coordinator, HealthzFlipsStalledThenRecoversOnNewCoverage) {
+  TempDir dir;
+  CoordinatorOptions o = fast_opts(1000, 8);
+  o.log_dir = dir.path.string();
+  o.journal = true;
+  o.serve_port = 0;                // ephemeral control plane
+  o.stall_window_seconds = 0.05;   // classify a stall almost immediately
+  Coordinator coord(fig2_target(true), o);
+  ASSERT_TRUE(coord.start());
+  ASSERT_GT(coord.http_port(), 0);
+  const std::string target =
+      "127.0.0.1:" + std::to_string(coord.http_port());
+
+  TestShard shard;
+  ASSERT_TRUE(shard.connect(coord.port()));
+  ASSERT_TRUE(shard.hello().has_value());
+
+  // An empty frontier report plus a flat coverage curve past the window
+  // must classify as frontier-starved and flip /healthz to 503.
+  coord::ShardTelemetry starved = telemetry_at(4, /*frontier=*/0);
+  ASSERT_TRUE(shard.heartbeat(starved).has_value());
+  EXPECT_TRUE(eventually([&] {
+    const auto r = serve::http_get(target, "/healthz");
+    return r.has_value() && r->status == 503;
+  }));
+  const auto down = serve::http_get(target, "/healthz");
+  ASSERT_TRUE(down.has_value());
+  EXPECT_NE(down->body.find("frontier-starved"), std::string::npos);
+  EXPECT_EQ(coord.diagnosis().first, "frontier-starved");
+  const auto fleet = obs::parse_json_object(coord.fleet_json());
+  ASSERT_TRUE(fleet.has_value());
+  EXPECT_EQ(fleet->str("diagnosis_kind").value_or(""), "frontier-starved");
+
+  // New merged coverage (and a refilled frontier) is progress: the next
+  // diagnosis tick flips /healthz back to 200.
+  coord::DeltaMsg d;
+  d.iterations = 6;
+  d.covered = {1, 2, 3};
+  d.telemetry = telemetry_at(6, /*frontier=*/5);
+  ASSERT_TRUE(shard.delta(d).has_value());
+  EXPECT_TRUE(eventually([&] {
+    const auto r = serve::http_get(target, "/healthz");
+    return r.has_value() && r->status == 200;
+  }));
+  EXPECT_EQ(coord.diagnosis().first, "progressing");
+  coord.stop();
+
+  // The journal kept the verdict transitions (not one event per tick).
+  const std::string journal = slurp(dir.path / "journal.jsonl");
+  EXPECT_NE(journal.find("\"type\":\"diagnosis\""), std::string::npos);
+  EXPECT_NE(journal.find("frontier-starved"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Search-stall diagnosis: classification rules on synthetic timelines,
+// verdict precedence, and the engine's transition-only journaling.
+#include "obs/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace compi::obs {
+namespace {
+
+/// A timeline that reached `covered` at `last_gain` and then went flat
+/// until `now`.
+std::vector<CoveragePoint> flat_since(double last_gain, double now,
+                                      std::int64_t covered) {
+  return {{0.0, 1}, {last_gain, covered}, {now, covered}};
+}
+
+DiagnosisInput stalled_input() {
+  DiagnosisInput in;
+  in.elapsed_seconds = 60.0;
+  in.coverage_timeline = flat_since(10.0, 60.0, 40);
+  in.plateau_window_seconds = 20.0;
+  in.frontier_depth = 12;
+  return in;
+}
+
+TEST(Diagnose, ProgressingInsideWindow) {
+  DiagnosisInput in;
+  in.elapsed_seconds = 30.0;
+  in.coverage_timeline = flat_since(25.0, 30.0, 40);
+  in.plateau_window_seconds = 20.0;
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kProgressing);
+  EXPECT_NEAR(d.stalled_seconds, 5.0, 1e-9);
+  EXPECT_NE(d.detail.find("progressing"), std::string::npos);
+}
+
+TEST(Diagnose, EmptyTimelineIsProgressing) {
+  DiagnosisInput in;
+  in.elapsed_seconds = 100.0;
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kProgressing);
+}
+
+TEST(Diagnose, CoveragePlateauIsTheDefaultStall) {
+  DiagnosisInput in = stalled_input();
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kCoveragePlateau);
+  EXPECT_NEAR(d.stalled_seconds, 50.0, 1e-9);
+  EXPECT_NE(d.detail.find("coverage-plateau"), std::string::npos);
+}
+
+TEST(Diagnose, FrontierStarvedNeedsEmptyFrontierAndQueue) {
+  DiagnosisInput in = stalled_input();
+  in.frontier_depth = 0;
+  in.interleavings_pending = 0;
+  EXPECT_EQ(diagnose(in).kind, StallKind::kFrontierStarved);
+  in.interleavings_pending = 3;
+  EXPECT_NE(diagnose(in).kind, StallKind::kFrontierStarved);
+}
+
+TEST(Diagnose, UnknownFrontierNeverStarves) {
+  // -1 means "no telemetry yet": a coordinator must not conclude the
+  // search ran dry just because nobody has reported a frontier.
+  DiagnosisInput in = stalled_input();
+  in.frontier_depth = -1;
+  in.interleavings_pending = 0;
+  EXPECT_EQ(diagnose(in).kind, StallKind::kCoveragePlateau);
+}
+
+TEST(Diagnose, SolverThrashWhenBudgetDominates) {
+  DiagnosisInput in = stalled_input();
+  in.solver_sat = 3;
+  in.solver_unsat = 4;
+  in.solver_budget = 9;
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kSolverThrash);
+  EXPECT_NE(d.detail.find("solver-thrash"), std::string::npos);
+  in.solver_budget = 6;  // minority: not thrash
+  EXPECT_EQ(diagnose(in).kind, StallKind::kCoveragePlateau);
+}
+
+TEST(Diagnose, StragglerShardDetected) {
+  DiagnosisInput in = stalled_input();
+  in.shards = {{"fast", 10.0, true, 0.1}, {"slow", 1.0, true, 0.2}};
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kStragglerShard);
+  EXPECT_NE(d.detail.find("slow"), std::string::npos);
+  // A disconnected shard counts as a straggler regardless of rate.
+  in.shards = {{"fast", 10.0, true, 0.1}, {"gone", 9.0, false, 30.0}};
+  EXPECT_EQ(diagnose(in).kind, StallKind::kStragglerShard);
+  // Two healthy similar shards: no straggler.
+  in.shards = {{"a", 10.0, true, 0.1}, {"b", 8.0, true, 0.1}};
+  EXPECT_EQ(diagnose(in).kind, StallKind::kCoveragePlateau);
+}
+
+TEST(Diagnose, LeaseChurnOutranksEverything) {
+  DiagnosisInput in = stalled_input();
+  in.frontier_depth = 0;  // would be frontier-starved
+  in.shards = {{"fast", 10.0, true, 0.1}, {"slow", 0.1, true, 0.2}};
+  in.shards_joined = 2;
+  in.leases_reclaimed = 7;
+  const Diagnosis d = diagnose(in);
+  EXPECT_EQ(d.kind, StallKind::kLeaseChurn);
+  EXPECT_NE(d.detail.find("lease-churn"), std::string::npos);
+}
+
+TEST(Diagnose, StallNeverFiresBeforeTheWindow) {
+  DiagnosisInput in = stalled_input();
+  in.frontier_depth = 0;
+  in.plateau_window_seconds = 100.0;  // stalled 50s < window
+  EXPECT_EQ(diagnose(in).kind, StallKind::kProgressing);
+}
+
+TEST(DiagnosisEngine, JournalsTransitionsOnly) {
+  const std::filesystem::path file =
+      std::filesystem::temp_directory_path() /
+      ("compi_diag_test_" + std::to_string(::getpid()) + ".jsonl");
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(file));
+    DiagnosisEngine engine(&journal);
+    DiagnosisInput in;
+    in.plateau_window_seconds = 5.0;
+    in.frontier_depth = 4;
+    // Coverage grows for 3 samples, then flatlines past the window.
+    for (int i = 0; i < 3; ++i) {
+      in.elapsed_seconds = i;
+      engine.update(in, 10 + i, i);
+    }
+    for (int i = 3; i < 20; ++i) {
+      in.elapsed_seconds = i;
+      engine.update(in, 12, i);
+    }
+    EXPECT_EQ(engine.current().kind, StallKind::kCoveragePlateau);
+    journal.close();
+  }
+  std::size_t malformed = 0;
+  const std::vector<ParsedEvent> events = read_journal(file, &malformed);
+  std::filesystem::remove(file);
+  EXPECT_EQ(malformed, 0u);
+  // Exactly two verdicts: the initial "progressing" and one transition to
+  // "coverage-plateau" — not one event per sample.
+  std::vector<std::string> kinds;
+  for (const ParsedEvent& ev : events) {
+    if (ev.type == "diagnosis") {
+      kinds.push_back(ev.str("kind").value_or("?"));
+    }
+  }
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], "progressing");
+  EXPECT_EQ(kinds[1], "coverage-plateau");
+}
+
+TEST(DiagnosisEngine, TimelineCapKeepsStallMeasurable) {
+  // Bounding the history must keep enough of it that stalled_seconds can
+  // still exceed the window after thousands of flat samples.
+  DiagnosisEngine engine;
+  DiagnosisInput in;
+  in.plateau_window_seconds = 20.0;
+  in.frontier_depth = 1;
+  for (int i = 0; i < 2000; ++i) {
+    in.elapsed_seconds = i * 0.1;
+    engine.update(in, 50, i);
+  }
+  EXPECT_EQ(engine.current().kind, StallKind::kCoveragePlateau);
+  EXPECT_GE(engine.current().stalled_seconds, 20.0);
+}
+
+TEST(DiagnosisEngine, GrowthThenLongFlatTailStillDiagnosesTheStall) {
+  // The real-campaign shape: coverage climbs early, then flatlines for
+  // thousands of fast iterations.  The engine's last-gain time must stay
+  // pinned at the true transition — an earlier thinned-ring version kept
+  // dropping the first post-gain sample, so the measured stall chased
+  // elapsed time and never crossed the window.
+  DiagnosisEngine engine;
+  DiagnosisInput in;
+  in.plateau_window_seconds = 1.0;
+  in.frontier_depth = 3;
+  for (int i = 0; i < 90; ++i) {
+    in.elapsed_seconds = i * 0.001;
+    engine.update(in, i + 1, i);
+  }
+  for (int i = 90; i < 5000; ++i) {
+    in.elapsed_seconds = i * 0.001;
+    engine.update(in, 90, i);
+  }
+  EXPECT_EQ(engine.current().kind, StallKind::kCoveragePlateau);
+  EXPECT_NEAR(engine.current().stalled_seconds, 4.999 - 0.089, 0.002);
+}
+
+TEST(DiagnosisEngine, MomentaryFrontierZerosDoNotFlapTheVerdict) {
+  // The driver's frontier empties and refills every few iterations as the
+  // strategy exhausts, restarts, and replans.  The verdict must settle on
+  // coverage-plateau, not oscillate starved <-> plateau sample by sample.
+  DiagnosisEngine engine;
+  DiagnosisInput in;
+  in.plateau_window_seconds = 1.0;
+  for (int i = 0; i < 400; ++i) {
+    in.elapsed_seconds = i * 0.01;
+    in.frontier_depth = i % 2 == 0 ? 3 : 0;
+    const Diagnosis d = engine.update(in, 90, i);
+    if (in.elapsed_seconds >= 1.5) {
+      EXPECT_EQ(d.kind, StallKind::kCoveragePlateau) << "sample " << i;
+    }
+  }
+
+  // A frontier that stays empty for the whole window IS starvation.
+  DiagnosisEngine starved;
+  in.frontier_depth = 0;
+  for (int i = 0; i < 400; ++i) {
+    in.elapsed_seconds = i * 0.01;
+    starved.update(in, 90, i);
+  }
+  EXPECT_EQ(starved.current().kind, StallKind::kFrontierStarved);
+}
+
+TEST(DiagnosisEngine, StaleLowerCountsDoNotReadAsFreshGains) {
+  // Parallel workers report covered counts out of order: a momentarily
+  // stale lower value followed by the current maximum must not register
+  // as new progress.
+  DiagnosisEngine engine;
+  DiagnosisInput in;
+  in.plateau_window_seconds = 2.0;
+  in.frontier_depth = 1;
+  engine.update(in, 50, 0);  // elapsed 0: the last true gain
+  for (int i = 1; i < 100; ++i) {
+    in.elapsed_seconds = i * 0.1;
+    engine.update(in, i % 2 == 0 ? 50 : 49, i);
+  }
+  EXPECT_EQ(engine.current().kind, StallKind::kCoveragePlateau);
+  EXPECT_GE(engine.current().stalled_seconds, 9.0);
+}
+
+}  // namespace
+}  // namespace compi::obs

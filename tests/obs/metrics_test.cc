@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -152,6 +153,146 @@ TEST(RegistryTest, LabeledSeriesShareOneFamilyHeader) {
   EXPECT_EQ(out.find("# TYPE compi_lbl_test{"), std::string::npos);
   EXPECT_NE(out.find("compi_lbl_test{worker=\"0\"} 1\n"), std::string::npos);
   EXPECT_NE(out.find("compi_lbl_test{worker=\"1\"} 2\n"), std::string::npos);
+}
+
+TEST(LabelEscaping, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("has space"), "has space");
+  EXPECT_EQ(escape_label_value("q\"uote"), "q\\\"uote");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("new\nline"), "new\\nline");
+  // Backslash first, then quote: escaping must not double-process.
+  EXPECT_EQ(escape_label_value("\\\""), "\\\\\\\"");
+}
+
+TEST(LabelEscaping, LabeledNameComposes) {
+  EXPECT_EQ(labeled_name("compi_shard_iterations", "shard", "node 1"),
+            "compi_shard_iterations{shard=\"node 1\"}");
+  EXPECT_EQ(labeled_name("m", "shard", "a\"b"), "m{shard=\"a\\\"b\"}");
+}
+
+/// Prometheus text exposition lint: empty string when `text` parses under
+/// the format's line grammar, else a description of the first bad line.
+/// Covers what real scrapers reject — malformed names, unterminated or
+/// raw-newline label values, unparsable sample values, duplicate family
+/// headers.
+std::string exposition_lint(const std::string& text) {
+  const auto valid_name = [](std::string_view name) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':';
+      if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+    }
+    return true;
+  };
+  std::vector<std::string> seen_headers;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hl(line);
+      std::string hash, kind, family;
+      hl >> hash >> kind >> family;
+      if (kind != "HELP" && kind != "TYPE") return "bad comment: " + line;
+      if (!valid_name(family)) return "bad family name: " + line;
+      const std::string header = kind + " " + family;
+      for (const std::string& h : seen_headers) {
+        if (h == header) return "duplicate header: " + line;
+      }
+      seen_headers.push_back(header);
+      continue;
+    }
+    // Sample line: name[{label="value",...}] value
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    if (!valid_name(line.substr(0, pos))) return "bad metric name: " + line;
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        std::size_t eq = pos;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        if (eq >= line.size() || !valid_name(line.substr(pos, eq - pos))) {
+          return "bad label name: " + line;
+        }
+        pos = eq + 1;
+        if (pos >= line.size() || line[pos] != '"') {
+          return "unquoted label value: " + line;
+        }
+        ++pos;
+        bool closed = false;
+        while (pos < line.size()) {
+          if (line[pos] == '\\') {
+            if (pos + 1 >= line.size() ||
+                (line[pos + 1] != '\\' && line[pos + 1] != '"' &&
+                 line[pos + 1] != 'n')) {
+              return "bad escape in label value: " + line;
+            }
+            pos += 2;
+          } else if (line[pos] == '"') {
+            closed = true;
+            ++pos;
+            break;
+          } else {
+            ++pos;
+          }
+        }
+        if (!closed) return "unterminated label value: " + line;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        return "unterminated label block: " + line;
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return "missing value separator: " + line;
+    }
+    const std::string value = line.substr(pos + 1);
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || value.empty()) {
+        return "bad sample value: " + line;
+      }
+    }
+  }
+  return "";
+}
+
+TEST(RegistryTest, ExpositionLintPassesWithHostileShardNames) {
+  // The fleet gauges label series with user-chosen shard names; spaces,
+  // quotes, backslashes and newlines must all survive a strict scrape.
+  Registry reg;
+  const char* names[] = {"node one", "we\"ird", "back\\slash", "nl\nname"};
+  for (const char* name : names) {
+    reg.gauge(labeled_name("compi_shard_iterations", "shard", name),
+              "iterations merged per shard")
+        .set(5);
+    reg.gauge(labeled_name("compi_shard_last_heartbeat_seconds", "shard",
+                           name),
+              "since last frame")
+        .set(1);
+  }
+  reg.counter("compi_lint_total", "plain family").inc();
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string verdict = exposition_lint(os.str());
+  EXPECT_EQ(verdict, "") << os.str();
+  // The space-bearing shard name is present, unmangled, exactly once.
+  EXPECT_NE(os.str().find("compi_shard_iterations{shard=\"node one\"} 5"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ExpositionLintCatchesRawNewline) {
+  // The lint itself must have teeth: an unescaped newline inside a label
+  // value splits the sample into two invalid lines.
+  EXPECT_NE(exposition_lint("m{shard=\"a\nb\"} 1\n"), "");
+  EXPECT_NE(exposition_lint("1bad_name 3\n"), "");
+  EXPECT_NE(exposition_lint("m{shard=\"open} 1\n"), "");
+  EXPECT_EQ(exposition_lint("m{shard=\"a b\"} 1\n"), "");
 }
 
 TEST(RegistryTest, GlobalRegistryIsStable) {

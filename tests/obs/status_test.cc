@@ -87,6 +87,26 @@ TEST(StatusJson, RoundTripsEveryField) {
   EXPECT_EQ(parsed->worker_status[1].phase, WorkerPhase::kExecute);
 }
 
+TEST(StatusJson, DiagnosisRoundTripsWhenSetAndIsOmittedWhenEmpty) {
+  StatusSnapshot s = full_snapshot();
+  s.diagnosis_kind = "solver-thrash";
+  s.diagnosis_detail = "budget exhaustion dominates: 90 of 100 queries";
+  s.diagnosis_stalled_seconds = 12.5;
+  const auto parsed = parse_status_json(render_status_json(s));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->diagnosis_kind, "solver-thrash");
+  EXPECT_EQ(parsed->diagnosis_detail,
+            "budget exhaustion dominates: 90 of 100 queries");
+  EXPECT_DOUBLE_EQ(parsed->diagnosis_stalled_seconds, 12.5);
+
+  // Without a verdict the document carries no diagnosis object at all
+  // (old dashboards parse it untouched) and parsing yields empty fields.
+  s.diagnosis_kind.clear();
+  const std::string json = render_status_json(s);
+  EXPECT_EQ(json.find("diagnosis"), std::string::npos);
+  EXPECT_TRUE(parse_status_json(json)->diagnosis_kind.empty());
+}
+
 TEST(StatusJson, LegacySevenFieldFormKeepsFieldOrderAndParses) {
   // Existing monitors scrape the original heartbeat: the seven legacy
   // fields must come first, in the original order.

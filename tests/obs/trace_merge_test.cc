@@ -1,0 +1,187 @@
+// `compi trace-merge`: lane assignment, clock alignment, identity
+// sidecars, and tolerance of missing inputs.
+#include "obs/trace_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace compi::obs {
+namespace {
+
+class TraceMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("compi_trace_merge_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path dir(const std::string& name) {
+    const std::filesystem::path d = root_ / name;
+    std::filesystem::create_directories(d);
+    return d;
+  }
+
+  /// Writes a trace.json in the exporter's exact shape: one span at
+  /// `ts_us`, plus the per-file process metadata the merge must replace.
+  static void write_trace(const std::filesystem::path& d,
+                          const std::string& span, std::int64_t ts_us,
+                          std::int64_t epoch_wall_us) {
+    std::ofstream out(d / "trace.json");
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        << "{\"name\":\"" << span
+        << "\",\"cat\":\"driver\",\"ph\":\"X\",\"ts\":" << ts_us
+        << ",\"pid\":1,\"tid\":0,\"dur\":5},\n"
+        << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"args\":{\"name\":\"compi\"}},\n"
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"driver\"}}"
+        << "],\"otherData\":{\"dropped_events\":0,\"epoch_wall_us\":"
+        << epoch_wall_us << "}}\n";
+  }
+
+  static void write_file(const std::filesystem::path& path,
+                         const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(TraceMergeTest, AssignsOneLanePerSource) {
+  const auto coord = dir("coord");
+  const auto a = dir("shard-a");
+  const auto b = dir("shard-b");
+  write_trace(coord, "merge_delta", 100, 1'000'000);
+  write_trace(a, "solve", 50, 1'000'000);
+  write_trace(b, "solve", 60, 1'000'000);
+  write_file(a / "shard.json", "{\"key\":\"alpha#1\",\"name\":\"alpha\"}\n");
+  write_file(b / "shard.json", "{\"key\":\"beta#2\",\"name\":\"beta\"}\n");
+
+  TraceMergeOptions opts;
+  opts.coordinator_dir = coord.string();
+  opts.shard_dirs = {a.string(), b.string()};
+  std::ostringstream out;
+  std::string error;
+  ASSERT_TRUE(merge_traces(opts, out, &error)) << error;
+  const std::string merged = out.str();
+
+  // Coordinator lane is pid 1; shards follow in argument order.
+  EXPECT_NE(merged.find("\"name\":\"merge_delta\""), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(merged.find("{\"name\":\"coordinator\"}"), std::string::npos);
+  EXPECT_NE(merged.find("{\"name\":\"shard alpha\"}"), std::string::npos);
+  EXPECT_NE(merged.find("{\"name\":\"shard beta\"}"), std::string::npos);
+  // The per-file "compi" process metadata must not leak through.
+  EXPECT_EQ(merged.find("{\"name\":\"compi\"}"), std::string::npos);
+  // Still a Chrome trace envelope.
+  EXPECT_EQ(merged.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+}
+
+TEST_F(TraceMergeTest, AlignsShardClocksToTheCoordinatorEpoch) {
+  const auto coord = dir("coord");
+  const auto a = dir("shard-a");
+  // Coordinator epoch at wall 2'000'000; shard epoch at wall 2'500'000:
+  // a shard event at ts=100 lands at 500'100 on the merged clock.
+  write_trace(coord, "merge_delta", 100, 2'000'000);
+  write_trace(a, "solve", 100, 2'500'000);
+
+  TraceMergeOptions opts;
+  opts.coordinator_dir = coord.string();
+  opts.shard_dirs = {a.string()};
+  std::ostringstream out;
+  ASSERT_TRUE(merge_traces(opts, out, nullptr));
+  const std::string merged = out.str();
+  EXPECT_NE(merged.find("\"ts\":500100"), std::string::npos);
+  // The coordinator's own event keeps its timestamp (it is the base).
+  EXPECT_NE(merged.find("\"ts\":100,\"pid\":1"), std::string::npos);
+}
+
+TEST_F(TraceMergeTest, AppliesJournaledWallClockDrift) {
+  const auto coord = dir("coord");
+  const auto a = dir("shard-a");
+  write_trace(coord, "merge_delta", 0, 5'000'000);
+  write_trace(a, "solve", 10, 5'000'000);
+  write_file(a / "shard.json", "{\"key\":\"alpha#1\",\"name\":\"alpha\"}\n");
+  // The shard's wall clock runs 1s behind the coordinator's: drift
+  // (coord - shard) = +1'000'000us must shift its lane forward.
+  write_file(coord / "journal.jsonl",
+             "{\"type\":\"shard_joined\",\"iter\":0,\"shard\":\"alpha#1\","
+             "\"ordinal\":0,\"rejoin\":false,\"shard_wall_us\":4000000,"
+             "\"coord_wall_us\":5000000}\n");
+
+  TraceMergeOptions opts;
+  opts.coordinator_dir = coord.string();
+  opts.shard_dirs = {a.string()};
+  std::ostringstream out;
+  ASSERT_TRUE(merge_traces(opts, out, nullptr));
+  EXPECT_NE(out.str().find("\"ts\":1000010"), std::string::npos);
+}
+
+TEST_F(TraceMergeTest, FallsBackToDirBasenameWithoutSidecar) {
+  const auto a = dir("nightly-7");
+  write_trace(a, "solve", 1, 1'000'000);
+  TraceMergeOptions opts;
+  opts.shard_dirs = {a.string()};
+  std::ostringstream out;
+  ASSERT_TRUE(merge_traces(opts, out, nullptr));
+  EXPECT_NE(out.str().find("{\"name\":\"shard nightly-7\"}"),
+            std::string::npos);
+}
+
+TEST_F(TraceMergeTest, SkipsUnreadableDirsButFailsOnNothing) {
+  const auto a = dir("shard-a");
+  write_trace(a, "solve", 1, 1'000'000);
+  TraceMergeOptions opts;
+  opts.shard_dirs = {a.string(), (root_ / "missing").string()};
+  std::ostringstream out;
+  ASSERT_TRUE(merge_traces(opts, out, nullptr));
+  EXPECT_NE(out.str().find("\"skipped\":1"), std::string::npos);
+
+  TraceMergeOptions none;
+  none.shard_dirs = {(root_ / "missing").string()};
+  std::ostringstream empty;
+  std::string error;
+  EXPECT_FALSE(merge_traces(none, empty, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceMergeTest, MergesARealTracerExport) {
+  // End to end against the real exporter: record spans through the global
+  // tracer, export, merge the file as a lone shard.
+  const auto a = dir("shard-real");
+  tracer().configure(64);
+  tracer().set_enabled(true);
+  { ObsSpan span(Cat::kSolver, "real_span", "n", 3); }
+  obs::instant(Cat::kCoord, "real_instant", "x", 1);
+  tracer().set_enabled(false);
+  std::ofstream out_file(a / "trace.json");
+  tracer().write_chrome_json(out_file);
+  out_file.close();
+
+  TraceMergeOptions opts;
+  opts.shard_dirs = {a.string()};
+  std::ostringstream out;
+  std::string error;
+  ASSERT_TRUE(merge_traces(opts, out, &error)) << error;
+#ifndef COMPI_OBS_DISABLED
+  EXPECT_NE(out.str().find("\"name\":\"real_span\""), std::string::npos);
+#endif
+  EXPECT_NE(out.str().find("{\"name\":\"shard shard-real\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace compi::obs

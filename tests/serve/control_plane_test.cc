@@ -27,6 +27,9 @@ struct Fixture {
 
   // Optional liveness closure wired into /healthz when set before start().
   std::function<std::pair<bool, std::string>()> healthy;
+  // Optional fleet closure wired into /fleet when set before start().
+  std::function<std::string()> fleet;
+  int stream_keepalive_ms = 15000;
 
   std::string target;  // "127.0.0.1:<port>" once started
 
@@ -41,7 +44,9 @@ struct Fixture {
     config.journal = &journal;
     config.status = [this] { return board.snapshot(); };
     config.explain = [] { return std::string("live explain report\n"); };
+    config.stream_keepalive_ms = stream_keepalive_ms;
     if (healthy) config.healthy = healthy;
+    if (fleet) config.fleet = fleet;
     if (!plane.start(config)) return false;
     target = "127.0.0.1:" + std::to_string(plane.port());
     return true;
@@ -107,6 +112,41 @@ TEST(ControlPlaneTest, EventsEndpointStreamsTheJournalTap) {
   ASSERT_TRUE(body.has_value());
   EXPECT_NE(body->find("data: {\"type\":\"iteration\",\"iter\":3"),
             std::string::npos);
+}
+
+TEST(ControlPlaneTest, EventsStreamEmitsKeepaliveCommentsWhenIdle) {
+  Fixture f;
+  f.stream_keepalive_ms = 100;  // aggressive so the test stays fast
+  START_OR_SKIP(f);
+  // No journal activity at all: the only stream traffic a proxy sees is
+  // the SSE comment frame, which must arrive well inside its idle window.
+  const auto body = http_get_stream(f.target, "/events", 64, 1500);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find(": keepalive\n\n"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, FleetEndpointServesTheClosure) {
+  Fixture f;
+  f.fleet = [] {
+    return std::string("{\"shards_connected\":2,\"budget\":100}\n");
+  };
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/fleet");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"shards_connected\":2"), std::string::npos);
+  // Advertised on the index once wired.
+  const auto index = http_get(f.target, "/");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_NE(index->body.find("/fleet"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, FleetIs404WithoutAClosure) {
+  Fixture f;
+  START_OR_SKIP(f);
+  const auto resp = http_get(f.target, "/fleet");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
 }
 
 TEST(ControlPlaneTest, IndexListsEndpointsAndUnknownPathsAre404) {

@@ -117,6 +117,93 @@ TEST(RenderDashboard, ShowsCampaignWorkersAndGauges) {
   EXPECT_EQ(ansi_frame.rfind("\x1b[H\x1b[2J", 0), 0u);
 }
 
+TEST(PrometheusText, KeepsLabelValuesWithSpaces) {
+  // Shard-labeled samples carry human-chosen names; "node one" must not
+  // shear the line apart at its first space.
+  const auto metrics = parse_prometheus_text(
+      "compi_shard_iterations{shard=\"node one\"} 25\n"
+      "compi_shard_iterations{shard=\"b\"} 12\n");
+  EXPECT_EQ(metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      metrics.at("compi_shard_iterations{shard=\"node one\"}"), 25.0);
+  EXPECT_DOUBLE_EQ(metrics.at("compi_shard_iterations{shard=\"b\"}"),
+                   12.0);
+}
+
+TEST(RenderDashboard, ShowsTheStallDiagnosisBanner) {
+  obs::StatusSnapshot s = sample_snapshot();
+  s.diagnosis_kind = "frontier-starved";
+  s.diagnosis_detail = "frontier and interleaving queues are both empty";
+  s.diagnosis_stalled_seconds = 33.0;
+  const std::string frame = render_dashboard(s, {}, /*ansi=*/false);
+  EXPECT_NE(frame.find("!! frontier-starved"), std::string::npos);
+  EXPECT_NE(frame.find("0:33 without new coverage"), std::string::npos);
+  EXPECT_NE(frame.find("queues are both empty"), std::string::npos);
+
+  // A progressing (or absent) verdict renders no banner at all.
+  s.diagnosis_kind = "progressing";
+  EXPECT_EQ(render_dashboard(s, {}, false).find("!!"), std::string::npos);
+  s.diagnosis_kind.clear();
+  EXPECT_EQ(render_dashboard(s, {}, false).find("!!"), std::string::npos);
+}
+
+/// The /fleet document a 2-shard coordinator serves, in the flat JSON
+/// dialect (nested shard_N objects, no arrays).
+const char* kFleetJson =
+    "{\"budget\":1000,\"completed\":37,\"elapsed_seconds\":75.0,"
+    "\"shards_connected\":1,\"shards_joined\":2,\"shards_lost\":1,"
+    "\"leases_reclaimed\":1,\"covered_branches\":90,\"bugs\":2,"
+    "\"diagnosis_kind\":\"straggler-shard\","
+    "\"diagnosis_detail\":\"straggler-shard: 'node two' is behind\","
+    "\"shard_0\":{\"name\":\"node one\",\"ordinal\":0,\"connected\":true,"
+    "\"since_last_seen\":0.2,\"iterations\":25,\"rate\":3.5,\"leases\":1,"
+    "\"lease_remaining\":4,\"telemetry\":true,\"covered\":35,"
+    "\"frontier_depth\":4,\"interleavings_pending\":0,\"solver_sat\":12,"
+    "\"solver_unsat\":1,\"solver_budget\":0,\"exec_us\":1500000,"
+    "\"solve_us\":500000,\"timeline\":\"0:5 1:15 2:25\"},"
+    "\"shard_1\":{\"name\":\"node two\",\"ordinal\":1,\"connected\":false,"
+    "\"since_last_seen\":31.0,\"iterations\":12,\"rate\":0.0,\"leases\":0,"
+    "\"lease_remaining\":0,\"telemetry\":false,\"timeline\":\"\"}}";
+
+TEST(RenderFleet, RendersOneRowPerShardWithTelemetryAndTrend) {
+  const auto parsed = obs::parse_json_object(kFleetJson);
+  ASSERT_TRUE(parsed.has_value());
+  const std::string frame = render_fleet(*parsed, /*ansi=*/false);
+  EXPECT_NE(frame.find("compi fleet  elapsed 1:15  completed 37/1000"),
+            std::string::npos);
+  EXPECT_NE(frame.find("covered 90  bugs 2"), std::string::npos);
+  EXPECT_NE(frame.find("shards 1 connected / 2 joined (lost 1"),
+            std::string::npos);
+  EXPECT_NE(frame.find("!! straggler-shard:"), std::string::npos);
+  // Shard rows: the live shard shows telemetry columns, the lost one
+  // shows placeholders and its "lost" state.
+  EXPECT_NE(frame.find("node one"), std::string::npos);
+  EXPECT_NE(frame.find("up"), std::string::npos);
+  EXPECT_NE(frame.find("12/1/0"), std::string::npos);
+  EXPECT_NE(frame.find("node two"), std::string::npos);
+  EXPECT_NE(frame.find("lost"), std::string::npos);
+  EXPECT_NE(frame.find("-/-/-"), std::string::npos);
+  // The trend sparkline plots per-interval deltas (5->15->25 = two
+  // equal increments = two full blocks), not absolute counts.
+  EXPECT_NE(frame.find("██"), std::string::npos);
+  // No "(quiet ...)" for the lost shard (it is lost, not quiet), and the
+  // fresh shard is not quiet either.
+  EXPECT_EQ(frame.find("(quiet"), std::string::npos);
+
+  const auto ansi = render_fleet(*parsed, /*ansi=*/true);
+  EXPECT_EQ(ansi.rfind("\x1b[H\x1b[2J", 0), 0u);
+}
+
+TEST(RenderFleet, FlagsConnectedButSilentShards) {
+  std::string json = kFleetJson;
+  const std::string from = "\"since_last_seen\":0.2";
+  json.replace(json.find(from), from.size(), "\"since_last_seen\":72.0");
+  const auto parsed = obs::parse_json_object(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NE(render_fleet(*parsed, false).find("(quiet 1:12)"),
+            std::string::npos);
+}
+
 TEST(RenderDashboard, FlagsWorkersWithStaleProgress) {
   obs::StatusSnapshot s = sample_snapshot();
   s.elapsed_seconds = 120.0;
@@ -201,6 +288,40 @@ TEST(RunTop, PollsALiveControlPlane) {
   EXPECT_EQ(run_top(opts, gone), 0);
   stopper.join();
   EXPECT_NE(gone.str().find("campaign ended"), std::string::npos);
+}
+
+TEST(RunTop, FleetModePollsTheFleetEndpoint) {
+  obs::Registry registry;
+  obs::Journal journal;
+  ControlPlane plane;
+  ControlPlaneConfig config;
+  config.port = 0;
+  config.registry = &registry;
+  config.journal = &journal;
+  config.status = [] { return sample_snapshot(); };
+  config.fleet = [] { return std::string(kFleetJson) + "\n"; };
+  if (!plane.start(config)) {
+    GTEST_SKIP() << "control plane compiled out on this platform";
+  }
+
+  TopOptions opts;
+  opts.target = "127.0.0.1:" + std::to_string(plane.port());
+  opts.fleet = true;
+  opts.frames = 1;
+  opts.ansi = false;
+  std::ostringstream os;
+  EXPECT_EQ(run_top(opts, os), 0);
+  EXPECT_NE(os.str().find("compi fleet"), std::string::npos);
+  EXPECT_NE(os.str().find("node one"), std::string::npos);
+  plane.stop();
+
+  // --fleet is a coordinator view: a file target is a usage error.
+  TopOptions file;
+  file.target = "/tmp/status.json";
+  file.fleet = true;
+  std::ostringstream err;
+  EXPECT_EQ(run_top(file, err), 1);
+  EXPECT_NE(err.str().find("needs a coordinator"), std::string::npos);
 }
 
 }  // namespace
