@@ -4,11 +4,16 @@
 // techniques (two-way instrumentation, reduction) are managing.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "compi/driver.h"
 #include "compi/fixed_run.h"
 #include "compi/ledger.h"
@@ -16,6 +21,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sandbox/fork_server.h"
 #include "sandbox/supervisor.h"
 #include "sandbox/wire.h"
 #include "solver/solver.h"
@@ -351,6 +357,46 @@ void BM_LaunchSandboxed(benchmark::State& state) {
 }
 BENCHMARK(BM_LaunchSandboxed)->Unit(benchmark::kMillisecond);
 
+void BM_LaunchForkServer(benchmark::State& state) {
+  // Warm spawn: each iteration forks from the long-lived server snapshot
+  // instead of re-forking this (benchmark-sized) tester process.  The
+  // EXPERIMENTS.md spawn-overhead table compares this row against
+  // BM_LaunchSandboxed (the cold per-iteration fork).
+  if (!sandbox::sandbox_supported()) {
+    state.SkipWithError("no fork() on this platform");
+    return;
+  }
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+  sandbox::ForkServer server(sandbox_bench_table(), {});
+  bool warm = false;
+  (void)server.run(spec, nullptr, &warm);  // pay server startup untimed
+  if (!warm) {
+    state.SkipWithError("fork server failed to start");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.run(spec, nullptr, &warm));
+  }
+  if (!warm) state.SkipWithError("fork server degraded to cold forks");
+}
+BENCHMARK(BM_LaunchForkServer)->Unit(benchmark::kMillisecond);
+
+void BM_LaunchBatchReset(benchmark::State& state) {
+  // The --batch-reset fast path: in-process execution with a coverage-sink
+  // reset, zero process creation.  Identical work to BM_LaunchInProcess
+  // plus the per-iteration reset the batched campaign pays.
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sandbox::run_batch_reset(spec, sandbox_bench_table()));
+  }
+}
+BENCHMARK(BM_LaunchBatchReset)->Unit(benchmark::kMillisecond);
+
 // ---- match-scheduler (--explore-matchings) overhead ----
 // What routing every receive through the central MatchScheduler costs over
 // the plain mailbox path, on a wildcard fan-in job: per-receive scheduler
@@ -485,6 +531,101 @@ void BM_WireEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeDecode);
 
+// ---- --json sidecar: the spawn-engine trajectory ----
+// Cold fork vs warm spawn vs batch reset, measured the way a campaign
+// experiences them: the cold fork copies the CAMPAIGN process (here padded
+// with a dirty heap standing in for solver caches, ledger, and journal
+// buffers accumulated mid-campaign), while the fork server's grandchildren
+// fork from the lean snapshot taken before that heap existed.
+
+double seconds_per_run(int runs, const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < runs; ++i) body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / runs;
+}
+
+void write_spawn_sidecar(const compi::bench::BenchArgs& args) {
+  compi::bench::JsonEmitter json(args, "micro_spawn");
+  if (!sandbox::sandbox_supported()) {
+    json.row("unsupported", {{"sandbox_supported", 0.0}});
+    return;
+  }
+  const int runs = args.full ? 400 : 100;
+
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+  const minimpi::LaunchSpec spec = sandbox_bench_spec(registry, inputs);
+
+  // Snapshot the server FIRST, then dirty a campaign-sized heap: grandchild
+  // forks keep paying for the lean snapshot, cold forks pay for the heap.
+  sandbox::ForkServer server(sandbox_bench_table(), {});
+  bool warm = false;
+  (void)server.run(spec, nullptr, &warm);
+  std::vector<char> campaign_heap;
+  if (warm) {
+    campaign_heap.resize(192u << 20);
+    for (std::size_t i = 0; i < campaign_heap.size(); i += 4096) {
+      campaign_heap[i] = static_cast<char>(i);
+    }
+  }
+
+  const double cold = seconds_per_run(runs, [&] {
+    benchmark::DoNotOptimize(
+        sandbox::run_sandboxed(spec, sandbox_bench_table(), {}, nullptr));
+  });
+  json.row("cold_fork", {{"seconds_per_run", cold},
+                         {"runs", static_cast<double>(runs)}});
+
+  if (warm) {
+    const double warm_s = seconds_per_run(runs, [&] {
+      benchmark::DoNotOptimize(server.run(spec, nullptr, &warm));
+    });
+    json.row("warm_spawn", {{"seconds_per_run", warm_s},
+                            {"runs", static_cast<double>(runs)},
+                            {"speedup_vs_cold", cold / warm_s},
+                            {"degraded", warm ? 0.0 : 1.0}});
+  }
+
+  const double batch = seconds_per_run(runs, [&] {
+    benchmark::DoNotOptimize(
+        sandbox::run_batch_reset(spec, sandbox_bench_table()));
+  });
+  json.row("batch_reset", {{"seconds_per_run", batch},
+                           {"runs", static_cast<double>(runs)},
+                           {"speedup_vs_cold", cold / batch}});
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel the compi sweep flags (--json[=DIR], --full, --seed=N) off the
+  // command line before google-benchmark parses it; everything else is
+  // google-benchmark's.
+  compi::bench::BenchArgs args;
+  std::vector<char*> gb_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && (std::strcmp(argv[i], "--json") == 0 ||
+                  std::strncmp(argv[i], "--json=", 7) == 0 ||
+                  std::strcmp(argv[i], "--full") == 0 ||
+                  std::strncmp(argv[i], "--seed=", 7) == 0)) {
+      char* own[] = {argv[0], argv[i]};
+      const compi::bench::BenchArgs one = compi::bench::parse_args(2, own);
+      args.json = args.json || one.json;
+      args.full = args.full || one.full;
+      if (one.seed != 1) args.seed = one.seed;
+      if (one.json_dir != ".") args.json_dir = one.json_dir;
+      continue;
+    }
+    gb_argv.push_back(argv[i]);
+  }
+  int gb_argc = static_cast<int>(gb_argv.size());
+  benchmark::Initialize(&gb_argc, gb_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (args.json) write_spawn_sidecar(args);
+  return 0;
+}

@@ -171,6 +171,8 @@ void CampaignCheckpoint::write(std::ostream& os) const {
      << '\n';
   os << "sandbox " << sandbox_runs << ' ' << sandbox_signal_kills << ' '
      << sandbox_hang_kills << ' ' << sandbox_harvest_bytes << '\n';
+  os << "sandbox2 " << warm_spawns << ' ' << cold_forks << ' '
+     << fork_server_restarts << ' ' << batch_runs << '\n';
 
   os << "iterations " << iterations.size() << '\n';
   for (const IterationRecord& r : iterations) {
@@ -311,6 +313,11 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::read(std::istream& is) {
   if (!expect(is, "sandbox") ||
       !(is >> c.sandbox_runs >> c.sandbox_signal_kills >>
         c.sandbox_hang_kills >> c.sandbox_harvest_bytes)) {
+    return std::nullopt;
+  }
+  if (!expect(is, "sandbox2") ||
+      !(is >> c.warm_spawns >> c.cold_forks >> c.fork_server_restarts >>
+        c.batch_runs)) {
     return std::nullopt;
   }
 

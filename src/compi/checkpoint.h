@@ -104,17 +104,18 @@ struct CoordShardCursor {
 };
 
 struct CampaignCheckpoint {
-  // v7: the snapshot gains an optional coordinator section (`coord 1`) —
-  // global budget/completed counters, outstanding leases, and per-shard
-  // merge cursors — so a kill -9'd `compi coordinate` resumes without
-  // losing confirmed coverage or double-counting shard iterations.  (v6
-  // added interleaving ids/decision vectors and the interleaving frontier;
-  // v5 added worker ordinals and per-worker cursors; v4 embedded the
-  // coverage-attribution ledger snapshot; v3 added the sandbox accounting
-  // line; v2 added solver_nodes and retries to iter lines.)  Older
-  // snapshots are rejected and the campaign falls back to a fresh start,
-  // by design.
-  static constexpr int kVersion = 7;
+  // v8: a `sandbox2` line follows the v3 `sandbox` line with the
+  // fork-server engine counters — warm spawns, cold-fork fallbacks, server
+  // restarts, and batched in-process runs — so the overhead accounting
+  // survives a kill + resume.  (v7 added the optional coordinator section
+  // (`coord 1`) — global budget/completed counters, outstanding leases,
+  // and per-shard merge cursors; v6 added interleaving ids/decision
+  // vectors and the interleaving frontier; v5 added worker ordinals and
+  // per-worker cursors; v4 embedded the coverage-attribution ledger
+  // snapshot; v3 added the sandbox accounting line; v2 added solver_nodes
+  // and retries to iter lines.)  Older snapshots are rejected and the
+  // campaign falls back to a fresh start, by design.
+  static constexpr int kVersion = 8;
 
   /// Campaign seed the snapshot was taken under (resume sanity check).
   std::uint64_t seed = 0;
@@ -144,6 +145,11 @@ struct CampaignCheckpoint {
   std::size_t sandbox_signal_kills = 0;
   std::size_t sandbox_hang_kills = 0;
   std::size_t sandbox_harvest_bytes = 0;
+  // Fork-server engine accounting (the v8 `sandbox2` line).
+  std::size_t warm_spawns = 0;
+  std::size_t cold_forks = 0;
+  std::size_t fork_server_restarts = 0;
+  std::size_t batch_runs = 0;
   std::vector<IterationRecord> iterations;
   std::vector<BugRecord> bugs;
   std::vector<sym::BranchId> covered;

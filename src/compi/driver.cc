@@ -24,6 +24,7 @@
 #include "obs/phase_clock.h"
 #include "obs/status.h"
 #include "obs/trace.h"
+#include "sandbox/fork_server.h"
 #include "sandbox/supervisor.h"
 #include "serve/control_plane.h"
 #include "solver/cache.h"
@@ -79,6 +80,20 @@ CampaignResult Campaign::run_serial() {
   obs::Counter& m_sandbox_harvest_bytes = reg.counter(
       "compi_sandbox_harvest_bytes_total",
       "Bytes salvaged from sandboxed children (pipe stream + coverage map)");
+  obs::Counter& m_warm_spawns = reg.counter(
+      "compi_warm_spawns_total",
+      "Iterations forked from the fork server's warm snapshot");
+  obs::Counter& m_cold_forks = reg.counter(
+      "compi_cold_forks_total",
+      "Iterations that fell back to a cold per-iteration fork");
+  obs::Counter& m_batch_runs = reg.counter(
+      "compi_batch_runs_total",
+      "Iterations executed in-process by the --batch-reset fast path");
+  obs::Counter& m_server_restarts = reg.counter(
+      "compi_fork_server_restarts_total",
+      "Fork-server deaths absorbed by a restart");
+  obs::Histogram& m_spawn_us = reg.histogram(
+      "compi_spawn_us", "Warm-spawn latency, spawn frame to reap (us)");
   obs::Counter& m_cache_hits = reg.counter(
       "compi_solver_cache_hits_total",
       "Solver memoization cache hits (query answered without searching)");
@@ -241,6 +256,10 @@ CampaignResult Campaign::run_serial() {
         result.sandbox_signal_kills = c->sandbox_signal_kills;
         result.sandbox_hang_kills = c->sandbox_hang_kills;
         result.sandbox_harvest_bytes = c->sandbox_harvest_bytes;
+        result.warm_spawns = c->warm_spawns;
+        result.cold_forks = c->cold_forks;
+        result.fork_server_restarts = c->fork_server_restarts;
+        result.batch_runs = c->batch_runs;
         result.resumed = true;
         plan.inputs = std::move(c->plan_inputs);
         plan.nprocs = c->plan_nprocs;
@@ -376,6 +395,20 @@ CampaignResult Campaign::run_serial() {
   sandbox_options.hang_timeout =
       std::chrono::milliseconds(options_.hang_timeout_ms);
   sandbox_options.child_mem_mb = options_.child_mem_mb;
+  // Warm-snapshot engine (--fork-server, on by default under --isolate):
+  // one long-lived server child forks every iteration from a warm
+  // snapshot; a dead server falls back to cold run_sandboxed per
+  // iteration without losing the in-flight test.
+  std::optional<sandbox::ForkServer> fork_server;
+  if (options_.isolate && options_.fork_server) {
+    sandbox::ForkServerOptions fso;
+    fso.sandbox = sandbox_options;
+    fso.max_restarts = options_.fork_server_restarts;
+    fork_server.emplace(*target_.table, fso);
+  }
+  // Batched fast path (--batch-reset): a streak of clean sandboxed runs
+  // earns in-process execution; any fault demotes back to the sandbox.
+  sandbox::BatchGate batch_gate(options_.batch_warmup);
   int journal_iter = start_iter;  // iteration the next journal event names
   // Branch ids the last execute() recovered from the sandbox harvest map
   // (empty for in-process runs and delivered results): the ledger flags
@@ -384,9 +417,55 @@ CampaignResult Campaign::run_serial() {
   const auto execute = [&](const minimpi::LaunchSpec& s) {
     last_harvested.clear();
     if (!options_.isolate) return minimpi::launch(s, *target_.table);
+    if (options_.batch_reset && batch_gate.ready()) {
+      minimpi::RunResult r = sandbox::run_batch_reset(s, *target_.table);
+      ++result.batch_runs;
+      m_batch_runs.inc();
+      if (r.job_outcome() == rt::Outcome::kOk) {
+        batch_gate.record_clean();
+      } else {
+        batch_gate.record_fault();
+      }
+      return r;
+    }
     sandbox::SandboxStats st;
-    minimpi::RunResult r =
-        sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+    minimpi::RunResult r;
+    if (fork_server) {
+      bool warm = false;
+      const std::uint64_t restarts_before = fork_server->stats().restarts;
+      r = fork_server->run(s, &st, &warm);
+      const std::uint64_t deaths =
+          fork_server->stats().restarts - restarts_before;
+      if (deaths > 0) {
+        result.fork_server_restarts += deaths;
+        m_server_restarts.inc(static_cast<std::int64_t>(deaths));
+        obs::instant(obs::Cat::kSandbox, "server_restart");
+        obs::JournalEvent(journal, "fork_server_restart", journal_iter)
+            .num("restarts",
+                 static_cast<std::int64_t>(fork_server->stats().restarts))
+            .boolean("degraded", fork_server->degraded());
+      }
+      if (warm) {
+        ++result.warm_spawns;
+        m_warm_spawns.inc();
+        m_spawn_us.observe(static_cast<std::int64_t>(
+            fork_server->stats().last_spawn_seconds * 1e6));
+      } else if (st.forked) {
+        ++result.cold_forks;
+        m_cold_forks.inc();
+      }
+    } else {
+      r = sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+    }
+    if (options_.batch_reset && st.forked) {
+      const bool clean = !st.signal_kill && !st.hang_kill &&
+                         r.job_outcome() == rt::Outcome::kOk;
+      if (clean) {
+        batch_gate.record_clean();
+      } else {
+        batch_gate.record_fault();
+      }
+    }
     if (!st.forked) return r;
     ++result.sandbox_runs;
     result.sandbox_harvest_bytes += st.harvest_bytes;
@@ -443,6 +522,10 @@ CampaignResult Campaign::run_serial() {
     c.sandbox_signal_kills = result.sandbox_signal_kills;
     c.sandbox_hang_kills = result.sandbox_hang_kills;
     c.sandbox_harvest_bytes = result.sandbox_harvest_bytes;
+    c.warm_spawns = result.warm_spawns;
+    c.cold_forks = result.cold_forks;
+    c.fork_server_restarts = result.fork_server_restarts;
+    c.batch_runs = result.batch_runs;
     c.iterations = result.iterations;
     c.bugs = result.bugs;
     c.covered = coverage.bitmap().covered_ids();

@@ -97,6 +97,16 @@ struct CampaignResult {
   std::size_t sandbox_signal_kills = 0;
   std::size_t sandbox_hang_kills = 0;
   std::size_t sandbox_harvest_bytes = 0;
+  /// Fork-server engine accounting (--isolate with --fork-server=on, the
+  /// default): iterations forked warm from the server snapshot, iterations
+  /// that fell back to a cold per-iteration fork, and server deaths
+  /// absorbed by a restart.  batch_runs counts --batch-reset iterations
+  /// executed in-process with zero process creation (NOT included in
+  /// sandbox_runs).
+  std::size_t warm_spawns = 0;
+  std::size_t cold_forks = 0;
+  std::size_t fork_server_restarts = 0;
+  std::size_t batch_runs = 0;
   /// True when the campaign continued a checkpointed session.
   bool resumed = false;
   /// Parallel-engine accounting (--workers > 1; all zero on the serial

@@ -131,6 +131,21 @@ struct CampaignOptions {
   /// RLIMIT_AS for the sandboxed child in MiB; 0 = inherit the parent's
   /// limit.  Ignored in ASan builds (the shadow needs the address space).
   int child_mem_mb = 0;
+  /// Warm-snapshot execution for `--isolate` (sandbox/fork_server.h): a
+  /// long-lived server child is forked once and every iteration forks from
+  /// its warm snapshot instead of re-forking the whole tester.  On by
+  /// default; `--fork-server=off` (or a dead server past its restart
+  /// budget) degrades to the classic per-iteration fork.
+  bool fork_server = true;
+  /// Server deaths tolerated before degrading permanently to cold fork.
+  int fork_server_restarts = 3;
+  /// Batched non-isolated fast path: after `batch_warmup` consecutive
+  /// clean sandboxed runs the target earns in-process execution (zero
+  /// process creation); any real signal, hang kill, or non-kOk job outcome
+  /// demotes it back to the sandbox until the streak is re-earned.  Only
+  /// meaningful with `isolate`.
+  bool batch_reset = false;
+  int batch_warmup = 3;
 
   /// Stop the campaign once this many distinct bugs have been recorded
   /// (0 = no budget).  Unlike the halt hook this is a graceful early

@@ -62,6 +62,7 @@
 #include "obs/phase_clock.h"
 #include "obs/status.h"
 #include "obs/trace.h"
+#include "sandbox/fork_server.h"
 #include "sandbox/supervisor.h"
 #include "serve/control_plane.h"
 #include "solver/cache.h"
@@ -126,6 +127,20 @@ CampaignResult Campaign::run_parallel() {
   obs::Counter& m_sandbox_harvest_bytes = reg.counter(
       "compi_sandbox_harvest_bytes_total",
       "Bytes salvaged from sandboxed children (pipe stream + coverage map)");
+  obs::Counter& m_warm_spawns = reg.counter(
+      "compi_warm_spawns_total",
+      "Iterations forked from the fork server's warm snapshot");
+  obs::Counter& m_cold_forks = reg.counter(
+      "compi_cold_forks_total",
+      "Iterations that fell back to a cold per-iteration fork");
+  obs::Counter& m_batch_runs = reg.counter(
+      "compi_batch_runs_total",
+      "Iterations executed in-process by the --batch-reset fast path");
+  obs::Counter& m_server_restarts = reg.counter(
+      "compi_fork_server_restarts_total",
+      "Fork-server deaths absorbed by a restart");
+  obs::Histogram& m_spawn_us = reg.histogram(
+      "compi_spawn_us", "Warm-spawn latency, spawn frame to reap (us)");
   obs::Counter& m_cache_hits = reg.counter(
       "compi_solver_cache_hits_total",
       "Solver memoization cache hits (query answered without searching)");
@@ -361,6 +376,10 @@ CampaignResult Campaign::run_parallel() {
         result.sandbox_signal_kills = c->sandbox_signal_kills;
         result.sandbox_hang_kills = c->sandbox_hang_kills;
         result.sandbox_harvest_bytes = c->sandbox_harvest_bytes;
+        result.warm_spawns = c->warm_spawns;
+        result.cold_forks = c->cold_forks;
+        result.fork_server_restarts = c->fork_server_restarts;
+        result.batch_runs = c->batch_runs;
         result.resumed = true;
         known_hangs = std::move(c->known_hang_signatures);
         interleavings.queue.assign(c->pending_interleavings.begin(),
@@ -521,6 +540,10 @@ CampaignResult Campaign::run_parallel() {
     c.sandbox_signal_kills = result.sandbox_signal_kills;
     c.sandbox_hang_kills = result.sandbox_hang_kills;
     c.sandbox_harvest_bytes = result.sandbox_harvest_bytes;
+    c.warm_spawns = result.warm_spawns;
+    c.cold_forks = result.cold_forks;
+    c.fork_server_restarts = result.fork_server_restarts;
+    c.batch_runs = result.batch_runs;
     for (const IterationRecord& r : result.iterations) {
       if (r.iteration < prefix) c.iterations.push_back(r);
     }
@@ -702,15 +725,77 @@ CampaignResult Campaign::run_parallel() {
     sandbox_options.hang_timeout =
         std::chrono::milliseconds(options_.hang_timeout_ms);
     sandbox_options.child_mem_mb = options_.child_mem_mb;
+    // Each worker owns its fork server: the server child is forked from —
+    // and serves — exactly this worker thread, so the engine needs no
+    // locking and grandchildren always fork from a single-threaded server.
+    std::optional<sandbox::ForkServer> fork_server;
+    if (options_.isolate && options_.fork_server) {
+      sandbox::ForkServerOptions fso;
+      fso.sandbox = sandbox_options;
+      fso.max_restarts = options_.fork_server_restarts;
+      fork_server.emplace(*target_.table, fso);
+    }
+    sandbox::BatchGate batch_gate(options_.batch_warmup);
     std::vector<sym::BranchId> last_harvested;
     int last_iter = -1;  // the ordinal this worker parks on when done
 
     const auto execute = [&](const minimpi::LaunchSpec& s, int iter) {
       last_harvested.clear();
       if (!options_.isolate) return minimpi::launch(s, *target_.table);
+      if (options_.batch_reset && batch_gate.ready()) {
+        minimpi::RunResult r = sandbox::run_batch_reset(s, *target_.table);
+        if (r.job_outcome() == rt::Outcome::kOk) {
+          batch_gate.record_clean();
+        } else {
+          batch_gate.record_fault();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++result.batch_runs;
+        m_batch_runs.inc();
+        return r;
+      }
       sandbox::SandboxStats st;
-      minimpi::RunResult r =
-          sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+      minimpi::RunResult r;
+      bool warm = false;
+      std::uint64_t deaths = 0;
+      if (fork_server) {
+        const std::uint64_t restarts_before = fork_server->stats().restarts;
+        r = fork_server->run(s, &st, &warm);
+        deaths = fork_server->stats().restarts - restarts_before;
+      } else {
+        r = sandbox::run_sandboxed(s, *target_.table, sandbox_options, &st);
+      }
+      if (options_.batch_reset && st.forked) {
+        const bool clean = !st.signal_kill && !st.hang_kill &&
+                           r.job_outcome() == rt::Outcome::kOk;
+        if (clean) {
+          batch_gate.record_clean();
+        } else {
+          batch_gate.record_fault();
+        }
+      }
+      if (fork_server && (warm || st.forked || deaths > 0)) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (deaths > 0) {
+          result.fork_server_restarts += deaths;
+          m_server_restarts.inc(static_cast<std::int64_t>(deaths));
+          obs::instant(obs::Cat::kSandbox, "server_restart");
+          obs::JournalEvent(journal, "fork_server_restart", iter)
+              .num("restarts",
+                   static_cast<std::int64_t>(fork_server->stats().restarts))
+              .boolean("degraded", fork_server->degraded())
+              .num("worker", w);
+        }
+        if (warm) {
+          ++result.warm_spawns;
+          m_warm_spawns.inc();
+          m_spawn_us.observe(static_cast<std::int64_t>(
+              fork_server->stats().last_spawn_seconds * 1e6));
+        } else if (st.forked) {
+          ++result.cold_forks;
+          m_cold_forks.inc();
+        }
+      }
       if (!st.forked) return r;
       last_harvested = std::move(st.harvested);
       std::lock_guard<std::mutex> lock(mu);

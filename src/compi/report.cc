@@ -65,11 +65,18 @@ void print_phase_breakdown(std::ostream& os, const PhaseBreakdown& b) {
 }
 
 void print_sandbox_summary(std::ostream& os, const CampaignResult& result) {
-  if (result.sandbox_runs == 0) return;
+  if (result.sandbox_runs == 0 && result.batch_runs == 0) return;
   os << "sandbox           : " << result.sandbox_runs << " forked runs, "
      << result.sandbox_signal_kills << " signal kills, "
      << result.sandbox_hang_kills << " hang kills, "
      << TablePrinter::bytes(result.sandbox_harvest_bytes) << " harvested\n";
+  if (result.warm_spawns == 0 && result.cold_forks == 0 &&
+      result.batch_runs == 0) {
+    return;
+  }
+  os << "fork server       : " << result.warm_spawns << " warm spawns, "
+     << result.cold_forks << " cold forks, " << result.fork_server_restarts
+     << " restarts, " << result.batch_runs << " batch runs\n";
 }
 
 void print_matchings_summary(std::ostream& os, const CampaignResult& result) {

@@ -1,0 +1,465 @@
+#include "sandbox/fork_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "runtime/coverage_sink.h"
+
+#ifdef COMPI_SANDBOX_POSIX
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace compi::sandbox {
+
+minimpi::RunResult run_batch_reset(const minimpi::LaunchSpec& spec,
+                                   const rt::BranchTable& table) {
+  // A previous sandboxed iteration never installs a sink in THIS process,
+  // but clearing is cheap and makes the fast path self-contained.
+  rt::clear_coverage_sink();
+  return minimpi::launch(spec, table);
+}
+
+#ifndef COMPI_SANDBOX_POSIX
+
+ForkServer::ForkServer(const rt::BranchTable& table, ForkServerOptions options)
+    : table_(table), options_(options) {
+  stats_.degraded = true;
+}
+ForkServer::~ForkServer() = default;
+minimpi::RunResult ForkServer::run(const minimpi::LaunchSpec& spec,
+                                   SandboxStats* stats, bool* warm) {
+  if (warm != nullptr) *warm = false;
+  ++stats_.cold_forks;
+  return run_sandboxed(spec, table_, options_.sandbox, stats);
+}
+bool ForkServer::start(const minimpi::LaunchSpec&) { return false; }
+void ForkServer::note_server_death() {}
+void ForkServer::shutdown() {}
+
+#else  // COMPI_SANDBOX_POSIX
+
+namespace {
+
+using std::chrono::duration;
+using std::chrono::duration_cast;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Extra wall-clock the parent grants the server to report "reaped" after
+/// the grandchild's own hang deadline passed (the server's waitpid returns
+/// promptly once the parent SIGKILLs the grandchild).
+constexpr milliseconds kReapGrace{5000};
+
+/// The server writes to st/res pipes whose read ends live in the parent;
+/// if the parent dies first those writes must error, not kill the server
+/// with SIGPIPE.  Installed once, only if the process still has the
+/// default disposition (never clobber a user handler).
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    struct sigaction cur {};
+    if (sigaction(SIGPIPE, nullptr, &cur) == 0 && cur.sa_handler == SIG_DFL) {
+      struct sigaction ign {};
+      ign.sa_handler = SIG_IGN;
+      sigemptyset(&ign.sa_mask);
+      (void)sigaction(SIGPIPE, &ign, nullptr);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+void send_status(int fd, const std::string& text) {
+  std::string out;
+  append_frame(out, FrameType::kStatus, text);
+  detail::write_all(fd, out);
+}
+
+/// The long-lived server child: applies registry suffixes, forks one
+/// grandchild per kSpawn, and reports lifecycle over st.  Exits when the
+/// parent closes the ctl pipe (or the stream goes corrupt).
+[[noreturn]] void server_main(const minimpi::LaunchSpec& prototype,
+                              const rt::BranchTable& table,
+                              const SandboxOptions& sandbox, int ctl_rd,
+                              int st_wr, int res_wr, unsigned char* map,
+                              std::size_t map_size) {
+  // The server's own registry, reconstructed purely from suffix frames:
+  // forking the parent's mutex-guarded registry from a worker thread could
+  // snapshot a locked mutex.  Replaying interns in order reproduces the
+  // parent's dense ids exactly.
+  rt::VarRegistry registry;
+  minimpi::LaunchSpec base = prototype;
+  base.registry = &registry;
+  base.inputs = nullptr;
+
+  std::string hello;
+  append_frame(hello, FrameType::kHello,
+               "compi-fork-server 1 " + std::to_string(getpid()));
+  detail::write_all(st_wr, hello);
+
+  FrameReader ctl;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = read(ctl_rd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // parent closed the ctl pipe: campaign over
+    ctl.feed(buf, static_cast<std::size_t>(n));
+    while (std::optional<Frame> f = ctl.next()) {
+      if (f->type == FrameType::kRegistry) {
+        if (!apply_registry(f->payload, registry)) {
+          send_status(st_wr, "reject registry");
+        }
+        continue;
+      }
+      if (f->type != FrameType::kSpawn) continue;
+      SpawnRequest req;
+      if (!decode_spawn_request(f->payload, req)) {
+        send_status(st_wr, "reject decode");
+        continue;
+      }
+      minimpi::LaunchSpec spec = base;
+      spec.nprocs = req.nprocs;
+      spec.focus = req.focus;
+      spec.one_way = req.one_way;
+      spec.inputs = &req.inputs;
+      spec.rng_seed = req.rng_seed;
+      spec.step_budget = req.step_budget;
+      spec.reduction = req.reduction;
+      spec.mark_mpi_vars = req.mark_mpi_vars;
+      spec.timeout = milliseconds(req.timeout_ms);
+      spec.chaos = req.chaos;
+      spec.track_base = req.track_base;
+      spec.match_schedule = req.match_schedule;
+      spec.match_plan = req.match_plan;
+
+      std::fflush(stdout);
+      std::fflush(stderr);
+      const pid_t pid = fork();
+      if (pid < 0) {
+        send_status(st_wr, "reject fork");
+        continue;
+      }
+      if (pid == 0) {
+        close(ctl_rd);
+        close(st_wr);
+        // read_fd -1: the grandchild has no supervisor-side pipe end to
+        // shed — the res write end IS its result channel.
+        detail::child_main(spec, table, sandbox, milliseconds(req.hang_ms),
+                           -1, res_wr, map, map_size);
+      }
+      send_status(st_wr, "spawned " + std::to_string(pid));
+      int status = 0;
+      while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      send_status(st_wr, "reaped " + std::to_string(status));
+    }
+    if (ctl.corrupt()) break;  // poisoned control stream: let parent restart
+  }
+  _exit(0);
+}
+
+/// Parses the integer payload tail of "spawned <pid>" / "reaped <status>".
+std::optional<long> status_arg(std::string_view payload,
+                               std::string_view verb) {
+  if (payload.size() <= verb.size() + 1 ||
+      payload.substr(0, verb.size()) != verb ||
+      payload[verb.size()] != ' ') {
+    return std::nullopt;
+  }
+  long value = 0;
+  bool neg = false;
+  std::size_t i = verb.size() + 1;
+  if (i < payload.size() && payload[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  if (i >= payload.size()) return std::nullopt;
+  for (; i < payload.size(); ++i) {
+    const char c = payload[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return neg ? -value : value;
+}
+
+}  // namespace
+
+ForkServer::ForkServer(const rt::BranchTable& table, ForkServerOptions options)
+    : table_(table), options_(options) {}
+
+ForkServer::~ForkServer() { shutdown(); }
+
+bool ForkServer::start(const minimpi::LaunchSpec& prototype) {
+  ignore_sigpipe_once();
+  map_size_ = table_.num_branches();
+  map_bytes_ = std::max<std::size_t>(map_size_, 1);
+  void* map = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) return false;
+  int ctl[2], st[2], res[2];
+  if (pipe(ctl) != 0) {
+    munmap(map, map_bytes_);
+    return false;
+  }
+  if (pipe(st) != 0) {
+    close(ctl[0]);
+    close(ctl[1]);
+    munmap(map, map_bytes_);
+    return false;
+  }
+  if (pipe(res) != 0) {
+    close(ctl[0]);
+    close(ctl[1]);
+    close(st[0]);
+    close(st[1]);
+    munmap(map, map_bytes_);
+    return false;
+  }
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {ctl[0], ctl[1], st[0], st[1], res[0], res[1]}) close(fd);
+    munmap(map, map_bytes_);
+    return false;
+  }
+  if (pid == 0) {
+    close(ctl[1]);
+    close(st[0]);
+    close(res[0]);
+    server_main(prototype, table_, options_.sandbox, ctl[0], st[1], res[1],
+                static_cast<unsigned char*>(map), map_size_);
+  }
+  close(ctl[0]);
+  close(st[1]);
+  close(res[1]);
+  (void)fcntl(res[0], F_SETFL, O_NONBLOCK);
+
+  server_pid_ = pid;
+  ctl_fd_ = ctl[1];
+  st_fd_ = st[0];
+  res_fd_ = res[0];
+  map_ = static_cast<unsigned char*>(map);
+  synced_vars_ = 0;
+  st_reader_ = FrameReader{};
+  started_ = true;
+  return true;
+}
+
+void ForkServer::shutdown() {
+  if (!started_) {
+    if (map_ != nullptr) {
+      munmap(map_, map_bytes_);
+      map_ = nullptr;
+    }
+    return;
+  }
+  // Closing ctl is the shutdown signal; reap so no zombie outlives us.
+  close(ctl_fd_);
+  close(st_fd_);
+  close(res_fd_);
+  ctl_fd_ = st_fd_ = res_fd_ = -1;
+  if (server_pid_ > 0) {
+    (void)kill(static_cast<pid_t>(server_pid_), SIGKILL);
+    int status = 0;
+    while (waitpid(static_cast<pid_t>(server_pid_), &status, 0) < 0 &&
+           errno == EINTR) {
+    }
+    server_pid_ = -1;
+  }
+  if (map_ != nullptr) {
+    munmap(map_, map_bytes_);
+    map_ = nullptr;
+  }
+  started_ = false;
+}
+
+void ForkServer::note_server_death() {
+  shutdown();
+  ++stats_.restarts;
+  if (stats_.restarts > static_cast<std::uint64_t>(
+                            std::max(options_.max_restarts, 0))) {
+    stats_.degraded = true;
+  }
+}
+
+minimpi::RunResult ForkServer::run(const minimpi::LaunchSpec& spec,
+                                   SandboxStats* stats, bool* warm) {
+  if (warm != nullptr) *warm = false;
+  if (stats_.degraded || (!started_ && !start(spec))) {
+    if (!stats_.degraded) note_server_death();
+    ++stats_.cold_forks;
+    return run_sandboxed(spec, table_, options_.sandbox, stats);
+  }
+
+  SandboxStats local;
+  SandboxStats& st = stats != nullptr ? *stats : local;
+  st = SandboxStats{};
+
+  const milliseconds hang = detail::derive_hang(options_.sandbox, spec);
+  std::memset(map_, 0, map_bytes_);
+
+  // Ship the registry suffix the server hasn't seen, then the spawn.
+  std::string out;
+  std::size_t new_synced = synced_vars_;
+  if (spec.registry != nullptr) {
+    const std::size_t total = spec.registry->size();
+    if (total > synced_vars_) {
+      append_frame(out, FrameType::kRegistry,
+                   encode_registry_suffix(*spec.registry, synced_vars_));
+    }
+    new_synced = total;
+  }
+  SpawnRequest req;
+  req.nprocs = spec.nprocs;
+  req.focus = spec.focus;
+  req.one_way = spec.one_way;
+  if (spec.inputs != nullptr) req.inputs = *spec.inputs;
+  req.rng_seed = spec.rng_seed;
+  req.step_budget = spec.step_budget;
+  req.reduction = spec.reduction;
+  req.mark_mpi_vars = spec.mark_mpi_vars;
+  req.timeout_ms = spec.timeout.count();
+  req.hang_ms = hang.count();
+  req.track_base = spec.track_base;
+  req.match_schedule = spec.match_schedule;
+  req.match_plan = spec.match_plan;
+  req.chaos = spec.chaos;
+  append_frame(out, FrameType::kSpawn, encode_spawn_request(req));
+
+  const auto t0 = steady_clock::now();
+  bool write_failed = false;
+  {
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = write(ctl_fd_, out.data() + off, out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        write_failed = true;  // EPIPE: the server is gone
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  if (write_failed) {
+    note_server_death();
+    ++stats_.cold_forks;
+    return run_sandboxed(spec, table_, options_.sandbox, stats);
+  }
+  synced_vars_ = new_synced;
+
+  // ---- wait for spawned / reaped, enforcing the hang deadline ----
+  FrameReader res_reader;
+  char buf[65536];
+  const auto drain_res = [&] {
+    for (;;) {
+      const ssize_t n = read(res_fd_, buf, sizeof(buf));
+      if (n > 0) {
+        res_reader.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN (drained) or EOF/error (nothing more to read)
+    }
+  };
+
+  long grandchild = -1;
+  std::optional<long> reaped;
+  bool timed_out = false;
+  bool rejected = false;
+  bool server_dead = false;
+  const auto deadline = t0 + hang;
+  const auto grace_end = deadline + kReapGrace;
+  while (!reaped.has_value() && !rejected && !server_dead) {
+    if (waitpid(static_cast<pid_t>(server_pid_), nullptr, WNOHANG) != 0) {
+      server_dead = true;
+      break;
+    }
+    const auto now = steady_clock::now();
+    if (!timed_out && now >= deadline) {
+      if (grandchild > 0) {
+        (void)kill(static_cast<pid_t>(grandchild), SIGKILL);
+      }
+      timed_out = true;
+    }
+    if (now >= grace_end) {
+      // The server never reported the reap (wedged or silently dead).
+      server_dead = true;
+      break;
+    }
+    struct pollfd pfds[2] = {};
+    pfds[0].fd = st_fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = res_fd_;
+    pfds[1].events = POLLIN;
+    const int rv = poll(pfds, 2, 100);
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      server_dead = true;
+      break;
+    }
+    if ((pfds[1].revents & (POLLIN | POLLHUP)) != 0) drain_res();
+    if ((pfds[0].revents & (POLLIN | POLLHUP)) != 0) {
+      const ssize_t n = read(st_fd_, buf, sizeof(buf));
+      if (n <= 0 && !(n < 0 && errno == EINTR)) {
+        server_dead = true;
+        break;
+      }
+      if (n > 0) st_reader_.feed(buf, static_cast<std::size_t>(n));
+    }
+    if (st_reader_.corrupt()) {
+      server_dead = true;
+      break;
+    }
+    while (std::optional<Frame> f = st_reader_.next()) {
+      if (f->type != FrameType::kStatus) continue;  // tolerate late kHello
+      if (const auto pid = status_arg(f->payload, "spawned")) {
+        grandchild = *pid;
+      } else if (const auto status = status_arg(f->payload, "reaped")) {
+        reaped = *status;
+      } else {
+        rejected = true;  // "reject <reason>": this spawn never happened
+      }
+    }
+  }
+
+  if (reaped.has_value()) {
+    drain_res();  // the grandchild finished writing before it was reaped
+    st.forked = true;
+    const double wall = duration<double>(steady_clock::now() - t0).count();
+    minimpi::RunResult result = detail::interpret_child_exit(
+        spec, table_, res_reader, map_, map_size_, timed_out,
+        static_cast<int>(*reaped), wall, hang, st);
+    ++stats_.warm_spawns;
+    stats_.last_spawn_seconds = wall;
+    if (warm != nullptr) *warm = true;
+    return result;
+  }
+
+  if (server_dead) {
+    if (grandchild > 0) (void)kill(static_cast<pid_t>(grandchild), SIGKILL);
+    note_server_death();
+  }
+  // Rejected or dead either way: the iteration is NEVER lost — re-run it
+  // cold.  Discarding the partial frames is safe because the cold re-run
+  // re-interns any new variables identically.
+  ++stats_.cold_forks;
+  return run_sandboxed(spec, table_, options_.sandbox, stats);
+}
+
+#endif  // COMPI_SANDBOX_POSIX
+
+}  // namespace compi::sandbox

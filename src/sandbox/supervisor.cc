@@ -10,8 +10,7 @@
 #include "runtime/coverage_sink.h"
 #include "sandbox/wire.h"
 
-#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
-#define COMPI_SANDBOX_POSIX 1
+#ifdef COMPI_SANDBOX_POSIX
 #include <poll.h>
 #include <sys/mman.h>
 #include <sys/resource.h>
@@ -50,7 +49,7 @@ rt::Outcome outcome_for_signal(int sig) {
   }
 }
 
-namespace {
+namespace detail {
 
 const char* signal_name(int sig) {
   switch (sig) {
@@ -71,16 +70,27 @@ const char* signal_name(int sig) {
   }
 }
 
-/// Builds the job the campaign records when the child died without
-/// delivering a result frame: the mapped outcome on the reporting rank,
-/// kAborted peers (mpiexec tears the rest of the job down the same way),
-/// and the shared-map coverage harvest distributed to the per-rank logs
-/// named by the sink's rank stamps.  Stamps outside the world (saturated,
-/// or from a mis-sized map) fall back to the reporting rank.
-minimpi::RunResult synthesize(const minimpi::LaunchSpec& spec,
-                              const rt::BranchTable& table,
-                              const unsigned char* map, std::size_t map_size,
-                              rt::Outcome outcome, std::string message) {
+std::chrono::milliseconds derive_hang(const SandboxOptions& options,
+                                      const minimpi::LaunchSpec& spec) {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  return options.hang_timeout.count() > 0
+             ? options.hang_timeout
+             : duration_cast<milliseconds>(spec.timeout) * 2 +
+                   milliseconds(2000);
+}
+
+/// The mapped outcome lands on the reporting rank, peers get kAborted
+/// (mpiexec tears the rest of the job down the same way), and the
+/// shared-map coverage harvest is distributed to the per-rank logs named
+/// by the sink's rank stamps.  Stamps outside the world (saturated, or
+/// from a mis-sized map) fall back to the reporting rank.
+minimpi::RunResult synthesize_dead_child(const minimpi::LaunchSpec& spec,
+                                         const rt::BranchTable& table,
+                                         const unsigned char* map,
+                                         std::size_t map_size,
+                                         rt::Outcome outcome,
+                                         std::string message) {
   minimpi::RunResult run;
   const int nprocs = std::max(spec.nprocs, 1);
   run.focus = spec.focus;
@@ -114,6 +124,8 @@ minimpi::RunResult synthesize(const minimpi::LaunchSpec& spec,
 }
 
 #ifdef COMPI_SANDBOX_POSIX
+
+namespace {
 
 /// Pipe fd the fatal-signal handler writes its kSignal frame to.
 volatile int g_signal_fd = -1;
@@ -177,6 +189,8 @@ void apply_rlimits(const SandboxOptions& options, int nprocs,
   (void)setrlimit(RLIMIT_CPU, &cpu);
 }
 
+}  // namespace
+
 void write_all(int fd, const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
@@ -221,9 +235,115 @@ void write_all(int fd, const std::string& bytes) {
   _exit(0);
 }
 
+minimpi::RunResult interpret_child_exit(
+    const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
+    FrameReader& reader, const unsigned char* map, std::size_t map_size,
+    bool timed_out, int status, double wall, std::chrono::milliseconds hang,
+    SandboxStats& st) {
+  std::optional<minimpi::RunResult> decoded;
+  std::optional<int> signal_frame;
+  std::optional<std::string> error_frame;
+  while (std::optional<Frame> f = reader.next()) {
+    switch (f->type) {
+      case FrameType::kResult: {
+        minimpi::RunResult run;
+        if (decode_run_result(f->payload, run)) decoded = std::move(run);
+        break;
+      }
+      case FrameType::kError:
+        error_frame = std::move(f->payload);
+        break;
+      case FrameType::kSignal: {
+        int sig = 0;
+        for (char c : f->payload) {
+          if (c < '0' || c > '9') break;
+          sig = sig * 10 + (c - '0');
+        }
+        if (sig > 0) signal_frame = sig;
+        break;
+      }
+      case FrameType::kRegistry:
+        if (spec.registry != nullptr) {
+          (void)apply_registry(f->payload, *spec.registry);
+        }
+        break;
+      default:
+        break;  // server-side frames never appear on a result pipe
+    }
+  }
+  st.harvest_bytes = reader.bytes_fed();
+  std::vector<sym::BranchId> harvested_ids;
+  for (std::size_t i = 0; map != nullptr && i < map_size; ++i) {
+    if (map[i] != 0) harvested_ids.push_back(static_cast<sym::BranchId>(i));
+  }
+  const std::size_t harvested_branches = harvested_ids.size();
+
+  minimpi::RunResult result;
+  if (timed_out) {
+    st.hang_kill = true;
+    st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
+    result = synthesize_dead_child(
+        spec, table, map, map_size, rt::Outcome::kTimeout,
+        "sandboxed child exceeded the hang timeout; killed by the "
+        "supervisor after " +
+            std::to_string(hang.count()) + " ms");
+    result.wall_seconds = wall;
+  } else if (WIFSIGNALED(status) || signal_frame.has_value()) {
+    const int sig = signal_frame.value_or(WIFSIGNALED(status)
+                                              ? WTERMSIG(status)
+                                              : 0);
+    st.signal_kill = true;
+    st.term_signal = sig;
+    st.harvest_bytes += harvested_branches;
+    const std::string message = std::string("child killed by ") +
+                                signal_name(sig) + " (real signal " +
+                                std::to_string(sig) + ")";
+    const rt::Outcome outcome = outcome_for_signal(sig);
+    if (decoded.has_value()) {
+      // The launcher finished (full result on the wire) but the child then
+      // died tearing down — keep the complete logs, flag the outcome.
+      result = std::move(*decoded);
+      const std::size_t report = static_cast<std::size_t>(
+          result.focus >= 0 &&
+                  static_cast<std::size_t>(result.focus) < result.ranks.size()
+              ? result.focus
+              : 0);
+      result.ranks[report].outcome = outcome;
+      result.ranks[report].message = message;
+      result.ranks[report].log.outcome = outcome;
+      result.ranks[report].log.outcome_message = message;
+    } else {
+      st.harvested = std::move(harvested_ids);
+      result = synthesize_dead_child(spec, table, map, map_size, outcome,
+                                     message);
+      result.wall_seconds = wall;
+    }
+  } else if (decoded.has_value()) {
+    result = std::move(*decoded);
+  } else if (error_frame.has_value()) {
+    st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
+    result = synthesize_dead_child(
+        spec, table, map, map_size, rt::Outcome::kMpiError,
+        "sandboxed launcher failed: " + *error_frame);
+    result.wall_seconds = wall;
+  } else {
+    st.harvest_bytes += harvested_branches;
+    st.harvested = std::move(harvested_ids);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    result = synthesize_dead_child(
+        spec, table, map, map_size, rt::Outcome::kMpiError,
+        "sandboxed child exited with status " + std::to_string(code) +
+            " without a result");
+    result.wall_seconds = wall;
+  }
+  return result;
+}
+
 #endif  // COMPI_SANDBOX_POSIX
 
-}  // namespace
+}  // namespace detail
 
 bool sandbox_supported() {
 #ifdef COMPI_SANDBOX_POSIX
@@ -249,10 +369,7 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
   using std::chrono::milliseconds;
   using std::chrono::steady_clock;
 
-  const milliseconds hang =
-      options.hang_timeout.count() > 0
-          ? options.hang_timeout
-          : duration_cast<milliseconds>(spec.timeout) * 2 + milliseconds(2000);
+  const milliseconds hang = detail::derive_hang(options, spec);
 
   const std::size_t map_size = table.num_branches();
   const std::size_t map_bytes = std::max<std::size_t>(map_size, 1);
@@ -279,8 +396,8 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
     return minimpi::launch(spec, table);
   }
   if (pid == 0) {
-    child_main(spec, table, options, hang, fds[0], fds[1],
-               static_cast<unsigned char*>(map), map_size);
+    detail::child_main(spec, table, options, hang, fds[0], fds[1],
+                       static_cast<unsigned char*>(map), map_size);
   }
 
   // ---- parent: stream frames until EOF, enforcing the hang deadline ----
@@ -325,101 +442,9 @@ minimpi::RunResult run_sandboxed(const minimpi::LaunchSpec& spec,
   }
   const double wall = duration<double>(steady_clock::now() - t0).count();
 
-  // ---- interpret what came back ----
-  std::optional<minimpi::RunResult> decoded;
-  std::optional<int> signal_frame;
-  std::optional<std::string> error_frame;
-  while (std::optional<Frame> f = reader.next()) {
-    switch (f->type) {
-      case FrameType::kResult: {
-        minimpi::RunResult run;
-        if (decode_run_result(f->payload, run)) decoded = std::move(run);
-        break;
-      }
-      case FrameType::kError:
-        error_frame = std::move(f->payload);
-        break;
-      case FrameType::kSignal: {
-        int sig = 0;
-        for (char c : f->payload) {
-          if (c < '0' || c > '9') break;
-          sig = sig * 10 + (c - '0');
-        }
-        if (sig > 0) signal_frame = sig;
-        break;
-      }
-      case FrameType::kRegistry:
-        if (spec.registry != nullptr) {
-          (void)apply_registry(f->payload, *spec.registry);
-        }
-        break;
-    }
-  }
-  st.harvest_bytes = reader.bytes_fed();
-  const auto* bytes = static_cast<const unsigned char*>(map);
-  std::vector<sym::BranchId> harvested_ids;
-  for (std::size_t i = 0; i < map_size; ++i) {
-    if (bytes[i] != 0) harvested_ids.push_back(static_cast<sym::BranchId>(i));
-  }
-  const std::size_t harvested_branches = harvested_ids.size();
-
-  minimpi::RunResult result;
-  if (timed_out) {
-    st.hang_kill = true;
-    st.harvest_bytes += harvested_branches;
-    st.harvested = std::move(harvested_ids);
-    result = synthesize(
-        spec, table, bytes, map_size, rt::Outcome::kTimeout,
-        "sandboxed child exceeded the hang timeout; killed by the "
-        "supervisor after " +
-            std::to_string(hang.count()) + " ms");
-    result.wall_seconds = wall;
-  } else if (WIFSIGNALED(status) || signal_frame.has_value()) {
-    const int sig = signal_frame.value_or(WIFSIGNALED(status)
-                                              ? WTERMSIG(status)
-                                              : 0);
-    st.signal_kill = true;
-    st.term_signal = sig;
-    st.harvest_bytes += harvested_branches;
-    const std::string message = std::string("child killed by ") +
-                                signal_name(sig) + " (real signal " +
-                                std::to_string(sig) + ")";
-    const rt::Outcome outcome = outcome_for_signal(sig);
-    if (decoded.has_value()) {
-      // The launcher finished (full result on the wire) but the child then
-      // died tearing down — keep the complete logs, flag the outcome.
-      result = std::move(*decoded);
-      const std::size_t report = static_cast<std::size_t>(
-          result.focus >= 0 &&
-                  static_cast<std::size_t>(result.focus) < result.ranks.size()
-              ? result.focus
-              : 0);
-      result.ranks[report].outcome = outcome;
-      result.ranks[report].message = message;
-      result.ranks[report].log.outcome = outcome;
-      result.ranks[report].log.outcome_message = message;
-    } else {
-      st.harvested = std::move(harvested_ids);
-      result = synthesize(spec, table, bytes, map_size, outcome, message);
-      result.wall_seconds = wall;
-    }
-  } else if (decoded.has_value()) {
-    result = std::move(*decoded);
-  } else if (error_frame.has_value()) {
-    st.harvest_bytes += harvested_branches;
-    st.harvested = std::move(harvested_ids);
-    result = synthesize(spec, table, bytes, map_size, rt::Outcome::kMpiError,
-                        "sandboxed launcher failed: " + *error_frame);
-    result.wall_seconds = wall;
-  } else {
-    st.harvest_bytes += harvested_branches;
-    st.harvested = std::move(harvested_ids);
-    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-    result = synthesize(spec, table, bytes, map_size, rt::Outcome::kMpiError,
-                        "sandboxed child exited with status " +
-                            std::to_string(code) + " without a result");
-    result.wall_seconds = wall;
-  }
+  minimpi::RunResult result = detail::interpret_child_exit(
+      spec, table, reader, static_cast<const unsigned char*>(map), map_size,
+      timed_out, status, wall, hang, st);
   munmap(map, map_bytes);
   return result;
 #endif  // COMPI_SANDBOX_POSIX

@@ -27,11 +27,18 @@
 
 #include <chrono>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "minimpi/launcher.h"
 
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define COMPI_SANDBOX_POSIX 1
+#endif
+
 namespace compi::sandbox {
+
+class FrameReader;
 
 struct SandboxOptions {
   /// Wall-clock budget for the whole child process; past it the child is
@@ -80,5 +87,57 @@ struct SandboxStats {
 [[nodiscard]] minimpi::RunResult run_sandboxed(
     const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
     const SandboxOptions& options, SandboxStats* stats = nullptr);
+
+// Shared machinery between the per-iteration supervisor (run_sandboxed) and
+// the fork server (fork_server.h).  Both spawn a child that runs
+// child_main, watch it against the same hang deadline, and interpret the
+// frame stream plus wait status through interpret_child_exit so a
+// grandchild crash is reported identically either way.
+namespace detail {
+
+/// Human-readable name for the signals the sandbox maps (SIGSEGV, ...).
+[[nodiscard]] const char* signal_name(int sig);
+
+/// The wall-clock kill deadline for one child: the explicit option, or 2x
+/// the spec's cooperative timeout plus 2 s headroom.
+[[nodiscard]] std::chrono::milliseconds derive_hang(
+    const SandboxOptions& options, const minimpi::LaunchSpec& spec);
+
+/// Builds the job the campaign records when the child died without
+/// delivering a result frame (mapped outcome on the reporting rank,
+/// kAborted peers, shared-map harvest distributed by rank stamp).
+[[nodiscard]] minimpi::RunResult synthesize_dead_child(
+    const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
+    const unsigned char* map, std::size_t map_size, rt::Outcome outcome,
+    std::string message);
+
+#ifdef COMPI_SANDBOX_POSIX
+
+/// Full write() loop; gives up silently once the reader is gone.
+void write_all(int fd, const std::string& bytes);
+
+/// Body of a sandboxed child: installs the fatal-signal reporter, rlimit
+/// fences, and shared coverage sink, runs the launcher, streams the
+/// R/E + V frames to write_fd, and _exit()s.  Never returns.
+[[noreturn]] void child_main(const minimpi::LaunchSpec& spec,
+                             const rt::BranchTable& table,
+                             const SandboxOptions& options,
+                             std::chrono::milliseconds hang, int read_fd,
+                             int write_fd, unsigned char* map,
+                             std::size_t map_size);
+
+/// Turns a finished child's frame stream + wait status into the campaign's
+/// RunResult, updating `st` (signal/hang kills, harvest accounting).
+/// Precedence: hang kill > real signal > decoded result > error frame >
+/// exit-without-result.  `status` is the raw waitpid status.
+[[nodiscard]] minimpi::RunResult interpret_child_exit(
+    const minimpi::LaunchSpec& spec, const rt::BranchTable& table,
+    FrameReader& reader, const unsigned char* map, std::size_t map_size,
+    bool timed_out, int status, double wall, std::chrono::milliseconds hang,
+    SandboxStats& st);
+
+#endif  // COMPI_SANDBOX_POSIX
+
+}  // namespace detail
 
 }  // namespace compi::sandbox

@@ -1,6 +1,7 @@
 #include "sandbox/wire.h"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -36,7 +37,10 @@ bool known_type(char t) {
   return t == static_cast<char>(FrameType::kResult) ||
          t == static_cast<char>(FrameType::kError) ||
          t == static_cast<char>(FrameType::kSignal) ||
-         t == static_cast<char>(FrameType::kRegistry);
+         t == static_cast<char>(FrameType::kRegistry) ||
+         t == static_cast<char>(FrameType::kSpawn) ||
+         t == static_cast<char>(FrameType::kHello) ||
+         t == static_cast<char>(FrameType::kStatus);
 }
 
 /// Expects the next token to equal `tag`; poisons the stream otherwise.
@@ -273,11 +277,16 @@ bool decode_run_result(std::string_view payload, minimpi::RunResult& out) {
   return expect(is, "end_run");
 }
 
-std::string encode_registry(const rt::VarRegistry& registry) {
+namespace {
+
+std::string encode_registry_from(const rt::VarRegistry& registry,
+                                 std::size_t start) {
   std::ostringstream os;
   const std::vector<rt::VarMeta> metas = registry.all();
-  os << "registry " << metas.size() << '\n';
-  for (const rt::VarMeta& m : metas) {
+  const std::size_t first = std::min(start, metas.size());
+  os << "registry " << (metas.size() - first) << '\n';
+  for (std::size_t i = first; i < metas.size(); ++i) {
+    const rt::VarMeta& m = metas[i];
     os << "var " << static_cast<int>(m.kind) << ' ' << m.domain.lo << ' '
        << m.domain.hi << ' ';
     if (m.cap) {
@@ -289,6 +298,17 @@ std::string encode_registry(const rt::VarRegistry& registry) {
   }
   os << "end_registry\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string encode_registry(const rt::VarRegistry& registry) {
+  return encode_registry_from(registry, 0);
+}
+
+std::string encode_registry_suffix(const rt::VarRegistry& registry,
+                                   std::size_t start) {
+  return encode_registry_from(registry, start);
 }
 
 bool apply_registry(std::string_view payload, rt::VarRegistry& registry) {
@@ -316,6 +336,80 @@ bool apply_registry(std::string_view payload, rt::VarRegistry& registry) {
     registry.intern(m.key, m.kind, m.domain, cap_value, m.comm_index);
   }
   return expect(is, "end_registry");
+}
+
+std::string encode_spawn_request(const SpawnRequest& req) {
+  std::ostringstream os;
+  os << "spawn " << req.nprocs << ' ' << req.focus << ' '
+     << (req.one_way ? 1 : 0) << ' ' << req.rng_seed << ' '
+     << req.step_budget << ' ' << (req.reduction ? 1 : 0) << ' '
+     << (req.mark_mpi_vars ? 1 : 0) << ' ' << req.timeout_ms << ' '
+     << req.hang_ms << ' ' << req.track_base << ' '
+     << (req.match_schedule ? 1 : 0) << '\n';
+  os << "inputs ";
+  write_assignment(os, req.inputs);
+  os << '\n';
+  os << "chaos " << req.chaos.seed << ' '
+     << serial::format_double(req.chaos.drop_rate) << ' '
+     << serial::format_double(req.chaos.delay_rate) << ' '
+     << req.chaos.delay.count() << ' ' << req.chaos.crash_rank << ' '
+     << req.chaos.crash_at_call << ' '
+     << rt::to_string(req.chaos.crash_outcome) << ' ' << req.chaos.stall_rank
+     << ' ' << req.chaos.stall_at_collective << '\n';
+  os << "plan " << req.match_plan.size() << '\n';
+  for (const minimpi::MatchDecision& d : req.match_plan) {
+    os << "d " << d.rank << ' ' << d.seq << ' ' << d.src << '\n';
+  }
+  os << "end_spawn\n";
+  return os.str();
+}
+
+bool decode_spawn_request(std::string_view payload, SpawnRequest& out) {
+  std::istringstream is{std::string(payload)};
+  int one_way = 0, reduction = 0, mark = 0, match_schedule = 0;
+  if (!expect(is, "spawn") ||
+      !(is >> out.nprocs >> out.focus >> one_way >> out.rng_seed >>
+        out.step_budget >> reduction >> mark >> out.timeout_ms >>
+        out.hang_ms >> out.track_base >> match_schedule)) {
+    return false;
+  }
+  out.one_way = one_way != 0;
+  out.reduction = reduction != 0;
+  out.mark_mpi_vars = mark != 0;
+  out.match_schedule = match_schedule != 0;
+  if (!expect(is, "inputs") || !read_assignment(is, out.inputs)) return false;
+
+  std::string drop, delay_rate;
+  std::int64_t delay_ms = 0;
+  if (!expect(is, "chaos") ||
+      !(is >> out.chaos.seed >> drop >> delay_rate >> delay_ms >>
+        out.chaos.crash_rank >> out.chaos.crash_at_call)) {
+    return false;
+  }
+  const auto crash_outcome = read_outcome(is);
+  if (!crash_outcome ||
+      !(is >> out.chaos.stall_rank >> out.chaos.stall_at_collective)) {
+    return false;
+  }
+  out.chaos.crash_outcome = *crash_outcome;
+  try {
+    out.chaos.drop_rate = std::stod(drop);
+    out.chaos.delay_rate = std::stod(delay_rate);
+  } catch (...) {
+    return false;
+  }
+  out.chaos.delay = std::chrono::milliseconds(delay_ms);
+
+  std::size_t n = 0;
+  if (!expect(is, "plan") || !(is >> n)) return false;
+  out.match_plan.clear();
+  out.match_plan.reserve(std::min<std::size_t>(n, 1u << 20));
+  for (std::size_t i = 0; i < n; ++i) {
+    minimpi::MatchDecision d;
+    if (!expect(is, "d") || !(is >> d.rank >> d.seq >> d.src)) return false;
+    out.match_plan.push_back(d);
+  }
+  return expect(is, "end_spawn");
 }
 
 }  // namespace compi::sandbox

@@ -9,6 +9,13 @@
 // (just the signal number) before re-raising.  The reader consumes the raw
 // byte stream incrementally and simply stops at a trailing partial or
 // malformed frame — exactly the residue a dying child leaves behind.
+//
+// The fork server (fork_server.h) speaks the same framing on two more
+// pipes: the supervisor sends kRegistry sync frames plus one kSpawn frame
+// per iteration down the control pipe, and the server answers with one
+// kHello at startup and kStatus lifecycle frames ("spawned <pid>",
+// "reaped <wait-status>") per spawn.  Grandchild results still travel as
+// the classic kResult/kError/kSignal/kRegistry stream.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,10 @@ enum class FrameType : char {
   kError = 'E',     // payload: launcher error message
   kSignal = 'S',    // payload: decimal signal number (fatal-signal handler)
   kRegistry = 'V',  // payload: encode_registry() text (child's var interns)
+  kSpawn = 'W',     // payload: encode_spawn_request() text (ctl pipe)
+  kHello = 'H',     // payload: "compi-fork-server <version> <pid>"
+  kStatus = 'T',    // payload: "spawned <pid>" | "reaped <status>" |
+                    //          "reject <reason>"
 };
 
 struct Frame {
@@ -85,5 +96,42 @@ void write_test_log(std::ostream& os, const rt::TestLog& log);
 /// parse error (the registry keeps whatever prefix was applied).
 [[nodiscard]] bool apply_registry(std::string_view payload,
                                   rt::VarRegistry& registry);
+
+/// Like encode_registry but only variables with id >= `start`: the
+/// append-only suffix the fork server hasn't seen yet.  Interning is
+/// first-marking-wins and never removes, so replaying suffixes in order
+/// reconstructs identical dense ids on the server side.
+[[nodiscard]] std::string encode_registry_suffix(
+    const rt::VarRegistry& registry, std::size_t start);
+
+/// Everything about one warm spawn that varies between iterations.  The
+/// server captured the target program, branch table, and sandbox options
+/// when it forked; a kSpawn frame carries only the per-iteration launch
+/// parameters (including the chaos plan and any prescribed wildcard
+/// decisions) plus the supervisor-derived hang deadline the grandchild's
+/// rlimit fence is sized from.
+struct SpawnRequest {
+  int nprocs = 1;
+  int focus = 0;
+  bool one_way = false;
+  solver::Assignment inputs;
+  std::uint64_t rng_seed = 1;
+  std::int64_t step_budget = 2'000'000;
+  bool reduction = true;
+  bool mark_mpi_vars = true;
+  std::int64_t timeout_ms = 30'000;
+  std::int64_t hang_ms = 62'000;
+  int track_base = 0;
+  bool match_schedule = false;
+  minimpi::MatchPlan match_plan;
+  minimpi::FaultPlan chaos;
+};
+
+[[nodiscard]] std::string encode_spawn_request(const SpawnRequest& req);
+
+/// Inverse of encode_spawn_request.  False on any parse error (the server
+/// rejects the spawn and the supervisor cold-forks that iteration).
+[[nodiscard]] bool decode_spawn_request(std::string_view payload,
+                                        SpawnRequest& out);
 
 }  // namespace compi::sandbox

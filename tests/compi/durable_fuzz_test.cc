@@ -20,6 +20,7 @@
 #include "compi/explain.h"
 #include "compi/session.h"
 #include "obs/journal.h"
+#include "sandbox/wire.h"
 #include "tests/compi/fig2_target.h"
 
 namespace compi {
@@ -60,8 +61,9 @@ void spit(const fs::path& file, const std::string& bytes) {
 struct Corpus {
   std::string serial_checkpoint;
   std::string parallel_checkpoint;
-  /// A v7 snapshot with the coordinator section populated (leases and
-  /// shard cursors with hostile shard names), as `compi coordinate` writes.
+  /// A current-version snapshot with the coordinator section populated
+  /// (leases and shard cursors with hostile shard names), as
+  /// `compi coordinate` writes.
   std::string coordinator_checkpoint;
   std::string journal;
   std::string iterations_csv;
@@ -191,10 +193,11 @@ TEST(DurableFuzz, CheckpointReadNeverCrashes) {
 }
 
 TEST(DurableFuzz, OldVersionCheckpointIsRejectedCleanly) {
-  // v6 (and any other non-current version) snapshots must be refused by
-  // design: the campaign falls back to a fresh start.
+  // v7 (pre-fork-server, no sandbox2 line) and any other non-current
+  // version must be refused by design: the campaign falls back to a
+  // fresh start.
   for (const char* version :
-       {"0", "1", "2", "3", "4", "5", "6", "99", "-5"}) {
+       {"0", "1", "2", "3", "4", "5", "6", "7", "99", "-5"}) {
     std::string bytes = corpus().serial_checkpoint;
     const std::string current =
         "compi-checkpoint " + std::to_string(ckpt::CampaignCheckpoint::kVersion);
@@ -237,6 +240,73 @@ TEST(DurableFuzz, SessionCsvReadersTolerateAnyCorruption) {
     // --explain replays the whole directory; it must render or decline.
     std::ostringstream report;
     (void)explain_session(dir.path, report);
+  }
+}
+
+TEST(DurableFuzz, ForkServerWireFramesTolerateAnyCorruption) {
+  // The fork-server control/status dialect rides the same length-prefixed
+  // framing as the result pipe.  Truncated, bit-flipped, or spliced frame
+  // streams must never crash the supervisor-side parsers — the engine's
+  // contract is a clean reject (and a cold-fork fallback), not a fault.
+  std::mt19937 rng(0xF0AC5E);
+
+  sandbox::SpawnRequest req;
+  req.nprocs = 4;
+  req.focus = 2;
+  req.inputs[0] = 77;
+  req.inputs[1] = 33;
+  req.match_schedule = true;
+  req.match_plan = {{0, 0, 2}, {1, 1, 0}};
+  req.chaos.crash_rank = 1;
+
+  rt::VarRegistry registry;
+  registry.intern("x", rt::VarKind::kRegular, solver::int32_domain(), 500);
+  registry.intern("y", rt::VarKind::kRegular, solver::int32_domain(), 500);
+
+  std::string ctl_stream;  // what the supervisor sends the server
+  sandbox::append_frame(ctl_stream, sandbox::FrameType::kRegistry,
+                        sandbox::encode_registry_suffix(registry, 0));
+  sandbox::append_frame(ctl_stream, sandbox::FrameType::kSpawn,
+                        sandbox::encode_spawn_request(req));
+
+  std::string st_stream;  // what the server answers with
+  sandbox::append_frame(st_stream, sandbox::FrameType::kHello,
+                        "compi-fork-server 1 12345");
+  sandbox::append_frame(st_stream, sandbox::FrameType::kStatus,
+                        "spawned 12346");
+  sandbox::append_frame(st_stream, sandbox::FrameType::kStatus, "reaped 0");
+  sandbox::append_frame(st_stream, sandbox::FrameType::kStatus,
+                        "reject malformed spawn request");
+
+  for (const std::string* pristine : {&ctl_stream, &st_stream}) {
+    for (int i = 0; i < kMutationsPerArtifact; ++i) {
+      const std::string bytes = mutate(*pristine, rng);
+      sandbox::FrameReader reader;
+      reader.feed(bytes.data(), bytes.size());
+      while (std::optional<sandbox::Frame> f = reader.next()) {
+        // Decode each surviving frame exactly the way the two endpoints
+        // do; success or clean rejection are both acceptable.
+        switch (f->type) {
+          case sandbox::FrameType::kSpawn: {
+            sandbox::SpawnRequest out;
+            (void)sandbox::decode_spawn_request(f->payload, out);
+            break;
+          }
+          case sandbox::FrameType::kRegistry: {
+            rt::VarRegistry scratch;
+            (void)sandbox::apply_registry(f->payload, scratch);
+            break;
+          }
+          case sandbox::FrameType::kResult: {
+            minimpi::RunResult out;
+            (void)sandbox::decode_run_result(f->payload, out);
+            break;
+          }
+          default:
+            break;  // kHello/kStatus/kError/kSignal: free-text payloads
+        }
+      }
+    }
   }
 }
 

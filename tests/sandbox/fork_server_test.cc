@@ -1,0 +1,333 @@
+// Crash-path regression tests for the fork-server execution engine: a
+// grandchild that REALLY segfaults or wedges must map onto the same
+// Outcome/harvest the cold sandbox produces — and must leave the server
+// alive for the next warm spawn.  Killing the server itself mid-stream
+// must cold-fork the in-flight iteration (never lose it), then restart.
+#include "sandbox/fork_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+
+#include "minimpi/launcher.h"
+#include "sandbox/supervisor.h"
+#include "tests/compi/fig2_target.h"
+
+namespace compi::sandbox {
+namespace {
+
+using compi::testing::Fig2Site;
+using compi::testing::fig2_table;
+using compi::testing::fig2_target;
+
+minimpi::LaunchSpec make_spec(const TargetInfo& target,
+                              rt::VarRegistry& registry,
+                              const solver::Assignment& inputs, int nprocs) {
+  minimpi::LaunchSpec spec;
+  spec.program = target.program;
+  spec.nprocs = nprocs;
+  spec.focus = 0;
+  spec.registry = &registry;
+  spec.inputs = &inputs;
+  spec.rng_seed = 42;
+  spec.timeout = std::chrono::milliseconds(5000);
+  return spec;
+}
+
+void expect_same_logs(const minimpi::RunResult& a,
+                      const minimpi::RunResult& b) {
+  EXPECT_EQ(a.job_outcome(), b.job_outcome());
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].outcome, b.ranks[r].outcome) << "rank " << r;
+    EXPECT_EQ(a.ranks[r].log.serialize(), b.ranks[r].log.serialize())
+        << "rank " << r;
+  }
+}
+
+/// Rank 0 raises a REAL SIGSEGV when the supplied inputs set x == 33.
+/// Input-dependent so the same warm server can run both the crashing and
+/// the clean iteration — the snapshot captures the program once.
+TargetInfo segv_on_33_target() {
+  TargetInfo info = fig2_target();
+  info.name = "fig2_segv33";
+  info.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt x = ctx.input_int_capped("x", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, x == SymInt(33))) {
+        (void)std::raise(SIGSEGV);
+      }
+    }
+    world.barrier();
+  };
+  return info;
+}
+
+/// Rank 0 wedges in an uninstrumented spin when x == 250: no branch
+/// events, no MPI calls — only the supervisor's SIGKILL ends it.
+TargetInfo hang_on_250_target() {
+  TargetInfo info = fig2_target();
+  info.name = "fig2_hang250";
+  info.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt x = ctx.input_int_capped("x", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, x == SymInt(250))) {
+        volatile bool spin = true;
+        while (spin) {
+        }
+      }
+    }
+    world.barrier();
+  };
+  return info;
+}
+
+TEST(ForkServer, WarmSpawnReproducesTheInProcessRun) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  const TargetInfo target = fig2_target();
+
+  rt::VarRegistry in_proc_registry;
+  const solver::Assignment inputs;
+  const minimpi::RunResult in_proc = minimpi::launch(
+      make_spec(target, in_proc_registry, inputs, 3), *target.table);
+  ASSERT_EQ(in_proc.job_outcome(), rt::Outcome::kOk) << in_proc.job_message();
+
+  ForkServer server(*target.table, ForkServerOptions{});
+  rt::VarRegistry registry;
+  SandboxStats st;
+  bool warm = false;
+  const minimpi::RunResult got =
+      server.run(make_spec(target, registry, inputs, 3), &st, &warm);
+  EXPECT_TRUE(warm) << "the very first run already spawns from the snapshot";
+  EXPECT_TRUE(st.forked);
+  expect_same_logs(in_proc, got);
+  EXPECT_EQ(server.stats().warm_spawns, 1u);
+  EXPECT_EQ(server.stats().cold_forks, 0u);
+  EXPECT_GT(server.stats().last_spawn_seconds, 0.0);
+
+  // Per-iteration parameters must reach the grandchild through the spawn
+  // frame, not the stale snapshot: a different seed changes the run.
+  rt::VarRegistry reseeded_registry;
+  minimpi::LaunchSpec reseeded =
+      make_spec(target, reseeded_registry, inputs, 3);
+  reseeded.rng_seed = 777;
+  const minimpi::RunResult in_proc_777 =
+      minimpi::launch(reseeded, *target.table);
+  minimpi::LaunchSpec warm_777 = make_spec(target, registry, inputs, 3);
+  warm_777.rng_seed = 777;
+  const minimpi::RunResult got_777 = server.run(warm_777, nullptr, &warm);
+  EXPECT_TRUE(warm);
+  expect_same_logs(in_proc_777, got_777);
+  EXPECT_EQ(server.stats().warm_spawns, 2u);
+}
+
+TEST(ForkServer, GrandchildSegfaultMapsOutcomeAndServerSurvives) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  const TargetInfo target = segv_on_33_target();
+  ForkServer server(*target.table, ForkServerOptions{});
+  rt::VarRegistry registry;
+
+  solver::Assignment crash_inputs;
+  crash_inputs[0] = 33;  // "x" is the program's first intern => var id 0
+  SandboxStats st;
+  bool warm = false;
+  const minimpi::RunResult crashed =
+      server.run(make_spec(target, registry, crash_inputs, 2), &st, &warm);
+  EXPECT_TRUE(warm);
+  EXPECT_TRUE(st.signal_kill);
+  EXPECT_EQ(st.term_signal, SIGSEGV);
+  EXPECT_FALSE(st.hang_kill);
+  EXPECT_EQ(crashed.job_outcome(), rt::Outcome::kSegfault)
+      << crashed.job_message();
+  EXPECT_NE(crashed.job_message().find("SIGSEGV"), std::string::npos)
+      << crashed.job_message();
+  // The branches rank 0 executed on its way to the crash were flushed to
+  // the MAP_SHARED mirror and harvested from the dead grandchild.
+  EXPECT_FALSE(st.harvested.empty());
+  EXPECT_GT(st.harvest_bytes, 0u);
+
+  // The server must still be live: the next iteration is warm and clean.
+  solver::Assignment clean_inputs;
+  clean_inputs[0] = 1;
+  SandboxStats st2;
+  const minimpi::RunResult clean =
+      server.run(make_spec(target, registry, clean_inputs, 2), &st2, &warm);
+  EXPECT_TRUE(warm) << "a grandchild crash must not take the server down";
+  EXPECT_FALSE(st2.signal_kill);
+  EXPECT_EQ(clean.job_outcome(), rt::Outcome::kOk) << clean.job_message();
+  EXPECT_EQ(server.stats().restarts, 0u);
+  EXPECT_EQ(server.stats().warm_spawns, 2u);
+}
+
+TEST(ForkServer, GrandchildAbortMapsToAssert) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  TargetInfo target = fig2_target();
+  target.program = [](rt::RuntimeContext& ctx, minimpi::Comm& world) {
+    using targets::br;
+    using sym::SymInt;
+    const SymInt x = ctx.input_int_capped("x", 500);
+    const SymInt rank = world.comm_rank(ctx);
+    if (br(ctx, Fig2Site::kRankZero, rank == SymInt(0))) {
+      if (br(ctx, Fig2Site::kMagic, x == SymInt(33))) {
+        (void)std::raise(SIGABRT);
+      }
+    }
+    world.barrier();
+  };
+  ForkServer server(*target.table, ForkServerOptions{});
+  rt::VarRegistry registry;
+  solver::Assignment inputs;
+  inputs[0] = 33;
+  SandboxStats st;
+  bool warm = false;
+  const minimpi::RunResult got =
+      server.run(make_spec(target, registry, inputs, 2), &st, &warm);
+  EXPECT_TRUE(warm);
+  EXPECT_TRUE(st.signal_kill);
+  EXPECT_EQ(st.term_signal, SIGABRT);
+  EXPECT_EQ(got.job_outcome(), outcome_for_signal(SIGABRT));
+}
+
+TEST(ForkServer, GrandchildHangIsKilledAndServerSurvives) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  const TargetInfo target = hang_on_250_target();
+  ForkServerOptions options;
+  options.sandbox.hang_timeout = std::chrono::milliseconds(400);
+  ForkServer server(*target.table, options);
+  rt::VarRegistry registry;
+
+  solver::Assignment hang_inputs;
+  hang_inputs[0] = 250;
+  SandboxStats st;
+  bool warm = false;
+  minimpi::LaunchSpec spec = make_spec(target, registry, hang_inputs, 2);
+  spec.timeout = std::chrono::milliseconds(100);
+  const minimpi::RunResult hung = server.run(spec, &st, &warm);
+  EXPECT_TRUE(warm);
+  EXPECT_TRUE(st.hang_kill) << "the watchdog must SIGKILL the grandchild";
+  EXPECT_FALSE(st.signal_kill);
+  EXPECT_EQ(hung.job_outcome(), rt::Outcome::kTimeout) << hung.job_message();
+
+  solver::Assignment clean_inputs;
+  clean_inputs[0] = 1;
+  SandboxStats st2;
+  minimpi::LaunchSpec clean_spec =
+      make_spec(target, registry, clean_inputs, 2);
+  const minimpi::RunResult clean = server.run(clean_spec, &st2, &warm);
+  EXPECT_TRUE(warm) << "a hang kill must not take the server down";
+  EXPECT_EQ(clean.job_outcome(), rt::Outcome::kOk) << clean.job_message();
+  EXPECT_EQ(server.stats().restarts, 0u);
+}
+
+TEST(ForkServer, ServerDeathColdForksTheIterationThenRestarts) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  const TargetInfo target = fig2_target();
+  ForkServer server(*target.table, ForkServerOptions{});
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+
+  bool warm = false;
+  const minimpi::RunResult first =
+      server.run(make_spec(target, registry, inputs, 3), nullptr, &warm);
+  ASSERT_TRUE(warm);
+  ASSERT_EQ(first.job_outcome(), rt::Outcome::kOk);
+
+  // Murder the server out from under the supervisor, mid-campaign.
+  const long pid = server.server_pid();
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGKILL), 0);
+
+  // The in-flight iteration is never lost: it falls back to a cold fork
+  // and still produces the deterministic result.
+  SandboxStats st;
+  const minimpi::RunResult fallback =
+      server.run(make_spec(target, registry, inputs, 3), &st, &warm);
+  EXPECT_FALSE(warm) << "a dead server cannot have spawned this run";
+  EXPECT_TRUE(st.forked) << "the fallback is a cold fork, not in-process";
+  expect_same_logs(first, fallback);
+  EXPECT_EQ(server.stats().restarts, 1u);
+  EXPECT_EQ(server.stats().cold_forks, 1u);
+  EXPECT_FALSE(server.degraded());
+
+  // The next run restarts the server and is warm again.
+  const minimpi::RunResult revived =
+      server.run(make_spec(target, registry, inputs, 3), nullptr, &warm);
+  EXPECT_TRUE(warm) << "within budget, a death is followed by a restart";
+  expect_same_logs(first, revived);
+  EXPECT_EQ(server.stats().warm_spawns, 2u);
+}
+
+TEST(ForkServer, DegradesToColdForksOnceRestartBudgetIsSpent) {
+  if (!sandbox_supported()) GTEST_SKIP() << "no fork()";
+  const TargetInfo target = fig2_target();
+  ForkServerOptions options;
+  options.max_restarts = 0;  // the first death already exhausts the budget
+  ForkServer server(*target.table, options);
+  rt::VarRegistry registry;
+  const solver::Assignment inputs;
+
+  bool warm = false;
+  (void)server.run(make_spec(target, registry, inputs, 2), nullptr, &warm);
+  ASSERT_TRUE(warm);
+  ASSERT_EQ(::kill(static_cast<pid_t>(server.server_pid()), SIGKILL), 0);
+
+  const minimpi::RunResult fallback =
+      server.run(make_spec(target, registry, inputs, 2), nullptr, &warm);
+  EXPECT_FALSE(warm);
+  EXPECT_EQ(fallback.job_outcome(), rt::Outcome::kOk);
+  EXPECT_TRUE(server.degraded());
+  EXPECT_EQ(server.server_pid(), -1);
+
+  // Degraded means cold forever: no new server, every run still correct.
+  SandboxStats st;
+  const minimpi::RunResult cold =
+      server.run(make_spec(target, registry, inputs, 2), &st, &warm);
+  EXPECT_FALSE(warm);
+  EXPECT_TRUE(st.forked);
+  EXPECT_EQ(cold.job_outcome(), rt::Outcome::kOk);
+  EXPECT_EQ(server.stats().warm_spawns, 1u);
+  EXPECT_EQ(server.stats().cold_forks, 2u);
+  EXPECT_EQ(server.stats().restarts, 1u);
+}
+
+TEST(ForkServer, BatchGateEarnsInProcessAfterWarmupAndDemotesOnFault) {
+  BatchGate gate(3);
+  EXPECT_FALSE(gate.ready());
+  gate.record_clean();
+  gate.record_clean();
+  EXPECT_FALSE(gate.ready()) << "two of three clean runs is not a streak";
+  gate.record_clean();
+  EXPECT_TRUE(gate.ready());
+  gate.record_clean();  // saturates, never overflows
+  EXPECT_TRUE(gate.ready());
+  gate.record_fault();
+  EXPECT_FALSE(gate.ready()) << "any fault demotes back to the sandbox";
+  gate.record_clean();
+  gate.record_clean();
+  gate.record_clean();
+  EXPECT_TRUE(gate.ready()) << "the streak can be re-earned";
+}
+
+TEST(ForkServer, RunBatchResetMatchesTheInProcessLauncher) {
+  const TargetInfo target = fig2_target();
+  rt::VarRegistry registry_a;
+  const solver::Assignment inputs;
+  const minimpi::RunResult in_proc = minimpi::launch(
+      make_spec(target, registry_a, inputs, 4), *target.table);
+
+  rt::VarRegistry registry_b;
+  const minimpi::RunResult batched = run_batch_reset(
+      make_spec(target, registry_b, inputs, 4), *target.table);
+  expect_same_logs(in_proc, batched);
+  EXPECT_GT(batched.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace compi::sandbox
